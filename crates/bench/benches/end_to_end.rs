@@ -1,0 +1,58 @@
+//! End-to-end contextual query cost over the two-city POI database:
+//! resolution + ranked selection (`Rank_CS`), for implicit single-state
+//! queries and exploratory disjunctive queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctxpref_context::ContextState;
+use ctxpref_core::ContextualDb;
+use ctxpref_relation::Value;
+use ctxpref_workload::reference::{poi_env, poi_relation, POI_TYPES};
+use std::hint::black_box;
+
+fn build_db(pois_per_region: usize) -> ContextualDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 42, pois_per_region);
+    let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
+    for (i, weather) in ["bad", "good"].iter().enumerate() {
+        for (j, company) in ["friends", "family", "alone"].iter().enumerate() {
+            for (k, ty) in POI_TYPES.iter().enumerate() {
+                let score = 0.05 + ((i * 31 + j * 7 + k) % 90) as f64 / 100.0;
+                db.insert_preference_eq(
+                    &format!("temperature = {weather} and accompanying_people = {company}"),
+                    "type",
+                    Value::str(ty),
+                    score,
+                )
+                .unwrap();
+            }
+        }
+    }
+    db
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    for &per_region in &[5usize, 50] {
+        let db = build_db(per_region);
+        let state = ContextState::parse(db.env(), &["Plaka", "warm", "friends"]).unwrap();
+        group.bench_function(format!("implicit_state/{per_region}_per_region"), |b| {
+            b.iter(|| black_box(db.query_state(&state).unwrap()))
+        });
+        group.bench_function(format!("exploratory/{per_region}_per_region"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.query_str(
+                        "(location = Athens and temperature = good and \
+                         accompanying_people = family) or \
+                         (location = Thessaloniki and temperature = good)",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Microbenchmarks for the extension layers: persistence, DAG
+//! compression, and the qualitative winnow operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxpref_context::{parse_descriptor, ContextState};
+use ctxpref_core::ContextualDb;
+use ctxpref_profile::{AttributeClause, ParamOrder, ProfileTree};
+use ctxpref_qualitative::{ContextualPriority, QualitativeProfile};
+use ctxpref_relation::Value;
+use ctxpref_storage::{read_database, write_database};
+use ctxpref_workload::reference::{poi_env, poi_relation, POI_TYPES};
+use ctxpref_workload::synthetic::{SyntheticSpec, ValueDist};
+use std::hint::black_box;
+
+fn demo_db(pois: usize) -> ContextualDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 42, pois);
+    let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
+    for (i, weather) in ["bad", "good"].iter().enumerate() {
+        for (j, company) in ["friends", "family", "alone"].iter().enumerate() {
+            for (k, ty) in POI_TYPES.iter().enumerate() {
+                let score = 0.05 + ((i * 31 + j * 7 + k) % 90) as f64 / 100.0;
+                db.insert_preference_eq(
+                    &format!("temperature = {weather} and accompanying_people = {company}"),
+                    "type",
+                    Value::str(ty),
+                    score,
+                )
+                .unwrap();
+            }
+        }
+    }
+    db
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    for &pois in &[5usize, 50] {
+        let db = demo_db(pois);
+        let mut serialized = Vec::new();
+        write_database(&mut serialized, &db).unwrap();
+        group.bench_function(BenchmarkId::new("write", db.relation().len()), |b| {
+            b.iter(|| {
+                let mut buf = Vec::with_capacity(serialized.len());
+                write_database(&mut buf, &db).unwrap();
+                black_box(buf)
+            })
+        });
+        group.bench_function(BenchmarkId::new("read", db.relation().len()), |b| {
+            b.iter(|| black_box(read_database(&serialized[..]).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        let spec = SyntheticSpec::paper_standard(n, ValueDist::Uniform, 42);
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let tree =
+            ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env)).unwrap();
+        group.bench_function(BenchmarkId::new("compress", n), |b| {
+            b.iter(|| black_box(tree.compress()))
+        });
+        let dag = tree.compress();
+        let q = &profile.preferences()[0].descriptor().states(&env).unwrap()[0];
+        let mut counter = ctxpref_profile::AccessCounter::new();
+        group.bench_function(BenchmarkId::new("dag_exact_lookup", n), |b| {
+            b.iter(|| black_box(dag.exact_lookup(q, &mut counter)))
+        });
+        group.bench_function(BenchmarkId::new("tree_exact_lookup", n), |b| {
+            b.iter(|| black_box(tree.exact_lookup(q, &mut counter)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qualitative(c: &mut Criterion) {
+    let env = poi_env();
+    let rel = poi_relation(&env, 42, 10);
+    let ty = rel.schema().attr("type").unwrap();
+    let mut profile = QualitativeProfile::new(env.clone());
+    // A chain of priorities per company value.
+    for (company, order) in [
+        ("friends", ["brewery", "club", "cafeteria", "market", "museum"]),
+        ("family", ["zoo", "park", "aquarium", "museum", "club"]),
+        ("alone", ["museum", "theater", "park", "market", "club"]),
+    ] {
+        for w in order.windows(2) {
+            profile
+                .insert(ContextualPriority::new(
+                    parse_descriptor(&env, &format!("accompanying_people = {company}")).unwrap(),
+                    AttributeClause::eq(ty, w[0].into()),
+                    AttributeClause::eq(ty, w[1].into()),
+                ))
+                .unwrap();
+        }
+    }
+    let state = ContextState::parse(&env, &["Plaka", "warm", "friends"]).unwrap();
+
+    let mut group = c.benchmark_group("qualitative");
+    group.bench_function(format!("winnow/{}_tuples", rel.len()), |b| {
+        b.iter(|| black_box(profile.winnow(&rel, &state).unwrap()))
+    });
+    group.bench_function(format!("rank/{}_tuples", rel.len()), |b| {
+        b.iter(|| black_box(profile.rank(&rel, &state).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_dag, bench_qualitative);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Context query tree: cache-hit path vs. full resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctxpref_context::ContextState;
+use ctxpref_core::{ContextualDb, QueryOptions};
+use ctxpref_relation::Value;
+use ctxpref_workload::reference::{poi_env, poi_relation, POI_TYPES};
+use std::hint::black_box;
+
+fn build_db(cache: usize) -> ContextualDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 42, 5);
+    let mut db = ContextualDb::builder()
+        .env(env)
+        .relation(rel)
+        .cache_capacity(cache)
+        .build()
+        .unwrap();
+    for (i, weather) in ["bad", "good"].iter().enumerate() {
+        for (j, company) in ["friends", "family", "alone"].iter().enumerate() {
+            for (k, ty) in POI_TYPES.iter().enumerate() {
+                let score = 0.05 + ((i * 31 + j * 7 + k) % 90) as f64 / 100.0;
+                db.insert_preference_eq(
+                    &format!("temperature = {weather} and accompanying_people = {company}"),
+                    "type",
+                    Value::str(ty),
+                    score,
+                )
+                .unwrap();
+            }
+        }
+    }
+    db
+}
+
+fn bench_qcache(c: &mut Criterion) {
+    let db = build_db(64);
+    let state = ContextState::parse(db.env(), &["Plaka", "warm", "friends"]).unwrap();
+    // Warm the cache.
+    let _ = db.query_state_with(&state, QueryOptions::cached()).unwrap();
+
+    let mut group = c.benchmark_group("qcache");
+    group.bench_function("hit", |b| {
+        b.iter(|| black_box(db.query_state_with(&state, QueryOptions::cached()).unwrap()))
+    });
+    group.bench_function("uncached", |b| {
+        b.iter(|| black_box(db.query_state_with(&state, QueryOptions::default()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qcache);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Context-resolution cost: exact and covering lookups, profile tree
+//! vs. sequential scan (the wall-clock companion of Figure 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxpref_context::DistanceKind;
+use ctxpref_profile::{AccessCounter, ParamOrder, ProfileTree, SerialStore};
+use ctxpref_workload::synthetic::{
+    random_query_states, stored_query_states, SyntheticSpec, ValueDist,
+};
+use std::hint::black_box;
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolution");
+    for &n in &[500usize, 5000] {
+        let spec = SyntheticSpec::paper_standard(n, ValueDist::Uniform, 42);
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
+            .unwrap();
+        let serial = SerialStore::from_profile(&profile).unwrap();
+        let exact_q = stored_query_states(&env, &profile, 50, 7);
+        let cover_q = random_query_states(&env, 50, 0.5, 9);
+
+        group.bench_with_input(BenchmarkId::new("tree/exact", n), &exact_q, |b, qs| {
+            b.iter(|| {
+                let mut counter = AccessCounter::new();
+                for q in qs {
+                    black_box(tree.exact_lookup(q, &mut counter));
+                }
+                counter
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("serial/exact", n), &exact_q, |b, qs| {
+            b.iter(|| {
+                let mut counter = AccessCounter::new();
+                for q in qs {
+                    black_box(serial.exact_lookup(q, &mut counter));
+                }
+                counter
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree/covering", n), &cover_q, |b, qs| {
+            b.iter(|| {
+                let mut counter = AccessCounter::new();
+                for q in qs {
+                    black_box(tree.search_cs(q, DistanceKind::Hierarchy, &mut counter));
+                }
+                counter
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("serial/covering", n), &cover_q, |b, qs| {
+            b.iter(|| {
+                let mut counter = AccessCounter::new();
+                for q in qs {
+                    black_box(serial.search_covering(q, DistanceKind::Hierarchy, &mut counter));
+                }
+                counter
+            })
+        });
+        // Distance-function ablation: Hierarchy vs Jaccard on the tree.
+        group.bench_with_input(BenchmarkId::new("tree/covering-jaccard", n), &cover_q, |b, qs| {
+            b.iter(|| {
+                let mut counter = AccessCounter::new();
+                for q in qs {
+                    black_box(tree.search_cs(q, DistanceKind::Jaccard, &mut counter));
+                }
+                counter
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Profile-tree construction cost across profile sizes and parameter
+//! orderings (the build-time companion of Figures 5–6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxpref_profile::{ParamOrder, ProfileTree, SerialStore};
+use ctxpref_workload::synthetic::{SyntheticSpec, ValueDist};
+use std::hint::black_box;
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 5000] {
+        for (dist_label, dist) in [("uniform", ValueDist::Uniform), ("zipf", ValueDist::Zipf(1.5))]
+        {
+            let spec = SyntheticSpec::paper_standard(n, dist, 42);
+            let env = spec.build_env();
+            let profile = spec.build_profile(&env);
+            group.bench_with_input(
+                BenchmarkId::new(format!("tree/{dist_label}"), n),
+                &profile,
+                |b, p| {
+                    let order = ParamOrder::by_ascending_domain(&env);
+                    b.iter(|| {
+                        black_box(ProfileTree::from_profile(p, order.clone()).unwrap())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("serial/{dist_label}"), n),
+                &profile,
+                |b, p| b.iter(|| black_box(SerialStore::from_profile(p).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build_orderings");
+    group.sample_size(10);
+    let spec = SyntheticSpec::paper_standard(2000, ValueDist::Uniform, 42);
+    let env = spec.build_env();
+    let profile = spec.build_profile(&env);
+    for order in ParamOrder::all_orders(&env) {
+        let label = format!("{}", order.display(&env));
+        group.bench_function(BenchmarkId::new("order", label), |b| {
+            b.iter(|| black_box(ProfileTree::from_profile(&profile, order.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_build, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p ctxpref-bench --bin repro --release -- all
+//! cargo run -p ctxpref-bench --bin repro --release -- table1 fig5 fig6 fig7 complexity qcache
+//! ```
+
+use ctxpref_bench::{complexity, dag_exp, fig5, fig6, fig7, qcache_exp, table1, ties_exp};
+use ctxpref_workload::synthetic::ValueDist;
+
+const SEED: u64 = 2007; // ICDE 2007
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["table1", "fig5", "fig6", "fig7", "complexity", "qcache", "dag", "ties"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for target in targets {
+        match target {
+            "table1" => {
+                let report = table1::run(SEED);
+                println!("{}", table1::render_report(&report));
+            }
+            "fig5" => {
+                println!("{}", fig5::run(SEED).render());
+            }
+            "fig6" => {
+                println!("{}", fig6::run_panel(ValueDist::Uniform, SEED).render());
+                println!("{}", fig6::run_panel(ValueDist::Zipf(1.5), SEED).render());
+                println!("{}", fig6::run_skew_sweep(SEED).render());
+            }
+            "fig7" => {
+                println!("{}", fig7::run_real(SEED).render());
+                println!("{}", fig7::run_synthetic(true, SEED).render());
+                println!("{}", fig7::run_synthetic(false, SEED).render());
+            }
+            "complexity" => {
+                println!("{}", complexity::run(5000, SEED).render());
+            }
+            "qcache" => {
+                println!("{}", qcache_exp::run(SEED).render());
+                println!("{}", qcache_exp::render_walk(&qcache_exp::run_walk(SEED)));
+            }
+            "ties" => {
+                println!("{}", ties_exp::run(SEED).render());
+            }
+            "dag" => {
+                let exp = dag_exp::run(SEED);
+                println!("{}", exp.render());
+                println!(
+                    "  [{}] DAG resolution equivalence — identical Search_CS results on 50 queries\n",
+                    if dag_exp::verify_equivalence(SEED) { "PASS" } else { "FAIL" }
+                );
+            }
+            other => {
+                eprintln!(
+                    "unknown target {other:?} — expected all, table1, fig5, fig6, fig7, \
+                     complexity, qcache, dag, or ties"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The analytical complexity claims of Sections 3.3 and 4.4, measured:
+//!
+//! * Tree size is bounded by `m1·(1 + m2·(1 + … (1 + mn)))` and the
+//!   bound is minimized by ascending-domain ordering.
+//! * An exact-match lookup visits at most `Σ |edom(Ci)|` cells; a
+//!   sequential scan may visit `Π`-scale numbers of cells.
+//! * A covering search visits at most
+//!   `|edom(C1)| + |edom(C2)|·h1 + |edom(C3)|·h2·h1 + …` cells.
+
+use ctxpref_profile::{AccessCounter, ParamOrder, ProfileTree, SerialStore};
+use ctxpref_workload::synthetic::{
+    random_query_states, stored_query_states, SyntheticSpec, ValueDist,
+};
+
+use crate::tablefmt::render;
+use crate::{render_checks, ShapeCheck};
+
+/// Measured vs. analytical numbers.
+#[derive(Debug, Clone)]
+pub struct Complexity {
+    /// `Σ |edom(Ci)|` — the paper's exact-lookup cell bound.
+    pub edom_sum: usize,
+    /// `Π |edom(Ci)|` — the paper's sequential-scan worst case.
+    pub edom_product: u128,
+    /// Minimum of the §3.3 max-cells bound over all orderings.
+    pub max_cells_bound_best: u128,
+    /// Maximum of the §3.3 max-cells bound over all orderings.
+    pub max_cells_bound_worst: u128,
+    /// Cells actually occupied by the built tree.
+    pub measured_cells: usize,
+    /// Worst measured exact-lookup cost on the tree (50 queries).
+    pub max_exact_cells: u64,
+    /// The covering-search bound `Σ |edom(Ci)|·Π h_j`.
+    pub covering_bound: u64,
+    /// Worst measured covering-search cost on the tree (50 queries).
+    pub max_covering_cells: u64,
+    /// Worst measured exact-lookup cost on the serial store.
+    pub max_serial_exact_cells: u64,
+}
+
+/// Run on a paper-standard synthetic profile.
+pub fn run(num_prefs: usize, seed: u64) -> Complexity {
+    let spec = SyntheticSpec::paper_standard(num_prefs, ValueDist::Uniform, seed);
+    let env = spec.build_env();
+    let profile = spec.build_profile(&env);
+    let order = ParamOrder::by_ascending_domain(&env);
+    let tree = ProfileTree::from_profile(&profile, order.clone()).unwrap();
+    let serial = SerialStore::from_profile(&profile).unwrap();
+
+    let edom_sum: usize = env.iter().map(|(_, h)| h.edom_size()).sum();
+    let edom_product: u128 = env.extended_world_size();
+    let bounds: Vec<u128> =
+        ParamOrder::all_orders(&env).iter().map(|o| o.max_cells(&env)).collect();
+
+    // Covering-search bound: Σ_i |edom(Ci)| · Π_{j<i} h_j, with h_j the
+    // number of hierarchy levels of the parameter at tree level j.
+    let mut covering_bound: u64 = 0;
+    let mut level_product: u64 = 1;
+    for k in 0..order.len() {
+        let h = env.hierarchy(order.param_at(k));
+        covering_bound += h.edom_size() as u64 * level_product;
+        level_product *= h.level_count() as u64;
+    }
+
+    let exact_q = stored_query_states(&env, &profile, 50, seed ^ 3);
+    let mut max_exact_cells = 0;
+    let mut max_serial_exact_cells = 0;
+    for q in &exact_q {
+        let mut c = AccessCounter::new();
+        let _ = tree.exact_lookup(q, &mut c);
+        max_exact_cells = max_exact_cells.max(c.cells());
+        let mut c = AccessCounter::new();
+        let _ = serial.exact_lookup(q, &mut c);
+        max_serial_exact_cells = max_serial_exact_cells.max(c.cells());
+    }
+    let cover_q = random_query_states(&env, 50, 0.5, seed ^ 4);
+    let mut max_covering_cells = 0;
+    for q in &cover_q {
+        let mut c = AccessCounter::new();
+        let _ = tree.search_cs(q, ctxpref_context::DistanceKind::Hierarchy, &mut c);
+        max_covering_cells = max_covering_cells.max(c.cells());
+    }
+
+    Complexity {
+        edom_sum,
+        edom_product,
+        max_cells_bound_best: *bounds.iter().min().unwrap(),
+        max_cells_bound_worst: *bounds.iter().max().unwrap(),
+        measured_cells: tree.stats().total_cells(),
+        max_exact_cells,
+        covering_bound,
+        max_covering_cells,
+        max_serial_exact_cells,
+    }
+}
+
+impl Complexity {
+    /// The five complexity claims, each as a measured check.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        vec![
+            ShapeCheck::new(
+                "exact lookup ≤ Σ|edom(Ci)| cells",
+                self.max_exact_cells <= self.edom_sum as u64,
+                format!("max {} vs bound {}", self.max_exact_cells, self.edom_sum),
+            ),
+            ShapeCheck::new(
+                "covering search ≤ Σ|edom(Ci)|·Πh cells",
+                self.max_covering_cells <= self.covering_bound,
+                format!("max {} vs bound {}", self.max_covering_cells, self.covering_bound),
+            ),
+            ShapeCheck::new(
+                "tree size ≤ worst-case bound",
+                (self.measured_cells as u128) <= self.max_cells_bound_worst,
+                format!("{} vs {}", self.measured_cells, self.max_cells_bound_worst),
+            ),
+            ShapeCheck::new(
+                "ascending-domain bound is the minimum over orderings",
+                self.max_cells_bound_best <= self.max_cells_bound_worst,
+                format!("{} ≤ {}", self.max_cells_bound_best, self.max_cells_bound_worst),
+            ),
+            ShapeCheck::new(
+                "serial exact scan costs far more than the tree lookup",
+                self.max_serial_exact_cells > self.max_exact_cells * 3,
+                format!(
+                    "serial max {} vs tree max {}",
+                    self.max_serial_exact_cells, self.max_exact_cells
+                ),
+            ),
+        ]
+    }
+
+    /// Render the measured-vs-analytical table.
+    pub fn render(&self) -> String {
+        let rows = vec![
+            crate::row!["quantity", "value"],
+            crate::row!["Σ|edom(Ci)| (exact-lookup bound)", self.edom_sum],
+            crate::row!["Π|edom(Ci)| (serial worst case)", self.edom_product],
+            crate::row!["max-cells bound, best ordering", self.max_cells_bound_best],
+            crate::row!["max-cells bound, worst ordering", self.max_cells_bound_worst],
+            crate::row!["measured tree cells", self.measured_cells],
+            crate::row!["max exact-lookup cells (tree)", self.max_exact_cells],
+            crate::row!["max exact-lookup cells (serial)", self.max_serial_exact_cells],
+            crate::row!["covering-search bound", self.covering_bound],
+            crate::row!["max covering-search cells (tree)", self.max_covering_cells],
+        ];
+        let mut out = String::from("Complexity claims (Sections 3.3 / 4.4), measured\n");
+        out.push_str(&render(&rows));
+        out.push_str(&render_checks(&self.shape_checks()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexity_claims_hold() {
+        let c = run(1000, 11);
+        for check in c.shape_checks() {
+            assert!(check.pass, "{}: {}", check.name, check.detail);
+        }
+        assert!(c.render().contains("measured tree cells"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 5: size of the profile tree (cells, bytes) built from the
+//! "real" 522-preference profile, for all six parameter orderings and
+//! the serial baseline.
+//!
+//! Paper labels (A = accompanying_people, T = time, L = location with
+//! active domains 4, 17, 100): order 1 = (A, T, L), order 2 = (A, L, T),
+//! order 3 = (T, A, L), order 4 = (T, L, A), order 5 = (L, A, T),
+//! order 6 = (L, T, A).
+
+use ctxpref_profile::{ParamOrder, ProfileTree, SerialStore};
+use ctxpref_workload::real_profile::{real_profile, real_profile_env};
+
+use crate::tablefmt::render;
+use crate::{render_checks, ShapeCheck};
+
+/// One measured ordering.
+#[derive(Debug, Clone)]
+pub struct OrderSize {
+    /// The paper's ordering label ("order 1" … "order 6").
+    pub label: String,
+    /// Parameter names, root level first.
+    pub order_names: Vec<&'static str>,
+    /// Total cells of the tree under this ordering.
+    pub cells: usize,
+    /// Total bytes under the documented cost model.
+    pub bytes: usize,
+}
+
+/// The full Figure 5 result.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// All six orderings, in the paper's numbering.
+    pub orders: Vec<OrderSize>,
+    /// Cells of the serial baseline.
+    pub serial_cells: usize,
+    /// Bytes of the serial baseline.
+    pub serial_bytes: usize,
+}
+
+/// The paper's six orderings of (A, T, L), root level first.
+pub const ORDERINGS: [(&str, [&str; 3]); 6] = [
+    ("order 1", ["accompanying_people", "time", "location"]),
+    ("order 2", ["accompanying_people", "location", "time"]),
+    ("order 3", ["time", "accompanying_people", "location"]),
+    ("order 4", ["time", "location", "accompanying_people"]),
+    ("order 5", ["location", "accompanying_people", "time"]),
+    ("order 6", ["location", "time", "accompanying_people"]),
+];
+
+/// Run the experiment.
+pub fn run(seed: u64) -> Fig5 {
+    let env = real_profile_env();
+    let profile = real_profile(&env, seed);
+    let mut orders = Vec::with_capacity(ORDERINGS.len());
+    for (label, names) in ORDERINGS {
+        let order = ParamOrder::by_names(&env, &names).expect("orderings use valid names");
+        let tree =
+            ProfileTree::from_profile(&profile, order).expect("real profile is conflict-free");
+        let stats = tree.stats();
+        orders.push(OrderSize {
+            label: label.to_string(),
+            order_names: names.to_vec(),
+            cells: stats.total_cells(),
+            bytes: stats.total_bytes(),
+        });
+    }
+    let serial = SerialStore::from_profile(&profile).expect("real profile is conflict-free");
+    Fig5 { orders, serial_cells: serial.total_cells(), serial_bytes: serial.total_bytes() }
+}
+
+impl Fig5 {
+    /// The qualitative claims of Figure 5.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+        // 1. Every tree ordering occupies fewer cells than serial storage.
+        let worst = self.orders.iter().map(|o| o.cells).max().unwrap_or(0);
+        checks.push(ShapeCheck::new(
+            "every tree ordering beats serial storage",
+            worst < self.serial_cells,
+            format!("worst tree {worst} cells vs serial {} cells", self.serial_cells),
+        ));
+        // 2. Orderings that put the large domain (location) lower are
+        //    smaller: order 1 (A, T, L) must beat order 6 (L, T, A).
+        let o1 = self.orders[0].cells;
+        let o6 = self.orders[5].cells;
+        checks.push(ShapeCheck::new(
+            "large domains lower in the tree → smaller tree",
+            o1 < o6,
+            format!("order 1 (A,T,L) {o1} cells vs order 6 (L,T,A) {o6} cells"),
+        ));
+        // 3. The smallest ordering keeps location at the bottom level.
+        let best = self.orders.iter().min_by_key(|o| o.cells).unwrap();
+        checks.push(ShapeCheck::new(
+            "best ordering has the largest domain at the bottom",
+            best.order_names.last() == Some(&"location"),
+            format!("best is {} {:?}", best.label, best.order_names),
+        ));
+        checks
+    }
+
+    /// Render the two panels of Figure 5 as one table.
+    pub fn render(&self) -> String {
+        let mut rows = vec![crate::row!["ordering", "levels (root→bottom)", "cells", "bytes"]];
+        rows.push(crate::row!["serial", "—", self.serial_cells, self.serial_bytes]);
+        for o in &self.orders {
+            rows.push(crate::row![
+                o.label,
+                o.order_names.join(" → "),
+                o.cells,
+                o.bytes
+            ]);
+        }
+        let mut out = String::from("Figure 5 — profile tree size, real profile (522 preferences, domains 4/17/100)\n");
+        out.push_str(&render(&rows));
+        out.push_str(&render_checks(&self.shape_checks()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_5_shape_holds() {
+        let fig = run(1);
+        assert_eq!(fig.orders.len(), 6);
+        for c in fig.shape_checks() {
+            assert!(c.pass, "{}: {}", c.name, c.detail);
+        }
+        // Serial cells ≈ 522 × 4 (the paper's ~2200).
+        assert_eq!(fig.serial_cells, 522 * 4);
+    }
+
+    #[test]
+    fn render_mentions_every_order() {
+        let fig = run(2);
+        let out = fig.render();
+        for (label, _) in ORDERINGS {
+            assert!(out.contains(label));
+        }
+        assert!(out.contains("serial"));
+    }
+}

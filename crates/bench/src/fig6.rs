@@ -1,0 +1,323 @@
+//! Figure 6: profile-tree size over synthetic profiles.
+//!
+//! * **Left**: total cells vs. number of preferences (500–10000),
+//!   uniform value distribution, six orderings of domains 50/100/1000
+//!   plus serial.
+//! * **Center**: the same with Zipf(1.5) values.
+//! * **Right**: 5000 preferences over domains 50/100/200 with the
+//!   200-value parameter Zipf(a), a ∈ {0, 0.5, …, 3.5}; three orderings
+//!   (50,100,200), (50,200,100), (200,50,100) — under high skew it pays
+//!   to move the skewed large domain *up* the tree.
+
+use ctxpref_context::ContextEnvironment;
+use ctxpref_profile::{ParamOrder, ProfileTree, SerialStore};
+use ctxpref_workload::synthetic::{SyntheticSpec, ValueDist};
+
+use crate::tablefmt::render;
+use crate::{render_checks, ShapeCheck};
+
+/// Profile sizes of the left/center panels.
+pub const PROFILE_SIZES: [usize; 4] = [500, 1000, 5000, 10000];
+
+/// The six orderings of the (50, 100, 1000)-domain parameters, by the
+/// paper's numbering (values name the domain sizes, root level first).
+pub const ORDERINGS: [(&str, [usize; 3]); 6] = [
+    ("order 1", [0, 1, 2]), // (50, 100, 1000)
+    ("order 2", [0, 2, 1]), // (50, 1000, 100)
+    ("order 3", [1, 0, 2]), // (100, 50, 1000)
+    ("order 4", [1, 2, 0]), // (100, 1000, 50)
+    ("order 5", [2, 0, 1]), // (1000, 50, 100)
+    ("order 6", [2, 1, 0]), // (1000, 100, 50)
+];
+
+/// One (profile size → cells) series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Ordering (or "serial") label.
+    pub label: String,
+    /// `(num_prefs, total_cells)` points.
+    pub points: Vec<(usize, usize)>,
+}
+
+/// Left or center panel.
+#[derive(Debug, Clone)]
+pub struct Fig6Panel {
+    /// "uniform" or "zipf a=…".
+    pub dist_label: String,
+    /// One series per ordering plus the serial baseline.
+    pub series: Vec<Series>,
+}
+
+/// Right panel: cells vs. Zipf exponent for three orderings.
+#[derive(Debug, Clone)]
+pub struct Fig6Skew {
+    /// `a` values swept.
+    pub a_values: Vec<f64>,
+    /// Per-ordering series of cells, same length as `a_values`.
+    pub series: Vec<(String, Vec<usize>)>,
+}
+
+fn order_of(env: &ContextEnvironment, perm: &[usize]) -> ParamOrder {
+    ParamOrder::new(
+        env,
+        perm.iter().map(|&i| ctxpref_context::ParamId(i as u16)).collect(),
+    )
+    .expect("permutations are valid orders")
+}
+
+/// Run the left (uniform) or center (zipf) panel.
+pub fn run_panel(dist: ValueDist, seed: u64) -> Fig6Panel {
+    let dist_label = match dist {
+        ValueDist::Uniform => "uniform".to_string(),
+        ValueDist::Zipf(a) => format!("zipf a={a}"),
+    };
+    let mut series: Vec<Series> = ORDERINGS
+        .iter()
+        .map(|(label, _)| Series { label: (*label).to_string(), points: Vec::new() })
+        .collect();
+    series.push(Series { label: "serial".to_string(), points: Vec::new() });
+
+    for &n in &PROFILE_SIZES {
+        let spec = SyntheticSpec::paper_standard(n, dist, seed);
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        for (i, (_, perm)) in ORDERINGS.iter().enumerate() {
+            let tree = ProfileTree::from_profile(&profile, order_of(&env, perm))
+                .expect("synthetic profiles are conflict-free");
+            series[i].points.push((n, tree.stats().total_cells()));
+        }
+        let serial = SerialStore::from_profile(&profile).unwrap();
+        series.last_mut().unwrap().points.push((n, serial.total_cells()));
+    }
+    Fig6Panel { dist_label, series }
+}
+
+/// Run the right panel: sweep the Zipf exponent of the 200-value
+/// parameter.
+pub fn run_skew_sweep(seed: u64) -> Fig6Skew {
+    let a_values: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
+    // Orderings of the (50, 100, 200) domains: the paper's order 1 =
+    // (50, 100, 200), order 2 = (50, 200, 100), order 3 = (200, 50, 100).
+    let orderings: [(&str, [usize; 3]); 3] =
+        [("order 1", [0, 1, 2]), ("order 2", [0, 2, 1]), ("order 3", [2, 0, 1])];
+    let mut series: Vec<(String, Vec<usize>)> =
+        orderings.iter().map(|(l, _)| ((*l).to_string(), Vec::new())).collect();
+    for &a in &a_values {
+        let spec = SyntheticSpec {
+            domains: vec![vec![50], vec![100, 10], vec![200, 20]],
+            dists: vec![ValueDist::Uniform, ValueDist::Uniform, ValueDist::Zipf(a)],
+            num_prefs: 5000,
+            clause_values: 100,
+            seed,
+        };
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        for (i, (_, perm)) in orderings.iter().enumerate() {
+            let tree = ProfileTree::from_profile(&profile, order_of(&env, perm)).unwrap();
+            series[i].1.push(tree.stats().total_cells());
+        }
+    }
+    Fig6Skew { a_values, series }
+}
+
+impl Fig6Panel {
+    /// The qualitative claims of the left/center panels.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+        let at = |label: &str, n: usize| -> usize {
+            self.series
+                .iter()
+                .find(|s| s.label == label)
+                .and_then(|s| s.points.iter().find(|(x, _)| *x == n))
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        let n = *PROFILE_SIZES.last().unwrap();
+        // Ascending-domain order (order 1) beats descending (order 6).
+        checks.push(ShapeCheck::new(
+            format!("{}: order 1 ≤ order 6 at {n} prefs", self.dist_label),
+            at("order 1", n) <= at("order 6", n),
+            format!("{} vs {}", at("order 1", n), at("order 6", n)),
+        ));
+        // Every ordering beats serial at every size.
+        let serial = self.series.iter().find(|s| s.label == "serial").unwrap();
+        let all_beat = self
+            .series
+            .iter()
+            .filter(|s| s.label != "serial")
+            .all(|s| {
+                s.points
+                    .iter()
+                    .zip(&serial.points)
+                    .all(|((_, c), (_, sc))| c <= sc)
+            });
+        checks.push(ShapeCheck::new(
+            format!("{}: every ordering ≤ serial", self.dist_label),
+            all_beat,
+            format!("serial at {n}: {}", at("serial", n)),
+        ));
+        // Cells grow with profile size.
+        let monotone = self.series.iter().all(|s| {
+            s.points.windows(2).all(|w| w[0].1 <= w[1].1)
+        });
+        checks.push(ShapeCheck::new(
+            format!("{}: cells grow with profile size", self.dist_label),
+            monotone,
+            "all series monotone non-decreasing".to_string(),
+        ));
+        checks
+    }
+
+    /// Render the panel as a table.
+    pub fn render(&self) -> String {
+        let mut rows = vec![{
+            let mut h = vec!["ordering".to_string()];
+            h.extend(PROFILE_SIZES.iter().map(|n| format!("{n} prefs")));
+            h
+        }];
+        for s in &self.series {
+            let mut r = vec![s.label.clone()];
+            r.extend(s.points.iter().map(|(_, c)| c.to_string()));
+            rows.push(r);
+        }
+        let mut out = format!(
+            "Figure 6 ({}) — total cells vs profile size, domains 50/100/1000\n",
+            self.dist_label
+        );
+        out.push_str(&render(&rows));
+        out.push_str(&render_checks(&self.shape_checks()));
+        out
+    }
+}
+
+impl Fig6Skew {
+    /// The qualitative claims of the skew sweep.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let find = |label: &str| self.series.iter().find(|(l, _)| l == label).unwrap();
+        let (_, o1) = find("order 1");
+        let (_, o3) = find("order 3");
+        let mut checks = Vec::new();
+        // Low skew: the big domain belongs at the bottom (order 1 wins).
+        checks.push(ShapeCheck::new(
+            "a = 0: big domain at the bottom wins",
+            o1.first() <= o3.first(),
+            format!("order 1 {} vs order 3 {}", o1.first().unwrap(), o3.first().unwrap()),
+        ));
+        // High skew: moving the skewed 200-domain up pays off
+        // (order 3 ≤ order 1 at the highest a).
+        checks.push(ShapeCheck::new(
+            "a = 3.5: skewed domain higher in the tree wins",
+            o3.last() <= o1.last(),
+            format!("order 3 {} vs order 1 {}", o3.last().unwrap(), o1.last().unwrap()),
+        ));
+        // Higher skew shrinks every ordering (fewer distinct values).
+        let shrinks = self
+            .series
+            .iter()
+            .all(|(_, cells)| cells.first() >= cells.last());
+        checks.push(ShapeCheck::new(
+            "skew shrinks the tree",
+            shrinks,
+            "cells(a=3.5) ≤ cells(a=0) for every ordering".to_string(),
+        ));
+        checks
+    }
+
+    /// Render the sweep as a table.
+    pub fn render(&self) -> String {
+        let mut rows = vec![{
+            let mut h = vec!["ordering".to_string()];
+            h.extend(self.a_values.iter().map(|a| format!("a={a}")));
+            h
+        }];
+        for (label, cells) in &self.series {
+            let mut r = vec![label.clone()];
+            r.extend(cells.iter().map(|c| c.to_string()));
+            rows.push(r);
+        }
+        let mut out = String::from(
+            "Figure 6 (right) — cells vs zipf exponent, 5000 prefs, domains 50/100/200 (200 skewed)\n",
+        );
+        out.push_str(&render(&rows));
+        out.push_str(&render_checks(&self.shape_checks()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scaled-down panel for fast tests.
+    fn mini_panel(dist: ValueDist) -> Fig6Panel {
+        let mut series: Vec<Series> = ORDERINGS
+            .iter()
+            .map(|(label, _)| Series { label: (*label).to_string(), points: Vec::new() })
+            .collect();
+        series.push(Series { label: "serial".to_string(), points: Vec::new() });
+        for &n in &PROFILE_SIZES[..2] {
+            let spec = SyntheticSpec::paper_standard(n, dist, 7);
+            let env = spec.build_env();
+            let profile = spec.build_profile(&env);
+            for (i, (_, perm)) in ORDERINGS.iter().enumerate() {
+                let tree = ProfileTree::from_profile(&profile, order_of(&env, perm)).unwrap();
+                series[i].points.push((n, tree.stats().total_cells()));
+            }
+            let serial = SerialStore::from_profile(&profile).unwrap();
+            series.last_mut().unwrap().points.push((n, serial.total_cells()));
+        }
+        Fig6Panel { dist_label: "test".into(), series }
+    }
+
+    #[test]
+    fn orderings_beat_serial_and_ascending_wins() {
+        for dist in [ValueDist::Uniform, ValueDist::Zipf(1.5)] {
+            let p = mini_panel(dist);
+            let at = |label: &str, idx: usize| {
+                p.series.iter().find(|s| s.label == label).unwrap().points[idx].1
+            };
+            for idx in 0..2 {
+                assert!(at("order 1", idx) <= at("order 6", idx));
+                for s in &p.series {
+                    if s.label != "serial" {
+                        assert!(s.points[idx].1 <= at("serial", idx), "{} vs serial", s.label);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_trees_are_smaller_than_uniform() {
+        let u = mini_panel(ValueDist::Uniform);
+        let z = mini_panel(ValueDist::Zipf(1.5));
+        let at = |p: &Fig6Panel, label: &str, idx: usize| {
+            p.series.iter().find(|s| s.label == label).unwrap().points[idx].1
+        };
+        // "hot" values repeat → fewer cells (paper's center-vs-left claim).
+        assert!(at(&z, "order 1", 1) < at(&u, "order 1", 1));
+    }
+
+    #[test]
+    fn skew_sweep_shape() {
+        // Reduced sweep for speed: endpoints only.
+        let mk = |a: f64| {
+            let spec = SyntheticSpec {
+                domains: vec![vec![50], vec![100, 10], vec![200, 20]],
+                dists: vec![ValueDist::Uniform, ValueDist::Uniform, ValueDist::Zipf(a)],
+                num_prefs: 2000,
+                clause_values: 100,
+                seed: 5,
+            };
+            let env = spec.build_env();
+            let profile = spec.build_profile(&env);
+            let o1 = ProfileTree::from_profile(&profile, order_of(&env, &[0, 1, 2])).unwrap();
+            let o3 = ProfileTree::from_profile(&profile, order_of(&env, &[2, 0, 1])).unwrap();
+            (o1.stats().total_cells(), o3.stats().total_cells())
+        };
+        let (o1_lo, o3_lo) = mk(0.0);
+        let (o1_hi, o3_hi) = mk(3.5);
+        assert!(o1_lo <= o3_lo, "no skew: big domain at bottom wins ({o1_lo} vs {o3_lo})");
+        assert!(o3_hi <= o1_hi, "high skew: skewed domain up wins ({o3_hi} vs {o1_hi})");
+    }
+}

@@ -1,0 +1,270 @@
+//! Figure 7: number of cells accessed during context resolution —
+//! profile tree vs. sequential scan.
+//!
+//! * **Left**: the real profile, exact and non-exact matches.
+//! * **Center**: synthetic profiles (500–10000 prefs), exact match,
+//!   uniform / zipf / serial.
+//! * **Right**: the same for non-exact (covering) matches.
+//!
+//! 50 queries per point, as in the paper; query context parameters take
+//! values from different hierarchy levels.
+
+use ctxpref_context::{ContextEnvironment, ContextState, DistanceKind};
+use ctxpref_profile::{AccessCounter, ParamOrder, Profile, ProfileTree, SerialStore};
+use ctxpref_workload::real_profile::{real_profile, real_profile_env};
+use ctxpref_workload::synthetic::{
+    random_query_states, stored_query_states, SyntheticSpec, ValueDist,
+};
+
+use crate::tablefmt::render;
+use crate::{render_checks, ShapeCheck};
+
+/// Queries per measurement, as in the paper.
+pub const NUM_QUERIES: usize = 50;
+
+/// Profile sizes of the center/right panels.
+pub const PROFILE_SIZES: [usize; 4] = [500, 1000, 5000, 10000];
+
+/// Average cells accessed per query for one (store, match-kind) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessPoint {
+    /// Mean cells per query on the profile tree.
+    pub tree_cells: f64,
+    /// Mean cells per query on the serial store.
+    pub serial_cells: f64,
+}
+
+/// Left panel: real profile.
+#[derive(Debug, Clone)]
+pub struct Fig7Real {
+    /// Exact-match resolution cost.
+    pub exact: AccessPoint,
+    /// Covering (non-exact) resolution cost.
+    pub non_exact: AccessPoint,
+}
+
+/// Center/right panels: synthetic, one series per distribution plus
+/// serial (the paper plots serial once — the scan cost is distribution
+/// independent to first order; we report uniform-profile serial cost).
+#[derive(Debug, Clone)]
+pub struct Fig7Synthetic {
+    /// "exact" or "non-exact".
+    pub match_label: &'static str,
+    /// `(num_prefs, uniform tree, zipf tree, serial)` rows.
+    pub rows: Vec<(usize, f64, f64, f64)>,
+}
+
+fn mean_exact_cells(
+    tree: &ProfileTree,
+    serial: &SerialStore,
+    queries: &[ContextState],
+) -> AccessPoint {
+    let mut t = 0u64;
+    let mut s = 0u64;
+    for q in queries {
+        let mut c = AccessCounter::new();
+        let _ = tree.exact_lookup(q, &mut c);
+        t += c.cells();
+        let mut c = AccessCounter::new();
+        let _ = serial.exact_lookup(q, &mut c);
+        s += c.cells();
+    }
+    AccessPoint {
+        tree_cells: t as f64 / queries.len() as f64,
+        serial_cells: s as f64 / queries.len() as f64,
+    }
+}
+
+fn mean_covering_cells(
+    tree: &ProfileTree,
+    serial: &SerialStore,
+    queries: &[ContextState],
+) -> AccessPoint {
+    let mut t = 0u64;
+    let mut s = 0u64;
+    for q in queries {
+        let mut c = AccessCounter::new();
+        let _ = tree.search_cs(q, DistanceKind::Hierarchy, &mut c);
+        t += c.cells();
+        let mut c = AccessCounter::new();
+        let _ = serial.search_covering(q, DistanceKind::Hierarchy, &mut c);
+        s += c.cells();
+    }
+    AccessPoint {
+        tree_cells: t as f64 / queries.len() as f64,
+        serial_cells: s as f64 / queries.len() as f64,
+    }
+}
+
+fn build_stores(env: &ContextEnvironment, profile: &Profile) -> (ProfileTree, SerialStore) {
+    let tree = ProfileTree::from_profile(profile, ParamOrder::by_ascending_domain(env))
+        .expect("generated profiles are conflict-free");
+    let serial = SerialStore::from_profile(profile).unwrap();
+    (tree, serial)
+}
+
+/// Left panel.
+pub fn run_real(seed: u64) -> Fig7Real {
+    let env = real_profile_env();
+    let profile = real_profile(&env, seed);
+    let (tree, serial) = build_stores(&env, &profile);
+    let exact_q = stored_query_states(&env, &profile, NUM_QUERIES, seed ^ 1);
+    let cover_q = random_query_states(&env, NUM_QUERIES, 0.5, seed ^ 2);
+    Fig7Real {
+        exact: mean_exact_cells(&tree, &serial, &exact_q),
+        non_exact: mean_covering_cells(&tree, &serial, &cover_q),
+    }
+}
+
+/// Center (`exact = true`) or right (`exact = false`) panel.
+pub fn run_synthetic(exact: bool, seed: u64) -> Fig7Synthetic {
+    let mut rows = Vec::with_capacity(PROFILE_SIZES.len());
+    for &n in &PROFILE_SIZES {
+        let mut cells = [0.0f64; 3];
+        for (i, dist) in [ValueDist::Uniform, ValueDist::Zipf(1.5)].into_iter().enumerate() {
+            let spec = SyntheticSpec::paper_standard(n, dist, seed);
+            let env = spec.build_env();
+            let profile = spec.build_profile(&env);
+            let (tree, serial) = build_stores(&env, &profile);
+            let point = if exact {
+                let q = stored_query_states(&env, &profile, NUM_QUERIES, seed ^ 7);
+                mean_exact_cells(&tree, &serial, &q)
+            } else {
+                let q = random_query_states(&env, NUM_QUERIES, 0.5, seed ^ 9);
+                mean_covering_cells(&tree, &serial, &q)
+            };
+            cells[i] = point.tree_cells;
+            if i == 0 {
+                cells[2] = point.serial_cells;
+            }
+        }
+        rows.push((n, cells[0], cells[1], cells[2]));
+    }
+    Fig7Synthetic { match_label: if exact { "exact" } else { "non-exact" }, rows }
+}
+
+impl Fig7Real {
+    /// The qualitative claims of the real-profile panel.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        vec![
+            ShapeCheck::new(
+                "real/exact: tree ≪ serial",
+                self.exact.tree_cells * 5.0 < self.exact.serial_cells,
+                format!("{:.0} vs {:.0} cells", self.exact.tree_cells, self.exact.serial_cells),
+            ),
+            ShapeCheck::new(
+                "real/non-exact: tree < serial",
+                self.non_exact.tree_cells < self.non_exact.serial_cells,
+                format!(
+                    "{:.0} vs {:.0} cells",
+                    self.non_exact.tree_cells, self.non_exact.serial_cells
+                ),
+            ),
+            ShapeCheck::new(
+                "non-exact costs more than exact (tree)",
+                self.non_exact.tree_cells > self.exact.tree_cells,
+                format!("{:.0} vs {:.0} cells", self.non_exact.tree_cells, self.exact.tree_cells),
+            ),
+        ]
+    }
+
+    /// Render the real-profile panel.
+    pub fn render(&self) -> String {
+        let rows = vec![
+            crate::row!["match", "profile tree", "serial"],
+            crate::row![
+                "exact",
+                format!("{:.0}", self.exact.tree_cells),
+                format!("{:.0}", self.exact.serial_cells)
+            ],
+            crate::row![
+                "non-exact",
+                format!("{:.0}", self.non_exact.tree_cells),
+                format!("{:.0}", self.non_exact.serial_cells)
+            ],
+        ];
+        let mut out = String::from(
+            "Figure 7 (left) — avg cells accessed per query, real profile (50 queries)\n",
+        );
+        out.push_str(&render(&rows));
+        out.push_str(&render_checks(&self.shape_checks()));
+        out
+    }
+}
+
+impl Fig7Synthetic {
+    /// The qualitative claims of the synthetic panels.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+        let last = self.rows.last().unwrap();
+        checks.push(ShapeCheck::new(
+            format!("synthetic/{}: tree ≪ serial at 10000 prefs", self.match_label),
+            last.1 * 5.0 < last.3 && last.2 * 5.0 < last.3,
+            format!("uniform {:.0}, zipf {:.0} vs serial {:.0}", last.1, last.2, last.3),
+        ));
+        let serial_monotone = self.rows.windows(2).all(|w| w[0].3 <= w[1].3);
+        checks.push(ShapeCheck::new(
+            format!("synthetic/{}: serial cost grows with profile size", self.match_label),
+            serial_monotone,
+            "serial column monotone",
+        ));
+        checks
+    }
+
+    /// Render the synthetic panel.
+    pub fn render(&self) -> String {
+        let mut rows = vec![crate::row!["prefs", "tree (uniform)", "tree (zipf)", "serial"]];
+        for (n, u, z, s) in &self.rows {
+            rows.push(crate::row![
+                n,
+                format!("{u:.0}"),
+                format!("{z:.0}"),
+                format!("{s:.0}")
+            ]);
+        }
+        let mut out = format!(
+            "Figure 7 ({}) — avg cells accessed per query, synthetic profiles (50 queries)\n",
+            if self.match_label == "exact" { "center: exact match" } else { "right: non-exact match" }
+        );
+        out.push_str(&render(&rows));
+        out.push_str(&render_checks(&self.shape_checks()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_profile_shape_holds() {
+        let fig = run_real(1);
+        for c in fig.shape_checks() {
+            assert!(c.pass, "{}: {}", c.name, c.detail);
+        }
+    }
+
+    #[test]
+    fn synthetic_small_shape_holds() {
+        // One small size for test speed.
+        for exact in [true, false] {
+            let spec = SyntheticSpec::paper_standard(500, ValueDist::Uniform, 3);
+            let env = spec.build_env();
+            let profile = spec.build_profile(&env);
+            let (tree, serial) = build_stores(&env, &profile);
+            let point = if exact {
+                let q = stored_query_states(&env, &profile, 10, 4);
+                mean_exact_cells(&tree, &serial, &q)
+            } else {
+                let q = random_query_states(&env, 10, 0.5, 5);
+                mean_covering_cells(&tree, &serial, &q)
+            };
+            assert!(
+                point.tree_cells < point.serial_cells,
+                "exact={exact}: {} vs {}",
+                point.tree_cells,
+                point.serial_cells
+            );
+        }
+    }
+}

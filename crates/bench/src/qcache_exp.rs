@@ -1,0 +1,242 @@
+//! Ablation of the context query tree (the paper's second index,
+//! Section 7 item (b)): replaying a query stream with context locality
+//! — users fire many queries under a slowly-changing context — and
+//! measuring the hit ratio and the resolution work saved.
+
+
+use ctxpref_context::ContextState;
+use ctxpref_core::{ContextualDb, QueryOptions};
+use ctxpref_relation::Value;
+use ctxpref_workload::reference::{poi_env, poi_relation, POI_TYPES};
+use ctxpref_workload::streams::{dwell_stream, walk_stream};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tablefmt::render;
+use crate::{render_checks, ShapeCheck};
+
+/// One locality setting's measurements.
+#[derive(Debug, Clone)]
+pub struct LocalityRow {
+    /// Mean number of consecutive queries under one context state.
+    pub dwell: usize,
+    /// Fraction of queries answered from the cache.
+    pub hit_ratio: f64,
+    /// Total resolution cells without the cache.
+    pub cells_uncached: u64,
+    /// Total resolution cells with the cache.
+    pub cells_cached: u64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct QCacheExp {
+    /// Queries per locality setting.
+    pub queries: usize,
+    /// One row per dwell setting.
+    pub rows: Vec<LocalityRow>,
+}
+
+fn build_db(seed: u64, cache: usize) -> ContextualDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, seed, 5);
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .cache_capacity(cache)
+        .build()
+        .unwrap();
+    // A modest profile over weather/company/type.
+    let mut rng = StdRng::seed_from_u64(seed);
+    for weather in ["bad", "good"] {
+        for company in ["friends", "family", "alone"] {
+            for ty in POI_TYPES {
+                let score = 0.05 + (rng.random_range(0..90) as f64) / 100.0;
+                db.insert_preference_eq(
+                    &format!("temperature = {weather} and accompanying_people = {company}"),
+                    "type",
+                    Value::str(ty),
+                    score,
+                )
+                .unwrap();
+            }
+        }
+    }
+    db
+}
+
+fn replay(db: &ContextualDb, qs: &[ContextState]) -> (f64, u64, u64) {
+    let mut cells_cached = 0u64;
+    let mut cells_uncached = 0u64;
+    for q in qs {
+        let cached = db.query_state_with(q, QueryOptions::cached()).unwrap();
+        cells_cached += cached.cells();
+        let plain = db.query_state_with(q, QueryOptions::default()).unwrap();
+        cells_uncached += plain.cells();
+    }
+    let stats = db.cache_stats().unwrap();
+    (stats.hit_ratio(), cells_uncached, cells_cached)
+}
+
+/// Run with dwell times 1 (no locality), 5, 20.
+pub fn run(seed: u64) -> QCacheExp {
+    let queries = 600;
+    let mut rows = Vec::new();
+    for dwell in [1usize, 5, 20] {
+        let db = build_db(seed, 64);
+        let qs = dwell_stream(db.env(), queries, dwell, seed ^ dwell as u64);
+        let (hit_ratio, cells_uncached, cells_cached) = replay(&db, &qs);
+        rows.push(LocalityRow { dwell, hit_ratio, cells_uncached, cells_cached });
+    }
+    QCacheExp { queries, rows }
+}
+
+/// One row of the random-walk / capacity study.
+#[derive(Debug, Clone)]
+pub struct WalkRow {
+    /// Probability that the context moves at each step.
+    pub move_prob: f64,
+    /// Cache capacity used.
+    pub capacity: usize,
+    /// Fraction of queries answered from the cache.
+    pub hit_ratio: f64,
+}
+
+/// A second ablation: random-walk context streams (one parameter steps
+/// to an adjacent value) across cache capacities — locality in *time*
+/// interacts with capacity because a walk revisits recent states.
+pub fn run_walk(seed: u64) -> Vec<WalkRow> {
+    let queries = 600;
+    let mut rows = Vec::new();
+    for &move_prob in &[0.1f64, 0.5, 1.0] {
+        for &capacity in &[4usize, 16, 64] {
+            let db = build_db(seed, capacity);
+            let qs = walk_stream(db.env(), queries, move_prob, seed ^ 77);
+            let (hit_ratio, _, _) = replay(&db, &qs);
+            rows.push(WalkRow { move_prob, capacity, hit_ratio });
+        }
+    }
+    rows
+}
+
+/// Render the walk/capacity table with its shape checks.
+pub fn render_walk(rows: &[WalkRow]) -> String {
+    let mut table = vec![crate::row!["move prob", "capacity", "hit ratio"]];
+    for r in rows {
+        table.push(crate::row![
+            format!("{:.1}", r.move_prob),
+            r.capacity,
+            format!("{:.2}", r.hit_ratio)
+        ]);
+    }
+    let at = |m: f64, c: usize| {
+        rows.iter()
+            .find(|r| (r.move_prob - m).abs() < 1e-9 && r.capacity == c)
+            .map(|r| r.hit_ratio)
+            .unwrap_or(0.0)
+    };
+    let checks = vec![
+        ShapeCheck::new(
+            "slower walks hit more (fixed capacity 16)",
+            at(0.1, 16) >= at(1.0, 16),
+            format!("{:.2} (p=0.1) vs {:.2} (p=1.0)", at(0.1, 16), at(1.0, 16)),
+        ),
+        ShapeCheck::new(
+            "more capacity never hurts (fast walk)",
+            at(1.0, 4) <= at(1.0, 16) + 0.02 && at(1.0, 16) <= at(1.0, 64) + 0.02,
+            format!(
+                "{:.2} ≤ {:.2} ≤ {:.2}",
+                at(1.0, 4),
+                at(1.0, 16),
+                at(1.0, 64)
+            ),
+        ),
+    ];
+    let mut out = String::from(
+        "Context query tree under random-walk context streams (600 queries per cell)
+",
+    );
+    out.push_str(&render(&table));
+    out.push_str(&render_checks(&checks));
+    out
+}
+
+impl QCacheExp {
+    /// The qualitative claims of the ablation.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+        let by_dwell = |d: usize| self.rows.iter().find(|r| r.dwell == d).unwrap();
+        checks.push(ShapeCheck::new(
+            "hit ratio grows with context locality",
+            by_dwell(1).hit_ratio < by_dwell(5).hit_ratio
+                && by_dwell(5).hit_ratio < by_dwell(20).hit_ratio,
+            format!(
+                "{:.2} < {:.2} < {:.2}",
+                by_dwell(1).hit_ratio,
+                by_dwell(5).hit_ratio,
+                by_dwell(20).hit_ratio
+            ),
+        ));
+        checks.push(ShapeCheck::new(
+            "cache saves resolution work under locality",
+            by_dwell(20).cells_cached * 2 < by_dwell(20).cells_uncached,
+            format!(
+                "{} vs {} cells at dwell 20",
+                by_dwell(20).cells_cached,
+                by_dwell(20).cells_uncached
+            ),
+        ));
+        checks
+    }
+
+    /// Render the locality table.
+    pub fn render(&self) -> String {
+        let mut rows = vec![crate::row![
+            "dwell",
+            "hit ratio",
+            "cells (no cache)",
+            "cells (cache)",
+            "saved"
+        ]];
+        for r in &self.rows {
+            let saved = 100.0 * (1.0 - r.cells_cached as f64 / r.cells_uncached.max(1) as f64);
+            rows.push(crate::row![
+                r.dwell,
+                format!("{:.2}", r.hit_ratio),
+                r.cells_uncached,
+                r.cells_cached,
+                format!("{saved:.0}%")
+            ]);
+        }
+        let mut out = format!(
+            "Context query tree ablation — {} queries per setting, cache capacity 64\n",
+            self.queries
+        );
+        out.push_str(&render(&rows));
+        out.push_str(&render_checks(&self.shape_checks()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_increases_hit_ratio() {
+        let exp = run(17);
+        for c in exp.shape_checks() {
+            assert!(c.pass, "{}: {}", c.name, c.detail);
+        }
+        assert!(exp.render().contains("hit ratio"));
+    }
+
+    #[test]
+    fn walk_streams_favor_slow_walks_and_capacity() {
+        let rows = run_walk(17);
+        assert_eq!(rows.len(), 9);
+        let out = render_walk(&rows);
+        assert!(out.contains("move prob"));
+        assert!(!out.contains("[FAIL]"), "{out}");
+    }
+}

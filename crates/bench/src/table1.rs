@@ -1,0 +1,104 @@
+//! Table 1: the usability study, re-run with simulated users (see
+//! `ctxpref_workload::user_study` and `DESIGN.md` §4 for the
+//! substitution argument).
+
+use ctxpref_workload::user_study::{run_user_study, UserStudyReport};
+
+use crate::tablefmt::render;
+use crate::{render_checks, ShapeCheck};
+
+/// Number of users, as in the paper.
+pub const NUM_USERS: usize = 10;
+
+/// Queries per resolution class per user.
+pub const QUERIES_PER_CLASS: usize = 10;
+
+/// Run the study.
+pub fn run(seed: u64) -> UserStudyReport {
+    run_user_study(seed, NUM_USERS, QUERIES_PER_CLASS)
+}
+
+/// The qualitative claims of Table 1.
+pub fn shape_checks(report: &UserStudyReport) -> Vec<ShapeCheck> {
+    vec![
+        ShapeCheck::new(
+            "agreement is generally high (≥ 70% on every mean)",
+            report.mean_exact() >= 70.0
+                && report.mean_one_cover() >= 70.0
+                && report.mean_multi_hierarchy() >= 70.0
+                && report.mean_multi_jaccard() >= 70.0,
+            format!(
+                "exact {:.1}, 1-cover {:.1}, multi-H {:.1}, multi-J {:.1}",
+                report.mean_exact(),
+                report.mean_one_cover(),
+                report.mean_multi_hierarchy(),
+                report.mean_multi_jaccard()
+            ),
+        ),
+        ShapeCheck::new(
+            "Jaccard beats Hierarchy on multi-cover queries",
+            report.mean_multi_jaccard() >= report.mean_multi_hierarchy(),
+            format!(
+                "{:.1}% vs {:.1}%",
+                report.mean_multi_jaccard(),
+                report.mean_multi_hierarchy()
+            ),
+        ),
+        ShapeCheck::new(
+            "updates within the published range (12–38)",
+            report.rows.iter().all(|r| (12..=38).contains(&r.updates)),
+            "all users",
+        ),
+        ShapeCheck::new(
+            "even exact matches fall short of 100% (users do not fully conform)",
+            report.rows.iter().any(|r| r.exact_pct < 100.0),
+            "at least one user deviates from their own preferences",
+        ),
+    ]
+}
+
+/// Render a Table-1-like table (users as columns, as in the paper).
+pub fn render_report(report: &UserStudyReport) -> String {
+    let mut header = vec!["".to_string()];
+    header.extend(report.rows.iter().map(|r| format!("User {}", r.user)));
+    let mut rows = vec![header];
+    let line = |label: &str, f: &dyn Fn(&ctxpref_workload::user_study::UserRow) -> String| {
+        let mut r = vec![label.to_string()];
+        r.extend(report.rows.iter().map(f));
+        r
+    };
+    rows.push(line("Num of updates", &|r| r.updates.to_string()));
+    rows.push(line("Update time (mins)", &|r| r.minutes.to_string()));
+    rows.push(line("Exact match", &|r| format!("{:.0}%", r.exact_pct)));
+    rows.push(line("1 cover state", &|r| format!("{:.0}%", r.one_cover_pct)));
+    rows.push(line("More: Hierarchy", &|r| format!("{:.0}%", r.multi_hierarchy_pct)));
+    rows.push(line("More: Jaccard", &|r| format!("{:.0}%", r.multi_jaccard_pct)));
+    let mut out = String::from("Table 1 — simulated user study (10 users)\n");
+    out.push_str(&render(&rows));
+    out.push_str(&format!(
+        "means: exact {:.1}%, 1-cover {:.1}%, multi Hierarchy {:.1}%, multi Jaccard {:.1}%\n",
+        report.mean_exact(),
+        report.mean_one_cover(),
+        report.mean_multi_hierarchy(),
+        report.mean_multi_jaccard()
+    ));
+    out.push_str(&render_checks(&shape_checks(report)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_shape_holds() {
+        // Smaller study for test speed; the repro binary runs the full one.
+        let report = run_user_study(42, 6, 5);
+        for c in shape_checks(&report) {
+            assert!(c.pass, "{}: {}", c.name, c.detail);
+        }
+        let out = render_report(&report);
+        assert!(out.contains("User 6"));
+        assert!(out.contains("Exact match"));
+    }
+}

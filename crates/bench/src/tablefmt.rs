@@ -1,0 +1,69 @@
+//! Minimal aligned text-table rendering for the `repro` binary.
+
+/// Render rows as an aligned text table. The first row is the header.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            let pad = w - cell.chars().count();
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', pad + 2));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().map(|w| w + 2).sum::<usize>() - 2;
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Shorthand for building a row of strings.
+#[macro_export]
+macro_rules! row {
+    ($($x:expr),* $(,)?) => {
+        vec![$($x.to_string()),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render(&[
+            vec!["name".into(), "cells".into()],
+            vec!["order 1".into(), "12".into()],
+            vec!["serial".into(), "2200".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "cells" and the numbers start at the same byte.
+        let col = lines[0].find("cells").unwrap();
+        assert_eq!(lines[2].find("12").unwrap(), col);
+        assert_eq!(lines[3].find("2200").unwrap(), col);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(render(&[]), "");
+    }
+}

@@ -1,0 +1,173 @@
+//! State similarity (Section 4.3): the hierarchy distance and the
+//! Jaccard distance, used to pick the best among several covering
+//! context states.
+
+use crate::env::{ContextEnvironment, ParamId};
+use crate::state::ContextState;
+
+/// Which of the paper's two distance functions to use when several
+/// candidate states cover the query state (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DistanceKind {
+    /// The hierarchy state distance of Definition 15: the sum over
+    /// parameters of the minimum-path distance between the levels of
+    /// the two values. Favours the most *specific* covering state.
+    #[default]
+    Hierarchy,
+    /// The Jaccard state distance of Definition 17: the sum over
+    /// parameters of `1 − |desc∩| / |desc∪|` at the detailed level.
+    /// Favours the covering state with the smallest cardinality and
+    /// produces far fewer ties than the hierarchy distance (Section
+    /// 5.1's usability finding).
+    Jaccard,
+}
+
+impl DistanceKind {
+    /// Distance between two states under this metric. The hierarchy
+    /// distance is integral; it is returned as `f64` so both metrics
+    /// share a total order (`f64` comparisons are safe here — distances
+    /// are finite sums of finite non-negative terms).
+    pub fn state_dist(self, env: &ContextEnvironment, a: &ContextState, b: &ContextState) -> f64 {
+        match self {
+            Self::Hierarchy => hierarchy_state_dist(env, a, b) as f64,
+            Self::Jaccard => jaccard_state_dist(env, a, b),
+        }
+    }
+
+    /// Distance contribution of a single parameter.
+    pub fn value_dist(
+        self,
+        env: &ContextEnvironment,
+        p: ParamId,
+        a: crate::state::CtxValue,
+        b: crate::state::CtxValue,
+    ) -> f64 {
+        let h = env.hierarchy(p);
+        match self {
+            Self::Hierarchy => h.level_dist(h.level_of(a), h.level_of(b)) as f64,
+            Self::Jaccard => h.jaccard(a, b),
+        }
+    }
+}
+
+impl std::fmt::Display for DistanceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Hierarchy => write!(f, "Hierarchy"),
+            Self::Jaccard => write!(f, "Jaccard"),
+        }
+    }
+}
+
+/// `dist_H(s1, s2)` of Definition 15: `Σ_i |dist_H(L1_i, L2_i)|` where
+/// the level distance is the minimum path between the levels of the two
+/// values within the parameter's hierarchy (Definition 14).
+pub fn hierarchy_state_dist(env: &ContextEnvironment, a: &ContextState, b: &ContextState) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    env.iter()
+        .zip(a.values().iter().zip(b.values().iter()))
+        .map(|((_, h), (&va, &vb))| h.level_dist(h.level_of(va), h.level_of(vb)))
+        .sum()
+}
+
+/// `dist_J(s1, s2)` of Definition 17: `Σ_i dist_J(c1_i, c2_i)` with the
+/// per-value Jaccard distance of Definition 16.
+pub fn jaccard_state_dist(env: &ContextEnvironment, a: &ContextState, b: &ContextState) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    env.iter()
+        .zip(a.values().iter().zip(b.values().iter()))
+        .map(|((_, h), (&va, &vb))| h.jaccard(va, vb))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::reference_env;
+
+    fn st(env: &ContextEnvironment, names: &[&str]) -> ContextState {
+        ContextState::parse(env, names).unwrap()
+    }
+
+    #[test]
+    fn hierarchy_distance_sums_level_gaps() {
+        let env = reference_env();
+        let q = st(&env, &["Plaka", "warm", "friends"]);
+        // (Athens, good, all): levels City(1), Characterization(1), ALL(1)
+        // vs (Region 0, Conditions 0, Relationship 0) → 1 + 1 + 1 = 3.
+        let c = st(&env, &["Athens", "good", "all"]);
+        assert_eq!(hierarchy_state_dist(&env, &q, &c), 3);
+        // (Greece, warm, friends) → 2 + 0 + 0 = 2.
+        let g = st(&env, &["Greece", "warm", "friends"]);
+        assert_eq!(hierarchy_state_dist(&env, &q, &g), 2);
+        // Identity.
+        assert_eq!(hierarchy_state_dist(&env, &q, &q), 0);
+        // Symmetry.
+        assert_eq!(hierarchy_state_dist(&env, &c, &q), 3);
+    }
+
+    #[test]
+    fn jaccard_distance_sums_value_jaccards() {
+        let env = reference_env();
+        let q = st(&env, &["Plaka", "warm", "friends"]);
+        let g = st(&env, &["Athens", "warm", "friends"]);
+        // jaccard(Plaka, Athens) = 1 - 1/2 = 0.5, others 0.
+        let d = jaccard_state_dist(&env, &q, &g);
+        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard_state_dist(&env, &q, &q), 0.0);
+    }
+
+    /// Property 2 of the paper: if s2 and s3 both cover s1 and s3 covers
+    /// s2 (s2 ≠ s3), then dist_H(s3, s1) > dist_H(s2, s1).
+    #[test]
+    fn property_2_hierarchy_distance_respects_covers() {
+        let env = reference_env();
+        let s1 = st(&env, &["Plaka", "warm", "friends"]);
+        let s2 = st(&env, &["Athens", "warm", "friends"]);
+        let s3 = st(&env, &["Greece", "good", "friends"]);
+        assert!(s2.covers(&s1, &env) && s3.covers(&s1, &env) && s3.covers(&s2, &env));
+        assert!(hierarchy_state_dist(&env, &s3, &s1) > hierarchy_state_dist(&env, &s2, &s1));
+    }
+
+    /// Property 3: the same ordering holds for the Jaccard distance.
+    #[test]
+    fn property_3_jaccard_distance_respects_covers() {
+        let env = reference_env();
+        let s1 = st(&env, &["Plaka", "warm", "friends"]);
+        let s2 = st(&env, &["Athens", "warm", "friends"]);
+        let s3 = st(&env, &["Greece", "good", "friends"]);
+        assert!(jaccard_state_dist(&env, &s3, &s1) > jaccard_state_dist(&env, &s2, &s1));
+    }
+
+    #[test]
+    fn kind_dispatches_and_displays() {
+        let env = reference_env();
+        let q = st(&env, &["Plaka", "warm", "friends"]);
+        let c = st(&env, &["Athens", "good", "all"]);
+        assert_eq!(
+            DistanceKind::Hierarchy.state_dist(&env, &q, &c),
+            hierarchy_state_dist(&env, &q, &c) as f64
+        );
+        assert_eq!(
+            DistanceKind::Jaccard.state_dist(&env, &q, &c),
+            jaccard_state_dist(&env, &q, &c)
+        );
+        assert_eq!(DistanceKind::Hierarchy.to_string(), "Hierarchy");
+        assert_eq!(DistanceKind::Jaccard.to_string(), "Jaccard");
+        assert_eq!(DistanceKind::default(), DistanceKind::Hierarchy);
+    }
+
+    #[test]
+    fn per_value_dist_matches_state_sum() {
+        let env = reference_env();
+        let q = st(&env, &["Plaka", "warm", "friends"]);
+        let c = st(&env, &["Athens", "good", "all"]);
+        for kind in [DistanceKind::Hierarchy, DistanceKind::Jaccard] {
+            let total: f64 = env
+                .param_ids()
+                .map(|p| kind.value_dist(&env, p, q.value(p), c.value(p)))
+                .sum();
+            assert!((total - kind.state_dist(&env, &q, &c)).abs() < 1e-12);
+        }
+    }
+}

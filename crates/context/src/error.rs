@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::env::ParamId;
+
+/// Errors produced by the context model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextError {
+    /// An environment was created with no context parameters.
+    EmptyEnvironment,
+    /// Two context parameters share a name.
+    DuplicateParam(String),
+    /// A state was built with the wrong number of values.
+    ArityMismatch {
+        /// Number of parameters the environment has.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A value id does not belong to the hierarchy of its parameter.
+    ForeignValue {
+        /// The parameter whose hierarchy rejected the value.
+        param: ParamId,
+    },
+    /// A parameter name did not resolve.
+    UnknownParam(String),
+    /// A value name did not resolve within its parameter's hierarchy.
+    UnknownValue {
+        /// The parameter the value was looked up in.
+        param: String,
+        /// The unresolved value name.
+        value: String,
+    },
+    /// The endpoints of a range descriptor live at different levels.
+    RangeLevelMismatch {
+        /// The parameter whose range descriptor is malformed.
+        param: ParamId,
+    },
+    /// A set descriptor was given no values.
+    EmptyValueSet {
+        /// The parameter whose set descriptor is empty.
+        param: ParamId,
+    },
+    /// Textual descriptor parse failure.
+    Parse {
+        /// Byte offset of the error in the input.
+        position: usize,
+        /// What the parser expected.
+        message: String,
+    },
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyEnvironment => write!(f, "a context environment needs ≥ 1 parameter"),
+            Self::DuplicateParam(p) => write!(f, "duplicate context parameter {p:?}"),
+            Self::ArityMismatch { expected, got } => {
+                write!(f, "context state arity mismatch: expected {expected}, got {got}")
+            }
+            Self::ForeignValue { param } => {
+                write!(f, "value does not belong to the hierarchy of parameter #{}", param.0)
+            }
+            Self::UnknownParam(p) => write!(f, "unknown context parameter {p:?}"),
+            Self::UnknownValue { param, value } => {
+                write!(f, "unknown value {value:?} for context parameter {param:?}")
+            }
+            Self::RangeLevelMismatch { param } => write!(
+                f,
+                "range descriptor endpoints for parameter #{} are at different levels",
+                param.0
+            ),
+            Self::EmptyValueSet { param } => {
+                write!(f, "set descriptor for parameter #{} has no values", param.0)
+            }
+            Self::Parse { position, message } => {
+                write!(f, "descriptor parse error at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ContextError {}

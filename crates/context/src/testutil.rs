@@ -1,0 +1,34 @@
+//! Shared test fixtures: the paper's reference environment (Figure 2).
+
+use ctxpref_hierarchy::{Hierarchy, HierarchyBuilder};
+
+use crate::env::ContextEnvironment;
+
+/// The reference environment of the paper (Figure 2):
+///
+/// * `location`: Region ≺ City ≺ Country ≺ ALL with the values of
+///   Figure 1 (Plaka, Kifisia under Athens; Perama under Ioannina;
+///   both cities under Greece),
+/// * `temperature`: Conditions ≺ Characterization ≺ ALL with
+///   freezing/cold under `bad` and mild/warm/hot under `good`,
+/// * `accompanying_people`: Relationship ≺ ALL with friends, family,
+///   alone.
+pub(crate) fn reference_env() -> ContextEnvironment {
+    let mut loc = HierarchyBuilder::new("location", &["Region", "City", "Country"]);
+    loc.add("Country", "Greece", None).unwrap();
+    loc.add("City", "Athens", Some("Greece")).unwrap();
+    loc.add("City", "Ioannina", Some("Greece")).unwrap();
+    loc.add_leaves("Athens", &["Plaka", "Kifisia"]).unwrap();
+    loc.add_leaves("Ioannina", &["Perama"]).unwrap();
+
+    let mut temp = HierarchyBuilder::new("temperature", &["Conditions", "Characterization"]);
+    temp.add("Characterization", "bad", None).unwrap();
+    temp.add("Characterization", "good", None).unwrap();
+    temp.add_leaves("bad", &["freezing", "cold"]).unwrap();
+    temp.add_leaves("good", &["mild", "warm", "hot"]).unwrap();
+
+    let people =
+        Hierarchy::flat("accompanying_people", &["friends", "family", "alone"]).unwrap();
+
+    ContextEnvironment::new(vec![loc.build().unwrap(), temp.build().unwrap(), people]).unwrap()
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the theorems of Section 4: Theorem 1 (the
+//! `covers` relation is a partial order) and Properties 2–3 (both state
+//! distances respect `covers`).
+
+use ctxpref_context::{
+    hierarchy_state_dist, jaccard_state_dist, ContextEnvironment, ContextState, CtxValue,
+};
+use ctxpref_hierarchy::{Hierarchy, ValueId};
+use proptest::prelude::*;
+
+fn env3() -> ContextEnvironment {
+    ContextEnvironment::new(vec![
+        Hierarchy::balanced("a", &[12, 4, 2]).unwrap(),
+        Hierarchy::balanced("b", &[8, 2]).unwrap(),
+        Hierarchy::balanced("c", &[5]).unwrap(),
+    ])
+    .unwrap()
+}
+
+/// A random extended state: for each parameter pick any value of its
+/// extended domain.
+fn state(env: &ContextEnvironment, picks: &[usize; 3]) -> ContextState {
+    let values: Vec<CtxValue> = env
+        .iter()
+        .zip(picks)
+        .map(|((_, h), &k)| ValueId((k % h.value_count()) as u32))
+        .collect();
+    ContextState::new(env, values).unwrap()
+}
+
+/// A random *detailed* state.
+fn detailed(env: &ContextEnvironment, picks: &[usize; 3]) -> ContextState {
+    let values: Vec<CtxValue> = env
+        .iter()
+        .zip(picks)
+        .map(|((_, h), &k)| {
+            let dom = h.domain(h.detailed_level());
+            dom[k % dom.len()]
+        })
+        .collect();
+    ContextState::new(env, values).unwrap()
+}
+
+/// The state obtained by lifting each value of `s` to a random
+/// (possibly equal) ancestor level — covers `s` by construction.
+fn lift(env: &ContextEnvironment, s: &ContextState, lifts: &[usize; 3]) -> ContextState {
+    let values: Vec<CtxValue> = env
+        .iter()
+        .zip(s.values())
+        .zip(lifts)
+        .map(|(((_, h), &v), &up)| {
+            let own = h.level_of(v).index();
+            let span = h.level_count() - own;
+            let target = own + (up % span);
+            h.anc(v, ctxpref_hierarchy::LevelId(target as u8)).unwrap()
+        })
+        .collect();
+    ContextState::new(env, values).unwrap()
+}
+
+proptest! {
+    /// Theorem 1 — reflexivity.
+    #[test]
+    fn covers_is_reflexive(p in any::<[usize; 3]>()) {
+        let env = env3();
+        let s = state(&env, &p);
+        prop_assert!(s.covers(&s, &env));
+    }
+
+    /// Theorem 1 — antisymmetry.
+    #[test]
+    fn covers_is_antisymmetric(p in any::<[usize; 3]>(), q in any::<[usize; 3]>()) {
+        let env = env3();
+        let s = state(&env, &p);
+        let t = state(&env, &q);
+        if s.covers(&t, &env) && t.covers(&s, &env) {
+            prop_assert_eq!(s, t);
+        }
+    }
+
+    /// Theorem 1 — transitivity, exercised on constructed chains
+    /// (random pairs almost never relate).
+    #[test]
+    fn covers_is_transitive(p in any::<[usize; 3]>(), l1 in any::<[usize; 3]>(), l2 in any::<[usize; 3]>()) {
+        let env = env3();
+        let s1 = detailed(&env, &p);
+        let s2 = lift(&env, &s1, &l1);
+        let s3 = lift(&env, &s2, &l2);
+        prop_assert!(s2.covers(&s1, &env));
+        prop_assert!(s3.covers(&s2, &env));
+        prop_assert!(s3.covers(&s1, &env));
+    }
+
+    /// Property 2: s3 covers s2 covers s1, s2 ≠ s3 ⇒
+    /// dist_H(s3, s1) > dist_H(s2, s1).
+    #[test]
+    fn hierarchy_distance_strictly_grows(p in any::<[usize; 3]>(), l1 in any::<[usize; 3]>(), l2 in any::<[usize; 3]>()) {
+        let env = env3();
+        let s1 = detailed(&env, &p);
+        let s2 = lift(&env, &s1, &l1);
+        let s3 = lift(&env, &s2, &l2);
+        if s2 != s3 {
+            prop_assert!(
+                hierarchy_state_dist(&env, &s3, &s1) > hierarchy_state_dist(&env, &s2, &s1)
+            );
+        }
+    }
+
+    /// Property 3 (weak form, as proved via Property 1): the Jaccard
+    /// distance is non-decreasing along cover chains, and strictly
+    /// greater when the lifted values gain descendants.
+    #[test]
+    fn jaccard_distance_monotone_on_chains(p in any::<[usize; 3]>(), l1 in any::<[usize; 3]>(), l2 in any::<[usize; 3]>()) {
+        let env = env3();
+        let s1 = detailed(&env, &p);
+        let s2 = lift(&env, &s1, &l1);
+        let s3 = lift(&env, &s2, &l2);
+        let d2 = jaccard_state_dist(&env, &s2, &s1);
+        let d3 = jaccard_state_dist(&env, &s3, &s1);
+        prop_assert!(d3 + 1e-12 >= d2, "jaccard decreased along a cover chain: {d2} → {d3}");
+    }
+
+    /// A cover of a state never has a smaller hierarchy distance to a
+    /// third detailed state than the state itself... not in general —
+    /// but distances to *itself* behave: dist(s, s) = 0 for both.
+    #[test]
+    fn distances_vanish_on_identity(p in any::<[usize; 3]>()) {
+        let env = env3();
+        let s = state(&env, &p);
+        prop_assert_eq!(hierarchy_state_dist(&env, &s, &s), 0);
+        prop_assert_eq!(jaccard_state_dist(&env, &s, &s), 0.0);
+    }
+
+    /// Both distances are symmetric.
+    #[test]
+    fn distances_are_symmetric(p in any::<[usize; 3]>(), q in any::<[usize; 3]>()) {
+        let env = env3();
+        let s = state(&env, &p);
+        let t = state(&env, &q);
+        prop_assert_eq!(
+            hierarchy_state_dist(&env, &s, &t),
+            hierarchy_state_dist(&env, &t, &s)
+        );
+        let a = jaccard_state_dist(&env, &s, &t);
+        let b = jaccard_state_dist(&env, &t, &s);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    /// The (all, …, all) state covers everything, and its hierarchy
+    /// distance to a detailed state is the sum of hierarchy heights.
+    #[test]
+    fn all_state_is_top(p in any::<[usize; 3]>()) {
+        let env = env3();
+        let s = detailed(&env, &p);
+        let all = ContextState::all(&env);
+        prop_assert!(all.covers(&s, &env));
+        let height: u32 = env.iter().map(|(_, h)| h.level_count() as u32 - 1).sum();
+        prop_assert_eq!(hierarchy_state_dist(&env, &all, &s), height);
+    }
+}

@@ -1,0 +1,652 @@
+use std::sync::Arc;
+
+use ctxpref_context::{
+    parse_descriptor, parse_extended_descriptor, ContextDescriptor, ContextEnvironment,
+    ContextState, DistanceKind, ExtendedContextDescriptor, ParameterDescriptor,
+};
+use ctxpref_profile::{
+    AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree, TreeStats,
+};
+use ctxpref_qcache::{CacheStats, ContextQueryTree};
+use ctxpref_relation::{CompareOp, RankedResults, Relation, ScoreCombiner, Value};
+use ctxpref_resolve::{rank_cs, StateResolution, TieBreak};
+
+use crate::error::CoreError;
+
+/// Per-query knobs with the paper's defaults: hierarchy distance,
+/// all tied candidates, max score combining.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// State distance used to pick among covering candidates.
+    pub distance: DistanceKind,
+    /// Tie handling among minimum-distance candidates.
+    pub tie: TieBreak,
+    /// Duplicate-tuple score combining policy.
+    pub combiner: ScoreCombiner,
+    /// Consult / fill the context query tree (single-state queries
+    /// only). Defaults to `false`; the builder's `cache_capacity` must
+    /// also be non-zero.
+    pub use_cache: bool,
+    /// When set (and the combiner is `Max`), rank with early
+    /// termination: evaluate preference entries best-score-first and
+    /// stop once the top `k` tuples (ties included) cannot change. The
+    /// answer then contains only those tuples.
+    pub top_k: Option<usize>,
+}
+
+impl QueryOptions {
+    /// Options with the context query tree enabled.
+    pub fn cached() -> Self {
+        Self { use_cache: true, ..Self::default() }
+    }
+
+    /// Options using the Jaccard distance.
+    pub fn jaccard() -> Self {
+        Self { distance: DistanceKind::Jaccard, ..Self::default() }
+    }
+}
+
+/// The answer of a contextual query.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// Ranked tuples, best first.
+    pub results: Arc<RankedResults>,
+    /// Per-state resolution trace (empty when served from the cache).
+    pub resolutions: Vec<StateResolution>,
+    /// Whether the answer came from the context query tree.
+    pub from_cache: bool,
+}
+
+impl QueryAnswer {
+    /// Cells accessed by context resolution for this answer (0 when the
+    /// answer came from the cache).
+    pub fn cells(&self) -> u64 {
+        self.resolutions.iter().map(|r| r.cells).sum()
+    }
+
+    /// True iff no query state found any applicable preference — the
+    /// query proceeds as a normal non-contextual query (Section 4.2).
+    /// Cached answers report `false` (they were contextual when
+    /// computed).
+    pub fn is_non_contextual(&self) -> bool {
+        !self.from_cache
+            && self
+                .resolutions
+                .iter()
+                .all(|r| r.outcome == ctxpref_resolve::MatchOutcome::NoMatch)
+    }
+}
+
+/// Builder for [`ContextualDb`].
+#[derive(Debug, Default)]
+pub struct ContextualDbBuilder {
+    env: Option<ContextEnvironment>,
+    relation: Option<Relation>,
+    order: Option<ParamOrder>,
+    cache_capacity: usize,
+    defaults: QueryOptions,
+}
+
+impl ContextualDbBuilder {
+    #[must_use]
+    /// The context environment (required).
+    pub fn env(mut self, env: ContextEnvironment) -> Self {
+        self.env = Some(env);
+        self
+    }
+
+    #[must_use]
+    /// The database relation (required).
+    pub fn relation(mut self, relation: Relation) -> Self {
+        self.relation = Some(relation);
+        self
+    }
+
+    /// Parameter-to-level assignment of the profile tree. Defaults to
+    /// the paper's space heuristic (ascending domain size).
+    #[must_use]
+    pub fn order(mut self, order: ParamOrder) -> Self {
+        self.order = Some(order);
+        self
+    }
+
+    /// Capacity of the context query tree; 0 (default) disables caching.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Default query options.
+    #[must_use]
+    pub fn defaults(mut self, defaults: QueryOptions) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// Assemble the database.
+    pub fn build(self) -> Result<ContextualDb, CoreError> {
+        let env = self.env.ok_or(CoreError::MissingEnvironment)?;
+        let relation = self.relation.ok_or(CoreError::MissingRelation)?;
+        let order = self.order.unwrap_or_else(|| ParamOrder::by_ascending_domain(&env));
+        let tree = ProfileTree::new(env.clone(), order)?;
+        let cache = (self.cache_capacity > 0)
+            .then(|| ContextQueryTree::new(env.clone(), self.cache_capacity));
+        Ok(ContextualDb {
+            profile: Profile::new(env.clone()),
+            env,
+            relation,
+            tree,
+            cache,
+            defaults: self.defaults,
+        })
+    }
+}
+
+/// A context-aware preference database system (the paper's overall
+/// system): relation + profile + profile tree + resolution + query
+/// result cache.
+#[derive(Debug)]
+pub struct ContextualDb {
+    env: ContextEnvironment,
+    relation: Relation,
+    profile: Profile,
+    tree: ProfileTree,
+    cache: Option<ContextQueryTree>,
+    defaults: QueryOptions,
+}
+
+impl ContextualDb {
+    /// Start building a database.
+    pub fn builder() -> ContextualDbBuilder {
+        ContextualDbBuilder::default()
+    }
+
+    /// The context environment.
+    pub fn env(&self) -> &ContextEnvironment {
+        &self.env
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Mutable access to the relation (invalidates cached rankings).
+    pub fn relation_mut(&mut self) -> &mut Relation {
+        // Database updates do not affect stored preferences, but they do
+        // invalidate cached rankings.
+        if let Some(c) = &self.cache {
+            c.invalidate_all();
+        }
+        &mut self.relation
+    }
+
+    /// The logical profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The profile tree index.
+    pub fn tree(&self) -> &ProfileTree {
+        &self.tree
+    }
+
+    /// Size statistics of the profile tree.
+    pub fn tree_stats(&self) -> TreeStats {
+        self.tree.stats()
+    }
+
+    /// Hit/miss statistics of the context query tree, if enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Capacity of the context query tree; 0 when caching is disabled.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.as_ref().map(|c| c.capacity()).unwrap_or(0)
+    }
+
+    /// Insert a contextual preference. Conflicts (Definition 6) are
+    /// detected by the profile tree on insertion and reported to the
+    /// caller; the cache is invalidated on success.
+    pub fn insert_preference(&mut self, pref: ContextualPreference) -> Result<(), CoreError> {
+        self.tree.insert(&pref)?;
+        self.profile.insert_unchecked(pref);
+        if let Some(c) = &self.cache {
+            c.invalidate_all();
+        }
+        Ok(())
+    }
+
+    /// Convenience: insert `descriptor ⇒ attr = value, score` with the
+    /// descriptor in textual form, e.g.
+    /// `insert_preference_eq("location = Plaka and temperature = warm",
+    /// "name", "Acropolis".into(), 0.8)`.
+    pub fn insert_preference_eq(
+        &mut self,
+        descriptor: &str,
+        attr: &str,
+        value: Value,
+        score: f64,
+    ) -> Result<(), CoreError> {
+        self.insert_preference_cmp(descriptor, attr, CompareOp::Eq, value, score)
+    }
+
+    /// Like [`Self::insert_preference_eq`] with an arbitrary θ operator.
+    pub fn insert_preference_cmp(
+        &mut self,
+        descriptor: &str,
+        attr: &str,
+        op: CompareOp,
+        value: Value,
+        score: f64,
+    ) -> Result<(), CoreError> {
+        let cod = parse_descriptor(&self.env, descriptor)?;
+        let clause = AttributeClause::new(self.relation.schema().require_attr(attr)?, op, value);
+        self.insert_preference(ContextualPreference::new(cod, clause, score)?)
+    }
+
+    /// Remove the preference at `index` (as listed by
+    /// [`Profile::preferences`]). The profile tree is maintained
+    /// incrementally: only the paths this preference alone contributed
+    /// are pruned (entries shared with other preferences stay).
+    pub fn remove_preference(&mut self, index: usize) -> Result<ContextualPreference, CoreError> {
+        if index >= self.profile.len() {
+            return Err(CoreError::NoSuchPreference(index));
+        }
+        let removed = self.profile.remove(index);
+        self.detach_from_tree(&removed)?;
+        if let Some(c) = &self.cache {
+            c.invalidate_all();
+        }
+        Ok(removed)
+    }
+
+    /// Update the score of the preference at `index`, checking the new
+    /// score against the rest of the profile (Definition 6) and
+    /// maintaining the tree incrementally.
+    pub fn update_preference_score(&mut self, index: usize, score: f64) -> Result<(), CoreError> {
+        if index >= self.profile.len() {
+            return Err(CoreError::NoSuchPreference(index));
+        }
+        let old = self.profile.preferences()[index].clone();
+        if old.score() == score {
+            return Ok(());
+        }
+        let updated = old.with_score(score)?;
+        for (i, other) in self.profile.preferences().iter().enumerate() {
+            if i != index && other.conflicts_with(&updated, &self.env)? {
+                // Recover a witness state for the error.
+                let state = other
+                    .descriptor()
+                    .states(&self.env)?
+                    .into_iter()
+                    .find(|s| {
+                        updated
+                            .descriptor()
+                            .states(&self.env)
+                            .map(|ss| ss.contains(s))
+                            .unwrap_or(false)
+                    })
+                    .unwrap_or_else(|| ContextState::all(&self.env));
+                return Err(ctxpref_profile::ProfileError::Conflict {
+                    state,
+                    existing_score: other.score(),
+                    new_score: score,
+                }
+                .into());
+            }
+        }
+        self.profile.update_score(index, score)?;
+        // After the conflict check, no other preference shares a
+        // (state, clause) pair with `old`, so detaching and re-inserting
+        // is safe.
+        self.detach_from_tree(&old)?;
+        self.tree.insert(&updated)?;
+        if let Some(c) = &self.cache {
+            c.invalidate_all();
+        }
+        Ok(())
+    }
+
+    /// Remove the tree entries of `pref`, preserving any (state, clause,
+    /// score) triple still contributed by a remaining preference.
+    fn detach_from_tree(&mut self, pref: &ContextualPreference) -> Result<(), CoreError> {
+        for state in pref.descriptor().states(&self.env)? {
+            let still_contributed = self.profile.iter().any(|other| {
+                other.clause() == pref.clause()
+                    && other.score() == pref.score()
+                    && other
+                        .descriptor()
+                        .states(&self.env)
+                        .map(|ss| ss.contains(&state))
+                        .unwrap_or(false)
+            });
+            if !still_contributed {
+                self.tree.remove_state_entry(&state, pref.clause(), pref.score());
+            }
+        }
+        Ok(())
+    }
+
+    /// Query under the *implicit* current context — a single context
+    /// state (Section 4.1) — with the default options.
+    pub fn query_state(&self, state: &ContextState) -> Result<QueryAnswer, CoreError> {
+        self.query_state_with(state, self.defaults)
+    }
+
+    /// Query under a single context state with explicit options. This
+    /// is the only entry point the context query tree accelerates: the
+    /// cache is keyed by exact context state.
+    pub fn query_state_with(
+        &self,
+        state: &ContextState,
+        opts: QueryOptions,
+    ) -> Result<QueryAnswer, CoreError> {
+        // The context query tree is keyed by context state only, so a
+        // cached ranking is valid only for one (distance, tie, combiner)
+        // configuration: the database's defaults. Other configurations
+        // bypass the cache rather than risk serving results computed
+        // under different semantics.
+        let cacheable = opts.use_cache
+            && opts.distance == self.defaults.distance
+            && opts.tie == self.defaults.tie
+            && opts.combiner == self.defaults.combiner
+            && opts.top_k == self.defaults.top_k;
+        if cacheable {
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.get(state) {
+                    return Ok(QueryAnswer {
+                        results: hit,
+                        resolutions: Vec::new(),
+                        from_cache: true,
+                    });
+                }
+            }
+        }
+        let ecod: ExtendedContextDescriptor = descriptor_of_state(&self.env, state).into();
+        let answer = self.run(&ecod, opts)?;
+        if cacheable {
+            if let Some(cache) = &self.cache {
+                cache.insert(state, Arc::clone(&answer.results));
+            }
+        }
+        Ok(answer)
+    }
+
+    /// Query with an explicit extended context descriptor (exploratory
+    /// queries, Definition 9), default options.
+    pub fn query(&self, ecod: &ExtendedContextDescriptor) -> Result<QueryAnswer, CoreError> {
+        self.run(ecod, self.defaults)
+    }
+
+    /// Query with explicit options.
+    pub fn query_with(
+        &self,
+        ecod: &ExtendedContextDescriptor,
+        opts: QueryOptions,
+    ) -> Result<QueryAnswer, CoreError> {
+        self.run(ecod, opts)
+    }
+
+    /// Parse and run a textual extended descriptor, e.g.
+    /// `db.query_str("(location = Athens and temperature = good) or
+    /// (location = Ioannina)")`.
+    pub fn query_str(&self, descriptor: &str) -> Result<QueryAnswer, CoreError> {
+        let ecod = parse_extended_descriptor(&self.env, descriptor)?;
+        self.run(&ecod, self.defaults)
+    }
+
+    fn run(
+        &self,
+        ecod: &ExtendedContextDescriptor,
+        opts: QueryOptions,
+    ) -> Result<QueryAnswer, CoreError> {
+        let q = match opts.top_k {
+            Some(k) => ctxpref_resolve::rank_cs_topk(
+                &self.tree,
+                &self.relation,
+                ecod,
+                opts.distance,
+                opts.tie,
+                opts.combiner,
+                k,
+            )?,
+            None => {
+                rank_cs(&self.tree, &self.relation, ecod, opts.distance, opts.tie, opts.combiner)?
+            }
+        };
+        Ok(QueryAnswer {
+            results: Arc::new(q.results),
+            resolutions: q.resolutions,
+            from_cache: false,
+        })
+    }
+
+    /// Render the top-`k` answer (ties included) as `name (score)` lines
+    /// using the given display attribute — handy for examples and CLIs.
+    pub fn render_top(&self, answer: &QueryAnswer, attr: &str, k: usize) -> Result<String, CoreError> {
+        let a = self.relation.schema().require_attr(attr)?;
+        let mut out = String::new();
+        for e in answer.results.top_k_with_ties(k) {
+            out.push_str(&format!(
+                "{} ({:.2})\n",
+                self.relation.tuple(e.tuple_index).value(a),
+                e.score
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// The descriptor pinning every non-`all` parameter of a state.
+pub(crate) fn descriptor_of_state(env: &ContextEnvironment, s: &ContextState) -> ContextDescriptor {
+    let mut cod = ContextDescriptor::empty();
+    for (p, h) in env.iter() {
+        let v = s.value(p);
+        if v != h.all_value() {
+            cod = cod.with(p, ParameterDescriptor::Eq(v));
+        }
+    }
+    cod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxpref_hierarchy::{Hierarchy, HierarchyBuilder};
+    use ctxpref_relation::{AttrType, Schema};
+
+    fn env() -> ContextEnvironment {
+        let mut w = HierarchyBuilder::new("weather", &["Conditions", "Char"]);
+        w.add("Char", "bad", None).unwrap();
+        w.add("Char", "good", None).unwrap();
+        w.add_leaves("bad", &["cold"]).unwrap();
+        w.add_leaves("good", &["warm", "hot"]).unwrap();
+        ContextEnvironment::new(vec![
+            w.build().unwrap(),
+            Hierarchy::flat("company", &["friends", "family"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn relation() -> Relation {
+        let schema =
+            Schema::new(&[("name", AttrType::Str), ("type", AttrType::Str)]).unwrap();
+        let mut rel = Relation::new("poi", schema);
+        for (n, t) in [
+            ("Acropolis", "monument"),
+            ("Benaki", "museum"),
+            ("Mikro", "brewery"),
+            ("Attica Zoo", "zoo"),
+        ] {
+            rel.insert(vec![n.into(), t.into()]).unwrap();
+        }
+        rel
+    }
+
+    fn db() -> ContextualDb {
+        let mut db = ContextualDb::builder()
+            .env(env())
+            .relation(relation())
+            .cache_capacity(16)
+            .build()
+            .unwrap();
+        db.insert_preference_eq("weather = warm", "name", "Acropolis".into(), 0.8).unwrap();
+        db.insert_preference_eq("weather = bad", "type", "museum".into(), 0.7).unwrap();
+        db.insert_preference_eq("company = friends", "type", "brewery".into(), 0.9).unwrap();
+        db
+    }
+
+    #[test]
+    fn builder_requires_env_and_relation() {
+        assert!(matches!(
+            ContextualDb::builder().relation(relation()).build().unwrap_err(),
+            CoreError::MissingEnvironment
+        ));
+        assert!(matches!(
+            ContextualDb::builder().env(env()).build().unwrap_err(),
+            CoreError::MissingRelation
+        ));
+    }
+
+    #[test]
+    fn end_to_end_query() {
+        let db = db();
+        let s = ContextState::parse(db.env(), &["warm", "friends"]).unwrap();
+        let a = db.query_state(&s).unwrap();
+        assert!(!a.from_cache);
+        assert!(a.cells() > 0);
+        // The closest covering state is (warm, all) at distance 1 — the
+        // friends preference sits at distance 2 and is not applied.
+        let rendered = db.render_top(&a, "name", 5).unwrap();
+        assert_eq!(rendered, "Acropolis (0.80)\n");
+        // (cold, friends) ties (bad, all) and (all, friends) at
+        // distance 2 → both applied: brewery 0.9 over museum 0.7.
+        let s2 = ContextState::parse(db.env(), &["cold", "friends"]).unwrap();
+        let a2 = db.query_state(&s2).unwrap();
+        let rendered2 = db.render_top(&a2, "name", 5).unwrap();
+        assert!(rendered2.starts_with("Mikro (0.90)"));
+        assert!(rendered2.contains("Benaki (0.70)"));
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let mut db = db();
+        let s = ContextState::parse(db.env(), &["warm", "friends"]).unwrap();
+        let a1 = db.query_state_with(&s, QueryOptions::cached()).unwrap();
+        assert!(!a1.from_cache);
+        let a2 = db.query_state_with(&s, QueryOptions::cached()).unwrap();
+        assert!(a2.from_cache);
+        assert_eq!(a1.results.entries(), a2.results.entries());
+        assert_eq!(a2.cells(), 0);
+        // Profile change invalidates.
+        db.insert_preference_eq("weather = hot", "type", "zoo".into(), 0.5).unwrap();
+        let a3 = db.query_state_with(&s, QueryOptions::cached()).unwrap();
+        assert!(!a3.from_cache);
+        let stats = db.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert!(stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn conflicting_insert_is_rejected() {
+        let mut db = db();
+        let err = db
+            .insert_preference_eq("weather = warm", "name", "Acropolis".into(), 0.1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Profile(_)));
+        // State unchanged: the old preference still wins.
+        let s = ContextState::parse(db.env(), &["warm", "family"]).unwrap();
+        let a = db.query_state(&s).unwrap();
+        assert_eq!(a.results.entries()[0].score, 0.8);
+    }
+
+    #[test]
+    fn remove_and_update_rebuild() {
+        let mut db = db();
+        assert!(matches!(db.remove_preference(99).unwrap_err(), CoreError::NoSuchPreference(99)));
+        db.update_preference_score(0, 0.55).unwrap();
+        let s = ContextState::parse(db.env(), &["warm", "family"]).unwrap();
+        let a = db.query_state(&s).unwrap();
+        assert_eq!(a.results.entries()[0].score, 0.55);
+        let removed = db.remove_preference(0).unwrap();
+        assert_eq!(removed.score(), 0.55);
+        let a2 = db.query_state(&s).unwrap();
+        assert!(a2.results.is_empty() || a2.results.entries()[0].score != 0.55);
+    }
+
+    #[test]
+    fn exploratory_query_str() {
+        let db = db();
+        let a = db
+            .query_str("(weather = warm and company = friends) or (weather = cold)")
+            .unwrap();
+        assert_eq!(a.resolutions.len(), 2);
+        assert!(!a.results.is_empty());
+        // Cold resolves through (bad, all): museum at 0.7 included.
+        let rendered = db.render_top(&a, "name", 10).unwrap();
+        assert!(rendered.contains("Benaki"));
+    }
+
+    #[test]
+    fn jaccard_options_work() {
+        let db = db();
+        let s = ContextState::parse(db.env(), &["hot", "family"]).unwrap();
+        let a = db.query_state_with(&s, QueryOptions::jaccard()).unwrap();
+        // Covered by (good→warm? no — warm ≠ hot) … (warm) does not
+        // cover hot; only (bad, all) doesn't either. friends pref is
+        // (all, friends), doesn't cover family. So: no match.
+        assert!(a.results.is_empty());
+        assert!(a.resolutions[0].outcome == ctxpref_resolve::MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn top_k_option_truncates_consistently() {
+        let db = db();
+        let s = ContextState::parse(db.env(), &["cold", "friends"]).unwrap();
+        let full = db.query_state(&s).unwrap();
+        let top1 = db
+            .query_state_with(&s, QueryOptions { top_k: Some(1), ..QueryOptions::default() })
+            .unwrap();
+        assert_eq!(
+            full.results.top_k_with_ties(1),
+            top1.results.entries(),
+            "top-k answer equals the full ranking's prefix"
+        );
+        assert!(top1.results.len() <= full.results.len());
+    }
+
+    #[test]
+    fn non_default_options_bypass_the_cache() {
+        let db = db();
+        let s = ContextState::parse(db.env(), &["warm", "friends"]).unwrap();
+        // Warm the cache under default options.
+        let _ = db.query_state_with(&s, QueryOptions::cached()).unwrap();
+        // A Jaccard query must not be served from the Hierarchy-keyed
+        // cache (and must not pollute it either).
+        let j = db
+            .query_state_with(
+                &s,
+                QueryOptions { use_cache: true, ..QueryOptions::jaccard() },
+            )
+            .unwrap();
+        assert!(!j.from_cache);
+        let again = db.query_state_with(&s, QueryOptions::cached()).unwrap();
+        assert!(again.from_cache);
+    }
+
+    #[test]
+    fn relation_mut_invalidates_cache() {
+        let mut db = db();
+        let s = ContextState::parse(db.env(), &["cold", "friends"]).unwrap();
+        let _ = db.query_state_with(&s, QueryOptions::cached()).unwrap();
+        db.relation_mut().insert(vec!["New".into(), "brewery".into()]).unwrap();
+        let a = db.query_state_with(&s, QueryOptions::cached()).unwrap();
+        assert!(!a.from_cache);
+        // And the new brewery is ranked.
+        let rendered = db.render_top(&a, "name", 5).unwrap();
+        assert!(rendered.contains("New"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Multi-user operation: many profiles over one shared database.
+//!
+//! The paper's usability study (Section 5.1) serves ten users, each
+//! with their own (initially default) profile, against one shared
+//! points-of-interest database. [`MultiUserDb`] is that deployment
+//! shape: a single context environment and relation, with per-user
+//! profiles, profile trees, and query caches.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ctxpref_context::{ContextState, ExtendedContextDescriptor};
+use ctxpref_profile::{ContextualPreference, ParamOrder, Profile, ProfileTree, TreeStats};
+use ctxpref_qcache::ContextQueryTree;
+use ctxpref_relation::Relation;
+use ctxpref_resolve::rank_cs;
+
+use crate::db::{QueryAnswer, QueryOptions};
+use crate::error::CoreError;
+use ctxpref_context::ContextEnvironment;
+
+/// Per-user state: the logical profile, its tree index, and an optional
+/// query cache.
+#[derive(Debug)]
+struct UserSlot {
+    profile: Profile,
+    tree: ProfileTree,
+    cache: Option<ContextQueryTree>,
+}
+
+/// A multi-user contextual preference database: one environment and
+/// relation, many user profiles.
+#[derive(Debug)]
+pub struct MultiUserDb {
+    env: ContextEnvironment,
+    relation: Relation,
+    order: ParamOrder,
+    cache_capacity: usize,
+    defaults: QueryOptions,
+    users: HashMap<String, UserSlot>,
+}
+
+impl MultiUserDb {
+    /// A multi-user database over `env` and `relation`, using the
+    /// paper's ascending-domain tree ordering and `cache_capacity` per
+    /// user (0 disables caching).
+    pub fn new(env: ContextEnvironment, relation: Relation, cache_capacity: usize) -> Self {
+        let order = ParamOrder::by_ascending_domain(&env);
+        Self {
+            env,
+            relation,
+            order,
+            cache_capacity,
+            defaults: QueryOptions::default(),
+            users: HashMap::new(),
+        }
+    }
+
+    /// The shared context environment.
+    pub fn env(&self) -> &ContextEnvironment {
+        &self.env
+    }
+
+    /// The shared relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Registered user names, in arbitrary order.
+    pub fn users(&self) -> impl Iterator<Item = &str> {
+        self.users.keys().map(String::as_str)
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Per-user cache capacity (0 = caching disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// User names in sorted order (for deterministic serialization).
+    pub fn users_sorted(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.users.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Register a user with an empty profile.
+    pub fn add_user(&mut self, name: &str) -> Result<(), CoreError> {
+        self.add_user_with_profile(name, Profile::new(self.env.clone()))
+    }
+
+    /// Register a user with an initial profile — e.g. one of the twelve
+    /// demographic default profiles of the user study.
+    pub fn add_user_with_profile(
+        &mut self,
+        name: &str,
+        profile: Profile,
+    ) -> Result<(), CoreError> {
+        if self.users.contains_key(name) {
+            return Err(CoreError::DuplicateUser(name.to_string()));
+        }
+        let tree = ProfileTree::from_profile(&profile, self.order.clone())?;
+        let cache = (self.cache_capacity > 0)
+            .then(|| ContextQueryTree::new(self.env.clone(), self.cache_capacity));
+        self.users.insert(name.to_string(), UserSlot { profile, tree, cache });
+        Ok(())
+    }
+
+    /// Remove a user and return their profile.
+    pub fn remove_user(&mut self, name: &str) -> Result<Profile, CoreError> {
+        self.users
+            .remove(name)
+            .map(|slot| slot.profile)
+            .ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
+    }
+
+    fn slot(&self, name: &str) -> Result<&UserSlot, CoreError> {
+        self.users.get(name).ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
+    }
+
+    fn slot_mut(&mut self, name: &str) -> Result<&mut UserSlot, CoreError> {
+        self.users.get_mut(name).ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
+    }
+
+    /// A user's profile.
+    pub fn profile(&self, user: &str) -> Result<&Profile, CoreError> {
+        Ok(&self.slot(user)?.profile)
+    }
+
+    /// A user's profile-tree statistics.
+    pub fn tree_stats(&self, user: &str) -> Result<TreeStats, CoreError> {
+        Ok(self.slot(user)?.tree.stats())
+    }
+
+    /// Insert a preference for one user (conflicts detected by their
+    /// tree; their cache is invalidated).
+    pub fn insert_preference(
+        &mut self,
+        user: &str,
+        pref: ContextualPreference,
+    ) -> Result<(), CoreError> {
+        let slot = self.slot_mut(user)?;
+        slot.tree.insert(&pref)?;
+        slot.profile.insert_unchecked(pref);
+        if let Some(c) = &slot.cache {
+            c.invalidate_all();
+        }
+        Ok(())
+    }
+
+    /// Query one user's profile under a single context state, through
+    /// their cache when enabled.
+    pub fn query_state(&self, user: &str, state: &ContextState) -> Result<QueryAnswer, CoreError> {
+        let slot = self.slot(user)?;
+        if let Some(cache) = &slot.cache {
+            if let Some(hit) = cache.get(state) {
+                return Ok(QueryAnswer { results: hit, resolutions: Vec::new(), from_cache: true });
+            }
+        }
+        let ecod: ExtendedContextDescriptor =
+            crate::db::descriptor_of_state(&self.env, state).into();
+        let q = rank_cs(
+            &slot.tree,
+            &self.relation,
+            &ecod,
+            self.defaults.distance,
+            self.defaults.tie,
+            self.defaults.combiner,
+        )?;
+        let answer = QueryAnswer {
+            results: Arc::new(q.results),
+            resolutions: q.resolutions,
+            from_cache: false,
+        };
+        if let Some(cache) = &slot.cache {
+            cache.insert(state, Arc::clone(&answer.results));
+        }
+        Ok(answer)
+    }
+
+    /// Query one user's profile with an explicit extended descriptor.
+    pub fn query(
+        &self,
+        user: &str,
+        ecod: &ExtendedContextDescriptor,
+    ) -> Result<QueryAnswer, CoreError> {
+        let slot = self.slot(user)?;
+        let q = rank_cs(
+            &slot.tree,
+            &self.relation,
+            ecod,
+            self.defaults.distance,
+            self.defaults.tie,
+            self.defaults.combiner,
+        )?;
+        Ok(QueryAnswer {
+            results: Arc::new(q.results),
+            resolutions: q.resolutions,
+            from_cache: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxpref_context::parse_descriptor;
+    use ctxpref_hierarchy::Hierarchy;
+    use ctxpref_profile::AttributeClause;
+    use ctxpref_relation::{AttrType, Schema};
+
+    fn setup() -> MultiUserDb {
+        let env = ContextEnvironment::new(vec![
+            Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
+        ])
+        .unwrap();
+        let schema = Schema::new(&[("type", AttrType::Str)]).unwrap();
+        let mut rel = Relation::new("poi", schema);
+        for t in ["museum", "brewery", "zoo"] {
+            rel.insert(vec![t.into()]).unwrap();
+        }
+        MultiUserDb::new(env, rel, 8)
+    }
+
+    fn pref(db: &MultiUserDb, cod: &str, ty: &str, score: f64) -> ContextualPreference {
+        ContextualPreference::new(
+            parse_descriptor(db.env(), cod).unwrap(),
+            AttributeClause::eq(db.relation().schema().attr("type").unwrap(), ty.into()),
+            score,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn users_are_isolated() {
+        let mut db = setup();
+        db.add_user("alice").unwrap();
+        db.add_user("bob").unwrap();
+        assert_eq!(db.user_count(), 2);
+        let a = pref(&db, "weather = warm", "brewery", 0.9);
+        let b = pref(&db, "weather = warm", "museum", 0.8);
+        db.insert_preference("alice", a).unwrap();
+        db.insert_preference("bob", b).unwrap();
+
+        let warm = ContextState::parse(db.env(), &["warm"]).unwrap();
+        let alice = db.query_state("alice", &warm).unwrap();
+        let bob = db.query_state("bob", &warm).unwrap();
+        assert_eq!(alice.results.entries()[0].tuple_index, 1); // brewery
+        assert_eq!(bob.results.entries()[0].tuple_index, 0); // museum
+
+        // Conflicts are per-user: bob can score the same state/clause
+        // differently from alice, but not from himself.
+        db.insert_preference("bob", pref(&db, "weather = warm", "brewery", 0.2)).unwrap();
+        assert!(db.insert_preference("bob", pref(&db, "weather = warm", "brewery", 0.7)).is_err());
+    }
+
+    #[test]
+    fn user_management_errors() {
+        let mut db = setup();
+        db.add_user("alice").unwrap();
+        assert!(matches!(db.add_user("alice").unwrap_err(), CoreError::DuplicateUser(_)));
+        assert!(matches!(
+            db.query_state("ghost", &ContextState::all(db.env())).unwrap_err(),
+            CoreError::NoSuchUser(_)
+        ));
+        let profile = db.remove_user("alice").unwrap();
+        assert!(profile.is_empty());
+        assert!(matches!(db.remove_user("alice").unwrap_err(), CoreError::NoSuchUser(_)));
+    }
+
+    #[test]
+    fn caches_are_per_user() {
+        let mut db = setup();
+        db.add_user("alice").unwrap();
+        db.add_user("bob").unwrap();
+        db.insert_preference("alice", pref(&db, "weather = warm", "zoo", 0.5)).unwrap();
+        db.insert_preference("bob", pref(&db, "weather = warm", "zoo", 0.6)).unwrap();
+        let warm = ContextState::parse(db.env(), &["warm"]).unwrap();
+        let _ = db.query_state("alice", &warm).unwrap();
+        let again = db.query_state("alice", &warm).unwrap();
+        assert!(again.from_cache);
+        // Bob's first query is not served from Alice's cache.
+        let bob = db.query_state("bob", &warm).unwrap();
+        assert!(!bob.from_cache);
+        assert_eq!(bob.results.entries()[0].score, 0.6);
+    }
+
+    #[test]
+    fn initial_profiles_and_stats() {
+        let mut db = setup();
+        let mut profile = Profile::new(db.env().clone());
+        profile.insert(pref(&db, "weather = cold", "museum", 0.8)).unwrap();
+        db.add_user_with_profile("carol", profile).unwrap();
+        assert_eq!(db.profile("carol").unwrap().len(), 1);
+        assert!(db.tree_stats("carol").unwrap().leaf_entries == 1);
+        let names: Vec<&str> = db.users().collect();
+        assert_eq!(names, vec!["carol"]);
+    }
+}

@@ -1,0 +1,361 @@
+use std::collections::HashMap;
+
+use crate::error::HierarchyError;
+use crate::hierarchy::{Hierarchy, LevelId, ValueData, ValueId, ALL_LEVEL_NAME, ALL_VALUE_NAME};
+
+#[derive(Debug, Clone)]
+struct RawValue {
+    name: String,
+    level: usize,
+    parent: Option<String>,
+}
+
+/// Incremental builder for a [`Hierarchy`].
+///
+/// Levels are declared bottom-up in [`HierarchyBuilder::new`] (the `ALL`
+/// level is appended automatically); values are then attached to levels
+/// with [`HierarchyBuilder::add`]. Values may be added in any order —
+/// parent links are resolved at [`HierarchyBuilder::build`] time, which
+/// also assigns the depth-first within-level order that makes the `anc`
+/// monotonicity condition hold by construction.
+#[derive(Debug, Clone)]
+pub struct HierarchyBuilder {
+    name: String,
+    level_names: Vec<String>,
+    values: Vec<RawValue>,
+    seen: HashMap<String, usize>,
+    error: Option<HierarchyError>,
+}
+
+impl HierarchyBuilder {
+    /// Start a hierarchy named `name` with the given levels, listed
+    /// bottom-up (detailed level first). Do not include `ALL`.
+    pub fn new(name: &str, levels: &[&str]) -> Self {
+        let mut error = None;
+        if levels.is_empty() {
+            error = Some(HierarchyError::NoLevels);
+        } else if levels.len() > 250 {
+            error = Some(HierarchyError::TooManyLevels(levels.len()));
+        }
+        let mut level_names: Vec<String> = Vec::with_capacity(levels.len() + 1);
+        for &l in levels {
+            if l == ALL_LEVEL_NAME {
+                error.get_or_insert(HierarchyError::ReservedName(l.to_string()));
+            }
+            if level_names.iter().any(|x| x.as_str() == l) {
+                error.get_or_insert(HierarchyError::DuplicateLevel(l.to_string()));
+            }
+            level_names.push(l.to_string());
+        }
+        level_names.push(ALL_LEVEL_NAME.to_string());
+        Self { name: name.to_string(), level_names, values: Vec::new(), seen: HashMap::new(), error }
+    }
+
+    /// Add a value at `level`. `parent` names the value's ancestor at the
+    /// next level up; it is mandatory except at the top user level
+    /// (whose values implicitly map to `all`).
+    pub fn add(
+        &mut self,
+        level: &str,
+        value: &str,
+        parent: Option<&str>,
+    ) -> Result<&mut Self, HierarchyError> {
+        let li = self
+            .level_names
+            .iter()
+            .position(|l| l == level)
+            .filter(|&i| i + 1 < self.level_names.len())
+            .ok_or_else(|| HierarchyError::UnknownLevel(level.to_string()))?;
+        if value == ALL_VALUE_NAME {
+            return Err(HierarchyError::ReservedName(value.to_string()));
+        }
+        if self.seen.contains_key(value) {
+            return Err(HierarchyError::DuplicateValue(value.to_string()));
+        }
+        let top_user_level = self.level_names.len() - 2;
+        if li < top_user_level && parent.is_none() {
+            return Err(HierarchyError::MissingParent(value.to_string()));
+        }
+        self.seen.insert(value.to_string(), li);
+        self.values.push(RawValue {
+            name: value.to_string(),
+            level: li,
+            parent: parent.map(str::to_string),
+        });
+        Ok(self)
+    }
+
+    /// Add many detailed-level values under one parent.
+    pub fn add_leaves(
+        &mut self,
+        parent: &str,
+        leaves: &[&str],
+    ) -> Result<&mut Self, HierarchyError> {
+        let detailed = self.level_names[0].clone();
+        for &leaf in leaves {
+            self.add(&detailed, leaf, Some(parent))?;
+        }
+        Ok(self)
+    }
+
+    /// Resolve parent links, order values, and produce the [`Hierarchy`].
+    pub fn build(self) -> Result<Hierarchy, HierarchyError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let n_levels = self.level_names.len();
+        let top_user_level = n_levels - 2;
+
+        // Group raw values per level, keeping insertion order (which
+        // determines sibling order, and thus the within-level order).
+        let mut per_level: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
+        for (i, rv) in self.values.iter().enumerate() {
+            per_level[rv.level].push(i);
+        }
+        for (li, vs) in per_level.iter().enumerate().take(n_levels - 1) {
+            if vs.is_empty() {
+                return Err(HierarchyError::EmptyLevel(self.level_names[li].clone()));
+            }
+        }
+
+        // Resolve parents to raw indices.
+        let raw_index: HashMap<&str, usize> =
+            self.values.iter().enumerate().map(|(i, rv)| (rv.name.as_str(), i)).collect();
+        let mut children_of: Vec<Vec<usize>> = vec![Vec::new(); self.values.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, rv) in self.values.iter().enumerate() {
+            match (&rv.parent, rv.level == top_user_level) {
+                (None, true) => roots.push(i),
+                (None, false) => return Err(HierarchyError::MissingParent(rv.name.clone())),
+                (Some(p), at_top) => {
+                    if at_top && p == ALL_VALUE_NAME {
+                        roots.push(i);
+                        continue;
+                    }
+                    let &pi = raw_index.get(p.as_str()).ok_or_else(|| {
+                        HierarchyError::UnknownParent { value: rv.name.clone(), parent: p.clone() }
+                    })?;
+                    if self.values[pi].level != rv.level + 1 {
+                        return Err(HierarchyError::WrongParentLevel {
+                            value: rv.name.clone(),
+                            parent: p.clone(),
+                            expected_level: self.level_names[rv.level + 1].clone(),
+                            actual_level: self.level_names[self.values[pi].level].clone(),
+                        });
+                    }
+                    children_of[pi].push(i);
+                }
+            }
+        }
+
+        // Reject internal values with no path to the detailed level (they
+        // would make `desc` partial and the leaf-range trick unsound).
+        for (i, rv) in self.values.iter().enumerate() {
+            if rv.level > 0 && children_of[i].is_empty() {
+                return Err(HierarchyError::ChildlessInternalValue(rv.name.clone()));
+            }
+        }
+
+        // Depth-first walk from the (implicit) `all` root through the
+        // top-level roots, assigning ids and within-level positions in
+        // discovery order. This yields contiguous leaf ranges per value
+        // and a monotone `anc`.
+        let mut values: Vec<ValueData> = Vec::with_capacity(self.values.len() + 1);
+        let mut by_level: Vec<Vec<ValueId>> = vec![Vec::new(); n_levels];
+        let mut id_of_raw: Vec<Option<ValueId>> = vec![None; self.values.len()];
+
+        let all_id = ValueId(0);
+        values.push(ValueData {
+            name: ALL_VALUE_NAME.to_string(),
+            level: LevelId(top_user_level as u8 + 1),
+            parent: None,
+            children: Vec::new(),
+            leaf_range: 0..0,
+            pos_in_level: 0,
+        });
+        by_level[n_levels - 1].push(all_id);
+
+        // Iterative DFS. Stack entries: (raw index, parent ValueId).
+        let mut stack: Vec<(usize, ValueId)> = roots.iter().rev().map(|&r| (r, all_id)).collect();
+        let mut next_leaf_pos: u32 = 0;
+        while let Some((ri, parent_id)) = stack.pop() {
+            let rv = &self.values[ri];
+            let id = ValueId(values.len() as u32);
+            id_of_raw[ri] = Some(id);
+            let pos = by_level[rv.level].len() as u32;
+            by_level[rv.level].push(id);
+            let leaf_range = if rv.level == 0 {
+                let p = next_leaf_pos;
+                next_leaf_pos += 1;
+                p..p + 1
+            } else {
+                0..0 // fixed up bottom-up below
+            };
+            values.push(ValueData {
+                name: rv.name.clone(),
+                level: LevelId(rv.level as u8),
+                parent: Some(parent_id),
+                children: Vec::new(),
+                leaf_range,
+                pos_in_level: pos,
+            });
+            values[parent_id.index()].children.push(id);
+            for &ci in children_of[ri].iter().rev() {
+                stack.push((ci, id));
+            }
+        }
+
+        // Some raw values may be unreachable from the roots (orphan
+        // subtrees whose ancestors never reach the top level). The parent
+        // resolution above guarantees each value has a parent one level
+        // up, and induction from the top level guarantees reachability,
+        // so every value must have an id by now.
+        debug_assert!(id_of_raw.iter().all(Option::is_some));
+
+        // Fix leaf ranges bottom-up (children were pushed in DFS order,
+        // so each internal node spans the union of its children).
+        fn fix_range(values: &mut Vec<ValueData>, id: ValueId) -> std::ops::Range<u32> {
+            if values[id.index()].children.is_empty() {
+                return values[id.index()].leaf_range.clone();
+            }
+            let children = values[id.index()].children.clone();
+            let mut start = u32::MAX;
+            let mut end = 0u32;
+            for c in children {
+                let r = fix_range(values, c);
+                start = start.min(r.start);
+                end = end.max(r.end);
+            }
+            values[id.index()].leaf_range = start..end;
+            start..end
+        }
+        fix_range(&mut values, all_id);
+
+        let by_name: HashMap<String, ValueId> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.clone(), ValueId(i as u32)))
+            .collect();
+
+        let h = Hierarchy::from_parts(self.name, self.level_names, values, by_level, by_name);
+        debug_assert!(h.validate().is_ok(), "builder produced invalid hierarchy");
+        Ok(h)
+    }
+}
+
+impl Hierarchy {
+    /// A two-level hierarchy (detailed + `ALL`) over the given values —
+    /// the degenerate case used when a context parameter has no
+    /// aggregation structure.
+    pub fn flat(name: &str, values: &[&str]) -> Result<Hierarchy, HierarchyError> {
+        let mut b = HierarchyBuilder::new(name, &[&format!("{name}_detail")]);
+        for &v in values {
+            b.add(&format!("{name}_detail"), v, None)?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_levels_and_duplicates() {
+        assert_eq!(HierarchyBuilder::new("x", &[]).build().unwrap_err(), HierarchyError::NoLevels);
+        let b = HierarchyBuilder::new("x", &["a", "a"]);
+        assert_eq!(b.build().unwrap_err(), HierarchyError::DuplicateLevel("a".into()));
+        let b = HierarchyBuilder::new("x", &["ALL"]);
+        assert_eq!(b.build().unwrap_err(), HierarchyError::ReservedName("ALL".into()));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let mut b = HierarchyBuilder::new("x", &["lo", "hi"]);
+        assert!(matches!(b.add("nope", "v", None), Err(HierarchyError::UnknownLevel(_))));
+        assert!(matches!(b.add("lo", "all", None), Err(HierarchyError::ReservedName(_))));
+        assert!(matches!(b.add("lo", "v", None), Err(HierarchyError::MissingParent(_))));
+        b.add("hi", "top", None).unwrap();
+        b.add("lo", "v", Some("top")).unwrap();
+        assert!(matches!(b.add("lo", "v", Some("top")), Err(HierarchyError::DuplicateValue(_))));
+        // "ALL" is a valid target for lookups but not for `add`.
+        assert!(matches!(b.add("ALL", "w", None), Err(HierarchyError::UnknownLevel(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_and_wrong_level_parents() {
+        let mut b = HierarchyBuilder::new("x", &["lo", "mid", "hi"]);
+        b.add("hi", "top", None).unwrap();
+        b.add("mid", "m", Some("top")).unwrap();
+        b.add("lo", "bad", Some("top")).unwrap(); // parent two levels up
+        assert!(matches!(b.build(), Err(HierarchyError::WrongParentLevel { .. })));
+
+        let mut b = HierarchyBuilder::new("x", &["lo", "hi"]);
+        b.add("hi", "top", None).unwrap();
+        b.add("lo", "v", Some("ghost")).unwrap();
+        assert!(matches!(b.build(), Err(HierarchyError::UnknownParent { .. })));
+    }
+
+    #[test]
+    fn rejects_childless_internal_value() {
+        let mut b = HierarchyBuilder::new("x", &["lo", "hi"]);
+        b.add("hi", "lonely", None).unwrap();
+        b.add("hi", "top", None).unwrap();
+        b.add("lo", "v", Some("top")).unwrap();
+        assert!(matches!(b.build(), Err(HierarchyError::ChildlessInternalValue(_))));
+    }
+
+    #[test]
+    fn rejects_empty_level() {
+        let mut b = HierarchyBuilder::new("x", &["lo", "mid", "hi"]);
+        b.add("hi", "top", None).unwrap();
+        // mid declared but never populated; lo can't exist without mid.
+        assert!(matches!(b.build(), Err(HierarchyError::EmptyLevel(_))));
+    }
+
+    #[test]
+    fn top_level_parent_all_is_accepted() {
+        let mut b = HierarchyBuilder::new("x", &["lo", "hi"]);
+        b.add("hi", "top", Some("all")).unwrap();
+        b.add("lo", "v", Some("top")).unwrap();
+        let h = b.build().unwrap();
+        assert_eq!(h.parent(h.lookup("top").unwrap()), Some(h.all_value()));
+    }
+
+    #[test]
+    fn flat_builds_two_level_hierarchy() {
+        let h = Hierarchy::flat("taste", &["mainstream", "out_of_beaten_track"]).unwrap();
+        assert_eq!(h.level_count(), 2);
+        assert_eq!(h.domain_size(h.detailed_level()), 2);
+        let m = h.lookup("mainstream").unwrap();
+        assert_eq!(h.parent(m), Some(h.all_value()));
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn leaf_ranges_are_contiguous_and_nested() {
+        let mut b = HierarchyBuilder::new("loc", &["Region", "City", "Country"]);
+        b.add("Country", "Greece", None).unwrap();
+        b.add("Country", "Italy", None).unwrap();
+        b.add("City", "Athens", Some("Greece")).unwrap();
+        b.add("City", "Rome", Some("Italy")).unwrap();
+        b.add("City", "Ioannina", Some("Greece")).unwrap();
+        b.add_leaves("Athens", &["Plaka", "Kifisia"]).unwrap();
+        b.add_leaves("Rome", &["Trastevere"]).unwrap();
+        b.add_leaves("Ioannina", &["Perama"]).unwrap();
+        let h = b.build().unwrap();
+        h.validate().unwrap();
+        let greece = h.lookup("Greece").unwrap();
+        // Greece spans Plaka, Kifisia, Perama = 3 leaves, contiguous even
+        // though Rome's subtree was declared in between.
+        assert_eq!(h.leaf_count(greece), 3);
+        let italy = h.lookup("Italy").unwrap();
+        assert_eq!(h.leaf_count(italy), 1);
+        assert_eq!(h.leaf_count(h.all_value()), 4);
+        // Nesting.
+        let athens = h.lookup("Athens").unwrap();
+        let ra = h.leaf_range(athens);
+        let rg = h.leaf_range(greece);
+        assert!(rg.start <= ra.start && ra.end <= rg.end);
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing a [`crate::Hierarchy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// No levels were supplied to the builder.
+    NoLevels,
+    /// More than 250 levels were supplied (levels are indexed by `u8`,
+    /// and `ALL` is appended automatically).
+    TooManyLevels(usize),
+    /// Two levels share the same name.
+    DuplicateLevel(String),
+    /// The reserved level name `ALL` or value name `all` was used.
+    ReservedName(String),
+    /// A value name was inserted twice (value names are unique across the
+    /// whole hierarchy so that textual descriptors are unambiguous).
+    DuplicateValue(String),
+    /// `add` referenced a level name that was not declared in `new`.
+    UnknownLevel(String),
+    /// A parent value name that does not exist was referenced.
+    UnknownParent {
+        /// The value whose parent is missing.
+        value: String,
+        /// The unresolved parent name.
+        parent: String,
+    },
+    /// The named parent exists but does not live exactly one level above
+    /// the child.
+    WrongParentLevel {
+        /// The child value whose parent is misplaced.
+        value: String,
+        /// The misplaced parent value.
+        parent: String,
+        /// The level the parent was expected at.
+        expected_level: String,
+        /// The level the parent actually lives at.
+        actual_level: String,
+    },
+    /// A value below the top user level was added without a parent.
+    MissingParent(String),
+    /// A declared level ended up with no values.
+    EmptyLevel(String),
+    /// An internal (non-detailed) value has no descendants at the
+    /// detailed level, which would make `desc` partial.
+    ChildlessInternalValue(String),
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoLevels => write!(f, "a hierarchy needs at least one level below ALL"),
+            Self::TooManyLevels(n) => write!(f, "too many levels: {n} (max 250)"),
+            Self::DuplicateLevel(l) => write!(f, "duplicate level name {l:?}"),
+            Self::ReservedName(n) => {
+                write!(f, "{n:?} is reserved for the automatically added top of the lattice")
+            }
+            Self::DuplicateValue(v) => write!(f, "duplicate value name {v:?}"),
+            Self::UnknownLevel(l) => write!(f, "unknown level {l:?}"),
+            Self::UnknownParent { value, parent } => {
+                write!(f, "value {value:?} references unknown parent {parent:?}")
+            }
+            Self::WrongParentLevel { value, parent, expected_level, actual_level } => write!(
+                f,
+                "value {value:?} needs a parent at level {expected_level:?}, \
+                 but {parent:?} is at level {actual_level:?}"
+            ),
+            Self::MissingParent(v) => {
+                write!(f, "value {v:?} is below the top level and needs a parent")
+            }
+            Self::EmptyLevel(l) => write!(f, "level {l:?} has no values"),
+            Self::ChildlessInternalValue(v) => {
+                write!(f, "internal value {v:?} has no descendants at the detailed level")
+            }
+        }
+    }
+}
+
+impl Error for HierarchyError {}

@@ -1,0 +1,137 @@
+use crate::error::HierarchyError;
+use crate::hierarchy::Hierarchy;
+use crate::HierarchyBuilder;
+
+impl Hierarchy {
+    /// Generate a deterministic balanced hierarchy for synthetic
+    /// workloads (Section 5.2 of the paper: "the parameter with 50
+    /// values has 2 hierarchy levels, the parameter with 100 values has
+    /// 3 hierarchy levels, …").
+    ///
+    /// `level_sizes` lists domain cardinalities bottom-up, *excluding*
+    /// `ALL`; sizes must be non-increasing and each must be ≥ 1. Values
+    /// are named `{name}_L{level}_{i}` and every upper-level value fans
+    /// out over an (almost) equal share of the level below.
+    ///
+    /// ```
+    /// use ctxpref_hierarchy::Hierarchy;
+    /// // 100 detailed values grouped into 10, plus ALL → 3 levels.
+    /// let h = Hierarchy::balanced("c", &[100, 10]).unwrap();
+    /// assert_eq!(h.level_count(), 3);
+    /// assert_eq!(h.domain_size(h.detailed_level()), 100);
+    /// ```
+    pub fn balanced(name: &str, level_sizes: &[usize]) -> Result<Hierarchy, HierarchyError> {
+        if level_sizes.is_empty() {
+            return Err(HierarchyError::NoLevels);
+        }
+        for w in level_sizes.windows(2) {
+            if w[1] > w[0] {
+                // A coarser level cannot have more values than the finer
+                // one below it: `anc` must be total and monotone.
+                return Err(HierarchyError::EmptyLevel(format!(
+                    "{name}: level sizes must be non-increasing bottom-up, got {w:?}"
+                )));
+            }
+        }
+        if level_sizes.contains(&0) {
+            return Err(HierarchyError::EmptyLevel(name.to_string()));
+        }
+
+        let level_names: Vec<String> =
+            (0..level_sizes.len()).map(|i| format!("{name}_L{}", i + 1)).collect();
+        let refs: Vec<&str> = level_names.iter().map(String::as_str).collect();
+        let mut b = HierarchyBuilder::new(name, &refs);
+
+        // Top user level first (no parents), then each level below maps
+        // value i to parent floor(i * size_upper / size_lower) — an even,
+        // monotone fan-out.
+        let top = level_sizes.len() - 1;
+        for i in 0..level_sizes[top] {
+            b.add(&level_names[top], &value_name(name, top, i), None)?;
+        }
+        for lvl in (0..top).rev() {
+            let size = level_sizes[lvl];
+            let upper = level_sizes[lvl + 1];
+            for i in 0..size {
+                let parent = i * upper / size;
+                b.add(
+                    &level_names[lvl],
+                    &value_name(name, lvl, i),
+                    Some(&value_name(name, lvl + 1, parent)),
+                )?;
+            }
+        }
+        b.build()
+    }
+}
+
+/// Canonical name of value `i` at (zero-based) level `lvl` of a balanced
+/// hierarchy named `name`.
+pub(crate) fn value_name(name: &str, lvl: usize, i: usize) -> String {
+    format!("{name}_L{}_{i}", lvl + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LevelId;
+
+    #[test]
+    fn balanced_shapes() {
+        let h = Hierarchy::balanced("c", &[50, 10]).unwrap();
+        assert_eq!(h.level_count(), 3);
+        assert_eq!(h.domain_size(LevelId(0)), 50);
+        assert_eq!(h.domain_size(LevelId(1)), 10);
+        assert_eq!(h.domain_size(h.all_level()), 1);
+        assert_eq!(h.edom_size(), 61);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn balanced_fanout_is_even() {
+        let h = Hierarchy::balanced("c", &[100, 10]).unwrap();
+        for &v in h.domain(LevelId(1)) {
+            assert_eq!(h.leaf_count(v), 10);
+        }
+    }
+
+    #[test]
+    fn balanced_single_level() {
+        let h = Hierarchy::balanced("c", &[7]).unwrap();
+        assert_eq!(h.level_count(), 2);
+        assert_eq!(h.domain_size(LevelId(0)), 7);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn balanced_three_user_levels() {
+        let h = Hierarchy::balanced("c", &[1000, 100, 10]).unwrap();
+        assert_eq!(h.level_count(), 4);
+        assert_eq!(h.edom_size(), 1111);
+        h.validate().unwrap();
+        // Each L2 value spans 10 leaves; each L3 value spans 100.
+        for &v in h.domain(LevelId(1)) {
+            assert_eq!(h.leaf_count(v), 10);
+        }
+        for &v in h.domain(LevelId(2)) {
+            assert_eq!(h.leaf_count(v), 100);
+        }
+    }
+
+    #[test]
+    fn balanced_rejects_bad_shapes() {
+        assert!(Hierarchy::balanced("c", &[]).is_err());
+        assert!(Hierarchy::balanced("c", &[10, 50]).is_err());
+        assert!(Hierarchy::balanced("c", &[10, 0]).is_err());
+    }
+
+    #[test]
+    fn balanced_is_deterministic() {
+        let a = Hierarchy::balanced("c", &[30, 6]).unwrap();
+        let b = Hierarchy::balanced("c", &[30, 6]).unwrap();
+        for v in a.edom() {
+            assert_eq!(a.value_name(v), b.value_name(v));
+            assert_eq!(a.leaf_range(v), b.leaf_range(v));
+        }
+    }
+}

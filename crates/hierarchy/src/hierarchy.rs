@@ -1,0 +1,492 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+/// The reserved name of the single value of the `ALL` level.
+pub const ALL_VALUE_NAME: &str = "all";
+
+/// The reserved name of the top level of every hierarchy lattice.
+pub(crate) const ALL_LEVEL_NAME: &str = "ALL";
+
+/// Identifies a level within one hierarchy. Level `0` is the *detailed*
+/// level (`L1` in the paper); the largest level is always `ALL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LevelId(pub u8);
+
+impl LevelId {
+    /// The detailed level `L1`.
+    pub const DETAILED: LevelId = LevelId(0);
+
+    /// Zero-based index of the level, counting up from the detailed level.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LevelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0 as u32 + 1)
+    }
+}
+
+/// Identifies an interned value within one hierarchy.
+///
+/// Ids are dense (`0..hierarchy.value_count()`), so they can be used to
+/// index side tables. The id order is *not* the within-level domain
+/// order; use [`Hierarchy::pos_in_level`] for that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    #[inline]
+    /// Zero-based dense index of the value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ValueData {
+    pub(crate) name: String,
+    pub(crate) level: LevelId,
+    pub(crate) parent: Option<ValueId>,
+    pub(crate) children: Vec<ValueId>,
+    /// Contiguous range of detailed-level positions spanned by this
+    /// value's descendants (for a detailed value, the singleton range of
+    /// its own position).
+    pub(crate) leaf_range: Range<u32>,
+    /// Position of the value within its level's domain order.
+    pub(crate) pos_in_level: u32,
+}
+
+/// A hierarchy of levels of aggregated data for one context parameter
+/// (Section 3.1 of the paper).
+///
+/// The paper defines a hierarchy as a lattice `(L, ≺)` whose upper bound
+/// is `ALL` and whose lower bound is the detailed level. Every hierarchy
+/// in the paper (Figures 1–2) is a chain, and this implementation stores
+/// chains; the minimum-path level distance of Definition 14 therefore
+/// reduces to the absolute difference of level indices.
+///
+/// Built via [`crate::HierarchyBuilder`], [`Hierarchy::flat`], or
+/// [`Hierarchy::balanced`]. Immutable once built.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    name: String,
+    /// Bottom-up level names; the last entry is always `ALL`.
+    level_names: Vec<String>,
+    values: Vec<ValueData>,
+    /// Values of each level in within-level domain order (DFS order, so
+    /// the `anc` monotonicity condition holds by construction).
+    by_level: Vec<Vec<ValueId>>,
+    by_name: HashMap<String, ValueId>,
+}
+
+impl Hierarchy {
+    pub(crate) fn from_parts(
+        name: String,
+        level_names: Vec<String>,
+        values: Vec<ValueData>,
+        by_level: Vec<Vec<ValueId>>,
+        by_name: HashMap<String, ValueId>,
+    ) -> Self {
+        Self { name, level_names, values, by_level, by_name }
+    }
+
+    /// Name of the context parameter this hierarchy models.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of levels *including* `ALL` (`m` in the paper).
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.level_names.len()
+    }
+
+    /// The detailed level `L1`.
+    #[inline]
+    pub fn detailed_level(&self) -> LevelId {
+        LevelId::DETAILED
+    }
+
+    /// The `ALL` level (upper bound of the lattice).
+    #[inline]
+    pub fn all_level(&self) -> LevelId {
+        LevelId((self.level_names.len() - 1) as u8)
+    }
+
+    /// The single value `all` of the `ALL` level.
+    #[inline]
+    pub fn all_value(&self) -> ValueId {
+        self.by_level[self.all_level().index()][0]
+    }
+
+    /// Name of a level.
+    pub fn level_name(&self, level: LevelId) -> &str {
+        &self.level_names[level.index()]
+    }
+
+    /// Find a level by name (case-sensitive). `"ALL"` resolves to the top.
+    pub fn level_by_name(&self, name: &str) -> Option<LevelId> {
+        self.level_names.iter().position(|l| l == name).map(|i| LevelId(i as u8))
+    }
+
+    /// Total number of interned values = `|edom(C)|`, the size of the
+    /// extended domain of Section 3.1.
+    #[inline]
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Alias for [`Self::value_count`], using the paper's notation.
+    #[inline]
+    pub fn edom_size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Size of `dom_{Lj}(C)`, the domain of one level.
+    #[inline]
+    pub fn domain_size(&self, level: LevelId) -> usize {
+        self.by_level[level.index()].len()
+    }
+
+    /// The domain of a level in within-level order.
+    #[inline]
+    pub fn domain(&self, level: LevelId) -> &[ValueId] {
+        &self.by_level[level.index()]
+    }
+
+    /// Iterate over the extended domain: every value of every level,
+    /// bottom-up.
+    pub fn edom(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.by_level.iter().flat_map(|vs| vs.iter().copied())
+    }
+
+    /// Name of a value.
+    #[inline]
+    pub fn value_name(&self, v: ValueId) -> &str {
+        &self.values[v.index()].name
+    }
+
+    /// Look a value up by name, across all levels.
+    pub fn lookup(&self, name: &str) -> Option<ValueId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The level a value belongs to.
+    #[inline]
+    pub fn level_of(&self, v: ValueId) -> LevelId {
+        self.values[v.index()].level
+    }
+
+    /// Position of a value within its level's domain order. Within-level
+    /// order is the order the `anc` monotonicity condition refers to and
+    /// the order range descriptors (`C ∈ [v1, vm]`) are expanded in.
+    #[inline]
+    pub fn pos_in_level(&self, v: ValueId) -> u32 {
+        self.values[v.index()].pos_in_level
+    }
+
+    /// The value at a given position of a level's domain.
+    #[inline]
+    pub fn value_at(&self, level: LevelId, pos: u32) -> ValueId {
+        self.by_level[level.index()][pos as usize]
+    }
+
+    /// Direct parent (ancestor at the next level up), `None` for `all`.
+    #[inline]
+    pub fn parent(&self, v: ValueId) -> Option<ValueId> {
+        self.values[v.index()].parent
+    }
+
+    /// Direct children (descendants at the next level down).
+    #[inline]
+    pub fn children(&self, v: ValueId) -> &[ValueId] {
+        &self.values[v.index()].children
+    }
+
+    /// `anc_{level_of(v)}^{level}(v)`: the ancestor of `v` at `level`.
+    ///
+    /// Returns `v` itself when `level == level_of(v)` (the paper's
+    /// `L1 ¹ L2` reflexive reading) and `None` when `level` is *below*
+    /// the value's own level — `anc` only maps upward.
+    pub fn anc(&self, v: ValueId, level: LevelId) -> Option<ValueId> {
+        let own = self.level_of(v);
+        if level < own {
+            return None;
+        }
+        let mut cur = v;
+        for _ in own.index()..level.index() {
+            cur = self.values[cur.index()].parent?;
+        }
+        Some(cur)
+    }
+
+    /// `desc_{level_of(v)}^{level}(v)`: all descendants of `v` at `level`
+    /// (inverse of `anc`, Definition in Section 3.1). Returns `[v]` when
+    /// `level == level_of(v)` and an empty vector when `level` is above.
+    pub fn desc(&self, v: ValueId, level: LevelId) -> Vec<ValueId> {
+        let own = self.level_of(v);
+        if level > own {
+            return Vec::new();
+        }
+        if level == own {
+            return vec![v];
+        }
+        if level == LevelId::DETAILED {
+            // Fast path: leaves are contiguous in leaf-position order.
+            return self.values[v.index()]
+                .leaf_range
+                .clone()
+                .map(|pos| self.value_at(LevelId::DETAILED, pos))
+                .collect();
+        }
+        let mut frontier = vec![v];
+        for _ in level.index()..own.index() {
+            frontier = frontier
+                .iter()
+                .flat_map(|&u| self.values[u.index()].children.iter().copied())
+                .collect();
+        }
+        frontier
+    }
+
+    /// Number of descendants of `v` at the detailed level, O(1).
+    #[inline]
+    pub fn leaf_count(&self, v: ValueId) -> u32 {
+        let r = &self.values[v.index()].leaf_range;
+        r.end - r.start
+    }
+
+    /// Contiguous detailed-level position range spanned by `v`.
+    #[inline]
+    pub fn leaf_range(&self, v: ValueId) -> Range<u32> {
+        self.values[v.index()].leaf_range.clone()
+    }
+
+    /// True iff `a` is `b` or an ancestor of `b` (at any level). O(1):
+    /// leaf ranges nest along ancestor chains.
+    pub fn is_ancestor_or_self(&self, a: ValueId, b: ValueId) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.level_of(a) <= self.level_of(b) {
+            return false;
+        }
+        let ra = self.leaf_range(a);
+        let rb = self.leaf_range(b);
+        ra.start <= rb.start && rb.end <= ra.end
+    }
+
+    /// Minimum-path distance between two levels (Definition 14). For the
+    /// chain lattices of the paper this is the absolute index difference;
+    /// it is always finite within one hierarchy.
+    #[inline]
+    pub fn level_dist(&self, a: LevelId, b: LevelId) -> u32 {
+        a.0.abs_diff(b.0) as u32
+    }
+
+    /// The Jaccard distance of two values of this hierarchy
+    /// (Definition 16):
+    /// `1 − |desc_L1(v1) ∩ desc_L1(v2)| / |desc_L1(v1) ∪ desc_L1(v2)|`.
+    ///
+    /// O(1) thanks to contiguous leaf ranges.
+    pub fn jaccard(&self, a: ValueId, b: ValueId) -> f64 {
+        let ra = self.leaf_range(a);
+        let rb = self.leaf_range(b);
+        let inter = u32::min(ra.end, rb.end).saturating_sub(u32::max(ra.start, rb.start)) as f64;
+        let union = (ra.end - ra.start + (rb.end - rb.start)) as f64 - inter;
+        if union == 0.0 {
+            // Both empty descendant sets: identical values by convention.
+            return 0.0;
+        }
+        1.0 - inter / union
+    }
+
+    /// Expand a range descriptor `[from, to]` over the within-level
+    /// order. Both endpoints must be at the same level; returns the
+    /// closed range of values (empty if `from` is after `to`).
+    pub fn range_values(&self, from: ValueId, to: ValueId) -> Option<Vec<ValueId>> {
+        let level = self.level_of(from);
+        if self.level_of(to) != level {
+            return None;
+        }
+        let (a, b) = (self.pos_in_level(from), self.pos_in_level(to));
+        if a > b {
+            return Some(Vec::new());
+        }
+        Some((a..=b).map(|p| self.value_at(level, p)).collect())
+    }
+
+    /// Verify the three conditions on the `anc` family (mapping,
+    /// composition, monotonicity). Builders establish these by
+    /// construction; this is an O(values × levels) audit used by tests
+    /// and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        for lvl in 0..self.level_count() - 1 {
+            let level = LevelId(lvl as u8);
+            let upper = LevelId(lvl as u8 + 1);
+            let mut last: Option<u32> = None;
+            for &v in self.domain(level) {
+                // Condition 1: total mapping to the next level.
+                let Some(p) = self.anc(v, upper) else {
+                    return Err(format!("{} has no ancestor at {}", self.value_name(v), upper));
+                };
+                // Condition 3: monotonicity wrt within-level order.
+                let pp = self.pos_in_level(p);
+                if let Some(prev) = last {
+                    if pp < prev {
+                        return Err(format!(
+                            "anc not monotone at level {level}: {} maps backwards",
+                            self.value_name(v)
+                        ));
+                    }
+                }
+                last = Some(pp);
+                // Condition 2: composition (anc to ALL via one step at a
+                // time equals anc directly; trivially true for chains but
+                // audited anyway).
+                let via = self.anc(p, self.all_level());
+                let direct = self.anc(v, self.all_level());
+                if via != direct {
+                    return Err(format!("anc composition violated at {}", self.value_name(v)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyBuilder;
+
+    fn location() -> Hierarchy {
+        let mut b = HierarchyBuilder::new("location", &["Region", "City", "Country"]);
+        b.add("Country", "Greece", None).unwrap();
+        b.add("City", "Athens", Some("Greece")).unwrap();
+        b.add("City", "Ioannina", Some("Greece")).unwrap();
+        b.add("Region", "Plaka", Some("Athens")).unwrap();
+        b.add("Region", "Kifisia", Some("Athens")).unwrap();
+        b.add("Region", "Perama", Some("Ioannina")).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn levels_and_all() {
+        let h = location();
+        assert_eq!(h.level_count(), 4);
+        assert_eq!(h.level_name(h.all_level()), "ALL");
+        assert_eq!(h.value_name(h.all_value()), ALL_VALUE_NAME);
+        assert_eq!(h.level_by_name("City"), Some(LevelId(1)));
+        assert_eq!(h.level_by_name("ALL"), Some(LevelId(3)));
+        assert_eq!(h.level_by_name("nope"), None);
+    }
+
+    #[test]
+    fn anc_follows_paper_example() {
+        // anc^City_Region(Plaka) = Athens
+        let h = location();
+        let plaka = h.lookup("Plaka").unwrap();
+        let athens = h.lookup("Athens").unwrap();
+        let city = h.level_by_name("City").unwrap();
+        assert_eq!(h.anc(plaka, city), Some(athens));
+        // Reflexive at own level, None below own level.
+        assert_eq!(h.anc(athens, city), Some(athens));
+        assert_eq!(h.anc(athens, LevelId::DETAILED), None);
+        // Everything maps to `all` at ALL.
+        assert_eq!(h.anc(plaka, h.all_level()), Some(h.all_value()));
+    }
+
+    #[test]
+    fn desc_follows_paper_example() {
+        // desc^City_Region(Athens) = {Plaka, Kifisia};
+        // desc^Country_City(Greece) = {Athens, Ioannina}
+        let h = location();
+        let athens = h.lookup("Athens").unwrap();
+        let greece = h.lookup("Greece").unwrap();
+        let names = |vs: Vec<ValueId>| -> Vec<&str> {
+            vs.into_iter().map(|v| h.value_name(v)).collect()
+        };
+        assert_eq!(names(h.desc(athens, LevelId(0))), vec!["Plaka", "Kifisia"]);
+        assert_eq!(names(h.desc(greece, LevelId(1))), vec!["Athens", "Ioannina"]);
+        // desc above the value's level is empty; at the level, identity.
+        assert!(h.desc(athens, LevelId(2)).is_empty());
+        assert_eq!(h.desc(athens, LevelId(1)), vec![athens]);
+        // desc from `all` at detailed level covers the whole domain.
+        assert_eq!(h.desc(h.all_value(), LevelId(0)).len(), 3);
+    }
+
+    #[test]
+    fn ancestor_or_self_is_consistent_with_anc() {
+        let h = location();
+        for a in h.edom() {
+            for b in h.edom() {
+                let expected = h
+                    .anc(b, h.level_of(a))
+                    .map(|x| x == a)
+                    .unwrap_or(false);
+                assert_eq!(h.is_ancestor_or_self(a, b), expected, "{:?} {:?}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_matches_definition() {
+        let h = location();
+        let plaka = h.lookup("Plaka").unwrap();
+        let athens = h.lookup("Athens").unwrap();
+        let ioannina = h.lookup("Ioannina").unwrap();
+        let greece = h.lookup("Greece").unwrap();
+        // desc(Plaka) = {Plaka}; desc(Athens) = {Plaka, Kifisia}.
+        assert!((h.jaccard(plaka, athens) - 0.5).abs() < 1e-12);
+        // Disjoint leaf sets → distance 1.
+        assert!((h.jaccard(plaka, ioannina) - 1.0).abs() < 1e-12);
+        // Identical → 0.
+        assert_eq!(h.jaccard(greece, greece), 0.0);
+        // Greece covers everything here, so jaccard(all, Greece) = 0.
+        assert_eq!(h.jaccard(h.all_value(), greece), 0.0);
+        // Symmetry.
+        assert_eq!(h.jaccard(plaka, greece), h.jaccard(greece, plaka));
+    }
+
+    #[test]
+    fn level_dist_is_abs_difference() {
+        let h = location();
+        assert_eq!(h.level_dist(LevelId(0), LevelId(3)), 3);
+        assert_eq!(h.level_dist(LevelId(2), LevelId(1)), 1);
+        assert_eq!(h.level_dist(LevelId(1), LevelId(1)), 0);
+    }
+
+    #[test]
+    fn range_values_follow_within_level_order() {
+        let h = location();
+        let plaka = h.lookup("Plaka").unwrap();
+        let perama = h.lookup("Perama").unwrap();
+        let vals = h.range_values(plaka, perama).unwrap();
+        assert_eq!(vals.len(), 3);
+        // Reversed endpoints → empty.
+        assert!(h.range_values(perama, plaka).unwrap().is_empty());
+        // Cross-level range is rejected.
+        let athens = h.lookup("Athens").unwrap();
+        assert!(h.range_values(plaka, athens).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        location().validate().unwrap();
+    }
+
+    #[test]
+    fn lookup_is_total_over_names() {
+        let h = location();
+        for v in h.edom() {
+            assert_eq!(h.lookup(h.value_name(v)), Some(v));
+        }
+        assert_eq!(h.lookup("Sparta"), None);
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! Multidimensional attribute hierarchies for contextual preferences.
+//!
+//! This crate implements the hierarchy model of Section 3.1 of
+//! *"Adding Context to Preferences"* (Stefanidis, Pitoura, Vassiliadis,
+//! ICDE 2007): every context parameter participates in a lattice of
+//! levels `L1 ≺ L2 ≺ … ≺ ALL`, where `L1` is the *detailed* level and
+//! `ALL` groups every value into the single value `all`. Values of
+//! adjacent levels are related through the family of `anc` (ancestor)
+//! functions and their inverses `desc` (descendants), which must satisfy
+//! three conditions (Vassiliadis & Skiadopoulos, CAiSE 2000):
+//!
+//! 1. **mapping** — `anc` maps each value of the lower level to a value
+//!    of the upper level,
+//! 2. **composition** — `anc_{L1}^{L3} = anc_{L2}^{L3} ∘ anc_{L1}^{L2}`,
+//! 3. **monotonicity** — `x < y ⇒ anc(x) ≤ anc(y)` with respect to the
+//!    within-level value order.
+//!
+//! [`Hierarchy`] stores values interned as [`ValueId`]s with the leaves
+//! (detailed-level values) laid out in depth-first order, so that the
+//! descendants of any value at the detailed level form a contiguous
+//! range. This makes the two operations that context resolution is built
+//! on — the `covers` test and the Jaccard distance of Definition 16 —
+//! O(1) range computations instead of set intersections.
+//!
+//! # Example
+//!
+//! ```
+//! use ctxpref_hierarchy::HierarchyBuilder;
+//!
+//! let mut b = HierarchyBuilder::new("location", &["Region", "City", "Country"]);
+//! b.add("Country", "Greece", None).unwrap();
+//! b.add("City", "Athens", Some("Greece")).unwrap();
+//! b.add("City", "Ioannina", Some("Greece")).unwrap();
+//! b.add("Region", "Plaka", Some("Athens")).unwrap();
+//! b.add("Region", "Kifisia", Some("Athens")).unwrap();
+//! b.add("Region", "Perama", Some("Ioannina")).unwrap();
+//! let h = b.build().unwrap();
+//!
+//! let plaka = h.lookup("Plaka").unwrap();
+//! let athens = h.lookup("Athens").unwrap();
+//! let city = h.level_by_name("City").unwrap();
+//! assert_eq!(h.anc(plaka, city), Some(athens));
+//! assert_eq!(h.desc(athens, h.detailed_level()).len(), 2);
+//! ```
+
+mod builder;
+mod error;
+mod generate;
+mod hierarchy;
+pub mod lattice;
+
+pub use builder::HierarchyBuilder;
+pub use error::HierarchyError;
+pub use hierarchy::{Hierarchy, LevelId, ValueId, ALL_VALUE_NAME};
+pub use lattice::{LatticeBuilder, LatticeError, LatticeHierarchy};

@@ -1,0 +1,165 @@
+//! Property-based tests for general level lattices: random two-branch
+//! lattices must satisfy the `anc` conditions, agree with their chain
+//! decompositions, and keep Jaccard well-behaved across branches.
+
+use ctxpref_hierarchy::lattice::LatticeBuilder;
+use ctxpref_hierarchy::{LatticeHierarchy, LevelId};
+use proptest::prelude::*;
+
+/// Build a random two-branch diamond lattice:
+/// `Base ≺ {A, B} ≺ ALL`, with `a_size`/`b_size` values per branch and
+/// `base_size` detailed values whose branch parents are chosen by the
+/// index vectors.
+fn diamond(
+    base_size: usize,
+    a_size: usize,
+    b_size: usize,
+    a_of: &[usize],
+    b_of: &[usize],
+) -> LatticeHierarchy {
+    let mut builder = LatticeBuilder::new("d");
+    builder.level("Base", &["A", "B"]);
+    builder.level("A", &[]);
+    builder.level("B", &[]);
+    for i in 0..a_size {
+        builder.value("A", &format!("a{i}"), &[]);
+    }
+    for i in 0..b_size {
+        builder.value("B", &format!("b{i}"), &[]);
+    }
+    for i in 0..base_size {
+        builder.value(
+            "Base",
+            &format!("v{i}"),
+            &[&format!("a{}", a_of[i] % a_size), &format!("b{}", b_of[i] % b_size)],
+        );
+    }
+    builder.build().expect("no diamonds above branch levels → always commutes")
+}
+
+fn shape() -> impl Strategy<Value = (usize, usize, usize, Vec<usize>, Vec<usize>)> {
+    (2usize..20, 1usize..5, 1usize..5).prop_flat_map(|(n, a, b)| {
+        (
+            Just(n),
+            Just(a),
+            Just(b),
+            proptest::collection::vec(0usize..100, n..=n),
+            proptest::collection::vec(0usize..100, n..=n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// anc is total upward, absent across branches, and the identity at
+    /// the value's own level.
+    #[test]
+    fn anc_totality_and_reach((n, a, b, aof, bof) in shape()) {
+        let l = diamond(n, a, b, &aof, &bof);
+        let base = LevelId(0);
+        let la = l.level_by_name("A").unwrap();
+        let lb = l.level_by_name("B").unwrap();
+        let all = l.level_by_name("ALL").unwrap();
+        for &v in l.domain(base) {
+            prop_assert_eq!(l.anc(v, base), Some(v));
+            prop_assert!(l.anc(v, la).is_some());
+            prop_assert!(l.anc(v, lb).is_some());
+            prop_assert_eq!(l.anc(v, all), l.lookup("all"));
+        }
+        // Branch values cannot reach the sibling branch.
+        for &v in l.domain(la) {
+            prop_assert_eq!(l.anc(v, lb), None);
+            prop_assert_eq!(l.anc(v, base), None);
+        }
+    }
+
+    /// desc inverts anc on every level pair.
+    #[test]
+    fn desc_inverts_anc((n, a, b, aof, bof) in shape()) {
+        let l = diamond(n, a, b, &aof, &bof);
+        for lvl in 1..l.level_count() {
+            let lvl = LevelId(lvl as u8);
+            for &v in l.domain(lvl) {
+                for d in l.desc(v, LevelId(0)) {
+                    prop_assert_eq!(l.anc(d, lvl), Some(v));
+                }
+                prop_assert_eq!(
+                    l.desc(v, LevelId(0)).len(),
+                    l.leaf_set(v).len()
+                );
+            }
+        }
+    }
+
+    /// Leaf sets partition the detailed level within each level.
+    #[test]
+    fn leaf_sets_partition((n, a, b, aof, bof) in shape()) {
+        let l = diamond(n, a, b, &aof, &bof);
+        for lvl in 1..l.level_count() {
+            let lvl = LevelId(lvl as u8);
+            let total: usize = l.domain(lvl).iter().map(|&v| l.leaf_set(v).len()).sum();
+            prop_assert_eq!(total, n, "level {} must cover all leaves once", lvl.index());
+        }
+    }
+
+    /// Jaccard is symmetric, bounded, zero on identity — including
+    /// cross-branch pairs.
+    #[test]
+    fn jaccard_wellformed((n, a, b, aof, bof) in shape(), i in 0usize..200, j in 0usize..200) {
+        let l = diamond(n, a, b, &aof, &bof);
+        let all_values: Vec<_> = (0..l.edom_size() as u32)
+            .map(ctxpref_hierarchy::ValueId)
+            .collect();
+        let x = all_values[i % all_values.len()];
+        let y = all_values[j % all_values.len()];
+        let dxy = l.jaccard(x, y);
+        let dyx = l.jaccard(y, x);
+        prop_assert!((dxy - dyx).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&dxy));
+        prop_assert_eq!(l.jaccard(x, x), 0.0);
+    }
+
+    /// Chain decomposition agrees with the lattice: for every extracted
+    /// chain and every value on it, `chain.anc == lattice.anc`.
+    #[test]
+    fn decomposition_agrees_with_lattice((n, a, b, aof, bof) in shape()) {
+        let l = diamond(n, a, b, &aof, &bof);
+        let chains = l.decompose().unwrap();
+        prop_assert_eq!(chains.len(), 2);
+        for chain in &chains {
+            chain.validate().unwrap();
+            prop_assert_eq!(chain.domain(chain.detailed_level()).len(), n);
+            // Level 1 of the chain corresponds to one lattice branch.
+            let branch = l.level_by_name(chain.level_name(LevelId(1))).unwrap();
+            for &cv in chain.domain(chain.detailed_level()) {
+                let name = chain.value_name(cv);
+                let lv = l.lookup(name).unwrap();
+                let chain_anc = chain.anc(cv, LevelId(1)).unwrap();
+                let lattice_anc = l.anc(lv, branch).unwrap();
+                prop_assert_eq!(chain.value_name(chain_anc), l.value_name(lattice_anc));
+            }
+        }
+    }
+
+    /// Level distances satisfy metric basics on the diamond.
+    #[test]
+    fn level_distance_metric((n, a, b, aof, bof) in shape()) {
+        let l = diamond(n, a, b, &aof, &bof);
+        let nl = l.level_count();
+        for x in 0..nl {
+            for y in 0..nl {
+                let d = l.level_dist(LevelId(x as u8), LevelId(y as u8)).unwrap();
+                let d2 = l.level_dist(LevelId(y as u8), LevelId(x as u8)).unwrap();
+                prop_assert_eq!(d, d2);
+                prop_assert_eq!(d == 0, x == y);
+                // Triangle inequality.
+                for z in 0..nl {
+                    let dz = l.level_dist(LevelId(x as u8), LevelId(z as u8)).unwrap()
+                        + l.level_dist(LevelId(z as u8), LevelId(y as u8)).unwrap();
+                    prop_assert!(d <= dz);
+                }
+            }
+        }
+    }
+}

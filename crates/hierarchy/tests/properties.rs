@@ -1,0 +1,159 @@
+//! Property-based tests for the hierarchy invariants the paper's proofs
+//! rely on (the three `anc` conditions and the Jaccard consistency of
+//! Property 1).
+
+use ctxpref_hierarchy::{Hierarchy, LevelId, ValueId};
+use proptest::prelude::*;
+
+/// Strategy: shapes of balanced hierarchies with 1–3 user levels and
+/// non-increasing sizes.
+fn shape() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        (1usize..=60).prop_map(|a| vec![a]),
+        (1usize..=20, 1usize..=6).prop_map(|(b, a)| vec![a * b, a]),
+        (1usize..=10, 1usize..=5, 1usize..=4).prop_map(|(c, b, a)| vec![a * b * c, a * b, a]),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn validate_holds_for_all_balanced_shapes(sizes in shape()) {
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        prop_assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn anc_is_total_and_composes(sizes in shape()) {
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        let all = h.all_level();
+        for v in h.edom() {
+            let own = h.level_of(v);
+            // Totality upward, None below.
+            for l in 0..h.level_count() {
+                let l = LevelId(l as u8);
+                let a = h.anc(v, l);
+                prop_assert_eq!(a.is_some(), l >= own);
+            }
+            // Composition: stepping one level at a time equals jumping.
+            let mut step = v;
+            for l in own.index()..all.index() {
+                step = h.anc(step, LevelId(l as u8 + 1)).unwrap();
+                prop_assert_eq!(Some(step), h.anc(v, LevelId(l as u8 + 1)));
+            }
+            prop_assert_eq!(step, h.all_value());
+        }
+    }
+
+    #[test]
+    fn anc_is_monotone(sizes in shape()) {
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        for lvl in 0..h.level_count() - 1 {
+            let level = LevelId(lvl as u8);
+            let upper = LevelId(lvl as u8 + 1);
+            let dom = h.domain(level);
+            for w in dom.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                let ax = h.pos_in_level(h.anc(x, upper).unwrap());
+                let ay = h.pos_in_level(h.anc(y, upper).unwrap());
+                prop_assert!(ax <= ay, "anc not monotone at {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn desc_inverts_anc(sizes in shape()) {
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        for v in h.edom() {
+            let own = h.level_of(v);
+            for l in 0..=own.index() {
+                let l = LevelId(l as u8);
+                let ds = h.desc(v, l);
+                prop_assert!(!ds.is_empty());
+                for d in &ds {
+                    prop_assert_eq!(h.anc(*d, own), Some(v));
+                }
+                // Completeness: every value at l whose ancestor is v is in ds.
+                let count = h
+                    .domain(l)
+                    .iter()
+                    .filter(|&&x| h.anc(x, own) == Some(v))
+                    .count();
+                prop_assert_eq!(count, ds.len());
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_count_matches_desc(sizes in shape()) {
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        for v in h.edom() {
+            prop_assert_eq!(
+                h.leaf_count(v) as usize,
+                h.desc(v, LevelId::DETAILED).len()
+            );
+        }
+    }
+
+    /// Property 1 of the paper: along an ancestor chain v1 → v2 → v3
+    /// (levels strictly increasing), distJ(v3, v1) ≥ distJ(v2, v1).
+    #[test]
+    fn jaccard_grows_along_ancestor_chains(sizes in shape(), leaf_pick in 0usize..1000) {
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        let dom = h.domain(LevelId::DETAILED);
+        let v1 = dom[leaf_pick % dom.len()];
+        let mut chain: Vec<ValueId> = Vec::new();
+        let mut cur = v1;
+        while let Some(p) = h.parent(cur) {
+            chain.push(p);
+            cur = p;
+        }
+        let mut last = h.jaccard(v1, v1);
+        prop_assert_eq!(last, 0.0);
+        for a in chain {
+            let d = h.jaccard(a, v1);
+            prop_assert!(d + 1e-12 >= last, "jaccard decreased along chain");
+            prop_assert!((0.0..=1.0).contains(&d));
+            last = d;
+        }
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded(sizes in shape(), i in 0usize..1000, j in 0usize..1000) {
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        let n = h.value_count();
+        let a = ValueId((i % n) as u32);
+        let b = ValueId((j % n) as u32);
+        let dab = h.jaccard(a, b);
+        let dba = h.jaccard(b, a);
+        prop_assert!((dab - dba).abs() < 1e-15);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(h.jaccard(a, a), 0.0);
+    }
+
+    /// Jaccard computed via O(1) leaf ranges must agree with the naive
+    /// set-based Definition 16.
+    #[test]
+    fn jaccard_matches_naive_sets(sizes in shape(), i in 0usize..1000, j in 0usize..1000) {
+        use std::collections::HashSet;
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        let n = h.value_count();
+        let a = ValueId((i % n) as u32);
+        let b = ValueId((j % n) as u32);
+        let sa: HashSet<ValueId> = h.desc(a, LevelId::DETAILED).into_iter().collect();
+        let sb: HashSet<ValueId> = h.desc(b, LevelId::DETAILED).into_iter().collect();
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = sa.union(&sb).count() as f64;
+        let naive = 1.0 - inter / union;
+        prop_assert!((h.jaccard(a, b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_ancestor_or_self_matches_anc(sizes in shape(), i in 0usize..1000, j in 0usize..1000) {
+        let h = Hierarchy::balanced("p", &sizes).unwrap();
+        let n = h.value_count();
+        let a = ValueId((i % n) as u32);
+        let b = ValueId((j % n) as u32);
+        let expected = h.anc(b, h.level_of(a)) == Some(a);
+        prop_assert_eq!(h.is_ancestor_or_self(a, b), expected);
+    }
+}

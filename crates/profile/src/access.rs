@@ -1,0 +1,57 @@
+/// Counts cell accesses during lookups — the cost metric of the paper's
+/// performance evaluation (Figure 7 reports "number of cells accessed
+/// to find related preferences to queries").
+///
+/// A *cell access* is one `[key, pointer]` cell examined in a profile
+/// tree node, one context value examined in a serially stored
+/// preference, or one leaf entry read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounter {
+    cells: u64,
+}
+
+impl AccessCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` cell accesses.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.cells += n;
+    }
+
+    /// Record one cell access.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.cells += 1;
+    }
+
+    /// Total cells accessed so far.
+    #[inline]
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Reset to zero (for reuse across queries).
+    pub fn reset(&mut self) {
+        self.cells = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let mut c = AccessCounter::new();
+        assert_eq!(c.cells(), 0);
+        c.bump();
+        c.add(4);
+        assert_eq!(c.cells(), 5);
+        c.reset();
+        assert_eq!(c.cells(), 0);
+    }
+}

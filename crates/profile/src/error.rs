@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+use ctxpref_context::{ContextError, ContextState};
+
+/// Errors of the preference / profile layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// An interest score outside `[0, 1]` (or NaN) was supplied
+    /// (Definition 5 requires a real number between 0 and 1).
+    InvalidScore(f64),
+    /// Inserting the preference would conflict with an existing one
+    /// (Definition 6): same context state, same attribute clause,
+    /// different interest score. The offending state is reported so the
+    /// user can be notified, as Section 3.3 prescribes.
+    Conflict {
+        /// A witness state shared by both preferences.
+        state: ContextState,
+        /// The score already stored.
+        existing_score: f64,
+        /// The rejected new score.
+        new_score: f64,
+    },
+    /// An underlying context-model error (descriptor expansion etc.).
+    Context(ContextError),
+    /// A parameter order that is not a permutation of the environment's
+    /// parameters.
+    InvalidOrder(String),
+    /// The operation mixes objects built over different context
+    /// environments.
+    EnvironmentMismatch,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidScore(s) => {
+                write!(f, "interest score must be a real number in [0, 1], got {s}")
+            }
+            Self::Conflict { existing_score, new_score, .. } => write!(
+                f,
+                "conflicting preference: same context state and attribute clause already \
+                 scored {existing_score}, refusing {new_score}"
+            ),
+            Self::Context(e) => write!(f, "context error: {e}"),
+            Self::InvalidOrder(msg) => write!(f, "invalid parameter order: {msg}"),
+            Self::EnvironmentMismatch => {
+                write!(f, "objects belong to different context environments")
+            }
+        }
+    }
+}
+
+impl Error for ProfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Context(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ContextError> for ProfileError {
+    fn from(e: ContextError) -> Self {
+        Self::Context(e)
+    }
+}

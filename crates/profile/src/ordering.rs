@@ -1,0 +1,243 @@
+use std::fmt;
+
+use ctxpref_context::{ContextEnvironment, ParamId};
+
+use crate::error::ProfileError;
+use crate::profile::Profile;
+
+/// An assignment of context parameters to profile-tree levels: tree
+/// level `k` stores the values of `order[k]`.
+///
+/// Section 3.3 observes that the maximum number of cells is
+/// `m1·(1 + m2·(1 + … (1 + mn)))` where `mi` is the domain cardinality
+/// of the parameter at level `i`, which is minimized by placing
+/// parameters with *larger* domains *lower* in the tree. Figure 6
+/// (right) refines this: under skew, the *active* domain (values
+/// actually appearing in preferences) is what matters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParamOrder {
+    levels: Vec<ParamId>,
+}
+
+impl ParamOrder {
+    /// The identity order: parameter `Ci` at tree level `i`.
+    pub fn identity(env: &ContextEnvironment) -> Self {
+        Self { levels: env.param_ids().collect() }
+    }
+
+    /// Build from an explicit permutation of the environment's
+    /// parameters.
+    pub fn new(env: &ContextEnvironment, levels: Vec<ParamId>) -> Result<Self, ProfileError> {
+        if levels.len() != env.len() {
+            return Err(ProfileError::InvalidOrder(format!(
+                "expected {} parameters, got {}",
+                env.len(),
+                levels.len()
+            )));
+        }
+        let mut seen = vec![false; env.len()];
+        for &p in &levels {
+            if p.index() >= env.len() || seen[p.index()] {
+                return Err(ProfileError::InvalidOrder(format!(
+                    "not a permutation: parameter {p} repeated or out of range"
+                )));
+            }
+            seen[p.index()] = true;
+        }
+        Ok(Self { levels })
+    }
+
+    /// Build from parameter names, root level first.
+    pub fn by_names(env: &ContextEnvironment, names: &[&str]) -> Result<Self, ProfileError> {
+        let mut levels = Vec::with_capacity(names.len());
+        for &n in names {
+            levels.push(env.require_param(n)?);
+        }
+        Self::new(env, levels)
+    }
+
+    /// The parameter stored at tree level `k` (0-based, root first).
+    #[inline]
+    pub fn param_at(&self, level: usize) -> ParamId {
+        self.levels[level]
+    }
+
+    /// Number of levels (= number of parameters).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    #[inline]
+    /// True iff the order covers no parameters (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The parameters, root level first.
+    pub fn params(&self) -> &[ParamId] {
+        &self.levels
+    }
+
+    /// The paper's space heuristic: parameters with larger extended
+    /// domains go lower in the tree (ascending `|edom(Ci)|` from the
+    /// root). Ties keep parameter order.
+    pub fn by_ascending_domain(env: &ContextEnvironment) -> Self {
+        let mut levels: Vec<ParamId> = env.param_ids().collect();
+        levels.sort_by_key(|&p| (env.hierarchy(p).edom_size(), p));
+        Self { levels }
+    }
+
+    /// The skew-aware refinement of Figure 6 (right): order by ascending
+    /// *active* domain — the number of distinct values of each parameter
+    /// that actually appear in the profile's preference states.
+    pub fn by_ascending_active_domain(env: &ContextEnvironment, profile: &Profile) -> Self {
+        let mut distinct: Vec<std::collections::HashSet<ctxpref_context::CtxValue>> =
+            vec![Default::default(); env.len()];
+        for pref in profile.iter() {
+            if let Ok(sets) = pref.descriptor().value_sets(env) {
+                for (i, set) in sets.into_iter().enumerate() {
+                    distinct[i].extend(set);
+                }
+            }
+        }
+        let mut levels: Vec<ParamId> = env.param_ids().collect();
+        levels.sort_by_key(|&p| (distinct[p.index()].len(), p));
+        Self { levels }
+    }
+
+    /// Every permutation of the parameters — the experiments of
+    /// Figures 5–6 enumerate all `n!` orderings (6 for `n = 3`).
+    /// Permutations are produced in lexicographic order of parameter
+    /// ids, so "order 1" … "order 6" match the paper's numbering when
+    /// parameters are declared in ascending-domain order.
+    pub fn all_orders(env: &ContextEnvironment) -> Vec<Self> {
+        let ids: Vec<ParamId> = env.param_ids().collect();
+        let mut out = Vec::new();
+        let mut current = Vec::with_capacity(ids.len());
+        let mut used = vec![false; ids.len()];
+        permute(&ids, &mut current, &mut used, &mut out);
+        out
+    }
+
+    /// The worst-case cell count `m1·(1 + m2·(1 + … (1 + mn)))` of
+    /// Section 3.3, taking `mi` as the extended-domain cardinality of
+    /// the parameter at level `i`. Saturating.
+    pub fn max_cells(&self, env: &ContextEnvironment) -> u128 {
+        self.levels.iter().rev().fold(0u128, |inner, &p| {
+            let m = env.hierarchy(p).edom_size() as u128;
+            m.saturating_mul(1u128.saturating_add(inner))
+        })
+    }
+
+    /// Render as `(location, temperature, …)` root-first.
+    pub fn display<'a>(&'a self, env: &'a ContextEnvironment) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a ParamOrder, &'a ContextEnvironment);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                for (i, &p) in self.0.levels.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.1.hierarchy(p).name())?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, env)
+    }
+}
+
+fn permute(
+    ids: &[ParamId],
+    current: &mut Vec<ParamId>,
+    used: &mut [bool],
+    out: &mut Vec<ParamOrder>,
+) {
+    if current.len() == ids.len() {
+        out.push(ParamOrder { levels: current.clone() });
+        return;
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        if !used[i] {
+            used[i] = true;
+            current.push(id);
+            permute(ids, current, used, out);
+            current.pop();
+            used[i] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxpref_hierarchy::Hierarchy;
+
+    fn env() -> ContextEnvironment {
+        ContextEnvironment::new(vec![
+            Hierarchy::balanced("big", &[100, 10]).unwrap(),   // edom 111
+            Hierarchy::balanced("small", &[4]).unwrap(),       // edom 5
+            Hierarchy::balanced("mid", &[20, 5]).unwrap(),     // edom 26
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_and_validation() {
+        let e = env();
+        let id = ParamOrder::identity(&e);
+        assert_eq!(id.params(), &[ParamId(0), ParamId(1), ParamId(2)]);
+        assert_eq!(id.param_at(1), ParamId(1));
+        assert_eq!(id.len(), 3);
+        assert!(!id.is_empty());
+        assert!(ParamOrder::new(&e, vec![ParamId(0)]).is_err());
+        assert!(ParamOrder::new(&e, vec![ParamId(0), ParamId(0), ParamId(1)]).is_err());
+        assert!(ParamOrder::new(&e, vec![ParamId(0), ParamId(1), ParamId(9)]).is_err());
+        ParamOrder::new(&e, vec![ParamId(2), ParamId(0), ParamId(1)]).unwrap();
+    }
+
+    #[test]
+    fn by_names_resolves() {
+        let e = env();
+        let o = ParamOrder::by_names(&e, &["small", "mid", "big"]).unwrap();
+        assert_eq!(o.params(), &[ParamId(1), ParamId(2), ParamId(0)]);
+        assert!(ParamOrder::by_names(&e, &["small", "mid", "nope"]).is_err());
+        assert_eq!(o.display(&e).to_string(), "(small, mid, big)");
+    }
+
+    #[test]
+    fn ascending_domain_puts_large_last() {
+        let e = env();
+        let o = ParamOrder::by_ascending_domain(&e);
+        assert_eq!(o.params(), &[ParamId(1), ParamId(2), ParamId(0)]);
+    }
+
+    #[test]
+    fn all_orders_enumerates_permutations() {
+        let e = env();
+        let all = ParamOrder::all_orders(&e);
+        assert_eq!(all.len(), 6);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn max_cells_formula() {
+        let e = env();
+        // Ascending: small(5), mid(26), big(111):
+        // 5 * (1 + 26 * (1 + 111)) = 5 * (1 + 2912) = 14565.
+        let asc = ParamOrder::by_names(&e, &["small", "mid", "big"]).unwrap();
+        assert_eq!(asc.max_cells(&e), 14565);
+        // Descending: 111 * (1 + 26 * (1 + 5)) = 111 * 157 = 17427.
+        let desc = ParamOrder::by_names(&e, &["big", "mid", "small"]).unwrap();
+        assert_eq!(desc.max_cells(&e), 17427);
+        // The paper's claim: ascending-domain order minimizes the bound.
+        let best = ParamOrder::all_orders(&e)
+            .into_iter()
+            .min_by_key(|o| o.max_cells(&e))
+            .unwrap();
+        assert_eq!(best.params(), asc.params());
+    }
+}

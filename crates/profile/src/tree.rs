@@ -1,0 +1,774 @@
+use std::fmt;
+
+use ctxpref_context::{ContextEnvironment, ContextState, CtxValue, DistanceKind};
+
+use crate::access::AccessCounter;
+use crate::error::ProfileError;
+use crate::ordering::ParamOrder;
+use crate::preference::{AttributeClause, ContextualPreference};
+use crate::profile::Profile;
+use crate::{CELL_BYTES, LEAF_ENTRY_BYTES};
+
+/// Identifies a leaf node of a [`ProfileTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeafId(pub u32);
+
+impl LeafId {
+    #[inline]
+    /// Zero-based index of the leaf.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One `[attribute θ value, interest_score]` entry of a leaf node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafEntry {
+    /// The attribute clause `A θ a`.
+    pub clause: AttributeClause,
+    /// The interest score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// A `[key, pointer]` cell of an internal node.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    key: CtxValue,
+    /// Index into `nodes` for non-bottom levels, into `leaves` for the
+    /// bottom parameter level.
+    child: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    cells: Vec<Cell>,
+}
+
+/// A candidate path produced by `Search_CS` (Algorithm 1): a stored
+/// context state that equals or covers the searched state, its distance
+/// from the searched state, and the leaf holding its preference entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The stored context state spelled by the path.
+    pub state: ContextState,
+    /// Distance from the searched state under the chosen metric.
+    pub distance: f64,
+    /// The leaf holding the path's preference entries.
+    pub leaf: LeafId,
+}
+
+/// Size statistics of a [`ProfileTree`] under the byte model documented
+/// on [`crate::CELL_BYTES`] / [`crate::LEAF_ENTRY_BYTES`] — the
+/// quantities plotted in Figures 5 and 6 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeStats {
+    /// Internal (non-leaf) nodes.
+    pub internal_nodes: usize,
+    /// `[key, pointer]` cells across internal nodes.
+    pub internal_cells: usize,
+    /// Leaf nodes (distinct stored context states).
+    pub leaf_nodes: usize,
+    /// `[attribute θ value, score]` entries across leaves.
+    pub leaf_entries: usize,
+}
+
+impl TreeStats {
+    /// Total cells, counting each leaf entry as one cell (the unit of
+    /// Figures 5–6: a 522-preference profile stored serially is ~2200
+    /// cells ≈ 522 × (3 context values + 1 leaf entry)).
+    pub fn total_cells(&self) -> usize {
+        self.internal_cells + self.leaf_entries
+    }
+
+    /// Total bytes under the documented cost model.
+    pub fn total_bytes(&self) -> usize {
+        self.internal_cells * CELL_BYTES + self.leaf_entries * LEAF_ENTRY_BYTES
+    }
+}
+
+/// The profile tree (Section 3.3): an index over the context states of
+/// a profile's preferences.
+///
+/// * One level per context parameter (assigned by a [`ParamOrder`]),
+///   plus a leaf level — height `n + 1`.
+/// * Each internal node at level `k` holds `[key, pointer]` cells whose
+///   keys are values of `edom(C_{order[k]})` (including `all` for
+///   unspecified parameters); no two cells of one node share a key.
+/// * Each root-to-leaf path spells one stored context state; the leaf
+///   holds every `[attribute θ value, interest_score]` associated with
+///   that state.
+/// * Conflicts (Definition 6) are detected during insertion with a
+///   single root-to-leaf traversal per state.
+#[derive(Debug, Clone)]
+pub struct ProfileTree {
+    env: ContextEnvironment,
+    order: ParamOrder,
+    nodes: Vec<Node>,
+    leaves: Vec<Vec<LeafEntry>>,
+    /// Arena slots freed by [`ProfileTree::remove_state_entry`], reused
+    /// by subsequent insertions.
+    free_nodes: Vec<u32>,
+    free_leaves: Vec<u32>,
+}
+
+impl ProfileTree {
+    /// An empty tree over `env` with the given parameter-to-level
+    /// assignment.
+    pub fn new(env: ContextEnvironment, order: ParamOrder) -> Result<Self, ProfileError> {
+        if order.len() != env.len() {
+            return Err(ProfileError::InvalidOrder(format!(
+                "order has {} levels for {} parameters",
+                order.len(),
+                env.len()
+            )));
+        }
+        Ok(Self {
+            env,
+            order,
+            nodes: vec![Node::default()],
+            leaves: Vec::new(),
+            free_nodes: Vec::new(),
+            free_leaves: Vec::new(),
+        })
+    }
+
+    /// Build a tree from a whole profile.
+    pub fn from_profile(profile: &Profile, order: ParamOrder) -> Result<Self, ProfileError> {
+        let mut tree = Self::new(profile.env().clone(), order)?;
+        for pref in profile.iter() {
+            tree.insert(pref)?;
+        }
+        Ok(tree)
+    }
+
+    /// The context environment the tree indexes.
+    pub fn env(&self) -> &ContextEnvironment {
+        &self.env
+    }
+
+    /// The parameter-to-level assignment.
+    pub fn order(&self) -> &ParamOrder {
+        &self.order
+    }
+
+    /// Number of context parameters = height of the tree minus one.
+    #[inline]
+    fn depth(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The entries of a leaf.
+    pub fn leaf(&self, id: LeafId) -> &[LeafEntry] {
+        &self.leaves[id.index()]
+    }
+
+    /// Insert one contextual preference: one path per state of its
+    /// descriptor's context.
+    ///
+    /// Conflict handling follows Section 3.3: before any path is
+    /// created, every state is checked with a root-to-leaf traversal; if
+    /// some state already stores the same attribute clause with a
+    /// different score, the whole insertion is rejected (atomically) and
+    /// the caller can notify the user. Re-inserting an identical
+    /// `(state, clause, score)` is a no-op.
+    pub fn insert(&mut self, pref: &ContextualPreference) -> Result<(), ProfileError> {
+        let states = pref.descriptor().states(&self.env)?;
+        // Phase 1: detect conflicts without mutating.
+        for state in &states {
+            if let Some(leaf) = self.locate_leaf(state) {
+                for entry in &self.leaves[leaf.index()] {
+                    if entry.clause == *pref.clause() && entry.score != pref.score() {
+                        return Err(ProfileError::Conflict {
+                            state: state.clone(),
+                            existing_score: entry.score,
+                            new_score: pref.score(),
+                        });
+                    }
+                }
+            }
+        }
+        // Phase 2: insert paths.
+        for state in &states {
+            let leaf = self.ensure_path(state);
+            let entries = &mut self.leaves[leaf.index()];
+            let duplicate = entries
+                .iter()
+                .any(|e| e.clause == *pref.clause() && e.score == pref.score());
+            if !duplicate {
+                entries.push(LeafEntry { clause: pref.clause().clone(), score: pref.score() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Walk the path of `state`, returning its leaf if fully present.
+    fn locate_leaf(&self, state: &ContextState) -> Option<LeafId> {
+        let mut node = 0usize;
+        for level in 0..self.depth() {
+            let key = state.value(self.order.param_at(level));
+            let cell = self.nodes[node].cells.iter().find(|c| c.key == key)?;
+            if level + 1 == self.depth() {
+                return Some(LeafId(cell.child));
+            }
+            node = cell.child as usize;
+        }
+        unreachable!("depth ≥ 1 by construction")
+    }
+
+    /// Walk the path of `state`, creating nodes/cells as needed; returns
+    /// the leaf.
+    fn ensure_path(&mut self, state: &ContextState) -> LeafId {
+        let mut node = 0usize;
+        for level in 0..self.depth() {
+            let key = state.value(self.order.param_at(level));
+            let bottom = level + 1 == self.depth();
+            let existing = self.nodes[node].cells.iter().find(|c| c.key == key).map(|c| c.child);
+            let child = match existing {
+                Some(c) => c,
+                None => {
+                    let c = if bottom {
+                        match self.free_leaves.pop() {
+                            Some(i) => i,
+                            None => {
+                                self.leaves.push(Vec::new());
+                                (self.leaves.len() - 1) as u32
+                            }
+                        }
+                    } else {
+                        match self.free_nodes.pop() {
+                            Some(i) => i,
+                            None => {
+                                self.nodes.push(Node::default());
+                                (self.nodes.len() - 1) as u32
+                            }
+                        }
+                    };
+                    self.nodes[node].cells.push(Cell { key, child: c });
+                    c
+                }
+            };
+            if bottom {
+                return LeafId(child);
+            }
+            node = child as usize;
+        }
+        unreachable!("depth ≥ 1 by construction")
+    }
+
+    /// Exact-match lookup: a single root-to-leaf traversal (the first
+    /// case of the paper's query-complexity analysis). Returns the leaf
+    /// for `state` if the exact state is stored.
+    ///
+    /// `counter` is charged one access per `[key, pointer]` cell
+    /// examined by the linear scan of each visited node.
+    pub fn exact_lookup(
+        &self,
+        state: &ContextState,
+        counter: &mut AccessCounter,
+    ) -> Option<(LeafId, &[LeafEntry])> {
+        let mut node = 0usize;
+        for level in 0..self.depth() {
+            let key = state.value(self.order.param_at(level));
+            let cells = &self.nodes[node].cells;
+            let mut found = None;
+            for (i, c) in cells.iter().enumerate() {
+                if c.key == key {
+                    counter.add(i as u64 + 1);
+                    found = Some(c.child);
+                    break;
+                }
+            }
+            let Some(child) = found else {
+                counter.add(cells.len() as u64);
+                return None;
+            };
+            if level + 1 == self.depth() {
+                let leaf = LeafId(child);
+                return Some((leaf, &self.leaves[leaf.index()]));
+            }
+            node = child as usize;
+        }
+        unreachable!("depth ≥ 1 by construction")
+    }
+
+    /// `Search_CS` (Algorithm 1): find every stored path whose context
+    /// state equals or covers `state`, each annotated with its distance
+    /// from `state` under `kind`.
+    ///
+    /// The traversal descends from the root; at level `k` with searched
+    /// value `c_k`, it follows every cell whose key is `c_k` itself or
+    /// an ancestor of `c_k` (including `all`), accumulating the
+    /// per-parameter distance contribution. Every cell of every visited
+    /// node is charged to `counter` (the linear scan must classify each
+    /// cell).
+    pub fn search_cs(
+        &self,
+        state: &ContextState,
+        kind: DistanceKind,
+        counter: &mut AccessCounter,
+    ) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        let mut path: Vec<CtxValue> = Vec::with_capacity(self.depth());
+        self.search_rec(0, 0.0, state, kind, counter, &mut path, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_rec(
+        &self,
+        node: usize,
+        dist: f64,
+        state: &ContextState,
+        kind: DistanceKind,
+        counter: &mut AccessCounter,
+        path: &mut Vec<CtxValue>,
+        out: &mut Vec<Candidate>,
+    ) {
+        let level = path.len();
+        let param = self.order.param_at(level);
+        let h = self.env.hierarchy(param);
+        let target = state.value(param);
+        let bottom = level + 1 == self.depth();
+        let cells = &self.nodes[node].cells;
+        counter.add(cells.len() as u64);
+        for cell in cells {
+            if !h.is_ancestor_or_self(cell.key, target) {
+                continue;
+            }
+            let d = dist + kind.value_dist(&self.env, param, cell.key, target);
+            path.push(cell.key);
+            if bottom {
+                out.push(Candidate {
+                    state: self.state_from_path(path),
+                    distance: d,
+                    leaf: LeafId(cell.child),
+                });
+            } else {
+                self.search_rec(cell.child as usize, d, state, kind, counter, path, out);
+            }
+            path.pop();
+        }
+    }
+
+    /// Reconstruct a state (in parameter order) from a root-to-leaf key
+    /// path (in tree-level order).
+    fn state_from_path(&self, path: &[CtxValue]) -> ContextState {
+        let mut values = vec![ctxpref_hierarchy::ValueId(0); self.depth()];
+        for (level, &v) in path.iter().enumerate() {
+            values[self.order.param_at(level).index()] = v;
+        }
+        ContextState::from_values_unchecked(values)
+    }
+
+    /// Enumerate every stored `(state, leaf entries)` pair, in
+    /// depth-first order. Used by tests and by tree re-organization.
+    pub fn paths(&self) -> Vec<(ContextState, &[LeafEntry])> {
+        let mut out = Vec::with_capacity(self.leaves.len());
+        let mut path = Vec::with_capacity(self.depth());
+        self.paths_rec(0, &mut path, &mut out);
+        out
+    }
+
+    fn paths_rec<'a>(
+        &'a self,
+        node: usize,
+        path: &mut Vec<CtxValue>,
+        out: &mut Vec<(ContextState, &'a [LeafEntry])>,
+    ) {
+        let bottom = path.len() + 1 == self.depth();
+        for cell in &self.nodes[node].cells {
+            path.push(cell.key);
+            if bottom {
+                out.push((self.state_from_path(path), &self.leaves[cell.child as usize]));
+            } else {
+                self.paths_rec(cell.child as usize, path, out);
+            }
+            path.pop();
+        }
+    }
+
+    /// Rebuild the same contents under a different parameter order.
+    pub fn reorder(&self, order: ParamOrder) -> Result<Self, ProfileError> {
+        let mut tree = Self::new(self.env.clone(), order)?;
+        for (state, entries) in self.paths() {
+            let leaf = tree.ensure_path(&state);
+            tree.leaves[leaf.index()].extend(entries.iter().cloned());
+        }
+        Ok(tree)
+    }
+
+    /// Size statistics (Figures 5–6). Freed arena slots (after
+    /// removals) hold no cells/entries and internal node/leaf counts
+    /// exclude them.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            internal_nodes: self.nodes.len() - self.free_nodes.len(),
+            internal_cells: self.nodes.iter().map(|n| n.cells.len()).sum(),
+            leaf_nodes: self.leaves.len() - self.free_leaves.len(),
+            leaf_entries: self.leaves.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Number of distinct stored context states.
+    pub fn state_count(&self) -> usize {
+        self.leaves.len() - self.free_leaves.len()
+    }
+
+    /// Remove every path/entry the preference contributed: for each
+    /// state of its descriptor, drop the `(clause, score)` entry and
+    /// prune the path if its leaf becomes empty.
+    ///
+    /// Physical entries are shared: if another preference contributed an
+    /// identical `(state, clause, score)` triple, the entry disappears
+    /// for it as well — callers that maintain a logical
+    /// [`Profile`] alongside the tree (such as `ContextualDb`) must skip
+    /// the states still contributed by remaining preferences, using
+    /// [`Self::remove_state_entry`] directly.
+    pub fn remove(&mut self, pref: &ContextualPreference) -> Result<usize, ProfileError> {
+        let mut removed = 0;
+        for state in pref.descriptor().states(&self.env)? {
+            if self.remove_state_entry(&state, pref.clause(), pref.score()) {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Remove the `(clause, score)` entry stored under one exact context
+    /// state, pruning emptied nodes. Returns whether an entry existed.
+    pub fn remove_state_entry(
+        &mut self,
+        state: &ContextState,
+        clause: &AttributeClause,
+        score: f64,
+    ) -> bool {
+        // Record the path root → bottom as (node, cell position).
+        let mut path: Vec<(usize, usize)> = Vec::with_capacity(self.depth());
+        let mut node = 0usize;
+        let mut leaf = None;
+        for level in 0..self.depth() {
+            let key = state.value(self.order.param_at(level));
+            let Some(pos) = self.nodes[node].cells.iter().position(|c| c.key == key) else {
+                return false;
+            };
+            let child = self.nodes[node].cells[pos].child;
+            path.push((node, pos));
+            if level + 1 == self.depth() {
+                leaf = Some(child);
+            } else {
+                node = child as usize;
+            }
+        }
+        let leaf = leaf.expect("depth ≥ 1 by construction");
+        let entries = &mut self.leaves[leaf as usize];
+        let Some(i) = entries.iter().position(|e| e.clause == *clause && e.score == score) else {
+            return false;
+        };
+        entries.swap_remove(i);
+        if !entries.is_empty() {
+            return true;
+        }
+        // Leaf emptied: prune the path bottom-up while nodes empty out.
+        self.free_leaves.push(leaf);
+        for level in (0..self.depth()).rev() {
+            let (node, pos) = path[level];
+            let child = self.nodes[node].cells[pos].child;
+            let child_gone = level + 1 == self.depth()
+                || self.nodes[child as usize].cells.is_empty();
+            if !child_gone {
+                break;
+            }
+            self.nodes[node].cells.swap_remove(pos);
+            if level + 1 < self.depth() {
+                self.free_nodes.push(child);
+            }
+        }
+        true
+    }
+
+    /// Update the score of the `(state, clause)` entry under one exact
+    /// context state. Returns whether an entry was found.
+    pub fn update_state_entry(
+        &mut self,
+        state: &ContextState,
+        clause: &AttributeClause,
+        score: f64,
+    ) -> bool {
+        let Some(leaf) = self.locate_leaf(state) else {
+            return false;
+        };
+        let entries = &mut self.leaves[leaf.index()];
+        match entries.iter_mut().find(|e| e.clause == *clause) {
+            Some(e) => {
+                e.score = score;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for ProfileTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "ProfileTree[order {}, {} states, {} cells, {} bytes]",
+            self.order.display(&self.env),
+            self.state_count(),
+            s.total_cells(),
+            s.total_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxpref_context::{parse_descriptor, ContextDescriptor};
+    use ctxpref_hierarchy::{Hierarchy, HierarchyBuilder};
+    use ctxpref_relation::AttrId;
+
+    /// The paper's Figure 4 environment, with parameters ordered
+    /// (accompanying_people, temperature, location) as in the figure.
+    fn fig4_env() -> ContextEnvironment {
+        let people =
+            Hierarchy::flat("accompanying_people", &["friends", "family", "alone"]).unwrap();
+        let mut temp = HierarchyBuilder::new("temperature", &["Conditions", "Characterization"]);
+        temp.add("Characterization", "bad", None).unwrap();
+        temp.add("Characterization", "good", None).unwrap();
+        temp.add_leaves("bad", &["freezing", "cold"]).unwrap();
+        temp.add_leaves("good", &["mild", "warm", "hot"]).unwrap();
+        let mut loc = HierarchyBuilder::new("location", &["Region", "City", "Country"]);
+        loc.add("Country", "Greece", None).unwrap();
+        loc.add("City", "Athens", Some("Greece")).unwrap();
+        loc.add("City", "Ioannina", Some("Greece")).unwrap();
+        loc.add_leaves("Athens", &["Plaka", "Kifisia"]).unwrap();
+        loc.add_leaves("Ioannina", &["Perama"]).unwrap();
+        ContextEnvironment::new(vec![people, temp.build().unwrap(), loc.build().unwrap()])
+            .unwrap()
+    }
+
+    fn pref(
+        env: &ContextEnvironment,
+        descriptor: &str,
+        attr: u16,
+        value: &str,
+        score: f64,
+    ) -> ContextualPreference {
+        let cod = parse_descriptor(env, descriptor).unwrap();
+        ContextualPreference::new(cod, AttributeClause::eq(AttrId(attr), value.into()), score)
+            .unwrap()
+    }
+
+    /// Figure 4's three preferences.
+    fn fig4_tree() -> (ContextEnvironment, ProfileTree) {
+        let env = fig4_env();
+        let mut tree = ProfileTree::new(env.clone(), ParamOrder::identity(&env)).unwrap();
+        tree.insert(&pref(
+            &env,
+            "location = Kifisia and temperature = warm and accompanying_people = friends",
+            1,
+            "cafeteria",
+            0.9,
+        ))
+        .unwrap();
+        tree.insert(&pref(&env, "accompanying_people = friends", 1, "brewery", 0.9)).unwrap();
+        tree.insert(&pref(&env, "location = Plaka and temperature in {warm, hot}", 0, "Acropolis", 0.8))
+            .unwrap();
+        (env, tree)
+    }
+
+    #[test]
+    fn figure_4_shape() {
+        let (env, tree) = fig4_tree();
+        // Stored states: (friends, warm, Kifisia), (friends, all, all),
+        // (all, warm, Plaka), (all, hot, Plaka) — 4 paths.
+        assert_eq!(tree.state_count(), 4);
+        let stats = tree.stats();
+        assert_eq!(stats.leaf_entries, 4);
+        // Root: {friends, all} = 2 cells; level 2: friends→{warm, all},
+        // all→{warm, hot}; level 3: 4 nodes with 1 cell each
+        // (Kifisia / all / Plaka / Plaka).
+        assert_eq!(stats.internal_cells, 2 + 2 + 2 + 4);
+        assert_eq!(stats.total_cells(), 10 + 4);
+        let paths = tree.paths();
+        let rendered: Vec<String> =
+            paths.iter().map(|(s, _)| s.display(&env).to_string()).collect();
+        assert!(rendered.contains(&"(friends, warm, Kifisia)".to_string()));
+        assert!(rendered.contains(&"(friends, all, all)".to_string()));
+        assert!(rendered.contains(&"(all, warm, Plaka)".to_string()));
+        assert!(rendered.contains(&"(all, hot, Plaka)".to_string()));
+    }
+
+    #[test]
+    fn exact_lookup_hits_and_misses() {
+        let (env, tree) = fig4_tree();
+        let mut counter = AccessCounter::new();
+        let s = ContextState::parse(&env, &["friends", "warm", "Kifisia"]).unwrap();
+        let (_, entries) = tree.exact_lookup(&s, &mut counter).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].score, 0.9);
+        assert!(counter.cells() >= 3, "must examine ≥ one cell per level");
+        // Exact states that are not stored miss.
+        let miss = ContextState::parse(&env, &["family", "warm", "Kifisia"]).unwrap();
+        assert!(tree.exact_lookup(&miss, &mut counter).is_none());
+        let near = ContextState::parse(&env, &["friends", "hot", "Kifisia"]).unwrap();
+        assert!(tree.exact_lookup(&near, &mut counter).is_none());
+    }
+
+    #[test]
+    fn search_cs_returns_all_covering_paths() {
+        let (env, tree) = fig4_tree();
+        let mut counter = AccessCounter::new();
+        // Query the paper's running state (friends, warm, Kifisia):
+        // covered by itself and by (friends, all, all).
+        let q = ContextState::parse(&env, &["friends", "warm", "Kifisia"]).unwrap();
+        let mut cands = tree.search_cs(&q, DistanceKind::Hierarchy, &mut counter);
+        cands.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap());
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].distance, 0.0);
+        assert_eq!(cands[0].state, q);
+        // (friends, all, all): levels (0, 2, 3) vs (0, 0, 0) → dist 2 + 3.
+        assert_eq!(cands[1].distance, 5.0);
+        assert_eq!(cands[1].state.display(&env).to_string(), "(friends, all, all)");
+        // Every candidate must cover the query (Algorithm 1's contract).
+        for c in &cands {
+            assert!(c.state.covers(&q, &env));
+        }
+        assert!(counter.cells() > 0);
+    }
+
+    #[test]
+    fn search_cs_with_extended_query_state() {
+        let (env, tree) = fig4_tree();
+        let mut counter = AccessCounter::new();
+        // A rough query state at city level: (all, warm, Athens). Plaka
+        // is *below* Athens, so (all, warm, Plaka) must NOT match.
+        let q = ContextState::parse(&env, &["all", "warm", "Athens"]).unwrap();
+        let cands = tree.search_cs(&q, DistanceKind::Hierarchy, &mut counter);
+        assert!(cands.iter().all(|c| c.state.covers(&q, &env)));
+        assert!(cands
+            .iter()
+            .all(|c| !c.state.display(&env).to_string().contains("Plaka")));
+    }
+
+    #[test]
+    fn search_cs_jaccard_orders_candidates() {
+        let (env, tree) = fig4_tree();
+        let mut counter = AccessCounter::new();
+        let q = ContextState::parse(&env, &["friends", "warm", "Kifisia"]).unwrap();
+        let cands = tree.search_cs(&q, DistanceKind::Jaccard, &mut counter);
+        let exact = cands.iter().find(|c| c.state == q).unwrap();
+        let cover = cands.iter().find(|c| c.state != q).unwrap();
+        assert_eq!(exact.distance, 0.0);
+        assert!(cover.distance > 0.0);
+    }
+
+    #[test]
+    fn conflicts_detected_on_insert() {
+        let env = fig4_env();
+        let mut tree = ProfileTree::new(env.clone(), ParamOrder::identity(&env)).unwrap();
+        tree.insert(&pref(&env, "accompanying_people = friends", 1, "brewery", 0.9)).unwrap();
+        // Same state & clause, different score → conflict.
+        let err = tree
+            .insert(&pref(&env, "accompanying_people = friends", 1, "brewery", 0.5))
+            .unwrap_err();
+        assert!(matches!(err, ProfileError::Conflict { .. }));
+        // Identical preference → no-op, no duplicate entries.
+        tree.insert(&pref(&env, "accompanying_people = friends", 1, "brewery", 0.9)).unwrap();
+        assert_eq!(tree.stats().leaf_entries, 1);
+        // Same state, different clause → fine, same leaf.
+        tree.insert(&pref(&env, "accompanying_people = friends", 1, "cafeteria", 0.4)).unwrap();
+        assert_eq!(tree.state_count(), 1);
+        assert_eq!(tree.stats().leaf_entries, 2);
+    }
+
+    #[test]
+    fn conflicting_multi_state_insert_is_atomic() {
+        let env = fig4_env();
+        let mut tree = ProfileTree::new(env.clone(), ParamOrder::identity(&env)).unwrap();
+        tree.insert(&pref(&env, "temperature = warm", 0, "Acropolis", 0.8)).unwrap();
+        let before = tree.stats();
+        // Descriptor expanding to {warm, hot}: warm conflicts, so even
+        // the hot path must not be created.
+        let err = tree
+            .insert(&pref(&env, "temperature in {warm, hot}", 0, "Acropolis", 0.2))
+            .unwrap_err();
+        assert!(matches!(err, ProfileError::Conflict { .. }));
+        assert_eq!(tree.stats(), before);
+    }
+
+    #[test]
+    fn reorder_preserves_contents() {
+        let (env, tree) = fig4_tree();
+        let reordered = tree
+            .reorder(ParamOrder::by_names(&env, &["location", "temperature", "accompanying_people"]).unwrap())
+            .unwrap();
+        assert_eq!(reordered.state_count(), tree.state_count());
+        assert_eq!(reordered.stats().leaf_entries, tree.stats().leaf_entries);
+        let mut a: Vec<String> =
+            tree.paths().iter().map(|(s, _)| s.display(&env).to_string()).collect();
+        let mut b: Vec<String> =
+            reordered.paths().iter().map(|(s, _)| s.display(&env).to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Exact lookups behave identically.
+        let q = ContextState::parse(&env, &["friends", "warm", "Kifisia"]).unwrap();
+        let mut c1 = AccessCounter::new();
+        let mut c2 = AccessCounter::new();
+        assert_eq!(
+            tree.exact_lookup(&q, &mut c1).map(|(_, e)| e.len()),
+            reordered.exact_lookup(&q, &mut c2).map(|(_, e)| e.len())
+        );
+    }
+
+    #[test]
+    fn from_profile_builds_everything() {
+        let env = fig4_env();
+        let mut profile = Profile::new(env.clone());
+        profile
+            .insert(pref(&env, "accompanying_people = friends", 1, "brewery", 0.9))
+            .unwrap();
+        profile
+            .insert(pref(&env, "location = Plaka and temperature in {warm, hot}", 0, "Acropolis", 0.8))
+            .unwrap();
+        let tree =
+            ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
+        assert_eq!(tree.state_count(), 3);
+        assert!(tree.to_string().contains("states"));
+    }
+
+    #[test]
+    fn empty_descriptor_stores_all_path() {
+        let env = fig4_env();
+        let mut tree = ProfileTree::new(env.clone(), ParamOrder::identity(&env)).unwrap();
+        let p = ContextualPreference::new(
+            ContextDescriptor::empty(),
+            AttributeClause::eq(AttrId(0), "Acropolis".into()),
+            0.6,
+        )
+        .unwrap();
+        tree.insert(&p).unwrap();
+        let all = ContextState::all(&env);
+        let mut counter = AccessCounter::new();
+        assert!(tree.exact_lookup(&all, &mut counter).is_some());
+        // The (all, all, all) path covers every detailed query state.
+        let q = ContextState::parse(&env, &["friends", "warm", "Kifisia"]).unwrap();
+        let cands = tree.search_cs(&q, DistanceKind::Hierarchy, &mut counter);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].state, all);
+    }
+
+    #[test]
+    fn order_length_is_validated() {
+        let env = fig4_env();
+        let env2 = ContextEnvironment::new(vec![Hierarchy::flat("x", &["a"]).unwrap()]).unwrap();
+        let bad = ParamOrder::identity(&env2);
+        assert!(matches!(
+            ProfileTree::new(env, bad).unwrap_err(),
+            ProfileError::InvalidOrder(_)
+        ));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! The **context query tree**: caching contextual query results keyed
+//! by their context state.
+//!
+//! The paper's summary lists two context-aware index structures: the
+//! profile tree "for (a) storing preferences" and a second tree for
+//! "(b) caching the results of queries based on their context". This
+//! crate implements that second structure.
+//!
+//! A [`ContextQueryTree`] is a trie with one level per context
+//! parameter — the same shape as the profile tree — whose leaves hold
+//! the ranked results previously computed for that exact context state.
+//! Repeated queries under the same context (the common case: a user's
+//! context changes slowly relative to their query rate) are answered
+//! from the cache without touching the profile or the database.
+//!
+//! * Capacity-bounded with LRU eviction.
+//! * Invalidated wholesale when the profile changes (any preference
+//!   insert/delete/update can change any cached ranking).
+//! * Thread-safe: readers of cached results share `Arc`s; the structure
+//!   itself is guarded by a `parking_lot::RwLock`.
+
+mod stats;
+mod tree;
+
+pub use stats::CacheStats;
+pub use tree::ContextQueryTree;

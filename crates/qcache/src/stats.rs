@@ -1,0 +1,44 @@
+/// Hit/miss statistics of a [`crate::ContextQueryTree`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no cached result.
+    pub misses: u64,
+    /// Results inserted.
+    pub insertions: u64,
+    /// Cached states evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Wholesale invalidations (profile changes).
+    pub invalidations: u64,
+    /// Trie cells examined across all lookups (comparable to the
+    /// profile tree's cell-access metric).
+    pub cells_accessed: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache, `0.0` when none
+    /// have been made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.hit_ratio(), 0.75);
+    }
+}

@@ -1,0 +1,459 @@
+use std::sync::Arc;
+
+use ctxpref_context::{ContextEnvironment, ContextState, CtxValue, ParamId};
+use ctxpref_relation::RankedResults;
+use parking_lot::RwLock;
+
+use crate::stats::CacheStats;
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    key: CtxValue,
+    child: u32,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    cells: Vec<Cell>,
+}
+
+#[derive(Debug)]
+struct Leaf {
+    state: ContextState,
+    results: Arc<RankedResults>,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nodes: Vec<Node>,
+    free_nodes: Vec<u32>,
+    leaves: Vec<Option<Leaf>>,
+    free_leaves: Vec<u32>,
+    live: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// The context query tree: a capacity-bounded, LRU-evicting trie from
+/// context states to cached [`RankedResults`]. See the crate docs.
+#[derive(Debug)]
+pub struct ContextQueryTree {
+    env: ContextEnvironment,
+    capacity: usize,
+    inner: RwLock<Inner>,
+}
+
+impl ContextQueryTree {
+    /// A cache over `env` holding at most `capacity` context states
+    /// (`capacity` ≥ 1 is enforced by clamping).
+    pub fn new(env: ContextEnvironment, capacity: usize) -> Self {
+        Self {
+            env,
+            capacity: capacity.max(1),
+            inner: RwLock::new(Inner {
+                nodes: vec![Node::default()],
+                free_nodes: Vec::new(),
+                leaves: Vec::new(),
+                free_leaves: Vec::new(),
+                live: 0,
+                clock: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The context environment the cache is keyed over.
+    pub fn env(&self) -> &ContextEnvironment {
+        &self.env
+    }
+
+    /// Maximum number of cached states.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached context states.
+    pub fn len(&self) -> usize {
+        self.inner.read().live
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.read().stats
+    }
+
+    /// Look up the cached results for `state`, refreshing its LRU stamp
+    /// on a hit.
+    pub fn get(&self, state: &ContextState) -> Option<Arc<RankedResults>> {
+        debug_assert_eq!(state.len(), self.env.len());
+        let mut inner = self.inner.write();
+        let depth = self.env.len();
+        let mut node = 0usize;
+        let mut cells = 0u64;
+        for level in 0..depth {
+            let key = state.value(ParamId(level as u16));
+            let found = {
+                let nc = &inner.nodes[node].cells;
+                let mut hit = None;
+                for (i, c) in nc.iter().enumerate() {
+                    if c.key == key {
+                        cells += i as u64 + 1;
+                        hit = Some(c.child);
+                        break;
+                    }
+                }
+                if hit.is_none() {
+                    cells += nc.len() as u64;
+                }
+                hit
+            };
+            let Some(child) = found else {
+                inner.stats.misses += 1;
+                inner.stats.cells_accessed += cells;
+                return None;
+            };
+            if level + 1 == depth {
+                inner.clock += 1;
+                let clock = inner.clock;
+                let leaf = inner.leaves[child as usize]
+                    .as_mut()
+                    .expect("cache cells never point to freed leaves");
+                leaf.last_used = clock;
+                let results = Arc::clone(&leaf.results);
+                inner.stats.hits += 1;
+                inner.stats.cells_accessed += cells;
+                return Some(results);
+            }
+            node = child as usize;
+        }
+        unreachable!("environments have ≥ 1 parameter")
+    }
+
+    /// Cache `results` for `state`, evicting the least-recently-used
+    /// state if the capacity bound would be exceeded. Replaces any
+    /// previous entry for the same state.
+    pub fn insert(&self, state: &ContextState, results: Arc<RankedResults>) {
+        debug_assert_eq!(state.len(), self.env.len());
+        let mut inner = self.inner.write();
+        inner.clock += 1;
+        let clock = inner.clock;
+
+        // Walk/create the path.
+        let depth = self.env.len();
+        let mut node = 0usize;
+        for level in 0..depth {
+            let key = state.value(ParamId(level as u16));
+            let bottom = level + 1 == depth;
+            let existing = inner.nodes[node].cells.iter().find(|c| c.key == key).map(|c| c.child);
+            let child = match existing {
+                Some(c) => c,
+                None => {
+                    let c = if bottom {
+                        match inner.free_leaves.pop() {
+                            Some(i) => i,
+                            None => {
+                                inner.leaves.push(None);
+                                (inner.leaves.len() - 1) as u32
+                            }
+                        }
+                    } else {
+                        match inner.free_nodes.pop() {
+                            Some(i) => {
+                                inner.nodes[i as usize].cells.clear();
+                                i
+                            }
+                            None => {
+                                inner.nodes.push(Node::default());
+                                (inner.nodes.len() - 1) as u32
+                            }
+                        }
+                    };
+                    inner.nodes[node].cells.push(Cell { key, child: c });
+                    c
+                }
+            };
+            if bottom {
+                if inner.leaves[child as usize].is_none() {
+                    inner.live += 1;
+                }
+                inner.leaves[child as usize] =
+                    Some(Leaf { state: state.clone(), results, last_used: clock });
+                inner.stats.insertions += 1;
+                break;
+            }
+            node = child as usize;
+        }
+
+        // Enforce capacity.
+        while inner.live > self.capacity {
+            let victim = inner
+                .leaves
+                .iter()
+                .flatten()
+                .min_by_key(|l| l.last_used)
+                .map(|l| l.state.clone())
+                .expect("live > 0");
+            Self::remove_locked(&self.env, &mut inner, &victim);
+            inner.stats.evictions += 1;
+        }
+    }
+
+    /// Convenience: return the cached results for `state`, computing and
+    /// caching them on a miss.
+    pub fn get_or_compute(
+        &self,
+        state: &ContextState,
+        compute: impl FnOnce() -> RankedResults,
+    ) -> Arc<RankedResults> {
+        if let Some(hit) = self.get(state) {
+            return hit;
+        }
+        let results = Arc::new(compute());
+        self.insert(state, Arc::clone(&results));
+        results
+    }
+
+    /// Remove one cached state, if present. Returns whether it existed.
+    pub fn remove(&self, state: &ContextState) -> bool {
+        let mut inner = self.inner.write();
+        Self::remove_locked(&self.env, &mut inner, state)
+    }
+
+    /// Drop every cached result (a profile change invalidates all
+    /// cached rankings).
+    pub fn invalidate_all(&self) {
+        let mut inner = self.inner.write();
+        inner.nodes.clear();
+        inner.nodes.push(Node::default());
+        inner.free_nodes.clear();
+        inner.leaves.clear();
+        inner.free_leaves.clear();
+        inner.live = 0;
+        inner.stats.invalidations += 1;
+    }
+
+    fn remove_locked(env: &ContextEnvironment, inner: &mut Inner, state: &ContextState) -> bool {
+        let depth = env.len();
+        // Record the path (node index, cell position) root → bottom.
+        let mut path: Vec<(usize, usize)> = Vec::with_capacity(depth);
+        let mut node = 0usize;
+        for level in 0..depth {
+            let key = state.value(ParamId(level as u16));
+            let Some(pos) = inner.nodes[node].cells.iter().position(|c| c.key == key) else {
+                return false;
+            };
+            let child = inner.nodes[node].cells[pos].child;
+            path.push((node, pos));
+            if level + 1 == depth {
+                if inner.leaves[child as usize].take().is_none() {
+                    return false;
+                }
+                inner.free_leaves.push(child);
+                inner.live -= 1;
+            } else {
+                node = child as usize;
+            }
+        }
+        // Prune now-empty nodes bottom-up.
+        for level in (0..depth).rev() {
+            let (node, pos) = path[level];
+            let child = inner.nodes[node].cells[pos].child;
+            let child_empty =
+                level + 1 == depth || inner.nodes[child as usize].cells.is_empty();
+            if child_empty {
+                inner.nodes[node].cells.swap_remove(pos);
+                if level + 1 < depth {
+                    inner.free_nodes.push(child);
+                }
+            } else {
+                break;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxpref_hierarchy::Hierarchy;
+    use ctxpref_relation::{ScoreCombiner, ScoredTuple};
+
+    fn env() -> ContextEnvironment {
+        ContextEnvironment::new(vec![
+            Hierarchy::flat("weather", &["cold", "warm", "hot"]).unwrap(),
+            Hierarchy::flat("company", &["friends", "family"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn results(score: f64) -> RankedResults {
+        RankedResults::from_scores(
+            vec![ScoredTuple { tuple_index: 0, score }],
+            ScoreCombiner::Max,
+        )
+    }
+
+    fn st(env: &ContextEnvironment, names: &[&str]) -> ContextState {
+        ContextState::parse(env, names).unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), 8);
+        let s = st(&env, &["warm", "friends"]);
+        assert!(cache.get(&s).is_none());
+        cache.insert(&s, Arc::new(results(0.5)));
+        let hit = cache.get(&s).unwrap();
+        assert_eq!(hit.entries()[0].score, 0.5);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!(stats.cells_accessed > 0);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_states_do_not_collide() {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), 8);
+        cache.insert(&st(&env, &["warm", "friends"]), Arc::new(results(0.1)));
+        cache.insert(&st(&env, &["warm", "family"]), Arc::new(results(0.2)));
+        cache.insert(&st(&env, &["cold", "friends"]), Arc::new(results(0.3)));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&st(&env, &["warm", "family"])).unwrap().entries()[0].score, 0.2);
+        assert!(cache.get(&st(&env, &["hot", "family"])).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), 8);
+        let s = st(&env, &["warm", "friends"]);
+        cache.insert(&s, Arc::new(results(0.1)));
+        cache.insert(&s, Arc::new(results(0.9)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&s).unwrap().entries()[0].score, 0.9);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), 2);
+        let a = st(&env, &["cold", "friends"]);
+        let b = st(&env, &["warm", "friends"]);
+        let c = st(&env, &["hot", "friends"]);
+        cache.insert(&a, Arc::new(results(0.1)));
+        cache.insert(&b, Arc::new(results(0.2)));
+        // Touch `a` so `b` becomes the LRU victim.
+        cache.get(&a).unwrap();
+        cache.insert(&c, Arc::new(results(0.3)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn remove_and_prune() {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), 8);
+        let a = st(&env, &["cold", "friends"]);
+        let b = st(&env, &["cold", "family"]);
+        cache.insert(&a, Arc::new(results(0.1)));
+        cache.insert(&b, Arc::new(results(0.2)));
+        assert!(cache.remove(&a));
+        assert!(!cache.remove(&a));
+        assert!(cache.get(&a).is_none());
+        assert!(cache.get(&b).is_some());
+        // Re-inserting after pruning reuses freed slots.
+        cache.insert(&a, Arc::new(results(0.4)));
+        assert_eq!(cache.get(&a).unwrap().entries()[0].score, 0.4);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), 8);
+        cache.insert(&st(&env, &["cold", "friends"]), Arc::new(results(0.1)));
+        cache.insert(&st(&env, &["warm", "family"]), Arc::new(results(0.2)));
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        assert!(cache.get(&st(&env, &["cold", "friends"])).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn get_or_compute_computes_once() {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), 8);
+        let s = st(&env, &["warm", "friends"]);
+        let mut calls = 0;
+        let r1 = cache.get_or_compute(&s, || {
+            calls += 1;
+            results(0.7)
+        });
+        let r2 = cache.get_or_compute(&s, || {
+            calls += 1;
+            results(0.0)
+        });
+        assert_eq!(calls, 1);
+        assert!(Arc::ptr_eq(&r1, &r2));
+    }
+
+    #[test]
+    fn capacity_is_clamped() {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), 0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(&st(&env, &["cold", "friends"]), Arc::new(results(0.1)));
+        cache.insert(&st(&env, &["warm", "friends"]), Arc::new(results(0.2)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.env().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let env = env();
+        let cache = Arc::new(ContextQueryTree::new(env.clone(), 4));
+        let states: Vec<ContextState> = [
+            ["cold", "friends"],
+            ["warm", "friends"],
+            ["hot", "friends"],
+            ["cold", "family"],
+            ["warm", "family"],
+            ["hot", "family"],
+        ]
+        .iter()
+        .map(|n| st(&env, n))
+        .collect();
+        crossbeam::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                let states = states.clone();
+                scope.spawn(move |_| {
+                    for i in 0..200 {
+                        let s = &states[(i + t) % states.len()];
+                        let _ = cache.get_or_compute(s, || results(i as f64 / 200.0));
+                        if i % 7 == 0 {
+                            cache.remove(s);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(cache.len() <= 4);
+        let stats = cache.stats();
+        assert!(stats.hits + stats.misses >= 800 - 200);
+    }
+}

@@ -1,0 +1,140 @@
+//! Model-based testing: the context query tree must behave exactly like
+//! a reference model (a hash map with LRU bookkeeping) under arbitrary
+//! operation sequences.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ctxpref_context::{ContextEnvironment, ContextState};
+use ctxpref_hierarchy::Hierarchy;
+use ctxpref_qcache::ContextQueryTree;
+use ctxpref_relation::{RankedResults, ScoreCombiner, ScoredTuple};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(usize),
+    Insert(usize, u8),
+    Remove(usize),
+    InvalidateAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..24).prop_map(Op::Get),
+        4 => ((0usize..24), any::<u8>()).prop_map(|(s, v)| Op::Insert(s, v)),
+        1 => (0usize..24).prop_map(Op::Remove),
+        1 => Just(Op::InvalidateAll),
+    ]
+}
+
+/// Reference model: map + monotone clock for LRU.
+#[derive(Default)]
+struct Model {
+    entries: HashMap<usize, (u8, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl Model {
+    fn get(&mut self, k: usize) -> Option<u8> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&k).map(|(v, used)| {
+            *used = clock;
+            *v
+        })
+    }
+
+    fn insert(&mut self, k: usize, v: u8) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.insert(k, (v, clock));
+        while self.entries.len() > self.capacity {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+                .unwrap();
+            self.entries.remove(&victim);
+        }
+    }
+
+    fn remove(&mut self, k: usize) -> bool {
+        self.entries.remove(&k).is_some()
+    }
+}
+
+fn env() -> ContextEnvironment {
+    ContextEnvironment::new(vec![
+        Hierarchy::balanced("a", &[6]).unwrap(),
+        Hierarchy::balanced("b", &[4]).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn state(env: &ContextEnvironment, k: usize) -> ContextState {
+    let ha = env.hierarchy(ctxpref_context::ParamId(0));
+    let hb = env.hierarchy(ctxpref_context::ParamId(1));
+    let da = ha.domain(ha.detailed_level());
+    let db = hb.domain(hb.detailed_level());
+    ContextState::from_values_unchecked(vec![da[k % da.len()], db[(k / da.len()) % db.len()]])
+}
+
+fn results(v: u8) -> Arc<RankedResults> {
+    Arc::new(RankedResults::from_scores(
+        vec![ScoredTuple { tuple_index: v as usize, score: v as f64 / 255.0 }],
+        ScoreCombiner::Max,
+    ))
+}
+
+fn value_of(r: &RankedResults) -> u8 {
+    r.entries()[0].tuple_index as u8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        capacity in 1usize..12,
+    ) {
+        let env = env();
+        let cache = ContextQueryTree::new(env.clone(), capacity);
+        let mut model = Model { capacity, ..Model::default() };
+
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    let got = cache.get(&state(&env, k)).map(|r| value_of(&r));
+                    let expected = model.get(k);
+                    prop_assert_eq!(got, expected, "get diverged at key {}", k);
+                }
+                Op::Insert(k, v) => {
+                    cache.insert(&state(&env, k), results(v));
+                    model.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    let removed = cache.remove(&state(&env, k));
+                    let expected = model.remove(k);
+                    prop_assert_eq!(removed, expected, "remove diverged at key {}", k);
+                }
+                Op::InvalidateAll => {
+                    cache.invalidate_all();
+                    model.entries.clear();
+                }
+            }
+            prop_assert_eq!(cache.len(), model.entries.len(), "sizes diverged");
+            prop_assert!(cache.len() <= capacity);
+        }
+
+        // Final sweep: every model entry is retrievable with its value.
+        let keys: Vec<usize> = model.entries.keys().copied().collect();
+        for k in keys {
+            let got = cache.get(&state(&env, k)).map(|r| value_of(&r));
+            prop_assert_eq!(got, model.get(k));
+        }
+    }
+}

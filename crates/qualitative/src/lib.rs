@@ -1,0 +1,512 @@
+#![warn(missing_docs)]
+//! Contextual **qualitative** preferences.
+//!
+//! The paper (Section 6) contrasts its quantitative scoring model with
+//! the qualitative approach of Chomicki-style preference formulas —
+//! binary relations stating *this tuple is better than that one* — and
+//! notes that "this framework can also be readily extended to include
+//! context". This crate is that extension:
+//!
+//! * A [`ContextualPriority`] scopes a binary priority `better ≻ worse`
+//!   (two attribute clauses) by a context descriptor, exactly the way
+//!   Definition 5 scopes a score.
+//! * A [`QualitativeProfile`] stores priorities, rejecting cycles per
+//!   context state — the qualitative analogue of the Definition 6
+//!   conflict check (a cyclic preference relation has no best matches).
+//! * Query answering uses the same two-step context resolution:
+//!   priorities whose context **covers** the query state apply, most
+//!   specific first, and the classical **winnow** operator (best
+//!   matches only) or its iteration ([`QualitativeProfile::rank`])
+//!   orders the relation.
+//!
+//! ```
+//! use ctxpref_context::{ContextEnvironment, ContextState, parse_descriptor};
+//! use ctxpref_hierarchy::Hierarchy;
+//! use ctxpref_profile::AttributeClause;
+//! use ctxpref_qualitative::{ContextualPriority, QualitativeProfile};
+//! use ctxpref_relation::{AttrType, Relation, Schema};
+//!
+//! let env = ContextEnvironment::new(vec![
+//!     Hierarchy::flat("company", &["friends", "family"]).unwrap(),
+//! ]).unwrap();
+//! let schema = Schema::new(&[("type", AttrType::Str)]).unwrap();
+//! let mut rel = Relation::new("poi", schema);
+//! let ty = rel.schema().attr("type").unwrap();
+//! rel.insert(vec!["museum".into()]).unwrap();
+//! rel.insert(vec!["brewery".into()]).unwrap();
+//!
+//! let mut profile = QualitativeProfile::new(env.clone());
+//! // "a museum may be a better place to visit than a brewery in the
+//! // context of family" — the paper's own example, qualitatively.
+//! profile.insert(ContextualPriority::new(
+//!     parse_descriptor(&env, "company = family").unwrap(),
+//!     AttributeClause::eq(ty, "museum".into()),
+//!     AttributeClause::eq(ty, "brewery".into()),
+//! )).unwrap();
+//!
+//! let family = ContextState::parse(&env, &["family"]).unwrap();
+//! let best = profile.winnow(&rel, &family).unwrap();
+//! assert_eq!(best, vec![0]); // the museum
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use ctxpref_context::{ContextDescriptor, ContextEnvironment, ContextState};
+use ctxpref_profile::{AttributeClause, ProfileError};
+use ctxpref_relation::Relation;
+
+/// A contextual binary priority: in every context state of
+/// `descriptor`, tuples matching `better` dominate tuples matching
+/// `worse`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextualPriority {
+    descriptor: ContextDescriptor,
+    better: AttributeClause,
+    worse: AttributeClause,
+}
+
+impl ContextualPriority {
+    /// A priority `better ≻ worse` scoped by `descriptor`.
+    pub fn new(
+        descriptor: ContextDescriptor,
+        better: AttributeClause,
+        worse: AttributeClause,
+    ) -> Self {
+        Self { descriptor, better, worse }
+    }
+
+    /// The context descriptor scoping the priority.
+    pub fn descriptor(&self) -> &ContextDescriptor {
+        &self.descriptor
+    }
+
+    /// The dominating clause.
+    pub fn better(&self) -> &AttributeClause {
+        &self.better
+    }
+
+    /// The dominated clause.
+    pub fn worse(&self) -> &AttributeClause {
+        &self.worse
+    }
+}
+
+/// Errors of the qualitative layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QualitativeError {
+    /// Inserting the priority would create a preference cycle within
+    /// some context state (e.g. `a ≻ b`, `b ≻ a` both applicable) —
+    /// winnow would return no best matches for affected tuples.
+    Cycle {
+        /// A witness context state in which the cycle closes.
+        state: ContextState,
+    },
+    /// A reflexive priority (`x ≻ x`) is never satisfiable.
+    Reflexive,
+    /// Underlying context error.
+    Profile(ProfileError),
+}
+
+impl fmt::Display for QualitativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Cycle { .. } => {
+                write!(f, "priority cycle within a shared context state")
+            }
+            Self::Reflexive => write!(f, "a priority must relate two different clauses"),
+            Self::Profile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QualitativeError {}
+
+impl From<ProfileError> for QualitativeError {
+    fn from(e: ProfileError) -> Self {
+        Self::Profile(e)
+    }
+}
+
+impl From<ctxpref_context::ContextError> for QualitativeError {
+    fn from(e: ctxpref_context::ContextError) -> Self {
+        Self::Profile(e.into())
+    }
+}
+
+/// A set of non-cyclic contextual priorities over one environment.
+#[derive(Debug, Clone)]
+pub struct QualitativeProfile {
+    env: ContextEnvironment,
+    priorities: Vec<ContextualPriority>,
+}
+
+/// Clause fingerprint used as a graph node.
+fn clause_key(c: &AttributeClause) -> String {
+    format!("{:?}", c)
+}
+
+impl QualitativeProfile {
+    /// An empty qualitative profile over `env`.
+    pub fn new(env: ContextEnvironment) -> Self {
+        Self { env, priorities: Vec::new() }
+    }
+
+    /// The context environment.
+    pub fn env(&self) -> &ContextEnvironment {
+        &self.env
+    }
+
+    /// Number of priorities.
+    pub fn len(&self) -> usize {
+        self.priorities.len()
+    }
+
+    /// True iff no priorities are stored.
+    pub fn is_empty(&self) -> bool {
+        self.priorities.is_empty()
+    }
+
+    /// The priorities, in insertion order.
+    pub fn priorities(&self) -> &[ContextualPriority] {
+        &self.priorities
+    }
+
+    /// Insert a priority, rejecting reflexive edges and per-state
+    /// cycles (the qualitative conflict check).
+    pub fn insert(&mut self, priority: ContextualPriority) -> Result<(), QualitativeError> {
+        if priority.better == priority.worse {
+            return Err(QualitativeError::Reflexive);
+        }
+        // Cycle check: for every state the new priority speaks about,
+        // build the clause graph of all priorities applicable *in that
+        // exact state* (shared states are where edges combine) and look
+        // for a cycle through the new edge.
+        let new_states = priority.descriptor.states(&self.env)?;
+        for state in &new_states {
+            let mut edges: Vec<(String, String)> = vec![(
+                clause_key(&priority.better),
+                clause_key(&priority.worse),
+            )];
+            for p in &self.priorities {
+                let states = p.descriptor.states(&self.env)?;
+                if states.contains(state) {
+                    edges.push((clause_key(&p.better), clause_key(&p.worse)));
+                }
+            }
+            if has_cycle(&edges) {
+                return Err(QualitativeError::Cycle { state: state.clone() });
+            }
+        }
+        self.priorities.push(priority);
+        Ok(())
+    }
+
+    /// The priorities applicable to a query state: those with a context
+    /// state covering it. Following the paper's resolution, only the
+    /// priorities of the *most specific* covering states are used: a
+    /// priority is dropped if another applicable priority's covering
+    /// state is strictly below it (covers-wise) *and* they relate the
+    /// same clause pair (the more specific statement overrides the more
+    /// general one).
+    pub fn applicable(&self, query: &ContextState) -> Result<Vec<&ContextualPriority>, QualitativeError> {
+        // (priority, most specific covering state) pairs.
+        let mut hits: Vec<(&ContextualPriority, ContextState)> = Vec::new();
+        for p in &self.priorities {
+            let mut best: Option<ContextState> = None;
+            for s in p.descriptor.states(&self.env)? {
+                if s.covers(query, &self.env) {
+                    best = match best {
+                        None => Some(s),
+                        Some(b) if b.covers(&s, &self.env) => Some(s),
+                        Some(b) => Some(b),
+                    };
+                }
+            }
+            if let Some(s) = best {
+                hits.push((p, s));
+            }
+        }
+        // Override: drop (p, s) if some (q, t) with the same clause pair
+        // has s covers t, s ≠ t.
+        let out: Vec<&ContextualPriority> = hits
+            .iter()
+            .filter(|(p, s)| {
+                !hits.iter().any(|(q, t)| {
+                    s != t
+                        && s.covers(t, &self.env)
+                        && q.better == p.better
+                        && q.worse == p.worse
+                })
+            })
+            .map(|(p, _)| *p)
+            .collect();
+        Ok(out)
+    }
+
+    /// Does `a` dominate `b` under the applicable priorities?
+    fn dominates(
+        priorities: &[&ContextualPriority],
+        rel: &Relation,
+        a: usize,
+        b: usize,
+    ) -> bool {
+        priorities.iter().any(|p| {
+            p.better.predicate().matches(rel.tuple(a)) && p.worse.predicate().matches(rel.tuple(b))
+        })
+    }
+
+    /// **Winnow** (best matches only): the tuples of `rel` not dominated
+    /// by any other tuple under the priorities applicable to `query`.
+    pub fn winnow(&self, rel: &Relation, query: &ContextState) -> Result<Vec<usize>, QualitativeError> {
+        let priorities = self.applicable(query)?;
+        let all: Vec<usize> = (0..rel.len()).collect();
+        Ok(Self::winnow_among(&priorities, rel, &all))
+    }
+
+    fn winnow_among(
+        priorities: &[&ContextualPriority],
+        rel: &Relation,
+        among: &[usize],
+    ) -> Vec<usize> {
+        among
+            .iter()
+            .copied()
+            .filter(|&t| {
+                !among
+                    .iter()
+                    .any(|&other| other != t && Self::dominates(priorities, rel, other, t))
+            })
+            .collect()
+    }
+
+    /// Iterated winnow: partition the relation into dominance strata —
+    /// stratum 0 is the winnow of the whole relation, stratum 1 the
+    /// winnow of the rest, and so on. This is the qualitative analogue
+    /// of a ranked answer.
+    pub fn rank(&self, rel: &Relation, query: &ContextState) -> Result<Vec<Vec<usize>>, QualitativeError> {
+        let priorities = self.applicable(query)?;
+        let mut remaining: Vec<usize> = (0..rel.len()).collect();
+        let mut strata = Vec::new();
+        while !remaining.is_empty() {
+            let best = Self::winnow_among(&priorities, rel, &remaining);
+            if best.is_empty() {
+                // Cannot happen with acyclic priorities, but never loop.
+                strata.push(remaining);
+                break;
+            }
+            let best_set: HashSet<usize> = best.iter().copied().collect();
+            remaining.retain(|t| !best_set.contains(t));
+            strata.push(best);
+        }
+        Ok(strata)
+    }
+}
+
+/// Cycle detection over a clause-key edge list (iterative DFS).
+fn has_cycle(edges: &[(String, String)]) -> bool {
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Visiting,
+        Done,
+    }
+    let mut marks: HashMap<&str, Mark> = HashMap::new();
+    for (start, _) in edges {
+        if marks.contains_key(start.as_str()) {
+            continue;
+        }
+        // Stack of (node, next child index).
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        marks.insert(start, Mark::Visiting);
+        while let Some((node, idx)) = stack.pop() {
+            let children = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if idx < children.len() {
+                stack.push((node, idx + 1));
+                let child = children[idx];
+                match marks.get(child) {
+                    Some(Mark::Visiting) => return true,
+                    Some(Mark::Done) => {}
+                    None => {
+                        marks.insert(child, Mark::Visiting);
+                        stack.push((child, 0));
+                    }
+                }
+            } else {
+                marks.insert(node, Mark::Done);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxpref_context::parse_descriptor;
+    use ctxpref_hierarchy::HierarchyBuilder;
+    use ctxpref_relation::{AttrType, Schema, Value};
+
+    fn env() -> ContextEnvironment {
+        let mut w = HierarchyBuilder::new("weather", &["Conditions", "Char"]);
+        w.add("Char", "bad", None).unwrap();
+        w.add("Char", "good", None).unwrap();
+        w.add_leaves("bad", &["cold"]).unwrap();
+        w.add_leaves("good", &["warm", "hot"]).unwrap();
+        ContextEnvironment::new(vec![
+            w.build().unwrap(),
+            ctxpref_hierarchy::Hierarchy::flat("company", &["friends", "family"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn rel() -> Relation {
+        let schema = Schema::new(&[("type", AttrType::Str)]).unwrap();
+        let mut rel = Relation::new("poi", schema);
+        for t in ["museum", "brewery", "zoo", "park"] {
+            rel.insert(vec![t.into()]).unwrap();
+        }
+        rel
+    }
+
+    fn ty_clause(rel: &Relation, v: &str) -> AttributeClause {
+        AttributeClause::eq(rel.schema().attr("type").unwrap(), Value::str(v))
+    }
+
+    fn prio(env: &ContextEnvironment, rel: &Relation, cod: &str, b: &str, w: &str) -> ContextualPriority {
+        ContextualPriority::new(
+            parse_descriptor(env, cod).unwrap(),
+            ty_clause(rel, b),
+            ty_clause(rel, w),
+        )
+    }
+
+    #[test]
+    fn winnow_respects_context() {
+        let env = env();
+        let rel = rel();
+        let mut p = QualitativeProfile::new(env.clone());
+        p.insert(prio(&env, &rel, "company = family", "museum", "brewery")).unwrap();
+        p.insert(prio(&env, &rel, "company = friends", "brewery", "museum")).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+
+        let family = ContextState::parse(&env, &["warm", "family"]).unwrap();
+        let best = p.winnow(&rel, &family).unwrap();
+        assert!(best.contains(&0) && !best.contains(&1), "museum in, brewery out");
+
+        let friends = ContextState::parse(&env, &["warm", "friends"]).unwrap();
+        let best = p.winnow(&rel, &friends).unwrap();
+        assert!(best.contains(&1) && !best.contains(&0), "brewery in, museum out");
+
+        // Undetermined tuples (zoo, park) are never dominated.
+        assert!(best.contains(&2) && best.contains(&3));
+    }
+
+    #[test]
+    fn reflexive_and_cycles_rejected() {
+        let env = env();
+        let rel = rel();
+        let mut p = QualitativeProfile::new(env.clone());
+        assert_eq!(
+            p.insert(prio(&env, &rel, "company = family", "museum", "museum")).unwrap_err(),
+            QualitativeError::Reflexive
+        );
+        p.insert(prio(&env, &rel, "company = family", "museum", "brewery")).unwrap();
+        p.insert(prio(&env, &rel, "company = family", "brewery", "zoo")).unwrap();
+        // zoo ≻ museum under the same state closes a cycle.
+        let err = p.insert(prio(&env, &rel, "company = family", "zoo", "museum")).unwrap_err();
+        assert!(matches!(err, QualitativeError::Cycle { .. }));
+        // …but the same edge in a *different* context is fine.
+        p.insert(prio(&env, &rel, "company = friends", "zoo", "museum")).unwrap();
+    }
+
+    #[test]
+    fn cycle_detection_spans_overlapping_descriptors() {
+        let env = env();
+        let rel = rel();
+        let mut p = QualitativeProfile::new(env.clone());
+        p.insert(prio(&env, &rel, "weather in {warm, hot}", "museum", "brewery")).unwrap();
+        // Overlaps at (hot, all) → cycle.
+        let err = p.insert(prio(&env, &rel, "weather = hot", "brewery", "museum")).unwrap_err();
+        assert!(matches!(err, QualitativeError::Cycle { .. }));
+        // Disjoint state (cold) is fine.
+        p.insert(prio(&env, &rel, "weather = cold", "brewery", "museum")).unwrap();
+    }
+
+    #[test]
+    fn specific_context_overrides_general() {
+        let env = env();
+        let rel = rel();
+        let mut p = QualitativeProfile::new(env.clone());
+        // Generally: museum over brewery…
+        p.insert(prio(&env, &rel, "*", "museum", "brewery")).unwrap();
+        // …but with friends, the same pair is stated at a more specific
+        // state — resolution uses only the most specific statement.
+        // (Same direction here; the override semantics are observable
+        // through `applicable`.)
+        p.insert(prio(&env, &rel, "company = friends", "museum", "brewery")).unwrap();
+        let friends = ContextState::parse(&env, &["warm", "friends"]).unwrap();
+        let applicable = p.applicable(&friends).unwrap();
+        assert_eq!(applicable.len(), 1, "general statement suppressed");
+        assert_eq!(
+            applicable[0].descriptor().clause_count(),
+            1,
+            "the specific (company = friends) statement wins"
+        );
+        // For family, only the general statement applies.
+        let family = ContextState::parse(&env, &["warm", "family"]).unwrap();
+        let applicable = p.applicable(&family).unwrap();
+        assert_eq!(applicable.len(), 1);
+        assert_eq!(applicable[0].descriptor().clause_count(), 0);
+    }
+
+    #[test]
+    fn rank_stratifies() {
+        let env = env();
+        let rel = rel();
+        let mut p = QualitativeProfile::new(env.clone());
+        p.insert(prio(&env, &rel, "*", "museum", "brewery")).unwrap();
+        p.insert(prio(&env, &rel, "*", "brewery", "zoo")).unwrap();
+        let q = ContextState::parse(&env, &["warm", "family"]).unwrap();
+        let strata = p.rank(&rel, &q).unwrap();
+        // museum & park undominated; brewery next; zoo last.
+        assert_eq!(strata.len(), 3);
+        assert_eq!(strata[0], vec![0, 3]);
+        assert_eq!(strata[1], vec![1]);
+        assert_eq!(strata[2], vec![2]);
+        // Strata partition the relation.
+        let total: usize = strata.iter().map(Vec::len).sum();
+        assert_eq!(total, rel.len());
+    }
+
+    #[test]
+    fn covering_priorities_apply_to_detailed_states() {
+        let env = env();
+        let rel = rel();
+        let mut p = QualitativeProfile::new(env.clone());
+        // Stated at the Characterization level…
+        p.insert(prio(&env, &rel, "weather = good", "park", "museum")).unwrap();
+        // …applies to the detailed state (warm, …).
+        let q = ContextState::parse(&env, &["warm", "friends"]).unwrap();
+        let best = p.winnow(&rel, &q).unwrap();
+        assert!(best.contains(&3) && !best.contains(&0));
+        // And not to (cold, …).
+        let q = ContextState::parse(&env, &["cold", "friends"]).unwrap();
+        let best = p.winnow(&rel, &q).unwrap();
+        assert!(best.contains(&0));
+    }
+
+    #[test]
+    fn empty_profile_returns_everything() {
+        let env = env();
+        let rel = rel();
+        let p = QualitativeProfile::new(env.clone());
+        let q = ContextState::parse(&env, &["warm", "friends"]).unwrap();
+        assert_eq!(p.winnow(&rel, &q).unwrap().len(), rel.len());
+        assert_eq!(p.rank(&rel, &q).unwrap().len(), 1);
+    }
+}

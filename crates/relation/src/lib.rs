@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! Relational substrate for contextual preference queries.
+//!
+//! The paper runs its contextual preference model against a single
+//! relation, `Points_of_Interest(pid, name, type, location, open-air,
+//! hours_of_operation, admission_cost)`. This crate provides the small
+//! in-memory relational layer that `Rank_CS` (Algorithm 2) executes its
+//! scored selections over:
+//!
+//! * [`Value`] / [`AttrType`] — a typed value model with a total order
+//!   (so every `θ ∈ {=, <, >, ≤, ≥, ≠}` of Definition 5 is defined),
+//! * [`Schema`] / [`Relation`] / [`Tuple`] — schema-validated tuple
+//!   storage,
+//! * [`Predicate`] — θ-selections `σ_{A θ a}(R)`,
+//! * [`ScoredTuple`] / [`RankedResults`] — scored query answers with the
+//!   duplicate-combining policies the paper lists (max, min, avg) and
+//!   tie-preserving top-k (the paper's user study keeps *all* results
+//!   tied with the 20th score).
+
+mod rank;
+mod relation;
+mod value;
+
+pub use rank::{RankedResults, ScoreCombiner, ScoredTuple};
+pub use relation::{AttrId, CompareOp, Predicate, Relation, RelationError, Schema, Tuple};
+pub use value::{AttrType, Value};

@@ -1,0 +1,189 @@
+//! Scored query answers.
+//!
+//! `Rank_CS` (Algorithm 2) annotates the tuples selected by each
+//! preference expression with that preference's interest score. A tuple
+//! can be selected by several expressions; the paper suggests removing
+//! duplicates "by keeping the max (equivalently, avg, min, or some
+//! weighted average)" — [`ScoreCombiner`] implements those policies.
+
+use std::collections::HashMap;
+
+/// One tuple of the answer, identified by its index in the underlying
+/// relation, with its interest score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredTuple {
+    /// Index of the tuple in the underlying relation.
+    pub tuple_index: usize,
+    /// Combined interest score.
+    pub score: f64,
+}
+
+/// Policy for combining the scores of a tuple matched by more than one
+/// preference expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScoreCombiner {
+    /// Keep the maximum score (the paper's default suggestion).
+    #[default]
+    Max,
+    /// Keep the minimum score.
+    Min,
+    /// Average all scores.
+    Avg,
+}
+
+impl ScoreCombiner {
+    fn seed(self) -> (f64, u32) {
+        (match self {
+            Self::Max => f64::NEG_INFINITY,
+            Self::Min => f64::INFINITY,
+            Self::Avg => 0.0,
+        }, 0)
+    }
+
+    fn fold(self, acc: &mut (f64, u32), score: f64) {
+        match self {
+            Self::Max => acc.0 = acc.0.max(score),
+            Self::Min => acc.0 = acc.0.min(score),
+            Self::Avg => acc.0 += score,
+        }
+        acc.1 += 1;
+    }
+
+    fn finish(self, acc: (f64, u32)) -> f64 {
+        match self {
+            Self::Avg => acc.0 / acc.1 as f64,
+            _ => acc.0,
+        }
+    }
+}
+
+impl std::fmt::Display for ScoreCombiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Max => write!(f, "max"),
+            Self::Min => write!(f, "min"),
+            Self::Avg => write!(f, "avg"),
+        }
+    }
+}
+
+/// A ranked, duplicate-free query answer: tuples sorted by descending
+/// score (ties broken by ascending tuple index for determinism).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankedResults {
+    entries: Vec<ScoredTuple>,
+}
+
+impl RankedResults {
+    /// Combine raw `(tuple_index, score)` pairs — duplicates merged with
+    /// `combiner` — and sort by descending score.
+    pub fn from_scores(
+        raw: impl IntoIterator<Item = ScoredTuple>,
+        combiner: ScoreCombiner,
+    ) -> Self {
+        let mut acc: HashMap<usize, (f64, u32)> = HashMap::new();
+        for st in raw {
+            let slot = acc.entry(st.tuple_index).or_insert_with(|| combiner.seed());
+            combiner.fold(slot, st.score);
+        }
+        let mut entries: Vec<ScoredTuple> = acc
+            .into_iter()
+            .map(|(tuple_index, a)| ScoredTuple { tuple_index, score: combiner.finish(a) })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.tuple_index.cmp(&b.tuple_index))
+        });
+        Self { entries }
+    }
+
+    /// All entries, best first.
+    pub fn entries(&self) -> &[ScoredTuple] {
+        &self.entries
+    }
+
+    /// Number of distinct tuples in the answer.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the answer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The top `k` entries, *including* every entry tied with the k-th
+    /// score — the paper's user study uses the best 20 results and
+    /// "when there are ties in the ranking, we consider all results with
+    /// the same score".
+    pub fn top_k_with_ties(&self, k: usize) -> &[ScoredTuple] {
+        if k == 0 || self.entries.is_empty() {
+            return &[];
+        }
+        if self.entries.len() <= k {
+            return &self.entries;
+        }
+        let threshold = self.entries[k - 1].score;
+        let mut end = k;
+        while end < self.entries.len() && self.entries[end].score == threshold {
+            end += 1;
+        }
+        &self.entries[..end]
+    }
+
+    /// Indices of the tuples in rank order.
+    pub fn tuple_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|e| e.tuple_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(i: usize, s: f64) -> ScoredTuple {
+        ScoredTuple { tuple_index: i, score: s }
+    }
+
+    #[test]
+    fn sorts_descending_with_stable_ties() {
+        let r = RankedResults::from_scores(
+            vec![st(3, 0.5), st(1, 0.9), st(2, 0.5)],
+            ScoreCombiner::Max,
+        );
+        let idx: Vec<usize> = r.tuple_indices().collect();
+        assert_eq!(idx, vec![1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn combiners_merge_duplicates() {
+        let raw = vec![st(0, 0.2), st(0, 0.8), st(0, 0.5)];
+        let max = RankedResults::from_scores(raw.clone(), ScoreCombiner::Max);
+        assert_eq!(max.entries()[0].score, 0.8);
+        let min = RankedResults::from_scores(raw.clone(), ScoreCombiner::Min);
+        assert_eq!(min.entries()[0].score, 0.2);
+        let avg = RankedResults::from_scores(raw, ScoreCombiner::Avg);
+        assert!((avg.entries()[0].score - 0.5).abs() < 1e-12);
+        assert_eq!(ScoreCombiner::default(), ScoreCombiner::Max);
+        assert_eq!(ScoreCombiner::Avg.to_string(), "avg");
+    }
+
+    #[test]
+    fn top_k_includes_ties() {
+        let r = RankedResults::from_scores(
+            vec![st(0, 0.9), st(1, 0.5), st(2, 0.5), st(3, 0.5), st(4, 0.1)],
+            ScoreCombiner::Max,
+        );
+        // k = 2 → the 2nd score is 0.5, tied with entries 2 and 3.
+        assert_eq!(r.top_k_with_ties(2).len(), 4);
+        assert_eq!(r.top_k_with_ties(1).len(), 1);
+        assert_eq!(r.top_k_with_ties(5).len(), 5);
+        assert_eq!(r.top_k_with_ties(50).len(), 5);
+        assert!(r.top_k_with_ties(0).is_empty());
+        assert!(RankedResults::default().top_k_with_ties(3).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Traceability (Section 5.1): render *why* a query returned what it
+//! returned — "users can track back which preferences were used to
+//! attain the results and either modify the preferences or reconsider
+//! their ranking".
+
+use std::fmt::Write as _;
+
+use ctxpref_relation::Schema;
+
+use crate::resolver::{MatchOutcome, StateResolution};
+use crate::store::PreferenceStore;
+
+/// Render a human-readable trace of one state resolution: the query
+/// state, the outcome, every selected candidate with its distance, and
+/// the preference entries the candidate contributed.
+pub fn explain_resolution<S: PreferenceStore + ?Sized>(
+    store: &S,
+    schema: &Schema,
+    resolution: &StateResolution,
+) -> String {
+    let env = store.env();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "query state {} → {}",
+        resolution.query_state.display(env),
+        resolution.outcome
+    );
+    match resolution.outcome {
+        MatchOutcome::Exact => {
+            let _ = writeln!(out, "  the exact state is stored; its preferences apply:");
+        }
+        MatchOutcome::Covered => {
+            let _ = writeln!(
+                out,
+                "  {} stored state(s) cover the query; {} selected at the minimum distance:",
+                resolution.candidate_count,
+                resolution.selected.len()
+            );
+        }
+        MatchOutcome::NoMatch => {
+            let _ = writeln!(
+                out,
+                "  no stored context state covers the query — executed as a \
+                 non-contextual query"
+            );
+        }
+    }
+    for cand in &resolution.selected {
+        let _ = writeln!(
+            out,
+            "  • stored state {} (distance {})",
+            cand.state.display(env),
+            cand.distance
+        );
+        for entry in store.entries(cand.leaf) {
+            let _ = writeln!(
+                out,
+                "      {} with interest score {:.2}",
+                entry.clause.display(schema),
+                entry.score
+            );
+        }
+    }
+    let _ = writeln!(out, "  [{} cells accessed]", resolution.cells);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::{ContextResolver, TieBreak};
+    use ctxpref_context::{parse_descriptor, ContextEnvironment, ContextState, DistanceKind};
+    use ctxpref_hierarchy::Hierarchy;
+    use ctxpref_profile::{AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree};
+    use ctxpref_relation::{AttrType, Schema};
+
+    fn setup() -> (ContextEnvironment, Schema, ProfileTree) {
+        let env = ContextEnvironment::new(vec![
+            Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
+        ])
+        .unwrap();
+        let schema = Schema::new(&[("type", AttrType::Str)]).unwrap();
+        let mut profile = Profile::new(env.clone());
+        profile
+            .insert(
+                ContextualPreference::new(
+                    parse_descriptor(&env, "weather = warm").unwrap(),
+                    AttributeClause::eq(schema.attr("type").unwrap(), "beach".into()),
+                    0.9,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
+        (env, schema, tree)
+    }
+
+    #[test]
+    fn explains_exact_and_covered_and_none() {
+        let (env, schema, tree) = setup();
+        let resolver = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All);
+
+        let exact = resolver.resolve_state(&ContextState::parse(&env, &["warm"]).unwrap());
+        let text = explain_resolution(&tree, &schema, &exact);
+        assert!(text.contains("exact"), "{text}");
+        assert!(text.contains("type = beach"), "{text}");
+        assert!(text.contains("0.90"), "{text}");
+        assert!(text.contains("cells accessed"), "{text}");
+
+        let cold = resolver.resolve_state(&ContextState::parse(&env, &["cold"]).unwrap());
+        let text = explain_resolution(&tree, &schema, &cold);
+        assert!(text.contains("no stored context state covers"), "{text}");
+    }
+
+    #[test]
+    fn explains_covering_distance() {
+        let env = ContextEnvironment::new(vec![
+            Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
+            Hierarchy::flat("company", &["friends", "family"]).unwrap(),
+        ])
+        .unwrap();
+        let schema = Schema::new(&[("type", AttrType::Str)]).unwrap();
+        let mut profile = Profile::new(env.clone());
+        profile
+            .insert(
+                ContextualPreference::new(
+                    parse_descriptor(&env, "weather = warm").unwrap(),
+                    AttributeClause::eq(schema.attr("type").unwrap(), "beach".into()),
+                    0.9,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
+        let resolver = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All);
+        let res =
+            resolver.resolve_state(&ContextState::parse(&env, &["warm", "friends"]).unwrap());
+        let text = explain_resolution(&tree, &schema, &res);
+        assert!(text.contains("covered"), "{text}");
+        assert!(text.contains("(warm, all)"), "{text}");
+        assert!(text.contains("distance 1"), "{text}");
+    }
+}

@@ -1,0 +1,101 @@
+//! The matching-context definition (Definition 12): among the stored
+//! states covering a query state, a *match* is one that no other
+//! covering state sits strictly below (closer to the query) in the
+//! `covers` partial order.
+
+use ctxpref_context::ContextEnvironment;
+use ctxpref_profile::Candidate;
+
+/// Filter `candidates` (all of which cover the query state) down to the
+/// minimal elements of the `covers` partial order — the matches of
+/// Definition 12. States appearing more than once are kept once per
+/// leaf.
+///
+/// By Properties 2–3 of the paper, every minimum-distance candidate is
+/// minimal; the converse does not hold (two incomparable matches can
+/// have different distances — the paper's `(Greece, warm)` vs
+/// `(Athens, good)` example), which is why resolution breaks the
+/// remaining ties by distance afterwards.
+pub fn minimal_covering(env: &ContextEnvironment, candidates: &[Candidate]) -> Vec<Candidate> {
+    candidates
+        .iter()
+        .filter(|c| {
+            !candidates.iter().any(|other| {
+                other.state != c.state && c.state.covers(&other.state, env)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxpref_context::ContextState;
+    use ctxpref_hierarchy::HierarchyBuilder;
+    use ctxpref_profile::LeafId;
+
+    fn env() -> ContextEnvironment {
+        let mut loc = HierarchyBuilder::new("location", &["City", "Country"]);
+        loc.add("Country", "Greece", None).unwrap();
+        loc.add("City", "Athens", Some("Greece")).unwrap();
+        let mut w = HierarchyBuilder::new("weather", &["Conditions", "Char"]);
+        w.add("Char", "good", None).unwrap();
+        w.add_leaves("good", &["warm", "hot"]).unwrap();
+        ContextEnvironment::new(vec![loc.build().unwrap(), w.build().unwrap()]).unwrap()
+    }
+
+    fn cand(env: &ContextEnvironment, names: &[&str], distance: f64, id: u32) -> Candidate {
+        Candidate {
+            state: ContextState::parse(env, names).unwrap(),
+            distance,
+            leaf: LeafId(id),
+        }
+    }
+
+    #[test]
+    fn paper_tie_example_keeps_both() {
+        // Query (Athens, warm); candidates (Greece, warm) and
+        // (Athens, good): incomparable, both matches.
+        let env = env();
+        let cands = vec![
+            cand(&env, &["Greece", "warm"], 1.0, 0),
+            cand(&env, &["Athens", "good"], 1.0, 1),
+        ];
+        let min = minimal_covering(&env, &cands);
+        assert_eq!(min.len(), 2);
+    }
+
+    #[test]
+    fn dominated_candidates_are_dropped() {
+        // (Greece, good) covers (Greece, warm) → only the latter is a
+        // match (Definition 12's condition ii).
+        let env = env();
+        let cands = vec![
+            cand(&env, &["Greece", "warm"], 1.0, 0),
+            cand(&env, &["Greece", "good"], 2.0, 1),
+        ];
+        let min = minimal_covering(&env, &cands);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min[0].leaf, LeafId(0));
+    }
+
+    #[test]
+    fn exact_state_dominates_all() {
+        let env = env();
+        let cands = vec![
+            cand(&env, &["Athens", "warm"], 0.0, 0),
+            cand(&env, &["Greece", "warm"], 1.0, 1),
+            cand(&env, &["all", "all"], 3.0, 2),
+        ];
+        let min = minimal_covering(&env, &cands);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min[0].distance, 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let env = env();
+        assert!(minimal_covering(&env, &[]).is_empty());
+    }
+}

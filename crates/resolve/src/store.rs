@@ -1,0 +1,132 @@
+use ctxpref_context::{ContextEnvironment, ContextState, DistanceKind};
+use ctxpref_profile::{
+    AccessCounter, Candidate, CompressedProfileTree, LeafEntry, LeafId, ProfileTree, SerialStore,
+};
+
+/// Abstraction over physical preference stores: the profile tree and
+/// the serial (sequential-scan) baseline. All methods charge the shared
+/// [`AccessCounter`] so both sides of Figure 7 are measured identically.
+pub trait PreferenceStore {
+    /// The context environment the store is built over.
+    fn env(&self) -> &ContextEnvironment;
+
+    /// Leaves holding preferences whose context state equals `state`
+    /// exactly. The profile tree returns at most one leaf; the serial
+    /// store returns one pseudo-leaf per matching record.
+    fn lookup_exact(&self, state: &ContextState, counter: &mut AccessCounter) -> Vec<LeafId>;
+
+    /// `Search_CS`: every stored state that equals or covers `state`,
+    /// with its distance under `kind`.
+    fn lookup_covering(
+        &self,
+        state: &ContextState,
+        kind: DistanceKind,
+        counter: &mut AccessCounter,
+    ) -> Vec<Candidate>;
+
+    /// The `[attribute θ value, score]` entries of a leaf.
+    fn entries(&self, leaf: LeafId) -> &[LeafEntry];
+
+    /// Short label for reports ("profile tree" / "serial").
+    fn label(&self) -> &'static str;
+}
+
+impl PreferenceStore for ProfileTree {
+    fn env(&self) -> &ContextEnvironment {
+        ProfileTree::env(self)
+    }
+
+    fn lookup_exact(&self, state: &ContextState, counter: &mut AccessCounter) -> Vec<LeafId> {
+        match self.exact_lookup(state, counter) {
+            Some((leaf, _)) => vec![leaf],
+            None => Vec::new(),
+        }
+    }
+
+    fn lookup_covering(
+        &self,
+        state: &ContextState,
+        kind: DistanceKind,
+        counter: &mut AccessCounter,
+    ) -> Vec<Candidate> {
+        self.search_cs(state, kind, counter)
+    }
+
+    fn entries(&self, leaf: LeafId) -> &[LeafEntry] {
+        self.leaf(leaf)
+    }
+
+    fn label(&self) -> &'static str {
+        "profile tree"
+    }
+}
+
+impl PreferenceStore for SerialStore {
+    fn env(&self) -> &ContextEnvironment {
+        SerialStore::env(self)
+    }
+
+    fn lookup_exact(&self, state: &ContextState, counter: &mut AccessCounter) -> Vec<LeafId> {
+        let hits = self.exact_lookup(state, counter).len();
+        // Re-derive the record ids of the hits: records for one state
+        // are contiguous, so find them without further charging.
+        let mut out = Vec::with_capacity(hits);
+        for (i, r) in self.records().iter().enumerate() {
+            if r.state == *state {
+                out.push(LeafId(i as u32));
+                if out.len() == hits {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn lookup_covering(
+        &self,
+        state: &ContextState,
+        kind: DistanceKind,
+        counter: &mut AccessCounter,
+    ) -> Vec<Candidate> {
+        self.search_covering(state, kind, counter)
+    }
+
+    fn entries(&self, leaf: LeafId) -> &[LeafEntry] {
+        self.leaf(leaf)
+    }
+
+    fn label(&self) -> &'static str {
+        "serial"
+    }
+}
+
+
+impl PreferenceStore for CompressedProfileTree {
+    fn env(&self) -> &ContextEnvironment {
+        CompressedProfileTree::env(self)
+    }
+
+    fn lookup_exact(&self, state: &ContextState, counter: &mut AccessCounter) -> Vec<LeafId> {
+        match self.exact_lookup(state, counter) {
+            Some((leaf, _)) => vec![leaf],
+            None => Vec::new(),
+        }
+    }
+
+    fn lookup_covering(
+        &self,
+        state: &ContextState,
+        kind: DistanceKind,
+        counter: &mut AccessCounter,
+    ) -> Vec<Candidate> {
+        self.search_cs(state, kind, counter)
+    }
+
+    fn entries(&self, leaf: LeafId) -> &[LeafEntry] {
+        self.leaf(leaf)
+    }
+
+    fn label(&self) -> &'static str {
+        "compressed profile tree"
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the persistence layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input at a 1-based line number.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The input parsed but violates a model invariant (bad hierarchy,
+    /// conflicting preference, type mismatch, …).
+    Model {
+        /// 1-based line number.
+        line: usize,
+        /// The violated invariant.
+        message: String,
+    },
+    /// Wrong or missing format header.
+    BadHeader(String),
+}
+
+impl StorageError {
+    pub(crate) fn syntax(line: usize, message: impl Into<String>) -> Self {
+        Self::Syntax { line, message: message.into() }
+    }
+
+    pub(crate) fn model(line: usize, message: impl fmt::Display) -> Self {
+        Self::Model { line, message: message.to_string() }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Syntax { line, message } => write!(f, "syntax error at line {line}: {message}"),
+            Self::Model { line, message } => {
+                write!(f, "invalid content at line {line}: {message}")
+            }
+            Self::BadHeader(h) => write!(f, "unsupported format header {h:?}"),
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

@@ -1,0 +1,94 @@
+//! Token escaping: fields are space-separated, so spaces and control
+//! characters inside names/values are escaped with a `\`-prefix scheme.
+
+/// Escape a string into a single whitespace-free token. The empty
+/// string encodes as `\e` so tokens are never empty. All Unicode
+/// whitespace is escaped (`split_whitespace` splits on any character
+/// with the `White_Space` property, not just ASCII).
+pub fn escape(s: &str) -> String {
+    if s.is_empty() {
+        return r"\e".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str(r"\\"),
+            ' ' => out.push_str(r"\s"),
+            '\t' => out.push_str(r"\t"),
+            '\n' => out.push_str(r"\n"),
+            '\r' => out.push_str(r"\r"),
+            c if c.is_whitespace() => {
+                out.push_str(&format!(r"\u{{{:x}}}", c as u32));
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]. Returns `None` on a dangling or unknown
+/// escape sequence.
+pub fn unescape(s: &str) -> Option<String> {
+    if s == r"\e" {
+        return Some(String::new());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            's' => out.push(' '),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            'u' => {
+                if chars.next()? != '{' {
+                    return None;
+                }
+                let mut hex = String::new();
+                loop {
+                    match chars.next()? {
+                        '}' => break,
+                        c => hex.push(c),
+                    }
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        assert_eq!(escape("Plaka"), "Plaka");
+        assert_eq!(escape("Ano Poli"), r"Ano\sPoli");
+        assert_eq!(escape(""), r"\e");
+        assert_eq!(unescape(r"Ano\sPoli").as_deref(), Some("Ano Poli"));
+        assert_eq!(unescape(r"\e").as_deref(), Some(""));
+        assert_eq!(unescape(r"bad\x"), None);
+        assert_eq!(unescape("trailing\\"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(s in ".*") {
+            let e = escape(&s);
+            prop_assert!(!e.chars().any(char::is_whitespace), "escaped token contains whitespace");
+            prop_assert!(!e.is_empty());
+            let back = unescape(&e);
+            prop_assert_eq!(back.as_deref(), Some(s.as_str()));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+//! Persistence for contextual preference databases.
+//!
+//! The paper evaluates an in-memory system; any deployment of it needs
+//! its profiles to survive restarts. This crate provides a versioned,
+//! line-oriented text format (`ctxpref v1`) covering every logical
+//! component — hierarchies, context environments, relations, profiles,
+//! and whole [`ctxpref_core::ContextualDb`] instances — with exact
+//! round-tripping (value names, θ-operators, float scores, parameter
+//! orders, cache settings).
+//!
+//! Design notes:
+//!
+//! * **Logical, not physical**: the profile tree and the query cache are
+//!   derived structures; the format stores the profile and rebuilds the
+//!   indexes on load (conflict detection re-runs as an integrity check).
+//! * **Text, token-escaped**: every name/value is escaped
+//!   ([`escape`]/[`unescape`]) so arbitrary strings — spaces, tabs,
+//!   newlines — round-trip; the format stays diffable and greppable.
+//! * **Self-describing**: the header carries a version; unknown versions
+//!   are rejected up front.
+//!
+//! ```
+//! use ctxpref_storage::{read_database, write_database};
+//! # use ctxpref_core::ContextualDb;
+//! # use ctxpref_context::ContextEnvironment;
+//! # use ctxpref_hierarchy::Hierarchy;
+//! # use ctxpref_relation::{AttrType, Relation, Schema};
+//! # let env = ContextEnvironment::new(vec![
+//! #     Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
+//! # ]).unwrap();
+//! # let schema = Schema::new(&[("name", AttrType::Str)]).unwrap();
+//! # let mut rel = Relation::new("poi", schema);
+//! # rel.insert(vec!["Acropolis".into()]).unwrap();
+//! # let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
+//! # db.insert_preference_eq("weather = warm", "name", "Acropolis".into(), 0.8).unwrap();
+//! let mut buf = Vec::new();
+//! write_database(&mut buf, &db).unwrap();
+//! let restored = read_database(&buf[..]).unwrap();
+//! assert_eq!(restored.profile().len(), db.profile().len());
+//! ```
+
+mod error;
+mod escape;
+mod reader;
+mod writer;
+
+pub use error::StorageError;
+pub use escape::{escape, unescape};
+pub use reader::{read_database, read_hierarchy, read_multi_user, read_profile, read_relation};
+pub use writer::{write_database, write_hierarchy, write_multi_user, write_profile, write_relation};
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use ctxpref_core::ContextualDb;
+
+/// Magic header of the format.
+pub const HEADER: &str = "ctxpref v1";
+
+/// Save a database to a file.
+pub fn save_database(path: impl AsRef<Path>, db: &ContextualDb) -> Result<(), StorageError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_database(&mut w, db)
+}
+
+/// Load a database from a file.
+pub fn load_database(path: impl AsRef<Path>) -> Result<ContextualDb, StorageError> {
+    read_database(BufReader::new(File::open(path)?))
+}

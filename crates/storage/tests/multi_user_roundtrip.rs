@@ -1,0 +1,102 @@
+//! Round-tripping multi-user databases through the `ctxpref v1` format.
+
+use ctxpref_context::ContextState;
+use ctxpref_core::MultiUserDb;
+use ctxpref_storage::{read_multi_user, write_multi_user, StorageError};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+use ctxpref_workload::user_study::{all_demographics, default_profile};
+
+fn study_db() -> MultiUserDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 7, 4);
+    let mut db = MultiUserDb::new(env.clone(), rel, 8);
+    for (i, demo) in all_demographics().into_iter().take(4).enumerate() {
+        let profile = default_profile(&env, db.relation(), demo);
+        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+    }
+    db
+}
+
+#[test]
+fn multi_user_roundtrip_preserves_users_and_answers() {
+    let db = study_db();
+    let mut buf = Vec::new();
+    write_multi_user(&mut buf, &db).unwrap();
+    let restored = read_multi_user(&buf[..]).unwrap();
+
+    assert_eq!(restored.user_count(), db.user_count());
+    assert_eq!(restored.cache_capacity(), db.cache_capacity());
+    assert_eq!(restored.users_sorted(), db.users_sorted());
+    for user in db.users_sorted() {
+        assert_eq!(
+            restored.profile(user).unwrap().len(),
+            db.profile(user).unwrap().len(),
+            "profile size for {user}"
+        );
+        assert_eq!(
+            restored.tree_stats(user).unwrap(),
+            db.tree_stats(user).unwrap(),
+            "tree stats for {user}"
+        );
+    }
+
+    // Answers agree per user.
+    let env = db.env().clone();
+    for names in [["Plaka", "warm", "friends"], ["Ladadika", "cold", "family"]] {
+        let state = ContextState::parse(&env, &names).unwrap();
+        for user in db.users_sorted() {
+            let a = db.query_state(user, &state).unwrap();
+            let b = restored.query_state(user, &state).unwrap();
+            assert_eq!(a.results.entries(), b.results.entries(), "{user} @ {names:?}");
+        }
+    }
+}
+
+#[test]
+fn second_multi_user_roundtrip_is_identical_text() {
+    let db = study_db();
+    let mut buf1 = Vec::new();
+    write_multi_user(&mut buf1, &db).unwrap();
+    let restored = read_multi_user(&buf1[..]).unwrap();
+    let mut buf2 = Vec::new();
+    write_multi_user(&mut buf2, &restored).unwrap();
+    assert_eq!(String::from_utf8(buf1).unwrap(), String::from_utf8(buf2).unwrap());
+}
+
+#[test]
+fn malformed_multi_user_inputs_report_errors() {
+    // user marker without a profile section.
+    let text = "ctxpref v1\nhierarchy w\nlevels L\nv L a -\nend\n\
+                relation r\nattr x str\nend\nuser alice\n";
+    match read_multi_user(text.as_bytes()) {
+        Err(StorageError::Syntax { message, .. }) => {
+            assert!(message.contains("profile"), "{message}")
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+    // Duplicate users.
+    let text = "ctxpref v1\nhierarchy w\nlevels L\nv L a -\nend\n\
+                relation r\nattr x str\nend\n\
+                user alice\nprofile\nend\nuser alice\nprofile\nend\n";
+    match read_multi_user(text.as_bytes()) {
+        Err(StorageError::Model { message, .. }) => {
+            assert!(message.contains("alice"), "{message}")
+        }
+        other => panic!("expected Model, got {other:?}"),
+    }
+    // Garbage after a user's profile.
+    let text = "ctxpref v1\nhierarchy w\nlevels L\nv L a -\nend\n\
+                relation r\nattr x str\nend\n\
+                user alice\nprofile\nend\nwat\n";
+    match read_multi_user(text.as_bytes()) {
+        Err(StorageError::Syntax { message, .. }) => {
+            assert!(message.contains("user"), "{message}")
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+    // An empty multi-user database (no users) round-trips too.
+    let text = "ctxpref v1\nhierarchy w\nlevels L\nv L a -\nend\n\
+                relation r\nattr x str\nend\n";
+    let db = read_multi_user(text.as_bytes()).unwrap();
+    assert_eq!(db.user_count(), 0);
+}

@@ -1,0 +1,285 @@
+//! Round-trip and error-handling tests for the `ctxpref v1` format.
+
+use ctxpref_context::ContextState;
+use ctxpref_core::ContextualDb;
+use ctxpref_relation::{AttrType, CompareOp, Relation, Schema, Value};
+use ctxpref_storage::{
+    read_database, read_hierarchy, read_profile, read_relation, write_database, write_hierarchy,
+    write_profile, write_relation, StorageError,
+};
+use ctxpref_workload::real_profile::{real_profile, real_profile_env};
+use ctxpref_workload::reference::{poi_env, poi_relation, reference_env};
+use ctxpref_workload::synthetic::random_query_states;
+
+fn demo_db() -> ContextualDb {
+    let env = reference_env();
+    let schema = Schema::new(&[
+        ("name", AttrType::Str),
+        ("type", AttrType::Str),
+        ("open_air", AttrType::Bool),
+        ("cost", AttrType::Float),
+        ("pid", AttrType::Int),
+    ])
+    .unwrap();
+    let mut rel = Relation::new("Points of Interest", schema);
+    rel.insert(vec!["Acropolis".into(), "monument".into(), true.into(), 12.5.into(), 1.into()])
+        .unwrap();
+    rel.insert(vec![
+        "Mikro Brewery".into(),
+        "brewery".into(),
+        false.into(),
+        0.0.into(),
+        2.into(),
+    ])
+    .unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env)
+        .relation(rel)
+        .cache_capacity(17)
+        .build()
+        .unwrap();
+    db.insert_preference_eq(
+        "location = Plaka and temperature in {warm, hot}",
+        "name",
+        "Acropolis".into(),
+        0.8,
+    )
+    .unwrap();
+    db.insert_preference_eq("accompanying_people = friends", "type", "brewery".into(), 0.9)
+        .unwrap();
+    db.insert_preference_cmp(
+        "temperature in [mild, hot]",
+        "cost",
+        CompareOp::Le,
+        10.0.into(),
+        0.45,
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn database_roundtrip_preserves_everything() {
+    let db = demo_db();
+    let mut buf = Vec::new();
+    write_database(&mut buf, &db).unwrap();
+    let text = String::from_utf8(buf.clone()).unwrap();
+    assert!(text.starts_with("ctxpref v1"));
+    let restored = read_database(&buf[..]).unwrap();
+
+    assert_eq!(restored.profile().len(), db.profile().len());
+    assert_eq!(restored.relation().len(), db.relation().len());
+    assert_eq!(restored.relation().name(), "Points of Interest");
+    assert_eq!(restored.cache_capacity(), 17);
+    assert_eq!(
+        restored.tree().order().params(),
+        db.tree().order().params(),
+        "tree ordering survives"
+    );
+    assert_eq!(restored.tree_stats(), db.tree_stats());
+
+    // Identical answers on the reference contexts.
+    for names in [["Plaka", "warm", "friends"], ["Perama", "cold", "family"]] {
+        let q = ContextState::parse(db.env(), &names).unwrap();
+        let q2 = ContextState::parse(restored.env(), &names).unwrap();
+        let a = db.query_state(&q).unwrap();
+        let b = restored.query_state(&q2).unwrap();
+        assert_eq!(a.results.entries(), b.results.entries());
+    }
+}
+
+#[test]
+fn second_roundtrip_is_identical_text() {
+    let db = demo_db();
+    let mut buf1 = Vec::new();
+    write_database(&mut buf1, &db).unwrap();
+    let restored = read_database(&buf1[..]).unwrap();
+    let mut buf2 = Vec::new();
+    write_database(&mut buf2, &restored).unwrap();
+    assert_eq!(
+        String::from_utf8(buf1).unwrap(),
+        String::from_utf8(buf2).unwrap(),
+        "format is a fixed point after one roundtrip"
+    );
+}
+
+#[test]
+fn hierarchy_roundtrip() {
+    let env = poi_env();
+    for (_, h) in env.iter() {
+        let mut buf = Vec::new();
+        write_hierarchy(&mut buf, h).unwrap();
+        let restored = read_hierarchy(&buf[..]).unwrap();
+        assert_eq!(restored.name(), h.name());
+        assert_eq!(restored.level_count(), h.level_count());
+        assert_eq!(restored.edom_size(), h.edom_size());
+        for v in h.edom() {
+            let rv = restored.lookup(h.value_name(v)).unwrap();
+            assert_eq!(restored.level_of(rv), h.level_of(v));
+            assert_eq!(restored.leaf_count(rv), h.leaf_count(v));
+        }
+        restored.validate().unwrap();
+    }
+}
+
+#[test]
+fn relation_roundtrip_with_awkward_strings() {
+    let schema = Schema::new(&[("s", AttrType::Str), ("f", AttrType::Float)]).unwrap();
+    let mut rel = Relation::new("weird name\twith tab", schema);
+    for s in ["", "spa ces", "tab\tand\nnewline", "back\\slash", "ünïcode πλάκα"] {
+        rel.insert(vec![s.into(), 0.1.into()]).unwrap();
+    }
+    rel.insert(vec!["neg".into(), (-1.5e-9).into()]).unwrap();
+    let mut buf = Vec::new();
+    write_relation(&mut buf, &rel).unwrap();
+    let restored = read_relation(&buf[..]).unwrap();
+    assert_eq!(restored.name(), rel.name());
+    assert_eq!(restored.tuples(), rel.tuples());
+}
+
+#[test]
+fn profile_roundtrip_on_large_generated_profile() {
+    let env = real_profile_env();
+    let profile = real_profile(&env, 5);
+    let schema = Schema::new(&[
+        ("pid", AttrType::Int),
+        ("name", AttrType::Str),
+        ("type", AttrType::Str),
+    ])
+    .unwrap();
+    let rel = Relation::new("poi", schema);
+    let mut buf = Vec::new();
+    write_profile(&mut buf, &profile, &rel).unwrap();
+    let restored = read_profile(&buf[..], &env, &rel).unwrap();
+    assert_eq!(restored.len(), profile.len());
+    for (a, b) in profile.iter().zip(restored.iter()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn full_poi_database_roundtrip_resolves_identically() {
+    let env = poi_env();
+    let rel = poi_relation(&env, 11, 4);
+    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
+    for (cod, ty, score) in [
+        ("temperature = good", "monument", 0.8),
+        ("temperature = bad and accompanying_people = alone", "museum", 0.85),
+        ("location = Thessaloniki", "market", 0.75),
+    ] {
+        db.insert_preference_eq(cod, "type", ty.into(), score).unwrap();
+    }
+    let mut buf = Vec::new();
+    write_database(&mut buf, &db).unwrap();
+    let restored = read_database(&buf[..]).unwrap();
+    for q in random_query_states(&env, 30, 0.4, 3) {
+        let a = db.query_state(&q).unwrap();
+        let b = restored.query_state(&q).unwrap();
+        assert_eq!(a.results.entries(), b.results.entries(), "q = {}", q.display(&env));
+    }
+}
+
+#[test]
+fn save_and_load_via_files() {
+    let dir = std::env::temp_dir().join(format!("ctxpref_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.ctxpref");
+    let db = demo_db();
+    ctxpref_storage::save_database(&path, &db).unwrap();
+    let restored = ctxpref_storage::load_database(&path).unwrap();
+    assert_eq!(restored.profile().len(), db.profile().len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_inputs_report_lines() {
+    // Wrong header.
+    match read_database(&b"ctxpref v99\n"[..]) {
+        Err(StorageError::BadHeader(h)) => assert_eq!(h, "ctxpref v99"),
+        other => panic!("expected BadHeader, got {other:?}"),
+    }
+    // Truncated hierarchy.
+    let text = "ctxpref v1\nhierarchy loc\nlevels City\nv City Athens -\n";
+    match read_database(text.as_bytes()) {
+        Err(StorageError::Syntax { message, .. }) => {
+            assert!(message.contains("unterminated"), "{message}")
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+    // Bad value token in a tuple.
+    let text = "ctxpref v1\nhierarchy w\nlevels L\nv L a -\nend\n\
+                relation r\nattr x int\nt z:9\nend\norder w\nprofile\nend\n";
+    match read_database(text.as_bytes()) {
+        Err(StorageError::Syntax { line, message }) => {
+            assert_eq!(line, 8);
+            assert!(message.contains("unknown value tag"));
+        }
+        other => panic!("expected Syntax at line 8, got {other:?}"),
+    }
+    // Conflicting preferences are a model error.
+    let text = "ctxpref v1\nhierarchy w\nlevels L\nv L a -\nend\n\
+                relation r\nattr x str\nend\norder w\nprofile\n\
+                pref 0.5 x eq s:v w eq a\npref 0.9 x eq s:v w eq a\nend\n";
+    match read_database(text.as_bytes()) {
+        Err(StorageError::Model { message, .. }) => {
+            assert!(message.contains("conflict"), "{message}")
+        }
+        other => panic!("expected Model, got {other:?}"),
+    }
+    // Unknown context value in a pref.
+    let text = "ctxpref v1\nhierarchy w\nlevels L\nv L a -\nend\n\
+                relation r\nattr x str\nend\norder w\nprofile\n\
+                pref 0.5 x eq s:v w eq ghost\nend\n";
+    match read_database(text.as_bytes()) {
+        Err(StorageError::Model { message, .. }) => {
+            assert!(message.contains("ghost"), "{message}")
+        }
+        other => panic!("expected Model, got {other:?}"),
+    }
+    // Trailing garbage.
+    let text = "ctxpref v1\nhierarchy w\nlevels L\nv L a -\nend\n\
+                relation r\nattr x str\nend\norder w\nprofile\nend\nwat\n";
+    match read_database(text.as_bytes()) {
+        Err(StorageError::Syntax { message, .. }) => {
+            assert!(message.contains("trailing"), "{message}")
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+}
+
+#[test]
+fn comments_and_blank_lines_are_ignored() {
+    let db = demo_db();
+    let mut buf = Vec::new();
+    write_database(&mut buf, &db).unwrap();
+    let mut text = String::from_utf8(buf).unwrap();
+    text = text.replace("ctxpref v1\n", "ctxpref v1\n\n# a comment\n\n");
+    let restored = read_database(text.as_bytes()).unwrap();
+    assert_eq!(restored.profile().len(), db.profile().len());
+}
+
+#[test]
+fn float_scores_roundtrip_exactly() {
+    let env = reference_env();
+    let schema = Schema::new(&[("x", AttrType::Str)]).unwrap();
+    let rel = Relation::new("r", schema);
+    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
+    for (i, score) in [0.1, 1.0 / 3.0, 0.7071067811865476, f64::MIN_POSITIVE, 1.0]
+        .iter()
+        .enumerate()
+    {
+        db.insert_preference_eq(
+            &format!("temperature = {}", ["freezing", "cold", "mild", "warm", "hot"][i]),
+            "x",
+            Value::str(&format!("v{i}")),
+            *score,
+        )
+        .unwrap();
+    }
+    let mut buf = Vec::new();
+    write_database(&mut buf, &db).unwrap();
+    let restored = read_database(&buf[..]).unwrap();
+    for (a, b) in db.profile().iter().zip(restored.profile().iter()) {
+        assert_eq!(a.score().to_bits(), b.score().to_bits());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Workloads for the evaluation of *"Adding Context to Preferences"*
+//! (Section 5).
+//!
+//! The paper evaluates with (a) a real points-of-interest database of
+//! Athens and Thessaloniki plus a real 522-preference profile, and (b)
+//! synthetic profiles over three context parameters with controlled
+//! domain sizes and value distributions. Neither real artifact is
+//! available, so this crate builds faithful synthetic stand-ins (see
+//! `DESIGN.md` §4 for the substitution argument):
+//!
+//! * [`mod@reference`] — the paper's reference hierarchies (Figures 1–2)
+//!   extended to two cities, and a deterministic POI database generator.
+//! * [`real_profile`] — a profile generator reproducing the published
+//!   statistics of the "real profile": 522 preferences over three
+//!   context parameters with active domains of 4, 17 and 100 values.
+//! * [`synthetic`] — the synthetic profiles of Section 5.2: uniform or
+//!   Zipf-distributed context values over parameters with 50/100/1000
+//!   (or arbitrary) domain sizes, plus query generators.
+//! * [`user_study`] — a simulated re-run of the Table 1 usability study
+//!   with 10 simulated users derived from 12 demographic default
+//!   profiles.
+//! * [`streams`] — context streams (dwell blocks, random walks) for
+//!   evaluating the context query tree under realistic locality.
+//! * [`Zipf`] — a seedable Zipf(α) sampler (α = 0 degenerates to
+//!   uniform), implemented here because `rand_distr` is not among the
+//!   approved dependencies.
+
+mod zipf;
+
+pub mod real_profile;
+pub mod reference;
+pub mod streams;
+pub mod synthetic;
+pub mod user_study;
+
+pub use zipf::Zipf;

@@ -1,0 +1,136 @@
+//! Context streams: sequences of query context states as a user's
+//! situation evolves over time.
+//!
+//! The context query tree's value hinges on *context locality* — users
+//! fire many queries while their context changes slowly and locally
+//! (the weather shifts one condition at a time, people move to nearby
+//! regions). This module models that with two generators:
+//!
+//! * [`dwell_stream`] — the context is redrawn uniformly every `dwell`
+//!   queries (the simplest locality knob, used by the `repro -- qcache`
+//!   ablation);
+//! * [`walk_stream`] — a random walk: at each step, with probability
+//!   `move_prob`, **one** parameter steps to an adjacent detailed value
+//!   (neighbouring position within its domain order, which for
+//!   generated hierarchies means staying inside or near the same parent
+//!   group). This produces streams whose consecutive states differ in
+//!   at most one coordinate — high cache affinity *and* high locality in
+//!   the profile tree.
+
+use ctxpref_context::{ContextEnvironment, ContextState, CtxValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw a uniformly random detailed state.
+pub fn random_detailed_state(env: &ContextEnvironment, rng: &mut StdRng) -> ContextState {
+    let values: Vec<CtxValue> = env
+        .iter()
+        .map(|(_, h)| {
+            let dom = h.domain(h.detailed_level());
+            dom[rng.random_range(0..dom.len())]
+        })
+        .collect();
+    ContextState::from_values_unchecked(values)
+}
+
+/// A stream of `n` detailed states where the context is redrawn
+/// uniformly every `dwell` queries. `dwell = 1` has no locality.
+pub fn dwell_stream(
+    env: &ContextEnvironment,
+    n: usize,
+    dwell: usize,
+    seed: u64,
+) -> Vec<ContextState> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dwell = dwell.max(1);
+    let mut out = Vec::with_capacity(n);
+    let mut current = random_detailed_state(env, &mut rng);
+    for i in 0..n {
+        if i % dwell == 0 {
+            current = random_detailed_state(env, &mut rng);
+        }
+        out.push(current.clone());
+    }
+    out
+}
+
+/// A random-walk stream of `n` detailed states: each step keeps the
+/// state with probability `1 − move_prob`; otherwise one uniformly
+/// chosen parameter moves to an adjacent value in its detailed domain
+/// order (clamped at the ends).
+pub fn walk_stream(
+    env: &ContextEnvironment,
+    n: usize,
+    move_prob: f64,
+    seed: u64,
+) -> Vec<ContextState> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut current = random_detailed_state(env, &mut rng);
+    for _ in 0..n {
+        if rng.random::<f64>() < move_prob {
+            let pi = rng.random_range(0..env.len());
+            let p = ctxpref_context::ParamId(pi as u16);
+            let h = env.hierarchy(p);
+            let dom = h.domain(h.detailed_level());
+            let pos = h.pos_in_level(current.value(p)) as i64;
+            let step = if rng.random::<bool>() { 1 } else { -1 };
+            let next = (pos + step).clamp(0, dom.len() as i64 - 1) as usize;
+            current = current.with_value(p, dom[next]);
+        }
+        out.push(current.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::poi_env;
+
+    #[test]
+    fn dwell_stream_repeats_in_blocks() {
+        let env = poi_env();
+        let s = dwell_stream(&env, 30, 10, 7);
+        assert_eq!(s.len(), 30);
+        for block in s.chunks(10) {
+            assert!(block.iter().all(|x| x == &block[0]), "block is constant");
+        }
+        // Distinct blocks (overwhelmingly likely).
+        assert_ne!(s[0], s[10]);
+        // Determinism.
+        assert_eq!(s, dwell_stream(&env, 30, 10, 7));
+    }
+
+    #[test]
+    fn dwell_one_has_no_locality() {
+        let env = poi_env();
+        let s = dwell_stream(&env, 50, 1, 3);
+        let distinct: std::collections::HashSet<_> = s.iter().collect();
+        assert!(distinct.len() > 25, "mostly fresh states, got {}", distinct.len());
+    }
+
+    #[test]
+    fn walk_changes_at_most_one_coordinate() {
+        let env = poi_env();
+        let s = walk_stream(&env, 200, 0.7, 11);
+        for w in s.windows(2) {
+            let diffs = w[0]
+                .values()
+                .iter()
+                .zip(w[1].values())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(diffs <= 1, "random walk moved {diffs} coordinates");
+        }
+        // All states stay detailed.
+        assert!(s.iter().all(|x| x.is_detailed(&env)));
+    }
+
+    #[test]
+    fn walk_with_zero_probability_is_constant() {
+        let env = poi_env();
+        let s = walk_stream(&env, 20, 0.0, 5);
+        assert!(s.iter().all(|x| x == &s[0]));
+    }
+}

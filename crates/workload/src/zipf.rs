@@ -1,0 +1,134 @@
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n`: rank `k` (0-based) is drawn with
+/// probability proportional to `1 / (k + 1)^α`.
+///
+/// α = 0 is the uniform distribution; the paper's skewed profiles use
+/// α = 1.5, and Figure 6 (right) sweeps α from 0 to 3.5.
+///
+/// Sampling is by inverse transform over a precomputed CDF (O(log n)
+/// per draw), which is exact and fast enough for the profile sizes of
+/// the evaluation (≤ 10⁴ preferences over domains ≤ 10³).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n ≥ 1` ranks with exponent `a ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `a` is negative or non-finite.
+    pub fn new(n: usize, a: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(a >= 0.0 && a.is_finite(), "Zipf exponent must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(a);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point leaving the last bucket < 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_a_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(z.n(), 4);
+    }
+
+    #[test]
+    fn skew_orders_probabilities() {
+        let z = Zipf::new(10, 1.5);
+        for k in 1..10 {
+            assert!(z.pmf(k) < z.pmf(k - 1), "pmf must decrease with rank");
+        }
+        // pmf sums to 1.
+        let total: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_pmf_roughly() {
+        let z = Zipf::new(5, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 5];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / draws as f64;
+            assert!(
+                (freq - z.pmf(k)).abs() < 0.01,
+                "rank {k}: freq {freq} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_panics() {
+        let _ = Zipf::new(3, -1.0);
+    }
+
+    #[test]
+    fn high_skew_concentrates_mass() {
+        let z = Zipf::new(200, 3.5);
+        assert!(z.pmf(0) > 0.8, "α=3.5 should put most mass on rank 0");
+    }
+}

@@ -1,0 +1,71 @@
+//! Exploratory queries about hypothetical context states
+//! (Definitions 8–9): "When I travel to Athens with my family this
+//! summer (implying good weather), what places should I visit?"
+//!
+//! Extended context descriptors are disjunctions of conjunctions and
+//! are written here in the textual surface syntax; the answer unions
+//! the contexts of all disjuncts.
+//!
+//! ```text
+//! cargo run --example exploratory_queries
+//! ```
+
+use ctxpref::context::DistanceKind;
+use ctxpref::core::QueryOptions;
+use ctxpref::prelude::*;
+use ctxpref::workload::reference::{poi_env, poi_relation, POI_TYPES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = poi_env();
+    let rel = poi_relation(&env, 7, 4);
+    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build()?;
+
+    // A compact profile: weather × company type preferences.
+    for (cod, ty, score) in [
+        ("temperature = good and accompanying_people = family", "zoo", 0.9),
+        ("temperature = good and accompanying_people = family", "park", 0.85),
+        ("temperature = good", "monument", 0.8),
+        ("temperature = bad", "museum", 0.85),
+        ("temperature = bad", "aquarium", 0.7),
+        ("accompanying_people = friends", "brewery", 0.9),
+        ("location = Thessaloniki", "market", 0.75),
+    ] {
+        assert!(POI_TYPES.contains(&ty));
+        db.insert_preference_eq(cod, "type", ty.into(), score)?;
+    }
+
+    // The paper's exploratory query: Athens + family + good weather.
+    let q1 = "location = Athens and temperature = good and accompanying_people = family";
+    let a1 = db.query_str(q1)?;
+    println!("Q1: {q1}");
+    print!("{}", db.render_top(&a1, "name", 6)?);
+
+    // A disjunctive what-if: summer in Athens or a winter city break in
+    // Thessaloniki?
+    let q2 = "(location = Athens and temperature in {warm, hot}) or \
+              (location = Thessaloniki and temperature in [freezing, cold])";
+    let a2 = db.query_str(q2)?;
+    println!("\nQ2: {q2}");
+    println!("  ({} hypothetical context states resolved)", a2.resolutions.len());
+    print!("{}", db.render_top(&a2, "name", 6)?);
+
+    // Same query, Jaccard distance: breaks ties toward the covering
+    // state with the fewest descendants.
+    let ecod = ctxpref::context::parse_extended_descriptor(&env, q2)?;
+    let a3 = db.query_with(
+        &ecod,
+        QueryOptions { distance: DistanceKind::Jaccard, ..QueryOptions::default() },
+    )?;
+    println!("\nQ2 under the Jaccard distance:");
+    print!("{}", db.render_top(&a3, "name", 6)?);
+
+    // A query whose context nothing covers is answered as a plain,
+    // non-contextual query (empty preference set here).
+    let lonely = db.query_str("accompanying_people = alone and temperature = mild")?;
+    println!(
+        "\nQ3 (alone, mild): {} — {} result(s)",
+        if lonely.is_non_contextual() { "no matching context" } else { "matched" },
+        lonely.results.len()
+    );
+    Ok(())
+}

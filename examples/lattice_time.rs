@@ -1,0 +1,117 @@
+//! The general level lattice of Section 3.1, end to end.
+//!
+//! The paper's formalism allows a context parameter's levels to form a
+//! *lattice*, not just a chain — e.g. an hour of the week aggregates
+//! both by part of day (morning/afternoon/evening/night ≺ ALL) and by
+//! day type (weekday/weekend ≺ ALL). This example builds that lattice,
+//! asks it lattice-only questions (incomparable levels, cross-branch
+//! Jaccard), then decomposes it into its two chains so the standard
+//! profile-tree machinery can index preferences over it.
+//!
+//! ```text
+//! cargo run --example lattice_time
+//! ```
+
+use ctxpref::hierarchy::{lattice::LatticeBuilder, Hierarchy};
+use ctxpref::prelude::*;
+use ctxpref::relation::AttrType;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the two-branch time lattice over a week of 4-hour slots.
+    let mut b = LatticeBuilder::new("time");
+    b.level("Slot", &["PartOfDay", "DayType"]);
+    b.level("PartOfDay", &[]);
+    b.level("DayType", &[]);
+    for p in ["morning", "afternoon", "evening", "night"] {
+        b.value("PartOfDay", p, &[]);
+    }
+    b.value("DayType", "weekday", &[]);
+    b.value("DayType", "weekend", &[]);
+    let days = ["mon", "tue", "wed", "thu", "fri", "sat", "sun"];
+    for (d, day) in days.iter().enumerate() {
+        let day_type = if d < 5 { "weekday" } else { "weekend" };
+        for (part, hours) in [
+            ("morning", "06_10"),
+            ("afternoon", "12_16"),
+            ("evening", "18_22"),
+            ("night", "22_02"),
+        ] {
+            b.value("Slot", &format!("{day}_{hours}"), &[part, day_type]);
+        }
+    }
+    let lattice = b.build()?;
+    println!(
+        "lattice `time`: {} levels, {} values, {} maximal chains",
+        lattice.level_count(),
+        lattice.edom_size(),
+        lattice.chains().len()
+    );
+
+    // 2. Lattice-only questions.
+    let sat_evening = lattice.lookup("sat_18_22").unwrap();
+    let evening = lattice.lookup("evening").unwrap();
+    let weekend = lattice.lookup("weekend").unwrap();
+    println!(
+        "anc(sat_18_22, PartOfDay) = {}, anc(sat_18_22, DayType) = {}",
+        lattice.value_name(lattice.anc(sat_evening, lattice.level_by_name("PartOfDay").unwrap()).unwrap()),
+        lattice.value_name(lattice.anc(sat_evening, lattice.level_by_name("DayType").unwrap()).unwrap()),
+    );
+    // PartOfDay and DayType are incomparable: min path goes through Slot.
+    println!(
+        "level_dist(PartOfDay, DayType) = {:?} (incomparable, via Slot)",
+        lattice.level_dist(
+            lattice.level_by_name("PartOfDay").unwrap(),
+            lattice.level_by_name("DayType").unwrap()
+        )
+    );
+    println!(
+        "jaccard(evening, weekend) = {:.3}  (cross-branch overlap: the weekend evenings)",
+        lattice.jaccard(evening, weekend)
+    );
+
+    // 3. Decompose into chains and index preferences with the standard
+    //    machinery: each chain becomes one context parameter.
+    let by_part = lattice.extract_chain(&["Slot", "PartOfDay"])?;
+    let by_daytype = lattice.extract_chain(&["Slot", "DayType"])?;
+    println!(
+        "\nextracted chains: `{}` ({} levels) and `{}` ({} levels)",
+        by_part.name(),
+        by_part.level_count(),
+        by_daytype.name(),
+        by_daytype.level_count()
+    );
+
+    let env = ContextEnvironment::new(vec![
+        by_part,
+        Hierarchy::flat("company", &["friends", "family", "alone"])?,
+    ])?;
+    let schema = Schema::new(&[("name", AttrType::Str), ("type", AttrType::Str)])?;
+    let mut rel = Relation::new("poi", schema);
+    for (n, t) in [
+        ("Acropolis", "monument"),
+        ("Mikro", "brewery"),
+        ("Benaki", "museum"),
+        ("Attica Zoo", "zoo"),
+    ] {
+        rel.insert(vec![n.into(), t.into()])?;
+    }
+    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build()?;
+    // Preferences at different lattice levels of the extracted chain.
+    db.insert_preference_eq("time_partofday = evening and company = friends", "type", "brewery".into(), 0.9)?;
+    db.insert_preference_eq("time_partofday = morning", "type", "monument".into(), 0.8)?;
+    db.insert_preference_eq("company = family", "type", "zoo".into(), 0.85)?;
+
+    // The current context is a concrete slot; the evening preference
+    // covers it through the lattice-derived chain.
+    let now = ContextState::parse(&env, &["sat_18_22", "friends"])?;
+    let answer = db.query_state(&now)?;
+    println!("\nSaturday evening with friends:");
+    print!("{}", db.render_top(&answer, "name", 5)?);
+    for r in &answer.resolutions {
+        for c in &r.selected {
+            println!("  via stored state {}", c.state.display(&env));
+        }
+    }
+    assert_eq!(answer.results.entries()[0].score, 0.9);
+    Ok(())
+}

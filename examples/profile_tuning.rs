@@ -1,0 +1,74 @@
+//! Tuning the profile tree: how the parameter-to-level assignment
+//! affects index size, and when the skew-aware active-domain ordering
+//! beats the plain domain-size heuristic (Section 3.3 + Figure 6
+//! right).
+//!
+//! ```text
+//! cargo run --release --example profile_tuning
+//! ```
+
+use ctxpref::prelude::*;
+use ctxpref::workload::synthetic::{active_domains, SyntheticSpec, ValueDist};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A workload with a heavily skewed large domain: 200 values but a
+    // tiny active domain.
+    let spec = SyntheticSpec {
+        domains: vec![vec![50], vec![100, 10], vec![200, 20]],
+        dists: vec![ValueDist::Uniform, ValueDist::Uniform, ValueDist::Zipf(2.5)],
+        num_prefs: 5000,
+        clause_values: 100,
+        seed: 2007,
+    };
+    let env = spec.build_env();
+    let profile = spec.build_profile(&env);
+    println!(
+        "profile: {} preferences over domains {:?}",
+        profile.len(),
+        env.iter()
+            .map(|(_, h)| h.domain_size(h.detailed_level()))
+            .collect::<Vec<_>>()
+    );
+    println!("active domains: {:?}", active_domains(&env, &profile));
+
+    println!("\n{:<28} {:>10} {:>10} {:>14}", "ordering", "cells", "bytes", "max-cells bound");
+    let mut best: Option<(String, usize)> = None;
+    for order in ParamOrder::all_orders(&env) {
+        let tree = ProfileTree::from_profile(&profile, order.clone())?;
+        let stats = tree.stats();
+        let label = format!("{}", order.display(&env));
+        println!(
+            "{label:<28} {:>10} {:>10} {:>14}",
+            stats.total_cells(),
+            stats.total_bytes(),
+            order.max_cells(&env)
+        );
+        if best.as_ref().map(|(_, c)| stats.total_cells() < *c).unwrap_or(true) {
+            best = Some((label, stats.total_cells()));
+        }
+    }
+
+    let serial = SerialStore::from_profile(&profile)?;
+    println!("{:<28} {:>10} {:>10}", "serial", serial.total_cells(), serial.total_bytes());
+
+    let by_domain = ParamOrder::by_ascending_domain(&env);
+    let by_active = ParamOrder::by_ascending_active_domain(&env, &profile);
+    let t_domain = ProfileTree::from_profile(&profile, by_domain.clone())?;
+    let t_active = ProfileTree::from_profile(&profile, by_active.clone())?;
+    println!(
+        "\nheuristics: by-domain {} → {} cells; by-active-domain {} → {} cells",
+        by_domain.display(&env),
+        t_domain.stats().total_cells(),
+        by_active.display(&env),
+        t_active.stats().total_cells()
+    );
+    let (best_label, best_cells) = best.unwrap();
+    println!("exhaustive best: {best_label} → {best_cells} cells");
+    if t_active.stats().total_cells() <= t_domain.stats().total_cells() {
+        println!("→ under skew, the active-domain ordering wins (Figure 6 right).");
+    }
+
+    // The trees index identical contents regardless of ordering.
+    assert_eq!(t_domain.state_count(), t_active.state_count());
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the reference context environment of Figure 2 (location,
+//! temperature, accompanying_people), a small points-of-interest
+//! relation, the three contextual preferences of Figure 4, and runs a
+//! contextual query under the current context `(Plaka, warm, friends)`.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ctxpref::prelude::*;
+use ctxpref::relation::AttrType;
+use ctxpref::workload::reference::reference_env;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Context environment: the hierarchies of Figures 1–2.
+    let env = reference_env();
+
+    // 2. The Points_of_Interest relation (a compact excerpt).
+    let schema = Schema::new(&[
+        ("name", AttrType::Str),
+        ("type", AttrType::Str),
+        ("open_air", AttrType::Bool),
+        ("admission_cost", AttrType::Float),
+    ])?;
+    let mut rel = Relation::new("Points_of_Interest", schema);
+    for (name, ty, open_air, cost) in [
+        ("Acropolis", "monument", true, 12.0),
+        ("Benaki Museum", "museum", false, 9.0),
+        ("Mikro Brewery", "brewery", false, 0.0),
+        ("Attica Zoo", "zoo", true, 16.0),
+        ("Kifisia Cafe", "cafeteria", false, 0.0),
+    ] {
+        rel.insert(vec![name.into(), ty.into(), open_air.into(), cost.into()])?;
+    }
+
+    // 3. The contextual preferences of the paper (Section 3.2 / Fig. 4).
+    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build()?;
+    db.insert_preference_eq(
+        "location = Plaka and temperature = warm",
+        "name",
+        "Acropolis".into(),
+        0.8,
+    )?;
+    db.insert_preference_eq("accompanying_people = friends", "type", "brewery".into(), 0.9)?;
+    db.insert_preference_eq(
+        "location = Kifisia and temperature = warm and accompanying_people = friends",
+        "type",
+        "cafeteria".into(),
+        0.9,
+    )?;
+
+    println!("profile tree: {}", db.tree());
+
+    // 4. Query under the current context (Plaka, warm, friends).
+    let current = ContextState::parse(&env, &["Plaka", "warm", "friends"])?;
+    let answer = db.query_state(&current)?;
+    println!("\ncurrent context {}:", current.display(&env));
+    print!("{}", db.render_top(&answer, "name", 10)?);
+    for r in &answer.resolutions {
+        println!(
+            "  resolved {} as {} ({} candidate(s), {} cells)",
+            r.query_state.display(&env),
+            r.outcome,
+            r.candidate_count,
+            r.cells
+        );
+    }
+
+    // 5. The same query in cold weather lands on different preferences.
+    let cold = ContextState::parse(&env, &["Plaka", "cold", "friends"])?;
+    let answer = db.query_state(&cold)?;
+    println!("\ncurrent context {}:", cold.display(&env));
+    print!("{}", db.render_top(&answer, "name", 10)?);
+
+    Ok(())
+}

@@ -1,0 +1,369 @@
+//! Interactive shell for the context-aware preference database — the
+//! equivalent of the paper's prototype used in the Section 5.1 user
+//! study.
+//!
+//! ```text
+//! cargo run --bin ctxpref-cli
+//! ctxpref> load demo
+//! ctxpref> context Plaka warm friends
+//! ctxpref> query
+//! ctxpref> query location = Athens and temperature = good
+//! ctxpref> pref accompanying_people = family :: type = zoo @ 0.95
+//! ctxpref> prefs
+//! ctxpref> tree
+//! ```
+//!
+//! Also works non-interactively: `echo "load demo\nquery ..." | ctxpref-cli`.
+
+use std::io::{self, BufRead, Write};
+
+use ctxpref::context::{ContextState, DistanceKind};
+use ctxpref::core::{ContextualDb, QueryOptions};
+use ctxpref::prelude::*;
+use ctxpref::workload::reference::{poi_env, poi_relation};
+use ctxpref::workload::user_study::{default_profile, AgeBand, Demographics, Sex, Taste};
+
+struct Repl {
+    db: Option<ContextualDb>,
+    current: Option<ContextState>,
+    options: QueryOptions,
+    top_k: usize,
+}
+
+impl Repl {
+    fn new() -> Self {
+        Self {
+            db: None,
+            current: None,
+            options: QueryOptions { use_cache: true, ..QueryOptions::default() },
+            top_k: 10,
+        }
+    }
+
+    fn db(&self) -> Result<&ContextualDb, String> {
+        self.db.as_ref().ok_or_else(|| "no database loaded — try `load demo`".to_string())
+    }
+
+    fn db_mut(&mut self) -> Result<&mut ContextualDb, String> {
+        self.db.as_mut().ok_or_else(|| "no database loaded — try `load demo`".to_string())
+    }
+
+    fn handle(&mut self, line: &str) -> Result<Option<String>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "help" => Ok(Some(HELP.to_string())),
+            "quit" | "exit" => Err("__quit__".to_string()),
+            "load" => self.cmd_load(rest),
+            "save" => self.cmd_save(rest),
+            "open" => self.cmd_open(rest),
+            "env" => self.cmd_env(),
+            "context" => self.cmd_context(rest),
+            "query" => self.cmd_query(rest),
+            "explain" => self.cmd_explain(rest),
+            "pref" => self.cmd_pref(rest),
+            "prefs" => self.cmd_prefs(),
+            "del" => self.cmd_del(rest),
+            "score" => self.cmd_score(rest),
+            "tree" => self.cmd_tree(),
+            "orders" => self.cmd_orders(),
+            "distance" => self.cmd_distance(rest),
+            "top" => {
+                self.top_k = rest.parse().map_err(|_| format!("bad k: {rest:?}"))?;
+                Ok(Some(format!("showing top {}", self.top_k)))
+            }
+            other => Err(format!("unknown command {other:?} — try `help`")),
+        }
+    }
+
+    fn cmd_load(&mut self, what: &str) -> Result<Option<String>, String> {
+        if what != "demo" {
+            return Err("only `load demo` is available".to_string());
+        }
+        let env = poi_env();
+        let rel = poi_relation(&env, 2007, 5);
+        let mut db = ContextualDb::builder()
+            .env(env.clone())
+            .relation(rel)
+            .cache_capacity(64)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let demo = Demographics {
+            age: AgeBand::Between30And50,
+            sex: Sex::Female,
+            taste: Taste::Mainstream,
+        };
+        let profile = default_profile(&env, db.relation(), demo);
+        let n = profile.len();
+        for pref in profile.iter() {
+            db.insert_preference(pref.clone()).map_err(|e| e.to_string())?;
+        }
+        let pois = db.relation().len();
+        self.db = Some(db);
+        self.current = None;
+        Ok(Some(format!(
+            "loaded demo: {pois} points of interest, {n} preferences (mainstream 30–50 default profile)"
+        )))
+    }
+
+    fn cmd_save(&mut self, path: &str) -> Result<Option<String>, String> {
+        if path.is_empty() {
+            return Err("usage: save <path>".to_string());
+        }
+        let db = self.db()?;
+        ctxpref::storage::save_database(path, db).map_err(|e| e.to_string())?;
+        Ok(Some(format!("saved to {path}")))
+    }
+
+    fn cmd_open(&mut self, path: &str) -> Result<Option<String>, String> {
+        if path.is_empty() {
+            return Err("usage: open <path>".to_string());
+        }
+        let db = ctxpref::storage::load_database(path).map_err(|e| e.to_string())?;
+        let (pois, prefs) = (db.relation().len(), db.profile().len());
+        self.db = Some(db);
+        self.current = None;
+        Ok(Some(format!("opened {path}: {pois} tuples, {prefs} preferences")))
+    }
+
+    fn cmd_env(&self) -> Result<Option<String>, String> {
+        let db = self.db()?;
+        let mut out = String::new();
+        for (_, h) in db.env().iter() {
+            let levels: Vec<String> = (0..h.level_count())
+                .map(|l| {
+                    let l = ctxpref::hierarchy::LevelId(l as u8);
+                    format!("{} ({} values)", h.level_name(l), h.domain_size(l))
+                })
+                .collect();
+            out.push_str(&format!("{}: {}\n", h.name(), levels.join(" ≺ ")));
+        }
+        Ok(Some(out))
+    }
+
+    fn cmd_context(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let db = self.db()?;
+        if rest.is_empty() {
+            return Ok(Some(match &self.current {
+                Some(s) => format!("current context: {}", s.display(db.env())),
+                None => "no current context set".to_string(),
+            }));
+        }
+        let names: Vec<&str> = rest.split_whitespace().collect();
+        let state = ContextState::parse(db.env(), &names).map_err(|e| e.to_string())?;
+        let rendered = format!("current context set to {}", state.display(db.env()));
+        self.current = Some(state);
+        Ok(Some(rendered))
+    }
+
+    fn cmd_query(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let top_k = self.top_k;
+        let options = self.options;
+        let current = self.current.clone();
+        let db = self.db()?;
+        let answer = if rest.is_empty() {
+            let state = current.ok_or("no context — use `context <values>` or pass a descriptor")?;
+            db.query_state_with(&state, options).map_err(|e| e.to_string())?
+        } else {
+            let ecod = ctxpref::context::parse_extended_descriptor(db.env(), rest)
+                .map_err(|e| e.to_string())?;
+            db.query_with(&ecod, options).map_err(|e| e.to_string())?
+        };
+        let mut out = db.render_top(&answer, "name", top_k).map_err(|e| e.to_string())?;
+        if answer.results.is_empty() {
+            out.push_str("(no results — no stored preference covers this context)\n");
+        }
+        if answer.from_cache {
+            out.push_str("[served from the context query tree]\n");
+        } else {
+            for r in &answer.resolutions {
+                out.push_str(&format!(
+                    "[{} → {} via {} candidate(s), {} cells]\n",
+                    r.query_state.display(db.env()),
+                    r.outcome,
+                    r.candidate_count,
+                    r.cells
+                ));
+            }
+        }
+        Ok(Some(out))
+    }
+
+    fn cmd_explain(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let options = self.options;
+        let current = self.current.clone();
+        let db = self.db()?;
+        let answer = if rest.is_empty() {
+            let state = current.ok_or("no context — use `context <values>` or pass a descriptor")?;
+            db.query_state_with(&state, QueryOptions { use_cache: false, ..options })
+                .map_err(|e| e.to_string())?
+        } else {
+            let ecod = ctxpref::context::parse_extended_descriptor(db.env(), rest)
+                .map_err(|e| e.to_string())?;
+            db.query_with(&ecod, options).map_err(|e| e.to_string())?
+        };
+        let mut out = String::new();
+        for r in &answer.resolutions {
+            out.push_str(&ctxpref::resolve::explain_resolution(
+                db.tree(),
+                db.relation().schema(),
+                r,
+            ));
+        }
+        Ok(Some(out))
+    }
+
+    fn cmd_pref(&mut self, rest: &str) -> Result<Option<String>, String> {
+        // pref <descriptor> :: <attr> = <value> @ <score>
+        let (cod, clause) = rest
+            .split_once("::")
+            .ok_or("syntax: pref <descriptor> :: <attr> = <value> @ <score>")?;
+        let (assign, score) = clause
+            .rsplit_once('@')
+            .ok_or("syntax: pref <descriptor> :: <attr> = <value> @ <score>")?;
+        let (attr, value) = assign.split_once('=').ok_or("expected `<attr> = <value>`")?;
+        let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
+        let db = self.db_mut()?;
+        db.insert_preference_eq(cod.trim(), attr.trim(), value.trim().into(), score)
+            .map_err(|e| e.to_string())?;
+        Ok(Some("preference stored".to_string()))
+    }
+
+    fn cmd_prefs(&self) -> Result<Option<String>, String> {
+        let db = self.db()?;
+        let mut out = String::new();
+        for (i, p) in db.profile().iter().enumerate() {
+            out.push_str(&format!(
+                "[{i}] {} ⇒ {} @ {:.2}\n",
+                p.descriptor().display(db.env()),
+                p.clause().display(db.relation().schema()),
+                p.score()
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("(empty profile)\n");
+        }
+        Ok(Some(out))
+    }
+
+    fn cmd_del(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let index: usize = rest.trim().parse().map_err(|_| "usage: del <index>")?;
+        let db = self.db_mut()?;
+        let removed = db.remove_preference(index).map_err(|e| e.to_string())?;
+        Ok(Some(format!("removed preference scoring {:.2}", removed.score())))
+    }
+
+    fn cmd_score(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let (idx, score) = rest.split_once(char::is_whitespace).ok_or("usage: score <index> <score>")?;
+        let index: usize = idx.trim().parse().map_err(|_| "bad index")?;
+        let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
+        let db = self.db_mut()?;
+        db.update_preference_score(index, score).map_err(|e| e.to_string())?;
+        Ok(Some("score updated".to_string()))
+    }
+
+    fn cmd_tree(&self) -> Result<Option<String>, String> {
+        let db = self.db()?;
+        let stats = db.tree_stats();
+        let mut out = format!("{}\n", db.tree());
+        out.push_str(&format!(
+            "internal nodes {}, cells {}, leaf states {}, entries {}, ~{} bytes\n",
+            stats.internal_nodes,
+            stats.internal_cells,
+            stats.leaf_nodes,
+            stats.leaf_entries,
+            stats.total_bytes()
+        ));
+        if let Some(cs) = db.cache_stats() {
+            out.push_str(&format!(
+                "query cache: {} hits / {} misses (hit ratio {:.0}%)\n",
+                cs.hits,
+                cs.misses,
+                cs.hit_ratio() * 100.0
+            ));
+        }
+        Ok(Some(out))
+    }
+
+    fn cmd_orders(&self) -> Result<Option<String>, String> {
+        let db = self.db()?;
+        let mut out = String::new();
+        for order in ParamOrder::all_orders(db.env()) {
+            let tree = db.tree().reorder(order.clone()).map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "{:<60} {:>7} cells\n",
+                format!("{}", order.display(db.env())),
+                tree.stats().total_cells()
+            ));
+        }
+        Ok(Some(out))
+    }
+
+    fn cmd_distance(&mut self, rest: &str) -> Result<Option<String>, String> {
+        self.options.distance = match rest.trim() {
+            "hierarchy" => DistanceKind::Hierarchy,
+            "jaccard" => DistanceKind::Jaccard,
+            other => return Err(format!("unknown distance {other:?} (hierarchy | jaccard)")),
+        };
+        Ok(Some(format!("distance set to {}", self.options.distance)))
+    }
+}
+
+const HELP: &str = "\
+commands:
+  load demo                 load the two-city POI demo + a default profile
+  save <path>               persist the database (ctxpref v1 text format)
+  open <path>               load a persisted database
+  env                       show context parameters and hierarchies
+  context [v1 v2 v3]        set / show the current context state
+  query [descriptor]        query the current or a hypothetical context
+  explain [descriptor]      trace which stored preferences answered the query
+  pref <cod> :: <attr> = <value> @ <score>   add a contextual preference
+  prefs                     list the profile
+  del <index>               remove a preference
+  score <index> <score>     update a preference's interest score
+  tree                      profile tree and cache statistics
+  orders                    tree size under every parameter ordering
+  distance hierarchy|jaccard  pick the state distance
+  top <k>                   number of results to display
+  quit";
+
+fn main() {
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    let mut repl = Repl::new();
+    if interactive {
+        println!("ctxpref — context-aware preference database (ICDE 2007). Type `help`.");
+    }
+    loop {
+        if interactive {
+            print!("ctxpref> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        match repl.handle(&line) {
+            Ok(Some(out)) => println!("{}", out.trim_end()),
+            Ok(None) => {}
+            Err(e) if e == "__quit__" => break,
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Crude interactivity probe without extra dependencies: honour an
+/// explicit environment override, default to non-interactive when lines
+/// are piped (the common scripted case prints no prompts).
+fn atty_stdin() -> bool {
+    std::env::var("CTXPREF_INTERACTIVE").map(|v| v == "1").unwrap_or(false)
+}

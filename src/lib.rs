@@ -1,0 +1,56 @@
+//! # ctxpref — Adding Context to Preferences
+//!
+//! A Rust implementation of the context-aware preference database system
+//! of *"Adding Context to Preferences"* (Stefanidis, Pitoura,
+//! Vassiliadis, ICDE 2007).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`hierarchy`] — multidimensional attribute hierarchies
+//!   (level lattices, `anc`/`desc`).
+//! * [`context`] — context environments, states, descriptors, the
+//!   `covers` partial order and the hierarchy / Jaccard state distances.
+//! * [`relation`] — the relational substrate (schemas, tuples,
+//!   θ-selections, scored results).
+//! * [`profile`] — contextual preferences, profiles, the **profile
+//!   tree** index and the serial-store baseline.
+//! * [`resolve`] — context resolution (`Search_CS` / `Rank_CS`) with
+//!   cell-access accounting.
+//! * [`qcache`] — the context query tree: caching contextual query
+//!   results keyed by context state.
+//! * [`qualitative`] — the qualitative extension of Section 6:
+//!   contextual binary priorities with winnow / iterated-winnow
+//!   operators.
+//! * [`storage`] — versioned text persistence for hierarchies,
+//!   relations, profiles, and whole databases.
+//! * [`workload`] — the points-of-interest reference database, default
+//!   profiles, and synthetic workload generators.
+//! * [`core`] — the high-level [`core::ContextualDb`] façade.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use ctxpref_context as context;
+pub use ctxpref_core as core;
+pub use ctxpref_hierarchy as hierarchy;
+pub use ctxpref_profile as profile;
+pub use ctxpref_qcache as qcache;
+pub use ctxpref_qualitative as qualitative;
+pub use ctxpref_relation as relation;
+pub use ctxpref_resolve as resolve;
+pub use ctxpref_storage as storage;
+pub use ctxpref_workload as workload;
+
+/// Convenience prelude re-exporting the most common types.
+pub mod prelude {
+    pub use ctxpref_context::{
+        ContextDescriptor, ContextEnvironment, ContextState, CtxValue, DistanceKind,
+        ExtendedContextDescriptor, ParamId, ParameterDescriptor,
+    };
+    pub use ctxpref_core::{ContextualDb, ContextualDbBuilder, QueryOptions};
+    pub use ctxpref_hierarchy::{Hierarchy, HierarchyBuilder, LevelId, ValueId};
+    pub use ctxpref_profile::{
+        AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree, SerialStore,
+    };
+    pub use ctxpref_relation::{CompareOp, Relation, Schema, Value};
+    pub use ctxpref_resolve::{ContextResolver, PreferenceStore};
+}

@@ -1,0 +1,137 @@
+//! Scripted sessions through the `ctxpref-cli` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ctxpref-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cli binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("cli exits");
+    assert!(out.status.success(), "cli exited with {:?}", out.status);
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn demo_query_session() {
+    let (stdout, stderr) = run_script(
+        "load demo\n\
+         env\n\
+         context Plaka warm friends\n\
+         context\n\
+         query\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("loaded demo"));
+    assert!(stdout.contains("location:"));
+    assert!(stdout.contains("current context set to (Plaka, warm, friends)"));
+    assert!(stdout.contains("current context: (Plaka, warm, friends)"));
+    assert!(stdout.contains("(0."), "results carry scores: {stdout}");
+}
+
+#[test]
+fn preference_lifecycle_session() {
+    let (stdout, stderr) = run_script(
+        "load demo\n\
+         pref location = Ioannina and temperature = bad :: type = theater @ 0.97\n\
+         prefs\n\
+         query location = Ioannina and temperature = bad\n\
+         tree\n\
+         orders\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("preference stored"));
+    assert!(stdout.contains("theater"));
+    assert!(stdout.contains("theater_"), "the new preference surfaces: {stdout}");
+    assert!(stdout.contains("ProfileTree["));
+    assert!(stdout.contains("cells"));
+}
+
+#[test]
+fn errors_go_to_stderr_and_do_not_kill_the_session() {
+    let (stdout, stderr) = run_script(
+        "query\n\
+         load demo\n\
+         context Atlantis warm friends\n\
+         bogus\n\
+         distance euclidean\n\
+         context Plaka warm friends\n\
+         distance jaccard\n\
+         query\n\
+         quit\n",
+    );
+    assert!(stderr.contains("no database loaded"));
+    assert!(stderr.contains("Atlantis"));
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("unknown distance"));
+    assert!(stdout.contains("distance set to Jaccard"));
+    assert!(stdout.contains("(0."), "query still works after errors");
+}
+
+#[test]
+fn deletion_and_rescoring() {
+    let (stdout, stderr) = run_script(
+        "load demo\n\
+         pref location = Ioannina and temperature = bad :: type = theater @ 0.20\n\
+         score 58 0.99\n\
+         del 58\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("score updated"));
+    assert!(stdout.contains("removed preference scoring 0.99"));
+}
+
+#[test]
+fn save_and_open_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("ctxpref_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("session.ctxpref");
+    let script = format!(
+        "load demo\n\
+         pref location = Ioannina and temperature = bad :: type = theater @ 0.97\n\
+         save {p}\n\
+         open {p}\n\
+         context Perama cold alone\n\
+         query\n\
+         quit\n",
+        p = path.display()
+    );
+    let (stdout, stderr) = run_script(&script);
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("saved to"));
+    assert!(stdout.contains("59 preferences"), "profile persisted: {stdout}");
+    assert!(stdout.contains("theater_"), "persisted preference applies: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_traces_resolution() {
+    let (stdout, stderr) = run_script(
+        "load demo\n\
+         context Plaka warm friends\n\
+         explain\n\
+         explain location = Perama and temperature = freezing\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("query state (Plaka, warm, friends)"));
+    assert!(stdout.contains("stored state"));
+    assert!(stdout.contains("interest score"));
+    assert!(stdout.contains("cells accessed"));
+    assert!(stdout.contains("(Perama, freezing, all)"), "{stdout}");
+}

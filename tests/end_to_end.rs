@@ -1,0 +1,188 @@
+//! Whole-system workflows through the `ContextualDb` façade.
+
+use ctxpref::core::QueryOptions;
+use ctxpref::prelude::*;
+use ctxpref::relation::AttrType;
+use ctxpref::workload::reference::{poi_env, poi_relation, POI_TYPES};
+
+fn study_db(cache: usize) -> ContextualDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 99, 4);
+    let mut db = ContextualDb::builder()
+        .env(env)
+        .relation(rel)
+        .cache_capacity(cache)
+        .build()
+        .unwrap();
+    for (i, weather) in ["bad", "good"].iter().enumerate() {
+        for (j, company) in ["friends", "family", "alone"].iter().enumerate() {
+            for (k, ty) in POI_TYPES.iter().enumerate() {
+                let score = 0.05 + ((i * 37 + j * 11 + k * 3) % 90) as f64 / 100.0;
+                db.insert_preference_eq(
+                    &format!("temperature = {weather} and accompanying_people = {company}"),
+                    "type",
+                    (*ty).into(),
+                    score,
+                )
+                .unwrap();
+            }
+        }
+    }
+    db
+}
+
+#[test]
+fn every_detailed_context_gets_an_answer() {
+    let db = study_db(0);
+    let env = db.env().clone();
+    let loc = env.hierarchy(env.param("location").unwrap());
+    let tmp = env.hierarchy(env.param("temperature").unwrap());
+    let ppl = env.hierarchy(env.param("accompanying_people").unwrap());
+    for &r in loc.domain(loc.detailed_level()).iter().take(4) {
+        for &t in tmp.domain(tmp.detailed_level()) {
+            for &p in ppl.domain(ppl.detailed_level()) {
+                let state = ContextState::new(
+                    &env,
+                    vec![r, t, p],
+                )
+                .unwrap();
+                let a = db.query_state(&state).unwrap();
+                assert!(
+                    !a.results.is_empty(),
+                    "no answer for {}",
+                    state.display(&env)
+                );
+                // Every selected candidate covers the query state.
+                for res in &a.resolutions {
+                    for c in &res.selected {
+                        assert!(c.state.covers(&state, &env));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scores_stay_in_unit_interval_and_sorted() {
+    let db = study_db(0);
+    let env = db.env().clone();
+    let a = db
+        .query_str("temperature = good and accompanying_people = friends")
+        .unwrap();
+    let entries = a.results.entries();
+    assert!(!entries.is_empty());
+    for w in entries.windows(2) {
+        assert!(w[0].score >= w[1].score, "results must be sorted descending");
+    }
+    for e in entries {
+        assert!((0.0..=1.0).contains(&e.score));
+        assert!(e.tuple_index < db.relation().len());
+    }
+    let _ = env;
+}
+
+#[test]
+fn top_k_with_ties_never_splits_a_score_group() {
+    let db = study_db(0);
+    let a = db
+        .query_str("temperature = good and accompanying_people = family")
+        .unwrap();
+    for k in [1usize, 5, 20] {
+        let top = a.results.top_k_with_ties(k);
+        if top.len() > k {
+            let boundary = top[k - 1].score;
+            assert!(top[top.len() - 1].score == boundary);
+        }
+        if top.len() < a.results.len() {
+            // The first excluded entry has a strictly smaller score.
+            let next = a.results.entries()[top.len()].score;
+            assert!(next < top[top.len() - 1].score);
+        }
+    }
+}
+
+#[test]
+fn cache_transparency() {
+    let db = study_db(128);
+    let env = db.env().clone();
+    let states: Vec<ContextState> = [
+        ["Plaka", "warm", "friends"],
+        ["Kifisia", "cold", "family"],
+        ["Perama", "hot", "alone"],
+    ]
+    .iter()
+    .map(|n| ContextState::parse(&env, n).unwrap())
+    .collect();
+    for s in &states {
+        let fresh = db.query_state_with(s, QueryOptions::cached()).unwrap();
+        let cached = db.query_state_with(s, QueryOptions::cached()).unwrap();
+        assert!(!fresh.from_cache && cached.from_cache);
+        assert_eq!(fresh.results.entries(), cached.results.entries());
+    }
+    let stats = db.cache_stats().unwrap();
+    assert_eq!(stats.hits, states.len() as u64);
+}
+
+#[test]
+fn profile_edits_change_answers_consistently() {
+    let mut db = study_db(8);
+    let env = db.env().clone();
+    let s = ContextState::parse(&env, &["Plaka", "warm", "friends"]).unwrap();
+    let before = db.query_state(&s).unwrap();
+    let n = db.profile().len();
+    // A very strong new preference dominates.
+    db.insert_preference_eq(
+        "temperature = warm and accompanying_people = friends",
+        "type",
+        "theater".into(),
+        0.99,
+    )
+    .unwrap();
+    let after = db.query_state(&s).unwrap();
+    assert_eq!(after.results.entries()[0].score, 0.99);
+    // Remove it again: back to the previous answer.
+    db.remove_preference(n).unwrap();
+    let reverted = db.query_state(&s).unwrap();
+    assert_eq!(before.results.entries(), reverted.results.entries());
+}
+
+#[test]
+fn distance_kind_changes_tie_resolution_only() {
+    let db = study_db(0);
+    let env = db.env().clone();
+    let s = ContextState::parse(&env, &["Plaka", "warm", "friends"]).unwrap();
+    let h = db.query_state_with(&s, QueryOptions::default()).unwrap();
+    let j = db.query_state_with(&s, QueryOptions::jaccard()).unwrap();
+    // Whatever the metric, selected candidates must cover the query.
+    for a in [&h, &j] {
+        for r in &a.resolutions {
+            for c in &r.selected {
+                assert!(c.state.covers(&s, &env));
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_schema_thetas_rank() {
+    // Non-equality clauses (θ = ≤) rank tuples too.
+    let env = poi_env();
+    let schema = Schema::new(&[("name", AttrType::Str), ("cost", AttrType::Float)]).unwrap();
+    let mut rel = Relation::new("poi", schema);
+    rel.insert(vec!["cheap".into(), 3.0.into()]).unwrap();
+    rel.insert(vec!["pricey".into(), 30.0.into()]).unwrap();
+    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
+    db.insert_preference_cmp(
+        "accompanying_people = alone",
+        "cost",
+        CompareOp::Le,
+        10.0.into(),
+        0.8,
+    )
+    .unwrap();
+    let a = db.query_str("accompanying_people = alone").unwrap();
+    assert_eq!(a.results.len(), 1);
+    let rendered = db.render_top(&a, "name", 5).unwrap();
+    assert_eq!(rendered.trim(), "cheap (0.80)");
+}

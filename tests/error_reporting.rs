@@ -1,0 +1,139 @@
+//! Error reporting quality: every error variant renders an actionable
+//! message, and error sources chain correctly. A production system's
+//! errors are part of its API.
+
+use std::error::Error;
+
+use ctxpref::context::{parse_descriptor, ContextError};
+use ctxpref::core::{ContextualDb, CoreError};
+use ctxpref::hierarchy::{Hierarchy, HierarchyBuilder, HierarchyError};
+use ctxpref::prelude::*;
+use ctxpref::profile::ProfileError;
+use ctxpref::relation::{AttrType, RelationError};
+use ctxpref::storage::StorageError;
+use ctxpref::workload::reference::reference_env;
+
+#[test]
+fn hierarchy_errors_name_the_offenders() {
+    let mut b = HierarchyBuilder::new("x", &["lo", "hi"]);
+    b.add("hi", "top", None).unwrap();
+    let e = b.add("hi", "top", None).unwrap_err();
+    assert!(e.to_string().contains("top"), "{e}");
+
+    let mut b = HierarchyBuilder::new("x", &["lo", "hi"]);
+    b.add("hi", "t", None).unwrap();
+    b.add("lo", "child", Some("ghost")).unwrap();
+    let e = b.build().unwrap_err();
+    assert!(e.to_string().contains("ghost") && e.to_string().contains("child"), "{e}");
+
+    let e = HierarchyBuilder::new("x", &[]).build().unwrap_err();
+    assert_eq!(e, HierarchyError::NoLevels);
+    assert!(e.source().is_none());
+    assert!(!e.to_string().is_empty());
+}
+
+#[test]
+fn context_errors_locate_the_problem() {
+    let env = reference_env();
+    let e = parse_descriptor(&env, "location == Plaka").unwrap_err();
+    match &e {
+        ContextError::Parse { position, message } => {
+            assert!(*position > 0);
+            assert!(message.contains("expected"));
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+    assert!(e.to_string().contains("byte"));
+
+    let e = parse_descriptor(&env, "location = Sparta").unwrap_err();
+    assert!(e.to_string().contains("Sparta") && e.to_string().contains("location"), "{e}");
+
+    let e = ContextState::parse(&env, &["Plaka"]).unwrap_err();
+    assert!(e.to_string().contains("3") && e.to_string().contains("1"), "{e}");
+}
+
+#[test]
+fn profile_conflict_reports_scores_and_chains_sources() {
+    let env = reference_env();
+    let schema = Schema::new(&[("name", AttrType::Str)]).unwrap();
+    let rel = Relation::new("r", schema);
+    let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
+    db.insert_preference_eq("temperature = warm", "name", "Acropolis".into(), 0.8).unwrap();
+    let e = db
+        .insert_preference_eq("temperature = warm", "name", "Acropolis".into(), 0.3)
+        .unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("0.8") && msg.contains("0.3"), "{msg}");
+    // The core error chains to the profile error.
+    match &e {
+        CoreError::Profile(ProfileError::Conflict { existing_score, new_score, .. }) => {
+            assert_eq!(*existing_score, 0.8);
+            assert_eq!(*new_score, 0.3);
+        }
+        other => panic!("expected Profile(Conflict), got {other:?}"),
+    }
+    assert!(e.source().is_some());
+}
+
+#[test]
+fn relation_errors_name_attribute_and_types() {
+    let schema = Schema::new(&[("cost", AttrType::Float)]).unwrap();
+    let mut rel = Relation::new("r", schema);
+    let e = rel.insert(vec!["oops".into()]).unwrap_err();
+    match &e {
+        RelationError::TypeMismatch { attr, expected, got } => {
+            assert_eq!(attr, "cost");
+            assert_eq!(*expected, AttrType::Float);
+            assert_eq!(*got, AttrType::Str);
+        }
+        other => panic!("expected TypeMismatch, got {other:?}"),
+    }
+    assert!(e.to_string().contains("cost") && e.to_string().contains("float"), "{e}");
+}
+
+#[test]
+fn invalid_scores_are_rejected_with_value() {
+    let env = reference_env();
+    let schema = Schema::new(&[("name", AttrType::Str)]).unwrap();
+    let rel = Relation::new("r", schema);
+    let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
+    let e = db
+        .insert_preference_eq("temperature = warm", "name", "X".into(), 1.7)
+        .unwrap_err();
+    assert!(e.to_string().contains("1.7"), "{e}");
+}
+
+#[test]
+fn storage_errors_carry_line_numbers() {
+    let bad = "ctxpref v1\nhierarchy h\nlevels L\nv L a -\nend\nrelation r\nattr x int\nt i:notanint\nend\norder h\nprofile\nend\n";
+    let e = ctxpref::storage::read_database(bad.as_bytes()).unwrap_err();
+    match &e {
+        StorageError::Syntax { line, message } => {
+            assert_eq!(*line, 8);
+            assert!(message.contains("notanint"), "{message}");
+        }
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+    assert!(e.to_string().contains("line 8"), "{e}");
+}
+
+#[test]
+fn missing_builder_inputs_are_clear() {
+    let e = ContextualDb::builder().build().unwrap_err();
+    assert!(e.to_string().contains("environment"), "{e}");
+    let env = ContextEnvironment::new(vec![Hierarchy::flat("x", &["a"]).unwrap()]).unwrap();
+    let e = ContextualDb::builder().env(env).build().unwrap_err();
+    assert!(e.to_string().contains("relation"), "{e}");
+}
+
+#[test]
+fn every_error_type_is_std_error() {
+    fn assert_error<E: Error>() {}
+    assert_error::<HierarchyError>();
+    assert_error::<ContextError>();
+    assert_error::<RelationError>();
+    assert_error::<ProfileError>();
+    assert_error::<CoreError>();
+    assert_error::<StorageError>();
+    assert_error::<ctxpref::qualitative::QualitativeError>();
+}

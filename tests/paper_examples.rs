@@ -1,0 +1,274 @@
+//! End-to-end checks of every concrete example in the paper's text,
+//! across all crates.
+
+use ctxpref::prelude::*;
+use ctxpref::context::{parse_descriptor, DistanceKind};
+use ctxpref::hierarchy::LevelId;
+use ctxpref::profile::AccessCounter;
+use ctxpref::relation::AttrType;
+use ctxpref::workload::reference::reference_env;
+
+/// Section 3.1: anc/desc examples over Figure 1.
+#[test]
+fn section_3_1_anc_desc() {
+    let env = reference_env();
+    let loc = env.hierarchy(env.param("location").unwrap());
+    let city = loc.level_by_name("City").unwrap();
+    let plaka = loc.lookup("Plaka").unwrap();
+    let athens = loc.lookup("Athens").unwrap();
+    let greece = loc.lookup("Greece").unwrap();
+    // anc^City_Region(Plaka) = Athens.
+    assert_eq!(loc.anc(plaka, city), Some(athens));
+    // desc^City_Region(Athens) = {Plaka, Kifisia}.
+    let names: Vec<&str> = loc
+        .desc(athens, LevelId::DETAILED)
+        .into_iter()
+        .map(|v| loc.value_name(v))
+        .collect();
+    assert_eq!(names, vec!["Plaka", "Kifisia"]);
+    // desc^Country_City(Greece) = {Athens, Ioannina}.
+    let names: Vec<&str> =
+        loc.desc(greece, city).into_iter().map(|v| loc.value_name(v)).collect();
+    assert_eq!(names, vec!["Athens", "Ioannina"]);
+}
+
+/// Section 3.1: the descriptor
+/// (location = Plaka ∧ temperature = {warm, hot} ∧ people = friends)
+/// denotes exactly (Plaka, warm, friends) and (Plaka, hot, friends).
+#[test]
+fn section_3_1_descriptor_expansion() {
+    let env = reference_env();
+    let cod = parse_descriptor(
+        &env,
+        "location = Plaka and temperature in {warm, hot} and accompanying_people = friends",
+    )
+    .unwrap();
+    let states: Vec<String> = cod
+        .states(&env)
+        .unwrap()
+        .iter()
+        .map(|s| s.display(&env).to_string())
+        .collect();
+    assert_eq!(states, vec!["(Plaka, warm, friends)", "(Plaka, hot, friends)"]);
+    // temperature ∈ [mild, hot] = {mild, warm, hot}.
+    let cod = parse_descriptor(&env, "temperature in [mild, hot]").unwrap();
+    assert_eq!(cod.state_count(&env).unwrap(), 3);
+}
+
+fn poi_db(env: &ContextEnvironment) -> ContextualDb {
+    let schema = Schema::new(&[("name", AttrType::Str), ("type", AttrType::Str)]).unwrap();
+    let mut rel = Relation::new("Points_of_Interest", schema);
+    for (n, t) in [
+        ("Acropolis", "monument"),
+        ("Benaki", "museum"),
+        ("Mikro", "brewery"),
+        ("Kifisia Cafe", "cafeteria"),
+    ] {
+        rel.insert(vec![n.into(), t.into()]).unwrap();
+    }
+    ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap()
+}
+
+/// Section 3.2: contextual_preference1–3 insert cleanly; the Acropolis
+/// score-conflict example (0.8 then 0.3) is rejected.
+#[test]
+fn section_3_2_preferences_and_conflict() {
+    let env = reference_env();
+    let mut db = poi_db(&env);
+    db.insert_preference_eq(
+        "location = Plaka and temperature = warm",
+        "name",
+        "Acropolis".into(),
+        0.8,
+    )
+    .unwrap();
+    db.insert_preference_eq("accompanying_people = friends", "type", "brewery".into(), 0.9)
+        .unwrap();
+    db.insert_preference_eq(
+        "location = Plaka and temperature in {warm, hot}",
+        "name",
+        "Acropolis".into(),
+        0.8,
+    )
+    .unwrap();
+    // Re-scoring the same (state, clause) differently conflicts.
+    let err = db
+        .insert_preference_eq(
+            "location = Plaka and temperature = warm",
+            "name",
+            "Acropolis".into(),
+            0.3,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("conflict"));
+}
+
+/// Figure 4: the profile tree built from the three example preferences
+/// has exactly the states of the figure.
+#[test]
+fn figure_4_profile_tree() {
+    let env = reference_env();
+    // Order as in the figure: people, temperature, location.
+    let order = ParamOrder::by_names(
+        &env,
+        &["accompanying_people", "temperature", "location"],
+    )
+    .unwrap();
+    let mut profile = Profile::new(env.clone());
+    let ty = AttributeClause::eq(ctxpref::relation::AttrId(1), "cafeteria".into());
+    for (cod, clause, score) in [
+        (
+            "location = Kifisia and temperature = warm and accompanying_people = friends",
+            ty.clone(),
+            0.9,
+        ),
+        (
+            "accompanying_people = friends",
+            AttributeClause::eq(ctxpref::relation::AttrId(1), "brewery".into()),
+            0.9,
+        ),
+        (
+            "location = Plaka and temperature in {warm, hot}",
+            AttributeClause::eq(ctxpref::relation::AttrId(0), "Acropolis".into()),
+            0.8,
+        ),
+    ] {
+        profile
+            .insert(
+                ctxpref::profile::ContextualPreference::new(
+                    parse_descriptor(&env, cod).unwrap(),
+                    clause,
+                    score,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+    }
+    let tree = ProfileTree::from_profile(&profile, order).unwrap();
+    let mut paths: Vec<String> =
+        tree.paths().iter().map(|(s, _)| s.display(&env).to_string()).collect();
+    paths.sort();
+    assert_eq!(
+        paths,
+        vec![
+            "(Kifisia, warm, friends)",
+            "(Plaka, hot, all)",
+            "(Plaka, warm, all)",
+            "(all, all, friends)",
+        ]
+    );
+}
+
+/// Section 4.2: the query (Athens, warm) against {(Greece, warm),
+/// (all, warm)} resolves to the more specific (Greece, warm).
+#[test]
+fn section_4_2_more_specific_wins() {
+    let env = reference_env();
+    let mut db = poi_db(&env);
+    db.insert_preference_eq(
+        "location = Greece and temperature = warm",
+        "name",
+        "Acropolis".into(),
+        0.6,
+    )
+    .unwrap();
+    db.insert_preference_eq("temperature = warm", "type", "museum".into(), 0.9).unwrap();
+    let a = db.query_str("location = Athens and temperature = warm").unwrap();
+    // The Greece preference (Acropolis, 0.6) wins over the more general
+    // one despite its lower score.
+    assert_eq!(a.results.len(), 1);
+    assert_eq!(a.results.entries()[0].score, 0.6);
+}
+
+/// Section 4.2's tie: (Greece, warm) and (Athens, good) both match
+/// (Athens, warm); neither covers the other; both are Definition-12
+/// matches.
+#[test]
+fn section_4_2_tie_both_match() {
+    let env = reference_env();
+    let s_query = ContextState::parse(&env, &["Athens", "warm", "all"]).unwrap();
+    let s1 = ContextState::parse(&env, &["Greece", "warm", "all"]).unwrap();
+    let s2 = ContextState::parse(&env, &["Athens", "good", "all"]).unwrap();
+    assert!(s1.covers(&s_query, &env));
+    assert!(s2.covers(&s_query, &env));
+    assert!(!s1.covers(&s2, &env) && !s2.covers(&s1, &env));
+
+    let mut db = poi_db(&env);
+    db.insert_preference_eq(
+        "location = Greece and temperature = warm",
+        "name",
+        "Acropolis".into(),
+        0.6,
+    )
+    .unwrap();
+    db.insert_preference_eq(
+        "location = Athens and temperature = good",
+        "type",
+        "museum".into(),
+        0.9,
+    )
+    .unwrap();
+    let a = db.query_str("location = Athens and temperature = warm").unwrap();
+    // Under TieBreak::All both preferences apply.
+    assert_eq!(a.resolutions[0].selected.len(), 2);
+    assert_eq!(a.results.len(), 2);
+}
+
+/// Section 4.4: exact matches need one root-to-leaf traversal; the same
+/// lookup via the serial store scans records.
+#[test]
+fn section_4_4_exact_traversal_cost() {
+    let env = reference_env();
+    let mut profile = Profile::new(env.clone());
+    for (i, region) in ["Plaka", "Kifisia", "Perama"].iter().enumerate() {
+        for (j, temp) in ["cold", "warm"].iter().enumerate() {
+            profile
+                .insert(
+                    ctxpref::profile::ContextualPreference::new(
+                        parse_descriptor(&env, &format!("location = {region} and temperature = {temp}"))
+                            .unwrap(),
+                        AttributeClause::eq(ctxpref::relation::AttrId(0), "X".into()),
+                        0.1 + (i * 2 + j) as f64 / 10.0,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+        }
+    }
+    let tree = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
+    let serial = SerialStore::from_profile(&profile).unwrap();
+    let q = ContextState::parse(&env, &["Perama", "warm", "all"]).unwrap();
+    let mut tc = AccessCounter::new();
+    let mut sc = AccessCounter::new();
+    assert!(tree.exact_lookup(&q, &mut tc).is_some());
+    assert!(!serial.exact_lookup(&q, &mut sc).is_empty());
+    assert!(tc.cells() < sc.cells(), "tree {} vs serial {}", tc.cells(), sc.cells());
+    // Tree bound: Σ |edom(Ci)|.
+    let bound: u64 = env.iter().map(|(_, h)| h.edom_size() as u64).sum();
+    assert!(tc.cells() <= bound);
+}
+
+/// Section 4.3 / Table 1: the Jaccard distance produces fewer ties than
+/// the hierarchy distance.
+#[test]
+fn jaccard_breaks_hierarchy_ties() {
+    let env = reference_env();
+    let q = ContextState::parse(&env, &["Plaka", "warm", "friends"]).unwrap();
+    // Two covers at equal hierarchy distance but different Jaccard
+    // distance: (Athens, warm, friends) lifts location by one level
+    // (2 leaves below Athens); (Plaka, good, friends) lifts temperature
+    // by one level (3 leaves below good).
+    let c1 = ContextState::parse(&env, &["Athens", "warm", "friends"]).unwrap();
+    let c2 = ContextState::parse(&env, &["Plaka", "good", "friends"]).unwrap();
+    let dh1 = ctxpref::context::hierarchy_state_dist(&env, &c1, &q);
+    let dh2 = ctxpref::context::hierarchy_state_dist(&env, &c2, &q);
+    assert_eq!(dh1, dh2, "hierarchy distance ties");
+    let dj1 = ctxpref::context::jaccard_state_dist(&env, &c1, &q);
+    let dj2 = ctxpref::context::jaccard_state_dist(&env, &c2, &q);
+    assert!(
+        (dj1 - dj2).abs() > 1e-9,
+        "jaccard breaks the tie: {dj1} vs {dj2}"
+    );
+    assert!(dj1 < dj2, "Athens (2 regions) is closer than good (3 conditions)");
+    let _ = DistanceKind::Jaccard;
+}

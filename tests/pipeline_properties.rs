@@ -1,0 +1,164 @@
+//! Property-based tests over the whole pipeline: random environments,
+//! profiles, and queries; the resolution invariants the paper's
+//! correctness argument rests on must hold for all of them.
+
+use ctxpref::context::{ContextEnvironment, ContextState, CtxValue, DistanceKind};
+use ctxpref::profile::{ParamOrder, ProfileTree, SerialStore};
+use ctxpref::resolve::{minimal_covering, ContextResolver, MatchOutcome, TieBreak};
+use ctxpref::workload::synthetic::{SyntheticSpec, ValueDist};
+use proptest::prelude::*;
+
+/// Random small workload specs (kept small so each case is fast).
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        1usize..=3,            // hierarchy shape selector for param 1
+        1usize..=3,            // … param 2
+        1usize..=3,            // … param 3
+        10usize..=120,         // preferences
+        prop_oneof![Just(ValueDist::Uniform), (0.5f64..2.5).prop_map(ValueDist::Zipf)],
+        0u64..1000,            // seed
+    )
+        .prop_map(|(s1, s2, s3, n, dist, seed)| {
+            let shape = |s: usize| match s {
+                1 => vec![6],
+                2 => vec![12, 4],
+                _ => vec![18, 6, 2],
+            };
+            SyntheticSpec {
+                domains: vec![shape(s1), shape(s2), shape(s3)],
+                dists: vec![dist; 3],
+                num_prefs: n,
+                clause_values: 8,
+                seed,
+            }
+        })
+}
+
+fn random_detailed(env: &ContextEnvironment, picks: &[usize; 3]) -> ContextState {
+    let values: Vec<CtxValue> = env
+        .iter()
+        .zip(picks)
+        .map(|((_, h), &k)| {
+            let dom = h.domain(h.detailed_level());
+            dom[k % dom.len()]
+        })
+        .collect();
+    ContextState::from_values_unchecked(values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every candidate `Search_CS` returns covers the query; the
+    /// resolver's selection attains the minimum distance; and the
+    /// minimum-distance selection is a subset of the Definition-12
+    /// matches' closure (each selected state is minimal or tied with a
+    /// minimal one in distance).
+    #[test]
+    fn resolution_invariants(spec in spec_strategy(), picks in any::<[usize; 3]>()) {
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
+            .unwrap();
+        let q = random_detailed(&env, &picks);
+        let resolver = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All);
+        let res = resolver.resolve_state(&q);
+        match res.outcome {
+            MatchOutcome::Exact => {
+                prop_assert!(res.selected.iter().all(|c| c.state == q));
+                prop_assert!(res.selected.iter().all(|c| c.distance == 0.0));
+            }
+            MatchOutcome::Covered => {
+                prop_assert!(!res.selected.is_empty());
+                let mut counter = ctxpref::profile::AccessCounter::new();
+                let all = tree.search_cs(&q, DistanceKind::Hierarchy, &mut counter);
+                let min = all.iter().map(|c| c.distance).fold(f64::INFINITY, f64::min);
+                for c in &res.selected {
+                    prop_assert!(c.state.covers(&q, &env));
+                    prop_assert!((c.distance - min).abs() < 1e-9);
+                }
+                // Every minimum-distance candidate is a Definition-12
+                // match (Properties 2–3).
+                let matches = minimal_covering(&env, &all);
+                for c in &res.selected {
+                    prop_assert!(
+                        matches.iter().any(|m| m.state == c.state),
+                        "min-distance candidate {} is not minimal",
+                        c.state.display(&env)
+                    );
+                }
+            }
+            MatchOutcome::NoMatch => prop_assert!(res.selected.is_empty()),
+        }
+    }
+
+    /// Tree and serial resolution agree on outcome and selected states.
+    #[test]
+    fn stores_agree(spec in spec_strategy(), picks in any::<[usize; 3]>()) {
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
+            .unwrap();
+        let serial = SerialStore::from_profile(&profile).unwrap();
+        let q = random_detailed(&env, &picks);
+        for kind in [DistanceKind::Hierarchy, DistanceKind::Jaccard] {
+            let rt = ContextResolver::new(&tree, kind, TieBreak::All).resolve_state(&q);
+            let rs = ContextResolver::new(&serial, kind, TieBreak::All).resolve_state(&q);
+            prop_assert_eq!(rt.outcome, rs.outcome);
+            let mut st: Vec<ContextState> = rt.selected.iter().map(|c| c.state.clone()).collect();
+            let mut ss: Vec<ContextState> = rs.selected.iter().map(|c| c.state.clone()).collect();
+            st.sort(); st.dedup();
+            ss.sort(); ss.dedup();
+            prop_assert_eq!(st, ss);
+        }
+    }
+
+    /// The parameter ordering of the tree never changes resolution
+    /// results, only its size/cost.
+    #[test]
+    fn ordering_is_semantically_transparent(spec in spec_strategy(), picks in any::<[usize; 3]>()) {
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let orders = ParamOrder::all_orders(&env);
+        let q = random_detailed(&env, &picks);
+        let mut baseline: Option<(MatchOutcome, Vec<ContextState>)> = None;
+        for order in orders {
+            let tree = ProfileTree::from_profile(&profile, order).unwrap();
+            let r = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All)
+                .resolve_state(&q);
+            let mut sel: Vec<ContextState> = r.selected.iter().map(|c| c.state.clone()).collect();
+            sel.sort();
+            sel.dedup();
+            match &baseline {
+                None => baseline = Some((r.outcome, sel)),
+                Some((o, s)) => {
+                    prop_assert_eq!(*o, r.outcome);
+                    prop_assert_eq!(s.clone(), sel);
+                }
+            }
+        }
+    }
+
+    /// Exact lookups on the tree respect the Σ|edom| bound; the stored
+    /// state count never exceeds the number of preference states.
+    #[test]
+    fn bounds_hold(spec in spec_strategy()) {
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
+            .unwrap();
+        let bound: u64 = env.iter().map(|(_, h)| h.edom_size() as u64).sum();
+        for (state, _) in tree.paths().into_iter().take(20) {
+            let mut c = ctxpref::profile::AccessCounter::new();
+            prop_assert!(tree.exact_lookup(&state, &mut c).is_some());
+            prop_assert!(c.cells() <= bound);
+        }
+        prop_assert!(tree.state_count() <= profile.len());
+        let worst = ParamOrder::all_orders(&env)
+            .into_iter()
+            .map(|o| o.max_cells(&env))
+            .max()
+            .unwrap();
+        prop_assert!((tree.stats().total_cells() as u128) <= worst + profile.len() as u128);
+    }
+}

@@ -1,0 +1,148 @@
+//! The profile tree and the serial store are two physical layouts of
+//! the same logical profile: every resolution-visible behaviour must
+//! coincide. Exercised over seeded random synthetic workloads.
+
+use ctxpref::context::DistanceKind;
+use ctxpref::profile::{AccessCounter, ParamOrder, ProfileTree, SerialStore};
+use ctxpref::resolve::{ContextResolver, PreferenceStore, TieBreak};
+use ctxpref::workload::synthetic::{
+    random_query_states, stored_query_states, SyntheticSpec, ValueDist,
+};
+
+fn specs() -> Vec<SyntheticSpec> {
+    vec![
+        SyntheticSpec::paper_standard(200, ValueDist::Uniform, 1),
+        SyntheticSpec::paper_standard(200, ValueDist::Zipf(1.5), 2),
+        SyntheticSpec {
+            domains: vec![vec![8, 4, 2], vec![6, 3], vec![5]],
+            dists: vec![ValueDist::Zipf(1.0); 3],
+            num_prefs: 300,
+            clause_values: 10,
+            seed: 3,
+        },
+    ]
+}
+
+#[test]
+fn exact_lookup_agrees() {
+    for spec in specs() {
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
+            .unwrap();
+        let serial = SerialStore::from_profile(&profile).unwrap();
+        let hits = stored_query_states(&env, &profile, 20, 10 + spec.seed);
+        let misses = random_query_states(&env, 20, 0.0, 20 + spec.seed);
+        for q in hits.iter().chain(misses.iter()) {
+            let mut c1 = AccessCounter::new();
+            let mut c2 = AccessCounter::new();
+            let t: Vec<_> = PreferenceStore::lookup_exact(&tree, q, &mut c1);
+            let s: Vec<_> = PreferenceStore::lookup_exact(&serial, q, &mut c2);
+            // Entry multisets must agree (leaf ids differ by design).
+            let mut te: Vec<String> = t
+                .iter()
+                .flat_map(|&l| tree.entries(l))
+                .map(|e| format!("{:?}@{}", e.clause, e.score))
+                .collect();
+            let mut se: Vec<String> = s
+                .iter()
+                .flat_map(|&l| PreferenceStore::entries(&serial, l))
+                .map(|e| format!("{:?}@{}", e.clause, e.score))
+                .collect();
+            te.sort();
+            se.sort();
+            assert_eq!(te, se, "exact entries diverge for {}", q.display(&env));
+        }
+    }
+}
+
+#[test]
+fn covering_candidates_agree() {
+    for spec in specs() {
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
+            .unwrap();
+        let serial = SerialStore::from_profile(&profile).unwrap();
+        let queries = random_query_states(&env, 30, 0.5, 30 + spec.seed);
+        for q in &queries {
+            for kind in [DistanceKind::Hierarchy, DistanceKind::Jaccard] {
+                let mut c1 = AccessCounter::new();
+                let mut c2 = AccessCounter::new();
+                let mut t: Vec<(String, String)> = tree
+                    .search_cs(q, kind, &mut c1)
+                    .into_iter()
+                    .map(|c| (c.state.display(&env).to_string(), format!("{:.9}", c.distance)))
+                    .collect();
+                let mut s: Vec<(String, String)> = serial
+                    .search_covering(q, kind, &mut c2)
+                    .into_iter()
+                    .map(|c| (c.state.display(&env).to_string(), format!("{:.9}", c.distance)))
+                    .collect();
+                // Serial lists one candidate per record; dedupe states.
+                t.sort();
+                t.dedup();
+                s.sort();
+                s.dedup();
+                assert_eq!(t, s, "covering candidates diverge for {}", q.display(&env));
+            }
+        }
+    }
+}
+
+#[test]
+fn resolution_agrees_including_ties() {
+    for spec in specs() {
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
+            .unwrap();
+        let serial = SerialStore::from_profile(&profile).unwrap();
+        let queries = random_query_states(&env, 30, 0.3, 40 + spec.seed);
+        for q in &queries {
+            for kind in [DistanceKind::Hierarchy, DistanceKind::Jaccard] {
+                let rt = ContextResolver::new(&tree, kind, TieBreak::All).resolve_state(q);
+                let rs = ContextResolver::new(&serial, kind, TieBreak::All).resolve_state(q);
+                assert_eq!(rt.outcome, rs.outcome);
+                let mut st: Vec<String> =
+                    rt.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
+                let mut ss: Vec<String> =
+                    rs.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
+                st.sort();
+                st.dedup();
+                ss.sort();
+                ss.dedup();
+                assert_eq!(st, ss, "selection diverges for {}", q.display(&env));
+            }
+        }
+    }
+}
+
+#[test]
+fn reordered_trees_are_equivalent() {
+    for spec in specs() {
+        let env = spec.build_env();
+        let profile = spec.build_profile(&env);
+        let base =
+            ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
+        let queries = random_query_states(&env, 20, 0.4, 50 + spec.seed);
+        for order in ParamOrder::all_orders(&env) {
+            let tree = base.reorder(order).unwrap();
+            assert_eq!(tree.state_count(), base.state_count());
+            for q in &queries {
+                let rb = ContextResolver::new(&base, DistanceKind::Hierarchy, TieBreak::All)
+                    .resolve_state(q);
+                let rt = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All)
+                    .resolve_state(q);
+                assert_eq!(rb.outcome, rt.outcome);
+                let mut sb: Vec<String> =
+                    rb.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
+                let mut st: Vec<String> =
+                    rt.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
+                sb.sort();
+                st.sort();
+                assert_eq!(sb, st);
+            }
+        }
+    }
+}
