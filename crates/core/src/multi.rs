@@ -9,10 +9,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ctxpref_context::{ContextState, ExtendedContextDescriptor};
-use ctxpref_profile::{ContextualPreference, ParamOrder, Profile, ProfileTree, TreeStats};
+use ctxpref_context::{parse_descriptor, ContextState, ExtendedContextDescriptor};
+use ctxpref_profile::{
+    AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree, TreeStats,
+};
 use ctxpref_qcache::ContextQueryTree;
-use ctxpref_relation::Relation;
+use ctxpref_relation::{CompareOp, Relation, Value};
 use ctxpref_resolve::rank_cs;
 
 use crate::db::{QueryAnswer, QueryOptions};
@@ -136,6 +138,12 @@ impl MultiUserDb {
         Ok(self.slot(user)?.tree.stats())
     }
 
+    /// A user's profile tree (for display, explanation, and reordering
+    /// experiments).
+    pub fn tree(&self, user: &str) -> Result<&ProfileTree, CoreError> {
+        Ok(&self.slot(user)?.tree)
+    }
+
     /// Insert a preference for one user (conflicts detected by their
     /// tree; their cache is invalidated).
     pub fn insert_preference(
@@ -150,6 +158,103 @@ impl MultiUserDb {
             c.invalidate_all();
         }
         Ok(())
+    }
+
+    /// Insert an equality preference for one user from its textual
+    /// parts, mirroring [`crate::ContextualDb::insert_preference_eq`].
+    pub fn insert_preference_eq(
+        &mut self,
+        user: &str,
+        descriptor: &str,
+        attr: &str,
+        value: Value,
+        score: f64,
+    ) -> Result<(), CoreError> {
+        let cod = parse_descriptor(&self.env, descriptor)?;
+        let clause =
+            AttributeClause::new(self.relation.schema().require_attr(attr)?, CompareOp::Eq, value);
+        self.insert_preference(user, ContextualPreference::new(cod, clause, score)?)
+    }
+
+    /// Remove one user's preference at `index` (as listed by their
+    /// [`Profile::preferences`]); their tree is rebuilt and their cache
+    /// invalidated.
+    pub fn remove_preference(
+        &mut self,
+        user: &str,
+        index: usize,
+    ) -> Result<ContextualPreference, CoreError> {
+        let order = self.order.clone();
+        let slot = self.slot_mut(user)?;
+        if index >= slot.profile.len() {
+            return Err(CoreError::NoSuchPreference(index));
+        }
+        let removed = slot.profile.remove(index);
+        slot.tree = ProfileTree::from_profile(&slot.profile, order)?;
+        if let Some(c) = &slot.cache {
+            c.invalidate_all();
+        }
+        Ok(removed)
+    }
+
+    /// Update the score of one user's preference at `index`, checking
+    /// the new score against the rest of their profile (Definition 6).
+    pub fn update_preference_score(
+        &mut self,
+        user: &str,
+        index: usize,
+        score: f64,
+    ) -> Result<(), CoreError> {
+        let env = self.env.clone();
+        let order = self.order.clone();
+        let slot = self.slot_mut(user)?;
+        if index >= slot.profile.len() {
+            return Err(CoreError::NoSuchPreference(index));
+        }
+        let old = &slot.profile.preferences()[index];
+        if old.score() == score {
+            return Ok(());
+        }
+        let updated = old.with_score(score)?;
+        for (i, other) in slot.profile.preferences().iter().enumerate() {
+            if i != index && other.conflicts_with(&updated, &env)? {
+                return Err(ctxpref_profile::ProfileError::Conflict {
+                    state: ContextState::all(&env),
+                    existing_score: other.score(),
+                    new_score: score,
+                }
+                .into());
+            }
+        }
+        slot.profile.update_score(index, score)?;
+        slot.tree = ProfileTree::from_profile(&slot.profile, order)?;
+        if let Some(c) = &slot.cache {
+            c.invalidate_all();
+        }
+        Ok(())
+    }
+
+    /// The query options used for every query on this database.
+    pub fn query_defaults(&self) -> QueryOptions {
+        self.defaults
+    }
+
+    /// Replace the query options used for every query on this database.
+    /// Caches are invalidated: cached answers were computed under the
+    /// old options.
+    pub fn set_query_defaults(&mut self, options: QueryOptions) {
+        self.defaults = options;
+        for slot in self.users.values_mut() {
+            if let Some(c) = &slot.cache {
+                c.invalidate_all();
+            }
+        }
+    }
+
+    /// One user's query-cache statistics (`None` when caching is
+    /// disabled).
+    pub fn cache_stats(&self, user: &str) -> Result<Option<ctxpref_qcache::CacheStats>, CoreError> {
+        Ok(self.slot(user)?.cache.as_ref().map(|c| c.stats()))
     }
 
     /// Query one user's profile under a single context state, through
@@ -180,6 +285,26 @@ impl MultiUserDb {
             cache.insert(state, Arc::clone(&answer.results));
         }
         Ok(answer)
+    }
+
+    /// Render the top-`k` answer (ties included) as `name (score)` lines
+    /// using the given display attribute — handy for examples and CLIs.
+    pub fn render_top(
+        &self,
+        answer: &QueryAnswer,
+        attr: &str,
+        k: usize,
+    ) -> Result<String, CoreError> {
+        let a = self.relation.schema().require_attr(attr)?;
+        let mut out = String::new();
+        for e in answer.results.top_k_with_ties(k) {
+            out.push_str(&format!(
+                "{} ({:.2})\n",
+                self.relation.tuple(e.tuple_index).value(a),
+                e.score
+            ));
+        }
+        Ok(out)
     }
 
     /// Query one user's profile with an explicit extended descriptor.

@@ -1,0 +1,475 @@
+#![warn(missing_docs)]
+//! Deterministic, seedable fault injection.
+//!
+//! Production code marks **named sites** — `faults::hit("storage.write.flush")?`
+//! — at the points where real deployments fail: I/O boundaries, cache
+//! lookups, query execution. A test installs a [`FaultPlan`] describing
+//! *which* sites misbehave and *how* (typed errors, injected delays,
+//! forced panics, truncated writes); without an installed plan every
+//! site is a single relaxed atomic load, so the instrumentation is free
+//! in production.
+//!
+//! Decisions are **deterministic**: a probability rule at a site fires
+//! purely as a function of `(plan seed, rule, site name, per-site hit
+//! index)`, so a seeded chaos run injects the same faults at the same
+//! operations every time, regardless of unrelated interleavings.
+//!
+//! ```
+//! use ctxpref_faults::{FaultPlan, hit};
+//!
+//! let plan = FaultPlan::builder(42).fail("demo.op", 0.5).build();
+//! let injected = plan.run(|| {
+//!     (0..100).filter(|_| hit("demo.op").is_err()).count()
+//! });
+//! assert!(injected > 20 && injected < 80);
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+/// What an injected fault did (or would do) at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation reports a (typed, recoverable) failure.
+    Error,
+    /// The operation panics, as a corrupted invariant would.
+    Panic,
+    /// The operation is delayed before proceeding.
+    Delay,
+    /// A write persists only a prefix of its payload.
+    Truncate,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Error => write!(f, "error"),
+            Self::Panic => write!(f, "panic"),
+            Self::Delay => write!(f, "delay"),
+            Self::Truncate => write!(f, "truncate"),
+        }
+    }
+}
+
+/// The typed error produced when a site is told to fail.
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// The site that failed.
+    pub site: String,
+    /// 1-based index of the hit at that site that failed.
+    pub hit: u64,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {} (hit #{})", self.site, self.hit)
+    }
+}
+
+impl Error for InjectedFault {}
+
+/// When a rule fires.
+#[derive(Debug, Clone)]
+enum Trigger {
+    /// Deterministically, with the given per-hit probability.
+    Probability(f64),
+    /// Exactly at these 1-based hit indices of the site.
+    AtHits(Vec<u64>),
+    /// Every `n`-th hit (n ≥ 1).
+    EveryNth(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    /// Site name, or a prefix ending in `*`.
+    pattern: String,
+    trigger: Trigger,
+    kind: FaultKind,
+    delay: Duration,
+    /// For [`FaultKind::Truncate`]: keep this fraction of the payload.
+    keep_fraction: f64,
+}
+
+impl Rule {
+    fn matches(&self, site: &str) -> bool {
+        match self.pattern.strip_suffix('*') {
+            Some(prefix) => site.starts_with(prefix),
+            None => self.pattern == site,
+        }
+    }
+
+    /// Deterministic decision for hit `hit` of `site` under `seed`.
+    /// `salt` is the rule's index in the plan, so several probability
+    /// rules on the same site draw independently instead of sharing one
+    /// uniform value (which would let the first rule shadow the rest).
+    fn fires(&self, seed: u64, site: &str, hit: u64, salt: u64) -> bool {
+        match &self.trigger {
+            Trigger::Probability(p) => {
+                let salt = salt.wrapping_mul(0xa24b_aed4_963e_e407);
+                let h = mix(seed ^ fnv(site) ^ fnv(&self.pattern) ^ salt, hit);
+                (h >> 11) as f64 / (1u64 << 53) as f64 * 1.0 < *p
+            }
+            Trigger::AtHits(hits) => hits.contains(&hit),
+            Trigger::EveryNth(n) => hit.is_multiple_of((*n).max(1)),
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn mix(seed: u64, n: u64) -> u64 {
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Counters of what a plan injected, for test assertions.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    /// Injected typed errors, per site.
+    pub errors: HashMap<String, u64>,
+    /// Forced panics, per site.
+    pub panics: HashMap<String, u64>,
+    /// Injected delays, per site.
+    pub delays: HashMap<String, u64>,
+    /// Truncated writes, per site.
+    pub truncations: HashMap<String, u64>,
+}
+
+impl FaultStats {
+    /// Total number of injected faults of every kind.
+    pub fn total(&self) -> u64 {
+        [&self.errors, &self.panics, &self.delays, &self.truncations]
+            .iter()
+            .flat_map(|m| m.values())
+            .sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    hits: HashMap<String, u64>,
+    stats: FaultStats,
+}
+
+/// A deterministic, seedable description of which sites fail and how.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+    state: Mutex<PlanState>,
+}
+
+/// Builder for [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlanBuilder {
+    fn rule(mut self, pattern: &str, trigger: Trigger, kind: FaultKind) -> Self {
+        self.rules.push(Rule {
+            pattern: pattern.to_string(),
+            trigger,
+            kind,
+            delay: Duration::from_millis(1),
+            keep_fraction: 0.5,
+        });
+        self
+    }
+
+    /// Fail `site` (exact name, or prefix ending in `*`) with per-hit
+    /// probability `p`.
+    #[must_use]
+    pub fn fail(self, site: &str, p: f64) -> Self {
+        self.rule(site, Trigger::Probability(p), FaultKind::Error)
+    }
+
+    /// Fail `site` exactly at the given 1-based hit indices.
+    #[must_use]
+    pub fn fail_at(self, site: &str, hits: &[u64]) -> Self {
+        self.rule(site, Trigger::AtHits(hits.to_vec()), FaultKind::Error)
+    }
+
+    /// Fail every `n`-th hit of `site` (n ≥ 1).
+    #[must_use]
+    pub fn fail_every(self, site: &str, n: u64) -> Self {
+        self.rule(site, Trigger::EveryNth(n), FaultKind::Error)
+    }
+
+    /// Panic at `site` with per-hit probability `p`.
+    #[must_use]
+    pub fn panic(self, site: &str, p: f64) -> Self {
+        self.rule(site, Trigger::Probability(p), FaultKind::Panic)
+    }
+
+    /// Panic at `site` exactly at the given 1-based hit indices.
+    #[must_use]
+    pub fn panic_at(self, site: &str, hits: &[u64]) -> Self {
+        self.rule(site, Trigger::AtHits(hits.to_vec()), FaultKind::Panic)
+    }
+
+    /// Sleep `delay` at `site` with per-hit probability `p`.
+    #[must_use]
+    pub fn delay(mut self, site: &str, p: f64, delay: Duration) -> Self {
+        self = self.rule(site, Trigger::Probability(p), FaultKind::Delay);
+        self.rules.last_mut().expect("rule just pushed").delay = delay;
+        self
+    }
+
+    /// Truncate writes at `site` with per-hit probability `p`, keeping
+    /// `keep_fraction` of the payload.
+    #[must_use]
+    pub fn truncate(mut self, site: &str, p: f64, keep_fraction: f64) -> Self {
+        self = self.rule(site, Trigger::Probability(p), FaultKind::Truncate);
+        self.rules.last_mut().expect("rule just pushed").keep_fraction =
+            keep_fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Truncate writes at `site` exactly at the given 1-based hits.
+    #[must_use]
+    pub fn truncate_at(mut self, site: &str, hits: &[u64], keep_fraction: f64) -> Self {
+        self = self.rule(site, Trigger::AtHits(hits.to_vec()), FaultKind::Truncate);
+        self.rules.last_mut().expect("rule just pushed").keep_fraction =
+            keep_fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Finish the plan.
+    pub fn build(self) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan { seed: self.seed, rules: self.rules, state: Mutex::default() })
+    }
+}
+
+impl FaultPlan {
+    /// Start building a plan whose probability decisions derive from
+    /// `seed`.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder { seed, rules: Vec::new() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Counters of everything injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).stats.clone()
+    }
+
+    /// Install this plan globally, run `f`, then restore the previous
+    /// plan (panic-safe). Returns `f`'s result.
+    pub fn run<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
+        let _guard = install(Arc::clone(self));
+        f()
+    }
+
+    /// Record a hit of `site`; decide what, if anything, to inject.
+    fn decide(&self, site: &str) -> Option<(FaultKind, Duration, f64, u64)> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = {
+            let h = state.hits.entry(site.to_string()).or_insert(0);
+            *h += 1;
+            *h
+        };
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if rule.matches(site) && rule.fires(self.seed, site, hit, idx as u64) {
+                let counter = match rule.kind {
+                    FaultKind::Error => &mut state.stats.errors,
+                    FaultKind::Panic => &mut state.stats.panics,
+                    FaultKind::Delay => &mut state.stats.delays,
+                    FaultKind::Truncate => &mut state.stats.truncations,
+                };
+                *counter.entry(site.to_string()).or_insert(0) += 1;
+                return Some((rule.kind, rule.delay, rule.keep_fraction, hit));
+            }
+        }
+        None
+    }
+}
+
+fn global() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+    static PLAN: OnceLock<RwLock<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    PLAN.get_or_init(|| RwLock::new(None))
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// RAII guard restoring the previously installed plan on drop.
+pub struct PlanGuard {
+    previous: Option<Arc<FaultPlan>>,
+}
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        let mut slot = global().write().unwrap_or_else(|e| e.into_inner());
+        ACTIVE.store(self.previous.is_some(), Ordering::Release);
+        *slot = self.previous.take();
+    }
+}
+
+/// Install `plan` as the process-wide fault plan until the returned
+/// guard drops. Nested installs restore the outer plan.
+pub fn install(plan: Arc<FaultPlan>) -> PlanGuard {
+    let mut slot = global().write().unwrap_or_else(|e| e.into_inner());
+    let previous = slot.replace(plan);
+    ACTIVE.store(true, Ordering::Release);
+    PlanGuard { previous }
+}
+
+/// The currently installed plan, if any.
+pub fn current() -> Option<Arc<FaultPlan>> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    global().read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Mark a fault site. With no plan installed this is one atomic load.
+/// Under a plan it may sleep (delay faults), panic (forced panics), or
+/// return the typed [`InjectedFault`] (error faults).
+pub fn hit(site: &str) -> Result<(), InjectedFault> {
+    let Some(plan) = current() else { return Ok(()) };
+    match plan.decide(site) {
+        None => Ok(()),
+        Some((FaultKind::Delay, d, _, _)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some((FaultKind::Panic, _, _, hit)) => {
+            panic!("injected panic at {site} (hit #{hit})");
+        }
+        Some((FaultKind::Error, _, _, hit)) => {
+            Err(InjectedFault { site: site.to_string(), hit })
+        }
+        // Truncation is only meaningful through `truncated_len`; at a
+        // plain site it degrades to an error.
+        Some((FaultKind::Truncate, _, _, hit)) => {
+            Err(InjectedFault { site: site.to_string(), hit })
+        }
+    }
+}
+
+/// Mark a *write* site of `full_len` bytes: returns the number of bytes
+/// that should actually be persisted. `full_len` when no truncation
+/// fault fires.
+pub fn truncated_len(site: &str, full_len: usize) -> usize {
+    let Some(plan) = current() else { return full_len };
+    match plan.decide(site) {
+        Some((FaultKind::Truncate, _, keep, _)) => {
+            ((full_len as f64) * keep).floor() as usize
+        }
+        Some((FaultKind::Delay, d, _, _)) => {
+            std::thread::sleep(d);
+            full_len
+        }
+        _ => full_len,
+    }
+}
+
+/// `hit` adapted to `std::io`: injected faults become `io::Error` (kind
+/// `Other`) with the [`InjectedFault`] as source, so I/O plumbing can
+/// propagate them unchanged.
+pub fn hit_io(site: &str) -> std::io::Result<()> {
+    hit(site).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_plan_is_free_and_infallible() {
+        assert!(current().is_none());
+        for _ in 0..100 {
+            assert!(hit("any.site").is_ok());
+            assert_eq!(truncated_len("any.site", 10), 10);
+        }
+    }
+
+    #[test]
+    fn probability_rules_are_deterministic() {
+        let run = || {
+            let plan = FaultPlan::builder(7).fail("s.op", 0.3).build();
+            plan.run(|| (0..200).map(|_| u64::from(hit("s.op").is_err())).collect::<Vec<_>>())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must inject identically");
+        let total: u64 = a.iter().sum();
+        assert!(total > 20 && total < 100, "injected {total}/200 at p=0.3");
+    }
+
+    #[test]
+    fn at_hits_fire_exactly() {
+        let plan = FaultPlan::builder(1).fail_at("s.op", &[2, 4]).build();
+        plan.run(|| {
+            assert!(hit("s.op").is_ok());
+            assert!(hit("s.op").is_err());
+            assert!(hit("s.op").is_ok());
+            assert!(hit("s.op").is_err());
+            assert!(hit("s.op").is_ok());
+        });
+        let stats = plan.stats();
+        assert_eq!(stats.errors.get("s.op"), Some(&2));
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn prefix_patterns_match() {
+        let plan = FaultPlan::builder(1).fail_at("storage.*", &[1]).build();
+        plan.run(|| {
+            assert!(hit("storage.write.flush").is_err());
+            assert!(hit("qcache.get").is_ok());
+        });
+    }
+
+    #[test]
+    fn panics_are_forced() {
+        let plan = FaultPlan::builder(1).panic_at("s.boom", &[1]).build();
+        let caught = plan.run(|| {
+            std::panic::catch_unwind(|| {
+                let _ = hit("s.boom");
+            })
+        });
+        assert!(caught.is_err());
+        assert_eq!(plan.stats().panics.get("s.boom"), Some(&1));
+    }
+
+    #[test]
+    fn truncation_scales_length() {
+        let plan = FaultPlan::builder(1).truncate_at("w", &[1], 0.5).build();
+        plan.run(|| {
+            assert_eq!(truncated_len("w", 100), 50);
+            assert_eq!(truncated_len("w", 100), 100);
+        });
+    }
+
+    #[test]
+    fn nested_installs_restore() {
+        let outer = FaultPlan::builder(1).fail_at("n.op", &[1]).build();
+        let inner = FaultPlan::builder(1).build();
+        outer.run(|| {
+            inner.run(|| {
+                assert!(hit("n.op").is_ok());
+            });
+            assert!(hit("n.op").is_err());
+        });
+        assert!(current().is_none());
+    }
+}

@@ -92,6 +92,12 @@ impl ContextQueryTree {
     /// on a hit.
     pub fn get(&self, state: &ContextState) -> Option<Arc<RankedResults>> {
         debug_assert_eq!(state.len(), self.env.len());
+        // Fault site: an injected fault means "cache unavailable" — the
+        // lookup degrades to a miss and the caller recomputes.
+        if ctxpref_faults::hit("qcache.get").is_err() {
+            self.inner.write().stats.misses += 1;
+            return None;
+        }
         let mut inner = self.inner.write();
         let depth = self.env.len();
         let mut node = 0usize;
@@ -140,6 +146,11 @@ impl ContextQueryTree {
     /// previous entry for the same state.
     pub fn insert(&self, state: &ContextState, results: Arc<RankedResults>) {
         debug_assert_eq!(state.len(), self.env.len());
+        // Fault site: an injected fault drops the insertion (the cache
+        // stays consistent, merely colder).
+        if ctxpref_faults::hit("qcache.insert").is_err() {
+            return;
+        }
         let mut inner = self.inner.write();
         inner.clock += 1;
         let clock = inner.clock;

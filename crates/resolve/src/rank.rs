@@ -63,7 +63,7 @@ pub fn rank_cs_topk<S: PreferenceStore + ?Sized>(
         .flat_map(|res| res.selected.iter())
         .flat_map(|cand| store.entries(cand.leaf))
         .collect();
-    entries.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    entries.sort_by(|a, b| b.score.total_cmp(&a.score));
 
     let mut best: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
     let mut kth_score = f64::NEG_INFINITY;
@@ -80,7 +80,7 @@ pub fn rank_cs_topk<S: PreferenceStore + ?Sized>(
         }
         if best.len() >= k {
             let mut scores: Vec<f64> = best.values().copied().collect();
-            scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            scores.sort_by(|a, b| b.total_cmp(a));
             kth_score = scores[k - 1];
         }
     }

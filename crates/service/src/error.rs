@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use ctxpref_core::CoreError;
+use ctxpref_storage::StorageError;
+
+/// Typed errors of the serving layer. Every request that does not
+/// produce a [`crate::ServiceAnswer`] produces exactly one of these —
+/// panics inside query execution are caught and reported as
+/// [`ServiceError::QueryPanicked`], never propagated to the caller.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission control shed the request: the in-flight limit was
+    /// reached.
+    Overloaded {
+        /// The configured in-flight limit.
+        limit: usize,
+    },
+    /// The request did not complete within its deadline.
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline: Duration,
+    },
+    /// The request was cancelled before completing.
+    Cancelled,
+    /// Query execution panicked; the panic was contained at the service
+    /// boundary.
+    QueryPanicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A database-level error (unknown user, conflicting preference, …).
+    Core(CoreError),
+    /// A storage error that survived the retry policy.
+    Storage(StorageError),
+    /// The service is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { limit } => {
+                write!(f, "overloaded: {limit} requests already in flight")
+            }
+            Self::DeadlineExceeded { deadline } => {
+                write!(f, "deadline of {deadline:?} exceeded")
+            }
+            Self::Cancelled => write!(f, "request cancelled"),
+            Self::QueryPanicked { message } => {
+                write!(f, "query execution panicked (contained): {message}")
+            }
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Storage(e) => write!(f, "{e}"),
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<StorageError> for ServiceError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}

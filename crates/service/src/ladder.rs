@@ -1,0 +1,214 @@
+//! The degradation ladder: how a query is answered when parts of the
+//! system misbehave.
+//!
+//! Rungs, in order:
+//!
+//! 1. **Cached** — the user's context query tree had the exact state.
+//! 2. **Exact** — full resolution through the profile tree (the cache
+//!    missed or is unavailable).
+//! 3. **NearestState** — exact resolution failed (panicked, or hit an
+//!    injected/internal error); the context state is lifted level by
+//!    level toward the root of each hierarchy and the closest ancestor
+//!    state that resolves successfully answers instead.
+//! 4. **DefaultAnswer** — everything contextual failed; the query
+//!    degrades to the paper's non-contextual default (Section 4.2): the
+//!    base relation, unranked (every tuple at score 0). This rung is
+//!    pure and cannot fail.
+//!
+//! Every rung that fails is recorded as a [`Fallback`] on the returned
+//! [`ServiceAnswer`], so callers can see exactly how degraded an answer
+//! is.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ctxpref_context::ContextState;
+use ctxpref_core::{CoreError, MultiUserDb, QueryAnswer};
+use ctxpref_relation::{RankedResults, ScoreCombiner, ScoredTuple};
+
+use crate::error::ServiceError;
+
+/// Which rung of the degradation ladder produced an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderStep {
+    /// Served from the user's context query tree.
+    Cached,
+    /// Full (uncached) resolution through the profile tree.
+    Exact,
+    /// Resolution under the nearest ancestor context state that
+    /// succeeded.
+    NearestState,
+    /// The non-contextual default answer: base relation, unranked.
+    DefaultAnswer,
+}
+
+impl std::fmt::Display for LadderStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Cached => write!(f, "cached"),
+            Self::Exact => write!(f, "exact"),
+            Self::NearestState => write!(f, "nearest-state"),
+            Self::DefaultAnswer => write!(f, "default-answer"),
+        }
+    }
+}
+
+/// One recorded fallback: a rung that was tried and failed.
+#[derive(Debug, Clone)]
+pub struct Fallback {
+    /// The rung that failed.
+    pub step: LadderStep,
+    /// Why it failed (error text or contained panic message).
+    pub reason: String,
+}
+
+/// A served answer: the core [`QueryAnswer`] plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct ServiceAnswer {
+    /// The underlying query answer.
+    pub answer: QueryAnswer,
+    /// The rung that produced the answer.
+    pub step: LadderStep,
+    /// Every rung that failed before `step` succeeded (empty for a
+    /// healthy request).
+    pub fallbacks: Vec<Fallback>,
+    /// For [`LadderStep::NearestState`]: the lifted state that answered.
+    pub resolved_state: Option<ContextState>,
+    /// Wall-clock time spent serving the request (inside the worker).
+    pub elapsed: Duration,
+}
+
+impl ServiceAnswer {
+    /// True iff the answer came from a rung below the normal
+    /// cached/exact path.
+    pub fn is_degraded(&self) -> bool {
+        self.step > LadderStep::Exact
+    }
+}
+
+/// Ancestor states of `state`, nearest first: each round lifts every
+/// non-root parameter one hierarchy level; the fully-lifted
+/// (`all`, …, `all`) state comes last.
+pub(crate) fn lifted_states(db: &MultiUserDb, state: &ContextState) -> Vec<ContextState> {
+    let env = db.env();
+    let mut cur = state.clone();
+    let mut out = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (p, h) in env.iter() {
+            let v = cur.value(p);
+            if v != h.all_value() {
+                if let Some(parent) = h.parent(v) {
+                    cur = cur.with_value(p, parent);
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+        out.push(cur.clone());
+    }
+    out
+}
+
+/// The non-contextual default answer (Section 4.2): every tuple of the
+/// base relation at score 0, in relation order.
+pub(crate) fn default_answer(db: &MultiUserDb) -> QueryAnswer {
+    let raw = (0..db.relation().len()).map(|i| ScoredTuple { tuple_index: i, score: 0.0 });
+    QueryAnswer {
+        results: Arc::new(RankedResults::from_scores(raw, ScoreCombiner::Max)),
+        resolutions: Vec::new(),
+        from_cache: false,
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one rung: a fault-site check followed by the query itself, with
+/// panics contained and reported as the failure reason.
+fn try_rung(
+    site: &str,
+    run: impl FnOnce() -> Result<QueryAnswer, CoreError>,
+) -> Result<QueryAnswer, String> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        ctxpref_faults::hit(site).map_err(|e| e.to_string())?;
+        run().map_err(|e| e.to_string())
+    })) {
+        Ok(Ok(a)) => Ok(a),
+        Ok(Err(reason)) => Err(reason),
+        Err(payload) => Err(format!("panic: {}", panic_text(payload))),
+    }
+}
+
+/// Serve one request by walking the ladder. Returns a typed error only
+/// for conditions that degradation cannot answer (unknown user,
+/// deadline exhaustion).
+pub(crate) fn run_ladder(
+    db: &MultiUserDb,
+    user: &str,
+    state: &ContextState,
+    deadline: Instant,
+    requested_deadline: Duration,
+) -> Result<ServiceAnswer, ServiceError> {
+    let started = Instant::now();
+    // An unknown user is a request error, not a fault to degrade around.
+    db.profile(user).map_err(ServiceError::Core)?;
+
+    let mut fallbacks = Vec::new();
+
+    // Rungs 1+2: the cached/exact path (the cache layer internally
+    // degrades its own faults to misses, so one call covers both).
+    match try_rung("service.query.primary", || db.query_state(user, state)) {
+        Ok(answer) => {
+            let step = if answer.from_cache { LadderStep::Cached } else { LadderStep::Exact };
+            return Ok(ServiceAnswer {
+                answer,
+                step,
+                fallbacks,
+                resolved_state: None,
+                elapsed: started.elapsed(),
+            });
+        }
+        Err(reason) => fallbacks.push(Fallback { step: LadderStep::Exact, reason }),
+    }
+
+    // Rung 3: nearest ancestor state that still resolves.
+    for lifted in lifted_states(db, state) {
+        if Instant::now() >= deadline {
+            return Err(ServiceError::DeadlineExceeded { deadline: requested_deadline });
+        }
+        match try_rung("service.query.nearest", || db.query_state(user, &lifted)) {
+            Ok(answer) => {
+                return Ok(ServiceAnswer {
+                    answer,
+                    step: LadderStep::NearestState,
+                    fallbacks,
+                    resolved_state: Some(lifted),
+                    elapsed: started.elapsed(),
+                });
+            }
+            Err(reason) => {
+                fallbacks.push(Fallback { step: LadderStep::NearestState, reason });
+            }
+        }
+    }
+
+    // Rung 4: the pure, non-contextual default. Cannot fail.
+    Ok(ServiceAnswer {
+        answer: default_answer(db),
+        step: LadderStep::DefaultAnswer,
+        fallbacks,
+        resolved_state: None,
+        elapsed: started.elapsed(),
+    })
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! Fault-tolerant serving layer for the contextual preference database.
+//!
+//! The paper's system is a library: call [`ctxpref_core::MultiUserDb`]
+//! and get an answer or an error. A deployment needs more — queries
+//! that *always* terminate, a process that survives a panicking query,
+//! bounded memory under overload, and storage that a crash cannot
+//! corrupt. [`CtxPrefService`] adds exactly that, without changing the
+//! paper's semantics on the healthy path:
+//!
+//! * per-request **deadlines** and cancellation,
+//! * **panic isolation** (`catch_unwind` per query; `parking_lot`-style
+//!   locks so contained panics cannot poison shared state),
+//! * **admission control** with load shedding,
+//! * a four-rung **degradation ladder** (cached → exact → nearest-state
+//!   → non-contextual default, Section 4.2 of the paper) with every
+//!   fallback recorded on the answer,
+//! * **retry-with-backoff** around the atomic, checksummed storage
+//!   layer.
+//!
+//! Failure modes are driven deterministically in tests by the
+//! `ctxpref-faults` plan (see the chaos suite under `tests/`).
+//!
+//! ```
+//! use ctxpref_context::ContextState;
+//! use ctxpref_core::MultiUserDb;
+//! use ctxpref_service::{CtxPrefService, LadderStep, ServiceConfig};
+//! # use ctxpref_hierarchy::Hierarchy;
+//! # use ctxpref_context::ContextEnvironment;
+//! # use ctxpref_relation::{AttrType, Relation, Schema};
+//! # let env = ContextEnvironment::new(vec![
+//! #     Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
+//! # ]).unwrap();
+//! # let schema = Schema::new(&[("name", AttrType::Str)]).unwrap();
+//! # let mut rel = Relation::new("poi", schema);
+//! # rel.insert(vec!["Acropolis".into()]).unwrap();
+//! let mut db = MultiUserDb::new(env.clone(), rel, 8);
+//! db.add_user("alice").unwrap();
+//! let service = CtxPrefService::new(db, ServiceConfig::default());
+//! let state = ContextState::parse(&env, &["warm"]).unwrap();
+//! let answer = service.query_state("alice", &state).unwrap();
+//! assert_eq!(answer.step, LadderStep::Exact);
+//! assert!(!answer.is_degraded());
+//! ```
+
+mod error;
+mod ladder;
+mod service;
+mod stats;
+
+pub use error::ServiceError;
+pub use ladder::{Fallback, LadderStep, ServiceAnswer};
+pub use service::{CtxPrefService, RetryPolicy, ServiceConfig};
+pub use stats::ServiceStats;

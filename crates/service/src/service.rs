@@ -1,0 +1,458 @@
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ctxpref_context::ContextState;
+use ctxpref_core::MultiUserDb;
+use ctxpref_profile::{ContextualPreference, Profile};
+use ctxpref_qcache::CacheStats;
+use ctxpref_storage::StorageError;
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::ServiceError;
+use crate::ladder::{run_ladder, LadderStep, ServiceAnswer};
+use crate::stats::{Counters, ServiceStats};
+
+/// Bounded retry with exponential backoff for storage I/O.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub max_attempts: u32,
+    /// Sleep before attempt `n+1` is `base_backoff · 2ⁿ⁻¹`.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, base_backoff: Duration::from_millis(2) }
+    }
+}
+
+/// Configuration of [`CtxPrefService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission-control limit on queued + executing requests; further
+    /// requests are shed with [`ServiceError::Overloaded`].
+    pub max_in_flight: usize,
+    /// Deadline applied by [`CtxPrefService::query_state`].
+    pub default_deadline: Duration,
+    /// Retry policy for storage I/O.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_in_flight: 64,
+            default_deadline: Duration::from_millis(250),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+struct Job {
+    user: String,
+    state: ContextState,
+    deadline: Instant,
+    requested: Duration,
+    cancelled: Arc<AtomicBool>,
+    reply: mpsc::SyncSender<Result<ServiceAnswer, ServiceError>>,
+}
+
+/// Decrements the in-flight counter when a request leaves the system,
+/// whatever the path out.
+struct InFlightGuard(Arc<AtomicUsize>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The fault-tolerant serving layer over a [`MultiUserDb`].
+///
+/// Requests run on a fixed pool of worker threads behind a
+/// request/response API:
+///
+/// * **Deadlines & cancellation** — every query carries a deadline; the
+///   caller gets [`ServiceError::DeadlineExceeded`] at the deadline even
+///   if the worker is still grinding, and the worker observes the
+///   cancellation and stops between ladder rungs.
+/// * **Panic isolation** — each query runs under `catch_unwind`; a panic
+///   (real or injected) is contained and surfaces as
+///   [`ServiceError::QueryPanicked`] or a recorded ladder fallback,
+///   never as a crash. The locks are `parking_lot` locks precisely so a
+///   contained panic cannot poison shared state.
+/// * **Admission control** — at most `max_in_flight` requests are
+///   queued or executing; excess load is shed immediately with
+///   [`ServiceError::Overloaded`].
+/// * **Degradation ladder** — see [`crate::ladder`]: cached → exact →
+///   nearest-state → non-contextual default, every fallback recorded.
+/// * **Retrying storage** — [`Self::save`] and [`Self::open`] retry
+///   transient I/O failures with exponential backoff; writes are atomic
+///   and checksummed (see `ctxpref-storage`).
+pub struct CtxPrefService {
+    db: Arc<RwLock<MultiUserDb>>,
+    cfg: ServiceConfig,
+    counters: Arc<Counters>,
+    in_flight: Arc<AtomicUsize>,
+    shutting_down: Arc<AtomicBool>,
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CtxPrefService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CtxPrefService")
+            .field("workers", &self.workers.len())
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CtxPrefService {
+    /// Serve `db` with `cfg`.
+    pub fn new(db: MultiUserDb, cfg: ServiceConfig) -> Self {
+        let db = Arc::new(RwLock::new(db));
+        let counters = Arc::new(Counters::default());
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let db = Arc::clone(&db);
+                let counters = Arc::clone(&counters);
+                let in_flight = Arc::clone(&in_flight);
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("ctxpref-worker-{i}"))
+                    .spawn(move || worker_loop(&db, &counters, &in_flight, &receiver))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Self {
+            db,
+            cfg,
+            counters,
+            in_flight,
+            shutting_down,
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Load a multi-user database from `path` (retrying transient I/O
+    /// per the retry policy) and serve it.
+    pub fn open(path: impl AsRef<Path>, cfg: ServiceConfig) -> Result<Self, ServiceError> {
+        let counters = Counters::default();
+        let db = retry_storage(&cfg.retry, &counters, || {
+            ctxpref_storage::load_multi_user(&path)
+        })?;
+        let service = Self::new(db, cfg);
+        service
+            .counters
+            .storage_retries
+            .fetch_add(counters.storage_retries.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(service)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.counters.snapshot()
+    }
+
+    /// Requests currently queued or executing.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Query `user` under `state` with the default deadline.
+    pub fn query_state(
+        &self,
+        user: &str,
+        state: &ContextState,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        self.query_state_deadline(user, state, self.cfg.default_deadline)
+    }
+
+    /// Query `user` under `state`, failing with
+    /// [`ServiceError::DeadlineExceeded`] if no answer is produced
+    /// within `deadline`.
+    pub fn query_state_deadline(
+        &self,
+        user: &str,
+        state: &ContextState,
+        deadline: Duration,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        // Admission control: reserve a slot or shed.
+        if self.in_flight.fetch_add(1, Ordering::AcqRel) >= self.cfg.max_in_flight {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Overloaded { limit: self.cfg.max_in_flight });
+        }
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let (reply, response) = mpsc::sync_channel(1);
+        let job = Job {
+            user: user.to_string(),
+            state: state.clone(),
+            deadline: Instant::now() + deadline,
+            requested: deadline,
+            cancelled: Arc::clone(&cancelled),
+            reply,
+        };
+        if let Some(sender) = &self.sender {
+            if sender.send(job).is_err() {
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                return Err(ServiceError::ShuttingDown);
+            }
+        } else {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServiceError::ShuttingDown);
+        }
+        match response.recv_timeout(deadline) {
+            Ok(result) => {
+                self.record(&result);
+                result
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Cancel: the worker drops the job (or its result) when
+                // it notices; the in-flight slot frees then.
+                cancelled.store(true, Ordering::Release);
+                self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::DeadlineExceeded { deadline })
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The worker vanished mid-request (only possible if a
+                // panic escaped the containment, which the chaos suite
+                // asserts never happens) — still a typed error.
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::QueryPanicked {
+                    message: "worker disconnected before replying".to_string(),
+                })
+            }
+        }
+    }
+
+    fn record(&self, result: &Result<ServiceAnswer, ServiceError>) {
+        match result {
+            Ok(answer) => {
+                let counter = match answer.step {
+                    LadderStep::Cached => &self.counters.served_cached,
+                    LadderStep::Exact => &self.counters.served_exact,
+                    LadderStep::NearestState => &self.counters.served_nearest,
+                    LadderStep::DefaultAnswer => &self.counters.served_default,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let contained_panics = answer
+                    .fallbacks
+                    .iter()
+                    .filter(|fb| fb.reason.starts_with("panic:"))
+                    .count() as u64;
+                if contained_panics > 0 {
+                    self.counters.panics_contained.fetch_add(contained_panics, Ordering::Relaxed);
+                }
+            }
+            Err(ServiceError::DeadlineExceeded { .. }) => {
+                self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::QueryPanicked { .. }) => {
+                self.counters.panics_contained.fetch_add(1, Ordering::Relaxed);
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Register a user with an empty profile.
+    pub fn add_user(&self, name: &str) -> Result<(), ServiceError> {
+        Ok(self.db.write().add_user(name)?)
+    }
+
+    /// Register a user with an initial profile.
+    pub fn add_user_with_profile(&self, name: &str, profile: Profile) -> Result<(), ServiceError> {
+        Ok(self.db.write().add_user_with_profile(name, profile)?)
+    }
+
+    /// Remove a user, returning their profile.
+    pub fn remove_user(&self, name: &str) -> Result<Profile, ServiceError> {
+        Ok(self.db.write().remove_user(name)?)
+    }
+
+    /// Insert a preference for one user.
+    pub fn insert_preference(
+        &self,
+        user: &str,
+        pref: ContextualPreference,
+    ) -> Result<(), ServiceError> {
+        Ok(self.db.write().insert_preference(user, pref)?)
+    }
+
+    /// Insert an equality preference for one user from its textual
+    /// parts.
+    pub fn insert_preference_eq(
+        &self,
+        user: &str,
+        descriptor: &str,
+        attr: &str,
+        value: ctxpref_relation::Value,
+        score: f64,
+    ) -> Result<(), ServiceError> {
+        Ok(self.db.write().insert_preference_eq(user, descriptor, attr, value, score)?)
+    }
+
+    /// Remove one user's preference by index.
+    pub fn remove_preference(
+        &self,
+        user: &str,
+        index: usize,
+    ) -> Result<ContextualPreference, ServiceError> {
+        Ok(self.db.write().remove_preference(user, index)?)
+    }
+
+    /// Update the score of one user's preference by index.
+    pub fn update_preference_score(
+        &self,
+        user: &str,
+        index: usize,
+        score: f64,
+    ) -> Result<(), ServiceError> {
+        Ok(self.db.write().update_preference_score(user, index, score)?)
+    }
+
+    /// One user's query-cache statistics.
+    pub fn cache_stats(&self, user: &str) -> Result<Option<CacheStats>, ServiceError> {
+        Ok(self.db.read().cache_stats(user)?)
+    }
+
+    /// Replace the query options used by every query on the database.
+    pub fn set_query_defaults(&self, options: ctxpref_core::QueryOptions) {
+        self.db.write().set_query_defaults(options);
+    }
+
+    /// Read access to the underlying database (for inspection; queries
+    /// should go through [`Self::query_state`] to get fault tolerance).
+    pub fn with_db<R>(&self, f: impl FnOnce(&MultiUserDb) -> R) -> R {
+        f(&self.db.read())
+    }
+
+    /// Snapshot the database to `path`: an atomic, checksummed write,
+    /// with transient I/O failures retried per the retry policy.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServiceError> {
+        let db = self.db.read();
+        retry_storage(&self.cfg.retry, &self.counters, || {
+            ctxpref_storage::save_multi_user(&path, &db)
+        })
+    }
+
+    /// Stop accepting requests, drain the workers, and return the
+    /// database.
+    pub fn shutdown(mut self) -> MultiUserDb {
+        self.stop();
+        let db = Arc::clone(&self.db);
+        drop(self);
+        match Arc::try_unwrap(db) {
+            Ok(lock) => lock.into_inner(),
+            // A caller still holds a clone-derived reference (cannot
+            // happen through the public API); fall back to a snapshot
+            // via serialization-free clone of the inner value is not
+            // possible, so rebuild from a read guard.
+            Err(_arc) => unreachable!("shutdown consumes the only service handle"),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.sender.take(); // closing the channel stops the workers
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for CtxPrefService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(
+    db: &RwLock<MultiUserDb>,
+    counters: &Counters,
+    in_flight: &Arc<AtomicUsize>,
+    receiver: &Mutex<mpsc::Receiver<Job>>,
+) {
+    loop {
+        // Hold the receiver lock only while picking up a job.
+        let job = { receiver.lock().recv() };
+        let Ok(job) = job else { return };
+        let _slot = InFlightGuard(Arc::clone(in_flight));
+        if job.cancelled.load(Ordering::Acquire) {
+            counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if Instant::now() >= job.deadline {
+            counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            let _ = job
+                .reply
+                .try_send(Err(ServiceError::DeadlineExceeded { deadline: job.requested }));
+            continue;
+        }
+        // Outer containment: nothing may unwind out of a request, even
+        // a bug outside the per-rung guards.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let guard = db.read();
+            run_ladder(&guard, &job.user, &job.state, job.deadline, job.requested)
+        }))
+        .unwrap_or_else(|payload| {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(ServiceError::QueryPanicked { message })
+        });
+        let _ = job.reply.try_send(result);
+    }
+}
+
+/// Run `op` up to `policy.max_attempts` times, sleeping
+/// `base_backoff · 2ⁿ⁻¹` between attempts. Only I/O errors are
+/// considered transient; parse/model/corruption errors fail
+/// immediately.
+fn retry_storage<T>(
+    policy: &RetryPolicy,
+    counters: &Counters,
+    mut op: impl FnMut() -> Result<T, StorageError>,
+) -> Result<T, ServiceError> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(StorageError::Io(_)) if attempt < policy.max_attempts => {
+                counters.storage_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(policy.base_backoff * 2u32.pow(attempt - 1));
+            }
+            Err(e) => return Err(ServiceError::Storage(e)),
+        }
+    }
+}

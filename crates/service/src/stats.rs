@@ -1,0 +1,70 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters of the service.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub served_cached: AtomicU64,
+    pub served_exact: AtomicU64,
+    pub served_nearest: AtomicU64,
+    pub served_default: AtomicU64,
+    pub panics_contained: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub shed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub storage_retries: AtomicU64,
+    pub errors: AtomicU64,
+}
+
+impl Counters {
+    pub fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            served_cached: self.served_cached.load(Ordering::Relaxed),
+            served_exact: self.served_exact.load(Ordering::Relaxed),
+            served_nearest: self.served_nearest.load(Ordering::Relaxed),
+            served_default: self.served_default.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            storage_retries: self.storage_retries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Answers served from a user's query cache.
+    pub served_cached: u64,
+    /// Answers served by exact (uncached) resolution.
+    pub served_exact: u64,
+    /// Answers served from a lifted (nearest ancestor) state.
+    pub served_nearest: u64,
+    /// Answers served as the non-contextual default.
+    pub served_default: u64,
+    /// Panics caught at the service boundary or inside a ladder rung.
+    pub panics_contained: u64,
+    /// Requests that missed their deadline.
+    pub deadline_exceeded: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests dropped because the caller had already given up.
+    pub cancelled: u64,
+    /// Storage operations retried after a transient I/O failure.
+    pub storage_retries: u64,
+    /// Requests that ended in a typed error (other than shed/deadline).
+    pub errors: u64,
+}
+
+impl ServiceStats {
+    /// Total answered requests, across all ladder rungs.
+    pub fn served(&self) -> u64 {
+        self.served_cached + self.served_exact + self.served_nearest + self.served_default
+    }
+
+    /// Answers that came from a degraded rung.
+    pub fn degraded(&self) -> u64 {
+        self.served_nearest + self.served_default
+    }
+}

@@ -23,6 +23,14 @@ pub enum StorageError {
     },
     /// Wrong or missing format header.
     BadHeader(String),
+    /// The file body does not match the checksum recorded in its header
+    /// (truncated or bit-rotted file).
+    Corrupt {
+        /// Checksum recorded in the header.
+        expected: String,
+        /// Checksum computed over the body as read.
+        actual: String,
+    },
 }
 
 impl StorageError {
@@ -44,6 +52,10 @@ impl fmt::Display for StorageError {
                 write!(f, "invalid content at line {line}: {message}")
             }
             Self::BadHeader(h) => write!(f, "unsupported format header {h:?}"),
+            Self::Corrupt { expected, actual } => write!(
+                f,
+                "corrupt file: body checksum {actual} does not match recorded {expected}"
+            ),
         }
     }
 }

@@ -46,6 +46,21 @@ impl<I: Iterator<Item = std::io::Result<String>>> Lines<I> {
     }
 }
 
+/// Consume the optional `checksum <hex>` line the file-level save
+/// functions write after the header. Streaming readers skip it — the
+/// checksum covers raw bytes, so only [`crate::load_database`] /
+/// [`crate::load_multi_user`] (which see the whole file) verify it.
+fn skip_checksum_line<I: Iterator<Item = std::io::Result<String>>>(
+    lines: &mut Lines<I>,
+) -> Result<(), StorageError> {
+    if let Some((line, text)) = lines.next_line()? {
+        if !text.starts_with("checksum ") {
+            lines.push_back((line, text));
+        }
+    }
+    Ok(())
+}
+
 fn untoken(line: usize, tok: &str) -> Result<String, StorageError> {
     unescape(tok).ok_or_else(|| StorageError::syntax(line, format!("bad escape in {tok:?}")))
 }
@@ -351,6 +366,7 @@ pub fn read_multi_user(r: impl BufRead) -> Result<ctxpref_core::MultiUserDb, Sto
         Some((_, h)) => return Err(StorageError::BadHeader(h)),
         None => return Err(StorageError::BadHeader(String::new())),
     }
+    skip_checksum_line(&mut lines)?;
     let mut hierarchies: Vec<Hierarchy> = Vec::new();
     let mut relation: Option<Relation> = None;
     let mut cache = 0usize;
@@ -424,6 +440,7 @@ pub fn read_database(r: impl BufRead) -> Result<ContextualDb, StorageError> {
         Some((_, h)) => return Err(StorageError::BadHeader(h)),
         None => return Err(StorageError::BadHeader(String::new())),
     }
+    skip_checksum_line(&mut lines)?;
 
     let mut hierarchies: Vec<Hierarchy> = Vec::new();
     let mut relation: Option<Relation> = None;

@@ -133,6 +133,15 @@ pub fn write_multi_user(
     db: &ctxpref_core::MultiUserDb,
 ) -> Result<(), StorageError> {
     writeln!(w, "{HEADER}")?;
+    write_multi_user_body(w, db)
+}
+
+/// Everything after the header line ([`crate::save_multi_user`] inserts
+/// a checksum line between header and body).
+pub(crate) fn write_multi_user_body(
+    w: &mut impl Write,
+    db: &ctxpref_core::MultiUserDb,
+) -> Result<(), StorageError> {
     for (_, h) in db.env().iter() {
         write_hierarchy(w, h)?;
     }
@@ -152,6 +161,15 @@ pub fn write_multi_user(
 /// cache setting, profile.
 pub fn write_database(w: &mut impl Write, db: &ContextualDb) -> Result<(), StorageError> {
     writeln!(w, "{HEADER}")?;
+    write_database_body(w, db)
+}
+
+/// Everything after the header line ([`crate::save_database`] inserts a
+/// checksum line between header and body).
+pub(crate) fn write_database_body(
+    w: &mut impl Write,
+    db: &ContextualDb,
+) -> Result<(), StorageError> {
     for (_, h) in db.env().iter() {
         write_hierarchy(w, h)?;
     }

@@ -1,0 +1,203 @@
+//! Crash safety of the file-level save/load path: atomic writes,
+//! checksum verification, fault injection, and a truncation fuzz
+//! proving the reader fails cleanly — never panics — on any prefix.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use ctxpref_core::MultiUserDb;
+use ctxpref_faults::FaultPlan;
+use ctxpref_storage::{
+    load_multi_user, read_multi_user, save_multi_user, write_multi_user, StorageError,
+};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+use ctxpref_workload::user_study::{all_demographics, default_profile};
+
+/// Fault plans are process-global; tests that install one must not
+/// overlap with each other.
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh path under the system temp dir; removed on drop.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> Self {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        Self(std::env::temp_dir().join(format!(
+            "ctxpref-crash-{}-{tag}-{n}.db",
+            std::process::id()
+        )))
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn study_db(users: usize) -> MultiUserDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 7, 4);
+    let mut db = MultiUserDb::new(env.clone(), rel, 8);
+    for (i, demo) in all_demographics().into_iter().take(users).enumerate() {
+        let profile = default_profile(&env, db.relation(), demo);
+        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+    }
+    db
+}
+
+#[test]
+fn save_load_roundtrip_with_checksum() {
+    let path = TempPath::new("roundtrip");
+    let db = study_db(3);
+    save_multi_user(&path.0, &db).unwrap();
+
+    let text = std::fs::read_to_string(&path.0).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("ctxpref v1"));
+    let checksum = lines.next().unwrap();
+    assert!(checksum.starts_with("checksum "), "{checksum}");
+    assert_eq!(checksum.len(), "checksum ".len() + 16, "16 hex digits");
+
+    let restored = load_multi_user(&path.0).unwrap();
+    assert_eq!(restored.users_sorted(), db.users_sorted());
+    assert_eq!(restored.profile("user0").unwrap().len(), db.profile("user0").unwrap().len());
+}
+
+#[test]
+fn flipped_byte_is_detected_as_corrupt() {
+    let path = TempPath::new("bitrot");
+    save_multi_user(&path.0, &study_db(2)).unwrap();
+    let mut bytes = std::fs::read(&path.0).unwrap();
+    // Flip a byte deep in the body (past header + checksum lines).
+    let target = bytes.len() - 10;
+    bytes[target] ^= 0x20;
+    std::fs::write(&path.0, &bytes).unwrap();
+    match load_multi_user(&path.0) {
+        Err(StorageError::Corrupt { expected, actual }) => assert_ne!(expected, actual),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn files_without_checksum_still_load() {
+    // Streaming output (and pre-checksum files) has no checksum line.
+    let path = TempPath::new("legacy");
+    let db = study_db(2);
+    let mut buf = Vec::new();
+    write_multi_user(&mut buf, &db).unwrap();
+    std::fs::write(&path.0, &buf).unwrap();
+    let restored = load_multi_user(&path.0).unwrap();
+    assert_eq!(restored.users_sorted(), db.users_sorted());
+}
+
+/// The truncation fuzz of the satellite task: for EVERY prefix of a
+/// saved file, the reader returns a `StorageError` (or, for the rare
+/// prefix that happens to be well-formed, a database) — it never
+/// panics. And the checksum rejects every strict prefix at load time.
+#[test]
+fn reader_never_panics_on_any_prefix() {
+    let path = TempPath::new("fuzz");
+    // Small database: the fuzz is O(file²) since every prefix is parsed.
+    let env = poi_env();
+    let rel = poi_relation(&env, 3, 2);
+    let mut db = MultiUserDb::new(env.clone(), rel, 4);
+    let demo = all_demographics().into_iter().next().unwrap();
+    let profile = default_profile(&env, db.relation(), demo);
+    db.add_user_with_profile("solo", profile).unwrap();
+    save_multi_user(&path.0, &db).unwrap();
+    let bytes = std::fs::read(&path.0).unwrap();
+
+    let truncated = TempPath::new("fuzz-prefix");
+    for len in 0..bytes.len() {
+        let prefix = &bytes[..len];
+        let parsed = catch_unwind(AssertUnwindSafe(|| read_multi_user(prefix).map(drop)));
+        assert!(parsed.is_ok(), "reader panicked on prefix of {len} bytes");
+        // The load path must *reject* every strict prefix: either the
+        // checksum line is damaged/absent-with-bad-header, or the body
+        // hash no longer matches. File I/O dominates the runtime, so
+        // stride-sample it; the in-memory no-panic check stays
+        // exhaustive.
+        if len % 13 == 0 || len + 64 > bytes.len() {
+            std::fs::write(&truncated.0, prefix).unwrap();
+            assert!(
+                load_multi_user(&truncated.0).is_err(),
+                "strict prefix of {len} bytes loaded successfully"
+            );
+        }
+    }
+    // Sanity: the untruncated file does load.
+    assert!(load_multi_user(&path.0).is_ok());
+}
+
+/// Kill-during-save: an injected partial write fails the save and
+/// leaves the previous file intact and loadable.
+#[test]
+fn partial_write_leaves_previous_file_loadable() {
+    let _serial = fault_lock();
+    let path = TempPath::new("partial");
+    let old = study_db(2);
+    save_multi_user(&path.0, &old).unwrap();
+
+    let new = study_db(4);
+    let plan = FaultPlan::builder(99).truncate_at("storage.save.write", &[1], 0.5).build();
+    plan.run(|| {
+        let err = save_multi_user(&path.0, &new).expect_err("truncated save must fail");
+        assert!(matches!(err, StorageError::Io(_)), "{err:?}");
+    });
+    assert_eq!(plan.stats().truncations.get("storage.save.write"), Some(&1));
+
+    let loaded = load_multi_user(&path.0).expect("old file intact after failed save");
+    assert_eq!(loaded.user_count(), old.user_count());
+
+    // Without the fault the new snapshot replaces the old atomically.
+    save_multi_user(&path.0, &new).unwrap();
+    assert_eq!(load_multi_user(&path.0).unwrap().user_count(), new.user_count());
+}
+
+#[test]
+fn injected_io_errors_surface_as_storage_errors() {
+    let _serial = fault_lock();
+    let path = TempPath::new("io-faults");
+    let db = study_db(2);
+    for site in ["storage.save.open", "storage.save.sync", "storage.save.rename"] {
+        let plan = FaultPlan::builder(7).fail_at(site, &[1]).build();
+        plan.run(|| {
+            let err = save_multi_user(&path.0, &db).expect_err(site);
+            assert!(matches!(err, StorageError::Io(_)), "{site}: {err:?}");
+        });
+    }
+    // After three failed saves, a clean one succeeds and loads.
+    save_multi_user(&path.0, &db).unwrap();
+    for site in ["storage.load.open", "storage.load.read"] {
+        let plan = FaultPlan::builder(7).fail_at(site, &[1]).build();
+        plan.run(|| {
+            let err = load_multi_user(&path.0).expect_err(site);
+            assert!(matches!(err, StorageError::Io(_)), "{site}: {err:?}");
+        });
+    }
+    assert!(load_multi_user(&path.0).is_ok());
+}
+
+/// Saves racing on the same destination never interleave bytes: each
+/// temp file is private, the rename is atomic, and the survivor is one
+/// of the complete snapshots.
+#[test]
+fn concurrent_saves_yield_a_complete_snapshot() {
+    let path = TempPath::new("race");
+    let dbs: Vec<MultiUserDb> = (1..=4).map(study_db).collect();
+    std::thread::scope(|s| {
+        for db in &dbs {
+            s.spawn(|| save_multi_user(&path.0, db).unwrap());
+        }
+    });
+    let winner = load_multi_user(&path.0).expect("some complete snapshot");
+    assert!((1..=4).contains(&winner.user_count()));
+}

@@ -264,7 +264,7 @@ fn float_scores_roundtrip_exactly() {
     let schema = Schema::new(&[("x", AttrType::Str)]).unwrap();
     let rel = Relation::new("r", schema);
     let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
-    for (i, score) in [0.1, 1.0 / 3.0, 0.7071067811865476, f64::MIN_POSITIVE, 1.0]
+    for (i, score) in [0.1, 1.0 / 3.0, std::f64::consts::FRAC_1_SQRT_2, f64::MIN_POSITIVE, 1.0]
         .iter()
         .enumerate()
     {

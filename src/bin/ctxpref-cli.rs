@@ -1,9 +1,10 @@
 //! Interactive shell for the context-aware preference database — the
 //! equivalent of the paper's prototype used in the Section 5.1 user
-//! study.
+//! study, served through the fault-tolerant [`CtxPrefService`] layer
+//! (deadlines, panic isolation, degradation ladder).
 //!
 //! ```text
-//! cargo run --bin ctxpref-cli
+//! cargo run --bin ctxpref-cli [saved-database]
 //! ctxpref> load demo
 //! ctxpref> context Plaka warm friends
 //! ctxpref> query
@@ -14,38 +15,44 @@
 //! ```
 //!
 //! Also works non-interactively: `echo "load demo\nquery ..." | ctxpref-cli`.
+//! Malformed input prints an error and continues; a database that fails
+//! to load at startup (or mid-script) exits with a non-zero code.
 
 use std::io::{self, BufRead, Write};
+use std::time::Duration;
 
 use ctxpref::context::{ContextState, DistanceKind};
-use ctxpref::core::{ContextualDb, QueryOptions};
+use ctxpref::core::{MultiUserDb, QueryAnswer, QueryOptions};
 use ctxpref::prelude::*;
+use ctxpref::service::{CtxPrefService, ServiceAnswer, ServiceConfig};
 use ctxpref::workload::reference::{poi_env, poi_relation};
 use ctxpref::workload::user_study::{default_profile, AgeBand, Demographics, Sex, Taste};
 
+/// The REPL serves a single profile; this is its user name inside the
+/// multi-user service.
+const USER: &str = "me";
+
 struct Repl {
-    db: Option<ContextualDb>,
+    service: Option<CtxPrefService>,
     current: Option<ContextState>,
     options: QueryOptions,
     top_k: usize,
+    deadline: Duration,
 }
 
 impl Repl {
     fn new() -> Self {
         Self {
-            db: None,
+            service: None,
             current: None,
             options: QueryOptions { use_cache: true, ..QueryOptions::default() },
             top_k: 10,
+            deadline: ServiceConfig::default().default_deadline,
         }
     }
 
-    fn db(&self) -> Result<&ContextualDb, String> {
-        self.db.as_ref().ok_or_else(|| "no database loaded — try `load demo`".to_string())
-    }
-
-    fn db_mut(&mut self) -> Result<&mut ContextualDb, String> {
-        self.db.as_mut().ok_or_else(|| "no database loaded — try `load demo`".to_string())
+    fn service(&self) -> Result<&CtxPrefService, String> {
+        self.service.as_ref().ok_or_else(|| "no database loaded — try `load demo`".to_string())
     }
 
     fn handle(&mut self, line: &str) -> Result<Option<String>, String> {
@@ -74,6 +81,12 @@ impl Repl {
             "tree" => self.cmd_tree(),
             "orders" => self.cmd_orders(),
             "distance" => self.cmd_distance(rest),
+            "stats" => self.cmd_stats(),
+            "deadline" => {
+                let ms: u64 = rest.parse().map_err(|_| format!("bad deadline: {rest:?}"))?;
+                self.deadline = Duration::from_millis(ms.max(1));
+                Ok(Some(format!("per-query deadline set to {:?}", self.deadline)))
+            }
             "top" => {
                 self.top_k = rest.parse().map_err(|_| format!("bad k: {rest:?}"))?;
                 Ok(Some(format!("showing top {}", self.top_k)))
@@ -82,18 +95,20 @@ impl Repl {
         }
     }
 
+    fn install(&mut self, db: MultiUserDb) {
+        let service = CtxPrefService::new(db, ServiceConfig::default());
+        service.set_query_defaults(self.options);
+        self.service = Some(service);
+        self.current = None;
+    }
+
     fn cmd_load(&mut self, what: &str) -> Result<Option<String>, String> {
         if what != "demo" {
             return Err("only `load demo` is available".to_string());
         }
         let env = poi_env();
         let rel = poi_relation(&env, 2007, 5);
-        let mut db = ContextualDb::builder()
-            .env(env.clone())
-            .relation(rel)
-            .cache_capacity(64)
-            .build()
-            .map_err(|e| e.to_string())?;
+        let mut db = MultiUserDb::new(env.clone(), rel, 64);
         let demo = Demographics {
             age: AgeBand::Between30And50,
             sex: Sex::Female,
@@ -101,12 +116,9 @@ impl Repl {
         };
         let profile = default_profile(&env, db.relation(), demo);
         let n = profile.len();
-        for pref in profile.iter() {
-            db.insert_preference(pref.clone()).map_err(|e| e.to_string())?;
-        }
+        db.add_user_with_profile(USER, profile).map_err(|e| e.to_string())?;
         let pois = db.relation().len();
-        self.db = Some(db);
-        self.current = None;
+        self.install(db);
         Ok(Some(format!(
             "loaded demo: {pois} points of interest, {n} preferences (mainstream 30–50 default profile)"
         )))
@@ -116,72 +128,83 @@ impl Repl {
         if path.is_empty() {
             return Err("usage: save <path>".to_string());
         }
-        let db = self.db()?;
-        ctxpref::storage::save_database(path, db).map_err(|e| e.to_string())?;
-        Ok(Some(format!("saved to {path}")))
+        self.service()?.save(path).map_err(|e| e.to_string())?;
+        Ok(Some(format!("saved to {path} (atomic, checksummed)")))
     }
 
     fn cmd_open(&mut self, path: &str) -> Result<Option<String>, String> {
         if path.is_empty() {
             return Err("usage: open <path>".to_string());
         }
-        let db = ctxpref::storage::load_database(path).map_err(|e| e.to_string())?;
-        let (pois, prefs) = (db.relation().len(), db.profile().len());
-        self.db = Some(db);
-        self.current = None;
-        Ok(Some(format!("opened {path}: {pois} tuples, {prefs} preferences")))
+        let db = open_any(path)?;
+        let (pois, users) = (db.relation().len(), db.user_count());
+        let prefs = db.profile(USER).map(|p| p.len()).unwrap_or(0);
+        self.install(db);
+        Ok(Some(format!("opened {path}: {pois} tuples, {users} user(s), {prefs} preferences")))
     }
 
     fn cmd_env(&self) -> Result<Option<String>, String> {
-        let db = self.db()?;
-        let mut out = String::new();
-        for (_, h) in db.env().iter() {
-            let levels: Vec<String> = (0..h.level_count())
-                .map(|l| {
-                    let l = ctxpref::hierarchy::LevelId(l as u8);
-                    format!("{} ({} values)", h.level_name(l), h.domain_size(l))
-                })
-                .collect();
-            out.push_str(&format!("{}: {}\n", h.name(), levels.join(" ≺ ")));
-        }
-        Ok(Some(out))
+        self.service()?.with_db(|db| {
+            let mut out = String::new();
+            for (_, h) in db.env().iter() {
+                let levels: Vec<String> = (0..h.level_count())
+                    .map(|l| {
+                        let l = ctxpref::hierarchy::LevelId(l as u8);
+                        format!("{} ({} values)", h.level_name(l), h.domain_size(l))
+                    })
+                    .collect();
+                out.push_str(&format!("{}: {}\n", h.name(), levels.join(" ≺ ")));
+            }
+            Ok(Some(out))
+        })
     }
 
     fn cmd_context(&mut self, rest: &str) -> Result<Option<String>, String> {
-        let db = self.db()?;
+        let service = self.service()?;
         if rest.is_empty() {
-            return Ok(Some(match &self.current {
-                Some(s) => format!("current context: {}", s.display(db.env())),
-                None => "no current context set".to_string(),
-            }));
+            return service.with_db(|db| {
+                Ok(Some(match &self.current {
+                    Some(s) => format!("current context: {}", s.display(db.env())),
+                    None => "no current context set".to_string(),
+                }))
+            });
         }
         let names: Vec<&str> = rest.split_whitespace().collect();
-        let state = ContextState::parse(db.env(), &names).map_err(|e| e.to_string())?;
-        let rendered = format!("current context set to {}", state.display(db.env()));
+        let (state, rendered) = service.with_db(|db| {
+            let state = ContextState::parse(db.env(), &names).map_err(|e| e.to_string())?;
+            let rendered = format!("current context set to {}", state.display(db.env()));
+            Ok::<_, String>((state, rendered))
+        })?;
         self.current = Some(state);
         Ok(Some(rendered))
     }
 
+    /// State queries go through the service: deadline enforced, panics
+    /// contained, and the degradation ladder engaged on failure.
     fn cmd_query(&mut self, rest: &str) -> Result<Option<String>, String> {
         let top_k = self.top_k;
-        let options = self.options;
-        let current = self.current.clone();
-        let db = self.db()?;
-        let answer = if rest.is_empty() {
-            let state = current.ok_or("no context — use `context <values>` or pass a descriptor")?;
-            db.query_state_with(&state, options).map_err(|e| e.to_string())?
-        } else {
+        let service = self.service()?;
+        if rest.is_empty() {
+            let state = self
+                .current
+                .clone()
+                .ok_or("no context — use `context <values>` or pass a descriptor")?;
+            let answer = service
+                .query_state_deadline(USER, &state, self.deadline)
+                .map_err(|e| e.to_string())?;
+            return service.with_db(|db| {
+                let mut out = render_answer(db, &answer.answer, top_k)?;
+                out.push_str(&render_ladder(db, &answer));
+                Ok(Some(out))
+            });
+        }
+        // Descriptor queries (hypothetical contexts) use the direct
+        // library path: they are exploratory, not servable lookups.
+        service.with_db(|db| {
             let ecod = ctxpref::context::parse_extended_descriptor(db.env(), rest)
                 .map_err(|e| e.to_string())?;
-            db.query_with(&ecod, options).map_err(|e| e.to_string())?
-        };
-        let mut out = db.render_top(&answer, "name", top_k).map_err(|e| e.to_string())?;
-        if answer.results.is_empty() {
-            out.push_str("(no results — no stored preference covers this context)\n");
-        }
-        if answer.from_cache {
-            out.push_str("[served from the context query tree]\n");
-        } else {
+            let answer = db.query(USER, &ecod).map_err(|e| e.to_string())?;
+            let mut out = render_answer(db, &answer, top_k)?;
             for r in &answer.resolutions {
                 out.push_str(&format!(
                     "[{} → {} via {} candidate(s), {} cells]\n",
@@ -191,32 +214,39 @@ impl Repl {
                     r.cells
                 ));
             }
-        }
-        Ok(Some(out))
+            Ok(Some(out))
+        })
     }
 
     fn cmd_explain(&mut self, rest: &str) -> Result<Option<String>, String> {
-        let options = self.options;
         let current = self.current.clone();
-        let db = self.db()?;
-        let answer = if rest.is_empty() {
-            let state = current.ok_or("no context — use `context <values>` or pass a descriptor")?;
-            db.query_state_with(&state, QueryOptions { use_cache: false, ..options })
-                .map_err(|e| e.to_string())?
-        } else {
-            let ecod = ctxpref::context::parse_extended_descriptor(db.env(), rest)
-                .map_err(|e| e.to_string())?;
-            db.query_with(&ecod, options).map_err(|e| e.to_string())?
-        };
-        let mut out = String::new();
-        for r in &answer.resolutions {
-            out.push_str(&ctxpref::resolve::explain_resolution(
-                db.tree(),
-                db.relation().schema(),
-                r,
-            ));
-        }
-        Ok(Some(out))
+        let service = self.service()?;
+        service.with_db(|db| {
+            let answer = if rest.is_empty() {
+                let state =
+                    current.ok_or("no context — use `context <values>` or pass a descriptor")?;
+                // Bypass the cache: an explanation needs the resolution
+                // trace, which cached answers do not carry.
+                let ecod = ctxpref::context::ExtendedContextDescriptor::from(
+                    descriptor_of(db.env(), &state),
+                );
+                db.query(USER, &ecod).map_err(|e| e.to_string())?
+            } else {
+                let ecod = ctxpref::context::parse_extended_descriptor(db.env(), rest)
+                    .map_err(|e| e.to_string())?;
+                db.query(USER, &ecod).map_err(|e| e.to_string())?
+            };
+            let tree = db.tree(USER).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for r in &answer.resolutions {
+                out.push_str(&ctxpref::resolve::explain_resolution(
+                    tree,
+                    db.relation().schema(),
+                    r,
+                ));
+            }
+            Ok(Some(out))
+        })
     }
 
     fn cmd_pref(&mut self, rest: &str) -> Result<Option<String>, String> {
@@ -229,80 +259,88 @@ impl Repl {
             .ok_or("syntax: pref <descriptor> :: <attr> = <value> @ <score>")?;
         let (attr, value) = assign.split_once('=').ok_or("expected `<attr> = <value>`")?;
         let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
-        let db = self.db_mut()?;
-        db.insert_preference_eq(cod.trim(), attr.trim(), value.trim().into(), score)
+        self.service()?
+            .insert_preference_eq(USER, cod.trim(), attr.trim(), value.trim().into(), score)
             .map_err(|e| e.to_string())?;
         Ok(Some("preference stored".to_string()))
     }
 
     fn cmd_prefs(&self) -> Result<Option<String>, String> {
-        let db = self.db()?;
-        let mut out = String::new();
-        for (i, p) in db.profile().iter().enumerate() {
-            out.push_str(&format!(
-                "[{i}] {} ⇒ {} @ {:.2}\n",
-                p.descriptor().display(db.env()),
-                p.clause().display(db.relation().schema()),
-                p.score()
-            ));
-        }
-        if out.is_empty() {
-            out.push_str("(empty profile)\n");
-        }
-        Ok(Some(out))
+        self.service()?.with_db(|db| {
+            let profile = db.profile(USER).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for (i, p) in profile.iter().enumerate() {
+                out.push_str(&format!(
+                    "[{i}] {} ⇒ {} @ {:.2}\n",
+                    p.descriptor().display(db.env()),
+                    p.clause().display(db.relation().schema()),
+                    p.score()
+                ));
+            }
+            if out.is_empty() {
+                out.push_str("(empty profile)\n");
+            }
+            Ok(Some(out))
+        })
     }
 
     fn cmd_del(&mut self, rest: &str) -> Result<Option<String>, String> {
         let index: usize = rest.trim().parse().map_err(|_| "usage: del <index>")?;
-        let db = self.db_mut()?;
-        let removed = db.remove_preference(index).map_err(|e| e.to_string())?;
+        let removed =
+            self.service()?.remove_preference(USER, index).map_err(|e| e.to_string())?;
         Ok(Some(format!("removed preference scoring {:.2}", removed.score())))
     }
 
     fn cmd_score(&mut self, rest: &str) -> Result<Option<String>, String> {
-        let (idx, score) = rest.split_once(char::is_whitespace).ok_or("usage: score <index> <score>")?;
+        let (idx, score) =
+            rest.split_once(char::is_whitespace).ok_or("usage: score <index> <score>")?;
         let index: usize = idx.trim().parse().map_err(|_| "bad index")?;
         let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
-        let db = self.db_mut()?;
-        db.update_preference_score(index, score).map_err(|e| e.to_string())?;
+        self.service()?
+            .update_preference_score(USER, index, score)
+            .map_err(|e| e.to_string())?;
         Ok(Some("score updated".to_string()))
     }
 
     fn cmd_tree(&self) -> Result<Option<String>, String> {
-        let db = self.db()?;
-        let stats = db.tree_stats();
-        let mut out = format!("{}\n", db.tree());
-        out.push_str(&format!(
-            "internal nodes {}, cells {}, leaf states {}, entries {}, ~{} bytes\n",
-            stats.internal_nodes,
-            stats.internal_cells,
-            stats.leaf_nodes,
-            stats.leaf_entries,
-            stats.total_bytes()
-        ));
-        if let Some(cs) = db.cache_stats() {
+        self.service()?.with_db(|db| {
+            let stats = db.tree_stats(USER).map_err(|e| e.to_string())?;
+            let tree = db.tree(USER).map_err(|e| e.to_string())?;
+            let mut out = format!("{tree}\n");
             out.push_str(&format!(
-                "query cache: {} hits / {} misses (hit ratio {:.0}%)\n",
-                cs.hits,
-                cs.misses,
-                cs.hit_ratio() * 100.0
+                "internal nodes {}, cells {}, leaf states {}, entries {}, ~{} bytes\n",
+                stats.internal_nodes,
+                stats.internal_cells,
+                stats.leaf_nodes,
+                stats.leaf_entries,
+                stats.total_bytes()
             ));
-        }
-        Ok(Some(out))
+            if let Some(cs) = db.cache_stats(USER).map_err(|e| e.to_string())? {
+                out.push_str(&format!(
+                    "query cache: {} hits / {} misses (hit ratio {:.0}%)\n",
+                    cs.hits,
+                    cs.misses,
+                    cs.hit_ratio() * 100.0
+                ));
+            }
+            Ok(Some(out))
+        })
     }
 
     fn cmd_orders(&self) -> Result<Option<String>, String> {
-        let db = self.db()?;
-        let mut out = String::new();
-        for order in ParamOrder::all_orders(db.env()) {
-            let tree = db.tree().reorder(order.clone()).map_err(|e| e.to_string())?;
-            out.push_str(&format!(
-                "{:<60} {:>7} cells\n",
-                format!("{}", order.display(db.env())),
-                tree.stats().total_cells()
-            ));
-        }
-        Ok(Some(out))
+        self.service()?.with_db(|db| {
+            let tree = db.tree(USER).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for order in ParamOrder::all_orders(db.env()) {
+                let reordered = tree.reorder(order.clone()).map_err(|e| e.to_string())?;
+                out.push_str(&format!(
+                    "{:<60} {:>7} cells\n",
+                    format!("{}", order.display(db.env())),
+                    reordered.stats().total_cells()
+                ));
+            }
+            Ok(Some(out))
+        })
     }
 
     fn cmd_distance(&mut self, rest: &str) -> Result<Option<String>, String> {
@@ -311,14 +349,92 @@ impl Repl {
             "jaccard" => DistanceKind::Jaccard,
             other => return Err(format!("unknown distance {other:?} (hierarchy | jaccard)")),
         };
+        if let Some(service) = &self.service {
+            service.set_query_defaults(self.options);
+        }
         Ok(Some(format!("distance set to {}", self.options.distance)))
+    }
+
+    fn cmd_stats(&self) -> Result<Option<String>, String> {
+        let s = self.service()?.stats();
+        Ok(Some(format!(
+            "served: {} cached, {} exact, {} nearest-state, {} default\n\
+             contained panics {}, deadline misses {}, shed {}, errors {}",
+            s.served_cached,
+            s.served_exact,
+            s.served_nearest,
+            s.served_default,
+            s.panics_contained,
+            s.deadline_exceeded,
+            s.shed,
+            s.errors
+        )))
+    }
+}
+
+fn render_answer(db: &MultiUserDb, answer: &QueryAnswer, k: usize) -> Result<String, String> {
+    let mut out = db.render_top(answer, "name", k).map_err(|e| e.to_string())?;
+    if answer.results.is_empty() {
+        out.push_str("(no results — no stored preference covers this context)\n");
+    }
+    Ok(out)
+}
+
+fn render_ladder(db: &MultiUserDb, answer: &ServiceAnswer) -> String {
+    let mut out = String::new();
+    if answer.answer.from_cache {
+        out.push_str("[served from the context query tree]\n");
+    }
+    for f in &answer.fallbacks {
+        out.push_str(&format!("[{} failed: {}]\n", f.step, f.reason));
+    }
+    if answer.is_degraded() {
+        let via = match &answer.resolved_state {
+            Some(s) => format!(" via {}", s.display(db.env())),
+            None => String::new(),
+        };
+        out.push_str(&format!("[degraded answer: {}{via}]\n", answer.step));
+    }
+    out
+}
+
+/// The descriptor pinning every non-`all` parameter of a state (used to
+/// replay a state query without the cache, for explanation).
+fn descriptor_of(
+    env: &ctxpref::context::ContextEnvironment,
+    s: &ContextState,
+) -> ctxpref::context::ContextDescriptor {
+    let mut cod = ctxpref::context::ContextDescriptor::empty();
+    for (p, h) in env.iter() {
+        let v = s.value(p);
+        if v != h.all_value() {
+            cod = cod.with(p, ctxpref::context::ParameterDescriptor::Eq(v));
+        }
+    }
+    cod
+}
+
+/// Open a saved database: the multi-user format first, then the
+/// single-user format (wrapped as user `me`) for older files.
+fn open_any(path: &str) -> Result<MultiUserDb, String> {
+    match ctxpref::storage::load_multi_user(path) {
+        Ok(db) => Ok(db),
+        Err(multi_err) => {
+            let single = ctxpref::storage::load_database(path)
+                .map_err(|_| format!("failed to load {path}: {multi_err}"))?;
+            let mut db =
+                MultiUserDb::new(single.env().clone(), single.relation().clone(), 64);
+            db.add_user_with_profile(USER, single.profile().clone())
+                .map_err(|e| e.to_string())?;
+            Ok(db)
+        }
     }
 }
 
 const HELP: &str = "\
 commands:
   load demo                 load the two-city POI demo + a default profile
-  save <path>               persist the database (ctxpref v1 text format)
+  save <path>               persist the database (atomic, checksummed)
   open <path>               load a persisted database
   env                       show context parameters and hierarchies
   context [v1 v2 v3]        set / show the current context state
@@ -331,13 +447,33 @@ commands:
   tree                      profile tree and cache statistics
   orders                    tree size under every parameter ordering
   distance hierarchy|jaccard  pick the state distance
+  deadline <ms>             per-query deadline for served queries
+  stats                     serving-layer counters (ladder, panics, deadlines)
   top <k>                   number of results to display
   quit";
 
 fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
     let stdin = io::stdin();
     let interactive = atty_stdin();
     let mut repl = Repl::new();
+
+    // A database named on the command line must load; otherwise the
+    // process is not in the state the caller asked for.
+    if let Some(path) = std::env::args().nth(1) {
+        match repl.cmd_open(&path) {
+            Ok(Some(out)) => println!("{}", out.trim_end()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    }
+
     if interactive {
         println!("ctxpref — context-aware preference database (ICDE 2007). Type `help`.");
     }
@@ -356,9 +492,17 @@ fn main() {
             Ok(Some(out)) => println!("{}", out.trim_end()),
             Ok(None) => {}
             Err(e) if e == "__quit__" => break,
-            Err(e) => eprintln!("error: {e}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                // A script that fails to load its data cannot meaningfully
+                // continue; interactive users just get the error.
+                if !interactive && e.starts_with("failed to load") {
+                    return 1;
+                }
+            }
         }
     }
+    0
 }
 
 /// Crude interactivity probe without extra dependencies: honour an

@@ -26,11 +26,19 @@
 //! * [`workload`] — the points-of-interest reference database, default
 //!   profiles, and synthetic workload generators.
 //! * [`core`] — the high-level [`core::ContextualDb`] façade.
+//! * [`service`] — the fault-tolerant serving layer: deadlines, panic
+//!   isolation, admission control, and the degradation ladder.
+//! * [`faults`] — deterministic, seedable fault injection for chaos
+//!   testing the above.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/query_storm.rs` for the serving layer under injected
+//! faults.
 
 pub use ctxpref_context as context;
 pub use ctxpref_core as core;
+pub use ctxpref_faults as faults;
+pub use ctxpref_service as service;
 pub use ctxpref_hierarchy as hierarchy;
 pub use ctxpref_profile as profile;
 pub use ctxpref_qcache as qcache;

@@ -120,6 +120,54 @@ fn save_and_open_roundtrip() {
 }
 
 #[test]
+fn load_failure_exits_non_zero() {
+    // A database named on the command line that cannot load is fatal.
+    let out = Command::new(env!("CARGO_BIN_EXE_ctxpref-cli"))
+        .arg("/definitely/not/a/real/path.db")
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("cli runs");
+    assert!(!out.status.success(), "expected non-zero exit");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to load"));
+
+    // So is a failed `open` mid-script.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ctxpref-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cli binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"open /definitely/not/a/real/path.db\nquit\n")
+        .expect("script written");
+    let out = child.wait_with_output().expect("cli exits");
+    assert!(!out.status.success(), "expected non-zero exit from scripted open failure");
+}
+
+#[test]
+fn served_queries_report_ladder_and_stats() {
+    let (stdout, stderr) = run_script(
+        "load demo\n\
+         deadline 250\n\
+         context Plaka warm friends\n\
+         query\n\
+         query\n\
+         stats\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("per-query deadline set to 250ms"));
+    assert!(stdout.contains("[served from the context query tree]"), "{stdout}");
+    assert!(stdout.contains("1 cached, 1 exact"), "{stdout}");
+    assert!(stdout.contains("contained panics 0"));
+}
+
+#[test]
 fn explain_traces_resolution() {
     let (stdout, stderr) = run_script(
         "load demo\n\

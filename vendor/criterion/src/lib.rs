@@ -1,0 +1,165 @@
+//! Offline stand-in for the slice of `criterion` this workspace's
+//! benches use. Each benchmark runs a small fixed number of iterations
+//! and prints a rough mean time — enough to smoke-test that benches
+//! compile and run, with none of criterion's statistics. Use it for
+//! regression *signals*, not measurements.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Run `routine` a fixed number of times, reporting a rough mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        let per = start.elapsed() / self.iters;
+        println!("    ~{per:?}/iter over {} iters", self.iters);
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    println!("bench {label}");
+    let mut b = Bencher { iters: 3 };
+    f(&mut b);
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Ignored (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored (kept for API compatibility).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into().0), f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.into().0), |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.into().0, f);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion::default();
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5).bench_function("f", |b| b.iter(|| calls += 1));
+            g.bench_with_input(BenchmarkId::new("w", 3), &3, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            g.finish();
+        }
+        assert!(calls >= 1);
+    }
+}

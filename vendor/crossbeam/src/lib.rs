@@ -1,0 +1,60 @@
+//! Offline stand-in for the slice of `crossbeam` this workspace uses:
+//! [`scope`] with spawn closures that receive the scope again (so
+//! spawned threads can themselves spawn). Backed by
+//! `std::thread::scope`; panics from spawned threads surface as the
+//! `Err` of the returned `thread::Result`, as with the real crate.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// A scope handle; `spawn` borrows it and passes a fresh handle to the
+/// spawned closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope so it can
+    /// spawn further threads (the crossbeam calling convention).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which threads borrowing local data can be
+/// spawned; all are joined before `scope` returns. A panic in any
+/// spawned thread (or in `f`) is caught and returned as `Err`.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = vec![1, 2, 3];
+        let sum = super::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|inner| inner.spawn(|_| data.len()).join().unwrap());
+            h1.join().unwrap() + h2.join().unwrap() as i32
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn panics_become_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
