@@ -1,0 +1,43 @@
+//! Serving-core benchmark driver (PR 2): global-lock vs sharded core.
+//!
+//! ```text
+//! cargo run -p ctxpref-bench --release --bin serving_bench            # full run → BENCH_PR2.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick # CI smoke (short window, no hard gate)
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
+//! ```
+//!
+//! In a full run a failed check exits non-zero, so regressions in the
+//! sharded core's concurrency story fail loudly. `--quick` shrinks the
+//! measurement window and reports without gating (short windows on
+//! loaded CI machines are too noisy to gate on).
+
+use std::time::Duration;
+
+use ctxpref_bench::serving::{self, ServingBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let mut cfg = ServingBenchConfig::default();
+    if quick {
+        cfg.window = Duration::from_millis(250);
+    }
+
+    let report = serving::run(cfg);
+    print!("{}", report.render());
+
+    std::fs::write(&out_path, report.to_json()).expect("writing the benchmark JSON");
+    println!("wrote {out_path}");
+
+    if !quick && report.checks.iter().any(|c| !c.pass) {
+        eprintln!("benchmark checks failed");
+        std::process::exit(1);
+    }
+}

@@ -26,6 +26,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod qcache_exp;
+pub mod serving;
 pub mod table1;
 pub mod ties_exp;
 pub mod tablefmt;

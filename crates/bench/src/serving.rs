@@ -1,0 +1,601 @@
+//! Serving-core benchmark (PR 2): global-lock `MultiUserDb` vs the
+//! sharded core under a mixed read/write multi-user workload.
+//!
+//! The scenario is the serving layer's worst case: a few users keep
+//! editing their profiles (each edit rebuilds *their* profile tree
+//! under a write lock) and a maintenance thread checkpoints the
+//! database to disk back-to-back, while many users keep querying.
+//! Under one global `RwLock`, every edit excludes every reader and —
+//! the expensive part — the pre-PR 2 `save()` held the global read
+//! guard across the whole fsync'd file write, so each edit queued
+//! behind an in-flight checkpoint gated all new readers out for the
+//! duration of the disk I/O. The sharded core write-locks only the
+//! editor's stripe per edit and saves from a per-stripe snapshot,
+//! holding no lock at all during the I/O.
+//!
+//! A second measurement isolates the query-cache hot path: concurrent
+//! `ContextQueryTree::get` hits through the shared read lock (the PR 2
+//! design) against the same hits forced through an exclusive lock (the
+//! pre-PR 2 write-lock-on-hit behaviour, emulated by wrapping the tree
+//! in an outer `RwLock` and taking its *write* half per hit).
+//!
+//! Run via `cargo run -p ctxpref-bench --release --bin serving_bench`,
+//! which emits `BENCH_PR2.json`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use ctxpref_context::ContextState;
+use ctxpref_core::{MultiUserDb, ShardedMultiUserDb};
+use ctxpref_hierarchy::LevelId;
+use ctxpref_qcache::ContextQueryTree;
+use ctxpref_relation::{RankedResults, ScoreCombiner, ScoredTuple};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+use ctxpref_workload::user_study::{all_demographics, default_profile};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ShapeCheck;
+
+/// Workload knobs for the serving benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingBenchConfig {
+    /// Registered users (readers pick targets uniformly).
+    pub users: usize,
+    /// Threads issuing read queries.
+    pub reader_threads: usize,
+    /// Threads issuing profile edits (tree rebuild per edit).
+    pub writer_threads: usize,
+    /// Writers rotate their edits over the first `editor_users` users;
+    /// readers query the remaining ones. The split is the scenario the
+    /// sharded core exists for — a handful of users editing their
+    /// profiles hard must not block everyone else's queries — and it
+    /// keeps the reader working set's caches warm in both cores, so
+    /// the measured difference is lock blocking, not cache churn.
+    pub editor_users: usize,
+    /// Editor think time between two edits of the same writer thread
+    /// (zero = edit back-to-back).
+    pub writer_pause: Duration,
+    /// Dedicated maintenance threads checkpointing the database to
+    /// disk in a tight loop (0 disables saves). The global baseline
+    /// saves the way the pre-PR 2 service did — read guard held across
+    /// the whole fsync'd write — while the sharded core saves from a
+    /// per-stripe snapshot with no lock held during the I/O.
+    pub saver_threads: usize,
+    /// Emulated durable-write latency, injected deterministically at
+    /// the `storage.save.sync` fault site for *both* cores. This
+    /// container's fsync lands in a warm page cache in well under a
+    /// millisecond, which no production durable store does; the PR 1
+    /// fault-injection framework restores a realistic device latency
+    /// so the benchmark measures the serving architecture (who holds
+    /// which lock across the I/O) rather than the build machine's
+    /// cache. Zero disables the injection.
+    pub storage_latency: Duration,
+    /// Stripes of the sharded core.
+    pub shards: usize,
+    /// Measurement window per scenario.
+    pub window: Duration,
+    /// Workload seed (states, target choice).
+    pub seed: u64,
+}
+
+impl Default for ServingBenchConfig {
+    fn default() -> Self {
+        Self {
+            users: 32,
+            reader_threads: 2,
+            writer_threads: 2,
+            editor_users: 4,
+            writer_pause: Duration::from_micros(500),
+            saver_threads: 2,
+            storage_latency: Duration::from_millis(20),
+            shards: 16,
+            window: Duration::from_millis(1500),
+            seed: 0x5EED_2007,
+        }
+    }
+}
+
+/// Throughput of one serving core under the mixed workload.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreThroughput {
+    /// Completed read queries in the window.
+    pub reads: u64,
+    /// Completed profile edits in the window.
+    pub writes: u64,
+    /// Completed checkpoint saves in the window.
+    pub saves: u64,
+    /// Reads per second.
+    pub read_qps: f64,
+    /// Writes per second.
+    pub write_qps: f64,
+}
+
+/// Concurrent cache-hit throughput: shared-read path vs exclusive-lock
+/// emulation of the old write-lock-on-hit behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheHitThroughput {
+    /// Threads hammering the same tree.
+    pub threads: usize,
+    /// Hits/sec through the shared read lock (PR 2 path).
+    pub shared_hits_per_sec: f64,
+    /// Hits/sec with every hit behind an exclusive lock.
+    pub exclusive_hits_per_sec: f64,
+}
+
+/// Full benchmark report.
+#[derive(Debug)]
+pub struct ServingBenchReport {
+    /// The configuration that produced the numbers.
+    pub config: ServingBenchConfig,
+    /// Global-lock `RwLock<MultiUserDb>` baseline.
+    pub global: CoreThroughput,
+    /// Sharded core.
+    pub sharded: CoreThroughput,
+    /// Sharded/global read-throughput ratio (the headline number).
+    pub read_speedup: f64,
+    /// Query-cache concurrent-hit measurement.
+    pub cache_hits: CacheHitThroughput,
+    /// Pass/fail claims.
+    pub checks: Vec<ShapeCheck>,
+}
+
+/// Build the study database: `users` profiles over the POI reference
+/// workload (demographic default profiles, cycled).
+fn study_db(cfg: &ServingBenchConfig) -> MultiUserDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 9, 5);
+    let mut db = MultiUserDb::new(env.clone(), rel, 16);
+    let demos = all_demographics();
+    for i in 0..cfg.users {
+        let profile = default_profile(&env, db.relation(), demos[i % demos.len()]);
+        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+    }
+    db
+}
+
+/// Pre-draw query targets: (user, context state) pairs over the
+/// non-editor users, mostly leaf states with the occasional coarser
+/// one.
+fn draw_targets(db: &MultiUserDb, cfg: &ServingBenchConfig) -> Vec<(String, ContextState)> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let env = db.env();
+    (0..256)
+        .map(|_| {
+            let user = format!("user{}", rng.random_range(cfg.editor_users..cfg.users));
+            let mut state = ContextState::all(env);
+            for (p, h) in env.iter() {
+                let level = if rng.random_bool(0.85) {
+                    0
+                } else {
+                    rng.random_range(0..h.level_count().saturating_sub(1).max(1))
+                };
+                let domain = h.domain(LevelId(level as u8));
+                if !domain.is_empty() {
+                    state = state.with_value(p, domain[rng.random_range(0..domain.len())]);
+                }
+            }
+            (user, state)
+        })
+        .collect()
+}
+
+/// Drive `readers + writers + savers` threads against the
+/// `read`/`write`/`save` closures for one window; returns completed
+/// op counts.
+fn drive(
+    cfg: &ServingBenchConfig,
+    read: impl Fn(usize, &(String, ContextState)) + Sync,
+    write: impl Fn(usize, u64) + Sync,
+    save: impl Fn(usize) + Sync,
+    targets: &[(String, ContextState)],
+) -> (u64, u64, u64) {
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let saves = AtomicU64::new(0);
+    let barrier = Barrier::new(cfg.reader_threads + cfg.writer_threads + cfg.saver_threads + 1);
+    std::thread::scope(|scope| {
+        for t in 0..cfg.reader_threads {
+            let (stop, reads, barrier) = (&stop, &reads, &barrier);
+            let read = &read;
+            scope.spawn(move || {
+                barrier.wait();
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    read(t, &targets[i % targets.len()]);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        for t in 0..cfg.writer_threads {
+            let (stop, writes, barrier) = (&stop, &writes, &barrier);
+            let write = &write;
+            scope.spawn(move || {
+                barrier.wait();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    write(t, n);
+                    writes.fetch_add(1, Ordering::Relaxed);
+                    n += 1;
+                    if !cfg.writer_pause.is_zero() {
+                        std::thread::sleep(cfg.writer_pause);
+                    }
+                }
+            });
+        }
+        for t in 0..cfg.saver_threads {
+            let (stop, saves, barrier) = (&stop, &saves, &barrier);
+            let save = &save;
+            scope.spawn(move || {
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    save(t);
+                    saves.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        barrier.wait();
+        std::thread::sleep(cfg.window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    (reads.into_inner(), writes.into_inner(), saves.into_inner())
+}
+
+fn throughput(reads: u64, writes: u64, saves: u64, window: Duration) -> CoreThroughput {
+    let secs = window.as_secs_f64();
+    CoreThroughput {
+        reads,
+        writes,
+        saves,
+        read_qps: reads as f64 / secs,
+        write_qps: writes as f64 / secs,
+    }
+}
+
+/// Per-writer checkpoint file (two writers must not race on one
+/// temp-file path).
+fn save_path(core: &str, t: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ctxpref-serving-{core}-{}-{t}.db", std::process::id()))
+}
+
+/// Minimal write-preferring `RwLock<T>` for the global-lock baseline.
+///
+/// The pre-PR 2 service was written against upstream `parking_lot`,
+/// whose `RwLock` blocks *new* readers while a writer waits, so writers
+/// cannot starve. The vendored offline shim aliases `std::sync`'s lock,
+/// which on this platform lets a steady stream of readers overtake
+/// waiting writers — under that policy the baseline would "win" the
+/// read race simply by starving every profile edit (writes collapse to
+/// a few hundred per second), which no serving deployment tolerates.
+/// A mutex turnstile in front of the std lock restores the upstream
+/// fairness class: a writer holds the turnstile while it waits for and
+/// holds the exclusive lock, so incoming readers queue behind it;
+/// readers pass through the turnstile empty-handed.
+struct WritePreferringRwLock<T> {
+    turnstile: std::sync::Mutex<()>,
+    inner: RwLock<T>,
+}
+
+/// Write guard pairing the exclusive lock with the turnstile. Field
+/// order matters: the write lock is released before the turnstile, so
+/// queued readers wake into an open lock.
+struct FairWriteGuard<'a, T> {
+    guard: parking_lot::RwLockWriteGuard<'a, T>,
+    _turnstile: std::sync::MutexGuard<'a, ()>,
+}
+
+impl<T> std::ops::Deref for FairWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for FairWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> WritePreferringRwLock<T> {
+    fn new(value: T) -> Self {
+        Self { turnstile: std::sync::Mutex::new(()), inner: RwLock::new(value) }
+    }
+
+    /// Shared access: pass through the turnstile (queueing behind any
+    /// waiting writer), then take the shared lock.
+    fn read(&self) -> parking_lot::RwLockReadGuard<'_, T> {
+        drop(self.turnstile.lock().unwrap_or_else(|e| e.into_inner()));
+        self.inner.read()
+    }
+
+    /// Exclusive access: hold the turnstile for the guard's lifetime so
+    /// readers arriving while the writer waits or works queue up.
+    fn write(&self) -> FairWriteGuard<'_, T> {
+        let t = self.turnstile.lock().unwrap_or_else(|e| e.into_inner());
+        FairWriteGuard { guard: self.inner.write(), _turnstile: t }
+    }
+}
+
+/// Writers toggle the score of their victim's first preference between
+/// two safe values — every edit is a real mutation: conflict-checked,
+/// tree rebuilt, cache invalidated. The toggle is keyed on the *round*
+/// (`n / users`), not `n` itself: victims rotate with period `users`,
+/// so an `n`-parity toggle would hand every revisit of the same victim
+/// the score it already has and the edit would no-op on the
+/// `old.score() == score` fast path instead of rebuilding the tree.
+fn writer_score(round: u64) -> f64 {
+    if round.is_multiple_of(2) {
+        0.35
+    } else {
+        0.65
+    }
+}
+
+/// Measure the global-lock baseline: one `RwLock` over the whole
+/// [`MultiUserDb`], the pre-PR 2 serving shape.
+fn run_global(cfg: &ServingBenchConfig) -> CoreThroughput {
+    let db = study_db(cfg);
+    let targets = draw_targets(&db, cfg);
+    let db = WritePreferringRwLock::new(db);
+    let (reads, writes, saves) = drive(
+        cfg,
+        |_, (user, state)| {
+            db.read().query_state(user, state).unwrap();
+        },
+        |t, n| {
+            let victim = format!("user{}", (t * 7 + n as usize) % cfg.editor_users);
+            db.write()
+                .update_preference_score(&victim, 0, writer_score(t as u64 + n / cfg.editor_users as u64))
+                .expect("benchmark edit must be a real, conflict-free mutation");
+        },
+        |t| {
+            // Pre-PR 2 service shape: the read guard stays held across
+            // the entire fsync'd file write, so any edit queued behind
+            // it gates new readers out for the whole disk I/O.
+            let guard = db.read();
+            ctxpref_storage::save_multi_user(save_path("global", t), &guard)
+                .expect("benchmark checkpoint save");
+        },
+        &targets,
+    );
+    for t in 0..cfg.saver_threads {
+        let _ = std::fs::remove_file(save_path("global", t));
+    }
+    throughput(reads, writes, saves, cfg.window)
+}
+
+/// Measure the sharded core on the identical workload.
+fn run_sharded(cfg: &ServingBenchConfig) -> CoreThroughput {
+    let db = study_db(cfg);
+    let targets = draw_targets(&db, cfg);
+    let db = ShardedMultiUserDb::from_db(db, cfg.shards);
+    let (reads, writes, saves) = drive(
+        cfg,
+        |_, (user, state)| {
+            db.query_state(user, state).unwrap();
+        },
+        |t, n| {
+            let victim = format!("user{}", (t * 7 + n as usize) % cfg.editor_users);
+            db.update_preference_score(&victim, 0, writer_score(t as u64 + n / cfg.editor_users as u64))
+                .expect("benchmark edit must be a real, conflict-free mutation");
+        },
+        |t| {
+            // PR 2 service shape: snapshot the stripes (brief
+            // per-stripe read locks), then do the disk I/O with no
+            // lock held.
+            let snapshot = db.snapshot();
+            ctxpref_storage::save_multi_user(save_path("sharded", t), &snapshot)
+                .expect("benchmark checkpoint save");
+        },
+        &targets,
+    );
+    for t in 0..cfg.saver_threads {
+        let _ = std::fs::remove_file(save_path("sharded", t));
+    }
+    throughput(reads, writes, saves, cfg.window)
+}
+
+fn tiny_results() -> RankedResults {
+    RankedResults::from_scores(
+        vec![ScoredTuple { tuple_index: 0, score: 0.5 }],
+        ScoreCombiner::Max,
+    )
+}
+
+/// Concurrent cache-hit throughput: `threads` hammer `get` on one
+/// warmed [`ContextQueryTree`]. The shared path uses the tree as-is
+/// (hits take only the internal read lock); the exclusive path routes
+/// every hit through the *write* half of an outer `RwLock`, emulating
+/// the pre-PR 2 write-lock-on-hit behaviour.
+fn run_cache_hits(cfg: &ServingBenchConfig) -> CacheHitThroughput {
+    let env = poi_env();
+    let tree = ContextQueryTree::new(env.clone(), 64);
+    let states: Vec<ContextState> = {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xCAC4E);
+        (0..16)
+            .map(|_| {
+                let mut s = ContextState::all(&env);
+                for (p, h) in env.iter() {
+                    let domain = h.domain(LevelId(0));
+                    s = s.with_value(p, domain[rng.random_range(0..domain.len())]);
+                }
+                s
+            })
+            .collect()
+    };
+    for s in &states {
+        tree.insert(s, Arc::new(tiny_results()));
+    }
+    let threads = cfg.reader_threads.max(2);
+    let window = cfg.window.min(Duration::from_millis(750));
+
+    let measure = |hit: &(dyn Fn(&ContextState) + Sync)| -> f64 {
+        let stop = AtomicBool::new(false);
+        let hits = AtomicU64::new(0);
+        let barrier = Barrier::new(threads + 1);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (stop, hits, barrier, states) = (&stop, &hits, &barrier, &states);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut i = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        hit(&states[i % states.len()]);
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+            barrier.wait();
+            std::thread::sleep(window);
+            stop.store(true, Ordering::Relaxed);
+        });
+        hits.into_inner() as f64 / window.as_secs_f64()
+    };
+
+    let shared = measure(&|s: &ContextState| {
+        assert!(tree.get(s).is_some());
+    });
+    let outer = RwLock::new(());
+    let exclusive = measure(&|s: &ContextState| {
+        let _w = outer.write();
+        assert!(tree.get(s).is_some());
+    });
+    CacheHitThroughput {
+        threads,
+        shared_hits_per_sec: shared,
+        exclusive_hits_per_sec: exclusive,
+    }
+}
+
+/// Run the full serving benchmark.
+pub fn run(cfg: ServingBenchConfig) -> ServingBenchReport {
+    // Both cores run under the same deterministic storage-latency
+    // injection (see `ServingBenchConfig::storage_latency`); the
+    // difference being measured is purely who holds which lock across
+    // that latency.
+    let plan = ctxpref_faults::FaultPlan::builder(cfg.seed)
+        .delay("storage.save.sync", 1.0, cfg.storage_latency)
+        .build();
+    let (global, sharded) = plan.run(|| (run_global(&cfg), run_sharded(&cfg)));
+    let cache_hits = run_cache_hits(&cfg);
+    let read_speedup = if global.read_qps > 0.0 {
+        sharded.read_qps / global.read_qps
+    } else {
+        f64::INFINITY
+    };
+    let cache_ratio = if cache_hits.exclusive_hits_per_sec > 0.0 {
+        cache_hits.shared_hits_per_sec / cache_hits.exclusive_hits_per_sec
+    } else {
+        f64::INFINITY
+    };
+    let checks = vec![
+        ShapeCheck::new(
+            "sharded core sustains ≥3× read throughput under concurrent writers",
+            read_speedup >= 3.0,
+            format!(
+                "sharded {:.0} reads/s vs global-lock {:.0} reads/s ({read_speedup:.1}×)",
+                sharded.read_qps, global.read_qps
+            ),
+        ),
+        ShapeCheck::new(
+            "both cores completed writes and checkpoint saves during the window",
+            global.writes > 0 && sharded.writes > 0 && global.saves > 0 && sharded.saves > 0,
+            format!(
+                "global {} writes / {} saves, sharded {} writes / {} saves",
+                global.writes, global.saves, sharded.writes, sharded.saves
+            ),
+        ),
+        ShapeCheck::new(
+            "concurrent cache hits beat exclusive-lock (write-lock-on-hit) emulation",
+            cache_ratio >= 1.0,
+            format!(
+                "shared {:.0} hits/s vs exclusive {:.0} hits/s ({cache_ratio:.1}×)",
+                cache_hits.shared_hits_per_sec, cache_hits.exclusive_hits_per_sec
+            ),
+        ),
+    ];
+    ServingBenchReport { config: cfg, global, sharded, read_speedup, cache_hits, checks }
+}
+
+impl ServingBenchReport {
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serving core, mixed workload: {} users ({} editors), {} readers, {} writers, {} savers, {:?} injected sync latency, {:?} window\n",
+            self.config.users,
+            self.config.editor_users,
+            self.config.reader_threads,
+            self.config.writer_threads,
+            self.config.saver_threads,
+            self.config.storage_latency,
+            self.config.window
+        ));
+        out.push_str(&format!(
+            "  global RwLock<MultiUserDb>: {:>9.0} reads/s  {:>7.0} writes/s  {:>4} saves\n",
+            self.global.read_qps, self.global.write_qps, self.global.saves
+        ));
+        out.push_str(&format!(
+            "  sharded ({} stripes):       {:>9.0} reads/s  {:>7.0} writes/s  {:>4} saves\n",
+            self.config.shards, self.sharded.read_qps, self.sharded.write_qps, self.sharded.saves
+        ));
+        out.push_str(&format!("  read-throughput speedup: {:.1}×\n", self.read_speedup));
+        out.push_str(&format!(
+            "qcache hits, {} threads: shared {:.0}/s vs exclusive {:.0}/s\n",
+            self.cache_hits.threads,
+            self.cache_hits.shared_hits_per_sec,
+            self.cache_hits.exclusive_hits_per_sec
+        ));
+        out.push_str(&crate::render_checks(&self.checks));
+        out
+    }
+
+    /// Serialize as a small JSON document (hand-rolled; the workspace
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"name\": {:?}, \"pass\": {}, \"detail\": {:?}}}",
+                    c.name, c.pass, c.detail
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"serving_core_pr2\",\n  \"config\": {{\"users\": {}, \"reader_threads\": {}, \"writer_threads\": {}, \"editor_users\": {}, \"writer_pause_us\": {}, \"saver_threads\": {}, \"storage_latency_ms\": {}, \"shards\": {}, \"window_ms\": {}, \"seed\": {}}},\n  \"global_lock\": {{\"reads\": {}, \"writes\": {}, \"saves\": {}, \"read_qps\": {:.1}, \"write_qps\": {:.1}}},\n  \"sharded\": {{\"reads\": {}, \"writes\": {}, \"saves\": {}, \"read_qps\": {:.1}, \"write_qps\": {:.1}}},\n  \"read_speedup\": {:.2},\n  \"qcache_hits\": {{\"threads\": {}, \"shared_hits_per_sec\": {:.1}, \"exclusive_hits_per_sec\": {:.1}}},\n  \"checks\": [\n{}\n  ]\n}}\n",
+            self.config.users,
+            self.config.reader_threads,
+            self.config.writer_threads,
+            self.config.editor_users,
+            self.config.writer_pause.as_micros(),
+            self.config.saver_threads,
+            self.config.storage_latency.as_millis(),
+            self.config.shards,
+            self.config.window.as_millis(),
+            self.config.seed,
+            self.global.reads,
+            self.global.writes,
+            self.global.saves,
+            self.global.read_qps,
+            self.global.write_qps,
+            self.sharded.reads,
+            self.sharded.writes,
+            self.sharded.saves,
+            self.sharded.read_qps,
+            self.sharded.write_qps,
+            self.read_speedup,
+            self.cache_hits.threads,
+            self.cache_hits.shared_hits_per_sec,
+            self.cache_hits.exclusive_hits_per_sec,
+            checks.join(",\n")
+        )
+    }
+}

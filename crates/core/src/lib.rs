@@ -40,7 +40,11 @@
 mod db;
 mod error;
 mod multi;
+mod sharded;
 
 pub use db::{ContextualDb, ContextualDbBuilder, QueryAnswer, QueryOptions};
 pub use error::CoreError;
 pub use multi::MultiUserDb;
+pub use sharded::{
+    ShardQuiesceGuard, ShardedMultiUserDb, UserShardRead, DEFAULT_SHARDS,
+};

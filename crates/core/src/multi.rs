@@ -15,19 +15,170 @@ use ctxpref_profile::{
 };
 use ctxpref_qcache::ContextQueryTree;
 use ctxpref_relation::{CompareOp, Relation, Value};
-use ctxpref_resolve::rank_cs;
+use ctxpref_resolve::{rank_cs, rank_cs_parallel};
 
 use crate::db::{QueryAnswer, QueryOptions};
 use crate::error::CoreError;
 use ctxpref_context::ContextEnvironment;
 
+/// Upper bound on worker threads for parallel multi-state `Rank_CS`.
+/// States of one query are fanned out across at most this many threads;
+/// results are stitched back in state order, so the merged ranking is
+/// identical to the serial one.
+pub(crate) fn rank_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
 /// Per-user state: the logical profile, its tree index, and an optional
-/// query cache.
+/// query cache. Shared between [`MultiUserDb`] (single-threaded core)
+/// and [`crate::ShardedMultiUserDb`] (the concurrent serving core), so
+/// mutation and query semantics cannot drift between the two.
 #[derive(Debug)]
-struct UserSlot {
-    profile: Profile,
-    tree: ProfileTree,
-    cache: Option<ContextQueryTree>,
+pub(crate) struct UserSlot {
+    pub(crate) profile: Profile,
+    pub(crate) tree: ProfileTree,
+    pub(crate) cache: Option<ContextQueryTree>,
+}
+
+impl UserSlot {
+    pub(crate) fn new(
+        profile: Profile,
+        order: &ParamOrder,
+        env: &ContextEnvironment,
+        cache_capacity: usize,
+    ) -> Result<Self, CoreError> {
+        let tree = ProfileTree::from_profile(&profile, order.clone())?;
+        let cache =
+            (cache_capacity > 0).then(|| ContextQueryTree::new(env.clone(), cache_capacity));
+        Ok(Self { profile, tree, cache })
+    }
+
+    /// A deep copy with a fresh (empty) cache — used by snapshots; cached
+    /// rankings are derived data and need not survive a snapshot.
+    pub(crate) fn clone_for_snapshot(
+        &self,
+        env: &ContextEnvironment,
+        cache_capacity: usize,
+    ) -> Self {
+        let cache =
+            (cache_capacity > 0).then(|| ContextQueryTree::new(env.clone(), cache_capacity));
+        Self { profile: self.profile.clone(), tree: self.tree.clone(), cache }
+    }
+
+    pub(crate) fn insert_preference(&mut self, pref: ContextualPreference) -> Result<(), CoreError> {
+        self.tree.insert(&pref)?;
+        self.profile.insert_unchecked(pref);
+        if let Some(c) = &self.cache {
+            c.invalidate_all();
+        }
+        Ok(())
+    }
+
+    pub(crate) fn remove_preference(
+        &mut self,
+        index: usize,
+        order: &ParamOrder,
+    ) -> Result<ContextualPreference, CoreError> {
+        if index >= self.profile.len() {
+            return Err(CoreError::NoSuchPreference(index));
+        }
+        let removed = self.profile.remove(index);
+        self.tree = ProfileTree::from_profile(&self.profile, order.clone())?;
+        if let Some(c) = &self.cache {
+            c.invalidate_all();
+        }
+        Ok(removed)
+    }
+
+    pub(crate) fn update_preference_score(
+        &mut self,
+        index: usize,
+        score: f64,
+        env: &ContextEnvironment,
+        order: &ParamOrder,
+    ) -> Result<(), CoreError> {
+        if index >= self.profile.len() {
+            return Err(CoreError::NoSuchPreference(index));
+        }
+        let old = &self.profile.preferences()[index];
+        if old.score() == score {
+            return Ok(());
+        }
+        let updated = old.with_score(score)?;
+        for (i, other) in self.profile.preferences().iter().enumerate() {
+            if i != index && other.conflicts_with(&updated, env)? {
+                return Err(ctxpref_profile::ProfileError::Conflict {
+                    state: ContextState::all(env),
+                    existing_score: other.score(),
+                    new_score: score,
+                }
+                .into());
+            }
+        }
+        self.profile.update_score(index, score)?;
+        self.tree = ProfileTree::from_profile(&self.profile, order.clone())?;
+        if let Some(c) = &self.cache {
+            c.invalidate_all();
+        }
+        Ok(())
+    }
+
+    /// Single-state query through this user's cache (when enabled).
+    pub(crate) fn query_state(
+        &self,
+        env: &ContextEnvironment,
+        relation: &Relation,
+        defaults: QueryOptions,
+        state: &ContextState,
+    ) -> Result<QueryAnswer, CoreError> {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(state) {
+                return Ok(QueryAnswer { results: hit, resolutions: Vec::new(), from_cache: true });
+            }
+        }
+        let ecod: ExtendedContextDescriptor = crate::db::descriptor_of_state(env, state).into();
+        let q = rank_cs(
+            &self.tree,
+            relation,
+            &ecod,
+            defaults.distance,
+            defaults.tie,
+            defaults.combiner,
+        )?;
+        let answer = QueryAnswer {
+            results: Arc::new(q.results),
+            resolutions: q.resolutions,
+            from_cache: false,
+        };
+        if let Some(cache) = &self.cache {
+            cache.insert(state, Arc::clone(&answer.results));
+        }
+        Ok(answer)
+    }
+
+    /// Explicit-descriptor query: multi-state (exploratory) descriptors
+    /// fan `Rank_CS` out across the query's context states.
+    pub(crate) fn query(
+        &self,
+        relation: &Relation,
+        defaults: QueryOptions,
+        ecod: &ExtendedContextDescriptor,
+    ) -> Result<QueryAnswer, CoreError> {
+        let q = rank_cs_parallel(
+            &self.tree,
+            relation,
+            ecod,
+            defaults.distance,
+            defaults.tie,
+            defaults.combiner,
+            rank_threads(),
+        )?;
+        Ok(QueryAnswer {
+            results: Arc::new(q.results),
+            resolutions: q.resolutions,
+            from_cache: false,
+        })
+    }
 }
 
 /// A multi-user contextual preference database: one environment and
@@ -56,6 +207,26 @@ impl MultiUserDb {
             defaults: QueryOptions::default(),
             users: HashMap::new(),
         }
+    }
+
+    /// Decompose into raw parts (for conversion into the sharded core).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (ContextEnvironment, Relation, ParamOrder, usize, QueryOptions, HashMap<String, UserSlot>)
+    {
+        (self.env, self.relation, self.order, self.cache_capacity, self.defaults, self.users)
+    }
+
+    /// Reassemble from raw parts (the sharded core converting back).
+    pub(crate) fn from_parts(
+        env: ContextEnvironment,
+        relation: Relation,
+        order: ParamOrder,
+        cache_capacity: usize,
+        defaults: QueryOptions,
+        users: HashMap<String, UserSlot>,
+    ) -> Self {
+        Self { env, relation, order, cache_capacity, defaults, users }
     }
 
     /// The shared context environment.
@@ -105,10 +276,8 @@ impl MultiUserDb {
         if self.users.contains_key(name) {
             return Err(CoreError::DuplicateUser(name.to_string()));
         }
-        let tree = ProfileTree::from_profile(&profile, self.order.clone())?;
-        let cache = (self.cache_capacity > 0)
-            .then(|| ContextQueryTree::new(self.env.clone(), self.cache_capacity));
-        self.users.insert(name.to_string(), UserSlot { profile, tree, cache });
+        let slot = UserSlot::new(profile, &self.order, &self.env, self.cache_capacity)?;
+        self.users.insert(name.to_string(), slot);
         Ok(())
     }
 
@@ -151,13 +320,7 @@ impl MultiUserDb {
         user: &str,
         pref: ContextualPreference,
     ) -> Result<(), CoreError> {
-        let slot = self.slot_mut(user)?;
-        slot.tree.insert(&pref)?;
-        slot.profile.insert_unchecked(pref);
-        if let Some(c) = &slot.cache {
-            c.invalidate_all();
-        }
-        Ok(())
+        self.slot_mut(user)?.insert_preference(pref)
     }
 
     /// Insert an equality preference for one user from its textual
@@ -185,16 +348,7 @@ impl MultiUserDb {
         index: usize,
     ) -> Result<ContextualPreference, CoreError> {
         let order = self.order.clone();
-        let slot = self.slot_mut(user)?;
-        if index >= slot.profile.len() {
-            return Err(CoreError::NoSuchPreference(index));
-        }
-        let removed = slot.profile.remove(index);
-        slot.tree = ProfileTree::from_profile(&slot.profile, order)?;
-        if let Some(c) = &slot.cache {
-            c.invalidate_all();
-        }
-        Ok(removed)
+        self.slot_mut(user)?.remove_preference(index, &order)
     }
 
     /// Update the score of one user's preference at `index`, checking
@@ -207,31 +361,7 @@ impl MultiUserDb {
     ) -> Result<(), CoreError> {
         let env = self.env.clone();
         let order = self.order.clone();
-        let slot = self.slot_mut(user)?;
-        if index >= slot.profile.len() {
-            return Err(CoreError::NoSuchPreference(index));
-        }
-        let old = &slot.profile.preferences()[index];
-        if old.score() == score {
-            return Ok(());
-        }
-        let updated = old.with_score(score)?;
-        for (i, other) in slot.profile.preferences().iter().enumerate() {
-            if i != index && other.conflicts_with(&updated, &env)? {
-                return Err(ctxpref_profile::ProfileError::Conflict {
-                    state: ContextState::all(&env),
-                    existing_score: other.score(),
-                    new_score: score,
-                }
-                .into());
-            }
-        }
-        slot.profile.update_score(index, score)?;
-        slot.tree = ProfileTree::from_profile(&slot.profile, order)?;
-        if let Some(c) = &slot.cache {
-            c.invalidate_all();
-        }
-        Ok(())
+        self.slot_mut(user)?.update_preference_score(index, score, &env, &order)
     }
 
     /// The query options used for every query on this database.
@@ -260,31 +390,7 @@ impl MultiUserDb {
     /// Query one user's profile under a single context state, through
     /// their cache when enabled.
     pub fn query_state(&self, user: &str, state: &ContextState) -> Result<QueryAnswer, CoreError> {
-        let slot = self.slot(user)?;
-        if let Some(cache) = &slot.cache {
-            if let Some(hit) = cache.get(state) {
-                return Ok(QueryAnswer { results: hit, resolutions: Vec::new(), from_cache: true });
-            }
-        }
-        let ecod: ExtendedContextDescriptor =
-            crate::db::descriptor_of_state(&self.env, state).into();
-        let q = rank_cs(
-            &slot.tree,
-            &self.relation,
-            &ecod,
-            self.defaults.distance,
-            self.defaults.tie,
-            self.defaults.combiner,
-        )?;
-        let answer = QueryAnswer {
-            results: Arc::new(q.results),
-            resolutions: q.resolutions,
-            from_cache: false,
-        };
-        if let Some(cache) = &slot.cache {
-            cache.insert(state, Arc::clone(&answer.results));
-        }
-        Ok(answer)
+        self.slot(user)?.query_state(&self.env, &self.relation, self.defaults, state)
     }
 
     /// Render the top-`k` answer (ties included) as `name (score)` lines
@@ -313,20 +419,7 @@ impl MultiUserDb {
         user: &str,
         ecod: &ExtendedContextDescriptor,
     ) -> Result<QueryAnswer, CoreError> {
-        let slot = self.slot(user)?;
-        let q = rank_cs(
-            &slot.tree,
-            &self.relation,
-            ecod,
-            self.defaults.distance,
-            self.defaults.tie,
-            self.defaults.combiner,
-        )?;
-        Ok(QueryAnswer {
-            results: Arc::new(q.results),
-            resolutions: q.resolutions,
-            from_cache: false,
-        })
+        self.slot(user)?.query(&self.relation, self.defaults, ecod)
     }
 }
 

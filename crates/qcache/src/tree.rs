@@ -1,3 +1,6 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ctxpref_context::{ContextEnvironment, ContextState, CtxValue, ParamId};
@@ -21,7 +24,34 @@ struct Node {
 struct Leaf {
     state: ContextState,
     results: Arc<RankedResults>,
-    last_used: u64,
+    /// LRU stamp, bumped atomically so cache *hits* need only the
+    /// shared read lock.
+    last_used: AtomicU64,
+}
+
+/// Statistics counters, atomic so the hit path can update them under
+/// the read lock.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    cells_accessed: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            cells_accessed: self.cells_accessed.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -31,16 +61,26 @@ struct Inner {
     leaves: Vec<Option<Leaf>>,
     free_leaves: Vec<u32>,
     live: usize,
-    clock: u64,
-    stats: CacheStats,
+    /// Lazy eviction heap: `(stamp, leaf index)` min-first. A popped
+    /// entry whose stamp no longer matches the leaf's `last_used` is
+    /// stale (the leaf was touched since) and is re-pushed with the
+    /// current stamp — O(log n) amortized eviction instead of an
+    /// O(live) scan.
+    evict_heap: BinaryHeap<Reverse<(u64, u32)>>,
 }
 
 /// The context query tree: a capacity-bounded, LRU-evicting trie from
 /// context states to cached [`RankedResults`]. See the crate docs.
+///
+/// Concurrency: lookups (including LRU bookkeeping and statistics) take
+/// only the shared read lock — concurrent hits do not serialize. Only
+/// `insert`, `remove`, and `invalidate_all` take the write lock.
 #[derive(Debug)]
 pub struct ContextQueryTree {
     env: ContextEnvironment,
     capacity: usize,
+    clock: AtomicU64,
+    stats: AtomicStats,
     inner: RwLock<Inner>,
 }
 
@@ -51,14 +91,15 @@ impl ContextQueryTree {
         Self {
             env,
             capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            stats: AtomicStats::default(),
             inner: RwLock::new(Inner {
                 nodes: vec![Node::default()],
                 free_nodes: Vec::new(),
                 leaves: Vec::new(),
                 free_leaves: Vec::new(),
                 live: 0,
-                clock: 0,
-                stats: CacheStats::default(),
+                evict_heap: BinaryHeap::new(),
             }),
         }
     }
@@ -85,55 +126,52 @@ impl ContextQueryTree {
 
     /// A snapshot of the statistics.
     pub fn stats(&self) -> CacheStats {
-        self.inner.read().stats
+        self.stats.snapshot()
     }
 
     /// Look up the cached results for `state`, refreshing its LRU stamp
-    /// on a hit.
+    /// on a hit. Takes only the shared read lock: concurrent hits
+    /// proceed in parallel, with the LRU clock bumped atomically.
     pub fn get(&self, state: &ContextState) -> Option<Arc<RankedResults>> {
         debug_assert_eq!(state.len(), self.env.len());
         // Fault site: an injected fault means "cache unavailable" — the
         // lookup degrades to a miss and the caller recomputes.
         if ctxpref_faults::hit("qcache.get").is_err() {
-            self.inner.write().stats.misses += 1;
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut inner = self.inner.write();
+        let inner = self.inner.read();
         let depth = self.env.len();
         let mut node = 0usize;
         let mut cells = 0u64;
         for level in 0..depth {
             let key = state.value(ParamId(level as u16));
-            let found = {
-                let nc = &inner.nodes[node].cells;
-                let mut hit = None;
-                for (i, c) in nc.iter().enumerate() {
-                    if c.key == key {
-                        cells += i as u64 + 1;
-                        hit = Some(c.child);
-                        break;
-                    }
+            let nc = &inner.nodes[node].cells;
+            let mut found = None;
+            for (i, c) in nc.iter().enumerate() {
+                if c.key == key {
+                    cells += i as u64 + 1;
+                    found = Some(c.child);
+                    break;
                 }
-                if hit.is_none() {
-                    cells += nc.len() as u64;
-                }
-                hit
-            };
+            }
             let Some(child) = found else {
-                inner.stats.misses += 1;
-                inner.stats.cells_accessed += cells;
+                cells += nc.len() as u64;
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.cells_accessed.fetch_add(cells, Ordering::Relaxed);
                 return None;
             };
             if level + 1 == depth {
-                inner.clock += 1;
-                let clock = inner.clock;
+                let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
                 let leaf = inner.leaves[child as usize]
-                    .as_mut()
+                    .as_ref()
                     .expect("cache cells never point to freed leaves");
-                leaf.last_used = clock;
+                // `fetch_max`, not `store`: racing hits must leave the
+                // newest stamp, whatever order they land in.
+                leaf.last_used.fetch_max(stamp, Ordering::Relaxed);
                 let results = Arc::clone(&leaf.results);
-                inner.stats.hits += 1;
-                inner.stats.cells_accessed += cells;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.cells_accessed.fetch_add(cells, Ordering::Relaxed);
                 return Some(results);
             }
             node = child as usize;
@@ -152,8 +190,7 @@ impl ContextQueryTree {
             return;
         }
         let mut inner = self.inner.write();
-        inner.clock += 1;
-        let clock = inner.clock;
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
 
         // Walk/create the path.
         let depth = self.env.len();
@@ -193,25 +230,53 @@ impl ContextQueryTree {
                 if inner.leaves[child as usize].is_none() {
                     inner.live += 1;
                 }
-                inner.leaves[child as usize] =
-                    Some(Leaf { state: state.clone(), results, last_used: clock });
-                inner.stats.insertions += 1;
+                inner.leaves[child as usize] = Some(Leaf {
+                    state: state.clone(),
+                    results,
+                    last_used: AtomicU64::new(clock),
+                });
+                inner.evict_heap.push(Reverse((clock, child)));
+                self.stats.insertions.fetch_add(1, Ordering::Relaxed);
                 break;
             }
             node = child as usize;
         }
 
-        // Enforce capacity.
+        // Enforce capacity via the lazy heap. Under the write lock no
+        // hit can race the stamp comparison.
         while inner.live > self.capacity {
-            let victim = inner
+            let Reverse((stamp, idx)) = inner.evict_heap.pop().expect(
+                "every live leaf has at least one heap entry with stamp ≤ its last_used",
+            );
+            let Some(leaf) = inner.leaves[idx as usize].as_ref() else {
+                continue; // stale entry for a removed/freed leaf
+            };
+            let current = leaf.last_used.load(Ordering::Relaxed);
+            if current != stamp {
+                // Touched since this entry was pushed: re-queue at its
+                // current recency and keep looking.
+                inner.evict_heap.push(Reverse((current, idx)));
+                continue;
+            }
+            let victim = leaf.state.clone();
+            Self::remove_locked(&self.env, &mut inner, &victim);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Replacement-heavy workloads accumulate stale heap entries
+        // without triggering evictions; compact before the heap dwarfs
+        // the live set.
+        if inner.evict_heap.len() > 4 * inner.live.max(self.capacity) + 8 {
+            let rebuilt: BinaryHeap<Reverse<(u64, u32)>> = inner
                 .leaves
                 .iter()
-                .flatten()
-                .min_by_key(|l| l.last_used)
-                .map(|l| l.state.clone())
-                .expect("live > 0");
-            Self::remove_locked(&self.env, &mut inner, &victim);
-            inner.stats.evictions += 1;
+                .enumerate()
+                .filter_map(|(i, l)| {
+                    l.as_ref()
+                        .map(|l| Reverse((l.last_used.load(Ordering::Relaxed), i as u32)))
+                })
+                .collect();
+            inner.evict_heap = rebuilt;
         }
     }
 
@@ -246,7 +311,8 @@ impl ContextQueryTree {
         inner.leaves.clear();
         inner.free_leaves.clear();
         inner.live = 0;
-        inner.stats.invalidations += 1;
+        inner.evict_heap.clear();
+        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     fn remove_locked(env: &ContextEnvironment, inner: &mut Inner, state: &ContextState) -> bool {
@@ -430,6 +496,45 @@ mod tests {
         cache.insert(&st(&env, &["warm", "friends"]), Arc::new(results(0.2)));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.env().len(), 2);
+    }
+
+    /// Regression (PR 2): cache hits must not serialize on the write
+    /// lock. A reader-held *read* lock cannot block other hits, so
+    /// hits issued while a read guard is held elsewhere still complete
+    /// and still bump LRU recency.
+    #[test]
+    fn hits_proceed_under_shared_read_lock() {
+        let env = env();
+        let cache = Arc::new(ContextQueryTree::new(env.clone(), 4));
+        let a = st(&env, &["cold", "friends"]);
+        let b = st(&env, &["warm", "friends"]);
+        cache.insert(&a, Arc::new(results(0.1)));
+        cache.insert(&b, Arc::new(results(0.2)));
+        // Hold a shared read lock for the duration of the probe hits.
+        let guard = cache.inner.read();
+        crossbeam::scope(|scope| {
+            let cache = Arc::clone(&cache);
+            let a = a.clone();
+            let handle = scope.spawn(move |_| {
+                for _ in 0..100 {
+                    assert!(cache.get(&a).is_some());
+                }
+            });
+            handle.join().unwrap();
+        })
+        .unwrap();
+        drop(guard);
+        assert_eq!(cache.stats().hits, 100);
+        // The hits under the read lock refreshed `a`'s recency: insert
+        // two more states and `b` (not `a`) must be evicted first.
+        let c = st(&env, &["hot", "friends"]);
+        let d = st(&env, &["cold", "family"]);
+        let e = st(&env, &["warm", "family"]);
+        cache.insert(&c, Arc::new(results(0.3)));
+        cache.insert(&d, Arc::new(results(0.4)));
+        cache.insert(&e, Arc::new(results(0.5)));
+        assert!(cache.get(&a).is_some(), "recently-hit state survived eviction");
+        assert!(cache.get(&b).is_none(), "stale state was the LRU victim");
     }
 
     #[test]

@@ -1,9 +1,30 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use ctxpref_context::{DistanceKind, ExtendedContextDescriptor};
 use ctxpref_profile::ProfileError;
 use ctxpref_relation::{RankedResults, Relation, ScoreCombiner, ScoredTuple};
 
 use crate::resolver::{ContextResolver, MatchOutcome, StateResolution, TieBreak};
 use crate::store::PreferenceStore;
+
+/// A totally ordered f64 (by `total_cmp`) for use in the top-k heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
 
 /// The answer of a contextual preference query: the ranked tuples plus
 /// the resolution trace — the paper's usability study leans on
@@ -66,6 +87,11 @@ pub fn rank_cs_topk<S: PreferenceStore + ?Sized>(
     entries.sort_by(|a, b| b.score.total_cmp(&a.score));
 
     let mut best: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    // Min-heap of the k highest tuple scores seen so far; its root is the
+    // running k-th score. Entries arrive in descending score order, so a
+    // tuple's score is fixed the first time it is selected — the heap
+    // never needs updating, only bounded pushes.
+    let mut topk: BinaryHeap<Reverse<TotalF64>> = BinaryHeap::with_capacity(k + 1);
     let mut kth_score = f64::NEG_INFINITY;
     for entry in entries {
         if best.len() >= k && entry.score < kth_score {
@@ -73,15 +99,23 @@ pub fn rank_cs_topk<S: PreferenceStore + ?Sized>(
         }
         let pred = entry.clause.predicate();
         for tuple_index in relation.select(&pred) {
-            let slot = best.entry(tuple_index).or_insert(f64::NEG_INFINITY);
-            if entry.score > *slot {
-                *slot = entry.score;
+            match best.entry(tuple_index) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(entry.score);
+                    topk.push(Reverse(TotalF64(entry.score)));
+                    if topk.len() > k {
+                        topk.pop();
+                    }
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    // Descending entry order: the first selection already
+                    // recorded this tuple's maximum.
+                    debug_assert!(*slot.get() >= entry.score);
+                }
             }
         }
         if best.len() >= k {
-            let mut scores: Vec<f64> = best.values().copied().collect();
-            scores.sort_by(|a, b| b.total_cmp(a));
-            kth_score = scores[k - 1];
+            kth_score = topk.peek().expect("k ≥ 1 and best.len() ≥ k").0 .0;
         }
     }
     let raw = best
@@ -111,14 +145,84 @@ pub fn rank_cs<S: PreferenceStore + ?Sized>(
     let resolutions = resolver.resolve(ecod)?;
     let mut raw: Vec<ScoredTuple> = Vec::new();
     for res in &resolutions {
-        for cand in &res.selected {
-            for entry in store.entries(cand.leaf) {
-                let pred = entry.clause.predicate();
-                for tuple_index in relation.select(&pred) {
-                    raw.push(ScoredTuple { tuple_index, score: entry.score });
-                }
+        select_for_state(store, relation, res, &mut raw);
+    }
+    Ok(RankedQuery { results: RankedResults::from_scores(raw, combiner), resolutions })
+}
+
+/// The selection half of `Rank_CS` for one resolved state: turn the
+/// selected preference entries into `σ_{A θ a}(R)` selections, scored.
+fn select_for_state<S: PreferenceStore + ?Sized>(
+    store: &S,
+    relation: &Relation,
+    res: &StateResolution,
+    raw: &mut Vec<ScoredTuple>,
+) {
+    for cand in &res.selected {
+        for entry in store.entries(cand.leaf) {
+            let pred = entry.clause.predicate();
+            for tuple_index in relation.select(&pred) {
+                raw.push(ScoredTuple { tuple_index, score: entry.score });
             }
         }
+    }
+}
+
+/// `Rank_CS` parallelized across the query's context states: each
+/// state's resolution + selection is independent, so the states of an
+/// exploratory (disjunctive) descriptor fan out over up to
+/// `max_threads` scoped threads and the per-state scored tuples are
+/// merged with `combiner` exactly as [`rank_cs`] would. Single-state
+/// queries (and `max_threads < 2`) run serially — the result is
+/// identical either way.
+pub fn rank_cs_parallel<S: PreferenceStore + Sync + ?Sized>(
+    store: &S,
+    relation: &Relation,
+    ecod: &ExtendedContextDescriptor,
+    kind: DistanceKind,
+    tie: TieBreak,
+    combiner: ScoreCombiner,
+    max_threads: usize,
+) -> Result<RankedQuery, ProfileError> {
+    let states = ecod.states(store.env())?;
+    if states.len() < 2 || max_threads < 2 {
+        return rank_cs(store, relation, ecod, kind, tie, combiner);
+    }
+    let resolver = ContextResolver::new(store, kind, tie);
+    let threads = max_threads.min(states.len());
+    // Strided assignment: thread t takes states t, t+threads, … — then
+    // results are stitched back in state order so the merged ranking is
+    // bit-identical to the serial one.
+    let mut per_state: Vec<Option<(StateResolution, Vec<ScoredTuple>)>> =
+        (0..states.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let states = &states;
+            let resolver = &resolver;
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, StateResolution, Vec<ScoredTuple>)> = Vec::new();
+                for (i, state) in states.iter().enumerate().skip(t).step_by(threads) {
+                    let res = resolver.resolve_state(state);
+                    let mut raw = Vec::new();
+                    select_for_state(store, relation, &res, &mut raw);
+                    out.push((i, res, raw));
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            for (i, res, raw) in handle.join().expect("rank_cs worker panicked") {
+                per_state[i] = Some((res, raw));
+            }
+        }
+    });
+    let mut resolutions = Vec::with_capacity(states.len());
+    let mut raw: Vec<ScoredTuple> = Vec::new();
+    for slot in per_state {
+        let (res, mut tuples) = slot.expect("every state resolved");
+        resolutions.push(res);
+        raw.append(&mut tuples);
     }
     Ok(RankedQuery { results: RankedResults::from_scores(raw, combiner), resolutions })
 }

@@ -24,8 +24,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ctxpref_context::ContextState;
-use ctxpref_core::{CoreError, MultiUserDb, QueryAnswer};
-use ctxpref_relation::{RankedResults, ScoreCombiner, ScoredTuple};
+use ctxpref_core::{CoreError, QueryAnswer, UserShardRead};
+use ctxpref_relation::{RankedResults, Relation, ScoreCombiner, ScoredTuple};
 
 use crate::error::ServiceError;
 
@@ -90,8 +90,8 @@ impl ServiceAnswer {
 /// Ancestor states of `state`, nearest first: each round lifts every
 /// non-root parameter one hierarchy level; the fully-lifted
 /// (`all`, …, `all`) state comes last.
-pub(crate) fn lifted_states(db: &MultiUserDb, state: &ContextState) -> Vec<ContextState> {
-    let env = db.env();
+pub(crate) fn lifted_states(shard: &UserShardRead<'_>, state: &ContextState) -> Vec<ContextState> {
+    let env = shard.env();
     let mut cur = state.clone();
     let mut out = Vec::new();
     loop {
@@ -115,8 +115,8 @@ pub(crate) fn lifted_states(db: &MultiUserDb, state: &ContextState) -> Vec<Conte
 
 /// The non-contextual default answer (Section 4.2): every tuple of the
 /// base relation at score 0, in relation order.
-pub(crate) fn default_answer(db: &MultiUserDb) -> QueryAnswer {
-    let raw = (0..db.relation().len()).map(|i| ScoredTuple { tuple_index: i, score: 0.0 });
+pub(crate) fn default_answer(relation: &Relation) -> QueryAnswer {
+    let raw = (0..relation.len()).map(|i| ScoredTuple { tuple_index: i, score: 0.0 });
     QueryAnswer {
         results: Arc::new(RankedResults::from_scores(raw, ScoreCombiner::Max)),
         resolutions: Vec::new(),
@@ -150,11 +150,12 @@ fn try_rung(
     }
 }
 
-/// Serve one request by walking the ladder. Returns a typed error only
-/// for conditions that degradation cannot answer (unknown user,
-/// deadline exhaustion).
+/// Serve one request by walking the ladder under an already-acquired
+/// shard read guard — the worker paid for the lock once; every rung
+/// reuses it. Returns a typed error only for conditions that
+/// degradation cannot answer (unknown user, deadline exhaustion).
 pub(crate) fn run_ladder(
-    db: &MultiUserDb,
+    shard: &UserShardRead<'_>,
     user: &str,
     state: &ContextState,
     deadline: Instant,
@@ -162,13 +163,15 @@ pub(crate) fn run_ladder(
 ) -> Result<ServiceAnswer, ServiceError> {
     let started = Instant::now();
     // An unknown user is a request error, not a fault to degrade around.
-    db.profile(user).map_err(ServiceError::Core)?;
+    if !shard.has_user(user) {
+        return Err(ServiceError::Core(CoreError::NoSuchUser(user.to_string())));
+    }
 
     let mut fallbacks = Vec::new();
 
     // Rungs 1+2: the cached/exact path (the cache layer internally
     // degrades its own faults to misses, so one call covers both).
-    match try_rung("service.query.primary", || db.query_state(user, state)) {
+    match try_rung("service.query.primary", || shard.query_state(user, state)) {
         Ok(answer) => {
             let step = if answer.from_cache { LadderStep::Cached } else { LadderStep::Exact };
             return Ok(ServiceAnswer {
@@ -183,11 +186,11 @@ pub(crate) fn run_ladder(
     }
 
     // Rung 3: nearest ancestor state that still resolves.
-    for lifted in lifted_states(db, state) {
+    for lifted in lifted_states(shard, state) {
         if Instant::now() >= deadline {
             return Err(ServiceError::DeadlineExceeded { deadline: requested_deadline });
         }
-        match try_rung("service.query.nearest", || db.query_state(user, &lifted)) {
+        match try_rung("service.query.nearest", || shard.query_state(user, &lifted)) {
             Ok(answer) => {
                 return Ok(ServiceAnswer {
                     answer,
@@ -205,7 +208,7 @@ pub(crate) fn run_ladder(
 
     // Rung 4: the pure, non-contextual default. Cannot fail.
     Ok(ServiceAnswer {
-        answer: default_answer(db),
+        answer: default_answer(shard.relation()),
         step: LadderStep::DefaultAnswer,
         fallbacks,
         resolved_state: None,

@@ -6,11 +6,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ctxpref_context::ContextState;
-use ctxpref_core::MultiUserDb;
+use ctxpref_core::{MultiUserDb, ShardedMultiUserDb};
 use ctxpref_profile::{ContextualPreference, Profile};
 use ctxpref_qcache::CacheStats;
 use ctxpref_storage::StorageError;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::error::ServiceError;
 use crate::ladder::{run_ladder, LadderStep, ServiceAnswer};
@@ -43,6 +43,14 @@ pub struct ServiceConfig {
     pub default_deadline: Duration,
     /// Retry policy for storage I/O.
     pub retry: RetryPolicy,
+    /// Stripes of the sharded serving core (users are hashed onto
+    /// shards; mutations lock only their shard).
+    pub shards: usize,
+    /// Cap on a whole storage operation including retry backoff: when
+    /// the *next* backoff sleep would cross this deadline, the retry
+    /// loop gives up with [`ServiceError::DeadlineExceeded`] instead of
+    /// sleeping past it.
+    pub storage_deadline: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +60,8 @@ impl Default for ServiceConfig {
             max_in_flight: 64,
             default_deadline: Duration::from_millis(250),
             retry: RetryPolicy::default(),
+            shards: ctxpref_core::DEFAULT_SHARDS,
+            storage_deadline: Duration::from_secs(2),
         }
     }
 }
@@ -75,7 +85,7 @@ impl Drop for InFlightGuard {
     }
 }
 
-/// The fault-tolerant serving layer over a [`MultiUserDb`].
+/// The fault-tolerant serving layer over a sharded multi-user core.
 ///
 /// Requests run on a fixed pool of worker threads behind a
 /// request/response API:
@@ -95,10 +105,16 @@ impl Drop for InFlightGuard {
 /// * **Degradation ladder** — see [`crate::ladder`]: cached → exact →
 ///   nearest-state → non-contextual default, every fallback recorded.
 /// * **Retrying storage** — [`Self::save`] and [`Self::open`] retry
-///   transient I/O failures with exponential backoff; writes are atomic
-///   and checksummed (see `ctxpref-storage`).
+///   transient I/O failures with exponential backoff capped by the
+///   configured storage deadline; writes are atomic and checksummed
+///   (see `ctxpref-storage`).
+/// * **Sharded core** — the database is a [`ShardedMultiUserDb`]: user
+///   slots are striped over per-shard `RwLock`s, so one user's profile
+///   edit (or a long snapshot) never blocks queries for users on other
+///   shards, and a worker acquires exactly the one shard its request
+///   needs.
 pub struct CtxPrefService {
-    db: Arc<RwLock<MultiUserDb>>,
+    db: Arc<ShardedMultiUserDb>,
     cfg: ServiceConfig,
     counters: Arc<Counters>,
     in_flight: Arc<AtomicUsize>,
@@ -117,9 +133,15 @@ impl std::fmt::Debug for CtxPrefService {
 }
 
 impl CtxPrefService {
-    /// Serve `db` with `cfg`.
+    /// Serve `db` with `cfg`, sharding it over `cfg.shards` stripes.
     pub fn new(db: MultiUserDb, cfg: ServiceConfig) -> Self {
-        let db = Arc::new(RwLock::new(db));
+        Self::new_sharded(ShardedMultiUserDb::from_db(db, cfg.shards), cfg)
+    }
+
+    /// Serve an already-sharded core with `cfg` (`cfg.shards` is
+    /// ignored; the core keeps its stripe count).
+    pub fn new_sharded(db: ShardedMultiUserDb, cfg: ServiceConfig) -> Self {
+        let db = Arc::new(db);
         let counters = Arc::new(Counters::default());
         let in_flight = Arc::new(AtomicUsize::new(0));
         let shutting_down = Arc::new(AtomicBool::new(false));
@@ -152,7 +174,7 @@ impl CtxPrefService {
     /// per the retry policy) and serve it.
     pub fn open(path: impl AsRef<Path>, cfg: ServiceConfig) -> Result<Self, ServiceError> {
         let counters = Counters::default();
-        let db = retry_storage(&cfg.retry, &counters, || {
+        let db = retry_storage(&cfg.retry, cfg.storage_deadline, &counters, || {
             ctxpref_storage::load_multi_user(&path)
         })?;
         let service = Self::new(db, cfg);
@@ -282,26 +304,26 @@ impl CtxPrefService {
 
     /// Register a user with an empty profile.
     pub fn add_user(&self, name: &str) -> Result<(), ServiceError> {
-        Ok(self.db.write().add_user(name)?)
+        Ok(self.db.add_user(name)?)
     }
 
     /// Register a user with an initial profile.
     pub fn add_user_with_profile(&self, name: &str, profile: Profile) -> Result<(), ServiceError> {
-        Ok(self.db.write().add_user_with_profile(name, profile)?)
+        Ok(self.db.add_user_with_profile(name, profile)?)
     }
 
     /// Remove a user, returning their profile.
     pub fn remove_user(&self, name: &str) -> Result<Profile, ServiceError> {
-        Ok(self.db.write().remove_user(name)?)
+        Ok(self.db.remove_user(name)?)
     }
 
-    /// Insert a preference for one user.
+    /// Insert a preference for one user (write-locks only their shard).
     pub fn insert_preference(
         &self,
         user: &str,
         pref: ContextualPreference,
     ) -> Result<(), ServiceError> {
-        Ok(self.db.write().insert_preference(user, pref)?)
+        Ok(self.db.insert_preference(user, pref)?)
     }
 
     /// Insert an equality preference for one user from its textual
@@ -314,7 +336,7 @@ impl CtxPrefService {
         value: ctxpref_relation::Value,
         score: f64,
     ) -> Result<(), ServiceError> {
-        Ok(self.db.write().insert_preference_eq(user, descriptor, attr, value, score)?)
+        Ok(self.db.insert_preference_eq(user, descriptor, attr, value, score)?)
     }
 
     /// Remove one user's preference by index.
@@ -323,7 +345,7 @@ impl CtxPrefService {
         user: &str,
         index: usize,
     ) -> Result<ContextualPreference, ServiceError> {
-        Ok(self.db.write().remove_preference(user, index)?)
+        Ok(self.db.remove_preference(user, index)?)
     }
 
     /// Update the score of one user's preference by index.
@@ -333,31 +355,36 @@ impl CtxPrefService {
         index: usize,
         score: f64,
     ) -> Result<(), ServiceError> {
-        Ok(self.db.write().update_preference_score(user, index, score)?)
+        Ok(self.db.update_preference_score(user, index, score)?)
     }
 
     /// One user's query-cache statistics.
     pub fn cache_stats(&self, user: &str) -> Result<Option<CacheStats>, ServiceError> {
-        Ok(self.db.read().cache_stats(user)?)
+        Ok(self.db.cache_stats(user)?)
     }
 
     /// Replace the query options used by every query on the database.
     pub fn set_query_defaults(&self, options: ctxpref_core::QueryOptions) {
-        self.db.write().set_query_defaults(options);
+        self.db.set_query_defaults(options);
     }
 
-    /// Read access to the underlying database (for inspection; queries
-    /// should go through [`Self::query_state`] to get fault tolerance).
-    pub fn with_db<R>(&self, f: impl FnOnce(&MultiUserDb) -> R) -> R {
-        f(&self.db.read())
+    /// Read access to the underlying sharded database (for inspection;
+    /// queries should go through [`Self::query_state`] to get fault
+    /// tolerance). The closure takes no lock itself — accessor methods
+    /// on the core lock individual shards as needed.
+    pub fn with_db<R>(&self, f: impl FnOnce(&ShardedMultiUserDb) -> R) -> R {
+        f(&self.db)
     }
 
     /// Snapshot the database to `path`: an atomic, checksummed write,
-    /// with transient I/O failures retried per the retry policy.
+    /// with transient I/O failures retried per the retry policy (capped
+    /// by the storage deadline). The snapshot is taken shard by shard
+    /// before any I/O starts, so the save never holds a shard lock
+    /// across disk writes and queries proceed during the save.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServiceError> {
-        let db = self.db.read();
-        retry_storage(&self.cfg.retry, &self.counters, || {
-            ctxpref_storage::save_multi_user(&path, &db)
+        let snapshot = self.db.snapshot();
+        retry_storage(&self.cfg.retry, self.cfg.storage_deadline, &self.counters, || {
+            ctxpref_storage::save_multi_user(&path, &snapshot)
         })
     }
 
@@ -368,11 +395,9 @@ impl CtxPrefService {
         let db = Arc::clone(&self.db);
         drop(self);
         match Arc::try_unwrap(db) {
-            Ok(lock) => lock.into_inner(),
+            Ok(sharded) => sharded.into_db(),
             // A caller still holds a clone-derived reference (cannot
-            // happen through the public API); fall back to a snapshot
-            // via serialization-free clone of the inner value is not
-            // possible, so rebuild from a read guard.
+            // happen through the public API).
             Err(_arc) => unreachable!("shutdown consumes the only service handle"),
         }
     }
@@ -393,7 +418,7 @@ impl Drop for CtxPrefService {
 }
 
 fn worker_loop(
-    db: &RwLock<MultiUserDb>,
+    db: &ShardedMultiUserDb,
     counters: &Counters,
     in_flight: &Arc<AtomicUsize>,
     receiver: &Mutex<mpsc::Receiver<Job>>,
@@ -417,8 +442,24 @@ fn worker_loop(
         // Outer containment: nothing may unwind out of a request, even
         // a bug outside the per-rung guards.
         let result = catch_unwind(AssertUnwindSafe(|| {
-            let guard = db.read();
-            run_ladder(&guard, &job.user, &job.state, job.deadline, job.requested)
+            // Acquire only the user's shard, and account the wait: the
+            // time to get the lock is the serving core's contention.
+            let lock_started = Instant::now();
+            let shard = db.read_user_shard(&job.user);
+            let waited = lock_started.elapsed();
+            counters
+                .lock_wait_micros
+                .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+            // Re-check the deadline now that the lock is held: a
+            // contended acquisition may have consumed the whole budget,
+            // and running the ladder for a caller that already timed
+            // out would only waste the shard's read capacity.
+            if Instant::now() >= job.deadline {
+                counters.deadline_after_lock.fetch_add(1, Ordering::Relaxed);
+                counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::DeadlineExceeded { deadline: job.requested });
+            }
+            run_ladder(&shard, &job.user, &job.state, job.deadline, job.requested)
         }))
         .unwrap_or_else(|payload| {
             let message = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -435,22 +476,31 @@ fn worker_loop(
 }
 
 /// Run `op` up to `policy.max_attempts` times, sleeping
-/// `base_backoff · 2ⁿ⁻¹` between attempts. Only I/O errors are
-/// considered transient; parse/model/corruption errors fail
-/// immediately.
+/// `base_backoff · 2ⁿ⁻¹` between attempts, but never sleeping past
+/// `deadline` (measured from entry): when the next backoff would cross
+/// it, give up with [`ServiceError::DeadlineExceeded`] instead. Only
+/// I/O errors are considered transient; parse/model/corruption errors
+/// fail immediately.
 fn retry_storage<T>(
     policy: &RetryPolicy,
+    deadline: Duration,
     counters: &Counters,
     mut op: impl FnMut() -> Result<T, StorageError>,
 ) -> Result<T, ServiceError> {
+    let started = Instant::now();
     let mut attempt = 0u32;
     loop {
         attempt += 1;
         match op() {
             Ok(v) => return Ok(v),
             Err(StorageError::Io(_)) if attempt < policy.max_attempts => {
+                let backoff = policy.base_backoff * 2u32.pow(attempt - 1);
+                if started.elapsed() + backoff >= deadline {
+                    counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::DeadlineExceeded { deadline });
+                }
                 counters.storage_retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(policy.base_backoff * 2u32.pow(attempt - 1));
+                std::thread::sleep(backoff);
             }
             Err(e) => return Err(ServiceError::Storage(e)),
         }

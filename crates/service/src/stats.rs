@@ -13,6 +13,8 @@ pub(crate) struct Counters {
     pub cancelled: AtomicU64,
     pub storage_retries: AtomicU64,
     pub errors: AtomicU64,
+    pub lock_wait_micros: AtomicU64,
+    pub deadline_after_lock: AtomicU64,
 }
 
 impl Counters {
@@ -28,6 +30,8 @@ impl Counters {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             storage_retries: self.storage_retries.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            lock_wait_micros: self.lock_wait_micros.load(Ordering::Relaxed),
+            deadline_after_lock: self.deadline_after_lock.load(Ordering::Relaxed),
         }
     }
 }
@@ -55,6 +59,13 @@ pub struct ServiceStats {
     pub storage_retries: u64,
     /// Requests that ended in a typed error (other than shed/deadline).
     pub errors: u64,
+    /// Total microseconds workers spent waiting to acquire a user's
+    /// shard lock — the direct measure of serving-core contention.
+    pub lock_wait_micros: u64,
+    /// Requests whose deadline expired *while waiting for the shard
+    /// lock* (caught by the post-acquisition re-check, so no query ran
+    /// against an already-dead request).
+    pub deadline_after_lock: u64,
 }
 
 impl ServiceStats {

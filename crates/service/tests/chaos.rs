@@ -41,7 +41,7 @@ fn study_db(users: usize, cache: usize) -> MultiUserDb {
 
 /// A random context state: leaf values mostly, an interior value now
 /// and then (queries at coarser granularity are legal).
-fn random_state(db: &MultiUserDb, rng: &mut StdRng) -> ContextState {
+fn random_state(db: &ctxpref_core::ShardedMultiUserDb, rng: &mut StdRng) -> ContextState {
     let env = db.env();
     let mut state = ContextState::all(env);
     for (p, h) in env.iter() {

@@ -155,7 +155,7 @@ fn main() {
 
 /// A random context state: leaf values mostly, an interior value now
 /// and then.
-fn random_state(db: &MultiUserDb, rng: &mut StdRng) -> ContextState {
+fn random_state(db: &ctxpref::core::ShardedMultiUserDb, rng: &mut StdRng) -> ContextState {
     let env = db.env();
     let mut state = ContextState::all(env);
     for (p, h) in env.iter() {

@@ -22,7 +22,7 @@ use std::io::{self, BufRead, Write};
 use std::time::Duration;
 
 use ctxpref::context::{ContextState, DistanceKind};
-use ctxpref::core::{MultiUserDb, QueryAnswer, QueryOptions};
+use ctxpref::core::{MultiUserDb, QueryAnswer, QueryOptions, ShardedMultiUserDb};
 use ctxpref::prelude::*;
 use ctxpref::service::{CtxPrefService, ServiceAnswer, ServiceConfig};
 use ctxpref::workload::reference::{poi_env, poi_relation};
@@ -240,7 +240,7 @@ impl Repl {
             let mut out = String::new();
             for r in &answer.resolutions {
                 out.push_str(&ctxpref::resolve::explain_resolution(
-                    tree,
+                    &tree,
                     db.relation().schema(),
                     r,
                 ));
@@ -372,7 +372,11 @@ impl Repl {
     }
 }
 
-fn render_answer(db: &MultiUserDb, answer: &QueryAnswer, k: usize) -> Result<String, String> {
+fn render_answer(
+    db: &ShardedMultiUserDb,
+    answer: &QueryAnswer,
+    k: usize,
+) -> Result<String, String> {
     let mut out = db.render_top(answer, "name", k).map_err(|e| e.to_string())?;
     if answer.results.is_empty() {
         out.push_str("(no results — no stored preference covers this context)\n");
@@ -380,7 +384,7 @@ fn render_answer(db: &MultiUserDb, answer: &QueryAnswer, k: usize) -> Result<Str
     Ok(out)
 }
 
-fn render_ladder(db: &MultiUserDb, answer: &ServiceAnswer) -> String {
+fn render_ladder(db: &ShardedMultiUserDb, answer: &ServiceAnswer) -> String {
     let mut out = String::new();
     if answer.answer.from_cache {
         out.push_str("[served from the context query tree]\n");
