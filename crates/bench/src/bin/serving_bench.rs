@@ -1,42 +1,59 @@
-//! Serving-core benchmark driver (PR 2): global-lock vs sharded core.
+//! Serving-core benchmark driver: global-lock vs sharded core (PR 2)
+//! and WAL fsync policies (PR 3).
 //!
 //! ```text
-//! cargo run -p ctxpref-bench --release --bin serving_bench            # full run → BENCH_PR2.json
-//! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick # CI smoke (short window, no hard gate)
+//! cargo run -p ctxpref-bench --release --bin serving_bench               # serving run → BENCH_PR2.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --durability # fsync policies → BENCH_PR3.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick    # CI smoke (short window, no hard gate)
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
 //! ```
 //!
 //! In a full run a failed check exits non-zero, so regressions in the
-//! sharded core's concurrency story fail loudly. `--quick` shrinks the
-//! measurement window and reports without gating (short windows on
-//! loaded CI machines are too noisy to gate on).
+//! serving core's concurrency story (or the log's group-commit
+//! amortization) fail loudly. `--quick` shrinks the measurement window
+//! and reports without gating (short windows on loaded CI machines are
+//! too noisy to gate on).
 
 use std::time::Duration;
 
+use ctxpref_bench::durability::{self, DurabilityBenchConfig};
 use ctxpref_bench::serving::{self, ServingBenchConfig};
+use ctxpref_bench::ShapeCheck;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let durability_mode = args.iter().any(|a| a == "--durability");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| {
+            if durability_mode { "BENCH_PR3.json" } else { "BENCH_PR2.json" }.to_string()
+        });
 
-    let mut cfg = ServingBenchConfig::default();
-    if quick {
-        cfg.window = Duration::from_millis(250);
-    }
+    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if durability_mode {
+        let mut cfg = DurabilityBenchConfig::default();
+        if quick {
+            cfg.window = Duration::from_millis(250);
+        }
+        let report = durability::run(cfg);
+        (report.render(), report.to_json(), report.checks)
+    } else {
+        let mut cfg = ServingBenchConfig::default();
+        if quick {
+            cfg.window = Duration::from_millis(250);
+        }
+        let report = serving::run(cfg);
+        (report.render(), report.to_json(), report.checks)
+    };
+    print!("{rendered}");
 
-    let report = serving::run(cfg);
-    print!("{}", report.render());
-
-    std::fs::write(&out_path, report.to_json()).expect("writing the benchmark JSON");
+    std::fs::write(&out_path, json).expect("writing the benchmark JSON");
     println!("wrote {out_path}");
 
-    if !quick && report.checks.iter().any(|c| !c.pass) {
+    if !quick && checks.iter().any(|c| !c.pass) {
         eprintln!("benchmark checks failed");
         std::process::exit(1);
     }

@@ -22,6 +22,7 @@
 
 pub mod complexity;
 pub mod dag_exp;
+pub mod durability;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -46,5 +46,5 @@ pub use db::{ContextualDb, ContextualDbBuilder, QueryAnswer, QueryOptions};
 pub use error::CoreError;
 pub use multi::MultiUserDb;
 pub use sharded::{
-    ShardQuiesceGuard, ShardedMultiUserDb, UserShardRead, DEFAULT_SHARDS,
+    PartialSnapshot, ShardQuiesceGuard, ShardedMultiUserDb, UserShardRead, DEFAULT_SHARDS,
 };

@@ -124,25 +124,45 @@ impl ShardedMultiUserDb {
     /// read lock is held only while cloning that shard's slots, so a
     /// long save never blocks writers for the duration of the I/O.
     pub fn snapshot(&self) -> MultiUserDb {
-        let defaults = *self.defaults.read();
-        let mut users = HashMap::new();
-        for shard in self.shards.iter() {
-            let guard = shard.read();
-            for (name, slot) in guard.iter() {
-                users.insert(
-                    name.clone(),
-                    slot.clone_for_snapshot(&self.env, self.cache_capacity),
-                );
-            }
+        let mut snap = self.snapshot_begin();
+        for ix in 0..self.shards.len() {
+            self.snapshot_stripe(ix, &mut snap);
         }
-        MultiUserDb::from_parts(
-            self.env.clone(),
-            self.relation.clone(),
-            self.order.clone(),
-            self.cache_capacity,
-            defaults,
-            users,
-        )
+        snap.finish()
+    }
+
+    /// Begin an incremental snapshot: captures the shared parts
+    /// (environment, relation, order, defaults) and returns an empty
+    /// accumulator. Feed it stripes via [`Self::snapshot_stripe`] —
+    /// external coordinators (e.g. a write-ahead-log checkpointer) can
+    /// interleave their own per-stripe bookkeeping between clones so
+    /// that each stripe's copy is consistent with a per-stripe cut
+    /// point, without ever quiescing the whole database.
+    pub fn snapshot_begin(&self) -> PartialSnapshot {
+        PartialSnapshot {
+            env: self.env.clone(),
+            relation: self.relation.clone(),
+            order: self.order.clone(),
+            cache_capacity: self.cache_capacity,
+            defaults: *self.defaults.read(),
+            users: HashMap::new(),
+        }
+    }
+
+    /// Clone stripe `ix`'s user slots into `snap`, holding that
+    /// stripe's read lock only for the duration of the clone.
+    ///
+    /// # Panics
+    ///
+    /// If `ix >= self.num_shards()`.
+    pub fn snapshot_stripe(&self, ix: usize, snap: &mut PartialSnapshot) {
+        let guard = self.shards[ix].read();
+        for (name, slot) in guard.iter() {
+            snap.users.insert(
+                name.clone(),
+                slot.clone_for_snapshot(&self.env, self.cache_capacity),
+            );
+        }
     }
 
     /// The shared context environment.
@@ -423,6 +443,38 @@ impl UserShardRead<'_> {
 /// Opaque guard returned by [`ShardedMultiUserDb::quiesce_user`].
 pub struct ShardQuiesceGuard<'a> {
     _guard: RwLockWriteGuard<'a, HashMap<String, UserSlot>>,
+}
+
+/// An in-progress incremental snapshot: the shared parts of the
+/// database plus the user slots of every stripe fed in so far. See
+/// [`ShardedMultiUserDb::snapshot_begin`].
+#[derive(Debug)]
+pub struct PartialSnapshot {
+    env: ContextEnvironment,
+    relation: Relation,
+    order: ParamOrder,
+    cache_capacity: usize,
+    defaults: QueryOptions,
+    users: HashMap<String, UserSlot>,
+}
+
+impl PartialSnapshot {
+    /// Users accumulated so far.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Assemble the accumulated stripes into a plain [`MultiUserDb`].
+    pub fn finish(self) -> MultiUserDb {
+        MultiUserDb::from_parts(
+            self.env,
+            self.relation,
+            self.order,
+            self.cache_capacity,
+            self.defaults,
+            self.users,
+        )
+    }
 }
 
 /// FNV-1a over the user name, folded onto the stripe count. Stable

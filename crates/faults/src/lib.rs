@@ -31,6 +31,52 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
+/// The registry of named fault sites threaded through the workspace.
+///
+/// Sites are plain strings — nothing stops a crate from marking a new
+/// one — but the durability test matrix ("inject a kill at *every*
+/// registered site") needs an authoritative list, so write-path sites
+/// are declared here next to the machinery that drives them.
+pub mod sites {
+    /// Opening the temp file of an atomic snapshot save.
+    pub const STORAGE_SAVE_OPEN: &str = "storage.save.open";
+    /// Writing the payload of an atomic snapshot save (honours
+    /// truncation faults: only a prefix persists).
+    pub const STORAGE_SAVE_WRITE: &str = "storage.save.write";
+    /// Fsyncing the temp file of an atomic snapshot save.
+    pub const STORAGE_SAVE_SYNC: &str = "storage.save.sync";
+    /// Renaming the temp file over the destination.
+    pub const STORAGE_SAVE_RENAME: &str = "storage.save.rename";
+    /// Opening a snapshot file for loading.
+    pub const STORAGE_LOAD_OPEN: &str = "storage.load.open";
+    /// Reading a snapshot file's bytes.
+    pub const STORAGE_LOAD_READ: &str = "storage.load.read";
+    /// Writing a framed record to a WAL segment (honours truncation
+    /// faults: a torn tail persists).
+    pub const WAL_APPEND_WRITE: &str = "wal.append.write";
+    /// Fsyncing a WAL segment (per-record append sync and group-commit
+    /// flush both pass through here).
+    pub const WAL_APPEND_SYNC: &str = "wal.append.sync";
+    /// Rotating a WAL shard onto a fresh segment file.
+    pub const WAL_ROTATE: &str = "wal.rotate";
+    /// Atomically swapping the checkpoint manifest into place.
+    pub const MANIFEST_SWAP: &str = "manifest.swap";
+
+    /// Every registered *write-path* site: a crash injected at any of
+    /// these must never lose an acknowledged mutation. This is the
+    /// matrix the crash-recovery fuzz walks.
+    pub const DURABILITY_SITES: &[&str] = &[
+        STORAGE_SAVE_OPEN,
+        STORAGE_SAVE_WRITE,
+        STORAGE_SAVE_SYNC,
+        STORAGE_SAVE_RENAME,
+        WAL_APPEND_WRITE,
+        WAL_APPEND_SYNC,
+        WAL_ROTATE,
+        MANIFEST_SWAP,
+    ];
+}
+
 /// What an injected fault did (or would do) at a site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -272,6 +318,25 @@ impl FaultPlan {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).stats.clone()
     }
 
+    /// How many times `site` has been *hit* under this plan (whether or
+    /// not anything was injected). A calibration run under an empty
+    /// plan uses this to learn how many kill points a workload exposes
+    /// at each site before targeting one of them.
+    pub fn hit_count(&self, site: &str) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .hits
+            .get(site)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Hit counters for every site touched under this plan.
+    pub fn hit_counts(&self) -> HashMap<String, u64> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).hits.clone()
+    }
+
     /// Install this plan globally, run `f`, then restore the previous
     /// plan (panic-safe). Returns `f`'s result.
     pub fn run<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
@@ -458,6 +523,23 @@ mod tests {
             assert_eq!(truncated_len("w", 100), 50);
             assert_eq!(truncated_len("w", 100), 100);
         });
+    }
+
+    #[test]
+    fn hit_counts_track_every_site() {
+        let plan = FaultPlan::builder(3).build();
+        plan.run(|| {
+            for _ in 0..5 {
+                hit("a.site").unwrap();
+            }
+            hit("b.site").unwrap();
+        });
+        assert_eq!(plan.hit_count("a.site"), 5);
+        assert_eq!(plan.hit_count("b.site"), 1);
+        assert_eq!(plan.hit_count("never.hit"), 0);
+        assert_eq!(plan.hit_counts().len(), 2);
+        // The registry lists the write-path matrix.
+        assert!(sites::DURABILITY_SITES.contains(&sites::WAL_APPEND_SYNC));
     }
 
     #[test]

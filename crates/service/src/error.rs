@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use ctxpref_core::CoreError;
 use ctxpref_storage::StorageError;
+use ctxpref_wal::{DurableError, WalError};
 
 /// Typed errors of the serving layer. Every request that does not
 /// produce a [`crate::ServiceAnswer`] produces exactly one of these —
@@ -34,6 +35,12 @@ pub enum ServiceError {
     Core(CoreError),
     /// A storage error that survived the retry policy.
     Storage(StorageError),
+    /// A write-ahead-log error: the mutation was rolled back and not
+    /// applied (see `ctxpref-wal` for the rollback guarantees).
+    Wal(WalError),
+    /// A durability-only operation (checkpoint, WAL flush, WAL status)
+    /// was called on a service running without a durable directory.
+    NotDurable,
     /// The service is shutting down and no longer accepts requests.
     ShuttingDown,
 }
@@ -53,6 +60,10 @@ impl fmt::Display for ServiceError {
             }
             Self::Core(e) => write!(f, "{e}"),
             Self::Storage(e) => write!(f, "{e}"),
+            Self::Wal(e) => write!(f, "{e}"),
+            Self::NotDurable => {
+                write!(f, "service has no durable directory (start it with new_durable/recover)")
+            }
             Self::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -63,6 +74,7 @@ impl Error for ServiceError {
         match self {
             Self::Core(e) => Some(e),
             Self::Storage(e) => Some(e),
+            Self::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -77,5 +89,20 @@ impl From<CoreError> for ServiceError {
 impl From<StorageError> for ServiceError {
     fn from(e: StorageError) -> Self {
         Self::Storage(e)
+    }
+}
+
+impl From<WalError> for ServiceError {
+    fn from(e: WalError) -> Self {
+        Self::Wal(e)
+    }
+}
+
+impl From<DurableError> for ServiceError {
+    fn from(e: DurableError) -> Self {
+        match e {
+            DurableError::Wal(e) => Self::Wal(e),
+            DurableError::Core(e) => Self::Core(e),
+        }
     }
 }

@@ -16,10 +16,16 @@
 //!   → non-contextual default, Section 4.2 of the paper) with every
 //!   fallback recorded on the answer,
 //! * **retry-with-backoff** around the atomic, checksummed storage
-//!   layer.
+//!   layer,
+//! * opt-in **durability**: built with [`CtxPrefService::new_durable`]
+//!   or [`CtxPrefService::recover`], every mutation is appended to a
+//!   per-shard write-ahead log before it is applied, a background
+//!   checkpointer bounds replay time, and recovery replays the log on
+//!   top of the latest checkpoint (`ctxpref-wal`).
 //!
 //! Failure modes are driven deterministically in tests by the
-//! `ctxpref-faults` plan (see the chaos suite under `tests/`).
+//! `ctxpref-faults` plan (see the chaos suite under `tests/`, and the
+//! crash-recovery fuzz matrix in `ctxpref-wal`).
 //!
 //! ```
 //! use ctxpref_context::ContextState;
@@ -50,5 +56,9 @@ mod stats;
 
 pub use error::ServiceError;
 pub use ladder::{Fallback, LadderStep, ServiceAnswer};
-pub use service::{CtxPrefService, RetryPolicy, ServiceConfig};
+pub use service::{CtxPrefService, DurabilityConfig, RetryPolicy, ServiceConfig};
 pub use stats::ServiceStats;
+
+// Durability vocabulary re-exported so service consumers need not
+// depend on `ctxpref-wal` directly.
+pub use ctxpref_wal::{CheckpointReport, RecoveryReport, SyncPolicy, WalStatus};

@@ -1,15 +1,17 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ctxpref_context::ContextState;
-use ctxpref_core::{MultiUserDb, ShardedMultiUserDb};
-use ctxpref_profile::{ContextualPreference, Profile};
+use ctxpref_context::{parse_descriptor, ContextState};
+use ctxpref_core::{CoreError, MultiUserDb, ShardedMultiUserDb};
+use ctxpref_profile::{AttributeClause, ContextualPreference, Profile};
 use ctxpref_qcache::CacheStats;
+use ctxpref_relation::CompareOp;
 use ctxpref_storage::StorageError;
+use ctxpref_wal::{CheckpointReport, DurableDb, RecoveryReport, SyncPolicy, WalOptions, WalStatus};
 use parking_lot::Mutex;
 
 use crate::error::ServiceError;
@@ -66,6 +68,46 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Configuration of the service's durability layer (separate from
+/// [`ServiceConfig`], which stays `Copy`): where the write-ahead log
+/// and checkpoints live, and how eagerly they reach the disk.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The durable directory (manifest, checkpoints, per-shard logs).
+    pub dir: PathBuf,
+    /// Fsync policy: per-record (durable acks) or group commit
+    /// (batched fsync on the background flusher's interval).
+    pub sync: SyncPolicy,
+    /// Rotate a shard's WAL segment past this many bytes.
+    pub segment_max_bytes: u64,
+    /// Take a background checkpoint this often (`None` = only when
+    /// [`CtxPrefService::checkpoint`] is called).
+    pub checkpoint_interval: Option<Duration>,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the conservative defaults: fsync
+    /// per record, 1 MiB segments, a background checkpoint every 60 s.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            sync: SyncPolicy::PerRecord,
+            segment_max_bytes: 1 << 20,
+            checkpoint_interval: Some(Duration::from_secs(60)),
+        }
+    }
+
+    /// Switch to group commit with the given flush interval.
+    pub fn group_commit(mut self, flush_interval: Duration) -> Self {
+        self.sync = SyncPolicy::GroupCommit { flush_interval };
+        self
+    }
+
+    fn wal_options(&self) -> WalOptions {
+        WalOptions { sync: self.sync, segment_max_bytes: self.segment_max_bytes }
+    }
+}
+
 struct Job {
     user: String,
     state: ContextState,
@@ -113,6 +155,11 @@ impl Drop for InFlightGuard {
 ///   edit (or a long snapshot) never blocks queries for users on other
 ///   shards, and a worker acquires exactly the one shard its request
 ///   needs.
+/// * **Durability (opt-in)** — built with [`Self::new_durable`] or
+///   [`Self::recover`], every mutation is appended to a per-shard
+///   write-ahead log *before* it touches the core, a background
+///   checkpointer bounds replay time, and recovery replays the log on
+///   top of the latest checkpoint (see `ctxpref-wal`).
 pub struct CtxPrefService {
     db: Arc<ShardedMultiUserDb>,
     cfg: ServiceConfig,
@@ -121,6 +168,9 @@ pub struct CtxPrefService {
     shutting_down: Arc<AtomicBool>,
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    durable: Option<Arc<DurableDb>>,
+    maintenance: Vec<(mpsc::Sender<()>, JoinHandle<()>)>,
+    recovered_lsn: u64,
 }
 
 impl std::fmt::Debug for CtxPrefService {
@@ -141,7 +191,42 @@ impl CtxPrefService {
     /// Serve an already-sharded core with `cfg` (`cfg.shards` is
     /// ignored; the core keeps its stripe count).
     pub fn new_sharded(db: ShardedMultiUserDb, cfg: ServiceConfig) -> Self {
-        let db = Arc::new(db);
+        Self::new_arc(Arc::new(db), cfg)
+    }
+
+    /// Serve `db` with `cfg`, logging every mutation to a fresh durable
+    /// directory per `dcfg` before applying it. Fails with
+    /// [`ctxpref_wal::WalError::AlreadyExists`] if the directory already
+    /// holds a durable database — [`Self::recover`] it instead.
+    pub fn new_durable(
+        db: MultiUserDb,
+        cfg: ServiceConfig,
+        dcfg: DurabilityConfig,
+    ) -> Result<Self, ServiceError> {
+        let db = Arc::new(ShardedMultiUserDb::from_db(db, cfg.shards));
+        let durable = Arc::new(DurableDb::create(&dcfg.dir, Arc::clone(&db), dcfg.wal_options())?);
+        let mut service = Self::new_arc(db, cfg);
+        service.attach_durability(durable, &dcfg);
+        Ok(service)
+    }
+
+    /// Recover a durable directory — load the manifest's checkpoint,
+    /// replay each shard's live log segments, repair a torn tail — and
+    /// serve the recovered database; further mutations append to the
+    /// same log.
+    pub fn recover(
+        cfg: ServiceConfig,
+        dcfg: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let (durable, report) = DurableDb::recover(&dcfg.dir, dcfg.wal_options())?;
+        let durable = Arc::new(durable);
+        let mut service = Self::new_arc(Arc::clone(durable.db()), cfg);
+        service.recovered_lsn = report.recovered_lsn();
+        service.attach_durability(durable, &dcfg);
+        Ok((service, report))
+    }
+
+    fn new_arc(db: Arc<ShardedMultiUserDb>, cfg: ServiceConfig) -> Self {
         let counters = Arc::new(Counters::default());
         let in_flight = Arc::new(AtomicUsize::new(0));
         let shutting_down = Arc::new(AtomicBool::new(false));
@@ -167,7 +252,54 @@ impl CtxPrefService {
             shutting_down,
             sender: Some(sender),
             workers,
+            durable: None,
+            maintenance: Vec::new(),
+            recovered_lsn: 0,
         }
+    }
+
+    /// Wire `durable` into the service: mutations route through the log
+    /// from here on, and the background maintenance threads start (a
+    /// checkpointer, plus a flusher when group commit is configured).
+    fn attach_durability(&mut self, durable: Arc<DurableDb>, dcfg: &DurabilityConfig) {
+        if let Some(interval) = dcfg.checkpoint_interval {
+            let db = Arc::clone(&durable);
+            let counters = Arc::clone(&self.counters);
+            let (stop, stopped) = mpsc::channel::<()>();
+            let handle = std::thread::Builder::new()
+                .name("ctxpref-checkpointer".to_string())
+                .spawn(move || {
+                    // recv_timeout disconnects when the service drops
+                    // its stop sender — that is the shutdown signal.
+                    while let Err(mpsc::RecvTimeoutError::Timeout) =
+                        stopped.recv_timeout(interval)
+                    {
+                        let db = Arc::clone(&db);
+                        let ok = catch_unwind(AssertUnwindSafe(move || db.checkpoint().is_ok()));
+                        if matches!(ok, Ok(true)) {
+                            counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+                .expect("spawning the checkpointer thread");
+            self.maintenance.push((stop, handle));
+        }
+        if let SyncPolicy::GroupCommit { flush_interval } = dcfg.sync {
+            let db = Arc::clone(&durable);
+            let (stop, stopped) = mpsc::channel::<()>();
+            let handle = std::thread::Builder::new()
+                .name("ctxpref-wal-flusher".to_string())
+                .spawn(move || {
+                    while let Err(mpsc::RecvTimeoutError::Timeout) =
+                        stopped.recv_timeout(flush_interval)
+                    {
+                        let _ = db.flush();
+                    }
+                })
+                .expect("spawning the WAL flusher thread");
+            self.maintenance.push((stop, handle));
+        }
+        self.durable = Some(durable);
     }
 
     /// Load a multi-user database from `path` (retrying transient I/O
@@ -190,9 +322,22 @@ impl CtxPrefService {
         &self.cfg
     }
 
-    /// A snapshot of the service counters.
+    /// A snapshot of the service counters, with the durability figures
+    /// (WAL appends, group-commit batches, recovered LSN) overlaid when
+    /// the service runs durably.
     pub fn stats(&self) -> ServiceStats {
-        self.counters.snapshot()
+        let mut stats = self.counters.snapshot();
+        if let Some(d) = &self.durable {
+            stats.wal_appends = d.wal_appends();
+            stats.group_commit_batches = d.group_commit_batches();
+        }
+        stats.recovered_lsn = self.recovered_lsn;
+        stats
+    }
+
+    /// Whether mutations are logged to a durable directory.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
     }
 
     /// Requests currently queued or executing.
@@ -302,19 +447,39 @@ impl CtxPrefService {
         }
     }
 
-    /// Register a user with an empty profile.
+    /// Register a user with an empty profile. On a durable service the
+    /// registration is logged before the core changes (as is every
+    /// mutation below).
     pub fn add_user(&self, name: &str) -> Result<(), ServiceError> {
-        Ok(self.db.add_user(name)?)
+        match &self.durable {
+            Some(d) => {
+                d.add_user(name)?;
+                Ok(())
+            }
+            None => Ok(self.db.add_user(name)?),
+        }
     }
 
     /// Register a user with an initial profile.
     pub fn add_user_with_profile(&self, name: &str, profile: Profile) -> Result<(), ServiceError> {
-        Ok(self.db.add_user_with_profile(name, profile)?)
+        match &self.durable {
+            Some(d) => {
+                d.add_user_with_profile(name, profile)?;
+                Ok(())
+            }
+            None => Ok(self.db.add_user_with_profile(name, profile)?),
+        }
     }
 
     /// Remove a user, returning their profile.
     pub fn remove_user(&self, name: &str) -> Result<Profile, ServiceError> {
-        Ok(self.db.remove_user(name)?)
+        match &self.durable {
+            Some(d) => {
+                let (_ack, profile) = d.remove_user(name)?;
+                Ok(profile)
+            }
+            None => Ok(self.db.remove_user(name)?),
+        }
     }
 
     /// Insert a preference for one user (write-locks only their shard).
@@ -323,7 +488,13 @@ impl CtxPrefService {
         user: &str,
         pref: ContextualPreference,
     ) -> Result<(), ServiceError> {
-        Ok(self.db.insert_preference(user, pref)?)
+        match &self.durable {
+            Some(d) => {
+                d.insert_preference(user, pref)?;
+                Ok(())
+            }
+            None => Ok(self.db.insert_preference(user, pref)?),
+        }
     }
 
     /// Insert an equality preference for one user from its textual
@@ -336,7 +507,14 @@ impl CtxPrefService {
         value: ctxpref_relation::Value,
         score: f64,
     ) -> Result<(), ServiceError> {
-        Ok(self.db.insert_preference_eq(user, descriptor, attr, value, score)?)
+        match &self.durable {
+            Some(d) => {
+                let pref = self.build_eq_preference(descriptor, attr, value, score)?;
+                d.insert_preference(user, pref)?;
+                Ok(())
+            }
+            None => Ok(self.db.insert_preference_eq(user, descriptor, attr, value, score)?),
+        }
     }
 
     /// Remove one user's preference by index.
@@ -345,7 +523,13 @@ impl CtxPrefService {
         user: &str,
         index: usize,
     ) -> Result<ContextualPreference, ServiceError> {
-        Ok(self.db.remove_preference(user, index)?)
+        match &self.durable {
+            Some(d) => {
+                let (_ack, pref) = d.remove_preference(user, index)?;
+                Ok(pref)
+            }
+            None => Ok(self.db.remove_preference(user, index)?),
+        }
     }
 
     /// Update the score of one user's preference by index.
@@ -355,7 +539,57 @@ impl CtxPrefService {
         index: usize,
         score: f64,
     ) -> Result<(), ServiceError> {
-        Ok(self.db.update_preference_score(user, index, score)?)
+        match &self.durable {
+            Some(d) => {
+                d.update_preference_score(user, index, score)?;
+                Ok(())
+            }
+            None => Ok(self.db.update_preference_score(user, index, score)?),
+        }
+    }
+
+    /// Validate an equality preference's textual parts against the live
+    /// environment and schema (mirrors the core's
+    /// `insert_preference_eq`, but builds the value so it can be logged
+    /// before it is applied).
+    fn build_eq_preference(
+        &self,
+        descriptor: &str,
+        attr: &str,
+        value: ctxpref_relation::Value,
+        score: f64,
+    ) -> Result<ContextualPreference, CoreError> {
+        let cod = parse_descriptor(self.db.env(), descriptor)?;
+        let clause = AttributeClause::new(
+            self.db.relation().schema().require_attr(attr)?,
+            CompareOp::Eq,
+            value,
+        );
+        Ok(ContextualPreference::new(cod, clause, score)?)
+    }
+
+    /// Take a checkpoint now: snapshot the database next to the log,
+    /// rotate the per-shard segments, atomically swap the manifest, and
+    /// garbage-collect old generations. Fails with
+    /// [`ServiceError::NotDurable`] on a non-durable service.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, ServiceError> {
+        let durable = self.durable.as_ref().ok_or(ServiceError::NotDurable)?;
+        let report = durable.checkpoint()?;
+        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Fsync all pending group-commit WAL records, returning how many
+    /// became durable.
+    pub fn flush_wal(&self) -> Result<u64, ServiceError> {
+        let durable = self.durable.as_ref().ok_or(ServiceError::NotDurable)?;
+        Ok(durable.flush()?)
+    }
+
+    /// Per-shard WAL positions plus append/batch/rotation totals.
+    pub fn wal_status(&self) -> Result<WalStatus, ServiceError> {
+        let durable = self.durable.as_ref().ok_or(ServiceError::NotDurable)?;
+        Ok(durable.wal_status())
     }
 
     /// One user's query-cache statistics.
@@ -404,10 +638,24 @@ impl CtxPrefService {
 
     fn stop(&mut self) {
         self.shutting_down.store(true, Ordering::Release);
+        // Maintenance first: dropping a stop sender disconnects that
+        // thread's recv_timeout loop.
+        for (stop, handle) in self.maintenance.drain(..) {
+            drop(stop);
+            let _ = handle.join();
+        }
+        if let Some(d) = &self.durable {
+            // Best-effort: make pending group-commit records durable on
+            // a clean shutdown.
+            let _ = d.flush();
+        }
         self.sender.take(); // closing the channel stops the workers
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Released last so shutdown()'s Arc::try_unwrap on the database
+        // sees the service as the sole owner.
+        self.durable = None;
     }
 }
 

@@ -15,6 +15,7 @@ pub(crate) struct Counters {
     pub errors: AtomicU64,
     pub lock_wait_micros: AtomicU64,
     pub deadline_after_lock: AtomicU64,
+    pub checkpoints: AtomicU64,
 }
 
 impl Counters {
@@ -32,6 +33,12 @@ impl Counters {
             errors: self.errors.load(Ordering::Relaxed),
             lock_wait_micros: self.lock_wait_micros.load(Ordering::Relaxed),
             deadline_after_lock: self.deadline_after_lock.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            // Durability figures live on the WAL, not in these atomics;
+            // `CtxPrefService::stats` overlays them after this snapshot.
+            wal_appends: 0,
+            group_commit_batches: 0,
+            recovered_lsn: 0,
         }
     }
 }
@@ -66,6 +73,16 @@ pub struct ServiceStats {
     /// lock* (caught by the post-acquisition re-check, so no query ran
     /// against an already-dead request).
     pub deadline_after_lock: u64,
+    /// Checkpoints taken (manual and background) since start.
+    pub checkpoints: u64,
+    /// Records appended to the write-ahead log since start (0 when the
+    /// service runs without durability).
+    pub wal_appends: u64,
+    /// Group-commit fsync batches that synced at least one record.
+    pub group_commit_batches: u64,
+    /// Sum of per-shard LSNs recovered at startup (0 for a fresh or
+    /// non-durable service) — how much log survived the last crash.
+    pub recovered_lsn: u64,
 }
 
 impl ServiceStats {

@@ -155,6 +155,8 @@ fn storm_of_mixed_faults_upholds_the_service_guarantees() {
                                 | ServiceError::QueryPanicked { .. }
                                 | ServiceError::Core(_)
                                 | ServiceError::Storage(_)
+                                | ServiceError::Wal(_)
+                                | ServiceError::NotDurable
                                 | ServiceError::ShuttingDown,
                             ) => {
                                 err_count.fetch_add(1, Ordering::Relaxed);

@@ -47,8 +47,12 @@ mod writer;
 
 pub use error::StorageError;
 pub use escape::{escape, unescape};
-pub use reader::{read_database, read_hierarchy, read_multi_user, read_profile, read_relation};
-pub use writer::{write_database, write_hierarchy, write_multi_user, write_profile, write_relation};
+pub use reader::{
+    parse_pref_tokens, read_database, read_hierarchy, read_multi_user, read_profile, read_relation,
+};
+pub use writer::{
+    pref_tokens, write_database, write_hierarchy, write_multi_user, write_profile, write_relation,
+};
 
 use std::fs::File;
 use std::io::Write;
@@ -60,8 +64,9 @@ use ctxpref_core::{ContextualDb, MultiUserDb};
 /// Magic header of the format.
 pub const HEADER: &str = "ctxpref v1";
 
-/// FNV-1a 64 over raw bytes — the body checksum recorded in saved files.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64 over raw bytes — the body checksum recorded in saved
+/// files and in write-ahead-log record frames.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);

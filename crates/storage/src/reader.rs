@@ -187,19 +187,19 @@ fn read_relation_body<I: Iterator<Item = std::io::Result<String>>>(
                 attrs.push((untoken(line, aname)?, parse_type(line, ty)?));
             }
             ["t", rest @ ..] => {
-                if rel.is_none() {
-                    let borrowed: Vec<(&str, AttrType)> =
-                        attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
-                    let schema =
-                        Schema::new(&borrowed).map_err(|e| StorageError::model(line, e))?;
-                    rel = Some(Relation::new(name, schema));
-                }
+                let r = match rel.as_mut() {
+                    Some(r) => r,
+                    None => {
+                        let borrowed: Vec<(&str, AttrType)> =
+                            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                        let schema =
+                            Schema::new(&borrowed).map_err(|e| StorageError::model(line, e))?;
+                        rel.insert(Relation::new(name, schema))
+                    }
+                };
                 let values: Vec<Value> =
                     rest.iter().map(|t| parse_value(line, t)).collect::<Result<_, _>>()?;
-                rel.as_mut()
-                    .unwrap()
-                    .insert(values)
-                    .map_err(|e| StorageError::model(line, e))?;
+                r.insert(values).map_err(|e| StorageError::model(line, e))?;
             }
             _ => return Err(StorageError::syntax(line, "expected `attr …` or `t …`")),
         }
@@ -305,6 +305,18 @@ fn parse_pref(
     }
     ContextualPreference::new(cod, AttributeClause::new(attr, op, value), score)
         .map_err(|e| StorageError::model(line, e))
+}
+
+/// Parse the token list of one serialized preference — a `pref` line
+/// minus the leading keyword — against an existing environment and
+/// relation. Inverse of [`crate::pref_tokens`]; the write-ahead log
+/// reuses this to decode mutation payloads.
+pub fn parse_pref_tokens(
+    tokens: &[&str],
+    env: &ContextEnvironment,
+    rel: &Relation,
+) -> Result<ContextualPreference, StorageError> {
+    parse_pref(0, tokens, env, rel)
 }
 
 /// Read one standalone profile section (starting at its `profile` line)

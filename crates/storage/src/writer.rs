@@ -82,6 +82,50 @@ pub fn write_relation(w: &mut impl Write, rel: &Relation) -> Result<(), StorageE
     Ok(())
 }
 
+/// Serialize one preference as the token list of a `pref` line (minus
+/// the leading keyword): `<score> <attr> <op> <value>` followed by the
+/// descriptor's structural clauses (`eq` / `in` / `range` with value
+/// names, so arbitrary names round-trip without quoting rules).
+/// Inverse of [`crate::parse_pref_tokens`]; the write-ahead log reuses
+/// this to encode mutation payloads.
+pub fn pref_tokens(
+    pref: &ctxpref_profile::ContextualPreference,
+    env: &ctxpref_context::ContextEnvironment,
+    rel: &Relation,
+) -> String {
+    let clause = pref.clause();
+    let mut line = format!(
+        "{:?} {} {} {}",
+        pref.score(),
+        escape(rel.schema().attr_name(clause.attr)),
+        op_token(clause.op),
+        value_token(&clause.value),
+    );
+    for (p, pd) in pref.descriptor().clauses() {
+        let h = env.hierarchy(p);
+        line.push_str(&format!(" {}", escape(h.name())));
+        match pd {
+            ctxpref_context::ParameterDescriptor::Eq(v) => {
+                line.push_str(&format!(" eq {}", escape(h.value_name(*v))));
+            }
+            ctxpref_context::ParameterDescriptor::In(vs) => {
+                line.push_str(&format!(" in {}", vs.len()));
+                for v in vs {
+                    line.push_str(&format!(" {}", escape(h.value_name(*v))));
+                }
+            }
+            ctxpref_context::ParameterDescriptor::Range(a, b) => {
+                line.push_str(&format!(
+                    " range {} {}",
+                    escape(h.value_name(*a)),
+                    escape(h.value_name(*b))
+                ));
+            }
+        }
+    }
+    line
+}
+
 /// Write a profile as a `profile … end` section. Descriptor clauses are
 /// serialized structurally (`eq` / `in` / `range` with value names) so
 /// arbitrary names round-trip without quoting rules.
@@ -89,37 +133,7 @@ pub fn write_profile(w: &mut impl Write, profile: &Profile, rel: &Relation) -> R
     let env = profile.env();
     writeln!(w, "profile")?;
     for pref in profile.iter() {
-        let clause = pref.clause();
-        let mut line = format!(
-            "pref {:?} {} {} {}",
-            pref.score(),
-            escape(rel.schema().attr_name(clause.attr)),
-            op_token(clause.op),
-            value_token(&clause.value),
-        );
-        for (p, pd) in pref.descriptor().clauses() {
-            let h = env.hierarchy(p);
-            line.push_str(&format!(" {}", escape(h.name())));
-            match pd {
-                ctxpref_context::ParameterDescriptor::Eq(v) => {
-                    line.push_str(&format!(" eq {}", escape(h.value_name(*v))));
-                }
-                ctxpref_context::ParameterDescriptor::In(vs) => {
-                    line.push_str(&format!(" in {}", vs.len()));
-                    for v in vs {
-                        line.push_str(&format!(" {}", escape(h.value_name(*v))));
-                    }
-                }
-                ctxpref_context::ParameterDescriptor::Range(a, b) => {
-                    line.push_str(&format!(
-                        " range {} {}",
-                        escape(h.value_name(*a)),
-                        escape(h.value_name(*b))
-                    ));
-                }
-            }
-        }
-        writeln!(w, "{line}")?;
+        writeln!(w, "pref {}", pref_tokens(pref, env, rel))?;
     }
     writeln!(w, "end")?;
     Ok(())

@@ -42,6 +42,38 @@ impl Drop for TempPath {
     }
 }
 
+/// Three users with a handful of hand-built preferences each (distinct
+/// scores, one multi-parameter descriptor) over a tiny relation: a
+/// genuinely multi-user checksummed file that stays small enough for
+/// the O(file²) byte fuzzes.
+fn tiny_multi_user_db() -> MultiUserDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 3, 1);
+    let mut db = MultiUserDb::new(env.clone(), rel, 4);
+    for (i, name) in ["user0", "user1", "user2"].into_iter().enumerate() {
+        db.add_user(name).unwrap();
+        db.insert_preference_eq(
+            name,
+            "accompanying_people = friends",
+            "type",
+            "museum".into(),
+            0.2 + i as f64 / 10.0,
+        )
+        .unwrap();
+        db.insert_preference_eq(name, "temperature = warm", "type", "park".into(), 0.9)
+            .unwrap();
+    }
+    db.insert_preference_eq(
+        "user1",
+        "location = Plaka and temperature = hot",
+        "type",
+        "bar".into(),
+        0.55,
+    )
+    .unwrap();
+    db
+}
+
 fn study_db(users: usize) -> MultiUserDb {
     let env = poi_env();
     let rel = poi_relation(&env, 7, 4);
@@ -98,22 +130,26 @@ fn files_without_checksum_still_load() {
     assert_eq!(restored.users_sorted(), db.users_sorted());
 }
 
-/// The truncation fuzz of the satellite task: for EVERY prefix of a
-/// saved file, the reader returns a `StorageError` (or, for the rare
-/// prefix that happens to be well-formed, a database) — it never
-/// panics. And the checksum rejects every strict prefix at load time.
+/// The truncation fuzz of the satellite task, on a genuinely
+/// multi-user checksummed file (three users with distinct demographic
+/// profiles, so the cut can land inside any user section, between two
+/// `user` headers, or mid-preference): for EVERY prefix of the saved
+/// file, the reader returns a `StorageError` (or, for the rare prefix
+/// that happens to be well-formed, a database) — it never panics. And
+/// the checksum rejects every strict prefix at load time.
 #[test]
 fn reader_never_panics_on_any_prefix() {
     let path = TempPath::new("fuzz");
-    // Small database: the fuzz is O(file²) since every prefix is parsed.
-    let env = poi_env();
-    let rel = poi_relation(&env, 3, 2);
-    let mut db = MultiUserDb::new(env.clone(), rel, 4);
-    let demo = all_demographics().into_iter().next().unwrap();
-    let profile = default_profile(&env, db.relation(), demo);
-    db.add_user_with_profile("solo", profile).unwrap();
+    // Small relation, three small hand-built profiles: the fuzz is
+    // O(file²) since every prefix is parsed, so the file must stay a
+    // few KB (the demographic default profiles would be ~60
+    // preferences each and blow the runtime up ~10×).
+    let db = tiny_multi_user_db();
     save_multi_user(&path.0, &db).unwrap();
     let bytes = std::fs::read(&path.0).unwrap();
+    // The cut points genuinely span all three user sections.
+    let body = String::from_utf8(bytes.clone()).unwrap();
+    assert_eq!(body.matches("\nuser ").count(), 3, "expected a three-user file:\n{body}");
 
     let truncated = TempPath::new("fuzz-prefix");
     for len in 0..bytes.len() {
@@ -133,8 +169,54 @@ fn reader_never_panics_on_any_prefix() {
             );
         }
     }
-    // Sanity: the untruncated file does load.
-    assert!(load_multi_user(&path.0).is_ok());
+    // Sanity: the untruncated file does load, with all three profiles.
+    let restored = load_multi_user(&path.0).unwrap();
+    assert_eq!(restored.user_count(), 3);
+    for i in 0..3 {
+        let user = format!("user{i}");
+        assert_eq!(
+            restored.profile(&user).unwrap().len(),
+            db.profile(&user).unwrap().len(),
+            "{user} profile shrank"
+        );
+    }
+}
+
+/// Same property under in-body corruption instead of truncation: flip
+/// one byte at a stride of positions across the whole multi-user file —
+/// the reader never panics, and the checksummed load path never
+/// accepts the damaged bytes as the saved database.
+#[test]
+fn reader_never_panics_on_flipped_bytes() {
+    let path = TempPath::new("flip");
+    let db = tiny_multi_user_db();
+    save_multi_user(&path.0, &db).unwrap();
+    let bytes = std::fs::read(&path.0).unwrap();
+    let users = db.users_sorted();
+
+    let damaged_path = TempPath::new("flip-out");
+    for pos in (0..bytes.len()).step_by(7) {
+        for flip in [0x01u8, 0x20] {
+            let mut damaged = bytes.clone();
+            damaged[pos] ^= flip;
+            let parsed =
+                catch_unwind(AssertUnwindSafe(|| read_multi_user(&damaged[..]).map(drop)));
+            assert!(parsed.is_ok(), "reader panicked on byte {pos} flipped by {flip:#04x}");
+            std::fs::write(&damaged_path.0, &damaged).unwrap();
+            // Either the checksum rejects the damage, or the flip
+            // landed somewhere semantically inert (e.g. inside a user
+            // name, which the checksum DOES catch, or produced an
+            // equivalent parse) — but a *successful* load may never
+            // misattribute profiles.
+            if let Ok(loaded) = load_multi_user(&damaged_path.0) {
+                assert_eq!(
+                    loaded.users_sorted(),
+                    users,
+                    "flip at {pos} (by {flip:#04x}) changed the user set but still loaded"
+                );
+            }
+        }
+    }
 }
 
 /// Kill-during-save: an injected partial write fails the save and

@@ -1,0 +1,417 @@
+//! [`DurableDb`]: the sharded serving core wired to a write-ahead log
+//! and checkpoint manifests.
+//!
+//! Every mutation is **logged first, applied second**, both under the
+//! target shard's WAL mutex, so per-shard replay order is exactly apply
+//! order. The on-disk layout under the durable directory:
+//!
+//! ```text
+//! MANIFEST              — checksummed recovery root (atomic swap)
+//! checkpoint-<gen>.db   — snapshot in the `ctxpref v1` save format
+//! shard-<i>/seg-*.wal   — that shard's segmented log
+//! ```
+//!
+//! Recovery = load the manifest's checkpoint, then per shard replay the
+//! live segments in LSN order, tolerating exactly one torn tail per
+//! shard (repaired in place) and refusing anything that looks like
+//! mid-log corruption.
+//!
+//! There is deliberately **no flush-on-drop**: dropping a `DurableDb`
+//! models a crash, which is precisely what the recovery fuzz harness
+//! needs. Orderly shutdown calls [`DurableDb::flush`] explicitly.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ctxpref_core::{MultiUserDb, ShardedMultiUserDb};
+use ctxpref_profile::Profile;
+use ctxpref_storage::{load_multi_user, save_multi_user};
+use parking_lot::Mutex;
+
+use crate::error::{DurableError, WalError};
+use crate::manifest::{checkpoint_file_name, Manifest, ShardManifest};
+use crate::record::WalOp;
+use crate::segment::{
+    list_segments, scan_segment, segment_header, segment_path, SEGMENT_HEADER,
+};
+use crate::wal::{ShardPosition, Wal, WalOptions, WalStatus};
+
+/// The acknowledgement of one durable mutation.
+#[derive(Debug, Clone, Copy)]
+pub struct Ack {
+    /// The WAL shard (== core stripe) that logged the op.
+    pub shard: usize,
+    /// The LSN the op received on that shard.
+    pub lsn: u64,
+    /// Whether the op is already on disk (always `true` under
+    /// per-record sync; under group commit only after the next flush).
+    pub durable: bool,
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Generation of the checkpoint recovery started from.
+    pub generation: u64,
+    /// Highest recovered LSN per shard (0 = nothing past bootstrap).
+    pub shard_lsns: Vec<u64>,
+    /// Log records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Replayed records the database rejected (it rejected them
+    /// identically when they were first applied — rejection is
+    /// deterministic, so this is not an error).
+    pub rejected: u64,
+    /// Torn segment tails truncated during the scan.
+    pub truncated_tails: u64,
+}
+
+impl RecoveryReport {
+    /// Sum of the per-shard recovered LSNs — a single monotone
+    /// "how much log survived" figure for stats and the CLI.
+    pub fn recovered_lsn(&self) -> u64 {
+        self.shard_lsns.iter().sum()
+    }
+}
+
+/// What one checkpoint pass did.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport {
+    /// The new checkpoint generation.
+    pub generation: u64,
+    /// Users captured in the snapshot.
+    pub users: usize,
+}
+
+/// A [`ShardedMultiUserDb`] whose mutations are write-ahead logged and
+/// periodically checkpointed.
+#[derive(Debug)]
+pub struct DurableDb {
+    dir: PathBuf,
+    db: Arc<ShardedMultiUserDb>,
+    wal: Wal,
+    manifest: Mutex<Manifest>,
+    /// Serializes checkpoints (the shard loop must not interleave with
+    /// another checkpoint's rotations).
+    checkpoint_lock: Mutex<()>,
+}
+
+impl DurableDb {
+    /// Bootstrap a fresh durable directory around `db`'s current
+    /// contents: write checkpoint generation 0, create the per-shard
+    /// logs, then publish the manifest. Fails with
+    /// [`WalError::AlreadyExists`] if `dir` already has a manifest.
+    pub fn create(
+        dir: &Path,
+        db: Arc<ShardedMultiUserDb>,
+        opts: WalOptions,
+    ) -> Result<Self, WalError> {
+        if dir.join(crate::manifest::MANIFEST_FILE).exists() {
+            return Err(WalError::AlreadyExists { dir: dir.to_path_buf() });
+        }
+        std::fs::create_dir_all(dir)?;
+        let snapshot = db.snapshot();
+        save_multi_user(dir.join(checkpoint_file_name(0)), &snapshot)?;
+        let wal = Wal::create(dir, db.num_shards(), opts)?;
+        let manifest = Manifest::bootstrap(db.num_shards());
+        manifest.save(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            db,
+            wal,
+            manifest: Mutex::new(manifest),
+            checkpoint_lock: Mutex::new(()),
+        })
+    }
+
+    /// Recover a durable directory: load the manifest's checkpoint,
+    /// replay each shard's live segments, repair torn tails, and open
+    /// the log for appending where replay ended.
+    pub fn recover(dir: &Path, opts: WalOptions) -> Result<(Self, RecoveryReport), WalError> {
+        let manifest = Manifest::load(dir)?;
+        let mut db = load_multi_user(manifest.checkpoint_path(dir))?;
+        let num_shards = manifest.shards.len();
+
+        let mut report = RecoveryReport {
+            generation: manifest.generation,
+            shard_lsns: vec![0; num_shards],
+            replayed: 0,
+            rejected: 0,
+            truncated_tails: 0,
+        };
+        let mut positions = Vec::with_capacity(num_shards);
+        for (shard, bounds) in manifest.shards.iter().enumerate() {
+            let pos = replay_shard(dir, shard, *bounds, &mut db, &mut report)?;
+            report.shard_lsns[shard] = pos.next_lsn - 1;
+            positions.push(pos);
+        }
+
+        let wal = Wal::open(dir, opts, &positions)?;
+        let db = Arc::new(ShardedMultiUserDb::from_db(db, num_shards));
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                db,
+                wal,
+                manifest: Mutex::new(manifest),
+                checkpoint_lock: Mutex::new(()),
+            },
+            report,
+        ))
+    }
+
+    /// The live serving core (shared with whoever serves queries).
+    pub fn db(&self) -> &Arc<ShardedMultiUserDb> {
+        &self.db
+    }
+
+    /// The durable directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current manifest (checkpoint generation and replay bounds).
+    pub fn manifest(&self) -> Manifest {
+        self.manifest.lock().clone()
+    }
+
+    /// Point-in-time WAL status.
+    pub fn wal_status(&self) -> WalStatus {
+        self.wal.status()
+    }
+
+    /// Total records appended since open.
+    pub fn wal_appends(&self) -> u64 {
+        self.wal.appends()
+    }
+
+    /// Total group-commit batches synced since open.
+    pub fn group_commit_batches(&self) -> u64 {
+        self.wal.batches()
+    }
+
+    /// Log one operation, then apply it. The shard's WAL mutex is held
+    /// across both, so replay order equals apply order. If the database
+    /// rejects the op it stays on the log — replay rejects it
+    /// identically, because rejection is deterministic in the db state,
+    /// which is itself determined by the log prefix.
+    pub fn apply(&self, op: &WalOp) -> Result<Ack, DurableError> {
+        let shard = self.db.shard_of(op.user());
+        let payload = op.encode(self.db.env(), self.db.relation());
+        let mut guard = self.wal.shard(shard);
+        let ack = guard.append(&payload)?;
+        op.apply_sharded(&self.db)?;
+        Ok(Ack { shard, lsn: ack.lsn, durable: ack.durable })
+    }
+
+    /// Durably register a user with an empty profile.
+    pub fn add_user(&self, user: &str) -> Result<Ack, DurableError> {
+        self.apply(&WalOp::AddUser { user: user.to_string() })
+    }
+
+    /// Durably register a user and insert each preference of `profile`.
+    /// Logged as one `AddUser` plus one `InsertPreference` per
+    /// preference; a rejected preference aborts the remainder (the user
+    /// stays registered with the prefix that was accepted, exactly as
+    /// replay will reconstruct).
+    pub fn add_user_with_profile(&self, user: &str, profile: Profile) -> Result<Ack, DurableError> {
+        let mut ack = self.add_user(user)?;
+        for pref in profile.preferences() {
+            ack = self.insert_preference(user, pref.clone())?;
+        }
+        Ok(ack)
+    }
+
+    /// Durably remove a user, returning their profile.
+    pub fn remove_user(&self, user: &str) -> Result<(Ack, Profile), DurableError> {
+        let op = WalOp::RemoveUser { user: user.to_string() };
+        let shard = self.db.shard_of(user);
+        let payload = op.encode(self.db.env(), self.db.relation());
+        let mut guard = self.wal.shard(shard);
+        let ack = guard.append(&payload)?;
+        let profile = self.db.remove_user(user)?;
+        Ok((Ack { shard, lsn: ack.lsn, durable: ack.durable }, profile))
+    }
+
+    /// Durably insert a preference.
+    pub fn insert_preference(
+        &self,
+        user: &str,
+        pref: ctxpref_profile::ContextualPreference,
+    ) -> Result<Ack, DurableError> {
+        self.apply(&WalOp::InsertPreference { user: user.to_string(), pref })
+    }
+
+    /// Durably remove the preference at `index`, returning it.
+    pub fn remove_preference(
+        &self,
+        user: &str,
+        index: usize,
+    ) -> Result<(Ack, ctxpref_profile::ContextualPreference), DurableError> {
+        let op = WalOp::RemovePreference { user: user.to_string(), index };
+        let shard = self.db.shard_of(user);
+        let payload = op.encode(self.db.env(), self.db.relation());
+        let mut guard = self.wal.shard(shard);
+        let ack = guard.append(&payload)?;
+        let pref = self.db.remove_preference(user, index)?;
+        Ok((Ack { shard, lsn: ack.lsn, durable: ack.durable }, pref))
+    }
+
+    /// Durably re-score the preference at `index`.
+    pub fn update_preference_score(
+        &self,
+        user: &str,
+        index: usize,
+        score: f64,
+    ) -> Result<Ack, DurableError> {
+        self.apply(&WalOp::UpdateScore { user: user.to_string(), index, score })
+    }
+
+    /// Fsync all pending group-commit records. Returns how many became
+    /// durable.
+    pub fn flush(&self) -> Result<u64, WalError> {
+        self.wal.flush_all()
+    }
+
+    /// Take a checkpoint: per shard — under its WAL mutex — flush,
+    /// rotate, record the boundary LSN, and snapshot the matching core
+    /// stripe (WAL shards and core stripes use the same user fold, so
+    /// the pairing is exact). Then write the snapshot, atomically swap
+    /// the manifest, and garbage-collect everything the new manifest no
+    /// longer references. A crash anywhere before the swap leaves the
+    /// old manifest governing recovery; the stale files it still
+    /// references are untouched by construction.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, WalError> {
+        let _one_at_a_time = self.checkpoint_lock.lock();
+        let generation = self.manifest.lock().generation + 1;
+
+        let mut snap = self.db.snapshot_begin();
+        let mut shards = Vec::with_capacity(self.wal.num_shards());
+        for ix in 0..self.wal.num_shards() {
+            let mut guard = self.wal.shard(ix);
+            guard.flush()?;
+            let last_lsn = guard.next_lsn() - 1;
+            let first_live_segment = guard.rotate()?;
+            self.db.snapshot_stripe(ix, &mut snap);
+            shards.push(ShardManifest { last_lsn, first_live_segment });
+        }
+        let snapshot = snap.finish();
+        let users = snapshot.user_count();
+
+        let checkpoint = checkpoint_file_name(generation);
+        save_multi_user(self.dir.join(&checkpoint), &snapshot)?;
+        let manifest = Manifest { generation, checkpoint, shards };
+        manifest.save(&self.dir)?;
+        *self.manifest.lock() = manifest.clone();
+
+        self.collect_garbage(&manifest);
+        Ok(CheckpointReport { generation, users })
+    }
+
+    /// Delete checkpoints of older generations and segments below each
+    /// shard's `first_live_segment`. Best-effort: a file that refuses
+    /// to die is retried by the next checkpoint's GC.
+    fn collect_garbage(&self, manifest: &Manifest) {
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let stale = name
+                    .strip_prefix("checkpoint-")
+                    .and_then(|r| r.strip_suffix(".db"))
+                    .and_then(|g| g.parse::<u64>().ok())
+                    .is_some_and(|g| g < manifest.generation);
+                if stale {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        for (shard, bounds) in manifest.shards.iter().enumerate() {
+            let Ok(segs) = list_segments(&self.dir, shard) else { continue };
+            for seg in segs.into_iter().filter(|&s| s < bounds.first_live_segment) {
+                let _ = std::fs::remove_file(segment_path(&self.dir, shard, seg));
+            }
+        }
+    }
+
+    /// Testing hook: simulate a power cut by truncating every shard's
+    /// segment to its fsynced prefix (what a real crash could lose).
+    #[doc(hidden)]
+    pub fn drop_unsynced_tails(&self) -> Result<(), WalError> {
+        for ix in 0..self.wal.num_shards() {
+            self.wal.shard(ix).drop_unsynced_tail()?;
+        }
+        Ok(())
+    }
+}
+
+/// Replay one shard's live segments into `db`, repairing a torn tail
+/// (or a headerless final segment) in place, and return where the WAL
+/// should continue appending.
+fn replay_shard(
+    dir: &Path,
+    shard: usize,
+    bounds: ShardManifest,
+    db: &mut MultiUserDb,
+    report: &mut RecoveryReport,
+) -> Result<ShardPosition, WalError> {
+    let segs: Vec<u64> = list_segments(dir, shard)?
+        .into_iter()
+        .filter(|&s| s >= bounds.first_live_segment)
+        .collect();
+    if segs.is_empty() {
+        return Err(WalError::Manifest {
+            reason: format!(
+                "shard {shard}: live segment {} named by the manifest is missing",
+                bounds.first_live_segment
+            ),
+        });
+    }
+
+    let mut next_lsn = bounds.last_lsn + 1;
+    let mut tail = ShardPosition { seg_no: 0, pos: 0, next_lsn };
+    for (i, &seg_no) in segs.iter().enumerate() {
+        let is_last = i == segs.len() - 1;
+        let path = segment_path(dir, shard, seg_no);
+        let scan = scan_segment(&path, shard, seg_no, is_last)?;
+        for rec in &scan.records {
+            if rec.lsn <= bounds.last_lsn {
+                continue; // Covered by the checkpoint snapshot.
+            }
+            if rec.lsn != next_lsn {
+                return Err(WalError::LsnGap { shard, expected: next_lsn, found: rec.lsn });
+            }
+            let op = WalOp::decode(&rec.payload, db.env(), db.relation())?;
+            if op.apply_multi(db).is_err() {
+                // The live path rejected this op identically when it
+                // was logged; rejection is deterministic in the state,
+                // which is itself determined by the log prefix.
+                report.rejected += 1;
+            }
+            report.replayed += 1;
+            next_lsn = rec.lsn + 1;
+        }
+        if is_last {
+            if scan.torn {
+                report.truncated_tails += 1;
+            }
+            let pos = if scan.header_ok {
+                if scan.torn {
+                    let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(scan.valid_len)?;
+                    f.sync_all()?;
+                }
+                scan.valid_len
+            } else {
+                // Crash between creating the segment and syncing its
+                // header: rebuild it empty.
+                let mut f = std::fs::OpenOptions::new().write(true).truncate(true).open(&path)?;
+                std::io::Write::write_all(&mut f, &segment_header(shard, seg_no))?;
+                f.sync_all()?;
+                SEGMENT_HEADER as u64
+            };
+            tail = ShardPosition { seg_no, pos, next_lsn };
+        }
+    }
+    tail.next_lsn = next_lsn;
+    Ok(tail)
+}

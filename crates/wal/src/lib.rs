@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Write-ahead logging, checkpoint manifests, and crash recovery for
+//! the sharded serving core.
+//!
+//! The durability story, bottom to top:
+//!
+//! * [`record`] — framed log records: `[len | lsn | checksum | payload]`
+//!   with an FNV-1a 64 checksum over the whole frame, and [`WalOp`],
+//!   the logged mutation vocabulary (text payloads in the `ctxpref v1`
+//!   token dialect).
+//! * [`segment`] — per-shard segment files (`shard-<i>/seg-<n>.wal`)
+//!   and the recovery scan with its torn-tail rule: damage at the very
+//!   end of a shard's last segment is a crash signature and is
+//!   truncated away; damage anywhere else is corruption and recovery
+//!   refuses to guess.
+//! * [`wal`] — the [`Wal`] itself: one mutex-guarded log per shard
+//!   (shards match the serving core's stripes), with
+//!   [`SyncPolicy::PerRecord`] fsync-per-append or
+//!   [`SyncPolicy::GroupCommit`] batched flushes, plus size-triggered
+//!   segment rotation.
+//! * [`manifest`] — the atomically-swapped [`Manifest`] naming the
+//!   current checkpoint generation and each shard's replay bounds.
+//! * [`durable`] — [`DurableDb`]: log-first mutations over the sharded
+//!   core, background-checkpointable ([`DurableDb::checkpoint`]
+//!   snapshots stripe-by-stripe under the matching WAL shard mutex,
+//!   rotates segments, swaps the manifest, and garbage-collects), and
+//!   [`DurableDb::recover`] = checkpoint + replay.
+//! * [`harness`] — the deterministic crash-recovery fuzz: seeded
+//!   workloads crashed at every registered fault site, recovered, and
+//!   checked against the acked-durability invariant.
+//!
+//! Fault sites (`wal.append.write`, `wal.append.sync`, `wal.rotate`,
+//! `manifest.swap`, plus the storage crate's `storage.save.*`) are
+//! threaded through [`ctxpref_faults`]; with no plan installed they
+//! cost one atomic load.
+
+pub mod durable;
+pub mod error;
+pub mod harness;
+pub mod manifest;
+pub mod record;
+pub mod segment;
+pub mod wal;
+
+pub use durable::{Ack, CheckpointReport, DurableDb, RecoveryReport};
+pub use error::{DurableError, WalError};
+pub use harness::{run_seed, FuzzConfig, FuzzReport};
+pub use manifest::{Manifest, ShardManifest};
+pub use record::WalOp;
+pub use wal::{AppendAck, ShardWalStatus, SyncPolicy, Wal, WalOptions, WalStatus};

@@ -1,0 +1,196 @@
+//! Record framing and operation payload encoding.
+//!
+//! Every mutating operation is logged as one framed record:
+//!
+//! ```text
+//! [u32 payload_len | u64 lsn | u64 checksum | payload…]      (little endian)
+//! ```
+//!
+//! The checksum is FNV-1a 64 over `payload_len ‖ lsn ‖ payload`, so a
+//! bit flip anywhere in the frame — including the length field — fails
+//! verification. Payloads are single text lines in the `ctxpref v1`
+//! token dialect (escaped names, structural preference clauses), so a
+//! log is greppable and the encoding reuses the storage crate's
+//! round-trip-tested serializers.
+
+use ctxpref_context::ContextEnvironment;
+use ctxpref_core::{CoreError, MultiUserDb, ShardedMultiUserDb};
+use ctxpref_profile::ContextualPreference;
+use ctxpref_relation::Relation;
+use ctxpref_storage::{escape, parse_pref_tokens, pref_tokens, unescape};
+
+use crate::error::WalError;
+
+/// Bytes of the per-record frame header: `u32` payload length, `u64`
+/// LSN, `u64` checksum.
+pub const FRAME_HEADER: usize = 4 + 8 + 8;
+
+/// Sanity cap on a single record payload. A length field above this is
+/// treated as frame damage, never as a real record.
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+
+fn fnv_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The frame checksum: FNV-1a 64 over length, LSN, and payload.
+pub fn frame_checksum(lsn: u64, payload: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv_update(h, &(payload.len() as u32).to_le_bytes());
+    h = fnv_update(h, &lsn.to_le_bytes());
+    fnv_update(h, payload)
+}
+
+/// Frame `payload` as the record carrying `lsn`.
+pub fn frame(lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.extend_from_slice(&frame_checksum(lsn, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One mutating operation of the multi-user database, as logged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Register `user` with an empty profile.
+    AddUser {
+        /// The user name.
+        user: String,
+    },
+    /// Remove `user` and their profile.
+    RemoveUser {
+        /// The user name.
+        user: String,
+    },
+    /// Insert a preference into `user`'s profile.
+    InsertPreference {
+        /// The user name.
+        user: String,
+        /// The preference to insert.
+        pref: ContextualPreference,
+    },
+    /// Remove `user`'s preference at `index`.
+    RemovePreference {
+        /// The user name.
+        user: String,
+        /// Position in the profile's preference list.
+        index: usize,
+    },
+    /// Re-score `user`'s preference at `index`.
+    UpdateScore {
+        /// The user name.
+        user: String,
+        /// Position in the profile's preference list.
+        index: usize,
+        /// The new interest score.
+        score: f64,
+    },
+}
+
+impl WalOp {
+    /// The user this operation targets (every logged op is per-user, so
+    /// the WAL shards by it).
+    pub fn user(&self) -> &str {
+        match self {
+            Self::AddUser { user }
+            | Self::RemoveUser { user }
+            | Self::InsertPreference { user, .. }
+            | Self::RemovePreference { user, .. }
+            | Self::UpdateScore { user, .. } => user,
+        }
+    }
+
+    /// Encode as a single text line (no trailing newline). Preferences
+    /// use the storage crate's `pref` token dialect, so the payload
+    /// round-trips exactly like a saved profile line.
+    pub fn encode(&self, env: &ContextEnvironment, rel: &Relation) -> Vec<u8> {
+        match self {
+            Self::AddUser { user } => format!("add {}", escape(user)),
+            Self::RemoveUser { user } => format!("rm {}", escape(user)),
+            Self::InsertPreference { user, pref } => {
+                format!("ins {} {}", escape(user), pref_tokens(pref, env, rel))
+            }
+            Self::RemovePreference { user, index } => {
+                format!("del {} {index}", escape(user))
+            }
+            Self::UpdateScore { user, index, score } => {
+                format!("score {} {index} {score:?}", escape(user))
+            }
+        }
+        .into_bytes()
+    }
+
+    /// Decode a payload produced by [`Self::encode`] against the
+    /// environment and relation of the database being recovered.
+    pub fn decode(
+        payload: &[u8],
+        env: &ContextEnvironment,
+        rel: &Relation,
+    ) -> Result<Self, WalError> {
+        let bad = |reason: String| WalError::Payload { reason };
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| bad("payload is not utf-8".to_string()))?;
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        let user = |tok: &str| -> Result<String, WalError> {
+            unescape(tok).ok_or_else(|| bad(format!("bad escape in user {tok:?}")))
+        };
+        match toks.split_first() {
+            Some((&"add", [u])) => Ok(Self::AddUser { user: user(u)? }),
+            Some((&"rm", [u])) => Ok(Self::RemoveUser { user: user(u)? }),
+            Some((&"ins", [u, rest @ ..])) if !rest.is_empty() => {
+                let pref = parse_pref_tokens(rest, env, rel)
+                    .map_err(|e| bad(format!("bad pref payload: {e}")))?;
+                Ok(Self::InsertPreference { user: user(u)?, pref })
+            }
+            Some((&"del", [u, idx])) => Ok(Self::RemovePreference {
+                user: user(u)?,
+                index: idx.parse().map_err(|_| bad(format!("bad index {idx:?}")))?,
+            }),
+            Some((&"score", [u, idx, s])) => Ok(Self::UpdateScore {
+                user: user(u)?,
+                index: idx.parse().map_err(|_| bad(format!("bad index {idx:?}")))?,
+                score: s.parse().map_err(|_| bad(format!("bad score {s:?}")))?,
+            }),
+            _ => Err(bad(format!("unrecognized op line {text:?}"))),
+        }
+    }
+
+    /// Apply to the sharded serving core (the live mutation path).
+    pub fn apply_sharded(&self, db: &ShardedMultiUserDb) -> Result<(), CoreError> {
+        match self {
+            Self::AddUser { user } => db.add_user(user),
+            Self::RemoveUser { user } => db.remove_user(user).map(|_| ()),
+            Self::InsertPreference { user, pref } => db.insert_preference(user, pref.clone()),
+            Self::RemovePreference { user, index } => {
+                db.remove_preference(user, *index).map(|_| ())
+            }
+            Self::UpdateScore { user, index, score } => {
+                db.update_preference_score(user, *index, *score)
+            }
+        }
+    }
+
+    /// Apply to a plain multi-user database (the recovery replay path).
+    /// Semantically identical to [`Self::apply_sharded`]: both delegate
+    /// to the shared `UserSlot` implementation, so a rejected live op
+    /// is rejected identically on replay.
+    pub fn apply_multi(&self, db: &mut MultiUserDb) -> Result<(), CoreError> {
+        match self {
+            Self::AddUser { user } => db.add_user(user),
+            Self::RemoveUser { user } => db.remove_user(user).map(|_| ()),
+            Self::InsertPreference { user, pref } => db.insert_preference(user, pref.clone()),
+            Self::RemovePreference { user, index } => {
+                db.remove_preference(user, *index).map(|_| ())
+            }
+            Self::UpdateScore { user, index, score } => {
+                db.update_preference_score(user, *index, *score)
+            }
+        }
+    }
+}

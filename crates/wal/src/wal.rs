@@ -1,0 +1,633 @@
+//! The per-shard segmented write-ahead log proper.
+//!
+//! A [`Wal`] owns one log per shard (the shard count matches the
+//! serving core's stripe count, using the same user-to-shard fold), so
+//! shards never contend on each other's appends. Each shard is a
+//! `Mutex<ShardState>`; the durable layer holds that mutex across
+//! *log + apply*, which is what makes the log a true write-AHEAD log:
+//! an operation is on disk (or at least in the current segment's
+//! buffer) before the database sees it, and replay order per shard is
+//! exactly apply order.
+//!
+//! Two durability policies:
+//!
+//! * [`SyncPolicy::PerRecord`] — every append is fsynced before it
+//!   returns; acks are durable.
+//! * [`SyncPolicy::GroupCommit`] — appends buffer in the OS page cache
+//!   and return immediately (ack `durable: false`); an explicit
+//!   [`ShardGuard::flush`] (driven by the service's flusher thread at
+//!   the policy's `flush_interval`) makes everything since the last
+//!   flush durable in one fsync. This module never reads the clock —
+//!   timing lives in the caller, so tests stay deterministic.
+//!
+//! Fault sites: `wal.append.write` (error/panic, then a separate
+//! truncation decision — a torn write leaves real torn bytes on disk),
+//! `wal.append.sync`, `wal.rotate`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use ctxpref_faults::sites;
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::error::WalError;
+use crate::record::frame;
+use crate::segment::{segment_header, segment_path, shard_dir, SEGMENT_HEADER};
+
+/// When appended records become durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync every record before acking it. Durable acks, one fsync
+    /// per mutation.
+    PerRecord,
+    /// Buffer records and fsync in batches. The WAL itself never
+    /// sleeps or reads the clock; `flush_interval` is advice to the
+    /// caller's flusher thread.
+    GroupCommit {
+        /// How often the owning service should call `flush`.
+        flush_interval: Duration,
+    },
+}
+
+impl SyncPolicy {
+    /// Whether appends fsync inline.
+    pub fn is_per_record(&self) -> bool {
+        matches!(self, Self::PerRecord)
+    }
+}
+
+/// Tuning knobs of a [`Wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// The durability policy.
+    pub sync: SyncPolicy,
+    /// Rotate a shard's segment once it grows past this many bytes.
+    pub segment_max_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self { sync: SyncPolicy::PerRecord, segment_max_bytes: 1 << 20 }
+    }
+}
+
+/// Where recovery left one shard: the append position handed to
+/// [`Wal::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPosition {
+    /// The shard's last (append-target) segment.
+    pub seg_no: u64,
+    /// Byte length of that segment's valid prefix.
+    pub pos: u64,
+    /// The next LSN to assign on this shard.
+    pub next_lsn: u64,
+}
+
+#[derive(Debug)]
+struct ShardState {
+    file: File,
+    seg_no: u64,
+    /// End of the valid log: where the next record goes.
+    pos: u64,
+    /// Prefix of the segment known to be on disk.
+    synced_pos: u64,
+    next_lsn: u64,
+    /// Highest LSN known durable (0 = none).
+    synced_lsn: u64,
+    /// Records appended since the last fsync.
+    pending: u64,
+    /// The file may hold garbage past `pos` (a torn injected write);
+    /// the next append must `set_len(pos)` before writing.
+    tail_dirty: bool,
+    /// A rollback failed; the on-disk state is unknown and appends are
+    /// refused until recovery.
+    poisoned: bool,
+}
+
+/// The result of one append.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendAck {
+    /// The LSN assigned to the record.
+    pub lsn: u64,
+    /// Whether the record is already on disk (`true` under
+    /// [`SyncPolicy::PerRecord`]; under group commit it becomes durable
+    /// at the next flush).
+    pub durable: bool,
+}
+
+/// Point-in-time status of one WAL shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardWalStatus {
+    /// Current segment number.
+    pub seg_no: u64,
+    /// Bytes in the current segment's valid prefix.
+    pub seg_bytes: u64,
+    /// Highest LSN assigned (0 = none).
+    pub last_lsn: u64,
+    /// Highest LSN known durable (0 = none).
+    pub synced_lsn: u64,
+    /// Records awaiting the next group-commit flush.
+    pub pending: u64,
+    /// Whether the shard refuses appends after a failed rollback.
+    pub poisoned: bool,
+}
+
+/// Point-in-time status of the whole log.
+#[derive(Debug, Clone)]
+pub struct WalStatus {
+    /// Per-shard status, indexed by shard.
+    pub shards: Vec<ShardWalStatus>,
+    /// Total records appended since open.
+    pub appends: u64,
+    /// Total group-commit flushes that synced at least one record.
+    pub batches: u64,
+    /// Total segment rotations since open.
+    pub rotations: u64,
+}
+
+/// A per-shard segmented write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    opts: WalOptions,
+    shards: Vec<Mutex<ShardState>>,
+    appends: AtomicU64,
+    batches: AtomicU64,
+    rotations: AtomicU64,
+}
+
+impl Wal {
+    /// Create a fresh log under `dir`: one shard directory each with an
+    /// empty first segment.
+    pub fn create(dir: &Path, num_shards: usize, opts: WalOptions) -> Result<Self, WalError> {
+        let mut shards = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            std::fs::create_dir_all(shard_dir(dir, shard))?;
+            let file = new_segment(dir, shard, 1)?;
+            shards.push(Mutex::new(ShardState {
+                file,
+                seg_no: 1,
+                pos: SEGMENT_HEADER as u64,
+                synced_pos: SEGMENT_HEADER as u64,
+                next_lsn: 1,
+                synced_lsn: 0,
+                pending: 0,
+                tail_dirty: false,
+                poisoned: false,
+            }));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            opts,
+            shards,
+            appends: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+        })
+    }
+
+    /// Open an existing log at the positions recovery computed (tails
+    /// already repaired by the recovery scan).
+    pub fn open(
+        dir: &Path,
+        opts: WalOptions,
+        positions: &[ShardPosition],
+    ) -> Result<Self, WalError> {
+        let mut shards = Vec::with_capacity(positions.len());
+        for (shard, p) in positions.iter().enumerate() {
+            let path = segment_path(dir, shard, p.seg_no);
+            let file = OpenOptions::new().read(true).write(true).open(&path)?;
+            shards.push(Mutex::new(ShardState {
+                file,
+                seg_no: p.seg_no,
+                pos: p.pos,
+                synced_pos: p.pos,
+                next_lsn: p.next_lsn,
+                synced_lsn: p.next_lsn.saturating_sub(1),
+                pending: 0,
+                tail_dirty: false,
+                poisoned: false,
+            }));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            opts,
+            shards,
+            appends: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &WalOptions {
+        &self.opts
+    }
+
+    /// Lock shard `ix` for appending. The durable layer holds this
+    /// guard across log-then-apply so replay order matches apply order.
+    pub fn shard(&self, ix: usize) -> ShardGuard<'_> {
+        ShardGuard { wal: self, shard: ix, state: self.shards[ix].lock() }
+    }
+
+    /// Flush every shard (a no-op per shard when nothing is pending).
+    /// Returns the number of records made durable.
+    pub fn flush_all(&self) -> Result<u64, WalError> {
+        let mut synced = 0;
+        for ix in 0..self.shards.len() {
+            synced += self.shard(ix).flush()?;
+        }
+        Ok(synced)
+    }
+
+    /// Snapshot the log's status.
+    pub fn status(&self) -> WalStatus {
+        WalStatus {
+            shards: (0..self.shards.len())
+                .map(|ix| {
+                    let s = self.shards[ix].lock();
+                    ShardWalStatus {
+                        seg_no: s.seg_no,
+                        seg_bytes: s.pos,
+                        last_lsn: s.next_lsn - 1,
+                        synced_lsn: s.synced_lsn,
+                        pending: s.pending,
+                        poisoned: s.poisoned,
+                    }
+                })
+                .collect(),
+            appends: self.appends.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            rotations: self.rotations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total records appended since open.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Total group-commit batches synced since open.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+/// Exclusive access to one WAL shard.
+pub struct ShardGuard<'a> {
+    wal: &'a Wal,
+    shard: usize,
+    state: MutexGuard<'a, ShardState>,
+}
+
+impl ShardGuard<'_> {
+    /// The next LSN this shard will assign.
+    pub fn next_lsn(&self) -> u64 {
+        self.state.next_lsn
+    }
+
+    /// The current segment number.
+    pub fn seg_no(&self) -> u64 {
+        self.state.seg_no
+    }
+
+    /// Append one record and, under [`SyncPolicy::PerRecord`], fsync
+    /// it. On any error the log's logical state is unchanged: either
+    /// the bytes are rolled back, or (for an injected torn write) they
+    /// are left as a dirty tail that the next append truncates and a
+    /// crash-recovery scan recognizes as torn.
+    pub fn append(&mut self, payload: &[u8]) -> Result<AppendAck, WalError> {
+        let shard = self.shard;
+        let s = &mut *self.state;
+        if s.poisoned {
+            return Err(WalError::Poisoned { shard });
+        }
+        if s.tail_dirty {
+            // Drop garbage a previous torn write left past `pos`.
+            // Overwriting it would mostly work, but a crash could then
+            // leave old garbage *after* the new record, which the
+            // recovery scan would have to treat as mid-log corruption.
+            s.file.set_len(s.pos)?;
+            s.tail_dirty = false;
+        }
+        let lsn = s.next_lsn;
+        let bytes = frame(lsn, payload);
+
+        ctxpref_faults::hit_io(sites::WAL_APPEND_WRITE)?;
+        let keep = ctxpref_faults::truncated_len(sites::WAL_APPEND_WRITE, bytes.len());
+        s.file.seek(SeekFrom::Start(s.pos))?;
+        let write = s.file.write_all(&bytes[..keep]);
+        if keep < bytes.len() {
+            // Injected torn write: the prefix stays on disk (that is
+            // the point — recovery must cope with it), the logical log
+            // does not advance, and the op is never applied.
+            let _ = s.file.sync_data();
+            s.tail_dirty = true;
+            return Err(WalError::Io(std::io::Error::other(format!(
+                "injected torn append: {keep} of {} bytes persisted",
+                bytes.len()
+            ))));
+        }
+        if let Err(e) = write {
+            // A real write error may have persisted a prefix.
+            s.tail_dirty = s.file.set_len(s.pos).is_err();
+            return Err(WalError::Io(e));
+        }
+
+        let durable = match self.wal.opts.sync {
+            SyncPolicy::PerRecord => {
+                let synced = ctxpref_faults::hit_io(sites::WAL_APPEND_SYNC)
+                    .and_then(|()| s.file.sync_data());
+                if let Err(e) = synced {
+                    // The record reached the file but not the disk. It
+                    // MUST come back off: the caller will not apply the
+                    // op, and if the bytes later reached disk anyway a
+                    // replay would apply an op the live path never did.
+                    if s.file.set_len(s.pos).is_err() {
+                        s.poisoned = true;
+                        return Err(WalError::Poisoned { shard });
+                    }
+                    return Err(WalError::Io(e));
+                }
+                s.pos += bytes.len() as u64;
+                s.synced_pos = s.pos;
+                s.next_lsn = lsn + 1;
+                s.synced_lsn = lsn;
+                true
+            }
+            SyncPolicy::GroupCommit { .. } => {
+                s.pos += bytes.len() as u64;
+                s.next_lsn = lsn + 1;
+                s.pending += 1;
+                false
+            }
+        };
+        self.wal.appends.fetch_add(1, Ordering::Relaxed);
+
+        if self.state.pos >= self.wal.opts.segment_max_bytes {
+            // Rotation failure never fails the append — the record is
+            // already in the log; a full segment just stays the append
+            // target until a later rotation succeeds.
+            let _ = self.rotate();
+        }
+        Ok(AppendAck { lsn, durable })
+    }
+
+    /// Fsync everything appended since the last flush. Returns the
+    /// number of records made durable. Failure leaves the unsynced
+    /// records in place: they were acked non-durable, the database
+    /// already applied them, and a later flush (or a crash plus
+    /// replay of whatever made it to disk) resolves them.
+    pub fn flush(&mut self) -> Result<u64, WalError> {
+        let shard = self.shard;
+        let s = &mut *self.state;
+        if s.poisoned {
+            return Err(WalError::Poisoned { shard });
+        }
+        if s.pending == 0 && s.synced_pos == s.pos {
+            return Ok(0);
+        }
+        ctxpref_faults::hit_io(sites::WAL_APPEND_SYNC)?;
+        s.file.sync_data()?;
+        let synced = s.pending;
+        s.pending = 0;
+        s.synced_pos = s.pos;
+        s.synced_lsn = s.next_lsn - 1;
+        if synced > 0 {
+            self.wal.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(synced)
+    }
+
+    /// Close the current segment and start the next one. Pending
+    /// records are flushed first, so a finished segment is always fully
+    /// durable. Fault site `wal.rotate` fires before the new segment
+    /// exists.
+    pub fn rotate(&mut self) -> Result<u64, WalError> {
+        self.flush()?;
+        let shard = self.shard;
+        ctxpref_faults::hit_io(sites::WAL_ROTATE)?;
+        let seg_no = self.state.seg_no + 1;
+        let file = new_segment(&self.wal.dir, shard, seg_no)?;
+        let s = &mut *self.state;
+        s.file = file;
+        s.seg_no = seg_no;
+        s.pos = SEGMENT_HEADER as u64;
+        s.synced_pos = s.pos;
+        s.tail_dirty = false;
+        self.wal.rotations.fetch_add(1, Ordering::Relaxed);
+        Ok(seg_no)
+    }
+
+    /// Simulate losing everything the OS had not fsynced: truncate the
+    /// on-disk segment to the synced prefix. Only meaningful under
+    /// group commit; the crash-recovery fuzz uses it to model a power
+    /// cut rather than a process kill.
+    #[doc(hidden)]
+    pub fn drop_unsynced_tail(&mut self) -> Result<(), WalError> {
+        let s = &mut *self.state;
+        s.file.set_len(s.synced_pos)?;
+        s.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Create segment `seg_no` of `shard`, write and fsync its header, and
+/// fsync the shard directory so the file itself survives a crash.
+fn new_segment(dir: &Path, shard: usize, seg_no: u64) -> Result<File, WalError> {
+    let path = segment_path(dir, shard, seg_no);
+    let mut file = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
+    file.write_all(&segment_header(shard, seg_no))?;
+    file.sync_all()?;
+    if let Ok(d) = File::open(shard_dir(dir, shard)) {
+        let _ = d.sync_all();
+    }
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FRAME_HEADER;
+    use crate::segment::{list_segments, scan_segment};
+    use ctxpref_faults::FaultPlan;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// Fault-plan tests share a process-global plan slot; serialize them.
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ctxpref-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn per_record_appends_are_durable_and_replayable() {
+        let dir = tempdir("per-record");
+        let wal = Wal::create(&dir, 2, WalOptions::default()).unwrap();
+        let a1 = wal.shard(0).append(b"add u1").unwrap();
+        let a2 = wal.shard(0).append(b"ins u1 x").unwrap();
+        let b1 = wal.shard(1).append(b"add u2").unwrap();
+        assert!(a1.durable && a2.durable && b1.durable);
+        assert_eq!((a1.lsn, a2.lsn, b1.lsn), (1, 2, 1));
+        assert_eq!(wal.appends(), 3);
+
+        let scan = scan_segment(&segment_path(&dir, 0, 1), 0, 1, true).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].payload, b"ins u1 x");
+    }
+
+    #[test]
+    fn group_commit_buffers_until_flush() {
+        let dir = tempdir("group-commit");
+        let opts = WalOptions {
+            sync: SyncPolicy::GroupCommit { flush_interval: Duration::from_millis(5) },
+            ..WalOptions::default()
+        };
+        let wal = Wal::create(&dir, 1, opts).unwrap();
+        for i in 0..4 {
+            let ack = wal.shard(0).append(format!("op {i}").as_bytes()).unwrap();
+            assert!(!ack.durable);
+        }
+        assert_eq!(wal.status().shards[0].pending, 4);
+        assert_eq!(wal.status().shards[0].synced_lsn, 0);
+        assert_eq!(wal.shard(0).flush().unwrap(), 4);
+        assert_eq!(wal.batches(), 1);
+        assert_eq!(wal.status().shards[0].synced_lsn, 4);
+        // A second flush with nothing pending is a free no-op.
+        assert_eq!(wal.shard(0).flush().unwrap(), 0);
+        assert_eq!(wal.batches(), 1);
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_cap() {
+        let dir = tempdir("rotate");
+        let opts = WalOptions { segment_max_bytes: 128, ..WalOptions::default() };
+        let wal = Wal::create(&dir, 1, opts).unwrap();
+        for i in 0..12 {
+            wal.shard(0).append(format!("record number {i}").as_bytes()).unwrap();
+        }
+        let segs = list_segments(&dir, 0).unwrap();
+        assert!(segs.len() > 1, "expected rotations, got {segs:?}");
+        assert_eq!(wal.status().rotations, segs.len() as u64 - 1);
+        // Every record is still there, in LSN order across segments.
+        let mut lsns = Vec::new();
+        for (i, &seg) in segs.iter().enumerate() {
+            let scan =
+                scan_segment(&segment_path(&dir, 0, seg), 0, seg, i == segs.len() - 1).unwrap();
+            lsns.extend(scan.records.iter().map(|r| r.lsn));
+        }
+        assert_eq!(lsns, (1..=12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_sync_failure_rolls_the_record_back() {
+        let _serial = fault_lock();
+        let dir = tempdir("sync-fail");
+        let wal = Wal::create(&dir, 1, WalOptions::default()).unwrap();
+        wal.shard(0).append(b"keep me").unwrap();
+        let len_before = std::fs::metadata(segment_path(&dir, 0, 1)).unwrap().len();
+
+        let plan = FaultPlan::builder(1).fail_at(sites::WAL_APPEND_SYNC, &[1]).build();
+        let err = plan.run(|| wal.shard(0).append(b"lose me")).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "{err}");
+
+        // Rolled back on disk and in memory: same length, same next LSN.
+        assert_eq!(std::fs::metadata(segment_path(&dir, 0, 1)).unwrap().len(), len_before);
+        let ack = wal.shard(0).append(b"second").unwrap();
+        assert_eq!(ack.lsn, 2);
+        let scan = scan_segment(&segment_path(&dir, 0, 1), 0, 1, true).unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| r.payload.as_slice()).collect::<Vec<_>>(),
+            vec![b"keep me".as_slice(), b"second".as_slice()]
+        );
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_a_recoverable_tail() {
+        let _serial = fault_lock();
+        let dir = tempdir("torn");
+        let wal = Wal::create(&dir, 1, WalOptions::default()).unwrap();
+        wal.shard(0).append(b"keep me").unwrap();
+
+        // Hit #2 of the site is the append's truncation decision (hit
+        // #1 is its error/panic check).
+        let plan = FaultPlan::builder(1).truncate_at(sites::WAL_APPEND_WRITE, &[2], 0.5).build();
+        let err = plan.run(|| wal.shard(0).append(b"torn record payload")).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "{err}");
+
+        // The torn bytes are really on disk…
+        let path = segment_path(&dir, 0, 1);
+        let scan = scan_segment(&path, 0, 1, true).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.records.len(), 1);
+
+        // …and the next append reclaims the tail with the same LSN.
+        let ack = wal.shard(0).append(b"after the tear").unwrap();
+        assert_eq!(ack.lsn, 2);
+        let scan = scan_segment(&path, 0, 1, true).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].payload, b"after the tear");
+    }
+
+    #[test]
+    fn drop_unsynced_tail_loses_only_unflushed_records() {
+        let dir = tempdir("power-cut");
+        let opts = WalOptions {
+            sync: SyncPolicy::GroupCommit { flush_interval: Duration::from_millis(5) },
+            ..WalOptions::default()
+        };
+        let wal = Wal::create(&dir, 1, opts).unwrap();
+        wal.shard(0).append(b"flushed").unwrap();
+        wal.shard(0).flush().unwrap();
+        wal.shard(0).append(b"in the page cache").unwrap();
+        wal.shard(0).drop_unsynced_tail().unwrap();
+        let scan = scan_segment(&segment_path(&dir, 0, 1), 0, 1, true).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].payload, b"flushed");
+    }
+
+    #[test]
+    fn reopen_continues_the_lsn_sequence() {
+        let dir = tempdir("reopen");
+        let opts = WalOptions::default();
+        let wal = Wal::create(&dir, 1, opts).unwrap();
+        wal.shard(0).append(b"one").unwrap();
+        wal.shard(0).append(b"two").unwrap();
+        let pos = wal.status().shards[0].seg_bytes;
+        drop(wal);
+
+        let positions = [ShardPosition { seg_no: 1, pos, next_lsn: 3 }];
+        let wal = Wal::open(&dir, opts, &positions).unwrap();
+        let ack = wal.shard(0).append(b"three").unwrap();
+        assert_eq!(ack.lsn, 3);
+        let scan = scan_segment(&segment_path(&dir, 0, 1), 0, 1, true).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[2].lsn, 3);
+    }
+
+    #[test]
+    fn frame_header_matches_layout() {
+        // Guards against someone "simplifying" the constants apart.
+        assert_eq!(FRAME_HEADER, 20);
+        assert_eq!(SEGMENT_HEADER, 24);
+    }
+}

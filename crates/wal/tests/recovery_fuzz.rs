@@ -1,0 +1,204 @@
+//! The crash-recovery fuzz matrix plus end-to-end durability tests.
+//!
+//! The fuzz walks every registered durability fault site (WAL append
+//! write/sync, rotation, manifest swap, and the checkpoint's
+//! `storage.save.*` path) for a fixed matrix of seeds: even seeds run
+//! per-record fsync, odd seeds group commit, and every other
+//! group-commit seed also loses the unsynced page-cache tail (a power
+//! cut, not just a process kill). Any violation aborts with the
+//! reproducing seed and site in the panic message.
+//!
+//! Override the matrix with `CTXPREF_FUZZ_SEEDS=start..end` (e.g.
+//! `CTXPREF_FUZZ_SEEDS=7..8` to replay one seed).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use ctxpref_core::{MultiUserDb, ShardedMultiUserDb};
+use ctxpref_wal::{run_seed, DurableDb, FuzzConfig, SyncPolicy, WalOptions};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+use ctxpref_workload::user_study::{all_demographics, default_profile};
+
+/// Fault plans are process-global: every test here either installs one
+/// or would trip over another test's, so they all serialize.
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh directory under the system temp dir; removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "ctxpref-recovery-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn study_db(users: usize) -> ShardedMultiUserDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 7, 4);
+    let mut db = MultiUserDb::new(env.clone(), rel, 8);
+    for (i, demo) in all_demographics().into_iter().take(users).enumerate() {
+        let profile = default_profile(&env, db.relation(), demo);
+        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+    }
+    ShardedMultiUserDb::from_db(db, 4)
+}
+
+#[test]
+fn durable_round_trip_with_checkpoint_and_replay() {
+    let _serial = fault_lock();
+    let tmp = TempDir::new("roundtrip");
+    let db = std::sync::Arc::new(study_db(3));
+    let durable = DurableDb::create(&tmp.0, db, WalOptions::default()).unwrap();
+
+    // Mutations before the checkpoint land in the snapshot…
+    durable.add_user("walter").unwrap();
+    let pref = {
+        let db = durable.db();
+        let attr = db.relation().schema().require_attr("name").unwrap();
+        ctxpref_profile::ContextualPreference::new(
+            ctxpref_context::ContextDescriptor::empty(),
+            ctxpref_profile::AttributeClause::eq(attr, "poi0".into()),
+            0.9,
+        )
+        .unwrap()
+    };
+    durable.insert_preference("walter", pref.clone()).unwrap();
+    let ckpt = durable.checkpoint().unwrap();
+    assert_eq!(ckpt.generation, 1);
+
+    // …and mutations after it must come back via replay.
+    durable.add_user("wendy").unwrap();
+    durable.insert_preference("wendy", pref).unwrap();
+    durable.update_preference_score("walter", 0, 0.4).unwrap();
+    let status = durable.wal_status();
+    assert!(status.appends >= 5, "appends: {}", status.appends);
+    drop(durable); // Crash: no flush, no checkpoint.
+
+    let (recovered, report) = DurableDb::recover(&tmp.0, WalOptions::default()).unwrap();
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.replayed, 3);
+    assert_eq!(report.rejected, 0);
+    let db = recovered.db();
+    assert!(db.users_sorted().contains(&"wendy".to_string()));
+    let snap = db.snapshot();
+    assert_eq!(snap.profile("walter").unwrap().preferences()[0].score(), 0.4);
+}
+
+#[test]
+fn checkpoint_garbage_collects_old_generations() {
+    let _serial = fault_lock();
+    let tmp = TempDir::new("gc");
+    let db = std::sync::Arc::new(study_db(2));
+    let durable = DurableDb::create(&tmp.0, db, WalOptions::default()).unwrap();
+    for i in 0..3 {
+        durable.add_user(&format!("extra{i}")).unwrap();
+        durable.checkpoint().unwrap();
+    }
+    let files: Vec<String> = std::fs::read_dir(&tmp.0)
+        .unwrap()
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|n| n.starts_with("checkpoint-"))
+        .collect();
+    assert_eq!(files, vec!["checkpoint-3.db".to_string()], "old generations not collected");
+    // Old segments are gone too: each shard keeps only its live tail.
+    for shard in 0..durable.db().num_shards() {
+        let manifest = durable.manifest();
+        let segs: Vec<_> = std::fs::read_dir(tmp.0.join(format!("shard-{shard}")))
+            .unwrap()
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .collect();
+        for seg in &segs {
+            let n: u64 =
+                seg.strip_prefix("seg-").unwrap().strip_suffix(".wal").unwrap().parse().unwrap();
+            assert!(
+                n >= manifest.shards[shard].first_live_segment,
+                "stale segment {seg} on shard {shard}"
+            );
+        }
+    }
+}
+
+#[test]
+fn group_commit_recovery_after_power_cut_keeps_flushed_prefix() {
+    let _serial = fault_lock();
+    let tmp = TempDir::new("power-cut");
+    let opts = WalOptions {
+        sync: SyncPolicy::GroupCommit { flush_interval: Duration::from_millis(5) },
+        ..WalOptions::default()
+    };
+    let db = std::sync::Arc::new(study_db(1));
+    let durable = DurableDb::create(&tmp.0, db, opts).unwrap();
+    durable.add_user("kept").unwrap();
+    durable.flush().unwrap();
+    let ack = durable.add_user("lost").unwrap();
+    assert!(!ack.durable, "group-commit acks are not durable until flushed");
+    durable.drop_unsynced_tails().unwrap(); // The power cut.
+    drop(durable);
+
+    let (recovered, _) = DurableDb::recover(&tmp.0, opts).unwrap();
+    let users = recovered.db().users_sorted();
+    assert!(users.contains(&"kept".to_string()));
+    assert!(!users.contains(&"lost".to_string()), "unflushed, unacked-durable write surfaced");
+}
+
+/// The matrix: `CTXPREF_FUZZ_SEEDS=a..b` overrides the default 0..32.
+fn seed_range() -> std::ops::Range<u64> {
+    let Ok(spec) = std::env::var("CTXPREF_FUZZ_SEEDS") else { return 0..32 };
+    let parse = |s: &str| s.trim().parse::<u64>().ok();
+    match spec.split_once("..").map(|(a, b)| (parse(a), parse(b))) {
+        Some((Some(a), Some(b))) if a < b => a..b,
+        _ => panic!("CTXPREF_FUZZ_SEEDS must look like '0..32', got {spec:?}"),
+    }
+}
+
+#[test]
+fn crash_recovery_fuzz_matrix() {
+    let _serial = fault_lock();
+    let tmp = TempDir::new("fuzz");
+    let mut sites_covered = std::collections::BTreeSet::new();
+    let mut total_replayed = 0;
+    for seed in seed_range() {
+        let cfg = FuzzConfig::for_seed(seed);
+        match run_seed(&tmp.0.join(format!("seed-{seed}")), &cfg) {
+            Ok(report) => {
+                assert!(
+                    report.sites_missed.is_empty(),
+                    "seed={seed}: workload never reached sites {:?} — \
+                     grow the workload so every site is crash-tested",
+                    report.sites_missed
+                );
+                sites_covered.extend(report.sites_tested);
+                total_replayed += report.total_replayed;
+            }
+            Err(violation) => panic!(
+                "DURABILITY VIOLATION (reproduce with CTXPREF_FUZZ_SEEDS={seed}..{}):\n{violation}",
+                seed + 1
+            ),
+        }
+    }
+    assert_eq!(
+        sites_covered.len(),
+        ctxpref_faults::sites::DURABILITY_SITES.len(),
+        "site coverage drifted: {sites_covered:?}"
+    );
+    assert!(total_replayed > 0, "the fuzz never exercised replay");
+}

@@ -24,7 +24,7 @@ use std::time::Duration;
 use ctxpref::context::{ContextState, DistanceKind};
 use ctxpref::core::{MultiUserDb, QueryAnswer, QueryOptions, ShardedMultiUserDb};
 use ctxpref::prelude::*;
-use ctxpref::service::{CtxPrefService, ServiceAnswer, ServiceConfig};
+use ctxpref::service::{CtxPrefService, DurabilityConfig, ServiceAnswer, ServiceConfig};
 use ctxpref::workload::reference::{poi_env, poi_relation};
 use ctxpref::workload::user_study::{default_profile, AgeBand, Demographics, Sex, Taste};
 
@@ -70,6 +70,10 @@ impl Repl {
             "load" => self.cmd_load(rest),
             "save" => self.cmd_save(rest),
             "open" => self.cmd_open(rest),
+            "durable" => self.cmd_durable(rest),
+            "recover" => self.cmd_recover(rest),
+            "checkpoint" => self.cmd_checkpoint(),
+            "wal-status" => self.cmd_wal_status(),
             "env" => self.cmd_env(),
             "context" => self.cmd_context(rest),
             "query" => self.cmd_query(rest),
@@ -141,6 +145,76 @@ impl Repl {
         let prefs = db.profile(USER).map(|p| p.len()).unwrap_or(0);
         self.install(db);
         Ok(Some(format!("opened {path}: {pois} tuples, {users} user(s), {prefs} preferences")))
+    }
+
+    /// Restart the loaded database as a durable service: every further
+    /// mutation is logged to a write-ahead log under `dir` before it is
+    /// applied, and `recover <dir>` brings it back after a crash.
+    fn cmd_durable(&mut self, dir: &str) -> Result<Option<String>, String> {
+        if dir.is_empty() {
+            return Err("usage: durable <dir>".to_string());
+        }
+        if std::path::Path::new(dir).join("MANIFEST").exists() {
+            return Err(format!("{dir} already holds a durable database — `recover {dir}`"));
+        }
+        let service =
+            self.service.take().ok_or("no database loaded — try `load demo`")?;
+        let db = service.shutdown();
+        let service =
+            CtxPrefService::new_durable(db, ServiceConfig::default(), DurabilityConfig::new(dir))
+                .map_err(|e| format!("{e} (database dropped — reload it)"))?;
+        service.set_query_defaults(self.options);
+        self.service = Some(service);
+        Ok(Some(format!(
+            "durable: mutations now logged under {dir} (fsync per record, checkpoint every 60s)"
+        )))
+    }
+
+    /// Recover a durable directory: load its latest checkpoint, replay
+    /// the per-shard logs, repair a torn tail, and keep logging there.
+    fn cmd_recover(&mut self, dir: &str) -> Result<Option<String>, String> {
+        if dir.is_empty() {
+            return Err("usage: recover <dir>".to_string());
+        }
+        let (service, report) =
+            CtxPrefService::recover(ServiceConfig::default(), DurabilityConfig::new(dir))
+                .map_err(|e| e.to_string())?;
+        service.set_query_defaults(self.options);
+        self.service = Some(service);
+        self.current = None;
+        Ok(Some(format!(
+            "recovered checkpoint generation {}: {} record(s) replayed, {} rejected, \
+             {} torn tail(s) repaired",
+            report.generation, report.replayed, report.rejected, report.truncated_tails
+        )))
+    }
+
+    fn cmd_checkpoint(&self) -> Result<Option<String>, String> {
+        let report = self.service()?.checkpoint().map_err(|e| e.to_string())?;
+        Ok(Some(format!(
+            "checkpoint generation {} written ({} user(s)); older generations collected",
+            report.generation, report.users
+        )))
+    }
+
+    fn cmd_wal_status(&self) -> Result<Option<String>, String> {
+        let status = self.service()?.wal_status().map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "appends {}, group-commit batches {}, rotations {}\n",
+            status.appends, status.batches, status.rotations
+        );
+        for (i, s) in status.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "shard {i}: segment {} ({} bytes), last lsn {}, synced lsn {}, pending {}{}\n",
+                s.seg_no,
+                s.seg_bytes,
+                s.last_lsn,
+                s.synced_lsn,
+                s.pending,
+                if s.poisoned { " POISONED" } else { "" }
+            ));
+        }
+        Ok(Some(out))
     }
 
     fn cmd_env(&self) -> Result<Option<String>, String> {
@@ -356,8 +430,9 @@ impl Repl {
     }
 
     fn cmd_stats(&self) -> Result<Option<String>, String> {
-        let s = self.service()?.stats();
-        Ok(Some(format!(
+        let service = self.service()?;
+        let s = service.stats();
+        let mut out = format!(
             "served: {} cached, {} exact, {} nearest-state, {} default\n\
              contained panics {}, deadline misses {}, shed {}, errors {}",
             s.served_cached,
@@ -368,7 +443,14 @@ impl Repl {
             s.deadline_exceeded,
             s.shed,
             s.errors
-        )))
+        );
+        if service.is_durable() {
+            out.push_str(&format!(
+                "\nwal appends {}, group-commit batches {}, checkpoints {}, recovered lsn {}",
+                s.wal_appends, s.group_commit_batches, s.checkpoints, s.recovered_lsn
+            ));
+        }
+        Ok(Some(out))
     }
 }
 
@@ -440,6 +522,10 @@ commands:
   load demo                 load the two-city POI demo + a default profile
   save <path>               persist the database (atomic, checksummed)
   open <path>               load a persisted database
+  durable <dir>             log every mutation to a write-ahead log under <dir>
+  recover <dir>             recover a durable database (checkpoint + WAL replay)
+  checkpoint                snapshot now and shrink the log's replay window
+  wal-status                per-shard log positions and durability counters
   env                       show context parameters and hierarchies
   context [v1 v2 v3]        set / show the current context state
   query [descriptor]        query the current or a hypothetical context

@@ -28,6 +28,8 @@
 //! * [`core`] — the high-level [`core::ContextualDb`] façade.
 //! * [`service`] — the fault-tolerant serving layer: deadlines, panic
 //!   isolation, admission control, and the degradation ladder.
+//! * [`wal`] — per-shard write-ahead logging, checkpoint manifests,
+//!   and crash recovery for the serving core.
 //! * [`faults`] — deterministic, seedable fault injection for chaos
 //!   testing the above.
 //!
@@ -46,6 +48,7 @@ pub use ctxpref_qualitative as qualitative;
 pub use ctxpref_relation as relation;
 pub use ctxpref_resolve as resolve;
 pub use ctxpref_storage as storage;
+pub use ctxpref_wal as wal;
 pub use ctxpref_workload as workload;
 
 /// Convenience prelude re-exporting the most common types.
