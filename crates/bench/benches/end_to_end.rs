@@ -12,7 +12,11 @@ use std::hint::black_box;
 fn build_db(pois_per_region: usize) -> ContextualDb {
     let env = poi_env();
     let rel = poi_relation(&env, 42, pois_per_region);
-    let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env)
+        .relation(rel)
+        .build()
+        .unwrap();
     for (i, weather) in ["bad", "good"].iter().enumerate() {
         for (j, company) in ["friends", "family", "alone"].iter().enumerate() {
             for (k, ty) in POI_TYPES.iter().enumerate() {

@@ -15,7 +15,11 @@ use std::hint::black_box;
 fn demo_db(pois: usize) -> ContextualDb {
     let env = poi_env();
     let rel = poi_relation(&env, 42, pois);
-    let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env)
+        .relation(rel)
+        .build()
+        .unwrap();
     for (i, weather) in ["bad", "good"].iter().enumerate() {
         for (j, company) in ["friends", "family", "alone"].iter().enumerate() {
             for (k, ty) in POI_TYPES.iter().enumerate() {
@@ -85,7 +89,10 @@ fn bench_qualitative(c: &mut Criterion) {
     let mut profile = QualitativeProfile::new(env.clone());
     // A chain of priorities per company value.
     for (company, order) in [
-        ("friends", ["brewery", "club", "cafeteria", "market", "museum"]),
+        (
+            "friends",
+            ["brewery", "club", "cafeteria", "market", "museum"],
+        ),
         ("family", ["zoo", "park", "aquarium", "museum", "club"]),
         ("alone", ["museum", "theater", "park", "market", "club"]),
     ] {

@@ -44,7 +44,12 @@ fn bench_qcache(c: &mut Criterion) {
         b.iter(|| black_box(db.query_state_with(&state, QueryOptions::cached()).unwrap()))
     });
     group.bench_function("uncached", |b| {
-        b.iter(|| black_box(db.query_state_with(&state, QueryOptions::default()).unwrap()))
+        b.iter(|| {
+            black_box(
+                db.query_state_with(&state, QueryOptions::default())
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

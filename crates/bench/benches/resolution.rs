@@ -15,8 +15,8 @@ fn bench_resolution(c: &mut Criterion) {
         let spec = SyntheticSpec::paper_standard(n, ValueDist::Uniform, 42);
         let env = spec.build_env();
         let profile = spec.build_profile(&env);
-        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
-            .unwrap();
+        let tree =
+            ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env)).unwrap();
         let serial = SerialStore::from_profile(&profile).unwrap();
         let exact_q = stored_query_states(&env, &profile, 50, 7);
         let cover_q = random_query_states(&env, 50, 0.5, 9);
@@ -58,15 +58,19 @@ fn bench_resolution(c: &mut Criterion) {
             })
         });
         // Distance-function ablation: Hierarchy vs Jaccard on the tree.
-        group.bench_with_input(BenchmarkId::new("tree/covering-jaccard", n), &cover_q, |b, qs| {
-            b.iter(|| {
-                let mut counter = AccessCounter::new();
-                for q in qs {
-                    black_box(tree.search_cs(q, DistanceKind::Jaccard, &mut counter));
-                }
-                counter
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tree/covering-jaccard", n),
+            &cover_q,
+            |b, qs| {
+                b.iter(|| {
+                    let mut counter = AccessCounter::new();
+                    for q in qs {
+                        black_box(tree.search_cs(q, DistanceKind::Jaccard, &mut counter));
+                    }
+                    counter
+                })
+            },
+        );
     }
     group.finish();
 }

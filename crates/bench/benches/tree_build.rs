@@ -10,8 +10,10 @@ fn bench_tree_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("tree_build");
     group.sample_size(10);
     for &n in &[500usize, 1000, 5000] {
-        for (dist_label, dist) in [("uniform", ValueDist::Uniform), ("zipf", ValueDist::Zipf(1.5))]
-        {
+        for (dist_label, dist) in [
+            ("uniform", ValueDist::Uniform),
+            ("zipf", ValueDist::Zipf(1.5)),
+        ] {
             let spec = SyntheticSpec::paper_standard(n, dist, 42);
             let env = spec.build_env();
             let profile = spec.build_profile(&env);
@@ -20,9 +22,7 @@ fn bench_tree_build(c: &mut Criterion) {
                 &profile,
                 |b, p| {
                     let order = ParamOrder::by_ascending_domain(&env);
-                    b.iter(|| {
-                        black_box(ProfileTree::from_profile(p, order.clone()).unwrap())
-                    })
+                    b.iter(|| black_box(ProfileTree::from_profile(p, order.clone()).unwrap()))
                 },
             );
             group.bench_with_input(

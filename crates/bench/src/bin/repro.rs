@@ -13,7 +13,16 @@ const SEED: u64 = 2007; // ICDE 2007
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["table1", "fig5", "fig6", "fig7", "complexity", "qcache", "dag", "ties"]
+        vec![
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "complexity",
+            "qcache",
+            "dag",
+            "ties",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };

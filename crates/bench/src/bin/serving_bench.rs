@@ -1,9 +1,10 @@
-//! Serving-core benchmark driver: global-lock vs sharded core (PR 2)
-//! and WAL fsync policies (PR 3).
+//! Serving-core benchmark driver: global-lock vs sharded core (PR 2),
+//! WAL fsync policies (PR 3), and replication ack modes (PR 4).
 //!
 //! ```text
 //! cargo run -p ctxpref-bench --release --bin serving_bench               # serving run → BENCH_PR2.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --durability # fsync policies → BENCH_PR3.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --replication # ack modes + failover → BENCH_PR4.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick    # CI smoke (short window, no hard gate)
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
 //! ```
@@ -17,6 +18,7 @@
 use std::time::Duration;
 
 use ctxpref_bench::durability::{self, DurabilityBenchConfig};
+use ctxpref_bench::replication::{self, ReplicationBenchConfig};
 use ctxpref_bench::serving::{self, ServingBenchConfig};
 use ctxpref_bench::ShapeCheck;
 
@@ -24,16 +26,31 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let durability_mode = args.iter().any(|a| a == "--durability");
+    let replication_mode = args.iter().any(|a| a == "--replication");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if durability_mode { "BENCH_PR3.json" } else { "BENCH_PR2.json" }.to_string()
+            if replication_mode {
+                "BENCH_PR4.json"
+            } else if durability_mode {
+                "BENCH_PR3.json"
+            } else {
+                "BENCH_PR2.json"
+            }
+            .to_string()
         });
 
-    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if durability_mode {
+    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if replication_mode {
+        let mut cfg = ReplicationBenchConfig::default();
+        if quick {
+            cfg.window = Duration::from_millis(250);
+        }
+        let report = replication::run(cfg);
+        (report.render(), report.to_json(), report.checks)
+    } else if durability_mode {
         let mut cfg = DurabilityBenchConfig::default();
         if quick {
             cfg.window = Duration::from_millis(250);

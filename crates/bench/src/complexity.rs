@@ -49,8 +49,10 @@ pub fn run(num_prefs: usize, seed: u64) -> Complexity {
 
     let edom_sum: usize = env.iter().map(|(_, h)| h.edom_size()).sum();
     let edom_product: u128 = env.extended_world_size();
-    let bounds: Vec<u128> =
-        ParamOrder::all_orders(&env).iter().map(|o| o.max_cells(&env)).collect();
+    let bounds: Vec<u128> = ParamOrder::all_orders(&env)
+        .iter()
+        .map(|o| o.max_cells(&env))
+        .collect();
 
     // Covering-search bound: Σ_i |edom(Ci)| · Π_{j<i} h_j, with h_j the
     // number of hierarchy levels of the parameter at tree level j.
@@ -106,7 +108,10 @@ impl Complexity {
             ShapeCheck::new(
                 "covering search ≤ Σ|edom(Ci)|·Πh cells",
                 self.max_covering_cells <= self.covering_bound,
-                format!("max {} vs bound {}", self.max_covering_cells, self.covering_bound),
+                format!(
+                    "max {} vs bound {}",
+                    self.max_covering_cells, self.covering_bound
+                ),
             ),
             ShapeCheck::new(
                 "tree size ≤ worst-case bound",
@@ -116,7 +121,10 @@ impl Complexity {
             ShapeCheck::new(
                 "ascending-domain bound is the minimum over orderings",
                 self.max_cells_bound_best <= self.max_cells_bound_worst,
-                format!("{} ≤ {}", self.max_cells_bound_best, self.max_cells_bound_worst),
+                format!(
+                    "{} ≤ {}",
+                    self.max_cells_bound_best, self.max_cells_bound_worst
+                ),
             ),
             ShapeCheck::new(
                 "serial exact scan costs far more than the tree lookup",
@@ -136,10 +144,16 @@ impl Complexity {
             crate::row!["Σ|edom(Ci)| (exact-lookup bound)", self.edom_sum],
             crate::row!["Π|edom(Ci)| (serial worst case)", self.edom_product],
             crate::row!["max-cells bound, best ordering", self.max_cells_bound_best],
-            crate::row!["max-cells bound, worst ordering", self.max_cells_bound_worst],
+            crate::row![
+                "max-cells bound, worst ordering",
+                self.max_cells_bound_worst
+            ],
             crate::row!["measured tree cells", self.measured_cells],
             crate::row!["max exact-lookup cells (tree)", self.max_exact_cells],
-            crate::row!["max exact-lookup cells (serial)", self.max_serial_exact_cells],
+            crate::row![
+                "max exact-lookup cells (serial)",
+                self.max_serial_exact_cells
+            ],
             crate::row!["covering-search bound", self.covering_bound],
             crate::row!["max covering-search cells (tree)", self.max_covering_cells],
         ];

@@ -90,8 +90,7 @@ pub fn verify_equivalence(seed: u64) -> bool {
     let spec = SyntheticSpec::paper_standard(1000, ValueDist::Zipf(1.5), seed);
     let env = spec.build_env();
     let profile = spec.build_profile(&env);
-    let tree =
-        ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env)).unwrap();
+    let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env)).unwrap();
     let dag = tree.compress();
     for q in random_query_states(&env, 50, 0.5, seed ^ 5) {
         let mut c1 = AccessCounter::new();
@@ -133,7 +132,11 @@ impl DagExp {
         // sparse subtrees, so they save the most absolute cells; skew
         // already deduplicates values at the *tree* level, leaving less
         // for hash-consing to reclaim.
-        let uniform = self.rows.iter().find(|r| r.label.contains("uniform")).unwrap();
+        let uniform = self
+            .rows
+            .iter()
+            .find(|r| r.label.contains("uniform"))
+            .unwrap();
         let skewed = self.rows.iter().find(|r| r.label.contains("3.0")).unwrap();
         checks.push(ShapeCheck::new(
             "widest tree saves the most absolute cells",

@@ -107,7 +107,8 @@ fn study_db(cfg: &DurabilityBenchConfig) -> Arc<ShardedMultiUserDb> {
     let demos = all_demographics();
     for i in 0..cfg.users {
         let profile = default_profile(&env, db.relation(), demos[i % demos.len()]);
-        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
     }
     Arc::new(ShardedMultiUserDb::from_db(db, cfg.shards))
 }
@@ -121,7 +122,10 @@ fn bench_dir(tag: &str) -> std::path::PathBuf {
 fn run_policy(cfg: &DurabilityBenchConfig, tag: &str, sync: SyncPolicy) -> PolicyThroughput {
     let dir = bench_dir(tag);
     let _ = std::fs::remove_dir_all(&dir);
-    let opts = WalOptions { sync, ..WalOptions::default() };
+    let opts = WalOptions {
+        sync,
+        ..WalOptions::default()
+    };
     let durable =
         Arc::new(DurableDb::create(&dir, study_db(cfg), opts).expect("creating the bench WAL"));
 
@@ -187,7 +191,11 @@ fn run_policy(cfg: &DurabilityBenchConfig, tag: &str, sync: SyncPolicy) -> Polic
 /// Run the full durability benchmark.
 pub fn run(cfg: DurabilityBenchConfig) -> DurabilityBenchReport {
     let plan = ctxpref_faults::FaultPlan::builder(cfg.seed)
-        .delay(ctxpref_faults::sites::WAL_APPEND_SYNC, 1.0, cfg.sync_latency)
+        .delay(
+            ctxpref_faults::sites::WAL_APPEND_SYNC,
+            1.0,
+            cfg.sync_latency,
+        )
         .build();
     let (per_record, group_commit) = plan.run(|| {
         (
@@ -195,7 +203,9 @@ pub fn run(cfg: DurabilityBenchConfig) -> DurabilityBenchReport {
             run_policy(
                 &cfg,
                 "group-commit",
-                SyncPolicy::GroupCommit { flush_interval: cfg.flush_interval },
+                SyncPolicy::GroupCommit {
+                    flush_interval: cfg.flush_interval,
+                },
             ),
         )
     });
@@ -232,7 +242,13 @@ pub fn run(cfg: DurabilityBenchConfig) -> DurabilityBenchReport {
             ),
         ),
     ];
-    DurabilityBenchReport { config: cfg, per_record, group_commit, durable_speedup, checks }
+    DurabilityBenchReport {
+        config: cfg,
+        per_record,
+        group_commit,
+        durable_speedup,
+        checks,
+    }
 }
 
 impl DurabilityBenchReport {
@@ -258,7 +274,10 @@ impl DurabilityBenchReport {
             self.group_commit.durable_per_sec,
             self.group_commit.batches
         ));
-        out.push_str(&format!("  durable-throughput speedup: {:.1}×\n", self.durable_speedup));
+        out.push_str(&format!(
+            "  durable-throughput speedup: {:.1}×\n",
+            self.durable_speedup
+        ));
         out.push_str(&crate::render_checks(&self.checks));
         out
     }

@@ -65,7 +65,11 @@ pub fn run(seed: u64) -> Fig5 {
         });
     }
     let serial = SerialStore::from_profile(&profile).expect("real profile is conflict-free");
-    Fig5 { orders, serial_cells: serial.total_cells(), serial_bytes: serial.total_bytes() }
+    Fig5 {
+        orders,
+        serial_cells: serial.total_cells(),
+        serial_bytes: serial.total_bytes(),
+    }
 }
 
 impl Fig5 {
@@ -77,7 +81,10 @@ impl Fig5 {
         checks.push(ShapeCheck::new(
             "every tree ordering beats serial storage",
             worst < self.serial_cells,
-            format!("worst tree {worst} cells vs serial {} cells", self.serial_cells),
+            format!(
+                "worst tree {worst} cells vs serial {} cells",
+                self.serial_cells
+            ),
         ));
         // 2. Orderings that put the large domain (location) lower are
         //    smaller: order 1 (A, T, L) must beat order 6 (L, T, A).
@@ -100,8 +107,18 @@ impl Fig5 {
 
     /// Render the two panels of Figure 5 as one table.
     pub fn render(&self) -> String {
-        let mut rows = vec![crate::row!["ordering", "levels (root→bottom)", "cells", "bytes"]];
-        rows.push(crate::row!["serial", "—", self.serial_cells, self.serial_bytes]);
+        let mut rows = vec![crate::row![
+            "ordering",
+            "levels (root→bottom)",
+            "cells",
+            "bytes"
+        ]];
+        rows.push(crate::row![
+            "serial",
+            "—",
+            self.serial_cells,
+            self.serial_bytes
+        ]);
         for o in &self.orders {
             rows.push(crate::row![
                 o.label,
@@ -110,7 +127,9 @@ impl Fig5 {
                 o.bytes
             ]);
         }
-        let mut out = String::from("Figure 5 — profile tree size, real profile (522 preferences, domains 4/17/100)\n");
+        let mut out = String::from(
+            "Figure 5 — profile tree size, real profile (522 preferences, domains 4/17/100)\n",
+        );
         out.push_str(&render(&rows));
         out.push_str(&render_checks(&self.shape_checks()));
         out

@@ -60,7 +60,9 @@ pub struct Fig6Skew {
 fn order_of(env: &ContextEnvironment, perm: &[usize]) -> ParamOrder {
     ParamOrder::new(
         env,
-        perm.iter().map(|&i| ctxpref_context::ParamId(i as u16)).collect(),
+        perm.iter()
+            .map(|&i| ctxpref_context::ParamId(i as u16))
+            .collect(),
     )
     .expect("permutations are valid orders")
 }
@@ -73,9 +75,15 @@ pub fn run_panel(dist: ValueDist, seed: u64) -> Fig6Panel {
     };
     let mut series: Vec<Series> = ORDERINGS
         .iter()
-        .map(|(label, _)| Series { label: (*label).to_string(), points: Vec::new() })
+        .map(|(label, _)| Series {
+            label: (*label).to_string(),
+            points: Vec::new(),
+        })
         .collect();
-    series.push(Series { label: "serial".to_string(), points: Vec::new() });
+    series.push(Series {
+        label: "serial".to_string(),
+        points: Vec::new(),
+    });
 
     for &n in &PROFILE_SIZES {
         let spec = SyntheticSpec::paper_standard(n, dist, seed);
@@ -87,7 +95,11 @@ pub fn run_panel(dist: ValueDist, seed: u64) -> Fig6Panel {
             series[i].points.push((n, tree.stats().total_cells()));
         }
         let serial = SerialStore::from_profile(&profile).unwrap();
-        series.last_mut().unwrap().points.push((n, serial.total_cells()));
+        series
+            .last_mut()
+            .unwrap()
+            .points
+            .push((n, serial.total_cells()));
     }
     Fig6Panel { dist_label, series }
 }
@@ -98,10 +110,15 @@ pub fn run_skew_sweep(seed: u64) -> Fig6Skew {
     let a_values: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
     // Orderings of the (50, 100, 200) domains: the paper's order 1 =
     // (50, 100, 200), order 2 = (50, 200, 100), order 3 = (200, 50, 100).
-    let orderings: [(&str, [usize; 3]); 3] =
-        [("order 1", [0, 1, 2]), ("order 2", [0, 2, 1]), ("order 3", [2, 0, 1])];
-    let mut series: Vec<(String, Vec<usize>)> =
-        orderings.iter().map(|(l, _)| ((*l).to_string(), Vec::new())).collect();
+    let orderings: [(&str, [usize; 3]); 3] = [
+        ("order 1", [0, 1, 2]),
+        ("order 2", [0, 2, 1]),
+        ("order 3", [2, 0, 1]),
+    ];
+    let mut series: Vec<(String, Vec<usize>)> = orderings
+        .iter()
+        .map(|(l, _)| ((*l).to_string(), Vec::new()))
+        .collect();
     for &a in &a_values {
         let spec = SyntheticSpec {
             domains: vec![vec![50], vec![100, 10], vec![200, 20]],
@@ -141,25 +158,22 @@ impl Fig6Panel {
         ));
         // Every ordering beats serial at every size.
         let serial = self.series.iter().find(|s| s.label == "serial").unwrap();
-        let all_beat = self
-            .series
-            .iter()
-            .filter(|s| s.label != "serial")
-            .all(|s| {
-                s.points
-                    .iter()
-                    .zip(&serial.points)
-                    .all(|((_, c), (_, sc))| c <= sc)
-            });
+        let all_beat = self.series.iter().filter(|s| s.label != "serial").all(|s| {
+            s.points
+                .iter()
+                .zip(&serial.points)
+                .all(|((_, c), (_, sc))| c <= sc)
+        });
         checks.push(ShapeCheck::new(
             format!("{}: every ordering ≤ serial", self.dist_label),
             all_beat,
             format!("serial at {n}: {}", at("serial", n)),
         ));
         // Cells grow with profile size.
-        let monotone = self.series.iter().all(|s| {
-            s.points.windows(2).all(|w| w[0].1 <= w[1].1)
-        });
+        let monotone = self
+            .series
+            .iter()
+            .all(|s| s.points.windows(2).all(|w| w[0].1 <= w[1].1));
         checks.push(ShapeCheck::new(
             format!("{}: cells grow with profile size", self.dist_label),
             monotone,
@@ -201,14 +215,22 @@ impl Fig6Skew {
         checks.push(ShapeCheck::new(
             "a = 0: big domain at the bottom wins",
             o1.first() <= o3.first(),
-            format!("order 1 {} vs order 3 {}", o1.first().unwrap(), o3.first().unwrap()),
+            format!(
+                "order 1 {} vs order 3 {}",
+                o1.first().unwrap(),
+                o3.first().unwrap()
+            ),
         ));
         // High skew: moving the skewed 200-domain up pays off
         // (order 3 ≤ order 1 at the highest a).
         checks.push(ShapeCheck::new(
             "a = 3.5: skewed domain higher in the tree wins",
             o3.last() <= o1.last(),
-            format!("order 3 {} vs order 1 {}", o3.last().unwrap(), o1.last().unwrap()),
+            format!(
+                "order 3 {} vs order 1 {}",
+                o3.last().unwrap(),
+                o1.last().unwrap()
+            ),
         ));
         // Higher skew shrinks every ordering (fewer distinct values).
         let shrinks = self
@@ -252,9 +274,15 @@ mod tests {
     fn mini_panel(dist: ValueDist) -> Fig6Panel {
         let mut series: Vec<Series> = ORDERINGS
             .iter()
-            .map(|(label, _)| Series { label: (*label).to_string(), points: Vec::new() })
+            .map(|(label, _)| Series {
+                label: (*label).to_string(),
+                points: Vec::new(),
+            })
             .collect();
-        series.push(Series { label: "serial".to_string(), points: Vec::new() });
+        series.push(Series {
+            label: "serial".to_string(),
+            points: Vec::new(),
+        });
         for &n in &PROFILE_SIZES[..2] {
             let spec = SyntheticSpec::paper_standard(n, dist, 7);
             let env = spec.build_env();
@@ -264,9 +292,16 @@ mod tests {
                 series[i].points.push((n, tree.stats().total_cells()));
             }
             let serial = SerialStore::from_profile(&profile).unwrap();
-            series.last_mut().unwrap().points.push((n, serial.total_cells()));
+            series
+                .last_mut()
+                .unwrap()
+                .points
+                .push((n, serial.total_cells()));
         }
-        Fig6Panel { dist_label: "test".into(), series }
+        Fig6Panel {
+            dist_label: "test".into(),
+            series,
+        }
     }
 
     #[test]
@@ -280,7 +315,11 @@ mod tests {
                 assert!(at("order 1", idx) <= at("order 6", idx));
                 for s in &p.series {
                     if s.label != "serial" {
-                        assert!(s.points[idx].1 <= at("serial", idx), "{} vs serial", s.label);
+                        assert!(
+                            s.points[idx].1 <= at("serial", idx),
+                            "{} vs serial",
+                            s.label
+                        );
                     }
                 }
             }
@@ -317,7 +356,13 @@ mod tests {
         };
         let (o1_lo, o3_lo) = mk(0.0);
         let (o1_hi, o3_hi) = mk(3.5);
-        assert!(o1_lo <= o3_lo, "no skew: big domain at bottom wins ({o1_lo} vs {o3_lo})");
-        assert!(o3_hi <= o1_hi, "high skew: skewed domain up wins ({o3_hi} vs {o1_hi})");
+        assert!(
+            o1_lo <= o3_lo,
+            "no skew: big domain at bottom wins ({o1_lo} vs {o3_lo})"
+        );
+        assert!(
+            o3_hi <= o1_hi,
+            "high skew: skewed domain up wins ({o3_hi} vs {o1_hi})"
+        );
     }
 }

@@ -121,7 +121,10 @@ pub fn run_synthetic(exact: bool, seed: u64) -> Fig7Synthetic {
     let mut rows = Vec::with_capacity(PROFILE_SIZES.len());
     for &n in &PROFILE_SIZES {
         let mut cells = [0.0f64; 3];
-        for (i, dist) in [ValueDist::Uniform, ValueDist::Zipf(1.5)].into_iter().enumerate() {
+        for (i, dist) in [ValueDist::Uniform, ValueDist::Zipf(1.5)]
+            .into_iter()
+            .enumerate()
+        {
             let spec = SyntheticSpec::paper_standard(n, dist, seed);
             let env = spec.build_env();
             let profile = spec.build_profile(&env);
@@ -140,7 +143,10 @@ pub fn run_synthetic(exact: bool, seed: u64) -> Fig7Synthetic {
         }
         rows.push((n, cells[0], cells[1], cells[2]));
     }
-    Fig7Synthetic { match_label: if exact { "exact" } else { "non-exact" }, rows }
+    Fig7Synthetic {
+        match_label: if exact { "exact" } else { "non-exact" },
+        rows,
+    }
 }
 
 impl Fig7Real {
@@ -150,7 +156,10 @@ impl Fig7Real {
             ShapeCheck::new(
                 "real/exact: tree ≪ serial",
                 self.exact.tree_cells * 5.0 < self.exact.serial_cells,
-                format!("{:.0} vs {:.0} cells", self.exact.tree_cells, self.exact.serial_cells),
+                format!(
+                    "{:.0} vs {:.0} cells",
+                    self.exact.tree_cells, self.exact.serial_cells
+                ),
             ),
             ShapeCheck::new(
                 "real/non-exact: tree < serial",
@@ -163,7 +172,10 @@ impl Fig7Real {
             ShapeCheck::new(
                 "non-exact costs more than exact (tree)",
                 self.non_exact.tree_cells > self.exact.tree_cells,
-                format!("{:.0} vs {:.0} cells", self.non_exact.tree_cells, self.exact.tree_cells),
+                format!(
+                    "{:.0} vs {:.0} cells",
+                    self.non_exact.tree_cells, self.exact.tree_cells
+                ),
             ),
         ]
     }
@@ -198,13 +210,22 @@ impl Fig7Synthetic {
         let mut checks = Vec::new();
         let last = self.rows.last().unwrap();
         checks.push(ShapeCheck::new(
-            format!("synthetic/{}: tree ≪ serial at 10000 prefs", self.match_label),
+            format!(
+                "synthetic/{}: tree ≪ serial at 10000 prefs",
+                self.match_label
+            ),
             last.1 * 5.0 < last.3 && last.2 * 5.0 < last.3,
-            format!("uniform {:.0}, zipf {:.0} vs serial {:.0}", last.1, last.2, last.3),
+            format!(
+                "uniform {:.0}, zipf {:.0} vs serial {:.0}",
+                last.1, last.2, last.3
+            ),
         ));
         let serial_monotone = self.rows.windows(2).all(|w| w[0].3 <= w[1].3);
         checks.push(ShapeCheck::new(
-            format!("synthetic/{}: serial cost grows with profile size", self.match_label),
+            format!(
+                "synthetic/{}: serial cost grows with profile size",
+                self.match_label
+            ),
             serial_monotone,
             "serial column monotone",
         ));
@@ -213,7 +234,12 @@ impl Fig7Synthetic {
 
     /// Render the synthetic panel.
     pub fn render(&self) -> String {
-        let mut rows = vec![crate::row!["prefs", "tree (uniform)", "tree (zipf)", "serial"]];
+        let mut rows = vec![crate::row![
+            "prefs",
+            "tree (uniform)",
+            "tree (zipf)",
+            "serial"
+        ]];
         for (n, u, z, s) in &self.rows {
             rows.push(crate::row![
                 n,
@@ -224,7 +250,11 @@ impl Fig7Synthetic {
         }
         let mut out = format!(
             "Figure 7 ({}) — avg cells accessed per query, synthetic profiles (50 queries)\n",
-            if self.match_label == "exact" { "center: exact match" } else { "right: non-exact match" }
+            if self.match_label == "exact" {
+                "center: exact match"
+            } else {
+                "right: non-exact match"
+            }
         );
         out.push_str(&render(&rows));
         out.push_str(&render_checks(&self.shape_checks()));

@@ -27,10 +27,11 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod qcache_exp;
+pub mod replication;
 pub mod serving;
 pub mod table1;
-pub mod ties_exp;
 pub mod tablefmt;
+pub mod ties_exp;
 
 /// A named boolean shape check ("who wins, by roughly what factor").
 #[derive(Debug, Clone)]
@@ -46,7 +47,11 @@ pub struct ShapeCheck {
 impl ShapeCheck {
     /// Build a check from its parts.
     pub fn new(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> Self {
-        Self { name: name.into(), pass, detail: detail.into() }
+        Self {
+            name: name.into(),
+            pass,
+            detail: detail.into(),
+        }
     }
 }
 

@@ -3,7 +3,6 @@
 //! — users fire many queries under a slowly-changing context — and
 //! measuring the hit ratio and the resolution work saved.
 
-
 use ctxpref_context::ContextState;
 use ctxpref_core::{ContextualDb, QueryOptions};
 use ctxpref_relation::Value;
@@ -86,7 +85,12 @@ pub fn run(seed: u64) -> QCacheExp {
         let db = build_db(seed, 64);
         let qs = dwell_stream(db.env(), queries, dwell, seed ^ dwell as u64);
         let (hit_ratio, cells_uncached, cells_cached) = replay(&db, &qs);
-        rows.push(LocalityRow { dwell, hit_ratio, cells_uncached, cells_cached });
+        rows.push(LocalityRow {
+            dwell,
+            hit_ratio,
+            cells_uncached,
+            cells_cached,
+        });
     }
     QCacheExp { queries, rows }
 }
@@ -113,7 +117,11 @@ pub fn run_walk(seed: u64) -> Vec<WalkRow> {
             let db = build_db(seed, capacity);
             let qs = walk_stream(db.env(), queries, move_prob, seed ^ 77);
             let (hit_ratio, _, _) = replay(&db, &qs);
-            rows.push(WalkRow { move_prob, capacity, hit_ratio });
+            rows.push(WalkRow {
+                move_prob,
+                capacity,
+                hit_ratio,
+            });
         }
     }
     rows

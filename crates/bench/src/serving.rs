@@ -151,7 +151,8 @@ fn study_db(cfg: &ServingBenchConfig) -> MultiUserDb {
     let demos = all_demographics();
     for i in 0..cfg.users {
         let profile = default_profile(&env, db.relation(), demos[i % demos.len()]);
-        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
     }
     db
 }
@@ -259,7 +260,10 @@ fn throughput(reads: u64, writes: u64, saves: u64, window: Duration) -> CoreThro
 /// Per-writer checkpoint file (two writers must not race on one
 /// temp-file path).
 fn save_path(core: &str, t: usize) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("ctxpref-serving-{core}-{}-{t}.db", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "ctxpref-serving-{core}-{}-{t}.db",
+        std::process::id()
+    ))
 }
 
 /// Minimal write-preferring `RwLock<T>` for the global-lock baseline.
@@ -303,7 +307,10 @@ impl<T> std::ops::DerefMut for FairWriteGuard<'_, T> {
 
 impl<T> WritePreferringRwLock<T> {
     fn new(value: T) -> Self {
-        Self { turnstile: std::sync::Mutex::new(()), inner: RwLock::new(value) }
+        Self {
+            turnstile: std::sync::Mutex::new(()),
+            inner: RwLock::new(value),
+        }
     }
 
     /// Shared access: pass through the turnstile (queueing behind any
@@ -317,7 +324,10 @@ impl<T> WritePreferringRwLock<T> {
     /// readers arriving while the writer waits or works queue up.
     fn write(&self) -> FairWriteGuard<'_, T> {
         let t = self.turnstile.lock().unwrap_or_else(|e| e.into_inner());
-        FairWriteGuard { guard: self.inner.write(), _turnstile: t }
+        FairWriteGuard {
+            guard: self.inner.write(),
+            _turnstile: t,
+        }
     }
 }
 
@@ -350,7 +360,11 @@ fn run_global(cfg: &ServingBenchConfig) -> CoreThroughput {
         |t, n| {
             let victim = format!("user{}", (t * 7 + n as usize) % cfg.editor_users);
             db.write()
-                .update_preference_score(&victim, 0, writer_score(t as u64 + n / cfg.editor_users as u64))
+                .update_preference_score(
+                    &victim,
+                    0,
+                    writer_score(t as u64 + n / cfg.editor_users as u64),
+                )
                 .expect("benchmark edit must be a real, conflict-free mutation");
         },
         |t| {
@@ -381,8 +395,12 @@ fn run_sharded(cfg: &ServingBenchConfig) -> CoreThroughput {
         },
         |t, n| {
             let victim = format!("user{}", (t * 7 + n as usize) % cfg.editor_users);
-            db.update_preference_score(&victim, 0, writer_score(t as u64 + n / cfg.editor_users as u64))
-                .expect("benchmark edit must be a real, conflict-free mutation");
+            db.update_preference_score(
+                &victim,
+                0,
+                writer_score(t as u64 + n / cfg.editor_users as u64),
+            )
+            .expect("benchmark edit must be a real, conflict-free mutation");
         },
         |t| {
             // PR 2 service shape: snapshot the stripes (brief
@@ -402,7 +420,10 @@ fn run_sharded(cfg: &ServingBenchConfig) -> CoreThroughput {
 
 fn tiny_results() -> RankedResults {
     RankedResults::from_scores(
-        vec![ScoredTuple { tuple_index: 0, score: 0.5 }],
+        vec![ScoredTuple {
+            tuple_index: 0,
+            score: 0.5,
+        }],
         ScoreCombiner::Max,
     )
 }
@@ -520,7 +541,14 @@ pub fn run(cfg: ServingBenchConfig) -> ServingBenchReport {
             ),
         ),
     ];
-    ServingBenchReport { config: cfg, global, sharded, read_speedup, cache_hits, checks }
+    ServingBenchReport {
+        config: cfg,
+        global,
+        sharded,
+        read_speedup,
+        cache_hits,
+        checks,
+    }
 }
 
 impl ServingBenchReport {
@@ -545,7 +573,10 @@ impl ServingBenchReport {
             "  sharded ({} stripes):       {:>9.0} reads/s  {:>7.0} writes/s  {:>4} saves\n",
             self.config.shards, self.sharded.read_qps, self.sharded.write_qps, self.sharded.saves
         ));
-        out.push_str(&format!("  read-throughput speedup: {:.1}×\n", self.read_speedup));
+        out.push_str(&format!(
+            "  read-throughput speedup: {:.1}×\n",
+            self.read_speedup
+        ));
         out.push_str(&format!(
             "qcache hits, {} threads: shared {:.0}/s vs exclusive {:.0}/s\n",
             self.cache_hits.threads,

@@ -70,9 +70,15 @@ pub fn render_report(report: &UserStudyReport) -> String {
     rows.push(line("Num of updates", &|r| r.updates.to_string()));
     rows.push(line("Update time (mins)", &|r| r.minutes.to_string()));
     rows.push(line("Exact match", &|r| format!("{:.0}%", r.exact_pct)));
-    rows.push(line("1 cover state", &|r| format!("{:.0}%", r.one_cover_pct)));
-    rows.push(line("More: Hierarchy", &|r| format!("{:.0}%", r.multi_hierarchy_pct)));
-    rows.push(line("More: Jaccard", &|r| format!("{:.0}%", r.multi_jaccard_pct)));
+    rows.push(line("1 cover state", &|r| {
+        format!("{:.0}%", r.one_cover_pct)
+    }));
+    rows.push(line("More: Hierarchy", &|r| {
+        format!("{:.0}%", r.multi_hierarchy_pct)
+    }));
+    rows.push(line("More: Jaccard", &|r| {
+        format!("{:.0}%", r.multi_jaccard_pct)
+    }));
     let mut out = String::from("Table 1 — simulated user study (10 users)\n");
     out.push_str(&render(&rows));
     out.push_str(&format!(

@@ -44,7 +44,11 @@ pub struct TiesExp {
     pub rows: Vec<(usize, TieStats, TieStats)>,
 }
 
-fn measure(tree: &ProfileTree, queries: &[ctxpref_context::ContextState], kind: DistanceKind) -> TieStats {
+fn measure(
+    tree: &ProfileTree,
+    queries: &[ctxpref_context::ContextState],
+    kind: DistanceKind,
+) -> TieStats {
     let resolver = ContextResolver::new(tree, kind, TieBreak::All);
     let mut covered = 0;
     let mut tied = 0;
@@ -62,7 +66,11 @@ fn measure(tree: &ProfileTree, queries: &[ctxpref_context::ContextState], kind: 
     TieStats {
         covered_queries: covered,
         tied_queries: tied,
-        mean_selected: if covered == 0 { 0.0 } else { selected_total as f64 / covered as f64 },
+        mean_selected: if covered == 0 {
+            0.0
+        } else {
+            selected_total as f64 / covered as f64
+        },
     }
 }
 
@@ -96,9 +104,17 @@ impl TiesExp {
             self.rows.iter().map(|(_, h, _)| h.tie_rate()).sum::<f64>() / self.rows.len() as f64;
         let jacc_rate: f64 =
             self.rows.iter().map(|(_, _, j)| j.tie_rate()).sum::<f64>() / self.rows.len() as f64;
-        let hier_sel: f64 = self.rows.iter().map(|(_, h, _)| h.mean_selected).sum::<f64>()
+        let hier_sel: f64 = self
+            .rows
+            .iter()
+            .map(|(_, h, _)| h.mean_selected)
+            .sum::<f64>()
             / self.rows.len() as f64;
-        let jacc_sel: f64 = self.rows.iter().map(|(_, _, j)| j.mean_selected).sum::<f64>()
+        let jacc_sel: f64 = self
+            .rows
+            .iter()
+            .map(|(_, _, j)| j.mean_selected)
+            .sum::<f64>()
             / self.rows.len() as f64;
         vec![
             ShapeCheck::new(

@@ -165,7 +165,9 @@ impl ContextDescriptor {
     ) -> Result<bool, ContextError> {
         let a = self.value_sets(env)?;
         let b = other.value_sets(env)?;
-        Ok(a.iter().zip(b.iter()).all(|(x, y)| x.iter().any(|v| y.contains(v))))
+        Ok(a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.iter().any(|v| y.contains(v))))
     }
 
     /// Render using value names, e.g.
@@ -215,9 +217,13 @@ impl fmt::Display for DescriptorDisplay<'_> {
                     }
                     write!(f, "}}")?
                 }
-                ParameterDescriptor::Range(a, b) => {
-                    write!(f, "{} ∈ [{}, {}]", h.name(), h.value_name(*a), h.value_name(*b))?
-                }
+                ParameterDescriptor::Range(a, b) => write!(
+                    f,
+                    "{} ∈ [{}, {}]",
+                    h.name(),
+                    h.value_name(*a),
+                    h.value_name(*b)
+                )?,
             }
         }
         write!(f, ")")
@@ -279,7 +285,9 @@ impl ExtendedContextDescriptor {
 
 impl From<ContextDescriptor> for ExtendedContextDescriptor {
     fn from(cod: ContextDescriptor) -> Self {
-        Self { disjuncts: vec![cod] }
+        Self {
+            disjuncts: vec![cod],
+        }
     }
 }
 
@@ -313,7 +321,10 @@ mod tests {
         let pd = ParameterDescriptor::In(vec![warm, hot, warm]);
         assert_eq!(pd.values(p, h).unwrap(), vec![warm, hot]);
         let empty = ParameterDescriptor::In(vec![]);
-        assert!(matches!(empty.values(p, h).unwrap_err(), ContextError::EmptyValueSet { .. }));
+        assert!(matches!(
+            empty.values(p, h).unwrap_err(),
+            ContextError::EmptyValueSet { .. }
+        ));
     }
 
     #[test]
@@ -323,13 +334,19 @@ mod tests {
         let p = env.param("temperature").unwrap();
         let h = env.hierarchy(p);
         let pd = ParameterDescriptor::Range(h.lookup("mild").unwrap(), h.lookup("hot").unwrap());
-        let names: Vec<&str> =
-            pd.values(p, h).unwrap().into_iter().map(|v| h.value_name(v)).collect();
+        let names: Vec<&str> = pd
+            .values(p, h)
+            .unwrap()
+            .into_iter()
+            .map(|v| h.value_name(v))
+            .collect();
         assert_eq!(names, vec!["mild", "warm", "hot"]);
         // Cross-level range is rejected.
-        let bad =
-            ParameterDescriptor::Range(h.lookup("mild").unwrap(), h.lookup("good").unwrap());
-        assert!(matches!(bad.values(p, h).unwrap_err(), ContextError::RangeLevelMismatch { .. }));
+        let bad = ParameterDescriptor::Range(h.lookup("mild").unwrap(), h.lookup("good").unwrap());
+        assert!(matches!(
+            bad.values(p, h).unwrap_err(),
+            ContextError::RangeLevelMismatch { .. }
+        ));
     }
 
     #[test]
@@ -345,7 +362,10 @@ mod tests {
             .with(loc, ParameterDescriptor::Eq(lh.lookup("Plaka").unwrap()))
             .with(
                 tmp,
-                ParameterDescriptor::In(vec![th.lookup("warm").unwrap(), th.lookup("hot").unwrap()]),
+                ParameterDescriptor::In(vec![
+                    th.lookup("warm").unwrap(),
+                    th.lookup("hot").unwrap(),
+                ]),
             );
         let states = cod.states(&env).unwrap();
         let rendered: Vec<String> = states.iter().map(|s| s.display(&env).to_string()).collect();
@@ -369,7 +389,9 @@ mod tests {
             .unwrap()
             .with_eq(&env, "temperature", "warm")
             .unwrap();
-        let b = ContextDescriptor::empty().with_eq(&env, "location", "Plaka").unwrap();
+        let b = ContextDescriptor::empty()
+            .with_eq(&env, "location", "Plaka")
+            .unwrap();
         // b leaves temperature = all, a pins warm → different states.
         assert!(!a.overlaps(&b, &env).unwrap());
         let c = ContextDescriptor::empty()
@@ -389,9 +411,15 @@ mod tests {
     #[test]
     fn extended_descriptor_unions_and_dedupes() {
         let env = reference_env();
-        let a = ContextDescriptor::empty().with_eq(&env, "location", "Plaka").unwrap();
-        let b = ContextDescriptor::empty().with_eq(&env, "location", "Plaka").unwrap();
-        let c = ContextDescriptor::empty().with_eq(&env, "location", "Kifisia").unwrap();
+        let a = ContextDescriptor::empty()
+            .with_eq(&env, "location", "Plaka")
+            .unwrap();
+        let b = ContextDescriptor::empty()
+            .with_eq(&env, "location", "Plaka")
+            .unwrap();
+        let c = ContextDescriptor::empty()
+            .with_eq(&env, "location", "Kifisia")
+            .unwrap();
         let e = ExtendedContextDescriptor::new().or(a).or(b).or(c);
         assert_eq!(e.states(&env).unwrap().len(), 2);
         assert!(ExtendedContextDescriptor::new().is_empty());
@@ -413,18 +441,25 @@ mod tests {
             cod.display(&env).to_string(),
             "(location = Plaka ∧ temperature ∈ [warm, hot])"
         );
-        assert_eq!(ContextDescriptor::empty().display(&env).to_string(), "(true)");
+        assert_eq!(
+            ContextDescriptor::empty().display(&env).to_string(),
+            "(true)"
+        );
     }
 
     #[test]
     fn with_eq_reports_unknowns() {
         let env = reference_env();
         assert!(matches!(
-            ContextDescriptor::empty().with_eq(&env, "nope", "Plaka").unwrap_err(),
+            ContextDescriptor::empty()
+                .with_eq(&env, "nope", "Plaka")
+                .unwrap_err(),
             ContextError::UnknownParam(_)
         ));
         assert!(matches!(
-            ContextDescriptor::empty().with_eq(&env, "location", "Sparta").unwrap_err(),
+            ContextDescriptor::empty()
+                .with_eq(&env, "location", "Sparta")
+                .unwrap_err(),
             ContextError::UnknownValue { .. }
         ));
     }

@@ -51,11 +51,17 @@ impl ContextEnvironment {
         }
         let mut by_name = HashMap::with_capacity(hierarchies.len());
         for (i, h) in hierarchies.iter().enumerate() {
-            if by_name.insert(h.name().to_string(), ParamId(i as u16)).is_some() {
+            if by_name
+                .insert(h.name().to_string(), ParamId(i as u16))
+                .is_some()
+            {
                 return Err(ContextError::DuplicateParam(h.name().to_string()));
             }
         }
-        Ok(Self { params: hierarchies.into(), by_name: Arc::new(by_name) })
+        Ok(Self {
+            params: hierarchies.into(),
+            by_name: Arc::new(by_name),
+        })
     }
 
     /// Number of context parameters (`n`).
@@ -90,12 +96,16 @@ impl ContextEnvironment {
 
     /// Like [`Self::param`] but returning a typed error.
     pub fn require_param(&self, name: &str) -> Result<ParamId, ContextError> {
-        self.param(name).ok_or_else(|| ContextError::UnknownParam(name.to_string()))
+        self.param(name)
+            .ok_or_else(|| ContextError::UnknownParam(name.to_string()))
     }
 
     /// Iterate over `(ParamId, &Hierarchy)` pairs in parameter order.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Hierarchy)> {
-        self.params.iter().enumerate().map(|(i, h)| (ParamId(i as u16), h.as_ref()))
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (ParamId(i as u16), h.as_ref()))
     }
 
     /// All parameter ids, in order.
@@ -114,7 +124,9 @@ impl ContextEnvironment {
     /// `|EW|`: size of the extended world, the Cartesian product of the
     /// extended domains. Saturates at `u128::MAX`.
     pub fn extended_world_size(&self) -> u128 {
-        self.params.iter().fold(1u128, |acc, h| acc.saturating_mul(h.edom_size() as u128))
+        self.params
+            .iter()
+            .fold(1u128, |acc, h| acc.saturating_mul(h.edom_size() as u128))
     }
 
     /// True when two environments are the same underlying object (used

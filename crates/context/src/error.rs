@@ -56,10 +56,17 @@ impl fmt::Display for ContextError {
             Self::EmptyEnvironment => write!(f, "a context environment needs ≥ 1 parameter"),
             Self::DuplicateParam(p) => write!(f, "duplicate context parameter {p:?}"),
             Self::ArityMismatch { expected, got } => {
-                write!(f, "context state arity mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "context state arity mismatch: expected {expected}, got {got}"
+                )
             }
             Self::ForeignValue { param } => {
-                write!(f, "value does not belong to the hierarchy of parameter #{}", param.0)
+                write!(
+                    f,
+                    "value does not belong to the hierarchy of parameter #{}",
+                    param.0
+                )
             }
             Self::UnknownParam(p) => write!(f, "unknown context parameter {p:?}"),
             Self::UnknownValue { param, value } => {

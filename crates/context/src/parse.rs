@@ -47,7 +47,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ContextError {
-        ContextError::Parse { position: self.pos, message: message.into() }
+        ContextError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn next_tok(&mut self) -> Result<Option<(usize, Tok)>, ContextError> {
@@ -61,7 +64,10 @@ impl<'a> Lexer<'a> {
         let start = self.pos;
         let rest = &self.src[self.pos..];
         // Unicode connectives.
-        for (sym, tok) in [("∧", Tok::Word("and".into())), ("∨", Tok::Word("or".into()))] {
+        for (sym, tok) in [
+            ("∧", Tok::Word("and".into())),
+            ("∨", Tok::Word("or".into())),
+        ] {
             if let Some(r) = rest.strip_prefix(sym) {
                 self.pos += rest.len() - r.len();
                 return Ok(Some((start, tok)));
@@ -108,7 +114,11 @@ impl<'a> Lexer<'a> {
                     break;
                 }
                 end += if bytes[end] >= 0x80 {
-                    self.src[end..].chars().next().map(char::len_utf8).unwrap_or(1)
+                    self.src[end..]
+                        .chars()
+                        .next()
+                        .map(char::len_utf8)
+                        .unwrap_or(1)
                 } else {
                     1
                 };
@@ -117,7 +127,10 @@ impl<'a> Lexer<'a> {
             self.pos = end;
             return Ok(Some((start, Tok::Word(word))));
         }
-        Err(self.error(format!("unexpected character {:?}", self.src[self.pos..].chars().next())))
+        Err(self.error(format!(
+            "unexpected character {:?}",
+            self.src[self.pos..].chars().next()
+        )))
     }
 }
 
@@ -135,7 +148,12 @@ impl<'a> Parser<'a> {
         while let Some(t) = lex.next_tok()? {
             toks.push(t);
         }
-        Ok(Self { env, toks, i: 0, len: src.len() })
+        Ok(Self {
+            env,
+            toks,
+            i: 0,
+            len: src.len(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -147,7 +165,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ContextError {
-        ContextError::Parse { position: self.pos(), message: message.into() }
+        ContextError::Parse {
+            position: self.pos(),
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -182,10 +203,13 @@ impl<'a> Parser<'a> {
     fn value(&mut self, param: &str) -> Result<CtxValue, ContextError> {
         let name = self.word("a value name")?;
         let p = self.env.require_param(param)?;
-        self.env.hierarchy(p).lookup(&name).ok_or_else(|| ContextError::UnknownValue {
-            param: param.to_string(),
-            value: name,
-        })
+        self.env
+            .hierarchy(p)
+            .lookup(&name)
+            .ok_or_else(|| ContextError::UnknownValue {
+                param: param.to_string(),
+                value: name,
+            })
     }
 
     fn clause(&mut self, cod: ContextDescriptor) -> Result<ContextDescriptor, ContextError> {
@@ -274,7 +298,9 @@ pub fn parse_descriptor(
     let mut p = Parser::new(env, src)?;
     let cod = p.conjunction()?;
     if p.peek().is_some() {
-        return Err(p.error("trailing input after descriptor (use parse_extended_descriptor for `or`)"));
+        return Err(
+            p.error("trailing input after descriptor (use parse_extended_descriptor for `or`)")
+        );
     }
     Ok(cod)
 }
@@ -296,8 +322,8 @@ mod tests {
     #[test]
     fn parses_paper_examples() {
         let env = reference_env();
-        let cod = parse_descriptor(&env, "location = Plaka and temperature in {warm, hot}")
-            .unwrap();
+        let cod =
+            parse_descriptor(&env, "location = Plaka and temperature in {warm, hot}").unwrap();
         let states = cod.states(&env).unwrap();
         let rendered: Vec<String> = states.iter().map(|s| s.display(&env).to_string()).collect();
         assert_eq!(rendered, vec!["(Plaka, warm, all)", "(Plaka, hot, all)"]);
@@ -306,8 +332,7 @@ mod tests {
     #[test]
     fn parses_unicode_connectives_and_ranges() {
         let env = reference_env();
-        let cod =
-            parse_descriptor(&env, "location = Plaka ∧ temperature in [mild, hot]").unwrap();
+        let cod = parse_descriptor(&env, "location = Plaka ∧ temperature in [mild, hot]").unwrap();
         assert_eq!(cod.state_count(&env).unwrap(), 3);
     }
 
@@ -331,19 +356,14 @@ mod tests {
         assert_eq!(e.disjuncts().len(), 2);
         assert_eq!(e.states(&env).unwrap().len(), 2);
         // Without parens too.
-        let e2 = parse_extended_descriptor(
-            &env,
-            "location = Athens ∨ temperature = good",
-        )
-        .unwrap();
+        let e2 = parse_extended_descriptor(&env, "location = Athens ∨ temperature = good").unwrap();
         assert_eq!(e2.disjuncts().len(), 2);
     }
 
     #[test]
     fn keywords_are_case_insensitive() {
         let env = reference_env();
-        let cod =
-            parse_descriptor(&env, "location = Plaka AND temperature IN {warm}").unwrap();
+        let cod = parse_descriptor(&env, "location = Plaka AND temperature IN {warm}").unwrap();
         assert_eq!(cod.clause_count(), 2);
     }
 

@@ -28,7 +28,10 @@ impl ContextState {
     /// Build a state, validating arity and value membership.
     pub fn new(env: &ContextEnvironment, values: Vec<CtxValue>) -> Result<Self, ContextError> {
         if values.len() != env.len() {
-            return Err(ContextError::ArityMismatch { expected: env.len(), got: values.len() });
+            return Err(ContextError::ArityMismatch {
+                expected: env.len(),
+                got: values.len(),
+            });
         }
         for (i, &v) in values.iter().enumerate() {
             let p = ParamId(i as u16);
@@ -36,13 +39,17 @@ impl ContextState {
                 return Err(ContextError::ForeignValue { param: p });
             }
         }
-        Ok(Self { values: values.into_boxed_slice() })
+        Ok(Self {
+            values: values.into_boxed_slice(),
+        })
     }
 
     /// Build a state without validation. The caller must guarantee each
     /// value belongs to the corresponding parameter's hierarchy.
     pub fn from_values_unchecked(values: Vec<CtxValue>) -> Self {
-        Self { values: values.into_boxed_slice() }
+        Self {
+            values: values.into_boxed_slice(),
+        }
     }
 
     /// The `(all, all, …, all)` state — the context of an empty
@@ -57,7 +64,10 @@ impl ContextState {
     /// `ContextState::parse(&env, &["Plaka", "warm", "friends"])`.
     pub fn parse(env: &ContextEnvironment, names: &[&str]) -> Result<Self, ContextError> {
         if names.len() != env.len() {
-            return Err(ContextError::ArityMismatch { expected: env.len(), got: names.len() });
+            return Err(ContextError::ArityMismatch {
+                expected: env.len(),
+                got: names.len(),
+            });
         }
         let mut values = Vec::with_capacity(names.len());
         for ((_, h), &name) in env.iter().zip(names) {
@@ -67,7 +77,9 @@ impl ContextState {
             })?;
             values.push(v);
         }
-        Ok(Self { values: values.into_boxed_slice() })
+        Ok(Self {
+            values: values.into_boxed_slice(),
+        })
     }
 
     /// Number of parameters (`n`).
@@ -133,7 +145,9 @@ impl ContextState {
     pub fn with_value(&self, p: ParamId, v: CtxValue) -> Self {
         let mut values = self.values.to_vec();
         values[p.index()] = v;
-        Self { values: values.into_boxed_slice() }
+        Self {
+            values: values.into_boxed_slice(),
+        }
     }
 
     /// Render with value names, e.g. `(Plaka, warm, friends)`.
@@ -144,11 +158,7 @@ impl ContextState {
 
 /// Does a set of states cover another set (Definition 11)? `sup` covers
 /// `sub` iff every state of `sub` is covered by some state of `sup`.
-pub fn set_covers(
-    sup: &[ContextState],
-    sub: &[ContextState],
-    env: &ContextEnvironment,
-) -> bool {
+pub fn set_covers(sup: &[ContextState], sub: &[ContextState], env: &ContextEnvironment) -> bool {
     sub.iter().all(|s| sup.iter().any(|t| t.covers(s, env)))
 }
 
@@ -203,7 +213,10 @@ mod tests {
     fn new_validates_membership() {
         let env = reference_env();
         let bad = ContextState::new(&env, vec![ValueId(999), ValueId(0), ValueId(0)]);
-        assert!(matches!(bad.unwrap_err(), ContextError::ForeignValue { .. }));
+        assert!(matches!(
+            bad.unwrap_err(),
+            ContextError::ForeignValue { .. }
+        ));
     }
 
     #[test]
@@ -248,7 +261,11 @@ mod tests {
         let q2 = ContextState::parse(&env, &["Perama", "cold", "family"]).unwrap();
         let c1 = ContextState::parse(&env, &["Athens", "good", "all"]).unwrap();
         let c2 = ContextState::parse(&env, &["Greece", "all", "all"]).unwrap();
-        assert!(set_covers(&[c1.clone(), c2.clone()], &[q1.clone(), q2.clone()], &env));
+        assert!(set_covers(
+            &[c1.clone(), c2.clone()],
+            &[q1.clone(), q2.clone()],
+            &env
+        ));
         // c1 alone does not cover q2.
         assert!(!set_covers(&[c1], &[q1, q2], &env));
         // Empty sub-set is trivially covered.

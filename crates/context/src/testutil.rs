@@ -27,8 +27,7 @@ pub(crate) fn reference_env() -> ContextEnvironment {
     temp.add_leaves("bad", &["freezing", "cold"]).unwrap();
     temp.add_leaves("good", &["mild", "warm", "hot"]).unwrap();
 
-    let people =
-        Hierarchy::flat("accompanying_people", &["friends", "family", "alone"]).unwrap();
+    let people = Hierarchy::flat("accompanying_people", &["friends", "family", "alone"]).unwrap();
 
     ContextEnvironment::new(vec![loc.build().unwrap(), temp.build().unwrap(), people]).unwrap()
 }

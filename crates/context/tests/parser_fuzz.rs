@@ -2,8 +2,8 @@
 //! descriptors round-trip through a canonical textual rendering.
 
 use ctxpref_context::{
-    parse_descriptor, parse_extended_descriptor, ContextDescriptor, ContextEnvironment,
-    ParamId, ParameterDescriptor,
+    parse_descriptor, parse_extended_descriptor, ContextDescriptor, ContextEnvironment, ParamId,
+    ParameterDescriptor,
 };
 use ctxpref_hierarchy::{Hierarchy, HierarchyBuilder};
 use proptest::prelude::*;
@@ -35,10 +35,18 @@ fn render(env: &ContextEnvironment, cod: &ContextDescriptor) -> String {
             ParameterDescriptor::In(vs) => format!(
                 "{} in {{{}}}",
                 h.name(),
-                vs.iter().map(|v| h.value_name(*v)).collect::<Vec<_>>().join(", ")
+                vs.iter()
+                    .map(|v| h.value_name(*v))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             ParameterDescriptor::Range(a, b) => {
-                format!("{} in [{}, {}]", h.name(), h.value_name(*a), h.value_name(*b))
+                format!(
+                    "{} in [{}, {}]",
+                    h.name(),
+                    h.value_name(*a),
+                    h.value_name(*b)
+                )
             }
         };
         parts.push(part);

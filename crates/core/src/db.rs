@@ -37,12 +37,18 @@ pub struct QueryOptions {
 impl QueryOptions {
     /// Options with the context query tree enabled.
     pub fn cached() -> Self {
-        Self { use_cache: true, ..Self::default() }
+        Self {
+            use_cache: true,
+            ..Self::default()
+        }
     }
 
     /// Options using the Jaccard distance.
     pub fn jaccard() -> Self {
-        Self { distance: DistanceKind::Jaccard, ..Self::default() }
+        Self {
+            distance: DistanceKind::Jaccard,
+            ..Self::default()
+        }
     }
 }
 
@@ -128,7 +134,9 @@ impl ContextualDbBuilder {
     pub fn build(self) -> Result<ContextualDb, CoreError> {
         let env = self.env.ok_or(CoreError::MissingEnvironment)?;
         let relation = self.relation.ok_or(CoreError::MissingRelation)?;
-        let order = self.order.unwrap_or_else(|| ParamOrder::by_ascending_domain(&env));
+        let order = self
+            .order
+            .unwrap_or_else(|| ParamOrder::by_ascending_domain(&env));
         let tree = ProfileTree::new(env.clone(), order)?;
         let cache = (self.cache_capacity > 0)
             .then(|| ContextQueryTree::new(env.clone(), self.cache_capacity));
@@ -324,7 +332,8 @@ impl ContextualDb {
                         .unwrap_or(false)
             });
             if !still_contributed {
-                self.tree.remove_state_entry(&state, pref.clause(), pref.score());
+                self.tree
+                    .remove_state_entry(&state, pref.clause(), pref.score());
             }
         }
         Ok(())
@@ -413,9 +422,14 @@ impl ContextualDb {
                 opts.combiner,
                 k,
             )?,
-            None => {
-                rank_cs(&self.tree, &self.relation, ecod, opts.distance, opts.tie, opts.combiner)?
-            }
+            None => rank_cs(
+                &self.tree,
+                &self.relation,
+                ecod,
+                opts.distance,
+                opts.tie,
+                opts.combiner,
+            )?,
         };
         Ok(QueryAnswer {
             results: Arc::new(q.results),
@@ -426,7 +440,12 @@ impl ContextualDb {
 
     /// Render the top-`k` answer (ties included) as `name (score)` lines
     /// using the given display attribute — handy for examples and CLIs.
-    pub fn render_top(&self, answer: &QueryAnswer, attr: &str, k: usize) -> Result<String, CoreError> {
+    pub fn render_top(
+        &self,
+        answer: &QueryAnswer,
+        attr: &str,
+        k: usize,
+    ) -> Result<String, CoreError> {
         let a = self.relation.schema().require_attr(attr)?;
         let mut out = String::new();
         for e in answer.results.top_k_with_ties(k) {
@@ -472,8 +491,7 @@ mod tests {
     }
 
     fn relation() -> Relation {
-        let schema =
-            Schema::new(&[("name", AttrType::Str), ("type", AttrType::Str)]).unwrap();
+        let schema = Schema::new(&[("name", AttrType::Str), ("type", AttrType::Str)]).unwrap();
         let mut rel = Relation::new("poi", schema);
         for (n, t) in [
             ("Acropolis", "monument"),
@@ -493,16 +511,22 @@ mod tests {
             .cache_capacity(16)
             .build()
             .unwrap();
-        db.insert_preference_eq("weather = warm", "name", "Acropolis".into(), 0.8).unwrap();
-        db.insert_preference_eq("weather = bad", "type", "museum".into(), 0.7).unwrap();
-        db.insert_preference_eq("company = friends", "type", "brewery".into(), 0.9).unwrap();
+        db.insert_preference_eq("weather = warm", "name", "Acropolis".into(), 0.8)
+            .unwrap();
+        db.insert_preference_eq("weather = bad", "type", "museum".into(), 0.7)
+            .unwrap();
+        db.insert_preference_eq("company = friends", "type", "brewery".into(), 0.9)
+            .unwrap();
         db
     }
 
     #[test]
     fn builder_requires_env_and_relation() {
         assert!(matches!(
-            ContextualDb::builder().relation(relation()).build().unwrap_err(),
+            ContextualDb::builder()
+                .relation(relation())
+                .build()
+                .unwrap_err(),
             CoreError::MissingEnvironment
         ));
         assert!(matches!(
@@ -542,7 +566,8 @@ mod tests {
         assert_eq!(a1.results.entries(), a2.results.entries());
         assert_eq!(a2.cells(), 0);
         // Profile change invalidates.
-        db.insert_preference_eq("weather = hot", "type", "zoo".into(), 0.5).unwrap();
+        db.insert_preference_eq("weather = hot", "type", "zoo".into(), 0.5)
+            .unwrap();
         let a3 = db.query_state_with(&s, QueryOptions::cached()).unwrap();
         assert!(!a3.from_cache);
         let stats = db.cache_stats().unwrap();
@@ -566,7 +591,10 @@ mod tests {
     #[test]
     fn remove_and_update_rebuild() {
         let mut db = db();
-        assert!(matches!(db.remove_preference(99).unwrap_err(), CoreError::NoSuchPreference(99)));
+        assert!(matches!(
+            db.remove_preference(99).unwrap_err(),
+            CoreError::NoSuchPreference(99)
+        ));
         db.update_preference_score(0, 0.55).unwrap();
         let s = ContextState::parse(db.env(), &["warm", "family"]).unwrap();
         let a = db.query_state(&s).unwrap();
@@ -608,7 +636,13 @@ mod tests {
         let s = ContextState::parse(db.env(), &["cold", "friends"]).unwrap();
         let full = db.query_state(&s).unwrap();
         let top1 = db
-            .query_state_with(&s, QueryOptions { top_k: Some(1), ..QueryOptions::default() })
+            .query_state_with(
+                &s,
+                QueryOptions {
+                    top_k: Some(1),
+                    ..QueryOptions::default()
+                },
+            )
             .unwrap();
         assert_eq!(
             full.results.top_k_with_ties(1),
@@ -629,7 +663,10 @@ mod tests {
         let j = db
             .query_state_with(
                 &s,
-                QueryOptions { use_cache: true, ..QueryOptions::jaccard() },
+                QueryOptions {
+                    use_cache: true,
+                    ..QueryOptions::jaccard()
+                },
             )
             .unwrap();
         assert!(!j.from_cache);
@@ -642,7 +679,9 @@ mod tests {
         let mut db = db();
         let s = ContextState::parse(db.env(), &["cold", "friends"]).unwrap();
         let _ = db.query_state_with(&s, QueryOptions::cached()).unwrap();
-        db.relation_mut().insert(vec!["New".into(), "brewery".into()]).unwrap();
+        db.relation_mut()
+            .insert(vec!["New".into(), "brewery".into()])
+            .unwrap();
         let a = db.query_state_with(&s, QueryOptions::cached()).unwrap();
         assert!(!a.from_cache);
         // And the new brewery is ranked.

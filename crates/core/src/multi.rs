@@ -26,7 +26,10 @@ use ctxpref_context::ContextEnvironment;
 /// results are stitched back in state order, so the merged ranking is
 /// identical to the serial one.
 pub(crate) fn rank_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Per-user state: the logical profile, its tree index, and an optional
@@ -50,7 +53,11 @@ impl UserSlot {
         let tree = ProfileTree::from_profile(&profile, order.clone())?;
         let cache =
             (cache_capacity > 0).then(|| ContextQueryTree::new(env.clone(), cache_capacity));
-        Ok(Self { profile, tree, cache })
+        Ok(Self {
+            profile,
+            tree,
+            cache,
+        })
     }
 
     /// A deep copy with a fresh (empty) cache — used by snapshots; cached
@@ -62,10 +69,17 @@ impl UserSlot {
     ) -> Self {
         let cache =
             (cache_capacity > 0).then(|| ContextQueryTree::new(env.clone(), cache_capacity));
-        Self { profile: self.profile.clone(), tree: self.tree.clone(), cache }
+        Self {
+            profile: self.profile.clone(),
+            tree: self.tree.clone(),
+            cache,
+        }
     }
 
-    pub(crate) fn insert_preference(&mut self, pref: ContextualPreference) -> Result<(), CoreError> {
+    pub(crate) fn insert_preference(
+        &mut self,
+        pref: ContextualPreference,
+    ) -> Result<(), CoreError> {
         self.tree.insert(&pref)?;
         self.profile.insert_unchecked(pref);
         if let Some(c) = &self.cache {
@@ -133,7 +147,11 @@ impl UserSlot {
     ) -> Result<QueryAnswer, CoreError> {
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(state) {
-                return Ok(QueryAnswer { results: hit, resolutions: Vec::new(), from_cache: true });
+                return Ok(QueryAnswer {
+                    results: hit,
+                    resolutions: Vec::new(),
+                    from_cache: true,
+                });
             }
         }
         let ecod: ExtendedContextDescriptor = crate::db::descriptor_of_state(env, state).into();
@@ -212,9 +230,22 @@ impl MultiUserDb {
     /// Decompose into raw parts (for conversion into the sharded core).
     pub(crate) fn into_parts(
         self,
-    ) -> (ContextEnvironment, Relation, ParamOrder, usize, QueryOptions, HashMap<String, UserSlot>)
-    {
-        (self.env, self.relation, self.order, self.cache_capacity, self.defaults, self.users)
+    ) -> (
+        ContextEnvironment,
+        Relation,
+        ParamOrder,
+        usize,
+        QueryOptions,
+        HashMap<String, UserSlot>,
+    ) {
+        (
+            self.env,
+            self.relation,
+            self.order,
+            self.cache_capacity,
+            self.defaults,
+            self.users,
+        )
     }
 
     /// Reassemble from raw parts (the sharded core converting back).
@@ -226,7 +257,14 @@ impl MultiUserDb {
         defaults: QueryOptions,
         users: HashMap<String, UserSlot>,
     ) -> Self {
-        Self { env, relation, order, cache_capacity, defaults, users }
+        Self {
+            env,
+            relation,
+            order,
+            cache_capacity,
+            defaults,
+            users,
+        }
     }
 
     /// The shared context environment.
@@ -268,11 +306,7 @@ impl MultiUserDb {
 
     /// Register a user with an initial profile — e.g. one of the twelve
     /// demographic default profiles of the user study.
-    pub fn add_user_with_profile(
-        &mut self,
-        name: &str,
-        profile: Profile,
-    ) -> Result<(), CoreError> {
+    pub fn add_user_with_profile(&mut self, name: &str, profile: Profile) -> Result<(), CoreError> {
         if self.users.contains_key(name) {
             return Err(CoreError::DuplicateUser(name.to_string()));
         }
@@ -290,11 +324,15 @@ impl MultiUserDb {
     }
 
     fn slot(&self, name: &str) -> Result<&UserSlot, CoreError> {
-        self.users.get(name).ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
+        self.users
+            .get(name)
+            .ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
     }
 
     fn slot_mut(&mut self, name: &str) -> Result<&mut UserSlot, CoreError> {
-        self.users.get_mut(name).ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
+        self.users
+            .get_mut(name)
+            .ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
     }
 
     /// A user's profile.
@@ -334,8 +372,11 @@ impl MultiUserDb {
         score: f64,
     ) -> Result<(), CoreError> {
         let cod = parse_descriptor(&self.env, descriptor)?;
-        let clause =
-            AttributeClause::new(self.relation.schema().require_attr(attr)?, CompareOp::Eq, value);
+        let clause = AttributeClause::new(
+            self.relation.schema().require_attr(attr)?,
+            CompareOp::Eq,
+            value,
+        );
         self.insert_preference(user, ContextualPreference::new(cod, clause, score)?)
     }
 
@@ -361,7 +402,8 @@ impl MultiUserDb {
     ) -> Result<(), CoreError> {
         let env = self.env.clone();
         let order = self.order.clone();
-        self.slot_mut(user)?.update_preference_score(index, score, &env, &order)
+        self.slot_mut(user)?
+            .update_preference_score(index, score, &env, &order)
     }
 
     /// The query options used for every query on this database.
@@ -390,7 +432,8 @@ impl MultiUserDb {
     /// Query one user's profile under a single context state, through
     /// their cache when enabled.
     pub fn query_state(&self, user: &str, state: &ContextState) -> Result<QueryAnswer, CoreError> {
-        self.slot(user)?.query_state(&self.env, &self.relation, self.defaults, state)
+        self.slot(user)?
+            .query_state(&self.env, &self.relation, self.defaults, state)
     }
 
     /// Render the top-`k` answer (ties included) as `name (score)` lines
@@ -432,10 +475,9 @@ mod tests {
     use ctxpref_relation::{AttrType, Schema};
 
     fn setup() -> MultiUserDb {
-        let env = ContextEnvironment::new(vec![
-            Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
-        ])
-        .unwrap();
+        let env =
+            ContextEnvironment::new(vec![Hierarchy::flat("weather", &["cold", "warm"]).unwrap()])
+                .unwrap();
         let schema = Schema::new(&[("type", AttrType::Str)]).unwrap();
         let mut rel = Relation::new("poi", schema);
         for t in ["museum", "brewery", "zoo"] {
@@ -472,22 +514,32 @@ mod tests {
 
         // Conflicts are per-user: bob can score the same state/clause
         // differently from alice, but not from himself.
-        db.insert_preference("bob", pref(&db, "weather = warm", "brewery", 0.2)).unwrap();
-        assert!(db.insert_preference("bob", pref(&db, "weather = warm", "brewery", 0.7)).is_err());
+        db.insert_preference("bob", pref(&db, "weather = warm", "brewery", 0.2))
+            .unwrap();
+        assert!(db
+            .insert_preference("bob", pref(&db, "weather = warm", "brewery", 0.7))
+            .is_err());
     }
 
     #[test]
     fn user_management_errors() {
         let mut db = setup();
         db.add_user("alice").unwrap();
-        assert!(matches!(db.add_user("alice").unwrap_err(), CoreError::DuplicateUser(_)));
         assert!(matches!(
-            db.query_state("ghost", &ContextState::all(db.env())).unwrap_err(),
+            db.add_user("alice").unwrap_err(),
+            CoreError::DuplicateUser(_)
+        ));
+        assert!(matches!(
+            db.query_state("ghost", &ContextState::all(db.env()))
+                .unwrap_err(),
             CoreError::NoSuchUser(_)
         ));
         let profile = db.remove_user("alice").unwrap();
         assert!(profile.is_empty());
-        assert!(matches!(db.remove_user("alice").unwrap_err(), CoreError::NoSuchUser(_)));
+        assert!(matches!(
+            db.remove_user("alice").unwrap_err(),
+            CoreError::NoSuchUser(_)
+        ));
     }
 
     #[test]
@@ -495,8 +547,10 @@ mod tests {
         let mut db = setup();
         db.add_user("alice").unwrap();
         db.add_user("bob").unwrap();
-        db.insert_preference("alice", pref(&db, "weather = warm", "zoo", 0.5)).unwrap();
-        db.insert_preference("bob", pref(&db, "weather = warm", "zoo", 0.6)).unwrap();
+        db.insert_preference("alice", pref(&db, "weather = warm", "zoo", 0.5))
+            .unwrap();
+        db.insert_preference("bob", pref(&db, "weather = warm", "zoo", 0.6))
+            .unwrap();
         let warm = ContextState::parse(db.env(), &["warm"]).unwrap();
         let _ = db.query_state("alice", &warm).unwrap();
         let again = db.query_state("alice", &warm).unwrap();
@@ -511,7 +565,9 @@ mod tests {
     fn initial_profiles_and_stats() {
         let mut db = setup();
         let mut profile = Profile::new(db.env().clone());
-        profile.insert(pref(&db, "weather = cold", "museum", 0.8)).unwrap();
+        profile
+            .insert(pref(&db, "weather = cold", "museum", 0.8))
+            .unwrap();
         db.add_user_with_profile("carol", profile).unwrap();
         assert_eq!(db.profile("carol").unwrap().len(), 1);
         assert!(db.tree_stats("carol").unwrap().leaf_entries == 1);

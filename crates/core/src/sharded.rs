@@ -30,8 +30,12 @@
 
 use std::collections::HashMap;
 
-use ctxpref_context::{parse_descriptor, ContextEnvironment, ContextState, ExtendedContextDescriptor};
-use ctxpref_profile::{AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree, TreeStats};
+use ctxpref_context::{
+    parse_descriptor, ContextEnvironment, ContextState, ExtendedContextDescriptor,
+};
+use ctxpref_profile::{
+    AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree, TreeStats,
+};
 use ctxpref_relation::{CompareOp, Relation, Value};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -71,7 +75,9 @@ impl ShardedMultiUserDb {
         shards: usize,
     ) -> Self {
         let order = ParamOrder::by_ascending_domain(&env);
-        let shards = (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect();
+        let shards = (0..shards.max(1))
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect();
         Self {
             env,
             relation,
@@ -262,7 +268,9 @@ impl ShardedMultiUserDb {
         f: impl FnOnce(&UserSlot) -> Result<R, CoreError>,
     ) -> Result<R, CoreError> {
         let shard = self.shard(user).read();
-        let slot = shard.get(user).ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
+        let slot = shard
+            .get(user)
+            .ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
         f(slot)
     }
 
@@ -272,7 +280,9 @@ impl ShardedMultiUserDb {
         f: impl FnOnce(&mut UserSlot) -> Result<R, CoreError>,
     ) -> Result<R, CoreError> {
         let mut shard = self.shard(user).write();
-        let slot = shard.get_mut(user).ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
+        let slot = shard
+            .get_mut(user)
+            .ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
         f(slot)
     }
 
@@ -319,8 +329,11 @@ impl ShardedMultiUserDb {
         score: f64,
     ) -> Result<(), CoreError> {
         let cod = parse_descriptor(&self.env, descriptor)?;
-        let clause =
-            AttributeClause::new(self.relation.schema().require_attr(attr)?, CompareOp::Eq, value);
+        let clause = AttributeClause::new(
+            self.relation.schema().require_attr(attr)?,
+            CompareOp::Eq,
+            value,
+        );
         self.insert_preference(user, ContextualPreference::new(cod, clause, score)?)
     }
 
@@ -349,7 +362,9 @@ impl ShardedMultiUserDb {
     /// their cache when enabled. Takes the user's shard read lock.
     pub fn query_state(&self, user: &str, state: &ContextState) -> Result<QueryAnswer, CoreError> {
         let defaults = *self.defaults.read();
-        self.with_slot(user, |s| s.query_state(&self.env, &self.relation, defaults, state))
+        self.with_slot(user, |s| {
+            s.query_state(&self.env, &self.relation, defaults, state)
+        })
     }
 
     /// Query one user's profile with an explicit extended descriptor;
@@ -397,12 +412,63 @@ impl ShardedMultiUserDb {
         }
     }
 
+    /// Stripe `ix`'s users and profiles, sorted by name. The stripe's
+    /// read lock is held only for the clone. Replication uses this both
+    /// to digest a stripe (the sort makes the digest canonical) and to
+    /// ship a divergent stripe's contents for resync.
+    ///
+    /// # Panics
+    ///
+    /// If `ix >= self.num_shards()`.
+    pub fn stripe_users(&self, ix: usize) -> Vec<(String, Profile)> {
+        let guard = self.shards[ix].read();
+        let mut users: Vec<(String, Profile)> = guard
+            .iter()
+            .map(|(name, slot)| (name.clone(), slot.profile.clone()))
+            .collect();
+        drop(guard);
+        users.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        users
+    }
+
+    /// Replace stripe `ix`'s entire contents with `users`, rebuilding
+    /// each slot (tree and cache) from its profile. Users that hash to
+    /// a different stripe are rejected before anything is replaced, so
+    /// the fold invariant (stripe == FNV(user) % shards) cannot be
+    /// broken. This is the anti-entropy resync path: the stripe's write
+    /// lock is held across the swap, so readers see either the old
+    /// stripe or the new one, never a mix.
+    ///
+    /// # Panics
+    ///
+    /// If `ix >= self.num_shards()`.
+    pub fn replace_stripe(
+        &self,
+        ix: usize,
+        users: Vec<(String, Profile)>,
+    ) -> Result<(), CoreError> {
+        let mut slots = HashMap::with_capacity(users.len());
+        for (name, profile) in users {
+            if shard_index(&name, self.shards.len()) != ix {
+                return Err(CoreError::NoSuchUser(format!(
+                    "{name} does not belong to stripe {ix}"
+                )));
+            }
+            let slot = UserSlot::new(profile, &self.order, &self.env, self.cache_capacity)?;
+            slots.insert(name, slot);
+        }
+        *self.shards[ix].write() = slots;
+        Ok(())
+    }
+
     /// Hold `user`'s shard write lock until the returned guard drops,
     /// blocking that shard's queries and mutations. Only useful for
     /// tests and benchmarks that need deterministic contention (e.g.
     /// proving that *other* shards keep serving).
     pub fn quiesce_user<'a>(&'a self, user: &str) -> ShardQuiesceGuard<'a> {
-        ShardQuiesceGuard { _guard: self.shard(user).write() }
+        ShardQuiesceGuard {
+            _guard: self.shard(user).write(),
+        }
     }
 }
 
@@ -434,8 +500,10 @@ impl UserShardRead<'_> {
     /// re-using the already-held shard read lock. Errors with
     /// [`CoreError::NoSuchUser`] for users absent from this shard.
     pub fn query_state(&self, user: &str, state: &ContextState) -> Result<QueryAnswer, CoreError> {
-        let slot =
-            self.guard.get(user).ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
+        let slot = self
+            .guard
+            .get(user)
+            .ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
         slot.query_state(&self.db.env, &self.db.relation, self.defaults, state)
     }
 }
@@ -495,10 +563,9 @@ mod tests {
     use ctxpref_relation::{AttrType, Schema};
 
     fn setup() -> ShardedMultiUserDb {
-        let env = ContextEnvironment::new(vec![
-            Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
-        ])
-        .unwrap();
+        let env =
+            ContextEnvironment::new(vec![Hierarchy::flat("weather", &["cold", "warm"]).unwrap()])
+                .unwrap();
         let schema = Schema::new(&[("type", AttrType::Str)]).unwrap();
         let mut rel = Relation::new("poi", schema);
         for t in ["museum", "brewery", "zoo"] {
@@ -521,9 +588,15 @@ mod tests {
         let db = setup();
         db.add_user("alice").unwrap();
         db.add_user("bob").unwrap();
-        assert!(matches!(db.add_user("alice").unwrap_err(), CoreError::DuplicateUser(_)));
+        assert!(matches!(
+            db.add_user("alice").unwrap_err(),
+            CoreError::DuplicateUser(_)
+        ));
         assert_eq!(db.user_count(), 2);
-        assert_eq!(db.users_sorted(), vec!["alice".to_string(), "bob".to_string()]);
+        assert_eq!(
+            db.users_sorted(),
+            vec!["alice".to_string(), "bob".to_string()]
+        );
 
         let a = pref(&db, "weather = warm", "brewery", 0.9);
         let b = pref(&db, "weather = warm", "museum", 0.8);
@@ -541,7 +614,8 @@ mod tests {
         assert!(db.cache_stats("alice").unwrap().unwrap().hits >= 1);
 
         // Mutations invalidate only that user's cache.
-        db.insert_preference("alice", pref(&db, "weather = cold", "zoo", 0.5)).unwrap();
+        db.insert_preference("alice", pref(&db, "weather = cold", "zoo", 0.5))
+            .unwrap();
         assert!(!db.query_state("alice", &warm).unwrap().from_cache);
         assert!(db.query_state("bob", &warm).unwrap().from_cache);
 
@@ -559,7 +633,8 @@ mod tests {
         let db = setup();
         for u in ["u0", "u1", "u2", "u3", "u4"] {
             db.add_user(u).unwrap();
-            db.insert_preference(u, pref(&db, "weather = warm", "zoo", 0.4)).unwrap();
+            db.insert_preference(u, pref(&db, "weather = warm", "zoo", 0.4))
+                .unwrap();
         }
         let warm = ContextState::parse(db.env(), &["warm"]).unwrap();
         let before = db.query_state("u3", &warm).unwrap();
@@ -600,7 +675,8 @@ mod tests {
     fn shard_read_guard_serves_queries() {
         let db = setup();
         db.add_user("alice").unwrap();
-        db.insert_preference("alice", pref(&db, "weather = warm", "brewery", 0.9)).unwrap();
+        db.insert_preference("alice", pref(&db, "weather = warm", "brewery", 0.9))
+            .unwrap();
         let warm = ContextState::parse(db.env(), &["warm"]).unwrap();
         let shard = db.read_user_shard("alice");
         assert!(shard.has_user("alice"));
@@ -629,7 +705,8 @@ mod tests {
         let guard = db.quiesce_user(&a);
         // `b`'s shard is untouched: queries and even writes proceed.
         db.query_state(&b, &warm).unwrap();
-        db.insert_preference(&b, pref(&db, "weather = warm", "zoo", 0.3)).unwrap();
+        db.insert_preference(&b, pref(&db, "weather = warm", "zoo", 0.3))
+            .unwrap();
         // `a`'s shard is locked: a try_read-equivalent must fail. We
         // probe via a thread with a timeout rather than blocking the
         // test forever.
@@ -642,7 +719,8 @@ mod tests {
             tx.send(()).ok();
         });
         assert!(
-            rx.recv_timeout(std::time::Duration::from_millis(100)).is_err(),
+            rx.recv_timeout(std::time::Duration::from_millis(100))
+                .is_err(),
             "query on the quiesced shard should be blocked"
         );
         drop(guard);

@@ -61,6 +61,34 @@ pub mod sites {
     pub const WAL_ROTATE: &str = "wal.rotate";
     /// Atomically swapping the checkpoint manifest into place.
     pub const MANIFEST_SWAP: &str = "manifest.swap";
+    /// A replication message leaving the sender: an injected error
+    /// drops the message on the floor (the network ate it).
+    pub const REPL_SEND_DROP: &str = "repl.send.drop";
+    /// A replication message in flight: an injected delay holds it
+    /// before delivery, modelling a slow or congested link.
+    pub const REPL_SEND_DELAY: &str = "repl.send.delay";
+    /// A replication message that the network delivers twice; the
+    /// receiver's LSN cursor must deduplicate it.
+    pub const REPL_SEND_DUPLICATE: &str = "repl.send.duplicate";
+    /// A full network partition between two nodes: while the fault
+    /// fires, every message (and heartbeat) between them is dropped.
+    pub const REPL_PARTITION: &str = "repl.partition";
+    /// A heartbeat that the network drops without affecting data
+    /// traffic, exercising failure-detector false positives.
+    pub const REPL_HEARTBEAT_DROP: &str = "repl.heartbeat.drop";
+
+    /// Every registered replication *network* site: the seeded chaos
+    /// matrix drives partitions, message loss, duplication, and delay
+    /// through these, and the replication invariants (no acked-write
+    /// loss, epoch-monotonic promotions, digest convergence) must hold
+    /// under any combination.
+    pub const NETWORK_SITES: &[&str] = &[
+        REPL_SEND_DROP,
+        REPL_SEND_DELAY,
+        REPL_SEND_DUPLICATE,
+        REPL_PARTITION,
+        REPL_HEARTBEAT_DROP,
+    ];
 
     /// Every registered *write-path* site: a crash injected at any of
     /// these must never lose an acknowledged mutation. This is the
@@ -281,8 +309,10 @@ impl FaultPlanBuilder {
     #[must_use]
     pub fn truncate(mut self, site: &str, p: f64, keep_fraction: f64) -> Self {
         self = self.rule(site, Trigger::Probability(p), FaultKind::Truncate);
-        self.rules.last_mut().expect("rule just pushed").keep_fraction =
-            keep_fraction.clamp(0.0, 1.0);
+        self.rules
+            .last_mut()
+            .expect("rule just pushed")
+            .keep_fraction = keep_fraction.clamp(0.0, 1.0);
         self
     }
 
@@ -290,14 +320,20 @@ impl FaultPlanBuilder {
     #[must_use]
     pub fn truncate_at(mut self, site: &str, hits: &[u64], keep_fraction: f64) -> Self {
         self = self.rule(site, Trigger::AtHits(hits.to_vec()), FaultKind::Truncate);
-        self.rules.last_mut().expect("rule just pushed").keep_fraction =
-            keep_fraction.clamp(0.0, 1.0);
+        self.rules
+            .last_mut()
+            .expect("rule just pushed")
+            .keep_fraction = keep_fraction.clamp(0.0, 1.0);
         self
     }
 
     /// Finish the plan.
     pub fn build(self) -> Arc<FaultPlan> {
-        Arc::new(FaultPlan { seed: self.seed, rules: self.rules, state: Mutex::default() })
+        Arc::new(FaultPlan {
+            seed: self.seed,
+            rules: self.rules,
+            state: Mutex::default(),
+        })
     }
 }
 
@@ -305,7 +341,10 @@ impl FaultPlan {
     /// Start building a plan whose probability decisions derive from
     /// `seed`.
     pub fn builder(seed: u64) -> FaultPlanBuilder {
-        FaultPlanBuilder { seed, rules: Vec::new() }
+        FaultPlanBuilder {
+            seed,
+            rules: Vec::new(),
+        }
     }
 
     /// The plan's seed.
@@ -315,7 +354,11 @@ impl FaultPlan {
 
     /// Counters of everything injected so far.
     pub fn stats(&self) -> FaultStats {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).stats.clone()
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats
+            .clone()
     }
 
     /// How many times `site` has been *hit* under this plan (whether or
@@ -334,7 +377,11 @@ impl FaultPlan {
 
     /// Hit counters for every site touched under this plan.
     pub fn hit_counts(&self) -> HashMap<String, u64> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).hits.clone()
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .hits
+            .clone()
     }
 
     /// Install this plan globally, run `f`, then restore the previous
@@ -419,14 +466,16 @@ pub fn hit(site: &str) -> Result<(), InjectedFault> {
         Some((FaultKind::Panic, _, _, hit)) => {
             panic!("injected panic at {site} (hit #{hit})");
         }
-        Some((FaultKind::Error, _, _, hit)) => {
-            Err(InjectedFault { site: site.to_string(), hit })
-        }
+        Some((FaultKind::Error, _, _, hit)) => Err(InjectedFault {
+            site: site.to_string(),
+            hit,
+        }),
         // Truncation is only meaningful through `truncated_len`; at a
         // plain site it degrades to an error.
-        Some((FaultKind::Truncate, _, _, hit)) => {
-            Err(InjectedFault { site: site.to_string(), hit })
-        }
+        Some((FaultKind::Truncate, _, _, hit)) => Err(InjectedFault {
+            site: site.to_string(),
+            hit,
+        }),
     }
 }
 
@@ -434,11 +483,11 @@ pub fn hit(site: &str) -> Result<(), InjectedFault> {
 /// that should actually be persisted. `full_len` when no truncation
 /// fault fires.
 pub fn truncated_len(site: &str, full_len: usize) -> usize {
-    let Some(plan) = current() else { return full_len };
+    let Some(plan) = current() else {
+        return full_len;
+    };
     match plan.decide(site) {
-        Some((FaultKind::Truncate, _, keep, _)) => {
-            ((full_len as f64) * keep).floor() as usize
-        }
+        Some((FaultKind::Truncate, _, keep, _)) => ((full_len as f64) * keep).floor() as usize,
         Some((FaultKind::Delay, d, _, _)) => {
             std::thread::sleep(d);
             full_len
@@ -471,7 +520,11 @@ mod tests {
     fn probability_rules_are_deterministic() {
         let run = || {
             let plan = FaultPlan::builder(7).fail("s.op", 0.3).build();
-            plan.run(|| (0..200).map(|_| u64::from(hit("s.op").is_err())).collect::<Vec<_>>())
+            plan.run(|| {
+                (0..200)
+                    .map(|_| u64::from(hit("s.op").is_err()))
+                    .collect::<Vec<_>>()
+            })
         };
         let a = run();
         let b = run();

@@ -48,7 +48,13 @@ impl HierarchyBuilder {
             level_names.push(l.to_string());
         }
         level_names.push(ALL_LEVEL_NAME.to_string());
-        Self { name: name.to_string(), level_names, values: Vec::new(), seen: HashMap::new(), error }
+        Self {
+            name: name.to_string(),
+            level_names,
+            values: Vec::new(),
+            seen: HashMap::new(),
+            error,
+        }
     }
 
     /// Add a value at `level`. `parent` names the value's ancestor at the
@@ -119,8 +125,12 @@ impl HierarchyBuilder {
         }
 
         // Resolve parents to raw indices.
-        let raw_index: HashMap<&str, usize> =
-            self.values.iter().enumerate().map(|(i, rv)| (rv.name.as_str(), i)).collect();
+        let raw_index: HashMap<&str, usize> = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, rv)| (rv.name.as_str(), i))
+            .collect();
         let mut children_of: Vec<Vec<usize>> = vec![Vec::new(); self.values.len()];
         let mut roots: Vec<usize> = Vec::new();
         for (i, rv) in self.values.iter().enumerate() {
@@ -132,9 +142,13 @@ impl HierarchyBuilder {
                         roots.push(i);
                         continue;
                     }
-                    let &pi = raw_index.get(p.as_str()).ok_or_else(|| {
-                        HierarchyError::UnknownParent { value: rv.name.clone(), parent: p.clone() }
-                    })?;
+                    let &pi =
+                        raw_index
+                            .get(p.as_str())
+                            .ok_or_else(|| HierarchyError::UnknownParent {
+                                value: rv.name.clone(),
+                                parent: p.clone(),
+                            })?;
                     if self.values[pi].level != rv.level + 1 {
                         return Err(HierarchyError::WrongParentLevel {
                             value: rv.name.clone(),
@@ -262,24 +276,48 @@ mod tests {
 
     #[test]
     fn rejects_empty_levels_and_duplicates() {
-        assert_eq!(HierarchyBuilder::new("x", &[]).build().unwrap_err(), HierarchyError::NoLevels);
+        assert_eq!(
+            HierarchyBuilder::new("x", &[]).build().unwrap_err(),
+            HierarchyError::NoLevels
+        );
         let b = HierarchyBuilder::new("x", &["a", "a"]);
-        assert_eq!(b.build().unwrap_err(), HierarchyError::DuplicateLevel("a".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            HierarchyError::DuplicateLevel("a".into())
+        );
         let b = HierarchyBuilder::new("x", &["ALL"]);
-        assert_eq!(b.build().unwrap_err(), HierarchyError::ReservedName("ALL".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            HierarchyError::ReservedName("ALL".into())
+        );
     }
 
     #[test]
     fn rejects_bad_values() {
         let mut b = HierarchyBuilder::new("x", &["lo", "hi"]);
-        assert!(matches!(b.add("nope", "v", None), Err(HierarchyError::UnknownLevel(_))));
-        assert!(matches!(b.add("lo", "all", None), Err(HierarchyError::ReservedName(_))));
-        assert!(matches!(b.add("lo", "v", None), Err(HierarchyError::MissingParent(_))));
+        assert!(matches!(
+            b.add("nope", "v", None),
+            Err(HierarchyError::UnknownLevel(_))
+        ));
+        assert!(matches!(
+            b.add("lo", "all", None),
+            Err(HierarchyError::ReservedName(_))
+        ));
+        assert!(matches!(
+            b.add("lo", "v", None),
+            Err(HierarchyError::MissingParent(_))
+        ));
         b.add("hi", "top", None).unwrap();
         b.add("lo", "v", Some("top")).unwrap();
-        assert!(matches!(b.add("lo", "v", Some("top")), Err(HierarchyError::DuplicateValue(_))));
+        assert!(matches!(
+            b.add("lo", "v", Some("top")),
+            Err(HierarchyError::DuplicateValue(_))
+        ));
         // "ALL" is a valid target for lookups but not for `add`.
-        assert!(matches!(b.add("ALL", "w", None), Err(HierarchyError::UnknownLevel(_))));
+        assert!(matches!(
+            b.add("ALL", "w", None),
+            Err(HierarchyError::UnknownLevel(_))
+        ));
     }
 
     #[test]
@@ -288,12 +326,18 @@ mod tests {
         b.add("hi", "top", None).unwrap();
         b.add("mid", "m", Some("top")).unwrap();
         b.add("lo", "bad", Some("top")).unwrap(); // parent two levels up
-        assert!(matches!(b.build(), Err(HierarchyError::WrongParentLevel { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(HierarchyError::WrongParentLevel { .. })
+        ));
 
         let mut b = HierarchyBuilder::new("x", &["lo", "hi"]);
         b.add("hi", "top", None).unwrap();
         b.add("lo", "v", Some("ghost")).unwrap();
-        assert!(matches!(b.build(), Err(HierarchyError::UnknownParent { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(HierarchyError::UnknownParent { .. })
+        ));
     }
 
     #[test]
@@ -302,7 +346,10 @@ mod tests {
         b.add("hi", "lonely", None).unwrap();
         b.add("hi", "top", None).unwrap();
         b.add("lo", "v", Some("top")).unwrap();
-        assert!(matches!(b.build(), Err(HierarchyError::ChildlessInternalValue(_))));
+        assert!(matches!(
+            b.build(),
+            Err(HierarchyError::ChildlessInternalValue(_))
+        ));
     }
 
     #[test]

@@ -53,14 +53,22 @@ impl fmt::Display for HierarchyError {
             Self::TooManyLevels(n) => write!(f, "too many levels: {n} (max 250)"),
             Self::DuplicateLevel(l) => write!(f, "duplicate level name {l:?}"),
             Self::ReservedName(n) => {
-                write!(f, "{n:?} is reserved for the automatically added top of the lattice")
+                write!(
+                    f,
+                    "{n:?} is reserved for the automatically added top of the lattice"
+                )
             }
             Self::DuplicateValue(v) => write!(f, "duplicate value name {v:?}"),
             Self::UnknownLevel(l) => write!(f, "unknown level {l:?}"),
             Self::UnknownParent { value, parent } => {
                 write!(f, "value {value:?} references unknown parent {parent:?}")
             }
-            Self::WrongParentLevel { value, parent, expected_level, actual_level } => write!(
+            Self::WrongParentLevel {
+                value,
+                parent,
+                expected_level,
+                actual_level,
+            } => write!(
                 f,
                 "value {value:?} needs a parent at level {expected_level:?}, \
                  but {parent:?} is at level {actual_level:?}"
@@ -70,7 +78,10 @@ impl fmt::Display for HierarchyError {
             }
             Self::EmptyLevel(l) => write!(f, "level {l:?} has no values"),
             Self::ChildlessInternalValue(v) => {
-                write!(f, "internal value {v:?} has no descendants at the detailed level")
+                write!(
+                    f,
+                    "internal value {v:?} has no descendants at the detailed level"
+                )
             }
         }
     }

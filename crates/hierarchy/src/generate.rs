@@ -37,8 +37,9 @@ impl Hierarchy {
             return Err(HierarchyError::EmptyLevel(name.to_string()));
         }
 
-        let level_names: Vec<String> =
-            (0..level_sizes.len()).map(|i| format!("{name}_L{}", i + 1)).collect();
+        let level_names: Vec<String> = (0..level_sizes.len())
+            .map(|i| format!("{name}_L{}", i + 1))
+            .collect();
         let refs: Vec<&str> = level_names.iter().map(String::as_str).collect();
         let mut b = HierarchyBuilder::new(name, &refs);
 

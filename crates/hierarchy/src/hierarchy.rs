@@ -91,7 +91,13 @@ impl Hierarchy {
         by_level: Vec<Vec<ValueId>>,
         by_name: HashMap<String, ValueId>,
     ) -> Self {
-        Self { name, level_names, values, by_level, by_name }
+        Self {
+            name,
+            level_names,
+            values,
+            by_level,
+            by_name,
+        }
     }
 
     /// Name of the context parameter this hierarchy models.
@@ -131,7 +137,10 @@ impl Hierarchy {
 
     /// Find a level by name (case-sensitive). `"ALL"` resolves to the top.
     pub fn level_by_name(&self, name: &str) -> Option<LevelId> {
-        self.level_names.iter().position(|l| l == name).map(|i| LevelId(i as u8))
+        self.level_names
+            .iter()
+            .position(|l| l == name)
+            .map(|i| LevelId(i as u8))
     }
 
     /// Total number of interned values = `|edom(C)|`, the size of the
@@ -333,7 +342,11 @@ impl Hierarchy {
             for &v in self.domain(level) {
                 // Condition 1: total mapping to the next level.
                 let Some(p) = self.anc(v, upper) else {
-                    return Err(format!("{} has no ancestor at {}", self.value_name(v), upper));
+                    return Err(format!(
+                        "{} has no ancestor at {}",
+                        self.value_name(v),
+                        upper
+                    ));
                 };
                 // Condition 3: monotonicity wrt within-level order.
                 let pp = self.pos_in_level(p);
@@ -352,7 +365,10 @@ impl Hierarchy {
                 let via = self.anc(p, self.all_level());
                 let direct = self.anc(v, self.all_level());
                 if via != direct {
-                    return Err(format!("anc composition violated at {}", self.value_name(v)));
+                    return Err(format!(
+                        "anc composition violated at {}",
+                        self.value_name(v)
+                    ));
                 }
             }
         }
@@ -409,11 +425,13 @@ mod tests {
         let h = location();
         let athens = h.lookup("Athens").unwrap();
         let greece = h.lookup("Greece").unwrap();
-        let names = |vs: Vec<ValueId>| -> Vec<&str> {
-            vs.into_iter().map(|v| h.value_name(v)).collect()
-        };
+        let names =
+            |vs: Vec<ValueId>| -> Vec<&str> { vs.into_iter().map(|v| h.value_name(v)).collect() };
         assert_eq!(names(h.desc(athens, LevelId(0))), vec!["Plaka", "Kifisia"]);
-        assert_eq!(names(h.desc(greece, LevelId(1))), vec!["Athens", "Ioannina"]);
+        assert_eq!(
+            names(h.desc(greece, LevelId(1))),
+            vec!["Athens", "Ioannina"]
+        );
         // desc above the value's level is empty; at the level, identity.
         assert!(h.desc(athens, LevelId(2)).is_empty());
         assert_eq!(h.desc(athens, LevelId(1)), vec![athens]);
@@ -426,10 +444,7 @@ mod tests {
         let h = location();
         for a in h.edom() {
             for b in h.edom() {
-                let expected = h
-                    .anc(b, h.level_of(a))
-                    .map(|x| x == a)
-                    .unwrap_or(false);
+                let expected = h.anc(b, h.level_of(a)).map(|x| x == a).unwrap_or(false);
                 assert_eq!(h.is_ancestor_or_self(a, b), expected, "{:?} {:?}", a, b);
             }
         }

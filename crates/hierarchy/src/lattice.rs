@@ -78,7 +78,10 @@ impl std::fmt::Display for LatticeError {
             Self::UnknownLevel(l) => write!(f, "unknown level {l:?}"),
             Self::LevelCycle => write!(f, "levels must form a DAG"),
             Self::DuplicateValue(v) => write!(f, "duplicate value {v:?}"),
-            Self::MissingParent { value, parent_level } => {
+            Self::MissingParent {
+                value,
+                parent_level,
+            } => {
                 write!(f, "value {value:?} has no parent at level {parent_level:?}")
             }
             Self::BadParent { value, parent } => {
@@ -154,14 +157,20 @@ impl LatticeBuilder {
     /// Start a lattice named `name`. The first declared level is the
     /// detailed level.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), levels: Vec::new(), values: Vec::new() }
+        Self {
+            name: name.to_string(),
+            levels: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Declare a level with its direct parent levels (already-declared
     /// names; empty = parent is `ALL`).
     pub fn level(&mut self, name: &str, parents: &[&str]) -> &mut Self {
-        self.levels
-            .push((name.to_string(), parents.iter().map(|p| p.to_string()).collect()));
+        self.levels.push((
+            name.to_string(),
+            parents.iter().map(|p| p.to_string()).collect(),
+        ));
         self
     }
 
@@ -216,9 +225,15 @@ impl LatticeBuilder {
             if pids.is_empty() {
                 pids.push(all_level);
             }
-            levels.push(LevelInfo { name: l.clone(), parents: pids });
+            levels.push(LevelInfo {
+                name: l.clone(),
+                parents: pids,
+            });
         }
-        levels.push(LevelInfo { name: "ALL".into(), parents: Vec::new() });
+        levels.push(LevelInfo {
+            name: "ALL".into(),
+            parents: Vec::new(),
+        });
 
         // Acyclicity of the level graph (upward edges).
         {
@@ -287,12 +302,13 @@ impl LatticeBuilder {
                     resolved.push(ValueId(0));
                     continue;
                 }
-                let pname = raw_parents[vid].get(slot).ok_or_else(|| {
-                    LatticeError::MissingParent {
-                        value: values[vid].name.clone(),
-                        parent_level: levels[plevel.index()].name.clone(),
-                    }
-                })?;
+                let pname =
+                    raw_parents[vid]
+                        .get(slot)
+                        .ok_or_else(|| LatticeError::MissingParent {
+                            value: values[vid].name.clone(),
+                            parent_level: levels[plevel.index()].name.clone(),
+                        })?;
                 let &pid = by_name.get(pname).ok_or_else(|| LatticeError::BadParent {
                     value: values[vid].name.clone(),
                     parent: pname.clone(),
@@ -325,8 +341,7 @@ impl LatticeBuilder {
             // before parents, i.e., process in order of "all descendants
             // done". Use reverse topological order of the parent edges.
             let mut order = Vec::with_capacity(nl);
-            let mut queue: Vec<usize> =
-                (0..nl).filter(|&i| levels[i].parents.is_empty()).collect();
+            let mut queue: Vec<usize> = (0..nl).filter(|&i| levels[i].parents.is_empty()).collect();
             // Kahn from the top (ALL) downward over reversed edges.
             let mut children: Vec<Vec<usize>> = vec![Vec::new(); nl];
             for (i, l) in levels.iter().enumerate() {
@@ -446,7 +461,10 @@ impl LatticeHierarchy {
 
     /// Resolve a level by name (`"ALL"` included).
     pub fn level_by_name(&self, name: &str) -> Option<LevelId> {
-        self.levels.iter().position(|l| l.name == name).map(|i| LevelId(i as u8))
+        self.levels
+            .iter()
+            .position(|l| l.name == name)
+            .map(|i| LevelId(i as u8))
     }
 
     /// Name of a level.
@@ -574,9 +592,10 @@ impl LatticeHierarchy {
         // Resolve and verify the path is upward-adjacent.
         let mut lids = Vec::with_capacity(path.len());
         for name in path {
-            lids.push(self.level_by_name(name).ok_or_else(|| {
-                LatticeError::UnknownLevel((*name).to_string())
-            })?);
+            lids.push(
+                self.level_by_name(name)
+                    .ok_or_else(|| LatticeError::UnknownLevel((*name).to_string()))?,
+            );
         }
         if lids.is_empty() || lids[0] != LevelId(0) {
             return Err(LatticeError::NotAPath(path.join(" ≺ ")));
@@ -587,8 +606,11 @@ impl LatticeHierarchy {
             }
         }
         let top = *lids.last().unwrap();
-        let chain_name =
-            format!("{}_{}", self.name, self.levels[top.index()].name.to_lowercase());
+        let chain_name = format!(
+            "{}_{}",
+            self.name,
+            self.levels[top.index()].name.to_lowercase()
+        );
         let mut b = HierarchyBuilder::new(&chain_name, path);
         // Top level values first (no parents), then downward. Values
         // with no detailed-level descendants are skipped: a chain
@@ -607,7 +629,11 @@ impl LatticeHierarchy {
                     continue;
                 }
                 let parent = self.anc(v, hi).expect("anc total along lattice edges");
-                b.add(self.level_name(lo), self.value_name(v), Some(self.value_name(parent)))?;
+                b.add(
+                    self.level_name(lo),
+                    self.value_name(v),
+                    Some(self.value_name(parent)),
+                )?;
             }
         }
         Ok(b.build()?)
@@ -701,7 +727,10 @@ mod tests {
         let dt = l.level_by_name("DayType").unwrap();
         assert_eq!(l.anc(h, pod), Some(morning));
         assert_eq!(l.anc(h, dt), Some(weekday));
-        assert_eq!(l.anc(h, l.level_by_name("ALL").unwrap()), Some(l.lookup("all").unwrap()));
+        assert_eq!(
+            l.anc(h, l.level_by_name("ALL").unwrap()),
+            Some(l.lookup("all").unwrap())
+        );
         // desc from morning back to hours.
         let hours = l.desc(morning, LevelId(0));
         let names: Vec<&str> = hours.iter().map(|&v| l.value_name(v)).collect();
@@ -780,15 +809,20 @@ mod tests {
         b.value("B", "b1", &["t1"]);
         b.value("Lo", "lo", &["a1", "b1"]);
         let l = b.build().unwrap();
-        assert_eq!(l.anc(l.lookup("lo").unwrap(), l.level_by_name("Top").unwrap()),
-                   l.lookup("t1"));
+        assert_eq!(
+            l.anc(l.lookup("lo").unwrap(), l.level_by_name("Top").unwrap()),
+            l.lookup("t1")
+        );
     }
 
     #[test]
     fn builder_errors() {
         let mut b = LatticeBuilder::new("x");
         b.level("L", &["nope"]);
-        assert!(matches!(b.build().unwrap_err(), LatticeError::UnknownLevel(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            LatticeError::UnknownLevel(_)
+        ));
 
         let mut b = LatticeBuilder::new("x");
         b.level("A", &["B"]);
@@ -799,21 +833,30 @@ mod tests {
         b.level("L", &[]);
         b.value("L", "v", &[]);
         b.value("L", "v", &[]);
-        assert!(matches!(b.build().unwrap_err(), LatticeError::DuplicateValue(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            LatticeError::DuplicateValue(_)
+        ));
 
         let mut b = LatticeBuilder::new("x");
         b.level("Lo", &["Hi"]);
         b.level("Hi", &[]);
         b.value("Hi", "h", &[]);
         b.value("Lo", "l", &[]);
-        assert!(matches!(b.build().unwrap_err(), LatticeError::MissingParent { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            LatticeError::MissingParent { .. }
+        ));
 
         let mut b = LatticeBuilder::new("x");
         b.level("Lo", &["Hi"]);
         b.level("Hi", &[]);
         b.value("Hi", "h", &[]);
         b.value("Lo", "l", &["ghost"]);
-        assert!(matches!(b.build().unwrap_err(), LatticeError::BadParent { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            LatticeError::BadParent { .. }
+        ));
 
         assert!(LatticeBuilder::new("x").build().is_err());
     }
@@ -844,7 +887,9 @@ mod tests {
 
         let by_dt = l.extract_chain(&["Hour", "DayType"]).unwrap();
         assert_eq!(
-            by_dt.desc(by_dt.lookup("weekend").unwrap(), LevelId(0)).len(),
+            by_dt
+                .desc(by_dt.lookup("weekend").unwrap(), LevelId(0))
+                .len(),
             2
         );
 

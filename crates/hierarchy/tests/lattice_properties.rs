@@ -31,10 +31,15 @@ fn diamond(
         builder.value(
             "Base",
             &format!("v{i}"),
-            &[&format!("a{}", a_of[i] % a_size), &format!("b{}", b_of[i] % b_size)],
+            &[
+                &format!("a{}", a_of[i] % a_size),
+                &format!("b{}", b_of[i] % b_size),
+            ],
         );
     }
-    builder.build().expect("no diamonds above branch levels → always commutes")
+    builder
+        .build()
+        .expect("no diamonds above branch levels → always commutes")
 }
 
 fn shape() -> impl Strategy<Value = (usize, usize, usize, Vec<usize>, Vec<usize>)> {

@@ -140,7 +140,13 @@ impl DagBuilder {
         }
         let id = self.nodes.len() as u32;
         self.nodes.push(Node {
-            cells: cells.iter().map(|&(k, c)| Cell { key: ctxpref_hierarchy::ValueId(k), child: c }).collect(),
+            cells: cells
+                .iter()
+                .map(|&(k, c)| Cell {
+                    key: ctxpref_hierarchy::ValueId(k),
+                    child: c,
+                })
+                .collect(),
         });
         self.node_index.insert(cells, id);
         id
@@ -209,7 +215,15 @@ impl CompressedProfileTree {
     ) -> Vec<Candidate> {
         let mut out = Vec::new();
         let mut path: Vec<CtxValue> = Vec::with_capacity(self.depth());
-        self.search_rec(self.root as usize, 0.0, state, kind, counter, &mut path, &mut out);
+        self.search_rec(
+            self.root as usize,
+            0.0,
+            state,
+            kind,
+            counter,
+            &mut path,
+            &mut out,
+        );
         out
     }
 
@@ -309,7 +323,12 @@ mod tests {
         // The same (company → clause) structure under all four weather
         // values: four identical subtrees collapse into one.
         profile
-            .insert(pref(&env, "weather in {cold, mild, warm, hot} and company = friends", "brewery", 0.9))
+            .insert(pref(
+                &env,
+                "weather in {cold, mild, warm, hot} and company = friends",
+                "brewery",
+                0.9,
+            ))
             .unwrap();
         let tree = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
         let dag = tree.compress();
@@ -327,7 +346,11 @@ mod tests {
         let env = env();
         let mut profile = Profile::new(env.clone());
         for (d, v, s) in [
-            ("weather in {cold, mild} and company = friends", "brewery", 0.9),
+            (
+                "weather in {cold, mild} and company = friends",
+                "brewery",
+                0.9,
+            ),
             ("weather in {warm, hot} and company = friends", "beach", 0.8),
             ("company = family", "zoo", 0.7),
             ("weather = hot", "aquarium", 0.6),
@@ -358,12 +381,22 @@ mod tests {
                 let mut s1: Vec<(String, String)> = tree
                     .search_cs(&q, DistanceKind::Jaccard, &mut c1)
                     .into_iter()
-                    .map(|x| (x.state.display(&env).to_string(), format!("{:.9}", x.distance)))
+                    .map(|x| {
+                        (
+                            x.state.display(&env).to_string(),
+                            format!("{:.9}", x.distance),
+                        )
+                    })
                     .collect();
                 let mut s2: Vec<(String, String)> = dag
                     .search_cs(&q, DistanceKind::Jaccard, &mut c2)
                     .into_iter()
-                    .map(|x| (x.state.display(&env).to_string(), format!("{:.9}", x.distance)))
+                    .map(|x| {
+                        (
+                            x.state.display(&env).to_string(),
+                            format!("{:.9}", x.distance),
+                        )
+                    })
                     .collect();
                 s1.sort();
                 s2.sort();
@@ -378,7 +411,12 @@ mod tests {
         let mut profile = Profile::new(env.clone());
         for (i, w) in ["cold", "mild", "warm", "hot"].iter().enumerate() {
             profile
-                .insert(pref(&env, &format!("weather = {w}"), "x", 0.1 * (i + 1) as f64))
+                .insert(pref(
+                    &env,
+                    &format!("weather = {w}"),
+                    "x",
+                    0.1 * (i + 1) as f64,
+                ))
                 .unwrap();
         }
         let tree = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();

@@ -37,7 +37,11 @@ impl fmt::Display for ProfileError {
             Self::InvalidScore(s) => {
                 write!(f, "interest score must be a real number in [0, 1], got {s}")
             }
-            Self::Conflict { existing_score, new_score, .. } => write!(
+            Self::Conflict {
+                existing_score,
+                new_score,
+                ..
+            } => write!(
                 f,
                 "conflicting preference: same context state and attribute clause already \
                  scored {existing_score}, refusing {new_score}"

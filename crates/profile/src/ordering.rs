@@ -22,7 +22,9 @@ pub struct ParamOrder {
 impl ParamOrder {
     /// The identity order: parameter `Ci` at tree level `i`.
     pub fn identity(env: &ContextEnvironment) -> Self {
-        Self { levels: env.param_ids().collect() }
+        Self {
+            levels: env.param_ids().collect(),
+        }
     }
 
     /// Build from an explicit permutation of the environment's
@@ -156,7 +158,9 @@ fn permute(
     out: &mut Vec<ParamOrder>,
 ) {
     if current.len() == ids.len() {
-        out.push(ParamOrder { levels: current.clone() });
+        out.push(ParamOrder {
+            levels: current.clone(),
+        });
         return;
     }
     for (i, &id) in ids.iter().enumerate() {
@@ -177,9 +181,9 @@ mod tests {
 
     fn env() -> ContextEnvironment {
         ContextEnvironment::new(vec![
-            Hierarchy::balanced("big", &[100, 10]).unwrap(),   // edom 111
-            Hierarchy::balanced("small", &[4]).unwrap(),       // edom 5
-            Hierarchy::balanced("mid", &[20, 5]).unwrap(),     // edom 26
+            Hierarchy::balanced("big", &[100, 10]).unwrap(), // edom 111
+            Hierarchy::balanced("small", &[4]).unwrap(),     // edom 5
+            Hierarchy::balanced("mid", &[20, 5]).unwrap(),   // edom 26
         ])
         .unwrap()
     }

@@ -50,7 +50,13 @@ impl AttributeClause {
         struct D<'a>(&'a AttributeClause, &'a Schema);
         impl fmt::Display for D<'_> {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "{} {} {}", self.1.attr_name(self.0.attr), self.0.op, self.0.value)
+                write!(
+                    f,
+                    "{} {} {}",
+                    self.1.attr_name(self.0.attr),
+                    self.0.op,
+                    self.0.value
+                )
             }
         }
         D(self, schema)
@@ -78,7 +84,11 @@ impl ContextualPreference {
         if !(0.0..=1.0).contains(&score) || score.is_nan() {
             return Err(ProfileError::InvalidScore(score));
         }
-        Ok(Self { descriptor, clause, score })
+        Ok(Self {
+            descriptor,
+            clause,
+            score,
+        })
     }
 
     /// The context descriptor scoping the preference.
@@ -170,8 +180,12 @@ mod tests {
     #[test]
     fn conflict_requires_overlap_same_clause_different_score() {
         let env = env();
-        let warm = ContextDescriptor::empty().with_eq(&env, "weather", "warm").unwrap();
-        let cold = ContextDescriptor::empty().with_eq(&env, "weather", "cold").unwrap();
+        let warm = ContextDescriptor::empty()
+            .with_eq(&env, "weather", "warm")
+            .unwrap();
+        let cold = ContextDescriptor::empty()
+            .with_eq(&env, "weather", "cold")
+            .unwrap();
         let clause = AttributeClause::eq(AttrId(0), "Acropolis".into());
         let other = AttributeClause::eq(AttrId(0), "Benaki".into());
 
@@ -193,7 +207,9 @@ mod tests {
     #[test]
     fn conflict_is_symmetric() {
         let env = env();
-        let warm = ContextDescriptor::empty().with_eq(&env, "weather", "warm").unwrap();
+        let warm = ContextDescriptor::empty()
+            .with_eq(&env, "weather", "warm")
+            .unwrap();
         let clause = AttributeClause::eq(AttrId(0), "x".into());
         let a = ContextualPreference::new(warm.clone(), clause.clone(), 0.8).unwrap();
         // `b` covers more states (weather unspecified → all) but shares

@@ -20,7 +20,10 @@ pub struct Profile {
 impl Profile {
     /// An empty profile over `env`.
     pub fn new(env: ContextEnvironment) -> Self {
-        Self { env, prefs: Vec::new() }
+        Self {
+            env,
+            prefs: Vec::new(),
+        }
     }
 
     /// The context environment.
@@ -110,16 +113,20 @@ mod tests {
     use ctxpref_relation::AttrId;
 
     fn env() -> ContextEnvironment {
-        ContextEnvironment::new(vec![
-            Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
-        ])
-        .unwrap()
+        ContextEnvironment::new(vec![Hierarchy::flat("weather", &["cold", "warm"]).unwrap()])
+            .unwrap()
     }
 
-    fn pref(env: &ContextEnvironment, weather: &str, name: &str, score: f64) -> ContextualPreference {
-        let cod = ContextDescriptor::empty().with_eq(env, "weather", weather).unwrap();
-        ContextualPreference::new(cod, AttributeClause::eq(AttrId(0), name.into()), score)
-            .unwrap()
+    fn pref(
+        env: &ContextEnvironment,
+        weather: &str,
+        name: &str,
+        score: f64,
+    ) -> ContextualPreference {
+        let cod = ContextDescriptor::empty()
+            .with_eq(env, "weather", weather)
+            .unwrap();
+        ContextualPreference::new(cod, AttributeClause::eq(AttrId(0), name.into()), score).unwrap()
     }
 
     #[test]
@@ -133,7 +140,11 @@ mod tests {
         // Conflicting: warm + Acropolis already scored 0.8.
         let err = p.insert(pref(&env, "warm", "Acropolis", 0.1)).unwrap_err();
         match err {
-            ProfileError::Conflict { existing_score, new_score, state } => {
+            ProfileError::Conflict {
+                existing_score,
+                new_score,
+                state,
+            } => {
                 assert_eq!(existing_score, 0.8);
                 assert_eq!(new_score, 0.1);
                 assert_eq!(state.display(&env).to_string(), "(warm)");

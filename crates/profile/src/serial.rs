@@ -37,7 +37,10 @@ pub struct SerialStore {
 impl SerialStore {
     /// An empty store over `env`.
     pub fn new(env: ContextEnvironment) -> Self {
-        Self { env, records: Vec::new() }
+        Self {
+            env,
+            records: Vec::new(),
+        }
     }
 
     /// Build from a whole profile (no conflict checking — a [`Profile`]
@@ -62,14 +65,16 @@ impl SerialStore {
         let states = pref.descriptor().states(&self.env)?;
         for state in &states {
             for r in &self.records {
-                if r.state == *state && r.entry.clause == *pref.clause()
-                    && r.entry.score != pref.score() {
-                        return Err(ProfileError::Conflict {
-                            state: state.clone(),
-                            existing_score: r.entry.score,
-                            new_score: pref.score(),
-                        });
-                    }
+                if r.state == *state
+                    && r.entry.clause == *pref.clause()
+                    && r.entry.score != pref.score()
+                {
+                    return Err(ProfileError::Conflict {
+                        state: state.clone(),
+                        existing_score: r.entry.score,
+                        new_score: pref.score(),
+                    });
+                }
             }
         }
         for state in states {
@@ -81,7 +86,10 @@ impl SerialStore {
             if !duplicate {
                 let record = SerialRecord {
                     state,
-                    entry: LeafEntry { clause: pref.clause().clone(), score: pref.score() },
+                    entry: LeafEntry {
+                        clause: pref.clause().clone(),
+                        score: pref.score(),
+                    },
                 };
                 // Keep records for one state contiguous so the
                 // exact-match scan can stop at the first non-matching
@@ -234,8 +242,13 @@ mod tests {
     fn insert_expands_states() {
         let env = env();
         let mut s = SerialStore::new(env.clone());
-        s.insert(&pref(&env, "location in {Athens, Ioannina} and weather = warm", "x", 0.5))
-            .unwrap();
+        s.insert(&pref(
+            &env,
+            "location in {Athens, Ioannina} and weather = warm",
+            "x",
+            0.5,
+        ))
+        .unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.total_cells(), 2 * 3);
         assert_eq!(s.total_bytes(), 2 * (2 * 4 + 12));
@@ -249,7 +262,8 @@ mod tests {
         let mut s = SerialStore::new(env.clone());
         s.insert(&pref(&env, "weather = warm", "x", 0.5)).unwrap();
         assert!(matches!(
-            s.insert(&pref(&env, "weather = warm", "x", 0.9)).unwrap_err(),
+            s.insert(&pref(&env, "weather = warm", "x", 0.9))
+                .unwrap_err(),
             ProfileError::Conflict { .. }
         ));
         s.insert(&pref(&env, "weather = warm", "x", 0.5)).unwrap();
@@ -260,9 +274,27 @@ mod tests {
     fn exact_lookup_counts_and_stops_early() {
         let env = env();
         let mut s = SerialStore::new(env.clone());
-        s.insert(&pref(&env, "location = Athens and weather = warm", "a", 0.1)).unwrap();
-        s.insert(&pref(&env, "location = Athens and weather = cold", "b", 0.2)).unwrap();
-        s.insert(&pref(&env, "location = Ioannina and weather = warm", "c", 0.3)).unwrap();
+        s.insert(&pref(
+            &env,
+            "location = Athens and weather = warm",
+            "a",
+            0.1,
+        ))
+        .unwrap();
+        s.insert(&pref(
+            &env,
+            "location = Athens and weather = cold",
+            "b",
+            0.2,
+        ))
+        .unwrap();
+        s.insert(&pref(
+            &env,
+            "location = Ioannina and weather = warm",
+            "c",
+            0.3,
+        ))
+        .unwrap();
         let q = ContextState::parse(&env, &["Athens", "cold"]).unwrap();
         let mut counter = AccessCounter::new();
         let hits = s.exact_lookup(&q, &mut counter);
@@ -275,7 +307,10 @@ mod tests {
         assert_eq!(counter.cells(), 2 + 2 + 1);
         // A missing state scans everything.
         counter.reset();
-        let none = s.exact_lookup(&ContextState::parse(&env, &["Ioannina", "cold"]).unwrap(), &mut counter);
+        let none = s.exact_lookup(
+            &ContextState::parse(&env, &["Ioannina", "cold"]).unwrap(),
+            &mut counter,
+        );
         assert!(none.is_empty());
         // Records 1–2 mismatch on the first value (1 cell each); record 3
         // matches Ioannina but mismatches on weather (2 cells).
@@ -286,9 +321,17 @@ mod tests {
     fn covering_search_scans_everything() {
         let env = env();
         let mut s = SerialStore::new(env.clone());
-        s.insert(&pref(&env, "location = Greece", "a", 0.1)).unwrap();
-        s.insert(&pref(&env, "location = Athens and weather = warm", "b", 0.2)).unwrap();
-        s.insert(&pref(&env, "location = Ioannina", "c", 0.3)).unwrap();
+        s.insert(&pref(&env, "location = Greece", "a", 0.1))
+            .unwrap();
+        s.insert(&pref(
+            &env,
+            "location = Athens and weather = warm",
+            "b",
+            0.2,
+        ))
+        .unwrap();
+        s.insert(&pref(&env, "location = Ioannina", "c", 0.3))
+            .unwrap();
         let q = ContextState::parse(&env, &["Athens", "warm"]).unwrap();
         let mut counter = AccessCounter::new();
         let cands = s.search_covering(&q, DistanceKind::Hierarchy, &mut counter);

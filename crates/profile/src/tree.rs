@@ -195,7 +195,10 @@ impl ProfileTree {
                 .iter()
                 .any(|e| e.clause == *pref.clause() && e.score == pref.score());
             if !duplicate {
-                entries.push(LeafEntry { clause: pref.clause().clone(), score: pref.score() });
+                entries.push(LeafEntry {
+                    clause: pref.clause().clone(),
+                    score: pref.score(),
+                });
             }
         }
         Ok(())
@@ -222,7 +225,11 @@ impl ProfileTree {
         for level in 0..self.depth() {
             let key = state.value(self.order.param_at(level));
             let bottom = level + 1 == self.depth();
-            let existing = self.nodes[node].cells.iter().find(|c| c.key == key).map(|c| c.child);
+            let existing = self.nodes[node]
+                .cells
+                .iter()
+                .find(|c| c.key == key)
+                .map(|c| c.child);
             let child = match existing {
                 Some(c) => c,
                 None => {
@@ -379,7 +386,10 @@ impl ProfileTree {
         for cell in &self.nodes[node].cells {
             path.push(cell.key);
             if bottom {
-                out.push((self.state_from_path(path), &self.leaves[cell.child as usize]));
+                out.push((
+                    self.state_from_path(path),
+                    &self.leaves[cell.child as usize],
+                ));
             } else {
                 self.paths_rec(cell.child as usize, path, out);
             }
@@ -461,7 +471,10 @@ impl ProfileTree {
         }
         let leaf = leaf.expect("depth ≥ 1 by construction");
         let entries = &mut self.leaves[leaf as usize];
-        let Some(i) = entries.iter().position(|e| e.clause == *clause && e.score == score) else {
+        let Some(i) = entries
+            .iter()
+            .position(|e| e.clause == *clause && e.score == score)
+        else {
             return false;
         };
         entries.swap_remove(i);
@@ -473,8 +486,8 @@ impl ProfileTree {
         for level in (0..self.depth()).rev() {
             let (node, pos) = path[level];
             let child = self.nodes[node].cells[pos].child;
-            let child_gone = level + 1 == self.depth()
-                || self.nodes[child as usize].cells.is_empty();
+            let child_gone =
+                level + 1 == self.depth() || self.nodes[child as usize].cells.is_empty();
             if !child_gone {
                 break;
             }
@@ -545,8 +558,7 @@ mod tests {
         loc.add("City", "Ioannina", Some("Greece")).unwrap();
         loc.add_leaves("Athens", &["Plaka", "Kifisia"]).unwrap();
         loc.add_leaves("Ioannina", &["Perama"]).unwrap();
-        ContextEnvironment::new(vec![people, temp.build().unwrap(), loc.build().unwrap()])
-            .unwrap()
+        ContextEnvironment::new(vec![people, temp.build().unwrap(), loc.build().unwrap()]).unwrap()
     }
 
     fn pref(
@@ -573,9 +585,22 @@ mod tests {
             0.9,
         ))
         .unwrap();
-        tree.insert(&pref(&env, "accompanying_people = friends", 1, "brewery", 0.9)).unwrap();
-        tree.insert(&pref(&env, "location = Plaka and temperature in {warm, hot}", 0, "Acropolis", 0.8))
-            .unwrap();
+        tree.insert(&pref(
+            &env,
+            "accompanying_people = friends",
+            1,
+            "brewery",
+            0.9,
+        ))
+        .unwrap();
+        tree.insert(&pref(
+            &env,
+            "location = Plaka and temperature in {warm, hot}",
+            0,
+            "Acropolis",
+            0.8,
+        ))
+        .unwrap();
         (env, tree)
     }
 
@@ -593,8 +618,10 @@ mod tests {
         assert_eq!(stats.internal_cells, 2 + 2 + 2 + 4);
         assert_eq!(stats.total_cells(), 10 + 4);
         let paths = tree.paths();
-        let rendered: Vec<String> =
-            paths.iter().map(|(s, _)| s.display(&env).to_string()).collect();
+        let rendered: Vec<String> = paths
+            .iter()
+            .map(|(s, _)| s.display(&env).to_string())
+            .collect();
         assert!(rendered.contains(&"(friends, warm, Kifisia)".to_string()));
         assert!(rendered.contains(&"(friends, all, all)".to_string()));
         assert!(rendered.contains(&"(all, warm, Plaka)".to_string()));
@@ -631,7 +658,10 @@ mod tests {
         assert_eq!(cands[0].state, q);
         // (friends, all, all): levels (0, 2, 3) vs (0, 0, 0) → dist 2 + 3.
         assert_eq!(cands[1].distance, 5.0);
-        assert_eq!(cands[1].state.display(&env).to_string(), "(friends, all, all)");
+        assert_eq!(
+            cands[1].state.display(&env).to_string(),
+            "(friends, all, all)"
+        );
         // Every candidate must cover the query (Algorithm 1's contract).
         for c in &cands {
             assert!(c.state.covers(&q, &env));
@@ -669,17 +699,44 @@ mod tests {
     fn conflicts_detected_on_insert() {
         let env = fig4_env();
         let mut tree = ProfileTree::new(env.clone(), ParamOrder::identity(&env)).unwrap();
-        tree.insert(&pref(&env, "accompanying_people = friends", 1, "brewery", 0.9)).unwrap();
+        tree.insert(&pref(
+            &env,
+            "accompanying_people = friends",
+            1,
+            "brewery",
+            0.9,
+        ))
+        .unwrap();
         // Same state & clause, different score → conflict.
         let err = tree
-            .insert(&pref(&env, "accompanying_people = friends", 1, "brewery", 0.5))
+            .insert(&pref(
+                &env,
+                "accompanying_people = friends",
+                1,
+                "brewery",
+                0.5,
+            ))
             .unwrap_err();
         assert!(matches!(err, ProfileError::Conflict { .. }));
         // Identical preference → no-op, no duplicate entries.
-        tree.insert(&pref(&env, "accompanying_people = friends", 1, "brewery", 0.9)).unwrap();
+        tree.insert(&pref(
+            &env,
+            "accompanying_people = friends",
+            1,
+            "brewery",
+            0.9,
+        ))
+        .unwrap();
         assert_eq!(tree.stats().leaf_entries, 1);
         // Same state, different clause → fine, same leaf.
-        tree.insert(&pref(&env, "accompanying_people = friends", 1, "cafeteria", 0.4)).unwrap();
+        tree.insert(&pref(
+            &env,
+            "accompanying_people = friends",
+            1,
+            "cafeteria",
+            0.4,
+        ))
+        .unwrap();
         assert_eq!(tree.state_count(), 1);
         assert_eq!(tree.stats().leaf_entries, 2);
     }
@@ -688,12 +745,19 @@ mod tests {
     fn conflicting_multi_state_insert_is_atomic() {
         let env = fig4_env();
         let mut tree = ProfileTree::new(env.clone(), ParamOrder::identity(&env)).unwrap();
-        tree.insert(&pref(&env, "temperature = warm", 0, "Acropolis", 0.8)).unwrap();
+        tree.insert(&pref(&env, "temperature = warm", 0, "Acropolis", 0.8))
+            .unwrap();
         let before = tree.stats();
         // Descriptor expanding to {warm, hot}: warm conflicts, so even
         // the hot path must not be created.
         let err = tree
-            .insert(&pref(&env, "temperature in {warm, hot}", 0, "Acropolis", 0.2))
+            .insert(&pref(
+                &env,
+                "temperature in {warm, hot}",
+                0,
+                "Acropolis",
+                0.2,
+            ))
             .unwrap_err();
         assert!(matches!(err, ProfileError::Conflict { .. }));
         assert_eq!(tree.stats(), before);
@@ -703,14 +767,23 @@ mod tests {
     fn reorder_preserves_contents() {
         let (env, tree) = fig4_tree();
         let reordered = tree
-            .reorder(ParamOrder::by_names(&env, &["location", "temperature", "accompanying_people"]).unwrap())
+            .reorder(
+                ParamOrder::by_names(&env, &["location", "temperature", "accompanying_people"])
+                    .unwrap(),
+            )
             .unwrap();
         assert_eq!(reordered.state_count(), tree.state_count());
         assert_eq!(reordered.stats().leaf_entries, tree.stats().leaf_entries);
-        let mut a: Vec<String> =
-            tree.paths().iter().map(|(s, _)| s.display(&env).to_string()).collect();
-        let mut b: Vec<String> =
-            reordered.paths().iter().map(|(s, _)| s.display(&env).to_string()).collect();
+        let mut a: Vec<String> = tree
+            .paths()
+            .iter()
+            .map(|(s, _)| s.display(&env).to_string())
+            .collect();
+        let mut b: Vec<String> = reordered
+            .paths()
+            .iter()
+            .map(|(s, _)| s.display(&env).to_string())
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);
@@ -729,13 +802,24 @@ mod tests {
         let env = fig4_env();
         let mut profile = Profile::new(env.clone());
         profile
-            .insert(pref(&env, "accompanying_people = friends", 1, "brewery", 0.9))
+            .insert(pref(
+                &env,
+                "accompanying_people = friends",
+                1,
+                "brewery",
+                0.9,
+            ))
             .unwrap();
         profile
-            .insert(pref(&env, "location = Plaka and temperature in {warm, hot}", 0, "Acropolis", 0.8))
+            .insert(pref(
+                &env,
+                "location = Plaka and temperature in {warm, hot}",
+                0,
+                "Acropolis",
+                0.8,
+            ))
             .unwrap();
-        let tree =
-            ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
+        let tree = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
         assert_eq!(tree.state_count(), 3);
         assert!(tree.to_string().contains("states"));
     }

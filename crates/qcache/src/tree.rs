@@ -158,7 +158,9 @@ impl ContextQueryTree {
             let Some(child) = found else {
                 cells += nc.len() as u64;
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                self.stats.cells_accessed.fetch_add(cells, Ordering::Relaxed);
+                self.stats
+                    .cells_accessed
+                    .fetch_add(cells, Ordering::Relaxed);
                 return None;
             };
             if level + 1 == depth {
@@ -171,7 +173,9 @@ impl ContextQueryTree {
                 leaf.last_used.fetch_max(stamp, Ordering::Relaxed);
                 let results = Arc::clone(&leaf.results);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                self.stats.cells_accessed.fetch_add(cells, Ordering::Relaxed);
+                self.stats
+                    .cells_accessed
+                    .fetch_add(cells, Ordering::Relaxed);
                 return Some(results);
             }
             node = child as usize;
@@ -198,7 +202,11 @@ impl ContextQueryTree {
         for level in 0..depth {
             let key = state.value(ParamId(level as u16));
             let bottom = level + 1 == depth;
-            let existing = inner.nodes[node].cells.iter().find(|c| c.key == key).map(|c| c.child);
+            let existing = inner.nodes[node]
+                .cells
+                .iter()
+                .find(|c| c.key == key)
+                .map(|c| c.child);
             let child = match existing {
                 Some(c) => c,
                 None => {
@@ -245,9 +253,10 @@ impl ContextQueryTree {
         // Enforce capacity via the lazy heap. Under the write lock no
         // hit can race the stamp comparison.
         while inner.live > self.capacity {
-            let Reverse((stamp, idx)) = inner.evict_heap.pop().expect(
-                "every live leaf has at least one heap entry with stamp ≤ its last_used",
-            );
+            let Reverse((stamp, idx)) = inner
+                .evict_heap
+                .pop()
+                .expect("every live leaf has at least one heap entry with stamp ≤ its last_used");
             let Some(leaf) = inner.leaves[idx as usize].as_ref() else {
                 continue; // stale entry for a removed/freed leaf
             };
@@ -341,8 +350,7 @@ impl ContextQueryTree {
         for level in (0..depth).rev() {
             let (node, pos) = path[level];
             let child = inner.nodes[node].cells[pos].child;
-            let child_empty =
-                level + 1 == depth || inner.nodes[child as usize].cells.is_empty();
+            let child_empty = level + 1 == depth || inner.nodes[child as usize].cells.is_empty();
             if child_empty {
                 inner.nodes[node].cells.swap_remove(pos);
                 if level + 1 < depth {
@@ -372,7 +380,10 @@ mod tests {
 
     fn results(score: f64) -> RankedResults {
         RankedResults::from_scores(
-            vec![ScoredTuple { tuple_index: 0, score }],
+            vec![ScoredTuple {
+                tuple_index: 0,
+                score,
+            }],
             ScoreCombiner::Max,
         )
     }
@@ -406,7 +417,10 @@ mod tests {
         cache.insert(&st(&env, &["warm", "family"]), Arc::new(results(0.2)));
         cache.insert(&st(&env, &["cold", "friends"]), Arc::new(results(0.3)));
         assert_eq!(cache.len(), 3);
-        assert_eq!(cache.get(&st(&env, &["warm", "family"])).unwrap().entries()[0].score, 0.2);
+        assert_eq!(
+            cache.get(&st(&env, &["warm", "family"])).unwrap().entries()[0].score,
+            0.2
+        );
         assert!(cache.get(&st(&env, &["hot", "family"])).is_none());
     }
 
@@ -533,7 +547,10 @@ mod tests {
         cache.insert(&c, Arc::new(results(0.3)));
         cache.insert(&d, Arc::new(results(0.4)));
         cache.insert(&e, Arc::new(results(0.5)));
-        assert!(cache.get(&a).is_some(), "recently-hit state survived eviction");
+        assert!(
+            cache.get(&a).is_some(),
+            "recently-hit state survived eviction"
+        );
         assert!(cache.get(&b).is_none(), "stale state was the LRU victim");
     }
 

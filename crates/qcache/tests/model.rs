@@ -84,7 +84,10 @@ fn state(env: &ContextEnvironment, k: usize) -> ContextState {
 
 fn results(v: u8) -> Arc<RankedResults> {
     Arc::new(RankedResults::from_scores(
-        vec![ScoredTuple { tuple_index: v as usize, score: v as f64 / 255.0 }],
+        vec![ScoredTuple {
+            tuple_index: v as usize,
+            score: v as f64 / 255.0,
+        }],
         ScoreCombiner::Max,
     ))
 }

@@ -73,7 +73,11 @@ impl ContextualPriority {
         better: AttributeClause,
         worse: AttributeClause,
     ) -> Self {
-        Self { descriptor, better, worse }
+        Self {
+            descriptor,
+            better,
+            worse,
+        }
     }
 
     /// The context descriptor scoping the priority.
@@ -149,7 +153,10 @@ fn clause_key(c: &AttributeClause) -> String {
 impl QualitativeProfile {
     /// An empty qualitative profile over `env`.
     pub fn new(env: ContextEnvironment) -> Self {
-        Self { env, priorities: Vec::new() }
+        Self {
+            env,
+            priorities: Vec::new(),
+        }
     }
 
     /// The context environment.
@@ -184,10 +191,8 @@ impl QualitativeProfile {
         // for a cycle through the new edge.
         let new_states = priority.descriptor.states(&self.env)?;
         for state in &new_states {
-            let mut edges: Vec<(String, String)> = vec![(
-                clause_key(&priority.better),
-                clause_key(&priority.worse),
-            )];
+            let mut edges: Vec<(String, String)> =
+                vec![(clause_key(&priority.better), clause_key(&priority.worse))];
             for p in &self.priorities {
                 let states = p.descriptor.states(&self.env)?;
                 if states.contains(state) {
@@ -195,7 +200,9 @@ impl QualitativeProfile {
                 }
             }
             if has_cycle(&edges) {
-                return Err(QualitativeError::Cycle { state: state.clone() });
+                return Err(QualitativeError::Cycle {
+                    state: state.clone(),
+                });
             }
         }
         self.priorities.push(priority);
@@ -209,7 +216,10 @@ impl QualitativeProfile {
     /// state is strictly below it (covers-wise) *and* they relate the
     /// same clause pair (the more specific statement overrides the more
     /// general one).
-    pub fn applicable(&self, query: &ContextState) -> Result<Vec<&ContextualPriority>, QualitativeError> {
+    pub fn applicable(
+        &self,
+        query: &ContextState,
+    ) -> Result<Vec<&ContextualPriority>, QualitativeError> {
         // (priority, most specific covering state) pairs.
         let mut hits: Vec<(&ContextualPriority, ContextState)> = Vec::new();
         for p in &self.priorities {
@@ -233,10 +243,7 @@ impl QualitativeProfile {
             .iter()
             .filter(|(p, s)| {
                 !hits.iter().any(|(q, t)| {
-                    s != t
-                        && s.covers(t, &self.env)
-                        && q.better == p.better
-                        && q.worse == p.worse
+                    s != t && s.covers(t, &self.env) && q.better == p.better && q.worse == p.worse
                 })
             })
             .map(|(p, _)| *p)
@@ -245,12 +252,7 @@ impl QualitativeProfile {
     }
 
     /// Does `a` dominate `b` under the applicable priorities?
-    fn dominates(
-        priorities: &[&ContextualPriority],
-        rel: &Relation,
-        a: usize,
-        b: usize,
-    ) -> bool {
+    fn dominates(priorities: &[&ContextualPriority], rel: &Relation, a: usize, b: usize) -> bool {
         priorities.iter().any(|p| {
             p.better.predicate().matches(rel.tuple(a)) && p.worse.predicate().matches(rel.tuple(b))
         })
@@ -258,7 +260,11 @@ impl QualitativeProfile {
 
     /// **Winnow** (best matches only): the tuples of `rel` not dominated
     /// by any other tuple under the priorities applicable to `query`.
-    pub fn winnow(&self, rel: &Relation, query: &ContextState) -> Result<Vec<usize>, QualitativeError> {
+    pub fn winnow(
+        &self,
+        rel: &Relation,
+        query: &ContextState,
+    ) -> Result<Vec<usize>, QualitativeError> {
         let priorities = self.applicable(query)?;
         let all: Vec<usize> = (0..rel.len()).collect();
         Ok(Self::winnow_among(&priorities, rel, &all))
@@ -284,7 +290,11 @@ impl QualitativeProfile {
     /// stratum 0 is the winnow of the whole relation, stratum 1 the
     /// winnow of the rest, and so on. This is the qualitative analogue
     /// of a ranked answer.
-    pub fn rank(&self, rel: &Relation, query: &ContextState) -> Result<Vec<Vec<usize>>, QualitativeError> {
+    pub fn rank(
+        &self,
+        rel: &Relation,
+        query: &ContextState,
+    ) -> Result<Vec<Vec<usize>>, QualitativeError> {
         let priorities = self.applicable(query)?;
         let mut remaining: Vec<usize> = (0..rel.len()).collect();
         let mut strata = Vec::new();
@@ -376,7 +386,13 @@ mod tests {
         AttributeClause::eq(rel.schema().attr("type").unwrap(), Value::str(v))
     }
 
-    fn prio(env: &ContextEnvironment, rel: &Relation, cod: &str, b: &str, w: &str) -> ContextualPriority {
+    fn prio(
+        env: &ContextEnvironment,
+        rel: &Relation,
+        cod: &str,
+        b: &str,
+        w: &str,
+    ) -> ContextualPriority {
         ContextualPriority::new(
             parse_descriptor(env, cod).unwrap(),
             ty_clause(rel, b),
@@ -389,18 +405,26 @@ mod tests {
         let env = env();
         let rel = rel();
         let mut p = QualitativeProfile::new(env.clone());
-        p.insert(prio(&env, &rel, "company = family", "museum", "brewery")).unwrap();
-        p.insert(prio(&env, &rel, "company = friends", "brewery", "museum")).unwrap();
+        p.insert(prio(&env, &rel, "company = family", "museum", "brewery"))
+            .unwrap();
+        p.insert(prio(&env, &rel, "company = friends", "brewery", "museum"))
+            .unwrap();
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
 
         let family = ContextState::parse(&env, &["warm", "family"]).unwrap();
         let best = p.winnow(&rel, &family).unwrap();
-        assert!(best.contains(&0) && !best.contains(&1), "museum in, brewery out");
+        assert!(
+            best.contains(&0) && !best.contains(&1),
+            "museum in, brewery out"
+        );
 
         let friends = ContextState::parse(&env, &["warm", "friends"]).unwrap();
         let best = p.winnow(&rel, &friends).unwrap();
-        assert!(best.contains(&1) && !best.contains(&0), "brewery in, museum out");
+        assert!(
+            best.contains(&1) && !best.contains(&0),
+            "brewery in, museum out"
+        );
 
         // Undetermined tuples (zoo, park) are never dominated.
         assert!(best.contains(&2) && best.contains(&3));
@@ -412,16 +436,22 @@ mod tests {
         let rel = rel();
         let mut p = QualitativeProfile::new(env.clone());
         assert_eq!(
-            p.insert(prio(&env, &rel, "company = family", "museum", "museum")).unwrap_err(),
+            p.insert(prio(&env, &rel, "company = family", "museum", "museum"))
+                .unwrap_err(),
             QualitativeError::Reflexive
         );
-        p.insert(prio(&env, &rel, "company = family", "museum", "brewery")).unwrap();
-        p.insert(prio(&env, &rel, "company = family", "brewery", "zoo")).unwrap();
+        p.insert(prio(&env, &rel, "company = family", "museum", "brewery"))
+            .unwrap();
+        p.insert(prio(&env, &rel, "company = family", "brewery", "zoo"))
+            .unwrap();
         // zoo ≻ museum under the same state closes a cycle.
-        let err = p.insert(prio(&env, &rel, "company = family", "zoo", "museum")).unwrap_err();
+        let err = p
+            .insert(prio(&env, &rel, "company = family", "zoo", "museum"))
+            .unwrap_err();
         assert!(matches!(err, QualitativeError::Cycle { .. }));
         // …but the same edge in a *different* context is fine.
-        p.insert(prio(&env, &rel, "company = friends", "zoo", "museum")).unwrap();
+        p.insert(prio(&env, &rel, "company = friends", "zoo", "museum"))
+            .unwrap();
     }
 
     #[test]
@@ -429,12 +459,22 @@ mod tests {
         let env = env();
         let rel = rel();
         let mut p = QualitativeProfile::new(env.clone());
-        p.insert(prio(&env, &rel, "weather in {warm, hot}", "museum", "brewery")).unwrap();
+        p.insert(prio(
+            &env,
+            &rel,
+            "weather in {warm, hot}",
+            "museum",
+            "brewery",
+        ))
+        .unwrap();
         // Overlaps at (hot, all) → cycle.
-        let err = p.insert(prio(&env, &rel, "weather = hot", "brewery", "museum")).unwrap_err();
+        let err = p
+            .insert(prio(&env, &rel, "weather = hot", "brewery", "museum"))
+            .unwrap_err();
         assert!(matches!(err, QualitativeError::Cycle { .. }));
         // Disjoint state (cold) is fine.
-        p.insert(prio(&env, &rel, "weather = cold", "brewery", "museum")).unwrap();
+        p.insert(prio(&env, &rel, "weather = cold", "brewery", "museum"))
+            .unwrap();
     }
 
     #[test]
@@ -443,12 +483,14 @@ mod tests {
         let rel = rel();
         let mut p = QualitativeProfile::new(env.clone());
         // Generally: museum over brewery…
-        p.insert(prio(&env, &rel, "*", "museum", "brewery")).unwrap();
+        p.insert(prio(&env, &rel, "*", "museum", "brewery"))
+            .unwrap();
         // …but with friends, the same pair is stated at a more specific
         // state — resolution uses only the most specific statement.
         // (Same direction here; the override semantics are observable
         // through `applicable`.)
-        p.insert(prio(&env, &rel, "company = friends", "museum", "brewery")).unwrap();
+        p.insert(prio(&env, &rel, "company = friends", "museum", "brewery"))
+            .unwrap();
         let friends = ContextState::parse(&env, &["warm", "friends"]).unwrap();
         let applicable = p.applicable(&friends).unwrap();
         assert_eq!(applicable.len(), 1, "general statement suppressed");
@@ -469,7 +511,8 @@ mod tests {
         let env = env();
         let rel = rel();
         let mut p = QualitativeProfile::new(env.clone());
-        p.insert(prio(&env, &rel, "*", "museum", "brewery")).unwrap();
+        p.insert(prio(&env, &rel, "*", "museum", "brewery"))
+            .unwrap();
         p.insert(prio(&env, &rel, "*", "brewery", "zoo")).unwrap();
         let q = ContextState::parse(&env, &["warm", "family"]).unwrap();
         let strata = p.rank(&rel, &q).unwrap();
@@ -489,7 +532,8 @@ mod tests {
         let rel = rel();
         let mut p = QualitativeProfile::new(env.clone());
         // Stated at the Characterization level…
-        p.insert(prio(&env, &rel, "weather = good", "park", "museum")).unwrap();
+        p.insert(prio(&env, &rel, "weather = good", "park", "museum"))
+            .unwrap();
         // …applies to the detailed state (warm, …).
         let q = ContextState::parse(&env, &["warm", "friends"]).unwrap();
         let best = p.winnow(&rel, &q).unwrap();

@@ -33,11 +33,14 @@ pub enum ScoreCombiner {
 
 impl ScoreCombiner {
     fn seed(self) -> (f64, u32) {
-        (match self {
-            Self::Max => f64::NEG_INFINITY,
-            Self::Min => f64::INFINITY,
-            Self::Avg => 0.0,
-        }, 0)
+        (
+            match self {
+                Self::Max => f64::NEG_INFINITY,
+                Self::Min => f64::INFINITY,
+                Self::Avg => 0.0,
+            },
+            0,
+        )
     }
 
     fn fold(self, acc: &mut (f64, u32), score: f64) {
@@ -88,7 +91,10 @@ impl RankedResults {
         }
         let mut entries: Vec<ScoredTuple> = acc
             .into_iter()
-            .map(|(tuple_index, a)| ScoredTuple { tuple_index, score: combiner.finish(a) })
+            .map(|(tuple_index, a)| ScoredTuple {
+                tuple_index,
+                score: combiner.finish(a),
+            })
             .collect();
         entries.sort_by(|a, b| {
             b.score
@@ -144,7 +150,10 @@ mod tests {
     use super::*;
 
     fn st(i: usize, s: f64) -> ScoredTuple {
-        ScoredTuple { tuple_index: i, score: s }
+        ScoredTuple {
+            tuple_index: i,
+            score: s,
+        }
     }
 
     #[test]

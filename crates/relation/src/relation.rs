@@ -49,7 +49,11 @@ impl fmt::Display for RelationError {
             Self::ArityMismatch { expected, got } => {
                 write!(f, "tuple arity mismatch: expected {expected}, got {got}")
             }
-            Self::TypeMismatch { attr, expected, got } => {
+            Self::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute {attr:?} expects {expected}, got {got}")
             }
         }
@@ -76,7 +80,10 @@ impl Schema {
             }
             owned.push((name.to_string(), ty));
         }
-        Ok(Self { attrs: owned, by_name })
+        Ok(Self {
+            attrs: owned,
+            by_name,
+        })
     }
 
     /// Number of attributes.
@@ -96,7 +103,8 @@ impl Schema {
 
     /// Like [`Self::attr`], with a typed error.
     pub fn require_attr(&self, name: &str) -> Result<AttrId, RelationError> {
-        self.attr(name).ok_or_else(|| RelationError::UnknownAttr(name.to_string()))
+        self.attr(name)
+            .ok_or_else(|| RelationError::UnknownAttr(name.to_string()))
     }
 
     /// Name of an attribute.
@@ -127,7 +135,9 @@ pub struct Tuple {
 impl Tuple {
     /// A tuple from its values (validated on relation insert).
     pub fn new(values: Vec<Value>) -> Self {
-        Self { values: values.into_boxed_slice() }
+        Self {
+            values: values.into_boxed_slice(),
+        }
     }
 
     #[inline]
@@ -230,7 +240,11 @@ pub struct Relation {
 impl Relation {
     /// An empty relation with the given schema.
     pub fn new(name: &str, schema: Schema) -> Self {
-        Self { name: name.to_string(), schema, tuples: Vec::new() }
+        Self {
+            name: name.to_string(),
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Name of the relation.
@@ -316,12 +330,30 @@ mod tests {
         ])
         .unwrap();
         let mut r = Relation::new("Points_of_Interest", schema);
-        r.insert(vec![1.into(), "Acropolis".into(), "monument".into(), true.into(), 12.0.into()])
-            .unwrap();
-        r.insert(vec![2.into(), "Mikro Karaoke".into(), "brewery".into(), false.into(), 0.0.into()])
-            .unwrap();
-        r.insert(vec![3.into(), "Benaki".into(), "museum".into(), false.into(), 9.0.into()])
-            .unwrap();
+        r.insert(vec![
+            1.into(),
+            "Acropolis".into(),
+            "monument".into(),
+            true.into(),
+            12.0.into(),
+        ])
+        .unwrap();
+        r.insert(vec![
+            2.into(),
+            "Mikro Karaoke".into(),
+            "brewery".into(),
+            false.into(),
+            0.0.into(),
+        ])
+        .unwrap();
+        r.insert(vec![
+            3.into(),
+            "Benaki".into(),
+            "museum".into(),
+            false.into(),
+            9.0.into(),
+        ])
+        .unwrap();
         r
     }
 

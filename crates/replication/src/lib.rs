@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! WAL-shipping replication for the durable serving core.
+//!
+//! One primary [`DurableDb`](ctxpref_wal::DurableDb) accepts writes;
+//! replicas mirror its per-shard LSN sequence by appending the shipped
+//! payloads to their **own** write-ahead logs (both sides use the same
+//! user→shard fold, so shard `i` here is shard `i` there). That makes
+//! every replica a complete durable node in its own right: it
+//! checkpoints, recovers, and — after a failover — serves as the next
+//! primary with no format conversion.
+//!
+//! The layers, bottom to top:
+//!
+//! * [`message`] — the wire vocabulary: epoch-stamped [`Envelope`]s
+//!   carrying record batches, snapshots, heartbeats, digests, and
+//!   resyncs; [`Reply`] closes the loop with cursor progress.
+//! * [`epoch`] — the fencing term, persisted per node like the
+//!   checkpoint manifest, so deposed primaries stay deposed across
+//!   crashes.
+//! * [`node`] — [`ReplNode`]: one participant; symmetric `handle`
+//!   services shipping, catch-up pulls, and anti-entropy alike, with
+//!   the epoch fence applied before anything else.
+//! * [`digest`] — canonical per-shard FNV digests for anti-entropy.
+//! * [`transport`] — the [`Transport`] seam and its in-process
+//!   implementation, threaded through the `repl.*` fault sites so a
+//!   seeded [`FaultPlan`](ctxpref_faults::FaultPlan) can partition,
+//!   drop, delay, and duplicate deterministically.
+//! * [`cluster`] — [`Cluster`]: membership, cursors, quorum writes,
+//!   heartbeat failure detection, majority-guarded promotion with
+//!   pre-serve catch-up, and digest-driven anti-entropy.
+//!
+//! The replication chaos suite (`tests/chaos.rs`) drives all of it
+//! across a seed matrix and asserts: acked quorum writes survive
+//! partitions and primary kills, promotions carry strictly ascending
+//! epochs, and healed clusters converge to byte-equal digests.
+
+pub mod cluster;
+pub mod digest;
+pub mod epoch;
+pub mod error;
+pub mod message;
+pub mod node;
+pub mod transport;
+
+pub use cluster::{
+    AckMode, Cluster, ClusterConfig, ClusterStatus, NodeStatus, RoleHook, TickReport,
+};
+pub use digest::{node_digests, stripe_digest};
+pub use epoch::{load_epoch, save_epoch, EPOCH_FILE};
+pub use error::{ReplicationError, TransportError};
+pub use message::{Envelope, Message, NodeId, Reply, ShippedRecord};
+pub use node::ReplNode;
+pub use transport::{InProcessTransport, Transport};

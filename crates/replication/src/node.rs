@@ -1,0 +1,194 @@
+//! One replication participant: a [`DurableDb`] plus its fencing epoch
+//! and role.
+//!
+//! A node is symmetric — the same `handle` services a replica applying
+//! shipped records, a new primary pulling catch-up records from a peer
+//! during promotion, and anti-entropy in either direction. Role only
+//! gates the *client* write path (the cluster routes writes to the
+//! node it believes is primary; a deposed primary's shipments are
+//! fenced by epoch, not by role).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ctxpref_wal::{DurableDb, ReplApply, WalError, WalOptions};
+
+use crate::digest::node_digests;
+use crate::epoch::{load_epoch, save_epoch};
+use crate::message::{Envelope, Message, NodeId, Reply};
+
+/// One cluster participant.
+#[derive(Debug)]
+pub struct ReplNode {
+    id: NodeId,
+    dir: PathBuf,
+    db: Arc<DurableDb>,
+    /// Highest epoch this node has seen (persisted in `EPOCH`).
+    epoch: AtomicU64,
+    /// Whether this node currently believes it is the primary.
+    primary: AtomicBool,
+}
+
+impl ReplNode {
+    /// Wrap a freshly created durable db as node `id` with `epoch`.
+    pub fn new(id: NodeId, dir: &Path, db: Arc<DurableDb>, epoch: u64, primary: bool) -> Self {
+        let _ = save_epoch(dir, epoch);
+        Self {
+            id,
+            dir: dir.to_path_buf(),
+            db,
+            epoch: AtomicU64::new(epoch),
+            primary: AtomicBool::new(primary),
+        }
+    }
+
+    /// Recover node `id` from its durable directory; the persisted
+    /// epoch comes back with it, so a deposed primary restarts already
+    /// knowing it was deposed. Restarts always come back as replicas —
+    /// a node must be re-promoted (with a fresh epoch) to serve writes.
+    pub fn recover(id: NodeId, dir: &Path, opts: WalOptions) -> Result<Self, WalError> {
+        let (db, _report) = DurableDb::recover(dir, opts)?;
+        let epoch = load_epoch(dir);
+        Ok(Self {
+            id,
+            dir: dir.to_path_buf(),
+            db: Arc::new(db),
+            epoch: AtomicU64::new(epoch),
+            primary: AtomicBool::new(false),
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's durable directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The node's durable database.
+    pub fn db(&self) -> &Arc<DurableDb> {
+        &self.db
+    }
+
+    /// The node's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the node currently believes it is primary.
+    pub fn is_primary(&self) -> bool {
+        self.primary.load(Ordering::Acquire)
+    }
+
+    /// Promote: adopt `epoch` (persisted before the role flips) and
+    /// start accepting writes.
+    pub fn promote(&self, epoch: u64) {
+        self.adopt_epoch(epoch);
+        self.primary.store(true, Ordering::Release);
+    }
+
+    /// Demote to replica (deposed, or administratively).
+    pub fn demote(&self) {
+        self.primary.store(false, Ordering::Release);
+    }
+
+    /// Adopt a higher epoch (persist first, then publish). A node that
+    /// believed it was primary demotes: a higher epoch exists, so
+    /// someone else was promoted over it.
+    pub fn adopt_epoch(&self, epoch: u64) {
+        if epoch > self.epoch.load(Ordering::Acquire) {
+            let _ = save_epoch(&self.dir, epoch);
+            self.epoch.store(epoch, Ordering::Release);
+        }
+    }
+
+    /// Last applied LSN per shard (what the heartbeat reply carries).
+    pub fn applied_lsns(&self) -> Vec<u64> {
+        self.db
+            .wal_status()
+            .shards
+            .iter()
+            .map(|s| s.last_lsn)
+            .collect()
+    }
+
+    /// Service one incoming message, applying the epoch fence first:
+    /// a stale sender is rejected outright; a newer epoch is adopted
+    /// (demoting this node if it thought it was primary) before the
+    /// message is honoured.
+    pub fn handle(&self, env: &Envelope) -> Reply {
+        let current = self.epoch();
+        if env.epoch < current {
+            return Reply::Fenced { current };
+        }
+        if env.epoch > current {
+            self.adopt_epoch(env.epoch);
+            if self.is_primary() {
+                self.demote();
+            }
+        }
+        match &env.msg {
+            Message::Records { shard, records } => self.apply_records(*shard, records),
+            Message::Snapshot { stripes, lsns } => {
+                match self.db.install_stripes(stripes.clone(), lsns) {
+                    Ok(()) => Reply::SnapshotInstalled,
+                    Err(e) => Reply::Failed {
+                        reason: format!("snapshot install: {e}"),
+                    },
+                }
+            }
+            Message::Heartbeat => Reply::Beat {
+                epoch: self.epoch(),
+                applied: self.applied_lsns(),
+            },
+            Message::DigestRequest => Reply::Digests {
+                digests: node_digests(&self.db),
+            },
+            Message::Resync {
+                shard,
+                users,
+                last_lsn,
+            } => match self.db.resync_shard(*shard, users.clone(), *last_lsn) {
+                Ok(()) => Reply::Resynced,
+                Err(e) => Reply::Failed {
+                    reason: format!("shard resync: {e}"),
+                },
+            },
+        }
+    }
+
+    fn apply_records(&self, shard: usize, records: &[(u64, Vec<u8>)]) -> Reply {
+        let mut needs_flush = false;
+        for (lsn, payload) in records {
+            match self.db.apply_replicated(shard, *lsn, payload) {
+                Ok(ReplApply::Applied { durable }) => needs_flush |= !durable,
+                Ok(ReplApply::Duplicate) => {}
+                Ok(ReplApply::Gap { .. }) => break,
+                Err(e) => {
+                    return Reply::Failed {
+                        reason: format!("apply lsn {lsn}: {e}"),
+                    }
+                }
+            }
+        }
+        if needs_flush {
+            // Group-commit replicas fsync per shipped batch, so a
+            // Progress reply always means "durably applied through
+            // next_lsn - 1" — the property quorum acks count on.
+            if let Err(e) = self.db.flush() {
+                return Reply::Failed {
+                    reason: format!("flush after batch: {e}"),
+                };
+            }
+        }
+        // Whatever happened above (applies, duplicates, a gap), the
+        // truthful cursor for the sender is where the shard is now.
+        Reply::Progress {
+            next_lsn: self.applied_lsns()[shard] + 1,
+        }
+    }
+}

@@ -72,14 +72,15 @@ mod tests {
     use crate::resolver::{ContextResolver, TieBreak};
     use ctxpref_context::{parse_descriptor, ContextEnvironment, ContextState, DistanceKind};
     use ctxpref_hierarchy::Hierarchy;
-    use ctxpref_profile::{AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree};
+    use ctxpref_profile::{
+        AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree,
+    };
     use ctxpref_relation::{AttrType, Schema};
 
     fn setup() -> (ContextEnvironment, Schema, ProfileTree) {
-        let env = ContextEnvironment::new(vec![
-            Hierarchy::flat("weather", &["cold", "warm"]).unwrap(),
-        ])
-        .unwrap();
+        let env =
+            ContextEnvironment::new(vec![Hierarchy::flat("weather", &["cold", "warm"]).unwrap()])
+                .unwrap();
         let schema = Schema::new(&[("type", AttrType::Str)]).unwrap();
         let mut profile = Profile::new(env.clone());
         profile
@@ -134,8 +135,7 @@ mod tests {
             .unwrap();
         let tree = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
         let resolver = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All);
-        let res =
-            resolver.resolve_state(&ContextState::parse(&env, &["warm", "friends"]).unwrap());
+        let res = resolver.resolve_state(&ContextState::parse(&env, &["warm", "friends"]).unwrap());
         let text = explain_resolution(&tree, &schema, &res);
         assert!(text.contains("covered"), "{text}");
         assert!(text.contains("(warm, all)"), "{text}");

@@ -20,9 +20,9 @@ pub fn minimal_covering(env: &ContextEnvironment, candidates: &[Candidate]) -> V
     candidates
         .iter()
         .filter(|c| {
-            !candidates.iter().any(|other| {
-                other.state != c.state && c.state.covers(&other.state, env)
-            })
+            !candidates
+                .iter()
+                .any(|other| other.state != c.state && c.state.covers(&other.state, env))
         })
         .cloned()
         .collect()

@@ -46,7 +46,9 @@ impl RankedQuery {
 
     /// True iff no query state found any applicable preference.
     pub fn is_non_contextual(&self) -> bool {
-        self.resolutions.iter().all(|r| r.outcome == MatchOutcome::NoMatch)
+        self.resolutions
+            .iter()
+            .all(|r| r.outcome == MatchOutcome::NoMatch)
     }
 }
 
@@ -126,7 +128,10 @@ pub fn rank_cs_topk<S: PreferenceStore + ?Sized>(
     // full ranking would have produced for the first k positions.
     let keep = results.top_k_with_ties(k).to_vec();
     results = RankedResults::from_scores(keep, ScoreCombiner::Max);
-    Ok(RankedQuery { results, resolutions })
+    Ok(RankedQuery {
+        results,
+        resolutions,
+    })
 }
 
 /// `Rank_CS` (Algorithm 2): resolve every context state of the query's
@@ -147,7 +152,10 @@ pub fn rank_cs<S: PreferenceStore + ?Sized>(
     for res in &resolutions {
         select_for_state(store, relation, res, &mut raw);
     }
-    Ok(RankedQuery { results: RankedResults::from_scores(raw, combiner), resolutions })
+    Ok(RankedQuery {
+        results: RankedResults::from_scores(raw, combiner),
+        resolutions,
+    })
 }
 
 /// The selection half of `Rank_CS` for one resolved state: turn the
@@ -162,7 +170,10 @@ fn select_for_state<S: PreferenceStore + ?Sized>(
         for entry in store.entries(cand.leaf) {
             let pred = entry.clause.predicate();
             for tuple_index in relation.select(&pred) {
-                raw.push(ScoredTuple { tuple_index, score: entry.score });
+                raw.push(ScoredTuple {
+                    tuple_index,
+                    score: entry.score,
+                });
             }
         }
     }
@@ -224,7 +235,10 @@ pub fn rank_cs_parallel<S: PreferenceStore + Sync + ?Sized>(
         resolutions.push(res);
         raw.append(&mut tuples);
     }
-    Ok(RankedQuery { results: RankedResults::from_scores(raw, combiner), resolutions })
+    Ok(RankedQuery {
+        results: RankedResults::from_scores(raw, combiner),
+        resolutions,
+    })
 }
 
 #[cfg(test)]
@@ -395,10 +409,24 @@ mod tests {
             "weather = warm and company = family",
         ] {
             let ecod = parse_descriptor(&env, cod).unwrap().into();
-            let a = rank_cs(&tree, &rel, &ecod, DistanceKind::Jaccard, TieBreak::All, ScoreCombiner::Max)
-                .unwrap();
-            let b = rank_cs(&serial, &rel, &ecod, DistanceKind::Jaccard, TieBreak::All, ScoreCombiner::Max)
-                .unwrap();
+            let a = rank_cs(
+                &tree,
+                &rel,
+                &ecod,
+                DistanceKind::Jaccard,
+                TieBreak::All,
+                ScoreCombiner::Max,
+            )
+            .unwrap();
+            let b = rank_cs(
+                &serial,
+                &rel,
+                &ecod,
+                DistanceKind::Jaccard,
+                TieBreak::All,
+                ScoreCombiner::Max,
+            )
+            .unwrap();
             assert_eq!(a.results, b.results, "divergence for {cod}");
         }
     }
@@ -432,13 +460,37 @@ mod tests {
         .unwrap();
         let tree = ProfileTree::from_profile(&p, ParamOrder::identity(&env)).unwrap();
         let ecod = parse_descriptor(&env, "company = friends").unwrap().into();
-        let max = rank_cs(&tree, &rel, &ecod, DistanceKind::Hierarchy, TieBreak::All, ScoreCombiner::Max)
-            .unwrap();
-        let avg = rank_cs(&tree, &rel, &ecod, DistanceKind::Hierarchy, TieBreak::All, ScoreCombiner::Avg)
-            .unwrap();
+        let max = rank_cs(
+            &tree,
+            &rel,
+            &ecod,
+            DistanceKind::Hierarchy,
+            TieBreak::All,
+            ScoreCombiner::Max,
+        )
+        .unwrap();
+        let avg = rank_cs(
+            &tree,
+            &rel,
+            &ecod,
+            DistanceKind::Hierarchy,
+            TieBreak::All,
+            ScoreCombiner::Avg,
+        )
+        .unwrap();
         // Mikro (brewery, cost 0) matches both → max 0.9, avg 0.6.
-        let mikro_max = max.results.entries().iter().find(|e| e.tuple_index == 2).unwrap();
-        let mikro_avg = avg.results.entries().iter().find(|e| e.tuple_index == 2).unwrap();
+        let mikro_max = max
+            .results
+            .entries()
+            .iter()
+            .find(|e| e.tuple_index == 2)
+            .unwrap();
+        let mikro_avg = avg
+            .results
+            .entries()
+            .iter()
+            .find(|e| e.tuple_index == 2)
+            .unwrap();
         assert_eq!(mikro_max.score, 0.9);
         assert!((mikro_avg.score - 0.6).abs() < 1e-12);
     }
@@ -484,7 +536,9 @@ mod topk_tests {
             let db = hb.domain(hb.detailed_level());
             let mut x = seed;
             for i in 0..60u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let va = da[(x >> 8) as usize % da.len()];
                 let vb = db[(x >> 20) as usize % db.len()];
                 let clause_v = (x >> 32) % 12;
@@ -492,10 +546,8 @@ mod topk_tests {
                 let cod = ContextDescriptor::empty()
                     .with(ctxpref_context::ParamId(0), ParameterDescriptor::Eq(va))
                     .with(ctxpref_context::ParamId(1), ParameterDescriptor::Eq(vb));
-                let clause = AttributeClause::eq(
-                    ctxpref_relation::AttrId(0),
-                    format!("v{clause_v}").into(),
-                );
+                let clause =
+                    AttributeClause::eq(ctxpref_relation::AttrId(0), format!("v{clause_v}").into());
                 // Deduplicate conflicting (state, clause) pairs by skipping.
                 let pref = ContextualPreference::new(cod, clause, score).unwrap();
                 let _ = p.insert(pref);
@@ -564,10 +616,25 @@ mod topk_tests {
         let p = profile(&env, 3);
         let tree = ProfileTree::from_profile(&p, ParamOrder::by_ascending_domain(&env)).unwrap();
         let ecod: ExtendedContextDescriptor = ctxpref_context::ContextDescriptor::empty().into();
-        let a = rank_cs(&tree, &rel, &ecod, DistanceKind::Hierarchy, TieBreak::All, ScoreCombiner::Avg)
-            .unwrap();
-        let b = rank_cs_topk(&tree, &rel, &ecod, DistanceKind::Hierarchy, TieBreak::All, ScoreCombiner::Avg, 2)
-            .unwrap();
+        let a = rank_cs(
+            &tree,
+            &rel,
+            &ecod,
+            DistanceKind::Hierarchy,
+            TieBreak::All,
+            ScoreCombiner::Avg,
+        )
+        .unwrap();
+        let b = rank_cs_topk(
+            &tree,
+            &rel,
+            &ecod,
+            DistanceKind::Hierarchy,
+            TieBreak::All,
+            ScoreCombiner::Avg,
+            2,
+        )
+        .unwrap();
         assert_eq!(a.results, b.results, "avg combiner must not truncate");
     }
 }

@@ -90,7 +90,11 @@ impl<'a, S: PreferenceStore + ?Sized> ContextResolver<'a, S> {
         if !exact.is_empty() {
             let selected: Vec<Candidate> = exact
                 .into_iter()
-                .map(|leaf| Candidate { state: state.clone(), distance: 0.0, leaf })
+                .map(|leaf| Candidate {
+                    state: state.clone(),
+                    distance: 0.0,
+                    leaf,
+                })
                 .collect();
             return StateResolution {
                 query_state: state.clone(),
@@ -142,13 +146,20 @@ impl<'a, S: PreferenceStore + ?Sized> ContextResolver<'a, S> {
             return (
                 exact
                     .into_iter()
-                    .map(|leaf| Candidate { state: state.clone(), distance: 0.0, leaf })
+                    .map(|leaf| Candidate {
+                        state: state.clone(),
+                        distance: 0.0,
+                        leaf,
+                    })
                     .collect(),
                 counter.cells(),
             );
         }
         let candidates = self.store.lookup_covering(state, self.kind, &mut counter);
-        (minimal_covering(self.store.env(), &candidates), counter.cells())
+        (
+            minimal_covering(self.store.env(), &candidates),
+            counter.cells(),
+        )
     }
 
     /// Resolve every state of an extended context descriptor
@@ -212,7 +223,10 @@ mod tests {
         let env = env();
         let p = profile(
             &env,
-            &[("location = Greece and weather = warm", "a", 0.6), ("weather = warm", "b", 0.7)],
+            &[
+                ("location = Greece and weather = warm", "a", 0.6),
+                ("weather = warm", "b", 0.7),
+            ],
         );
         let tree = ProfileTree::from_profile(&p, ParamOrder::identity(&env)).unwrap();
         let r = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All);
@@ -221,7 +235,10 @@ mod tests {
         assert_eq!(res.outcome, MatchOutcome::Covered);
         assert_eq!(res.candidate_count, 2);
         assert_eq!(res.selected.len(), 1);
-        assert_eq!(res.selected[0].state.display(&env).to_string(), "(Greece, warm)");
+        assert_eq!(
+            res.selected[0].state.display(&env).to_string(),
+            "(Greece, warm)"
+        );
         assert!(res.cells > 0);
     }
 
@@ -265,17 +282,17 @@ mod tests {
         );
         let tree = ProfileTree::from_profile(&p, ParamOrder::identity(&env)).unwrap();
         let q = ContextState::parse(&env, &["Athens", "warm"]).unwrap();
-        let all = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All)
-            .resolve_state(&q);
+        let all =
+            ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All).resolve_state(&q);
         assert_eq!(all.selected.len(), 2);
-        let first = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::First)
-            .resolve_state(&q);
+        let first =
+            ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::First).resolve_state(&q);
         assert_eq!(first.selected.len(), 1);
         // The Jaccard distance breaks this tie: Greece has 2 city
         // descendants, good has 2 condition descendants — here equal
         // cardinalities, so check both candidates remain.
-        let jac = ContextResolver::new(&tree, DistanceKind::Jaccard, TieBreak::All)
-            .resolve_state(&q);
+        let jac =
+            ContextResolver::new(&tree, DistanceKind::Jaccard, TieBreak::All).resolve_state(&q);
         assert!(!jac.selected.is_empty());
     }
 
@@ -322,10 +339,16 @@ mod tests {
                 let rt = ContextResolver::new(&tree, kind, TieBreak::All).resolve_state(&q);
                 let rs = ContextResolver::new(&serial, kind, TieBreak::All).resolve_state(&q);
                 assert_eq!(rt.outcome, rs.outcome, "query {}", q.display(&env));
-                let mut st: Vec<String> =
-                    rt.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
-                let mut ss: Vec<String> =
-                    rs.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
+                let mut st: Vec<String> = rt
+                    .selected
+                    .iter()
+                    .map(|c| c.state.display(&env).to_string())
+                    .collect();
+                let mut ss: Vec<String> = rs
+                    .selected
+                    .iter()
+                    .map(|c| c.state.display(&env).to_string())
+                    .collect();
                 st.sort();
                 ss.sort();
                 assert_eq!(st, ss);

@@ -100,7 +100,6 @@ impl PreferenceStore for SerialStore {
     }
 }
 
-
 impl PreferenceStore for CompressedProfileTree {
     fn env(&self) -> &ContextEnvironment {
         CompressedProfileTree::env(self)

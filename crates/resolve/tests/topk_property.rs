@@ -41,7 +41,9 @@ fn profile(env: &ContextEnvironment, seed: u64, prefs: usize) -> Profile {
     let db = hb.domain(hb.detailed_level());
     let mut x = seed;
     for i in 0..prefs as u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let va = da[(x >> 8) as usize % da.len()];
         let vb = db[(x >> 20) as usize % db.len()];
         let clause_v = (x >> 32) % 12;

@@ -3,6 +3,7 @@ use std::fmt;
 use std::time::Duration;
 
 use ctxpref_core::CoreError;
+use ctxpref_replication::ReplicationError;
 use ctxpref_storage::StorageError;
 use ctxpref_wal::{DurableError, WalError};
 
@@ -41,6 +42,13 @@ pub enum ServiceError {
     /// A durability-only operation (checkpoint, WAL flush, WAL status)
     /// was called on a service running without a durable directory.
     NotDurable,
+    /// A replication-only operation (promotion, anti-entropy, status)
+    /// was called on a service running without a replicated cluster.
+    NotReplicated,
+    /// The replication layer refused or failed the operation (no
+    /// primary, quorum not reached, fenced epoch, …). The write was
+    /// **not** acknowledged.
+    Replication(ReplicationError),
     /// The service is shutting down and no longer accepts requests.
     ShuttingDown,
 }
@@ -62,8 +70,18 @@ impl fmt::Display for ServiceError {
             Self::Storage(e) => write!(f, "{e}"),
             Self::Wal(e) => write!(f, "{e}"),
             Self::NotDurable => {
-                write!(f, "service has no durable directory (start it with new_durable/recover)")
+                write!(
+                    f,
+                    "service has no durable directory (start it with new_durable/recover)"
+                )
             }
+            Self::NotReplicated => {
+                write!(
+                    f,
+                    "service has no replicated cluster (start it with new_replicated)"
+                )
+            }
+            Self::Replication(e) => write!(f, "{e}"),
             Self::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -75,6 +93,7 @@ impl Error for ServiceError {
             Self::Core(e) => Some(e),
             Self::Storage(e) => Some(e),
             Self::Wal(e) => Some(e),
+            Self::Replication(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +122,18 @@ impl From<DurableError> for ServiceError {
         match e {
             DurableError::Wal(e) => Self::Wal(e),
             DurableError::Core(e) => Self::Core(e),
+        }
+    }
+}
+
+impl From<ReplicationError> for ServiceError {
+    fn from(e: ReplicationError) -> Self {
+        // Unwrap the layers the service already has typed errors for;
+        // everything control-plane stays a replication error.
+        match e {
+            ReplicationError::Durable(e) => e.into(),
+            ReplicationError::Wal(e) => Self::Wal(e),
+            other => Self::Replication(other),
         }
     }
 }

@@ -116,7 +116,10 @@ pub(crate) fn lifted_states(shard: &UserShardRead<'_>, state: &ContextState) -> 
 /// The non-contextual default answer (Section 4.2): every tuple of the
 /// base relation at score 0, in relation order.
 pub(crate) fn default_answer(relation: &Relation) -> QueryAnswer {
-    let raw = (0..relation.len()).map(|i| ScoredTuple { tuple_index: i, score: 0.0 });
+    let raw = (0..relation.len()).map(|i| ScoredTuple {
+        tuple_index: i,
+        score: 0.0,
+    });
     QueryAnswer {
         results: Arc::new(RankedResults::from_scores(raw, ScoreCombiner::Max)),
         resolutions: Vec::new(),
@@ -173,7 +176,11 @@ pub(crate) fn run_ladder(
     // degrades its own faults to misses, so one call covers both).
     match try_rung("service.query.primary", || shard.query_state(user, state)) {
         Ok(answer) => {
-            let step = if answer.from_cache { LadderStep::Cached } else { LadderStep::Exact };
+            let step = if answer.from_cache {
+                LadderStep::Cached
+            } else {
+                LadderStep::Exact
+            };
             return Ok(ServiceAnswer {
                 answer,
                 step,
@@ -182,13 +189,18 @@ pub(crate) fn run_ladder(
                 elapsed: started.elapsed(),
             });
         }
-        Err(reason) => fallbacks.push(Fallback { step: LadderStep::Exact, reason }),
+        Err(reason) => fallbacks.push(Fallback {
+            step: LadderStep::Exact,
+            reason,
+        }),
     }
 
     // Rung 3: nearest ancestor state that still resolves.
     for lifted in lifted_states(shard, state) {
         if Instant::now() >= deadline {
-            return Err(ServiceError::DeadlineExceeded { deadline: requested_deadline });
+            return Err(ServiceError::DeadlineExceeded {
+                deadline: requested_deadline,
+            });
         }
         match try_rung("service.query.nearest", || shard.query_state(user, &lifted)) {
             Ok(answer) => {
@@ -201,7 +213,10 @@ pub(crate) fn run_ladder(
                 });
             }
             Err(reason) => {
-                fallbacks.push(Fallback { step: LadderStep::NearestState, reason });
+                fallbacks.push(Fallback {
+                    step: LadderStep::NearestState,
+                    reason,
+                });
             }
         }
     }

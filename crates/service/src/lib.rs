@@ -21,7 +21,13 @@
 //!   or [`CtxPrefService::recover`], every mutation is appended to a
 //!   per-shard write-ahead log before it is applied, a background
 //!   checkpointer bounds replay time, and recovery replays the log on
-//!   top of the latest checkpoint (`ctxpref-wal`).
+//!   top of the latest checkpoint (`ctxpref-wal`),
+//! * opt-in **replication**: built with
+//!   [`CtxPrefService::new_replicated`], mutations route through a
+//!   primary that ships its WAL to replicas (async or quorum acks),
+//!   a background tick detects primary failure and fails over with
+//!   epoch fencing, and anti-entropy digests verify convergence
+//!   (`ctxpref-replication`).
 //!
 //! Failure modes are driven deterministically in tests by the
 //! `ctxpref-faults` plan (see the chaos suite under `tests/`, and the
@@ -56,9 +62,12 @@ mod stats;
 
 pub use error::ServiceError;
 pub use ladder::{Fallback, LadderStep, ServiceAnswer};
-pub use service::{CtxPrefService, DurabilityConfig, RetryPolicy, ServiceConfig};
+pub use service::{CtxPrefService, DurabilityConfig, ReplicatedConfig, RetryPolicy, ServiceConfig};
 pub use stats::ServiceStats;
 
-// Durability vocabulary re-exported so service consumers need not
-// depend on `ctxpref-wal` directly.
+// Durability and replication vocabulary re-exported so service
+// consumers need not depend on the lower crates directly.
+pub use ctxpref_replication::{
+    AckMode, Cluster, ClusterStatus, NodeId, NodeStatus, ReplicationError, RoleHook, TickReport,
+};
 pub use ctxpref_wal::{CheckpointReport, RecoveryReport, SyncPolicy, WalStatus};

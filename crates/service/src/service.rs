@@ -10,8 +10,13 @@ use ctxpref_core::{CoreError, MultiUserDb, ShardedMultiUserDb};
 use ctxpref_profile::{AttributeClause, ContextualPreference, Profile};
 use ctxpref_qcache::CacheStats;
 use ctxpref_relation::CompareOp;
+use ctxpref_replication::{
+    AckMode, Cluster, ClusterConfig, ClusterStatus, NodeId, ReplicationError, RoleHook, TickReport,
+};
 use ctxpref_storage::StorageError;
-use ctxpref_wal::{CheckpointReport, DurableDb, RecoveryReport, SyncPolicy, WalOptions, WalStatus};
+use ctxpref_wal::{
+    CheckpointReport, DurableDb, RecoveryReport, SyncPolicy, WalOp, WalOptions, WalStatus,
+};
 use parking_lot::Mutex;
 
 use crate::error::ServiceError;
@@ -29,7 +34,10 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_attempts: 3, base_backoff: Duration::from_millis(2) }
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+        }
     }
 }
 
@@ -104,7 +112,88 @@ impl DurabilityConfig {
     }
 
     fn wal_options(&self) -> WalOptions {
-        WalOptions { sync: self.sync, segment_max_bytes: self.segment_max_bytes }
+        WalOptions {
+            sync: self.sync,
+            segment_max_bytes: self.segment_max_bytes,
+        }
+    }
+}
+
+/// Configuration of the service's replication layer: how many nodes,
+/// when writes are acknowledged, and how eagerly the control plane
+/// ticks. Built on top of the same durability knobs as
+/// [`DurabilityConfig`] — every node is a full durable database.
+#[derive(Debug, Clone)]
+pub struct ReplicatedConfig {
+    /// Root directory; node `i` gets the durable directory
+    /// `<dir>/node-<i>`.
+    pub dir: PathBuf,
+    /// Total nodes in the cluster (one primary, the rest replicas).
+    /// Majorities for quorum acks and promotion are computed against
+    /// this, so 3 tolerates one failure, 5 tolerates two.
+    pub nodes: usize,
+    /// When writes are acknowledged: [`AckMode::Async`] (primary-only,
+    /// fast, may lose acked writes on failover) or [`AckMode::Quorum`]
+    /// (majority-durable, failover-safe).
+    pub ack_mode: AckMode,
+    /// Fsync policy for every node's WAL.
+    pub sync: SyncPolicy,
+    /// Rotate a shard's WAL segment past this many bytes.
+    pub segment_max_bytes: u64,
+    /// Whether the background tick promotes a replica automatically
+    /// once the primary misses enough heartbeats.
+    pub auto_failover: bool,
+    /// Consecutive missed heartbeats (ticks) before the primary is
+    /// declared dead.
+    pub heartbeat_threshold: u32,
+    /// Interval of the background control-plane tick (ship pending
+    /// records, probe the primary, fail over). `None` = no background
+    /// thread; drive [`CtxPrefService::tick_replication`] manually.
+    pub tick_interval: Option<Duration>,
+}
+
+impl ReplicatedConfig {
+    /// A quorum-acked `nodes`-node cluster under `dir` with the
+    /// conservative defaults: fsync per record, 1 MiB segments,
+    /// auto-failover after 3 missed beats, a 25 ms background tick.
+    pub fn new(dir: impl Into<PathBuf>, nodes: usize) -> Self {
+        Self {
+            dir: dir.into(),
+            nodes,
+            ack_mode: AckMode::Quorum,
+            sync: SyncPolicy::PerRecord,
+            segment_max_bytes: 1 << 20,
+            auto_failover: true,
+            heartbeat_threshold: 3,
+            tick_interval: Some(Duration::from_millis(25)),
+        }
+    }
+
+    /// Switch to async acks (primary-only durability before the ack).
+    pub fn async_acks(mut self) -> Self {
+        self.ack_mode = AckMode::Async;
+        self
+    }
+
+    /// Switch to group commit with the given flush interval.
+    pub fn group_commit(mut self, flush_interval: Duration) -> Self {
+        self.sync = SyncPolicy::GroupCommit { flush_interval };
+        self
+    }
+
+    fn cluster_config(&self, shards: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes: self.nodes,
+            shards,
+            ack_mode: self.ack_mode,
+            wal: WalOptions {
+                sync: self.sync,
+                segment_max_bytes: self.segment_max_bytes,
+            },
+            batch_max: 64,
+            heartbeat_threshold: self.heartbeat_threshold,
+            auto_failover: self.auto_failover,
+        }
     }
 }
 
@@ -169,6 +258,7 @@ pub struct CtxPrefService {
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     durable: Option<Arc<DurableDb>>,
+    cluster: Option<Arc<Cluster>>,
     maintenance: Vec<(mpsc::Sender<()>, JoinHandle<()>)>,
     recovered_lsn: u64,
 }
@@ -204,7 +294,11 @@ impl CtxPrefService {
         dcfg: DurabilityConfig,
     ) -> Result<Self, ServiceError> {
         let db = Arc::new(ShardedMultiUserDb::from_db(db, cfg.shards));
-        let durable = Arc::new(DurableDb::create(&dcfg.dir, Arc::clone(&db), dcfg.wal_options())?);
+        let durable = Arc::new(DurableDb::create(
+            &dcfg.dir,
+            Arc::clone(&db),
+            dcfg.wal_options(),
+        )?);
         let mut service = Self::new_arc(db, cfg);
         service.attach_durability(durable, &dcfg);
         Ok(service)
@@ -253,9 +347,103 @@ impl CtxPrefService {
             sender: Some(sender),
             workers,
             durable: None,
+            cluster: None,
             maintenance: Vec::new(),
             recovered_lsn: 0,
         }
+    }
+
+    /// Serve `db` replicated across `rcfg.nodes` primary/replica nodes
+    /// under `rcfg.dir`. Every node is a full durable database (WAL,
+    /// checkpoints, recovery); `db`'s initial contents are seeded
+    /// through the replicated write path so all nodes start identical.
+    ///
+    /// Queries are served from node 0's core — the service's local
+    /// node — while mutations route through the cluster's current
+    /// primary, honouring the configured [`AckMode`]. After a failover
+    /// away from node 0, reads stay local (and catch up through
+    /// shipping); writes follow the new primary automatically.
+    pub fn new_replicated(
+        db: MultiUserDb,
+        cfg: ServiceConfig,
+        rcfg: ReplicatedConfig,
+    ) -> Result<Self, ServiceError> {
+        let env = db.env().clone();
+        let rel = db.relation().clone();
+        let cache = db.cache_capacity();
+        let shards = cfg.shards.max(1);
+        let cluster = Arc::new(
+            Cluster::new(&rcfg.dir, rcfg.cluster_config(shards), || {
+                Arc::new(ShardedMultiUserDb::new(
+                    env.clone(),
+                    rel.clone(),
+                    cache,
+                    shards,
+                ))
+            })
+            .map_err(ServiceError::from)?,
+        );
+        // Seed the initial contents through the replicated write path:
+        // every node (not just the primary) must hold them, and the WAL
+        // must cover them so late-joining replicas can catch up.
+        for user in db.users_sorted() {
+            cluster
+                .write(&WalOp::AddUser {
+                    user: user.to_string(),
+                })
+                .map_err(ServiceError::from)?;
+            let profile = db.profile(user)?;
+            for pref in profile.preferences() {
+                cluster
+                    .write(&WalOp::InsertPreference {
+                        user: user.to_string(),
+                        pref: pref.clone(),
+                    })
+                    .map_err(ServiceError::from)?;
+            }
+        }
+        let local = cluster.db_of(0).expect("node 0 exists at bootstrap");
+        let mut service = Self::new_arc(Arc::clone(local.db()), cfg);
+        service.attach_replication(cluster, &rcfg);
+        Ok(service)
+    }
+
+    /// Wire `cluster` into the service: mutations route through the
+    /// replicated write path from here on, and (when configured) the
+    /// background control-plane tick starts.
+    fn attach_replication(&mut self, cluster: Arc<Cluster>, rcfg: &ReplicatedConfig) {
+        if let Some(interval) = rcfg.tick_interval {
+            let cluster = Arc::clone(&cluster);
+            let (stop, stopped) = mpsc::channel::<()>();
+            let handle = std::thread::Builder::new()
+                .name("ctxpref-repl-tick".to_string())
+                .spawn(move || {
+                    while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(interval)
+                    {
+                        let _ = cluster.tick();
+                    }
+                })
+                .expect("spawning the replication tick thread");
+            self.maintenance.push((stop, handle));
+        }
+        if let SyncPolicy::GroupCommit { flush_interval } = rcfg.sync {
+            let cluster = Arc::clone(&cluster);
+            let (stop, stopped) = mpsc::channel::<()>();
+            let handle = std::thread::Builder::new()
+                .name("ctxpref-repl-flusher".to_string())
+                .spawn(move || {
+                    while let Err(mpsc::RecvTimeoutError::Timeout) =
+                        stopped.recv_timeout(flush_interval)
+                    {
+                        if let Some(db) = cluster.primary_db() {
+                            let _ = db.flush();
+                        }
+                    }
+                })
+                .expect("spawning the replication flusher thread");
+            self.maintenance.push((stop, handle));
+        }
+        self.cluster = Some(cluster);
     }
 
     /// Wire `durable` into the service: mutations route through the log
@@ -271,8 +459,7 @@ impl CtxPrefService {
                 .spawn(move || {
                     // recv_timeout disconnects when the service drops
                     // its stop sender — that is the shutdown signal.
-                    while let Err(mpsc::RecvTimeoutError::Timeout) =
-                        stopped.recv_timeout(interval)
+                    while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(interval)
                     {
                         let db = Arc::clone(&db);
                         let ok = catch_unwind(AssertUnwindSafe(move || db.checkpoint().is_ok()));
@@ -310,10 +497,10 @@ impl CtxPrefService {
             ctxpref_storage::load_multi_user(&path)
         })?;
         let service = Self::new(db, cfg);
-        service
-            .counters
-            .storage_retries
-            .fetch_add(counters.storage_retries.load(Ordering::Relaxed), Ordering::Relaxed);
+        service.counters.storage_retries.fetch_add(
+            counters.storage_retries.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         Ok(service)
     }
 
@@ -327,17 +514,94 @@ impl CtxPrefService {
     /// the service runs durably.
     pub fn stats(&self) -> ServiceStats {
         let mut stats = self.counters.snapshot();
-        if let Some(d) = &self.durable {
+        if let Some(d) = self.durable_db() {
             stats.wal_appends = d.wal_appends();
             stats.group_commit_batches = d.group_commit_batches();
         }
         stats.recovered_lsn = self.recovered_lsn;
+        if let Some(c) = &self.cluster {
+            let status = c.status();
+            stats.replication_epoch = status.epoch;
+            stats.replication_max_lag = status.max_lag;
+            stats.failovers = (status.promotions.len() as u64).saturating_sub(1);
+        }
         stats
     }
 
-    /// Whether mutations are logged to a durable directory.
+    /// Whether mutations are logged to a durable directory (every node
+    /// of a replicated service is durable).
     pub fn is_durable(&self) -> bool {
-        self.durable.is_some()
+        self.durable.is_some() || self.cluster.is_some()
+    }
+
+    /// Whether mutations replicate across a primary/replica cluster.
+    pub fn is_replicated(&self) -> bool {
+        self.cluster.is_some()
+    }
+
+    /// The durable database behind mutations: the attached one, or the
+    /// cluster's current primary when replicated.
+    fn durable_db(&self) -> Option<Arc<DurableDb>> {
+        match (&self.durable, &self.cluster) {
+            (Some(d), _) => Some(Arc::clone(d)),
+            (None, Some(c)) => c.primary_db(),
+            (None, None) => None,
+        }
+    }
+
+    /// The replication cluster handle (partition scripting, manual
+    /// crash/restart, direct status) — `None` without replication.
+    pub fn cluster(&self) -> Option<&Arc<Cluster>> {
+        self.cluster.as_ref()
+    }
+
+    /// A point-in-time view of the cluster: roles, epochs, lag,
+    /// promotion history.
+    pub fn replication_status(&self) -> Result<ClusterStatus, ServiceError> {
+        let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
+        Ok(c.status())
+    }
+
+    /// Manually promote node `id` to primary (majority-guarded, with
+    /// pre-serve catch-up — see the replication crate). Returns the
+    /// minted epoch.
+    pub fn promote(&self, id: NodeId) -> Result<u64, ServiceError> {
+        let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
+        Ok(c.promote(id)?)
+    }
+
+    /// One manual control-plane beat: ship pending records, probe the
+    /// primary from every replica, fail over if it is declared dead.
+    pub fn tick_replication(&self) -> Result<TickReport, ServiceError> {
+        let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
+        Ok(c.tick())
+    }
+
+    /// Ship every live replica as far as the primary's logs reach.
+    pub fn pump_replication(&self) -> Result<bool, ServiceError> {
+        let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
+        Ok(c.pump()?)
+    }
+
+    /// Compare per-shard digests across the cluster and resync each
+    /// divergent shard from the primary. Returns the resync count.
+    pub fn anti_entropy(&self) -> Result<usize, ServiceError> {
+        let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
+        Ok(c.anti_entropy()?)
+    }
+
+    /// Install a hook fired when a node is promoted to primary.
+    pub fn set_promotion_hook(&self, hook: RoleHook) -> Result<(), ServiceError> {
+        let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
+        c.set_promotion_hook(hook);
+        Ok(())
+    }
+
+    /// Install a hook fired when an acting primary is demoted.
+    pub fn set_demotion_hook(&self, hook: RoleHook) -> Result<(), ServiceError> {
+        let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
+        c.set_demotion_hook(hook);
+        Ok(())
     }
 
     /// Requests currently queued or executing.
@@ -370,7 +634,9 @@ impl CtxPrefService {
         if self.in_flight.fetch_add(1, Ordering::AcqRel) >= self.cfg.max_in_flight {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             self.counters.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(ServiceError::Overloaded { limit: self.cfg.max_in_flight });
+            return Err(ServiceError::Overloaded {
+                limit: self.cfg.max_in_flight,
+            });
         }
         let cancelled = Arc::new(AtomicBool::new(false));
         let (reply, response) = mpsc::sync_channel(1);
@@ -400,7 +666,9 @@ impl CtxPrefService {
                 // Cancel: the worker drops the job (or its result) when
                 // it notices; the in-flight slot frees then.
                 cancelled.store(true, Ordering::Release);
-                self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
                 Err(ServiceError::DeadlineExceeded { deadline })
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -431,14 +699,20 @@ impl CtxPrefService {
                     .filter(|fb| fb.reason.starts_with("panic:"))
                     .count() as u64;
                 if contained_panics > 0 {
-                    self.counters.panics_contained.fetch_add(contained_panics, Ordering::Relaxed);
+                    self.counters
+                        .panics_contained
+                        .fetch_add(contained_panics, Ordering::Relaxed);
                 }
             }
             Err(ServiceError::DeadlineExceeded { .. }) => {
-                self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
             }
             Err(ServiceError::QueryPanicked { .. }) => {
-                self.counters.panics_contained.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
@@ -449,8 +723,16 @@ impl CtxPrefService {
 
     /// Register a user with an empty profile. On a durable service the
     /// registration is logged before the core changes (as is every
-    /// mutation below).
+    /// mutation below); on a replicated one it routes through the
+    /// cluster's current primary, honouring the configured ack mode.
     pub fn add_user(&self, name: &str) -> Result<(), ServiceError> {
+        if let Some(c) = &self.cluster {
+            c.write(&WalOp::AddUser {
+                user: name.to_string(),
+            })
+            .map_err(ServiceError::from)?;
+            return Ok(());
+        }
         match &self.durable {
             Some(d) => {
                 d.add_user(name)?;
@@ -462,6 +744,20 @@ impl CtxPrefService {
 
     /// Register a user with an initial profile.
     pub fn add_user_with_profile(&self, name: &str, profile: Profile) -> Result<(), ServiceError> {
+        if let Some(c) = &self.cluster {
+            c.write(&WalOp::AddUser {
+                user: name.to_string(),
+            })
+            .map_err(ServiceError::from)?;
+            for pref in profile.preferences() {
+                c.write(&WalOp::InsertPreference {
+                    user: name.to_string(),
+                    pref: pref.clone(),
+                })
+                .map_err(ServiceError::from)?;
+            }
+            return Ok(());
+        }
         match &self.durable {
             Some(d) => {
                 d.add_user_with_profile(name, profile)?;
@@ -473,6 +769,17 @@ impl CtxPrefService {
 
     /// Remove a user, returning their profile.
     pub fn remove_user(&self, name: &str) -> Result<Profile, ServiceError> {
+        if let Some(c) = &self.cluster {
+            // Read the profile off the primary (the authoritative copy)
+            // before logging the removal.
+            let primary = c.primary_db().ok_or(ReplicationError::NoPrimary)?;
+            let profile = primary.db().profile(name)?;
+            c.write(&WalOp::RemoveUser {
+                user: name.to_string(),
+            })
+            .map_err(ServiceError::from)?;
+            return Ok(profile);
+        }
         match &self.durable {
             Some(d) => {
                 let (_ack, profile) = d.remove_user(name)?;
@@ -488,6 +795,14 @@ impl CtxPrefService {
         user: &str,
         pref: ContextualPreference,
     ) -> Result<(), ServiceError> {
+        if let Some(c) = &self.cluster {
+            c.write(&WalOp::InsertPreference {
+                user: user.to_string(),
+                pref,
+            })
+            .map_err(ServiceError::from)?;
+            return Ok(());
+        }
         match &self.durable {
             Some(d) => {
                 d.insert_preference(user, pref)?;
@@ -507,14 +822,13 @@ impl CtxPrefService {
         value: ctxpref_relation::Value,
         score: f64,
     ) -> Result<(), ServiceError> {
-        match &self.durable {
-            Some(d) => {
-                let pref = self.build_eq_preference(descriptor, attr, value, score)?;
-                d.insert_preference(user, pref)?;
-                Ok(())
-            }
-            None => Ok(self.db.insert_preference_eq(user, descriptor, attr, value, score)?),
+        if self.cluster.is_some() || self.durable.is_some() {
+            let pref = self.build_eq_preference(descriptor, attr, value, score)?;
+            return self.insert_preference(user, pref);
         }
+        Ok(self
+            .db
+            .insert_preference_eq(user, descriptor, attr, value, score)?)
     }
 
     /// Remove one user's preference by index.
@@ -523,6 +837,23 @@ impl CtxPrefService {
         user: &str,
         index: usize,
     ) -> Result<ContextualPreference, ServiceError> {
+        if let Some(c) = &self.cluster {
+            let primary = c.primary_db().ok_or(ReplicationError::NoPrimary)?;
+            let pref = primary
+                .db()
+                .profile(user)?
+                .preferences()
+                .get(index)
+                .cloned();
+            // An out-of-range index fails inside the write (nothing is
+            // logged), so a successful write implies `pref` was read.
+            c.write(&WalOp::RemovePreference {
+                user: user.to_string(),
+                index,
+            })
+            .map_err(ServiceError::from)?;
+            return pref.ok_or(ServiceError::Core(CoreError::NoSuchPreference(index)));
+        }
         match &self.durable {
             Some(d) => {
                 let (_ack, pref) = d.remove_preference(user, index)?;
@@ -539,6 +870,15 @@ impl CtxPrefService {
         index: usize,
         score: f64,
     ) -> Result<(), ServiceError> {
+        if let Some(c) = &self.cluster {
+            c.write(&WalOp::UpdateScore {
+                user: user.to_string(),
+                index,
+                score,
+            })
+            .map_err(ServiceError::from)?;
+            return Ok(());
+        }
         match &self.durable {
             Some(d) => {
                 d.update_preference_score(user, index, score)?;
@@ -573,7 +913,7 @@ impl CtxPrefService {
     /// garbage-collect old generations. Fails with
     /// [`ServiceError::NotDurable`] on a non-durable service.
     pub fn checkpoint(&self) -> Result<CheckpointReport, ServiceError> {
-        let durable = self.durable.as_ref().ok_or(ServiceError::NotDurable)?;
+        let durable = self.durable_db().ok_or(ServiceError::NotDurable)?;
         let report = durable.checkpoint()?;
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(report)
@@ -582,13 +922,14 @@ impl CtxPrefService {
     /// Fsync all pending group-commit WAL records, returning how many
     /// became durable.
     pub fn flush_wal(&self) -> Result<u64, ServiceError> {
-        let durable = self.durable.as_ref().ok_or(ServiceError::NotDurable)?;
+        let durable = self.durable_db().ok_or(ServiceError::NotDurable)?;
         Ok(durable.flush()?)
     }
 
-    /// Per-shard WAL positions plus append/batch/rotation totals.
+    /// Per-shard WAL positions plus append/batch/rotation totals (the
+    /// primary's, on a replicated service).
     pub fn wal_status(&self) -> Result<WalStatus, ServiceError> {
-        let durable = self.durable.as_ref().ok_or(ServiceError::NotDurable)?;
+        let durable = self.durable_db().ok_or(ServiceError::NotDurable)?;
         Ok(durable.wal_status())
     }
 
@@ -617,9 +958,12 @@ impl CtxPrefService {
     /// across disk writes and queries proceed during the save.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServiceError> {
         let snapshot = self.db.snapshot();
-        retry_storage(&self.cfg.retry, self.cfg.storage_deadline, &self.counters, || {
-            ctxpref_storage::save_multi_user(&path, &snapshot)
-        })
+        retry_storage(
+            &self.cfg.retry,
+            self.cfg.storage_deadline,
+            &self.counters,
+            || ctxpref_storage::save_multi_user(&path, &snapshot),
+        )
     }
 
     /// Stop accepting requests, drain the workers, and return the
@@ -654,8 +998,11 @@ impl CtxPrefService {
             let _ = w.join();
         }
         // Released last so shutdown()'s Arc::try_unwrap on the database
-        // sees the service as the sole owner.
+        // sees the service as the sole owner. Dropping the cluster
+        // releases every node's directory lock and core handle (the
+        // tick thread's clone was joined with the maintenance drain).
         self.durable = None;
+        self.cluster = None;
     }
 }
 
@@ -682,9 +1029,9 @@ fn worker_loop(
         }
         if Instant::now() >= job.deadline {
             counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-            let _ = job
-                .reply
-                .try_send(Err(ServiceError::DeadlineExceeded { deadline: job.requested }));
+            let _ = job.reply.try_send(Err(ServiceError::DeadlineExceeded {
+                deadline: job.requested,
+            }));
             continue;
         }
         // Outer containment: nothing may unwind out of a request, even
@@ -705,7 +1052,9 @@ fn worker_loop(
             if Instant::now() >= job.deadline {
                 counters.deadline_after_lock.fetch_add(1, Ordering::Relaxed);
                 counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::DeadlineExceeded { deadline: job.requested });
+                return Err(ServiceError::DeadlineExceeded {
+                    deadline: job.requested,
+                });
             }
             run_ladder(&shard, &job.user, &job.state, job.deadline, job.requested)
         }))

@@ -34,11 +34,15 @@ impl Counters {
             lock_wait_micros: self.lock_wait_micros.load(Ordering::Relaxed),
             deadline_after_lock: self.deadline_after_lock.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            // Durability figures live on the WAL, not in these atomics;
-            // `CtxPrefService::stats` overlays them after this snapshot.
+            // Durability and replication figures live on the WAL and
+            // the cluster, not in these atomics; `CtxPrefService::stats`
+            // overlays them after this snapshot.
             wal_appends: 0,
             group_commit_batches: 0,
             recovered_lsn: 0,
+            replication_epoch: 0,
+            replication_max_lag: 0,
+            failovers: 0,
         }
     }
 }
@@ -83,6 +87,15 @@ pub struct ServiceStats {
     /// Sum of per-shard LSNs recovered at startup (0 for a fresh or
     /// non-durable service) — how much log survived the last crash.
     pub recovered_lsn: u64,
+    /// The cluster's current fencing epoch (0 when the service runs
+    /// without replication).
+    pub replication_epoch: u64,
+    /// How far the laggiest live replica trails the primary, in
+    /// applied records (0 without replication or a live primary).
+    pub replication_max_lag: u64,
+    /// Promotions after the initial one — how many times the primary
+    /// role has moved since the cluster was bootstrapped.
+    pub failovers: u64,
 }
 
 impl ServiceStats {

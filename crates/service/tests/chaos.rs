@@ -25,7 +25,9 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn fault_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
 }
 
 fn study_db(users: usize, cache: usize) -> MultiUserDb {
@@ -34,7 +36,8 @@ fn study_db(users: usize, cache: usize) -> MultiUserDb {
     let mut db = MultiUserDb::new(env.clone(), rel, cache);
     for (i, demo) in all_demographics().into_iter().take(users).enumerate() {
         let profile = default_profile(&env, db.relation(), demo);
-        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
     }
     db
 }
@@ -79,8 +82,7 @@ fn storm_of_mixed_faults_upholds_the_service_guarantees() {
         ..ServiceConfig::default()
     };
     let service = CtxPrefService::new(study_db(USERS, 16), cfg);
-    let save_path = std::env::temp_dir()
-        .join(format!("ctxpref-chaos-{}.db", std::process::id()));
+    let save_path = std::env::temp_dir().join(format!("ctxpref-chaos-{}.db", std::process::id()));
     let _ = std::fs::remove_file(&save_path);
 
     // The seeded plan: every class of fault, at every instrumented
@@ -161,6 +163,11 @@ fn storm_of_mixed_faults_upholds_the_service_guarantees() {
                             ) => {
                                 err_count.fetch_add(1, Ordering::Relaxed);
                             }
+                            Err(
+                                e @ (ServiceError::NotReplicated | ServiceError::Replication(_)),
+                            ) => {
+                                panic!("replication error on the query path: {e}");
+                            }
                         }
                     }
                 });
@@ -202,23 +209,44 @@ fn storm_of_mixed_faults_upholds_the_service_guarantees() {
 
     // Guarantee 2 accounting: every one of the 1200 requests resolved.
     let total = (CLIENTS * QUERIES_PER_CLIENT) as u64;
-    let (ok, err) = (ok_count.load(Ordering::Relaxed), err_count.load(Ordering::Relaxed));
-    assert_eq!(ok + err, total, "every request terminates with an answer or a typed error");
+    let (ok, err) = (
+        ok_count.load(Ordering::Relaxed),
+        err_count.load(Ordering::Relaxed),
+    );
+    assert_eq!(
+        ok + err,
+        total,
+        "every request terminates with an answer or a typed error"
+    );
 
     // The storm actually stormed: faults fired, rungs were exercised.
     let injected = plan.stats();
-    assert!(injected.total() > 100, "only {} faults injected", injected.total());
+    assert!(
+        injected.total() > 100,
+        "only {} faults injected",
+        injected.total()
+    );
     assert!(!injected.panics.is_empty(), "no panics were forced");
     let stats = service.stats();
-    assert_eq!(stats.served(), ok, "service accounting matches client accounting");
+    assert_eq!(
+        stats.served(),
+        ok,
+        "service accounting matches client accounting"
+    );
     assert!(stats.degraded() > 0, "degradation ladder never engaged");
     assert_eq!(stats.degraded(), degraded_count.load(Ordering::Relaxed));
-    assert!(stats.panics_contained > 0, "panic containment never engaged");
+    assert!(
+        stats.panics_contained > 0,
+        "panic containment never engaged"
+    );
 
     // Guarantee 3: per-user cache statistics remain consistent.
     for i in 0..USERS {
         let user = format!("user{i}");
-        let cache = service.cache_stats(&user).unwrap().expect("caching enabled");
+        let cache = service
+            .cache_stats(&user)
+            .unwrap()
+            .expect("caching enabled");
         assert!(
             cache.evictions <= cache.insertions,
             "{user}: evicted {} > inserted {}",
@@ -233,7 +261,9 @@ fn storm_of_mixed_faults_upholds_the_service_guarantees() {
 
     // Guarantee 4: whatever the partial-write faults did, the snapshot
     // file either loads intact or fails cleanly — never a panic.
-    let load = catch_unwind(AssertUnwindSafe(|| ctxpref_storage::load_multi_user(&save_path)));
+    let load = catch_unwind(AssertUnwindSafe(|| {
+        ctxpref_storage::load_multi_user(&save_path)
+    }));
     let load = load.expect("loading a chaos-era snapshot must not panic");
     if saves_succeeded.load(Ordering::Relaxed) > 0 {
         // Atomic renames only publish complete files, so the newest
@@ -253,10 +283,15 @@ fn storm_of_mixed_faults_upholds_the_service_guarantees() {
     // healthy again: a clean query and a clean save.
     let state = service.with_db(|db| ContextState::all(db.env()));
     let answer = service.query_state("user1", &state).unwrap();
-    assert!(matches!(answer.step, LadderStep::Cached | LadderStep::Exact));
+    assert!(matches!(
+        answer.step,
+        LadderStep::Cached | LadderStep::Exact
+    ));
     service.save(&save_path).unwrap();
     assert_eq!(
-        ctxpref_storage::load_multi_user(&save_path).unwrap().user_count(),
+        ctxpref_storage::load_multi_user(&save_path)
+            .unwrap()
+            .user_count(),
         USERS
     );
     let _ = std::fs::remove_file(&save_path);

@@ -8,9 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use ctxpref_core::MultiUserDb;
-use ctxpref_service::{
-    CtxPrefService, DurabilityConfig, ServiceConfig, ServiceError, SyncPolicy,
-};
+use ctxpref_service::{CtxPrefService, DurabilityConfig, ServiceConfig, ServiceError, SyncPolicy};
 use ctxpref_workload::reference::{poi_env, poi_relation};
 
 /// A fresh directory under the system temp dir; removed on drop.
@@ -20,8 +18,10 @@ impl TempDir {
     fn new(tag: &str) -> Self {
         static N: AtomicU64 = AtomicU64::new(0);
         let n = N.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir()
-            .join(format!("ctxpref-svc-durability-{}-{tag}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!(
+            "ctxpref-svc-durability-{}-{tag}-{n}",
+            std::process::id()
+        ));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         Self(dir)
@@ -41,13 +41,20 @@ fn study_db() -> MultiUserDb {
 }
 
 fn small_cfg() -> ServiceConfig {
-    ServiceConfig { workers: 1, shards: 4, ..ServiceConfig::default() }
+    ServiceConfig {
+        workers: 1,
+        shards: 4,
+        ..ServiceConfig::default()
+    }
 }
 
 /// Manual checkpointing only: the background checkpointer would make
 /// the WAL/checkpoint split nondeterministic.
 fn manual_dcfg(dir: &std::path::Path) -> DurabilityConfig {
-    DurabilityConfig { checkpoint_interval: None, ..DurabilityConfig::new(dir) }
+    DurabilityConfig {
+        checkpoint_interval: None,
+        ..DurabilityConfig::new(dir)
+    }
 }
 
 #[test]
@@ -59,11 +66,23 @@ fn durable_service_survives_a_kill_without_checkpoint() {
 
     service.add_user("alice").unwrap();
     service
-        .insert_preference_eq("alice", "accompanying_people = friends", "type", "museum".into(), 0.8)
+        .insert_preference_eq(
+            "alice",
+            "accompanying_people = friends",
+            "type",
+            "museum".into(),
+            0.8,
+        )
         .unwrap();
     service.add_user("bob").unwrap();
     service
-        .insert_preference_eq("bob", "accompanying_people = alone", "type", "cinema".into(), 0.5)
+        .insert_preference_eq(
+            "bob",
+            "accompanying_people = alone",
+            "type",
+            "cinema".into(),
+            0.5,
+        )
         .unwrap();
     service.update_preference_score("alice", 0, 0.3).unwrap();
     let removed = service.remove_preference("bob", 0).unwrap();
@@ -78,7 +97,10 @@ fn durable_service_survives_a_kill_without_checkpoint() {
 
     let (recovered, report) =
         CtxPrefService::recover(small_cfg(), manual_dcfg(&tmp.0)).expect("recovering the service");
-    assert_eq!(report.generation, 0, "recovered from the bootstrap checkpoint");
+    assert_eq!(
+        report.generation, 0,
+        "recovered from the bootstrap checkpoint"
+    );
     assert_eq!(report.replayed, 6);
     assert_eq!(recovered.stats().recovered_lsn, 6);
     let (users, alice_score, bob_prefs) = recovered.with_db(|db| {
@@ -96,7 +118,11 @@ fn durable_service_survives_a_kill_without_checkpoint() {
     // The recovered service keeps logging: a write after recovery is a
     // fresh append on top of the recovered positions.
     recovered.add_user("carol").unwrap();
-    assert_eq!(recovered.stats().wal_appends, 1, "appends count since this start");
+    assert_eq!(
+        recovered.stats().wal_appends,
+        1,
+        "appends count since this start"
+    );
 }
 
 #[test]
@@ -115,7 +141,9 @@ fn manual_checkpoint_truncates_replay() {
     let (recovered, report) = CtxPrefService::recover(small_cfg(), manual_dcfg(&tmp.0)).unwrap();
     assert_eq!(report.generation, 1);
     assert_eq!(report.replayed, 1, "only the post-checkpoint write replays");
-    assert!(recovered.with_db(|db| db.users_sorted()).contains(&"carol".to_string()));
+    assert!(recovered
+        .with_db(|db| db.users_sorted())
+        .contains(&"carol".to_string()));
 }
 
 #[test]
@@ -127,7 +155,11 @@ fn group_commit_flush_is_reported() {
     let service = CtxPrefService::new_durable(study_db(), small_cfg(), dcfg).unwrap();
     service.add_user("alice").unwrap();
     service.add_user("bob").unwrap();
-    assert_eq!(service.flush_wal().unwrap(), 2, "both pending records flushed");
+    assert_eq!(
+        service.flush_wal().unwrap(),
+        2,
+        "both pending records flushed"
+    );
     assert_eq!(service.flush_wal().unwrap(), 0, "nothing left to flush");
     assert!(service.stats().group_commit_batches >= 1);
 }
@@ -143,30 +175,42 @@ fn background_checkpointer_runs() {
     service.add_user("alice").unwrap();
     let deadline = Instant::now() + Duration::from_secs(10);
     while service.stats().checkpoints == 0 {
-        assert!(Instant::now() < deadline, "background checkpointer never ran");
+        assert!(
+            Instant::now() < deadline,
+            "background checkpointer never ran"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     drop(service); // Joins the checkpointer; must not hang or panic.
 
     let (_, report) = CtxPrefService::recover(small_cfg(), manual_dcfg(&tmp.0)).unwrap();
-    assert!(report.generation >= 1, "background checkpoint not published");
+    assert!(
+        report.generation >= 1,
+        "background checkpoint not published"
+    );
 }
 
 #[test]
 fn plain_service_rejects_durability_operations() {
     let service = CtxPrefService::new(study_db(), small_cfg());
     assert!(!service.is_durable());
-    assert!(matches!(service.checkpoint(), Err(ServiceError::NotDurable)));
+    assert!(matches!(
+        service.checkpoint(),
+        Err(ServiceError::NotDurable)
+    ));
     assert!(matches!(service.flush_wal(), Err(ServiceError::NotDurable)));
-    assert!(matches!(service.wal_status(), Err(ServiceError::NotDurable)));
+    assert!(matches!(
+        service.wal_status(),
+        Err(ServiceError::NotDurable)
+    ));
     assert_eq!(service.stats().wal_appends, 0);
 }
 
 #[test]
 fn durable_shutdown_returns_the_database() {
     let tmp = TempDir::new("shutdown");
-    let service = CtxPrefService::new_durable(study_db(), small_cfg(), manual_dcfg(&tmp.0))
-        .unwrap();
+    let service =
+        CtxPrefService::new_durable(study_db(), small_cfg(), manual_dcfg(&tmp.0)).unwrap();
     service.add_user("alice").unwrap();
     // shutdown() must reclaim the core even though the durable layer
     // held a reference to it until stop().
@@ -180,9 +224,15 @@ fn sync_policy_is_observable_in_acks() {
     // right after the last mutation loses nothing even without the
     // stop()-time flush.
     let tmp = TempDir::new("policy");
-    let dcfg = DurabilityConfig { sync: SyncPolicy::PerRecord, ..manual_dcfg(&tmp.0) };
+    let dcfg = DurabilityConfig {
+        sync: SyncPolicy::PerRecord,
+        ..manual_dcfg(&tmp.0)
+    };
     let service = CtxPrefService::new_durable(study_db(), small_cfg(), dcfg).unwrap();
     service.add_user("alice").unwrap();
     let status = service.wal_status().unwrap();
-    assert!(status.shards.iter().all(|s| s.pending == 0), "per-record leaves nothing pending");
+    assert!(
+        status.shards.iter().all(|s| s.pending == 0),
+        "per-record leaves nothing pending"
+    );
 }

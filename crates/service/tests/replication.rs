@@ -1,0 +1,233 @@
+//! End-to-end replication through the service API: a replicated
+//! service seeds all nodes, routes mutations through the primary,
+//! survives a primary crash by failing over, and converges after the
+//! crashed node rejoins — plus the `NotReplicated` contract on plain
+//! services and the background control-plane tick.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ctxpref_context::ContextState;
+use ctxpref_core::MultiUserDb;
+use ctxpref_replication::node_digests;
+use ctxpref_service::{CtxPrefService, ReplicatedConfig, ServiceConfig, ServiceError, SyncPolicy};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+
+/// A fresh directory under the system temp dir; removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("ctxpref-svc-repl-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn study_db() -> MultiUserDb {
+    let env = poi_env();
+    let rel = poi_relation(&env, 7, 3);
+    let mut db = MultiUserDb::new(env, rel, 8);
+    db.add_user("alice").unwrap();
+    db.add_user("bob").unwrap();
+    db
+}
+
+fn small_cfg() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        shards: 4,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Manual ticking only: the background thread would make the
+/// failure-detection and failover timing nondeterministic.
+fn manual_rcfg(dir: &std::path::Path, nodes: usize) -> ReplicatedConfig {
+    ReplicatedConfig {
+        tick_interval: None,
+        ..ReplicatedConfig::new(dir, nodes)
+    }
+}
+
+/// Every live node's per-shard digests, keyed for assertion messages.
+fn all_digests(service: &CtxPrefService) -> Vec<(usize, Vec<u64>)> {
+    let cluster = service.cluster().expect("replicated service");
+    let nodes = cluster.config().nodes;
+    (0..nodes)
+        .filter_map(|id| cluster.db_of(id).map(|db| (id, node_digests(&db))))
+        .collect()
+}
+
+#[test]
+fn replicated_service_seeds_serves_and_replicates() {
+    let tmp = TempDir::new("basic");
+    let service = CtxPrefService::new_replicated(study_db(), small_cfg(), manual_rcfg(&tmp.0, 3))
+        .expect("creating the replicated service");
+    assert!(service.is_replicated());
+    assert!(service.is_durable());
+
+    // The seeded users query from the local node immediately.
+    let state =
+        service.with_db(|db| ContextState::parse(db.env(), &["Plaka", "warm", "friends"]).unwrap());
+    service
+        .query_state("alice", &state)
+        .expect("seeded user answers");
+
+    // New mutations route through the primary and are quorum-acked.
+    service.add_user("carol").unwrap();
+    service
+        .insert_preference_eq(
+            "carol",
+            "accompanying_people = friends",
+            "type",
+            "museum".into(),
+            0.7,
+        )
+        .unwrap();
+    service.update_preference_score("carol", 0, 0.9).unwrap();
+    service
+        .query_state("carol", &state)
+        .expect("replicated user answers locally");
+
+    // After a pump the whole cluster is byte-identical.
+    service.pump_replication().unwrap();
+    let digests = all_digests(&service);
+    assert_eq!(digests.len(), 3, "all three nodes live");
+    for (id, d) in &digests {
+        assert_eq!(d, &digests[0].1, "node {id} diverges from node 0");
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.replication_epoch, 1);
+    assert_eq!(stats.failovers, 0);
+    assert_eq!(stats.replication_max_lag, 0);
+    assert!(stats.wal_appends > 0, "mutations reached the primary's WAL");
+    assert!(service.replication_status().unwrap().primary.is_some());
+}
+
+#[test]
+fn primary_crash_fails_over_and_rejoins() {
+    let tmp = TempDir::new("failover");
+    let service = CtxPrefService::new_replicated(study_db(), small_cfg(), manual_rcfg(&tmp.0, 3))
+        .expect("creating the replicated service");
+    service.add_user("carol").unwrap();
+    service.pump_replication().unwrap();
+
+    // Kill the primary (node 0 — also the local serving node; reads
+    // keep working from its detached core, writes move on failover).
+    let cluster = Arc::clone(service.cluster().expect("replicated service"));
+    cluster.crash_node(0);
+    assert!(
+        matches!(service.add_user("dave"), Err(ServiceError::Replication(_))),
+        "no primary between the crash and the failover"
+    );
+
+    // Drive the failure detector until a replica takes over.
+    let mut promoted = None;
+    for _ in 0..10 {
+        let report = service.tick_replication().unwrap();
+        if report.promoted.is_some() {
+            promoted = report.promoted;
+            break;
+        }
+    }
+    let (epoch, new_primary) = promoted.expect("failover within the heartbeat threshold");
+    assert!(epoch > 1, "promotion mints a fresh epoch");
+    assert_ne!(new_primary, 0, "the dead node cannot be promoted");
+
+    // Writes follow the new primary; the service API is unchanged.
+    service.add_user("dave").unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.failovers, 1);
+    assert!(stats.replication_epoch > 1);
+
+    // The crashed node rejoins as a replica and converges.
+    cluster.restart_node(0).unwrap();
+    service.pump_replication().unwrap();
+    service.anti_entropy().unwrap();
+    service.pump_replication().unwrap();
+    let digests = all_digests(&service);
+    assert_eq!(digests.len(), 3, "node 0 is back");
+    for (id, d) in &digests {
+        assert_eq!(d, &digests[0].1, "node {id} diverges after rejoin");
+    }
+    let status = service.replication_status().unwrap();
+    assert_eq!(status.primary, Some(new_primary));
+    let node0 = &status.nodes[0];
+    assert!(
+        node0.live && !node0.is_primary,
+        "node 0 rejoined as a replica"
+    );
+}
+
+#[test]
+fn plain_service_refuses_replication_operations() {
+    let service = CtxPrefService::new(study_db(), small_cfg());
+    assert!(!service.is_replicated());
+    assert!(matches!(
+        service.replication_status(),
+        Err(ServiceError::NotReplicated)
+    ));
+    assert!(matches!(
+        service.promote(1),
+        Err(ServiceError::NotReplicated)
+    ));
+    assert!(matches!(
+        service.anti_entropy(),
+        Err(ServiceError::NotReplicated)
+    ));
+    assert!(matches!(
+        service.pump_replication(),
+        Err(ServiceError::NotReplicated)
+    ));
+}
+
+#[test]
+fn background_tick_drains_lag_under_async_group_commit() {
+    let tmp = TempDir::new("bg-tick");
+    let rcfg = ReplicatedConfig {
+        tick_interval: Some(Duration::from_millis(5)),
+        ..ReplicatedConfig::new(&tmp.0, 3)
+    }
+    .async_acks()
+    .group_commit(Duration::from_millis(2));
+    assert!(matches!(rcfg.sync, SyncPolicy::GroupCommit { .. }));
+    let service = CtxPrefService::new_replicated(study_db(), small_cfg(), rcfg)
+        .expect("creating the replicated service");
+    for i in 0..20 {
+        service.add_user(&format!("user{i}")).unwrap();
+    }
+    // Async acks return before replicas hold the writes; the background
+    // tick ships them over within a few intervals.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = service.stats();
+        if stats.replication_max_lag == 0 && {
+            let d = all_digests(&service);
+            d.iter().all(|(_, dig)| dig == &d[0].1)
+        } {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas never caught up: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // A clean shutdown hands back the local database, users included.
+    let db = service.shutdown();
+    assert!(db.users_sorted().contains(&"user19"));
+}

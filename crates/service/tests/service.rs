@@ -14,7 +14,9 @@ use ctxpref_workload::user_study::{all_demographics, default_profile};
 
 fn fault_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
 }
 
 fn study_db(users: usize, cache: usize) -> MultiUserDb {
@@ -23,7 +25,8 @@ fn study_db(users: usize, cache: usize) -> MultiUserDb {
     let mut db = MultiUserDb::new(env.clone(), rel, cache);
     for (i, demo) in all_demographics().into_iter().take(users).enumerate() {
         let profile = default_profile(&env, db.relation(), demo);
-        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
     }
     db
 }
@@ -42,7 +45,10 @@ fn healthy_path_cached_and_exact() {
     assert!(!first.is_degraded());
     let second = service.query_state("user0", &s).unwrap();
     assert_eq!(second.step, LadderStep::Cached);
-    assert_eq!(first.answer.results.entries(), second.answer.results.entries());
+    assert_eq!(
+        first.answer.results.entries(),
+        second.answer.results.entries()
+    );
     let stats = service.stats();
     assert_eq!((stats.served_exact, stats.served_cached), (1, 1));
     assert_eq!(stats.degraded(), 0);
@@ -64,7 +70,9 @@ fn primary_failure_degrades_to_nearest_state() {
     let _serial = fault_lock();
     let service = CtxPrefService::new(study_db(1, 8), ServiceConfig::default());
     let s = state(&service, &["Plaka", "warm", "friends"]);
-    let plan = FaultPlan::builder(3).fail("service.query.primary", 1.0).build();
+    let plan = FaultPlan::builder(3)
+        .fail("service.query.primary", 1.0)
+        .build();
     let answer = plan.run(|| service.query_state("user0", &s).unwrap());
     assert_eq!(answer.step, LadderStep::NearestState);
     assert!(answer.is_degraded());
@@ -91,7 +99,12 @@ fn total_failure_degrades_to_default_answer() {
     // The default answer is the whole relation, unranked.
     let n = service.with_db(|db| db.relation().len());
     assert_eq!(answer.answer.results.len(), n);
-    assert!(answer.answer.results.entries().iter().all(|e| e.score == 0.0));
+    assert!(answer
+        .answer
+        .results
+        .entries()
+        .iter()
+        .all(|e| e.score == 0.0));
 }
 
 #[test]
@@ -99,10 +112,16 @@ fn injected_panics_are_contained_and_recorded() {
     let _serial = fault_lock();
     let service = CtxPrefService::new(study_db(1, 8), ServiceConfig::default());
     let s = state(&service, &["Plaka", "warm", "friends"]);
-    let plan = FaultPlan::builder(5).panic_at("service.query.primary", &[1]).build();
+    let plan = FaultPlan::builder(5)
+        .panic_at("service.query.primary", &[1])
+        .build();
     let answer = plan.run(|| service.query_state("user0", &s).unwrap());
     assert_eq!(answer.step, LadderStep::NearestState);
-    assert!(answer.fallbacks[0].reason.starts_with("panic:"), "{}", answer.fallbacks[0].reason);
+    assert!(
+        answer.fallbacks[0].reason.starts_with("panic:"),
+        "{}",
+        answer.fallbacks[0].reason
+    );
     assert_eq!(service.stats().panics_contained, 1);
     // The service keeps serving normally afterwards.
     let healthy = service.query_state("user0", &s).unwrap();
@@ -125,7 +144,10 @@ fn deadlines_are_enforced_under_injected_delay() {
         Err(ServiceError::DeadlineExceeded { deadline: d }) => assert_eq!(d, deadline),
         other => panic!("expected DeadlineExceeded, got {other:?}"),
     }
-    assert!(elapsed < Duration::from_millis(150), "returned in {elapsed:?}, well before the delay");
+    assert!(
+        elapsed < Duration::from_millis(150),
+        "returned in {elapsed:?}, well before the delay"
+    );
     assert!(service.stats().deadline_exceeded >= 1);
 }
 
@@ -175,12 +197,16 @@ fn storage_retry_recovers_from_transient_faults() {
     let service = CtxPrefService::new(study_db(2, 8), ServiceConfig::default());
     // First two write attempts fail; the third (default max_attempts=3)
     // succeeds.
-    let plan = FaultPlan::builder(9).fail_at("storage.save.open", &[1, 2]).build();
+    let plan = FaultPlan::builder(9)
+        .fail_at("storage.save.open", &[1, 2])
+        .build();
     plan.run(|| service.save(&path).unwrap());
     assert_eq!(service.stats().storage_retries, 2);
 
     // Reopen through the service (also with a transient read fault).
-    let plan = FaultPlan::builder(10).fail_at("storage.load.open", &[1]).build();
+    let plan = FaultPlan::builder(10)
+        .fail_at("storage.load.open", &[1])
+        .build();
     let reopened = plan
         .run(|| CtxPrefService::open(&path, ServiceConfig::default()))
         .unwrap();

@@ -23,7 +23,9 @@ use ctxpref_workload::reference::{poi_env, poi_relation};
 
 fn fault_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
 }
 
 fn db_with_users(n: usize) -> MultiUserDb {
@@ -80,7 +82,10 @@ fn quiesced_shard_does_not_block_other_shards() {
         let err = service
             .query_state_deadline(&blocked_user, &state, Duration::from_millis(50))
             .unwrap_err();
-        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }), "got {err:?}");
+        assert!(
+            matches!(err, ServiceError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
     });
 
     // Released: the blocked user's shard serves again.
@@ -96,7 +101,10 @@ fn quiesced_shard_does_not_block_other_shards() {
         if s.deadline_after_lock >= 1 && s.lock_wait_micros > 0 {
             break;
         }
-        assert!(Instant::now() < wait_for, "post-lock deadline re-check never fired: {s:?}");
+        assert!(
+            Instant::now() < wait_for,
+            "post-lock deadline re-check never fired: {s:?}"
+        );
         std::thread::sleep(deadline / 10);
     }
 }
@@ -141,7 +149,10 @@ fn deadline_expiring_during_lock_wait_is_counted_post_lock() {
             assert_eq!(s.served(), before.served());
             break;
         }
-        assert!(Instant::now() < wait_for, "deadline_after_lock never incremented: {s:?}");
+        assert!(
+            Instant::now() < wait_for,
+            "deadline_after_lock never incremented: {s:?}"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 }
@@ -153,7 +164,10 @@ fn storage_backoff_is_capped_by_the_storage_deadline() {
         workers: 1,
         // Without the cap this schedule sleeps 50 + 100 + ... + 3200 ms
         // ≈ 6.3 s; the deadline cuts it off after the first sleep.
-        retry: RetryPolicy { max_attempts: 8, base_backoff: Duration::from_millis(50) },
+        retry: RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(50),
+        },
         storage_deadline: Duration::from_millis(120),
         ..ServiceConfig::default()
     };
@@ -185,7 +199,10 @@ fn storage_backoff_is_capped_by_the_storage_deadline() {
 fn saves_do_not_block_queries() {
     let _serial = fault_lock();
     let n = 16;
-    let cfg = ServiceConfig { workers: 2, ..ServiceConfig::default() };
+    let cfg = ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    };
     let service = CtxPrefService::new(db_with_users(n), cfg);
     let state = service.with_db(|db| ContextState::all(db.env()));
     let path = std::env::temp_dir().join(format!("ctxpref-shard-save-{}.db", std::process::id()));
@@ -194,7 +211,9 @@ fn saves_do_not_block_queries() {
     // A save that retries with real sleeps (fault fails the first two
     // openings) while queries keep flowing: the snapshot is taken up
     // front, so no shard lock is held across the I/O and retries.
-    let plan = FaultPlan::builder(11).fail_at("storage.save.open", &[0, 1]).build();
+    let plan = FaultPlan::builder(11)
+        .fail_at("storage.save.open", &[0, 1])
+        .build();
     plan.run(|| {
         std::thread::scope(|scope| {
             let service = &service;
@@ -202,7 +221,9 @@ fn saves_do_not_block_queries() {
             let saver = scope.spawn(move || service.save(save_path));
             for i in 0..50 {
                 let user = format!("user{}", i % n);
-                service.query_state(&user, &state).expect("queries proceed during save");
+                service
+                    .query_state(&user, &state)
+                    .expect("queries proceed during save");
             }
             saver.join().unwrap().expect("save succeeds after retries");
         });

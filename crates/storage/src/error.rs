@@ -35,11 +35,17 @@ pub enum StorageError {
 
 impl StorageError {
     pub(crate) fn syntax(line: usize, message: impl Into<String>) -> Self {
-        Self::Syntax { line, message: message.into() }
+        Self::Syntax {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn model(line: usize, message: impl fmt::Display) -> Self {
-        Self::Model { line, message: message.to_string() }
+        Self::Model {
+            line,
+            message: message.to_string(),
+        }
     }
 }
 

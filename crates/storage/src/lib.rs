@@ -81,7 +81,10 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 fn temp_sibling(path: &Path) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    let mut name = path.file_name().map(|f| f.to_os_string()).unwrap_or_default();
+    let mut name = path
+        .file_name()
+        .map(|f| f.to_os_string())
+        .unwrap_or_default();
     name.push(format!(".tmp.{}.{n}", std::process::id()));
     path.with_file_name(name)
 }
@@ -146,7 +149,10 @@ fn verify_checksum(bytes: &[u8]) -> Result<(), StorageError> {
     let body = &rest[line_end + 1..];
     let actual = format!("{:016x}", fnv1a64(body));
     if expected.trim() != actual {
-        return Err(StorageError::Corrupt { expected: expected.trim().to_string(), actual });
+        return Err(StorageError::Corrupt {
+            expected: expected.trim().to_string(),
+            actual,
+        });
     }
     Ok(())
 }

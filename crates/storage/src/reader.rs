@@ -20,7 +20,11 @@ struct Lines<I> {
 
 impl<I: Iterator<Item = std::io::Result<String>>> Lines<I> {
     fn new(inner: I) -> Self {
-        Self { inner, line: 0, peeked: None }
+        Self {
+            inner,
+            line: 0,
+            peeked: None,
+        }
     }
 
     fn next_line(&mut self) -> Result<Option<(usize, String)>, StorageError> {
@@ -84,7 +88,10 @@ fn parse_value(line: usize, tok: &str) -> Result<Value, StorageError> {
             "false" => Ok(Value::Bool(false)),
             _ => Err(StorageError::syntax(line, format!("bad bool {body:?}"))),
         },
-        _ => Err(StorageError::syntax(line, format!("unknown value tag {tag:?}"))),
+        _ => Err(StorageError::syntax(
+            line,
+            format!("unknown value tag {tag:?}"),
+        )),
     }
 }
 
@@ -96,7 +103,12 @@ fn parse_op(line: usize, tok: &str) -> Result<CompareOp, StorageError> {
         "le" => CompareOp::Le,
         "gt" => CompareOp::Gt,
         "ge" => CompareOp::Ge,
-        _ => return Err(StorageError::syntax(line, format!("unknown operator {tok:?}"))),
+        _ => {
+            return Err(StorageError::syntax(
+                line,
+                format!("unknown operator {tok:?}"),
+            ))
+        }
     })
 }
 
@@ -118,20 +130,27 @@ fn read_hierarchy_body<I: Iterator<Item = std::io::Result<String>>>(
     name: &str,
 ) -> Result<Hierarchy, StorageError> {
     let Some((lvl_line, levels_line)) = lines.next_line()? else {
-        return Err(StorageError::syntax(header_line, "unterminated hierarchy section"));
+        return Err(StorageError::syntax(
+            header_line,
+            "unterminated hierarchy section",
+        ));
     };
     let mut toks = levels_line.split_whitespace();
     if toks.next() != Some("levels") {
         return Err(StorageError::syntax(lvl_line, "expected `levels …`"));
     }
-    let level_names: Vec<String> =
-        toks.map(|t| untoken(lvl_line, t)).collect::<Result<_, _>>()?;
+    let level_names: Vec<String> = toks
+        .map(|t| untoken(lvl_line, t))
+        .collect::<Result<_, _>>()?;
     let refs: Vec<&str> = level_names.iter().map(String::as_str).collect();
     let mut b = HierarchyBuilder::new(name, &refs);
 
     loop {
         let Some((line, text)) = lines.next_line()? else {
-            return Err(StorageError::syntax(header_line, "unterminated hierarchy section"));
+            return Err(StorageError::syntax(
+                header_line,
+                "unterminated hierarchy section",
+            ));
         };
         if text == "end" {
             break;
@@ -141,11 +160,20 @@ fn read_hierarchy_body<I: Iterator<Item = std::io::Result<String>>>(
             ["v", level, value, parent] => {
                 let level = untoken(line, level)?;
                 let value = untoken(line, value)?;
-                let parent = if *parent == "-" { None } else { Some(untoken(line, parent)?) };
+                let parent = if *parent == "-" {
+                    None
+                } else {
+                    Some(untoken(line, parent)?)
+                };
                 b.add(&level, &value, parent.as_deref())
                     .map_err(|e| StorageError::model(line, e))?;
             }
-            _ => return Err(StorageError::syntax(line, "expected `v <level> <value> <parent|->`")),
+            _ => {
+                return Err(StorageError::syntax(
+                    line,
+                    "expected `v <level> <value> <parent|->`",
+                ))
+            }
         }
     }
     b.build().map_err(|e| StorageError::model(header_line, e))
@@ -173,7 +201,10 @@ fn read_relation_body<I: Iterator<Item = std::io::Result<String>>>(
     let mut rel: Option<Relation> = None;
     loop {
         let Some((line, text)) = lines.next_line()? else {
-            return Err(StorageError::syntax(header_line, "unterminated relation section"));
+            return Err(StorageError::syntax(
+                header_line,
+                "unterminated relation section",
+            ));
         };
         if text == "end" {
             break;
@@ -197,16 +228,17 @@ fn read_relation_body<I: Iterator<Item = std::io::Result<String>>>(
                         rel.insert(Relation::new(name, schema))
                     }
                 };
-                let values: Vec<Value> =
-                    rest.iter().map(|t| parse_value(line, t)).collect::<Result<_, _>>()?;
+                let values: Vec<Value> = rest
+                    .iter()
+                    .map(|t| parse_value(line, t))
+                    .collect::<Result<_, _>>()?;
                 r.insert(values).map_err(|e| StorageError::model(line, e))?;
             }
             _ => return Err(StorageError::syntax(line, "expected `attr …` or `t …`")),
         }
     }
     rel.map(Ok).unwrap_or_else(|| {
-        let borrowed: Vec<(&str, AttrType)> =
-            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let borrowed: Vec<(&str, AttrType)> = attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         Schema::new(&borrowed)
             .map(|s| Relation::new(name, s))
             .map_err(|e| StorageError::model(header_line, e))
@@ -240,8 +272,10 @@ fn parse_pref(
         .parse()
         .map_err(|_| StorageError::syntax(line, format!("bad score {:?}", toks[0])))?;
     let attr_name = untoken(line, toks[1])?;
-    let attr =
-        rel.schema().require_attr(&attr_name).map_err(|e| StorageError::model(line, e))?;
+    let attr = rel
+        .schema()
+        .require_attr(&attr_name)
+        .map_err(|e| StorageError::model(line, e))?;
     let op = parse_op(line, toks[2])?;
     let value = parse_value(line, toks[3])?;
 
@@ -249,7 +283,9 @@ fn parse_pref(
     let mut i = 4;
     while i < toks.len() {
         let pname = untoken(line, toks[i])?;
-        let p = env.require_param(&pname).map_err(|e| StorageError::model(line, e))?;
+        let p = env
+            .require_param(&pname)
+            .map_err(|e| StorageError::model(line, e))?;
         let h = env.hierarchy(p);
         let lookup = |t: &str| -> Result<ctxpref_context::CtxValue, StorageError> {
             let n = untoken(line, t)?;
@@ -265,7 +301,8 @@ fn parse_pref(
         let pd = match *kind {
             "eq" => {
                 let v = lookup(
-                    toks.get(i).ok_or_else(|| StorageError::syntax(line, "missing value"))?,
+                    toks.get(i)
+                        .ok_or_else(|| StorageError::syntax(line, "missing value"))?,
                 )?;
                 i += 1;
                 ParameterDescriptor::Eq(v)
@@ -288,7 +325,8 @@ fn parse_pref(
             }
             "range" => {
                 let a = lookup(
-                    toks.get(i).ok_or_else(|| StorageError::syntax(line, "missing range lo"))?,
+                    toks.get(i)
+                        .ok_or_else(|| StorageError::syntax(line, "missing range lo"))?,
                 )?;
                 let b = lookup(
                     toks.get(i + 1)
@@ -298,7 +336,10 @@ fn parse_pref(
                 ParameterDescriptor::Range(a, b)
             }
             other => {
-                return Err(StorageError::syntax(line, format!("unknown clause kind {other:?}")))
+                return Err(StorageError::syntax(
+                    line,
+                    format!("unknown clause kind {other:?}"),
+                ))
             }
         };
         cod = cod.with(p, pd);
@@ -345,7 +386,10 @@ fn read_profile_body<I: Iterator<Item = std::io::Result<String>>>(
     let mut profile = Profile::new(env.clone());
     loop {
         let Some((line, text)) = lines.next_line()? else {
-            return Err(StorageError::syntax(header_line, "unterminated profile section"));
+            return Err(StorageError::syntax(
+                header_line,
+                "unterminated profile section",
+            ));
         };
         if text == "end" {
             break;
@@ -395,18 +439,24 @@ pub fn read_multi_user(r: impl BufRead) -> Result<ctxpref_core::MultiUserDb, Sto
                 relation = Some(read_relation_body(&mut lines, line, &name)?);
             }
             Some((&"cache", [n])) => {
-                cache =
-                    n.parse().map_err(|_| StorageError::syntax(line, "bad cache capacity"))?;
+                cache = n
+                    .parse()
+                    .map_err(|_| StorageError::syntax(line, "bad cache capacity"))?;
             }
             Some((&"user", [name])) => {
                 pending_user = Some((line, untoken(line, name)?));
                 break;
             }
-            _ => return Err(StorageError::syntax(line, format!("unexpected line {text:?}"))),
+            _ => {
+                return Err(StorageError::syntax(
+                    line,
+                    format!("unexpected line {text:?}"),
+                ))
+            }
         }
     }
-    let env = ContextEnvironment::new(hierarchies)
-        .map_err(|e| StorageError::model(lines.line, e))?;
+    let env =
+        ContextEnvironment::new(hierarchies).map_err(|e| StorageError::model(lines.line, e))?;
     let relation =
         relation.ok_or_else(|| StorageError::syntax(lines.line, "missing relation section"))?;
     let mut db = ctxpref_core::MultiUserDb::new(env.clone(), relation, cache);
@@ -414,10 +464,16 @@ pub fn read_multi_user(r: impl BufRead) -> Result<ctxpref_core::MultiUserDb, Sto
     while let Some((uline, user)) = pending_user.take() {
         // Expect a `profile` header then the section body.
         let Some((pline, ptext)) = lines.next_line()? else {
-            return Err(StorageError::syntax(uline, "user without a profile section"));
+            return Err(StorageError::syntax(
+                uline,
+                "user without a profile section",
+            ));
         };
         if ptext != "profile" {
-            return Err(StorageError::syntax(pline, "expected `profile` after `user`"));
+            return Err(StorageError::syntax(
+                pline,
+                "expected `profile` after `user`",
+            ));
         }
         let profile = read_profile_body(&mut lines, pline, &env, db.relation())?;
         db.add_user_with_profile(&user, profile)
@@ -479,7 +535,10 @@ pub fn read_database(r: impl BufRead) -> Result<ContextualDb, StorageError> {
             Some((&"order", names)) => {
                 order_names = Some((
                     line,
-                    names.iter().map(|t| untoken(line, t)).collect::<Result<_, _>>()?,
+                    names
+                        .iter()
+                        .map(|t| untoken(line, t))
+                        .collect::<Result<_, _>>()?,
                 ));
             }
             Some((&"cache", [n])) => {
@@ -491,11 +550,16 @@ pub fn read_database(r: impl BufRead) -> Result<ContextualDb, StorageError> {
                 profile_line = line;
                 break;
             }
-            _ => return Err(StorageError::syntax(line, format!("unexpected line {text:?}"))),
+            _ => {
+                return Err(StorageError::syntax(
+                    line,
+                    format!("unexpected line {text:?}"),
+                ))
+            }
         }
     }
-    let env = ContextEnvironment::new(hierarchies)
-        .map_err(|e| StorageError::model(lines.line, e))?;
+    let env =
+        ContextEnvironment::new(hierarchies).map_err(|e| StorageError::model(lines.line, e))?;
     let relation =
         relation.ok_or_else(|| StorageError::syntax(lines.line, "missing relation section"))?;
 
@@ -504,14 +568,16 @@ pub fn read_database(r: impl BufRead) -> Result<ContextualDb, StorageError> {
     // Trailing garbage?
     if let Some((line, text)) = lines.next_line()? {
         lines.push_back((line, text.clone()));
-        return Err(StorageError::syntax(line, format!("trailing content {text:?}")));
+        return Err(StorageError::syntax(
+            line,
+            format!("trailing content {text:?}"),
+        ));
     }
 
     let mut builder = ContextualDb::builder().env(env.clone()).relation(relation);
     if let Some((line, names)) = order_names {
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        let order =
-            ParamOrder::by_names(&env, &refs).map_err(|e| StorageError::model(line, e))?;
+        let order = ParamOrder::by_names(&env, &refs).map_err(|e| StorageError::model(line, e))?;
         builder = builder.order(order);
     }
     if cache > 0 {
@@ -519,7 +585,8 @@ pub fn read_database(r: impl BufRead) -> Result<ContextualDb, StorageError> {
     }
     let mut db = builder.build().map_err(|e| StorageError::model(0, e))?;
     for pref in profile.iter() {
-        db.insert_preference(pref.clone()).map_err(|e| StorageError::model(0, e))?;
+        db.insert_preference(pref.clone())
+            .map_err(|e| StorageError::model(0, e))?;
     }
     Ok(db)
 }

@@ -129,7 +129,11 @@ pub fn pref_tokens(
 /// Write a profile as a `profile … end` section. Descriptor clauses are
 /// serialized structurally (`eq` / `in` / `range` with value names) so
 /// arbitrary names round-trip without quoting rules.
-pub fn write_profile(w: &mut impl Write, profile: &Profile, rel: &Relation) -> Result<(), StorageError> {
+pub fn write_profile(
+    w: &mut impl Write,
+    profile: &Profile,
+    rel: &Relation,
+) -> Result<(), StorageError> {
     let env = profile.env();
     writeln!(w, "profile")?;
     for pref in profile.iter() {

@@ -19,7 +19,9 @@ use ctxpref_workload::user_study::{all_demographics, default_profile};
 /// overlap with each other.
 fn fault_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
 }
 
 /// A fresh path under the system temp dir; removed on drop.
@@ -29,10 +31,9 @@ impl TempPath {
     fn new(tag: &str) -> Self {
         static N: AtomicU64 = AtomicU64::new(0);
         let n = N.fetch_add(1, Ordering::Relaxed);
-        Self(std::env::temp_dir().join(format!(
-            "ctxpref-crash-{}-{tag}-{n}.db",
-            std::process::id()
-        )))
+        Self(
+            std::env::temp_dir().join(format!("ctxpref-crash-{}-{tag}-{n}.db", std::process::id())),
+        )
     }
 }
 
@@ -80,7 +81,8 @@ fn study_db(users: usize) -> MultiUserDb {
     let mut db = MultiUserDb::new(env.clone(), rel, 8);
     for (i, demo) in all_demographics().into_iter().take(users).enumerate() {
         let profile = default_profile(&env, db.relation(), demo);
-        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
     }
     db
 }
@@ -100,7 +102,10 @@ fn save_load_roundtrip_with_checksum() {
 
     let restored = load_multi_user(&path.0).unwrap();
     assert_eq!(restored.users_sorted(), db.users_sorted());
-    assert_eq!(restored.profile("user0").unwrap().len(), db.profile("user0").unwrap().len());
+    assert_eq!(
+        restored.profile("user0").unwrap().len(),
+        db.profile("user0").unwrap().len()
+    );
 }
 
 #[test]
@@ -149,7 +154,11 @@ fn reader_never_panics_on_any_prefix() {
     let bytes = std::fs::read(&path.0).unwrap();
     // The cut points genuinely span all three user sections.
     let body = String::from_utf8(bytes.clone()).unwrap();
-    assert_eq!(body.matches("\nuser ").count(), 3, "expected a three-user file:\n{body}");
+    assert_eq!(
+        body.matches("\nuser ").count(),
+        3,
+        "expected a three-user file:\n{body}"
+    );
 
     let truncated = TempPath::new("fuzz-prefix");
     for len in 0..bytes.len() {
@@ -199,9 +208,11 @@ fn reader_never_panics_on_flipped_bytes() {
         for flip in [0x01u8, 0x20] {
             let mut damaged = bytes.clone();
             damaged[pos] ^= flip;
-            let parsed =
-                catch_unwind(AssertUnwindSafe(|| read_multi_user(&damaged[..]).map(drop)));
-            assert!(parsed.is_ok(), "reader panicked on byte {pos} flipped by {flip:#04x}");
+            let parsed = catch_unwind(AssertUnwindSafe(|| read_multi_user(&damaged[..]).map(drop)));
+            assert!(
+                parsed.is_ok(),
+                "reader panicked on byte {pos} flipped by {flip:#04x}"
+            );
             std::fs::write(&damaged_path.0, &damaged).unwrap();
             // Either the checksum rejects the damage, or the flip
             // landed somewhere semantically inert (e.g. inside a user
@@ -229,7 +240,9 @@ fn partial_write_leaves_previous_file_loadable() {
     save_multi_user(&path.0, &old).unwrap();
 
     let new = study_db(4);
-    let plan = FaultPlan::builder(99).truncate_at("storage.save.write", &[1], 0.5).build();
+    let plan = FaultPlan::builder(99)
+        .truncate_at("storage.save.write", &[1], 0.5)
+        .build();
     plan.run(|| {
         let err = save_multi_user(&path.0, &new).expect_err("truncated save must fail");
         assert!(matches!(err, StorageError::Io(_)), "{err:?}");
@@ -241,7 +254,10 @@ fn partial_write_leaves_previous_file_loadable() {
 
     // Without the fault the new snapshot replaces the old atomically.
     save_multi_user(&path.0, &new).unwrap();
-    assert_eq!(load_multi_user(&path.0).unwrap().user_count(), new.user_count());
+    assert_eq!(
+        load_multi_user(&path.0).unwrap().user_count(),
+        new.user_count()
+    );
 }
 
 #[test]
@@ -249,7 +265,11 @@ fn injected_io_errors_surface_as_storage_errors() {
     let _serial = fault_lock();
     let path = TempPath::new("io-faults");
     let db = study_db(2);
-    for site in ["storage.save.open", "storage.save.sync", "storage.save.rename"] {
+    for site in [
+        "storage.save.open",
+        "storage.save.sync",
+        "storage.save.rename",
+    ] {
         let plan = FaultPlan::builder(7).fail_at(site, &[1]).build();
         plan.run(|| {
             let err = save_multi_user(&path.0, &db).expect_err(site);

@@ -12,7 +12,8 @@ fn study_db() -> MultiUserDb {
     let mut db = MultiUserDb::new(env.clone(), rel, 8);
     for (i, demo) in all_demographics().into_iter().take(4).enumerate() {
         let profile = default_profile(&env, db.relation(), demo);
-        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
     }
     db
 }
@@ -47,7 +48,11 @@ fn multi_user_roundtrip_preserves_users_and_answers() {
         for user in db.users_sorted() {
             let a = db.query_state(user, &state).unwrap();
             let b = restored.query_state(user, &state).unwrap();
-            assert_eq!(a.results.entries(), b.results.entries(), "{user} @ {names:?}");
+            assert_eq!(
+                a.results.entries(),
+                b.results.entries(),
+                "{user} @ {names:?}"
+            );
         }
     }
 }
@@ -60,7 +65,10 @@ fn second_multi_user_roundtrip_is_identical_text() {
     let restored = read_multi_user(&buf1[..]).unwrap();
     let mut buf2 = Vec::new();
     write_multi_user(&mut buf2, &restored).unwrap();
-    assert_eq!(String::from_utf8(buf1).unwrap(), String::from_utf8(buf2).unwrap());
+    assert_eq!(
+        String::from_utf8(buf1).unwrap(),
+        String::from_utf8(buf2).unwrap()
+    );
 }
 
 #[test]

@@ -11,7 +11,9 @@ fn value_strategy(ty: AttrType) -> BoxedStrategy<Value> {
     match ty {
         AttrType::Int => any::<i64>().prop_map(Value::Int).boxed(),
         AttrType::Float => any::<f64>()
-            .prop_filter("NaN breaks equality in test comparisons only", |f| !f.is_nan())
+            .prop_filter("NaN breaks equality in test comparisons only", |f| {
+                !f.is_nan()
+            })
             .prop_map(Value::Float)
             .boxed(),
         AttrType::Str => ".{0,20}".prop_map(|s| Value::str(&s)).boxed(),

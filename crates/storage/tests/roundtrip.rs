@@ -22,8 +22,14 @@ fn demo_db() -> ContextualDb {
     ])
     .unwrap();
     let mut rel = Relation::new("Points of Interest", schema);
-    rel.insert(vec!["Acropolis".into(), "monument".into(), true.into(), 12.5.into(), 1.into()])
-        .unwrap();
+    rel.insert(vec![
+        "Acropolis".into(),
+        "monument".into(),
+        true.into(),
+        12.5.into(),
+        1.into(),
+    ])
+    .unwrap();
     rel.insert(vec![
         "Mikro Brewery".into(),
         "brewery".into(),
@@ -45,8 +51,13 @@ fn demo_db() -> ContextualDb {
         0.8,
     )
     .unwrap();
-    db.insert_preference_eq("accompanying_people = friends", "type", "brewery".into(), 0.9)
-        .unwrap();
+    db.insert_preference_eq(
+        "accompanying_people = friends",
+        "type",
+        "brewery".into(),
+        0.9,
+    )
+    .unwrap();
     db.insert_preference_cmp(
         "temperature in [mild, hot]",
         "cost",
@@ -126,7 +137,13 @@ fn hierarchy_roundtrip() {
 fn relation_roundtrip_with_awkward_strings() {
     let schema = Schema::new(&[("s", AttrType::Str), ("f", AttrType::Float)]).unwrap();
     let mut rel = Relation::new("weird name\twith tab", schema);
-    for s in ["", "spa ces", "tab\tand\nnewline", "back\\slash", "ünïcode πλάκα"] {
+    for s in [
+        "",
+        "spa ces",
+        "tab\tand\nnewline",
+        "back\\slash",
+        "ünïcode πλάκα",
+    ] {
         rel.insert(vec![s.into(), 0.1.into()]).unwrap();
     }
     rel.insert(vec!["neg".into(), (-1.5e-9).into()]).unwrap();
@@ -161,13 +178,22 @@ fn profile_roundtrip_on_large_generated_profile() {
 fn full_poi_database_roundtrip_resolves_identically() {
     let env = poi_env();
     let rel = poi_relation(&env, 11, 4);
-    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()
+        .unwrap();
     for (cod, ty, score) in [
         ("temperature = good", "monument", 0.8),
-        ("temperature = bad and accompanying_people = alone", "museum", 0.85),
+        (
+            "temperature = bad and accompanying_people = alone",
+            "museum",
+            0.85,
+        ),
         ("location = Thessaloniki", "market", 0.75),
     ] {
-        db.insert_preference_eq(cod, "type", ty.into(), score).unwrap();
+        db.insert_preference_eq(cod, "type", ty.into(), score)
+            .unwrap();
     }
     let mut buf = Vec::new();
     write_database(&mut buf, &db).unwrap();
@@ -175,7 +201,12 @@ fn full_poi_database_roundtrip_resolves_identically() {
     for q in random_query_states(&env, 30, 0.4, 3) {
         let a = db.query_state(&q).unwrap();
         let b = restored.query_state(&q).unwrap();
-        assert_eq!(a.results.entries(), b.results.entries(), "q = {}", q.display(&env));
+        assert_eq!(
+            a.results.entries(),
+            b.results.entries(),
+            "q = {}",
+            q.display(&env)
+        );
     }
 }
 
@@ -263,13 +294,26 @@ fn float_scores_roundtrip_exactly() {
     let env = reference_env();
     let schema = Schema::new(&[("x", AttrType::Str)]).unwrap();
     let rel = Relation::new("r", schema);
-    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
-    for (i, score) in [0.1, 1.0 / 3.0, std::f64::consts::FRAC_1_SQRT_2, f64::MIN_POSITIVE, 1.0]
-        .iter()
-        .enumerate()
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()
+        .unwrap();
+    for (i, score) in [
+        0.1,
+        1.0 / 3.0,
+        std::f64::consts::FRAC_1_SQRT_2,
+        f64::MIN_POSITIVE,
+        1.0,
+    ]
+    .iter()
+    .enumerate()
     {
         db.insert_preference_eq(
-            &format!("temperature = {}", ["freezing", "cold", "mild", "warm", "hot"][i]),
+            &format!(
+                "temperature = {}",
+                ["freezing", "cold", "mild", "warm", "hot"][i]
+            ),
             "x",
             Value::str(&format!("v{i}")),
             *score,

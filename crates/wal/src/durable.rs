@@ -20,6 +20,7 @@
 //! models a crash, which is precisely what the recovery fuzz harness
 //! needs. Orderly shutdown calls [`DurableDb::flush`] explicitly.
 
+use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -32,9 +33,36 @@ use crate::error::{DurableError, WalError};
 use crate::manifest::{checkpoint_file_name, Manifest, ShardManifest};
 use crate::record::WalOp;
 use crate::segment::{
-    list_segments, scan_segment, segment_header, segment_path, SEGMENT_HEADER,
+    list_segments, scan_segment, segment_header, segment_path, ScannedRecord, SEGMENT_HEADER,
 };
 use crate::wal::{ShardPosition, Wal, WalOptions, WalStatus};
+
+/// The exclusive-ownership lock file inside a durable directory.
+///
+/// Checkpoint GC deletes snapshots and segments that a *concurrent*
+/// `recover()` of the same directory may still be reading, so a durable
+/// directory admits exactly one live [`DurableDb`] at a time. The lock
+/// is an OS advisory file lock (released automatically when the owner
+/// drops or its process dies), so a crash never leaves a stale lock
+/// behind.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// Take the directory's exclusive lock, failing fast with
+/// [`WalError::Locked`] if another live `DurableDb` holds it.
+fn acquire_dir_lock(dir: &Path) -> Result<File, WalError> {
+    let f = std::fs::OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join(LOCK_FILE))?;
+    match f.try_lock() {
+        Ok(()) => Ok(f),
+        Err(std::fs::TryLockError::WouldBlock) => Err(WalError::Locked {
+            dir: dir.to_path_buf(),
+        }),
+        Err(std::fs::TryLockError::Error(e)) => Err(WalError::Io(e)),
+    }
+}
 
 /// The acknowledgement of one durable mutation.
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +121,26 @@ pub struct DurableDb {
     /// Serializes checkpoints (the shard loop must not interleave with
     /// another checkpoint's rotations).
     checkpoint_lock: Mutex<()>,
+    /// Held for the db's lifetime; dropping it releases the directory.
+    _dir_lock: File,
+}
+
+/// What [`DurableDb::apply_replicated`] did with a shipped record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplApply {
+    /// The record was the shard's next LSN: logged and applied.
+    Applied {
+        /// Whether the record is already on disk locally.
+        durable: bool,
+    },
+    /// The shard already has this LSN — a network duplicate, dropped.
+    Duplicate,
+    /// The record skips ahead of the shard's sequence; the sender must
+    /// rewind its cursor to `expected` (or fall back to a snapshot).
+    Gap {
+        /// The LSN this shard needs next.
+        expected: u64,
+    },
 }
 
 impl DurableDb {
@@ -106,9 +154,12 @@ impl DurableDb {
         opts: WalOptions,
     ) -> Result<Self, WalError> {
         if dir.join(crate::manifest::MANIFEST_FILE).exists() {
-            return Err(WalError::AlreadyExists { dir: dir.to_path_buf() });
+            return Err(WalError::AlreadyExists {
+                dir: dir.to_path_buf(),
+            });
         }
         std::fs::create_dir_all(dir)?;
+        let dir_lock = acquire_dir_lock(dir)?;
         let snapshot = db.snapshot();
         save_multi_user(dir.join(checkpoint_file_name(0)), &snapshot)?;
         let wal = Wal::create(dir, db.num_shards(), opts)?;
@@ -120,13 +171,18 @@ impl DurableDb {
             wal,
             manifest: Mutex::new(manifest),
             checkpoint_lock: Mutex::new(()),
+            _dir_lock: dir_lock,
         })
     }
 
     /// Recover a durable directory: load the manifest's checkpoint,
     /// replay each shard's live segments, repair torn tails, and open
-    /// the log for appending where replay ended.
+    /// the log for appending where replay ended. Fails with
+    /// [`WalError::Locked`] while another live `DurableDb` owns the
+    /// directory — its checkpoint GC would delete the very generation
+    /// this recovery is reading.
     pub fn recover(dir: &Path, opts: WalOptions) -> Result<(Self, RecoveryReport), WalError> {
+        let dir_lock = acquire_dir_lock(dir)?;
         let manifest = Manifest::load(dir)?;
         let mut db = load_multi_user(manifest.checkpoint_path(dir))?;
         let num_shards = manifest.shards.len();
@@ -154,6 +210,7 @@ impl DurableDb {
                 wal,
                 manifest: Mutex::new(manifest),
                 checkpoint_lock: Mutex::new(()),
+                _dir_lock: dir_lock,
             },
             report,
         ))
@@ -200,12 +257,18 @@ impl DurableDb {
         let mut guard = self.wal.shard(shard);
         let ack = guard.append(&payload)?;
         op.apply_sharded(&self.db)?;
-        Ok(Ack { shard, lsn: ack.lsn, durable: ack.durable })
+        Ok(Ack {
+            shard,
+            lsn: ack.lsn,
+            durable: ack.durable,
+        })
     }
 
     /// Durably register a user with an empty profile.
     pub fn add_user(&self, user: &str) -> Result<Ack, DurableError> {
-        self.apply(&WalOp::AddUser { user: user.to_string() })
+        self.apply(&WalOp::AddUser {
+            user: user.to_string(),
+        })
     }
 
     /// Durably register a user and insert each preference of `profile`.
@@ -223,13 +286,22 @@ impl DurableDb {
 
     /// Durably remove a user, returning their profile.
     pub fn remove_user(&self, user: &str) -> Result<(Ack, Profile), DurableError> {
-        let op = WalOp::RemoveUser { user: user.to_string() };
+        let op = WalOp::RemoveUser {
+            user: user.to_string(),
+        };
         let shard = self.db.shard_of(user);
         let payload = op.encode(self.db.env(), self.db.relation());
         let mut guard = self.wal.shard(shard);
         let ack = guard.append(&payload)?;
         let profile = self.db.remove_user(user)?;
-        Ok((Ack { shard, lsn: ack.lsn, durable: ack.durable }, profile))
+        Ok((
+            Ack {
+                shard,
+                lsn: ack.lsn,
+                durable: ack.durable,
+            },
+            profile,
+        ))
     }
 
     /// Durably insert a preference.
@@ -238,7 +310,10 @@ impl DurableDb {
         user: &str,
         pref: ctxpref_profile::ContextualPreference,
     ) -> Result<Ack, DurableError> {
-        self.apply(&WalOp::InsertPreference { user: user.to_string(), pref })
+        self.apply(&WalOp::InsertPreference {
+            user: user.to_string(),
+            pref,
+        })
     }
 
     /// Durably remove the preference at `index`, returning it.
@@ -247,13 +322,23 @@ impl DurableDb {
         user: &str,
         index: usize,
     ) -> Result<(Ack, ctxpref_profile::ContextualPreference), DurableError> {
-        let op = WalOp::RemovePreference { user: user.to_string(), index };
+        let op = WalOp::RemovePreference {
+            user: user.to_string(),
+            index,
+        };
         let shard = self.db.shard_of(user);
         let payload = op.encode(self.db.env(), self.db.relation());
         let mut guard = self.wal.shard(shard);
         let ack = guard.append(&payload)?;
         let pref = self.db.remove_preference(user, index)?;
-        Ok((Ack { shard, lsn: ack.lsn, durable: ack.durable }, pref))
+        Ok((
+            Ack {
+                shard,
+                lsn: ack.lsn,
+                durable: ack.durable,
+            },
+            pref,
+        ))
     }
 
     /// Durably re-score the preference at `index`.
@@ -263,7 +348,157 @@ impl DurableDb {
         index: usize,
         score: f64,
     ) -> Result<Ack, DurableError> {
-        self.apply(&WalOp::UpdateScore { user: user.to_string(), index, score })
+        self.apply(&WalOp::UpdateScore {
+            user: user.to_string(),
+            index,
+            score,
+        })
+    }
+
+    /// Number of WAL shards (== core stripes).
+    pub fn num_shards(&self) -> usize {
+        self.wal.num_shards()
+    }
+
+    /// Apply one record shipped from a replication primary. `lsn` is
+    /// the LSN the primary assigned; the replica mirrors the primary's
+    /// per-shard sequence exactly (both sides use the same user→shard
+    /// fold), so the record is appended to this db's own WAL *at that
+    /// same LSN* and all of the recovery machinery applies unchanged.
+    /// A duplicate delivery is detected by the LSN cursor and dropped;
+    /// a skip-ahead is reported as a gap without touching anything.
+    /// A rejected op (unknown user, …) stays on the log — the primary
+    /// rejected it identically, rejection being deterministic in the
+    /// state, which is itself determined by the log prefix.
+    pub fn apply_replicated(
+        &self,
+        shard: usize,
+        lsn: u64,
+        payload: &[u8],
+    ) -> Result<ReplApply, DurableError> {
+        let op =
+            WalOp::decode(payload, self.db.env(), self.db.relation()).map_err(DurableError::Wal)?;
+        let mut guard = self.wal.shard(shard);
+        let expected = guard.next_lsn();
+        if lsn < expected {
+            return Ok(ReplApply::Duplicate);
+        }
+        if lsn > expected {
+            return Ok(ReplApply::Gap { expected });
+        }
+        let ack = guard.append(payload).map_err(DurableError::Wal)?;
+        debug_assert_eq!(ack.lsn, lsn);
+        let _ = op.apply_sharded(&self.db);
+        Ok(ReplApply::Applied {
+            durable: ack.durable,
+        })
+    }
+
+    /// A consistent per-shard cut for replica bootstrap: each stripe's
+    /// users plus the last LSN that stripe had applied at the moment it
+    /// was cloned. Holding a shard's WAL mutex stalls mutations to the
+    /// matching stripe (the durable layer logs and applies under that
+    /// mutex), so each `(stripe contents, last LSN)` pair is exact.
+    pub fn snapshot_with_lsns(&self) -> (Vec<Vec<(String, Profile)>>, Vec<u64>) {
+        let mut stripes = Vec::with_capacity(self.wal.num_shards());
+        let mut lsns = Vec::with_capacity(self.wal.num_shards());
+        for ix in 0..self.wal.num_shards() {
+            let guard = self.wal.shard(ix);
+            lsns.push(guard.next_lsn() - 1);
+            stripes.push(self.db.stripe_users(ix));
+        }
+        (stripes, lsns)
+    }
+
+    /// Read up to `max` records of `shard` with LSN ≥ `from_lsn` from
+    /// the live segments, in LSN order. `Ok(None)` means the tail below
+    /// `from_lsn`'s continuation has been garbage-collected into a
+    /// checkpoint — the caller must fall back to snapshot catch-up.
+    /// Holds the checkpoint lock so GC cannot delete segments mid-scan;
+    /// a record currently being appended is seen either fully or as a
+    /// torn tail that is simply not shipped yet.
+    pub fn read_shard_from(
+        &self,
+        shard: usize,
+        from_lsn: u64,
+        max: usize,
+    ) -> Result<Option<Vec<ScannedRecord>>, WalError> {
+        let _no_gc = self.checkpoint_lock.lock();
+        let first_live = self.manifest.lock().shards[shard].first_live_segment;
+        let segs: Vec<u64> = list_segments(&self.dir, shard)?
+            .into_iter()
+            .filter(|&s| s >= first_live)
+            .collect();
+        let mut out: Vec<ScannedRecord> = Vec::new();
+        for &seg_no in &segs {
+            // Tolerate a torn tail on *any* segment here: the shard may
+            // rotate between `list_segments` and this scan, and a
+            // record mid-append is visible as a torn tail until its
+            // write completes. Un-shipped is the correct treatment.
+            let scan = scan_segment(&segment_path(&self.dir, shard, seg_no), shard, seg_no, true)?;
+            for rec in scan.records {
+                if rec.lsn < from_lsn {
+                    continue;
+                }
+                if rec.lsn != from_lsn + out.len() as u64 {
+                    // The continuation is missing from the live log:
+                    // everything below it was checkpointed away.
+                    return Ok(None);
+                }
+                if out.len() == max {
+                    return Ok(Some(out));
+                }
+                out.push(rec);
+            }
+        }
+        if out.is_empty() && from_lsn <= self.manifest.lock().shards[shard].last_lsn {
+            return Ok(None);
+        }
+        Ok(Some(out))
+    }
+
+    /// Anti-entropy repair: replace one stripe's contents and re-seat
+    /// its WAL shard so the sequence continues at `last_lsn + 1`
+    /// (forward for a lagging shard, backward to discard a deposed
+    /// primary's divergent suffix). The change only becomes durable at
+    /// the closing checkpoint; a crash before it recovers the
+    /// pre-resync state, which replication then repairs again.
+    pub fn resync_shard(
+        &self,
+        shard: usize,
+        users: Vec<(String, Profile)>,
+        last_lsn: u64,
+    ) -> Result<(), DurableError> {
+        {
+            let mut guard = self.wal.shard(shard);
+            self.db.replace_stripe(shard, users)?;
+            guard.rotate().map_err(DurableError::Wal)?;
+            guard.set_next_lsn(last_lsn + 1);
+        }
+        self.checkpoint().map_err(DurableError::Wal)?;
+        Ok(())
+    }
+
+    /// Bootstrap catch-up: install a full snapshot shipped by a primary
+    /// (per-stripe users plus the LSN watermark each stripe was cut
+    /// at), replacing everything this db held. Durable only once the
+    /// closing checkpoint's manifest swap lands; a crash before that
+    /// recovers the pre-install state.
+    pub fn install_stripes(
+        &self,
+        stripes: Vec<Vec<(String, Profile)>>,
+        lsns: &[u64],
+    ) -> Result<(), DurableError> {
+        assert_eq!(stripes.len(), self.wal.num_shards());
+        assert_eq!(lsns.len(), self.wal.num_shards());
+        for (ix, users) in stripes.into_iter().enumerate() {
+            let mut guard = self.wal.shard(ix);
+            self.db.replace_stripe(ix, users)?;
+            guard.rotate().map_err(DurableError::Wal)?;
+            guard.set_next_lsn(lsns[ix] + 1);
+        }
+        self.checkpoint().map_err(DurableError::Wal)?;
+        Ok(())
     }
 
     /// Fsync all pending group-commit records. Returns how many became
@@ -292,14 +527,21 @@ impl DurableDb {
             let last_lsn = guard.next_lsn() - 1;
             let first_live_segment = guard.rotate()?;
             self.db.snapshot_stripe(ix, &mut snap);
-            shards.push(ShardManifest { last_lsn, first_live_segment });
+            shards.push(ShardManifest {
+                last_lsn,
+                first_live_segment,
+            });
         }
         let snapshot = snap.finish();
         let users = snapshot.user_count();
 
         let checkpoint = checkpoint_file_name(generation);
         save_multi_user(self.dir.join(&checkpoint), &snapshot)?;
-        let manifest = Manifest { generation, checkpoint, shards };
+        let manifest = Manifest {
+            generation,
+            checkpoint,
+            shards,
+        };
         manifest.save(&self.dir)?;
         *self.manifest.lock() = manifest.clone();
 
@@ -326,7 +568,9 @@ impl DurableDb {
             }
         }
         for (shard, bounds) in manifest.shards.iter().enumerate() {
-            let Ok(segs) = list_segments(&self.dir, shard) else { continue };
+            let Ok(segs) = list_segments(&self.dir, shard) else {
+                continue;
+            };
             for seg in segs.into_iter().filter(|&s| s < bounds.first_live_segment) {
                 let _ = std::fs::remove_file(segment_path(&self.dir, shard, seg));
             }
@@ -368,7 +612,11 @@ fn replay_shard(
     }
 
     let mut next_lsn = bounds.last_lsn + 1;
-    let mut tail = ShardPosition { seg_no: 0, pos: 0, next_lsn };
+    let mut tail = ShardPosition {
+        seg_no: 0,
+        pos: 0,
+        next_lsn,
+    };
     for (i, &seg_no) in segs.iter().enumerate() {
         let is_last = i == segs.len() - 1;
         let path = segment_path(dir, shard, seg_no);
@@ -378,7 +626,11 @@ fn replay_shard(
                 continue; // Covered by the checkpoint snapshot.
             }
             if rec.lsn != next_lsn {
-                return Err(WalError::LsnGap { shard, expected: next_lsn, found: rec.lsn });
+                return Err(WalError::LsnGap {
+                    shard,
+                    expected: next_lsn,
+                    found: rec.lsn,
+                });
             }
             let op = WalOp::decode(&rec.payload, db.env(), db.relation())?;
             if op.apply_multi(db).is_err() {
@@ -404,12 +656,19 @@ fn replay_shard(
             } else {
                 // Crash between creating the segment and syncing its
                 // header: rebuild it empty.
-                let mut f = std::fs::OpenOptions::new().write(true).truncate(true).open(&path)?;
+                let mut f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .truncate(true)
+                    .open(&path)?;
                 std::io::Write::write_all(&mut f, &segment_header(shard, seg_no))?;
                 f.sync_all()?;
                 SEGMENT_HEADER as u64
             };
-            tail = ShardPosition { seg_no, pos, next_lsn };
+            tail = ShardPosition {
+                seg_no,
+                pos,
+                next_lsn,
+            };
         }
     }
     tail.next_lsn = next_lsn;

@@ -59,6 +59,14 @@ pub enum WalError {
         /// The poisoned WAL shard.
         shard: usize,
     },
+    /// Another live `DurableDb` already owns the directory's exclusive
+    /// lock. Checkpoint GC deletes files a concurrent recovery would
+    /// still be reading, so a durable directory admits one owner at a
+    /// time; the second opener fails fast here instead of racing.
+    Locked {
+        /// The already-owned directory.
+        dir: PathBuf,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -66,12 +74,27 @@ impl fmt::Display for WalError {
         match self {
             Self::Io(e) => write!(f, "wal i/o error: {e}"),
             Self::Storage(e) => write!(f, "checkpoint storage error: {e}"),
-            Self::Corrupt { path, offset, reason } => {
-                write!(f, "corrupt wal record in {} at offset {offset}: {reason}", path.display())
+            Self::Corrupt {
+                path,
+                offset,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "corrupt wal record in {} at offset {offset}: {reason}",
+                    path.display()
+                )
             }
             Self::Manifest { reason } => write!(f, "bad wal manifest: {reason}"),
-            Self::LsnGap { shard, expected, found } => {
-                write!(f, "lsn gap in wal shard {shard}: expected {expected}, found {found}")
+            Self::LsnGap {
+                shard,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "lsn gap in wal shard {shard}: expected {expected}, found {found}"
+                )
             }
             Self::Payload { reason } => write!(f, "bad wal record payload: {reason}"),
             Self::AlreadyExists { dir } => {
@@ -79,6 +102,13 @@ impl fmt::Display for WalError {
             }
             Self::Poisoned { shard } => {
                 write!(f, "wal shard {shard} is poisoned after a failed rollback")
+            }
+            Self::Locked { dir } => {
+                write!(
+                    f,
+                    "{} is locked by another live DurableDb (checkpoint GC would race recovery)",
+                    dir.display()
+                )
             }
         }
     }

@@ -74,7 +74,9 @@ impl FuzzConfig {
         Self {
             seed,
             sync: if group_commit {
-                SyncPolicy::GroupCommit { flush_interval: Duration::from_millis(5) }
+                SyncPolicy::GroupCommit {
+                    flush_interval: Duration::from_millis(5),
+                }
             } else {
                 SyncPolicy::PerRecord
             },
@@ -88,7 +90,10 @@ impl FuzzConfig {
     }
 
     fn wal_options(&self) -> WalOptions {
-        WalOptions { sync: self.sync, segment_max_bytes: self.segment_max_bytes }
+        WalOptions {
+            sync: self.sync,
+            segment_max_bytes: self.segment_max_bytes,
+        }
     }
 }
 
@@ -106,17 +111,18 @@ pub struct FuzzReport {
 }
 
 /// The tiny fixed universe every fuzz run lives in. Small on purpose:
-/// state comparisons serialize the whole database per run.
-fn tiny_env() -> ContextEnvironment {
+/// state comparisons serialize the whole database per run. Public so
+/// the replication chaos suite runs its clusters in the same universe.
+pub fn tiny_env() -> ContextEnvironment {
     ContextEnvironment::new(vec![
-        Hierarchy::flat("mood", &["low", "high"]).expect("static hierarchy"),
+        Hierarchy::flat("mood", &["low", "high"]).expect("static hierarchy")
     ])
     .expect("static environment")
 }
 
-fn tiny_relation() -> Relation {
-    let schema =
-        Schema::new(&[("name", AttrType::Str)]).expect("static schema");
+/// The two-tuple relation paired with [`tiny_env`].
+pub fn tiny_relation() -> Relation {
+    let schema = Schema::new(&[("name", AttrType::Str)]).expect("static schema");
     let mut rel = Relation::new("items", schema);
     rel.insert(vec!["alpha".into()]).expect("static tuple");
     rel.insert(vec!["beta".into()]).expect("static tuple");
@@ -126,8 +132,9 @@ fn tiny_relation() -> Relation {
 /// Generates only-valid operations: clause values are globally unique
 /// (so no preference ever conflicts), indices always in range, users
 /// always known. That keeps the acked model exact — every logged op
-/// applies cleanly both live and on replay.
-struct Workload {
+/// applies cleanly both live and on replay. Shared with the
+/// replication chaos suite, whose invariants need the same property.
+pub struct Workload {
     rng: StdRng,
     rel: Relation,
     alive: Vec<(String, usize)>, // (user, preference count)
@@ -136,7 +143,8 @@ struct Workload {
 }
 
 impl Workload {
-    fn new(seed: u64) -> Self {
+    /// A seeded workload; equal seeds generate equal op sequences.
+    pub fn new(seed: u64) -> Self {
         Self {
             rng: StdRng::seed_from_u64(seed ^ 0x5eed_f00d),
             rel: tiny_relation(),
@@ -159,10 +167,13 @@ impl Workload {
         .expect("score is in range")
     }
 
-    fn next_op(&mut self) -> WalOp {
+    /// The next operation; always valid against the state produced by
+    /// applying every previous op in order.
+    pub fn next_op(&mut self) -> WalOp {
         let roll = self.rng.random_range(0..100u32);
-        let with_prefs: Vec<usize> =
-            (0..self.alive.len()).filter(|&i| self.alive[i].1 > 0).collect();
+        let with_prefs: Vec<usize> = (0..self.alive.len())
+            .filter(|&i| self.alive[i].1 > 0)
+            .collect();
         if self.alive.is_empty() || roll < 10 {
             let user = format!("u{}", self.next_user);
             self.next_user += 1;
@@ -178,12 +189,19 @@ impl Workload {
             let i = with_prefs[self.rng.random_range(0..with_prefs.len())];
             let index = self.rng.random_range(0..self.alive[i].1);
             let score = self.rng.random_range(0..=1000) as f64 / 1000.0;
-            WalOp::UpdateScore { user: self.alive[i].0.clone(), index, score }
+            WalOp::UpdateScore {
+                user: self.alive[i].0.clone(),
+                index,
+                score,
+            }
         } else if roll < 94 {
             let i = with_prefs[self.rng.random_range(0..with_prefs.len())];
             let index = self.rng.random_range(0..self.alive[i].1);
             self.alive[i].1 -= 1;
-            WalOp::RemovePreference { user: self.alive[i].0.clone(), index }
+            WalOp::RemovePreference {
+                user: self.alive[i].0.clone(),
+                index,
+            }
         } else {
             let i = self.rng.random_range(0..self.alive.len());
             let (user, _) = self.alive.swap_remove(i);
@@ -234,11 +252,7 @@ impl Drop for QuietPanics {
 /// `plan` (possibly rule-free, for calibration) installed between
 /// bootstrap and the simulated kill. Returns what was acked; the
 /// directory is left exactly as the "crash" left it.
-fn run_workload(
-    dir: &Path,
-    cfg: &FuzzConfig,
-    plan: &Arc<FaultPlan>,
-) -> Result<RunOutcome, String> {
+fn run_workload(dir: &Path, cfg: &FuzzConfig, plan: &Arc<FaultPlan>) -> Result<RunOutcome, String> {
     let _ = std::fs::remove_dir_all(dir);
     std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
 
@@ -247,8 +261,8 @@ fn run_workload(
     // Bootstrap before the plan goes in: creation legitimately passes
     // through the storage and manifest fault sites, and a crash there
     // just means "the db never existed".
-    let durable = DurableDb::create(dir, db, cfg.wal_options())
-        .map_err(|e| format!("bootstrap: {e}"))?;
+    let durable =
+        DurableDb::create(dir, db, cfg.wal_options()).map_err(|e| format!("bootstrap: {e}"))?;
 
     let mut workload = Workload::new(cfg.seed);
     let mut outcome = RunOutcome {
@@ -311,7 +325,9 @@ fn run_workload(
 
     if cfg.lose_unsynced {
         // A power cut also takes the page cache with it.
-        durable.drop_unsynced_tails().map_err(|e| format!("drop unsynced tails: {e}"))?;
+        durable
+            .drop_unsynced_tails()
+            .map_err(|e| format!("drop unsynced tails: {e}"))?;
     }
     drop(durable); // The kill: no flush, no checkpoint, no goodbye.
     Ok(outcome)
@@ -395,10 +411,13 @@ pub fn run_seed(dir: &Path, cfg: &FuzzConfig) -> Result<FuzzReport, String> {
     let clean_dir = dir.join("clean");
     let outcome = run_workload(&clean_dir, cfg, &counting)?;
     if outcome.crashed {
-        return Err(format!("seed={}: clean run crashed without a fault plan", cfg.seed));
+        return Err(format!(
+            "seed={}: clean run crashed without a fault plan",
+            cfg.seed
+        ));
     }
-    let mut total_replayed = check_recovery(&clean_dir, cfg, &outcome)
-        .map_err(|e| format!("{e} [clean run]"))?;
+    let mut total_replayed =
+        check_recovery(&clean_dir, cfg, &outcome).map_err(|e| format!("{e} [clean run]"))?;
 
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x000c_4a54_c4a5);
     let mut report = FuzzReport {

@@ -42,9 +42,10 @@ pub mod record;
 pub mod segment;
 pub mod wal;
 
-pub use durable::{Ack, CheckpointReport, DurableDb, RecoveryReport};
+pub use durable::{Ack, CheckpointReport, DurableDb, RecoveryReport, ReplApply, LOCK_FILE};
 pub use error::{DurableError, WalError};
-pub use harness::{run_seed, FuzzConfig, FuzzReport};
+pub use harness::{run_seed, tiny_env, tiny_relation, FuzzConfig, FuzzReport, Workload};
 pub use manifest::{Manifest, ShardManifest};
 pub use record::WalOp;
+pub use segment::ScannedRecord;
 pub use wal::{AppendAck, ShardWalStatus, SyncPolicy, Wal, WalOptions, WalStatus};

@@ -60,7 +60,13 @@ impl Manifest {
         Self {
             generation: 0,
             checkpoint: checkpoint_file_name(0),
-            shards: vec![ShardManifest { last_lsn: 0, first_live_segment: 1 }; num_shards],
+            shards: vec![
+                ShardManifest {
+                    last_lsn: 0,
+                    first_live_segment: 1
+                };
+                num_shards
+            ],
         }
     }
 
@@ -127,20 +133,27 @@ impl Manifest {
             .ok_or_else(|| bad("truncated manifest".to_string()))?;
         let actual = format!("{:016x}", fnv1a64(&bytes[body_start..]));
         if expected.trim() != actual {
-            return Err(bad(format!("checksum mismatch: recorded {expected}, actual {actual}")));
+            return Err(bad(format!(
+                "checksum mismatch: recorded {expected}, actual {actual}"
+            )));
         }
 
         let mut field = |prefix: &str| -> Result<String, WalError> {
-            let line = lines.next().ok_or_else(|| bad(format!("missing {prefix} line")))?;
+            let line = lines
+                .next()
+                .ok_or_else(|| bad(format!("missing {prefix} line")))?;
             line.strip_prefix(prefix)
                 .and_then(|r| r.strip_prefix(' '))
                 .map(str::to_string)
                 .ok_or_else(|| bad(format!("expected {prefix} line, got {line:?}")))
         };
-        let generation =
-            field("generation")?.parse().map_err(|e| bad(format!("bad generation: {e}")))?;
+        let generation = field("generation")?
+            .parse()
+            .map_err(|e| bad(format!("bad generation: {e}")))?;
         let checkpoint = field("checkpoint")?;
-        let n: usize = field("shards")?.parse().map_err(|e| bad(format!("bad shards: {e}")))?;
+        let n: usize = field("shards")?
+            .parse()
+            .map_err(|e| bad(format!("bad shards: {e}")))?;
         let mut shards = Vec::with_capacity(n);
         for i in 0..n {
             let line = field("shard")?;
@@ -155,9 +168,16 @@ impl Manifest {
             };
             let (last_lsn, first_live_segment) =
                 parsed.ok_or_else(|| bad(format!("bad shard line {line:?}")))?;
-            shards.push(ShardManifest { last_lsn, first_live_segment });
+            shards.push(ShardManifest {
+                last_lsn,
+                first_live_segment,
+            });
         }
-        Ok(Self { generation, checkpoint, shards })
+        Ok(Self {
+            generation,
+            checkpoint,
+            shards,
+        })
     }
 }
 
@@ -166,7 +186,10 @@ impl Manifest {
 fn temp_sibling(path: &Path) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    let mut name = path.file_name().map(|f| f.to_os_string()).unwrap_or_default();
+    let mut name = path
+        .file_name()
+        .map(|f| f.to_os_string())
+        .unwrap_or_default();
     name.push(format!(".tmp.{}.{n}", std::process::id()));
     path.with_file_name(name)
 }
@@ -180,8 +203,14 @@ mod tests {
             generation: 4,
             checkpoint: checkpoint_file_name(4),
             shards: vec![
-                ShardManifest { last_lsn: 17, first_live_segment: 3 },
-                ShardManifest { last_lsn: 0, first_live_segment: 1 },
+                ShardManifest {
+                    last_lsn: 17,
+                    first_live_segment: 3,
+                },
+                ShardManifest {
+                    last_lsn: 0,
+                    first_live_segment: 1,
+                },
             ],
         }
     }
@@ -218,7 +247,10 @@ mod tests {
     #[test]
     fn missing_manifest_is_an_error() {
         let dir = tempdir();
-        assert!(matches!(Manifest::load(&dir), Err(WalError::Manifest { .. })));
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(WalError::Manifest { .. })
+        ));
     }
 
     fn tempdir() -> PathBuf {

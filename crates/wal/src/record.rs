@@ -45,6 +45,27 @@ pub fn frame_checksum(lsn: u64, payload: &[u8]) -> u64 {
     fnv_update(h, payload)
 }
 
+/// A parsed frame header: declared payload length, LSN, checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Declared payload length (unvalidated — may exceed the cap).
+    pub len: u32,
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// The stored FNV-1a checksum to verify against.
+    pub checksum: u64,
+}
+
+/// Parse a frame header from the start of `buf` without panicking:
+/// `None` means fewer than [`FRAME_HEADER`] bytes were available (a
+/// truncated header, the signature of a torn tail).
+pub fn parse_frame_header(buf: &[u8]) -> Option<FrameHeader> {
+    let len = u32::from_le_bytes(buf.get(..4)?.try_into().ok()?);
+    let lsn = u64::from_le_bytes(buf.get(4..12)?.try_into().ok()?);
+    let checksum = u64::from_le_bytes(buf.get(12..20)?.try_into().ok()?);
+    Some(FrameHeader { len, lsn, checksum })
+}
+
 /// Frame `payload` as the record carrying `lsn`.
 pub fn frame(lsn: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
@@ -134,8 +155,8 @@ impl WalOp {
         rel: &Relation,
     ) -> Result<Self, WalError> {
         let bad = |reason: String| WalError::Payload { reason };
-        let text = std::str::from_utf8(payload)
-            .map_err(|_| bad("payload is not utf-8".to_string()))?;
+        let text =
+            std::str::from_utf8(payload).map_err(|_| bad("payload is not utf-8".to_string()))?;
         let toks: Vec<&str> = text.split_whitespace().collect();
         let user = |tok: &str| -> Result<String, WalError> {
             unescape(tok).ok_or_else(|| bad(format!("bad escape in user {tok:?}")))
@@ -146,7 +167,10 @@ impl WalOp {
             Some((&"ins", [u, rest @ ..])) if !rest.is_empty() => {
                 let pref = parse_pref_tokens(rest, env, rel)
                     .map_err(|e| bad(format!("bad pref payload: {e}")))?;
-                Ok(Self::InsertPreference { user: user(u)?, pref })
+                Ok(Self::InsertPreference {
+                    user: user(u)?,
+                    pref,
+                })
             }
             Some((&"del", [u, idx])) => Ok(Self::RemovePreference {
                 user: user(u)?,

@@ -24,7 +24,7 @@ use std::io::Read;
 use std::path::{Path, PathBuf};
 
 use crate::error::WalError;
-use crate::record::{frame_checksum, FRAME_HEADER, MAX_PAYLOAD};
+use crate::record::{frame_checksum, parse_frame_header, FRAME_HEADER, MAX_PAYLOAD};
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"CTXWAL01";
@@ -60,7 +60,10 @@ pub fn segment_header(shard: usize, seg_no: u64) -> [u8; SEGMENT_HEADER] {
 
 /// Parse the segment number out of a `seg-NNNNNN.wal` file name.
 pub fn parse_segment_file_name(name: &str) -> Option<u64> {
-    name.strip_prefix("seg-")?.strip_suffix(".wal")?.parse().ok()
+    name.strip_prefix("seg-")?
+        .strip_suffix(".wal")?
+        .parse()
+        .ok()
 }
 
 /// List a shard's segment numbers, ascending. Files that don't match
@@ -116,7 +119,11 @@ pub fn scan_segment(
     fs::File::open(path)?.read_to_end(&mut bytes)?;
 
     let corrupt = |offset: u64, reason: String| -> WalError {
-        WalError::Corrupt { path: path.to_path_buf(), offset, reason }
+        WalError::Corrupt {
+            path: path.to_path_buf(),
+            offset,
+            reason,
+        }
     };
 
     if bytes.len() < SEGMENT_HEADER || bytes[..SEGMENT_HEADER] != segment_header(shard, seg_no) {
@@ -130,7 +137,10 @@ pub fn scan_segment(
                 header_ok: false,
             });
         }
-        return Err(corrupt(0, "bad segment header on a non-final segment".to_string()));
+        return Err(corrupt(
+            0,
+            "bad segment header on a non-final segment".to_string(),
+        ));
     }
 
     let mut records = Vec::new();
@@ -141,17 +151,23 @@ pub fn scan_segment(
         // is the shard's last segment AND the damage reaches EOF.
         let tail = |reason: String, records: Vec<ScannedRecord>| -> Result<SegmentScan, WalError> {
             if is_last {
-                Ok(SegmentScan { records, valid_len: pos as u64, torn: true, header_ok: true })
+                Ok(SegmentScan {
+                    records,
+                    valid_len: pos as u64,
+                    torn: true,
+                    header_ok: true,
+                })
             } else {
                 Err(corrupt(pos as u64, reason))
             }
         };
-        if rest.len() < FRAME_HEADER {
+        // Checked parse: a short read here must surface as torn-tail /
+        // Corrupt through the normal damage path, never as a panic —
+        // recovery runs on whatever bytes a crash left behind.
+        let Some(header) = parse_frame_header(rest) else {
             return tail("partial frame header at end of file".to_string(), records);
-        }
-        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
-        let lsn = u64::from_le_bytes(rest[4..12].try_into().unwrap());
-        let sum = u64::from_le_bytes(rest[12..20].try_into().unwrap());
+        };
+        let (len, lsn, sum) = (header.len, header.lsn, header.checksum);
         if len > MAX_PAYLOAD {
             // An absurd length field cannot tell us where the next
             // record starts, so it is indistinguishable from a torn
@@ -161,7 +177,10 @@ pub fn scan_segment(
         }
         let end = pos + FRAME_HEADER + len as usize;
         if end > bytes.len() {
-            return tail(format!("record of {len} bytes runs past end of file"), records);
+            return tail(
+                format!("record of {len} bytes runs past end of file"),
+                records,
+            );
         }
         let payload = &bytes[pos + FRAME_HEADER..end];
         if frame_checksum(lsn, payload) != sum {
@@ -173,10 +192,18 @@ pub fn scan_segment(
             // Bad checksum with intact data following: mid-log bitrot.
             return Err(corrupt(pos as u64, "checksum mismatch mid-log".to_string()));
         }
-        records.push(ScannedRecord { lsn, payload: payload.to_vec() });
+        records.push(ScannedRecord {
+            lsn,
+            payload: payload.to_vec(),
+        });
         pos = end;
     }
-    Ok(SegmentScan { records, valid_len: pos as u64, torn: false, header_ok: true })
+    Ok(SegmentScan {
+        records,
+        valid_len: pos as u64,
+        torn: false,
+        header_ok: true,
+    })
 }
 
 #[cfg(test)]
@@ -228,6 +255,36 @@ mod tests {
         // The same damage on a non-final segment is corruption.
         let err = scan_segment(&path, 0, 1, false).unwrap_err();
         assert!(matches!(err, WalError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_mid_header_frame_is_torn_not_a_panic() {
+        // A crash can stop the disk mid-way through the 20-byte frame
+        // header itself. The scan must treat every truncation point
+        // inside the header as a torn tail on the last segment (and as
+        // Corrupt on earlier ones) — never panic on the short slice.
+        for keep in 1..FRAME_HEADER {
+            let dir = tempdir();
+            let path = dir.join("seg-000001.wal");
+            write_segment(&path, 0, 1, &[(1, b"add u1")]);
+            let good_len = fs::metadata(&path).unwrap().len();
+            let partial = frame(2, b"ins u1 poi");
+            fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap()
+                .write_all(&partial[..keep])
+                .unwrap();
+            let scan = scan_segment(&path, 0, 1, true).unwrap();
+            assert!(scan.torn, "keep={keep}");
+            assert_eq!(scan.records.len(), 1, "keep={keep}");
+            assert_eq!(scan.valid_len, good_len, "keep={keep}");
+            let err = scan_segment(&path, 0, 1, false).unwrap_err();
+            assert!(
+                matches!(err, WalError::Corrupt { .. }),
+                "keep={keep}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub struct WalOptions {
 
 impl Default for WalOptions {
     fn default() -> Self {
-        Self { sync: SyncPolicy::PerRecord, segment_max_bytes: 1 << 20 }
+        Self {
+            sync: SyncPolicy::PerRecord,
+            segment_max_bytes: 1 << 20,
+        }
     }
 }
 
@@ -235,7 +238,11 @@ impl Wal {
     /// Lock shard `ix` for appending. The durable layer holds this
     /// guard across log-then-apply so replay order matches apply order.
     pub fn shard(&self, ix: usize) -> ShardGuard<'_> {
-        ShardGuard { wal: self, shard: ix, state: self.shards[ix].lock() }
+        ShardGuard {
+            wal: self,
+            shard: ix,
+            state: self.shards[ix].lock(),
+        }
     }
 
     /// Flush every shard (a no-op per shard when nothing is pending).
@@ -427,6 +434,20 @@ impl ShardGuard<'_> {
         Ok(seg_no)
     }
 
+    /// Force the shard's LSN sequence to continue at `next_lsn`. Only
+    /// meaningful immediately after a [`Self::rotate`], when the
+    /// current segment is empty: replication uses it to re-seat a shard
+    /// at a shipped snapshot's watermark (forward for a lagging
+    /// replica, backward to discard a deposed primary's divergent
+    /// suffix). The caller must follow up with a checkpoint so the
+    /// manifest's replay bounds match the forced sequence.
+    pub fn set_next_lsn(&mut self, next_lsn: u64) {
+        let s = &mut *self.state;
+        s.next_lsn = next_lsn;
+        s.synced_lsn = next_lsn.saturating_sub(1);
+        s.pending = 0;
+    }
+
     /// Simulate losing everything the OS had not fsynced: truncate the
     /// on-disk segment to the synced prefix. Only meaningful under
     /// group commit; the crash-recovery fuzz uses it to model a power
@@ -444,7 +465,12 @@ impl ShardGuard<'_> {
 /// fsync the shard directory so the file itself survives a crash.
 fn new_segment(dir: &Path, shard: usize, seg_no: u64) -> Result<File, WalError> {
     let path = segment_path(dir, shard, seg_no);
-    let mut file = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)?;
     file.write_all(&segment_header(shard, seg_no))?;
     file.sync_all()?;
     if let Ok(d) = File::open(shard_dir(dir, shard)) {
@@ -464,7 +490,9 @@ mod tests {
     /// Fault-plan tests share a process-global plan slot; serialize them.
     fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
-        LOCK.get_or_init(|| StdMutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+        LOCK.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     fn tempdir(tag: &str) -> PathBuf {
@@ -498,7 +526,9 @@ mod tests {
     fn group_commit_buffers_until_flush() {
         let dir = tempdir("group-commit");
         let opts = WalOptions {
-            sync: SyncPolicy::GroupCommit { flush_interval: Duration::from_millis(5) },
+            sync: SyncPolicy::GroupCommit {
+                flush_interval: Duration::from_millis(5),
+            },
             ..WalOptions::default()
         };
         let wal = Wal::create(&dir, 1, opts).unwrap();
@@ -519,10 +549,15 @@ mod tests {
     #[test]
     fn segments_rotate_at_the_size_cap() {
         let dir = tempdir("rotate");
-        let opts = WalOptions { segment_max_bytes: 128, ..WalOptions::default() };
+        let opts = WalOptions {
+            segment_max_bytes: 128,
+            ..WalOptions::default()
+        };
         let wal = Wal::create(&dir, 1, opts).unwrap();
         for i in 0..12 {
-            wal.shard(0).append(format!("record number {i}").as_bytes()).unwrap();
+            wal.shard(0)
+                .append(format!("record number {i}").as_bytes())
+                .unwrap();
         }
         let segs = list_segments(&dir, 0).unwrap();
         assert!(segs.len() > 1, "expected rotations, got {segs:?}");
@@ -545,17 +580,25 @@ mod tests {
         wal.shard(0).append(b"keep me").unwrap();
         let len_before = std::fs::metadata(segment_path(&dir, 0, 1)).unwrap().len();
 
-        let plan = FaultPlan::builder(1).fail_at(sites::WAL_APPEND_SYNC, &[1]).build();
+        let plan = FaultPlan::builder(1)
+            .fail_at(sites::WAL_APPEND_SYNC, &[1])
+            .build();
         let err = plan.run(|| wal.shard(0).append(b"lose me")).unwrap_err();
         assert!(matches!(err, WalError::Io(_)), "{err}");
 
         // Rolled back on disk and in memory: same length, same next LSN.
-        assert_eq!(std::fs::metadata(segment_path(&dir, 0, 1)).unwrap().len(), len_before);
+        assert_eq!(
+            std::fs::metadata(segment_path(&dir, 0, 1)).unwrap().len(),
+            len_before
+        );
         let ack = wal.shard(0).append(b"second").unwrap();
         assert_eq!(ack.lsn, 2);
         let scan = scan_segment(&segment_path(&dir, 0, 1), 0, 1, true).unwrap();
         assert_eq!(
-            scan.records.iter().map(|r| r.payload.as_slice()).collect::<Vec<_>>(),
+            scan.records
+                .iter()
+                .map(|r| r.payload.as_slice())
+                .collect::<Vec<_>>(),
             vec![b"keep me".as_slice(), b"second".as_slice()]
         );
     }
@@ -569,8 +612,12 @@ mod tests {
 
         // Hit #2 of the site is the append's truncation decision (hit
         // #1 is its error/panic check).
-        let plan = FaultPlan::builder(1).truncate_at(sites::WAL_APPEND_WRITE, &[2], 0.5).build();
-        let err = plan.run(|| wal.shard(0).append(b"torn record payload")).unwrap_err();
+        let plan = FaultPlan::builder(1)
+            .truncate_at(sites::WAL_APPEND_WRITE, &[2], 0.5)
+            .build();
+        let err = plan
+            .run(|| wal.shard(0).append(b"torn record payload"))
+            .unwrap_err();
         assert!(matches!(err, WalError::Io(_)), "{err}");
 
         // The torn bytes are really on disk…
@@ -592,7 +639,9 @@ mod tests {
     fn drop_unsynced_tail_loses_only_unflushed_records() {
         let dir = tempdir("power-cut");
         let opts = WalOptions {
-            sync: SyncPolicy::GroupCommit { flush_interval: Duration::from_millis(5) },
+            sync: SyncPolicy::GroupCommit {
+                flush_interval: Duration::from_millis(5),
+            },
             ..WalOptions::default()
         };
         let wal = Wal::create(&dir, 1, opts).unwrap();
@@ -615,7 +664,11 @@ mod tests {
         let pos = wal.status().shards[0].seg_bytes;
         drop(wal);
 
-        let positions = [ShardPosition { seg_no: 1, pos, next_lsn: 3 }];
+        let positions = [ShardPosition {
+            seg_no: 1,
+            pos,
+            next_lsn: 3,
+        }];
         let wal = Wal::open(&dir, opts, &positions).unwrap();
         let ack = wal.shard(0).append(b"three").unwrap();
         assert_eq!(ack.lsn, 3);

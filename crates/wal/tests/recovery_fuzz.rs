@@ -25,7 +25,9 @@ use ctxpref_workload::user_study::{all_demographics, default_profile};
 /// or would trip over another test's, so they all serialize.
 fn fault_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
 }
 
 /// A fresh directory under the system temp dir; removed on drop.
@@ -35,10 +37,8 @@ impl TempDir {
     fn new(tag: &str) -> Self {
         static N: AtomicU64 = AtomicU64::new(0);
         let n = N.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "ctxpref-recovery-{}-{tag}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ctxpref-recovery-{}-{tag}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         Self(dir)
@@ -57,7 +57,8 @@ fn study_db(users: usize) -> ShardedMultiUserDb {
     let mut db = MultiUserDb::new(env.clone(), rel, 8);
     for (i, demo) in all_demographics().into_iter().take(users).enumerate() {
         let profile = default_profile(&env, db.relation(), demo);
-        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
     }
     ShardedMultiUserDb::from_db(db, 4)
 }
@@ -100,7 +101,10 @@ fn durable_round_trip_with_checkpoint_and_replay() {
     let db = recovered.db();
     assert!(db.users_sorted().contains(&"wendy".to_string()));
     let snap = db.snapshot();
-    assert_eq!(snap.profile("walter").unwrap().preferences()[0].score(), 0.4);
+    assert_eq!(
+        snap.profile("walter").unwrap().preferences()[0].score(),
+        0.4
+    );
 }
 
 #[test]
@@ -118,7 +122,11 @@ fn checkpoint_garbage_collects_old_generations() {
         .filter_map(|e| e.ok()?.file_name().into_string().ok())
         .filter(|n| n.starts_with("checkpoint-"))
         .collect();
-    assert_eq!(files, vec!["checkpoint-3.db".to_string()], "old generations not collected");
+    assert_eq!(
+        files,
+        vec!["checkpoint-3.db".to_string()],
+        "old generations not collected"
+    );
     // Old segments are gone too: each shard keeps only its live tail.
     for shard in 0..durable.db().num_shards() {
         let manifest = durable.manifest();
@@ -127,8 +135,13 @@ fn checkpoint_garbage_collects_old_generations() {
             .filter_map(|e| e.ok()?.file_name().into_string().ok())
             .collect();
         for seg in &segs {
-            let n: u64 =
-                seg.strip_prefix("seg-").unwrap().strip_suffix(".wal").unwrap().parse().unwrap();
+            let n: u64 = seg
+                .strip_prefix("seg-")
+                .unwrap()
+                .strip_suffix(".wal")
+                .unwrap()
+                .parse()
+                .unwrap();
             assert!(
                 n >= manifest.shards[shard].first_live_segment,
                 "stale segment {seg} on shard {shard}"
@@ -142,7 +155,9 @@ fn group_commit_recovery_after_power_cut_keeps_flushed_prefix() {
     let _serial = fault_lock();
     let tmp = TempDir::new("power-cut");
     let opts = WalOptions {
-        sync: SyncPolicy::GroupCommit { flush_interval: Duration::from_millis(5) },
+        sync: SyncPolicy::GroupCommit {
+            flush_interval: Duration::from_millis(5),
+        },
         ..WalOptions::default()
     };
     let db = std::sync::Arc::new(study_db(1));
@@ -150,19 +165,27 @@ fn group_commit_recovery_after_power_cut_keeps_flushed_prefix() {
     durable.add_user("kept").unwrap();
     durable.flush().unwrap();
     let ack = durable.add_user("lost").unwrap();
-    assert!(!ack.durable, "group-commit acks are not durable until flushed");
+    assert!(
+        !ack.durable,
+        "group-commit acks are not durable until flushed"
+    );
     durable.drop_unsynced_tails().unwrap(); // The power cut.
     drop(durable);
 
     let (recovered, _) = DurableDb::recover(&tmp.0, opts).unwrap();
     let users = recovered.db().users_sorted();
     assert!(users.contains(&"kept".to_string()));
-    assert!(!users.contains(&"lost".to_string()), "unflushed, unacked-durable write surfaced");
+    assert!(
+        !users.contains(&"lost".to_string()),
+        "unflushed, unacked-durable write surfaced"
+    );
 }
 
 /// The matrix: `CTXPREF_FUZZ_SEEDS=a..b` overrides the default 0..32.
 fn seed_range() -> std::ops::Range<u64> {
-    let Ok(spec) = std::env::var("CTXPREF_FUZZ_SEEDS") else { return 0..32 };
+    let Ok(spec) = std::env::var("CTXPREF_FUZZ_SEEDS") else {
+        return 0..32;
+    };
     let parse = |s: &str| s.trim().parse::<u64>().ok();
     match spec.split_once("..").map(|(a, b)| (parse(a), parse(b))) {
         Some((Some(a), Some(b))) if a < b => a..b,

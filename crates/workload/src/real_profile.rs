@@ -30,9 +30,11 @@ pub const REAL_ACTIVE_DOMAINS: [usize; 3] = [4, 17, 100];
 /// 2 levels), `time` (17 hours grouped into 5 day periods, 3 levels),
 /// `location` (100 regions grouped into 10 cities, 3 levels).
 pub fn real_profile_env() -> ContextEnvironment {
-    let people =
-        Hierarchy::flat("accompanying_people", &["friends", "family", "alone", "colleagues"])
-            .unwrap();
+    let people = Hierarchy::flat(
+        "accompanying_people",
+        &["friends", "family", "alone", "colleagues"],
+    )
+    .unwrap();
 
     let mut time = HierarchyBuilder::new("time", &["Hour", "Period"]);
     let periods: [(&str, &[&str]); 5] = [
@@ -52,8 +54,12 @@ pub fn real_profile_env() -> ContextEnvironment {
         let city_name = format!("city{city}");
         loc.add("City", &city_name, None).unwrap();
         for region in 0..10 {
-            loc.add("Region", &format!("region{}", city * 10 + region), Some(&city_name))
-                .unwrap();
+            loc.add(
+                "Region",
+                &format!("region{}", city * 10 + region),
+                Some(&city_name),
+            )
+            .unwrap();
         }
     }
 
@@ -173,6 +179,9 @@ mod tests {
             *counts.entry(sets[loc.index()][0]).or_insert(0usize) += 1;
         }
         let max = counts.values().copied().max().unwrap();
-        assert!(max > 522 / 100 * 3, "expected skewed reuse, max count {max}");
+        assert!(
+            max > 522 / 100 * 3,
+            "expected skewed reuse, max count {max}"
+        );
     }
 }

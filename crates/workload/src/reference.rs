@@ -28,12 +28,25 @@ pub const POI_TYPES: &[&str] = &[
 
 /// Regions of Athens (Figure 1 extended).
 pub const ATHENS_REGIONS: &[&str] = &[
-    "Plaka", "Kifisia", "Monastiraki", "Kolonaki", "Exarchia", "Glyfada", "Piraeus", "Marousi",
+    "Plaka",
+    "Kifisia",
+    "Monastiraki",
+    "Kolonaki",
+    "Exarchia",
+    "Glyfada",
+    "Piraeus",
+    "Marousi",
 ];
 
 /// Regions of Thessaloniki.
-pub const THESSALONIKI_REGIONS: &[&str] =
-    &["Ladadika", "Kalamaria", "Ano_Poli", "Toumba", "Pylaia", "Panorama"];
+pub const THESSALONIKI_REGIONS: &[&str] = &[
+    "Ladadika",
+    "Kalamaria",
+    "Ano_Poli",
+    "Toumba",
+    "Pylaia",
+    "Panorama",
+];
 
 /// Regions of Ioannina (kept from Figure 1).
 pub const IOANNINA_REGIONS: &[&str] = &["Perama", "Kastro"];
@@ -131,7 +144,9 @@ pub fn is_open_air(poi_type: &str) -> bool {
 /// relation.
 pub fn poi_relation(env: &ContextEnvironment, seed: u64, per_region_hint: usize) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
-    let loc = env.param("location").expect("environment has a location parameter");
+    let loc = env
+        .param("location")
+        .expect("environment has a location parameter");
     let lh = env.hierarchy(loc);
     let mut rel = Relation::new("Points_of_Interest", poi_schema());
     let mut pid: i64 = 0;
@@ -195,7 +210,10 @@ mod tests {
             ATHENS_REGIONS.len() + THESSALONIKI_REGIONS.len() + IOANNINA_REGIONS.len()
         );
         let thess = loc.lookup("Thessaloniki").unwrap();
-        assert_eq!(loc.desc(thess, loc.detailed_level()).len(), THESSALONIKI_REGIONS.len());
+        assert_eq!(
+            loc.desc(thess, loc.detailed_level()).len(),
+            THESSALONIKI_REGIONS.len()
+        );
     }
 
     #[test]
@@ -204,7 +222,10 @@ mod tests {
         let a = poi_relation(&env, 7, 4);
         let b = poi_relation(&env, 7, 4);
         assert_eq!(a.len(), b.len());
-        assert!(a.len() > 50, "two cities should yield a substantial database");
+        assert!(
+            a.len() > 50,
+            "two cities should yield a substantial database"
+        );
         let ty = a.schema().attr("type").unwrap();
         for t in a.tuples() {
             let name = t.value(ty).to_string();

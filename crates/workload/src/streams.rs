@@ -107,7 +107,11 @@ mod tests {
         let env = poi_env();
         let s = dwell_stream(&env, 50, 1, 3);
         let distinct: std::collections::HashSet<_> = s.iter().collect();
-        assert!(distinct.len() > 25, "mostly fresh states, got {}", distinct.len());
+        assert!(
+            distinct.len() > 25,
+            "mostly fresh states, got {}",
+            distinct.len()
+        );
     }
 
     #[test]

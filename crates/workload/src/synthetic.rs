@@ -69,7 +69,11 @@ impl SyntheticSpec {
 
     /// Build the context environment (parameters named `c1`, `c2`, …).
     pub fn build_env(&self) -> ContextEnvironment {
-        assert_eq!(self.domains.len(), self.dists.len(), "one distribution per parameter");
+        assert_eq!(
+            self.domains.len(),
+            self.dists.len(),
+            "one distribution per parameter"
+        );
         let hierarchies: Vec<Hierarchy> = self
             .domains
             .iter()
@@ -220,7 +224,8 @@ pub fn random_query_states(
 /// appearing in its preference descriptors) — the quantity Figure 6
 /// (right) shows matters for choosing a tree ordering under skew.
 pub fn active_domains(env: &ContextEnvironment, profile: &Profile) -> Vec<usize> {
-    let mut distinct: Vec<std::collections::HashSet<CtxValue>> = vec![Default::default(); env.len()];
+    let mut distinct: Vec<std::collections::HashSet<CtxValue>> =
+        vec![Default::default(); env.len()];
     for pref in profile.iter() {
         if let Ok(sets) = pref.descriptor().value_sets(env) {
             for (i, set) in sets.into_iter().enumerate() {
@@ -240,8 +245,10 @@ mod tests {
     fn paper_standard_shapes() {
         let spec = SyntheticSpec::paper_standard(500, ValueDist::Uniform, 1);
         let env = spec.build_env();
-        let sizes: Vec<usize> =
-            env.iter().map(|(_, h)| h.domain_size(h.detailed_level())).collect();
+        let sizes: Vec<usize> = env
+            .iter()
+            .map(|(_, h)| h.domain_size(h.detailed_level()))
+            .collect();
         assert_eq!(sizes, vec![50, 100, 1000]);
         let levels: Vec<usize> = env.iter().map(|(_, h)| h.level_count()).collect();
         assert_eq!(levels, vec![2, 3, 3]);
@@ -296,9 +303,11 @@ mod tests {
                 lifted += 1;
             }
         }
-        assert!(lifted > 50, "about half the states should carry lifted values");
+        assert!(
+            lifted > 50,
+            "about half the states should carry lifted values"
+        );
         // Determinism.
         assert_eq!(queries, random_query_states(&env, 200, 0.5, 11));
     }
-
 }

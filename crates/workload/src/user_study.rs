@@ -30,9 +30,7 @@ use ctxpref_context::{
     ContextDescriptor, ContextEnvironment, ContextState, CtxValue, DistanceKind,
     ParameterDescriptor,
 };
-use ctxpref_profile::{
-    AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree,
-};
+use ctxpref_profile::{AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree};
 use ctxpref_relation::{RankedResults, Relation, ScoreCombiner, ScoredTuple};
 use ctxpref_resolve::{rank_cs, ContextResolver, TieBreak};
 use rand::rngs::StdRng;
@@ -211,7 +209,11 @@ fn default_score(demo: Demographics, key: PrefKey, env: &ContextEnvironment) -> 
     let ph = env.hierarchy(env.param("accompanying_people").unwrap());
     let weather = key.weather.map(|v| wh.value_name(v));
     let company = key.company.map(|v| ph.value_name(v));
-    clamp_score(base_interest(demo.taste, ty) + demographic_delta(demo, ty) + context_delta(ty, weather, company))
+    clamp_score(
+        base_interest(demo.taste, ty)
+            + demographic_delta(demo, ty)
+            + context_delta(ty, weather, company),
+    )
 }
 
 /// The 12 default profiles are key → score maps over the grid of
@@ -253,7 +255,12 @@ fn default_pref_map(env: &ContextEnvironment, demo: Demographics) -> HashMap<Pre
         }
         for ty_name in ["museum", "brewery", "monument"] {
             let ty = POI_TYPES.iter().position(|t| *t == ty_name).unwrap();
-            let key = PrefKey { weather: None, company: None, city: Some(city), ty };
+            let key = PrefKey {
+                weather: None,
+                company: None,
+                city: Some(city),
+                ty,
+            };
             map.insert(key, default_score(demo, key, env));
         }
     }
@@ -321,13 +328,21 @@ impl SimulatedUser {
         // Update time tracks effort: ≈ 1.2 min per edit ± slack, the
         // published rows range 15–45 minutes for 12–38 edits.
         let minutes = ((updates as f64) * 1.2 + rng.random_range(0.0..6.0)).round() as u32;
-        let taste_delta: Vec<f64> =
-            (0..POI_TYPES.len()).map(|_| rng.random_range(-0.10..0.10)).collect();
+        let taste_delta: Vec<f64> = (0..POI_TYPES.len())
+            .map(|_| rng.random_range(-0.10..0.10))
+            .collect();
 
         let mut prefs = default_pref_map(env, demo);
         let keys: Vec<PrefKey> = {
             let mut ks: Vec<PrefKey> = prefs.keys().copied().collect();
-            ks.sort_by_key(|k| (k.ty, k.weather.map(|v| v.0), k.company.map(|v| v.0), k.city.map(|v| v.0)));
+            ks.sort_by_key(|k| {
+                (
+                    k.ty,
+                    k.weather.map(|v| v.0),
+                    k.company.map(|v| v.0),
+                    k.city.map(|v| v.0),
+                )
+            });
             ks
         };
         let me = Self {
@@ -375,8 +390,10 @@ impl SimulatedUser {
     pub fn true_score(&self, env: &ContextEnvironment, state: &ContextState, ty: usize) -> f64 {
         let wh = env.hierarchy(env.param("temperature").unwrap());
         let ph = env.hierarchy(env.param("accompanying_people").unwrap());
-        let weather_char = wh
-            .anc(state.value(env.param("temperature").unwrap()), wh.level_by_name("Characterization").unwrap());
+        let weather_char = wh.anc(
+            state.value(env.param("temperature").unwrap()),
+            wh.level_by_name("Characterization").unwrap(),
+        );
         let company = state.value(env.param("accompanying_people").unwrap());
         let weather = weather_char.map(|v| wh.value_name(v));
         let company_name = Some(ph.value_name(company));
@@ -405,7 +422,12 @@ impl SimulatedUser {
         );
         let company = Some(state.value(env.param("accompanying_people").unwrap()));
         if let Some(weather) = weather {
-            let key = PrefKey { weather: Some(weather), company, city: None, ty };
+            let key = PrefKey {
+                weather: Some(weather),
+                company,
+                city: None,
+                ty,
+            };
             if let Some(&score) = self.prefs.get(&key) {
                 return score;
             }
@@ -436,7 +458,10 @@ impl SimulatedUser {
                 let ty = POI_TYPES.iter().position(|x| *x == ty_name).unwrap_or(0);
                 let noise = rng.random_range(-self.ranking_noise..self.ranking_noise);
                 let score = self.internal_score(env, state, ty) + noise;
-                ScoredTuple { tuple_index: i, score: (score * 20.0).round() / 20.0 }
+                ScoredTuple {
+                    tuple_index: i,
+                    score: (score * 20.0).round() / 20.0,
+                }
             })
             .collect();
         RankedResults::from_scores(raw, ScoreCombiner::Max)
@@ -505,8 +530,11 @@ pub fn agreement_pct(system: &RankedResults, user: &RankedResults, k: usize) -> 
     if sys.is_empty() {
         return 100.0;
     }
-    let usr: std::collections::HashSet<usize> =
-        user.top_k_with_ties(k).iter().map(|e| e.tuple_index).collect();
+    let usr: std::collections::HashSet<usize> = user
+        .top_k_with_ties(k)
+        .iter()
+        .map(|e| e.tuple_index)
+        .collect();
     let hit = sys.iter().filter(|e| usr.contains(&e.tuple_index)).count();
     hit as f64 / sys.len() as f64 * 100.0
 }
@@ -634,7 +662,11 @@ mod tests {
         let rel = poi_relation(&env, 1, 4);
         for demo in all_demographics() {
             let p = default_profile(&env, &rel, demo);
-            assert!(p.len() >= 50, "default profiles should be substantial, got {}", p.len());
+            assert!(
+                p.len() >= 50,
+                "default profiles should be substantial, got {}",
+                p.len()
+            );
             // Conflict-free by construction.
             ProfileTree::from_profile(&p, ParamOrder::by_ascending_domain(&env)).unwrap();
         }
@@ -648,13 +680,21 @@ mod tests {
         let ph = env.hierarchy(env.param("accompanying_people").unwrap());
         let friends = ph.lookup("friends").unwrap();
         let club = POI_TYPES.iter().position(|t| *t == "club").unwrap();
-        let key = PrefKey { weather: Some(good), company: Some(friends), city: None, ty: club };
+        let key = PrefKey {
+            weather: Some(good),
+            company: Some(friends),
+            city: None,
+            ty: club,
+        };
         let young = Demographics {
             age: AgeBand::Under30,
             sex: Sex::Male,
             taste: Taste::Mainstream,
         };
-        let old = Demographics { age: AgeBand::Over50, ..young };
+        let old = Demographics {
+            age: AgeBand::Over50,
+            ..young
+        };
         assert!(default_score(young, key, &env) > default_score(old, key, &env));
     }
 
@@ -673,7 +713,12 @@ mod tests {
         };
         let museum = POI_TYPES.iter().position(|t| *t == "museum").unwrap();
         let brewery = POI_TYPES.iter().position(|t| *t == "brewery").unwrap();
-        let k = |company, ty| PrefKey { weather: None, company: Some(company), city: None, ty };
+        let k = |company, ty| PrefKey {
+            weather: None,
+            company: Some(company),
+            city: None,
+            ty,
+        };
         assert!(
             default_score(demo, k(family, museum), &env)
                 > default_score(demo, k(family, brewery), &env)
@@ -687,7 +732,10 @@ mod tests {
     #[test]
     fn agreement_bounds() {
         let a = RankedResults::from_scores(
-            (0..5).map(|i| ScoredTuple { tuple_index: i, score: 1.0 - i as f64 / 10.0 }),
+            (0..5).map(|i| ScoredTuple {
+                tuple_index: i,
+                score: 1.0 - i as f64 / 10.0,
+            }),
             ScoreCombiner::Max,
         );
         assert_eq!(agreement_pct(&a, &a, 20), 100.0);
@@ -712,7 +760,11 @@ mod tests {
         // distance beats the Hierarchy distance on multi-cover queries
         // (fewer ties → more specific preferences applied).
         assert!(report.mean_exact() >= 75.0, "exact {}", report.mean_exact());
-        assert!(report.mean_one_cover() >= 75.0, "one {}", report.mean_one_cover());
+        assert!(
+            report.mean_one_cover() >= 75.0,
+            "one {}",
+            report.mean_one_cover()
+        );
         assert!(
             report.mean_multi_jaccard() + 1e-9 >= report.mean_multi_hierarchy(),
             "jaccard {} vs hierarchy {}",

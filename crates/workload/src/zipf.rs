@@ -21,7 +21,10 @@ impl Zipf {
     /// Panics if `n == 0` or `a` is negative or non-finite.
     pub fn new(n: usize, a: f64) -> Self {
         assert!(n >= 1, "Zipf needs at least one rank");
-        assert!(a >= 0.0 && a.is_finite(), "Zipf exponent must be finite and ≥ 0");
+        assert!(
+            a >= 0.0 && a.is_finite(),
+            "Zipf exponent must be finite and ≥ 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {

@@ -7,8 +7,8 @@
 //! cargo run --release --example concurrent_cache
 //! ```
 
-use ctxpref::prelude::*;
 use ctxpref::core::QueryOptions;
+use ctxpref::prelude::*;
 use ctxpref::workload::reference::{poi_env, poi_relation, POI_TYPES};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -76,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "trie cells touched by the cache itself: {} (vs full resolution every time)",
         stats.cells_accessed
     );
-    assert!(stats.hit_ratio() > 0.9, "dwelling contexts should hit the cache");
+    assert!(
+        stats.hit_ratio() > 0.9,
+        "dwelling contexts should hit the cache"
+    );
     Ok(())
 }

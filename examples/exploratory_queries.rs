@@ -18,12 +18,23 @@ use ctxpref::workload::reference::{poi_env, poi_relation, POI_TYPES};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = poi_env();
     let rel = poi_relation(&env, 7, 4);
-    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build()?;
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()?;
 
     // A compact profile: weather × company type preferences.
     for (cod, ty, score) in [
-        ("temperature = good and accompanying_people = family", "zoo", 0.9),
-        ("temperature = good and accompanying_people = family", "park", 0.85),
+        (
+            "temperature = good and accompanying_people = family",
+            "zoo",
+            0.9,
+        ),
+        (
+            "temperature = good and accompanying_people = family",
+            "park",
+            0.85,
+        ),
         ("temperature = good", "monument", 0.8),
         ("temperature = bad", "museum", 0.85),
         ("temperature = bad", "aquarium", 0.7),
@@ -46,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
               (location = Thessaloniki and temperature in [freezing, cold])";
     let a2 = db.query_str(q2)?;
     println!("\nQ2: {q2}");
-    println!("  ({} hypothetical context states resolved)", a2.resolutions.len());
+    println!(
+        "  ({} hypothetical context states resolved)",
+        a2.resolutions.len()
+    );
     print!("{}", db.render_top(&a2, "name", 6)?);
 
     // Same query, Jaccard distance: breaks ties toward the covering
@@ -54,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ecod = ctxpref::context::parse_extended_descriptor(&env, q2)?;
     let a3 = db.query_with(
         &ecod,
-        QueryOptions { distance: DistanceKind::Jaccard, ..QueryOptions::default() },
+        QueryOptions {
+            distance: DistanceKind::Jaccard,
+            ..QueryOptions::default()
+        },
     )?;
     println!("\nQ2 under the Jaccard distance:");
     print!("{}", db.render_top(&a3, "name", 6)?);
@@ -64,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lonely = db.query_str("accompanying_people = alone and temperature = mild")?;
     println!(
         "\nQ3 (alone, mild): {} — {} result(s)",
-        if lonely.is_non_contextual() { "no matching context" } else { "matched" },
+        if lonely.is_non_contextual() {
+            "no matching context"
+        } else {
+            "matched"
+        },
         lonely.results.len()
     );
     Ok(())

@@ -53,8 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weekend = lattice.lookup("weekend").unwrap();
     println!(
         "anc(sat_18_22, PartOfDay) = {}, anc(sat_18_22, DayType) = {}",
-        lattice.value_name(lattice.anc(sat_evening, lattice.level_by_name("PartOfDay").unwrap()).unwrap()),
-        lattice.value_name(lattice.anc(sat_evening, lattice.level_by_name("DayType").unwrap()).unwrap()),
+        lattice.value_name(
+            lattice
+                .anc(sat_evening, lattice.level_by_name("PartOfDay").unwrap())
+                .unwrap()
+        ),
+        lattice.value_name(
+            lattice
+                .anc(sat_evening, lattice.level_by_name("DayType").unwrap())
+                .unwrap()
+        ),
     );
     // PartOfDay and DayType are incomparable: min path goes through Slot.
     println!(
@@ -95,9 +103,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         rel.insert(vec![n.into(), t.into()])?;
     }
-    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build()?;
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()?;
     // Preferences at different lattice levels of the extracted chain.
-    db.insert_preference_eq("time_partofday = evening and company = friends", "type", "brewery".into(), 0.9)?;
+    db.insert_preference_eq(
+        "time_partofday = evening and company = friends",
+        "type",
+        "brewery".into(),
+        0.9,
+    )?;
     db.insert_preference_eq("time_partofday = morning", "type", "monument".into(), 0.8)?;
     db.insert_preference_eq("company = family", "type", "zoo".into(), 0.85)?;
 

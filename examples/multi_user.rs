@@ -21,22 +21,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let members: [(&str, Demographics); 3] = [
         (
             "eleni",
-            Demographics { age: AgeBand::Under30, sex: Sex::Female, taste: Taste::OffBeatenTrack },
+            Demographics {
+                age: AgeBand::Under30,
+                sex: Sex::Female,
+                taste: Taste::OffBeatenTrack,
+            },
         ),
         (
             "nikos",
-            Demographics { age: AgeBand::Between30And50, sex: Sex::Male, taste: Taste::Mainstream },
+            Demographics {
+                age: AgeBand::Between30And50,
+                sex: Sex::Male,
+                taste: Taste::Mainstream,
+            },
         ),
         (
             "yiayia",
-            Demographics { age: AgeBand::Over50, sex: Sex::Female, taste: Taste::Mainstream },
+            Demographics {
+                age: AgeBand::Over50,
+                sex: Sex::Female,
+                taste: Taste::Mainstream,
+            },
         ),
     ];
     for (name, demo) in members {
         let profile = default_profile(&env, db.relation(), demo);
         db.add_user_with_profile(name, profile)?;
     }
-    println!("{} users over {} POIs", db.user_count(), db.relation().len());
+    println!(
+        "{} users over {} POIs",
+        db.user_count(),
+        db.relation().len()
+    );
 
     // Eleni tweaks her profile — only hers changes.
     db.insert_preference(
@@ -71,6 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The per-user caches serve repeats.
     let again = db.query_state("nikos", &state)?;
-    println!("\nrepeat query for nikos served from cache: {}", again.from_cache);
+    println!(
+        "\nrepeat query for nikos served from cache: {}",
+        again.from_cache
+    );
     Ok(())
 }

@@ -24,7 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "market".into(),
         0.85,
     )?;
-    db.insert_preference_eq("temperature in {freezing, cold}", "type", "museum".into(), 0.9)?;
+    db.insert_preference_eq(
+        "temperature in {freezing, cold}",
+        "type",
+        "museum".into(),
+        0.9,
+    )?;
 
     // Peek at the format.
     let mut buf = Vec::new();
@@ -53,9 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = db.query_state(&state)?;
     let b = restored.query_state(&state)?;
     assert_eq!(a.results.entries(), b.results.entries());
-    println!("\nquery under {} matches exactly ({} results):", state.display(&env), b.results.len());
+    println!(
+        "\nquery under {} matches exactly ({} results):",
+        state.display(&env),
+        b.results.len()
+    );
     print!("{}", restored.render_top(&b, "name", 5)?);
-    assert!(!b.results.is_empty(), "the market preference should rank Thessaloniki markets");
+    assert!(
+        !b.results.is_empty(),
+        "the market preference should rank Thessaloniki markets"
+    );
     std::fs::remove_file(&path).ok();
     Ok(())
 }

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("active domains: {:?}", active_domains(&env, &profile));
 
-    println!("\n{:<28} {:>10} {:>10} {:>14}", "ordering", "cells", "bytes", "max-cells bound");
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>14}",
+        "ordering", "cells", "bytes", "max-cells bound"
+    );
     let mut best: Option<(String, usize)> = None;
     for order in ParamOrder::all_orders(&env) {
         let tree = ProfileTree::from_profile(&profile, order.clone())?;
@@ -43,13 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.total_bytes(),
             order.max_cells(&env)
         );
-        if best.as_ref().map(|(_, c)| stats.total_cells() < *c).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(_, c)| stats.total_cells() < *c)
+            .unwrap_or(true)
+        {
             best = Some((label, stats.total_cells()));
         }
     }
 
     let serial = SerialStore::from_profile(&profile)?;
-    println!("{:<28} {:>10} {:>10}", "serial", serial.total_cells(), serial.total_bytes());
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "serial",
+        serial.total_cells(),
+        serial.total_bytes()
+    );
 
     let by_domain = ParamOrder::by_ascending_domain(&env);
     let by_active = ParamOrder::by_ascending_active_domain(&env, &profile);

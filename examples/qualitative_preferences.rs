@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|&t| rel.tuple(t).value(name).to_string())
                 .collect();
             names.truncate(6);
-            println!("  stratum {i}: {} tuples, e.g. {}", stratum.len(), names.join(", "));
+            println!(
+                "  stratum {i}: {} tuples, e.g. {}",
+                stratum.len(),
+                names.join(", ")
+            );
         }
         // Cross-check: the best stratum equals winnow.
         assert_eq!(strata[0], profile.winnow(&rel, &state)?);

@@ -34,7 +34,8 @@ fn main() {
     let mut db = MultiUserDb::new(env.clone(), rel, 16);
     for (i, demo) in all_demographics().into_iter().take(USERS).enumerate() {
         let profile = default_profile(&env, db.relation(), demo);
-        db.add_user_with_profile(&format!("user{i}"), profile).unwrap();
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
     }
     let service = CtxPrefService::new(
         db,

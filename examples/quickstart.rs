@@ -36,14 +36,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. The contextual preferences of the paper (Section 3.2 / Fig. 4).
-    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build()?;
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()?;
     db.insert_preference_eq(
         "location = Plaka and temperature = warm",
         "name",
         "Acropolis".into(),
         0.8,
     )?;
-    db.insert_preference_eq("accompanying_people = friends", "type", "brewery".into(), 0.9)?;
+    db.insert_preference_eq(
+        "accompanying_people = friends",
+        "type",
+        "brewery".into(),
+        0.9,
+    )?;
     db.insert_preference_eq(
         "location = Kifisia and temperature = warm and accompanying_people = friends",
         "type",

@@ -12,14 +12,15 @@
 
 use ctxpref::prelude::*;
 use ctxpref::workload::reference::{poi_env, poi_relation};
-use ctxpref::workload::user_study::{
-    default_profile, AgeBand, Demographics, Sex, Taste,
-};
+use ctxpref::workload::user_study::{default_profile, AgeBand, Demographics, Sex, Taste};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = poi_env();
     let rel = poi_relation(&env, 2007, 5);
-    println!("POI database: {} points of interest across Athens, Thessaloniki, Ioannina", rel.len());
+    println!(
+        "POI database: {} points of interest across Athens, Thessaloniki, Ioannina",
+        rel.len()
+    );
 
     // A 28-year-old who likes the beaten track juuust fine.
     let demo = Demographics {
@@ -48,8 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let weekend = [
-        ("Saturday, sunny morning with the family", ["Plaka", "warm", "family"]),
-        ("Saturday night out with friends", ["Ladadika", "mild", "friends"]),
+        (
+            "Saturday, sunny morning with the family",
+            ["Plaka", "warm", "family"],
+        ),
+        (
+            "Saturday night out with friends",
+            ["Ladadika", "mild", "friends"],
+        ),
         ("Rainy Sunday on her own", ["Kolonaki", "cold", "alone"]),
     ];
     for (title, ctx) in weekend {
@@ -73,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ntrace for {}:", state.display(&env));
     for r in &answer.resolutions {
         for c in &r.selected {
-            println!("  matched stored state {} at distance {}", c.state.display(&env), c.distance);
+            println!(
+                "  matched stored state {} at distance {}",
+                c.state.display(&env),
+                c.distance
+            );
         }
     }
     Ok(())

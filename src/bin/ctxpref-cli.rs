@@ -24,7 +24,9 @@ use std::time::Duration;
 use ctxpref::context::{ContextState, DistanceKind};
 use ctxpref::core::{MultiUserDb, QueryAnswer, QueryOptions, ShardedMultiUserDb};
 use ctxpref::prelude::*;
-use ctxpref::service::{CtxPrefService, DurabilityConfig, ServiceAnswer, ServiceConfig};
+use ctxpref::service::{
+    AckMode, CtxPrefService, DurabilityConfig, ReplicatedConfig, ServiceAnswer, ServiceConfig,
+};
 use ctxpref::workload::reference::{poi_env, poi_relation};
 use ctxpref::workload::user_study::{default_profile, AgeBand, Demographics, Sex, Taste};
 
@@ -45,14 +47,19 @@ impl Repl {
         Self {
             service: None,
             current: None,
-            options: QueryOptions { use_cache: true, ..QueryOptions::default() },
+            options: QueryOptions {
+                use_cache: true,
+                ..QueryOptions::default()
+            },
             top_k: 10,
             deadline: ServiceConfig::default().default_deadline,
         }
     }
 
     fn service(&self) -> Result<&CtxPrefService, String> {
-        self.service.as_ref().ok_or_else(|| "no database loaded — try `load demo`".to_string())
+        self.service
+            .as_ref()
+            .ok_or_else(|| "no database loaded — try `load demo`".to_string())
     }
 
     fn handle(&mut self, line: &str) -> Result<Option<String>, String> {
@@ -74,6 +81,9 @@ impl Repl {
             "recover" => self.cmd_recover(rest),
             "checkpoint" => self.cmd_checkpoint(),
             "wal-status" => self.cmd_wal_status(),
+            "replicate" => self.cmd_replicate(rest),
+            "promote" => self.cmd_promote(rest),
+            "repl-status" => self.cmd_repl_status(),
             "env" => self.cmd_env(),
             "context" => self.cmd_context(rest),
             "query" => self.cmd_query(rest),
@@ -87,9 +97,14 @@ impl Repl {
             "distance" => self.cmd_distance(rest),
             "stats" => self.cmd_stats(),
             "deadline" => {
-                let ms: u64 = rest.parse().map_err(|_| format!("bad deadline: {rest:?}"))?;
+                let ms: u64 = rest
+                    .parse()
+                    .map_err(|_| format!("bad deadline: {rest:?}"))?;
                 self.deadline = Duration::from_millis(ms.max(1));
-                Ok(Some(format!("per-query deadline set to {:?}", self.deadline)))
+                Ok(Some(format!(
+                    "per-query deadline set to {:?}",
+                    self.deadline
+                )))
             }
             "top" => {
                 self.top_k = rest.parse().map_err(|_| format!("bad k: {rest:?}"))?;
@@ -120,7 +135,8 @@ impl Repl {
         };
         let profile = default_profile(&env, db.relation(), demo);
         let n = profile.len();
-        db.add_user_with_profile(USER, profile).map_err(|e| e.to_string())?;
+        db.add_user_with_profile(USER, profile)
+            .map_err(|e| e.to_string())?;
         let pois = db.relation().len();
         self.install(db);
         Ok(Some(format!(
@@ -144,7 +160,9 @@ impl Repl {
         let (pois, users) = (db.relation().len(), db.user_count());
         let prefs = db.profile(USER).map(|p| p.len()).unwrap_or(0);
         self.install(db);
-        Ok(Some(format!("opened {path}: {pois} tuples, {users} user(s), {prefs} preferences")))
+        Ok(Some(format!(
+            "opened {path}: {pois} tuples, {users} user(s), {prefs} preferences"
+        )))
     }
 
     /// Restart the loaded database as a durable service: every further
@@ -155,10 +173,14 @@ impl Repl {
             return Err("usage: durable <dir>".to_string());
         }
         if std::path::Path::new(dir).join("MANIFEST").exists() {
-            return Err(format!("{dir} already holds a durable database — `recover {dir}`"));
+            return Err(format!(
+                "{dir} already holds a durable database — `recover {dir}`"
+            ));
         }
-        let service =
-            self.service.take().ok_or("no database loaded — try `load demo`")?;
+        let service = self
+            .service
+            .take()
+            .ok_or("no database loaded — try `load demo`")?;
         let db = service.shutdown();
         let service =
             CtxPrefService::new_durable(db, ServiceConfig::default(), DurabilityConfig::new(dir))
@@ -187,6 +209,89 @@ impl Repl {
              {} torn tail(s) repaired",
             report.generation, report.replayed, report.rejected, report.truncated_tails
         )))
+    }
+
+    /// Restart the loaded database as a replicated service: a
+    /// primary/replica cluster under `dir`, writes quorum-acked (or
+    /// async), automatic failover on primary death.
+    fn cmd_replicate(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let mut parts = rest.split_whitespace();
+        let dir = parts
+            .next()
+            .ok_or("usage: replicate <dir> [nodes] [async|quorum]")?;
+        let nodes: usize = match parts.next() {
+            Some(n) => n.parse().map_err(|_| format!("bad node count: {n:?}"))?,
+            None => 3,
+        };
+        if nodes < 1 {
+            return Err("a cluster needs at least one node".to_string());
+        }
+        let ack = match parts.next() {
+            None | Some("quorum") => AckMode::Quorum,
+            Some("async") => AckMode::Async,
+            Some(other) => return Err(format!("unknown ack mode {other:?} (async | quorum)")),
+        };
+        let service = self
+            .service
+            .take()
+            .ok_or("no database loaded — try `load demo`")?;
+        let db = service.shutdown();
+        let rcfg = ReplicatedConfig {
+            ack_mode: ack,
+            ..ReplicatedConfig::new(dir, nodes)
+        };
+        let service = CtxPrefService::new_replicated(db, ServiceConfig::default(), rcfg)
+            .map_err(|e| format!("{e} (database dropped — reload it)"))?;
+        service.set_query_defaults(self.options);
+        self.service = Some(service);
+        Ok(Some(format!(
+            "replicated: {nodes} node(s) under {dir}, {} acks, auto-failover on",
+            match ack {
+                AckMode::Quorum => "quorum",
+                AckMode::Async => "async",
+            }
+        )))
+    }
+
+    /// Manually promote a node to primary (majority-guarded; the
+    /// candidate catches up from every reachable peer before serving).
+    fn cmd_promote(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let id: usize = rest.trim().parse().map_err(|_| "usage: promote <node>")?;
+        let epoch = self.service()?.promote(id).map_err(|e| e.to_string())?;
+        Ok(Some(format!("node {id} promoted at epoch {epoch}")))
+    }
+
+    fn cmd_repl_status(&self) -> Result<Option<String>, String> {
+        let status = self
+            .service()?
+            .replication_status()
+            .map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "primary {}, epoch {}, max lag {} record(s)\n",
+            match status.primary {
+                Some(p) => format!("node {p}"),
+                None => "none (failover pending)".to_string(),
+            },
+            status.epoch,
+            status.max_lag
+        );
+        for n in &status.nodes {
+            out.push_str(&format!(
+                "node {}: {}{}, epoch {}, {} record(s) applied\n",
+                n.id,
+                if n.live { "live" } else { "down" },
+                if n.is_primary { " PRIMARY" } else { "" },
+                n.epoch,
+                n.applied
+            ));
+        }
+        let history: Vec<String> = status
+            .promotions
+            .iter()
+            .map(|(e, n)| format!("epoch {e} → node {n}"))
+            .collect();
+        out.push_str(&format!("promotions: {}", history.join(", ")));
+        Ok(Some(out))
     }
 
     fn cmd_checkpoint(&self) -> Result<Option<String>, String> {
@@ -301,9 +406,10 @@ impl Repl {
                     current.ok_or("no context — use `context <values>` or pass a descriptor")?;
                 // Bypass the cache: an explanation needs the resolution
                 // trace, which cached answers do not carry.
-                let ecod = ctxpref::context::ExtendedContextDescriptor::from(
-                    descriptor_of(db.env(), &state),
-                );
+                let ecod = ctxpref::context::ExtendedContextDescriptor::from(descriptor_of(
+                    db.env(),
+                    &state,
+                ));
                 db.query(USER, &ecod).map_err(|e| e.to_string())?
             } else {
                 let ecod = ctxpref::context::parse_extended_descriptor(db.env(), rest)
@@ -331,7 +437,9 @@ impl Repl {
         let (assign, score) = clause
             .rsplit_once('@')
             .ok_or("syntax: pref <descriptor> :: <attr> = <value> @ <score>")?;
-        let (attr, value) = assign.split_once('=').ok_or("expected `<attr> = <value>`")?;
+        let (attr, value) = assign
+            .split_once('=')
+            .ok_or("expected `<attr> = <value>`")?;
         let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
         self.service()?
             .insert_preference_eq(USER, cod.trim(), attr.trim(), value.trim().into(), score)
@@ -360,14 +468,20 @@ impl Repl {
 
     fn cmd_del(&mut self, rest: &str) -> Result<Option<String>, String> {
         let index: usize = rest.trim().parse().map_err(|_| "usage: del <index>")?;
-        let removed =
-            self.service()?.remove_preference(USER, index).map_err(|e| e.to_string())?;
-        Ok(Some(format!("removed preference scoring {:.2}", removed.score())))
+        let removed = self
+            .service()?
+            .remove_preference(USER, index)
+            .map_err(|e| e.to_string())?;
+        Ok(Some(format!(
+            "removed preference scoring {:.2}",
+            removed.score()
+        )))
     }
 
     fn cmd_score(&mut self, rest: &str) -> Result<Option<String>, String> {
-        let (idx, score) =
-            rest.split_once(char::is_whitespace).ok_or("usage: score <index> <score>")?;
+        let (idx, score) = rest
+            .split_once(char::is_whitespace)
+            .ok_or("usage: score <index> <score>")?;
         let index: usize = idx.trim().parse().map_err(|_| "bad index")?;
         let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
         self.service()?
@@ -450,6 +564,12 @@ impl Repl {
                 s.wal_appends, s.group_commit_batches, s.checkpoints, s.recovered_lsn
             ));
         }
+        if service.is_replicated() {
+            out.push_str(&format!(
+                "\nreplication epoch {}, max lag {}, failovers {}",
+                s.replication_epoch, s.replication_max_lag, s.failovers
+            ));
+        }
         Ok(Some(out))
     }
 }
@@ -459,7 +579,9 @@ fn render_answer(
     answer: &QueryAnswer,
     k: usize,
 ) -> Result<String, String> {
-    let mut out = db.render_top(answer, "name", k).map_err(|e| e.to_string())?;
+    let mut out = db
+        .render_top(answer, "name", k)
+        .map_err(|e| e.to_string())?;
     if answer.results.is_empty() {
         out.push_str("(no results — no stored preference covers this context)\n");
     }
@@ -508,8 +630,7 @@ fn open_any(path: &str) -> Result<MultiUserDb, String> {
         Err(multi_err) => {
             let single = ctxpref::storage::load_database(path)
                 .map_err(|_| format!("failed to load {path}: {multi_err}"))?;
-            let mut db =
-                MultiUserDb::new(single.env().clone(), single.relation().clone(), 64);
+            let mut db = MultiUserDb::new(single.env().clone(), single.relation().clone(), 64);
             db.add_user_with_profile(USER, single.profile().clone())
                 .map_err(|e| e.to_string())?;
             Ok(db)
@@ -526,6 +647,9 @@ commands:
   recover <dir>             recover a durable database (checkpoint + WAL replay)
   checkpoint                snapshot now and shrink the log's replay window
   wal-status                per-shard log positions and durability counters
+  replicate <dir> [n] [async|quorum]   serve as an n-node primary/replica cluster
+  promote <node>            manually promote a node to primary
+  repl-status               roles, epochs, lag, and promotion history
   env                       show context parameters and hierarchies
   context [v1 v2 v3]        set / show the current context state
   query [descriptor]        query the current or a hypothetical context
@@ -599,5 +723,7 @@ fn run() -> i32 {
 /// explicit environment override, default to non-interactive when lines
 /// are piped (the common scripted case prints no prompts).
 fn atty_stdin() -> bool {
-    std::env::var("CTXPREF_INTERACTIVE").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CTXPREF_INTERACTIVE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

@@ -40,13 +40,14 @@
 pub use ctxpref_context as context;
 pub use ctxpref_core as core;
 pub use ctxpref_faults as faults;
-pub use ctxpref_service as service;
 pub use ctxpref_hierarchy as hierarchy;
 pub use ctxpref_profile as profile;
 pub use ctxpref_qcache as qcache;
 pub use ctxpref_qualitative as qualitative;
 pub use ctxpref_relation as relation;
+pub use ctxpref_replication as replication;
 pub use ctxpref_resolve as resolve;
+pub use ctxpref_service as service;
 pub use ctxpref_storage as storage;
 pub use ctxpref_wal as wal;
 pub use ctxpref_workload as workload;

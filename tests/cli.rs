@@ -56,7 +56,10 @@ fn preference_lifecycle_session() {
     assert!(stderr.is_empty(), "stderr: {stderr}");
     assert!(stdout.contains("preference stored"));
     assert!(stdout.contains("theater"));
-    assert!(stdout.contains("theater_"), "the new preference surfaces: {stdout}");
+    assert!(
+        stdout.contains("theater_"),
+        "the new preference surfaces: {stdout}"
+    );
     assert!(stdout.contains("ProfileTree["));
     assert!(stdout.contains("cells"));
 }
@@ -114,8 +117,14 @@ fn save_and_open_roundtrip() {
     let (stdout, stderr) = run_script(&script);
     assert!(stderr.is_empty(), "stderr: {stderr}");
     assert!(stdout.contains("saved to"));
-    assert!(stdout.contains("59 preferences"), "profile persisted: {stdout}");
-    assert!(stdout.contains("theater_"), "persisted preference applies: {stdout}");
+    assert!(
+        stdout.contains("59 preferences"),
+        "profile persisted: {stdout}"
+    );
+    assert!(
+        stdout.contains("theater_"),
+        "persisted preference applies: {stdout}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -146,7 +155,10 @@ fn load_failure_exits_non_zero() {
         .write_all(b"open /definitely/not/a/real/path.db\nquit\n")
         .expect("script written");
     let out = child.wait_with_output().expect("cli exits");
-    assert!(!out.status.success(), "expected non-zero exit from scripted open failure");
+    assert!(
+        !out.status.success(),
+        "expected non-zero exit from scripted open failure"
+    );
 }
 
 #[test]
@@ -162,7 +174,10 @@ fn served_queries_report_ladder_and_stats() {
     );
     assert!(stderr.is_empty(), "stderr: {stderr}");
     assert!(stdout.contains("per-query deadline set to 250ms"));
-    assert!(stdout.contains("[served from the context query tree]"), "{stdout}");
+    assert!(
+        stdout.contains("[served from the context query tree]"),
+        "{stdout}"
+    );
     assert!(stdout.contains("1 cached, 1 exact"), "{stdout}");
     assert!(stdout.contains("contained panics 0"));
 }

@@ -41,11 +41,7 @@ fn every_detailed_context_gets_an_answer() {
     for &r in loc.domain(loc.detailed_level()).iter().take(4) {
         for &t in tmp.domain(tmp.detailed_level()) {
             for &p in ppl.domain(ppl.detailed_level()) {
-                let state = ContextState::new(
-                    &env,
-                    vec![r, t, p],
-                )
-                .unwrap();
+                let state = ContextState::new(&env, vec![r, t, p]).unwrap();
                 let a = db.query_state(&state).unwrap();
                 assert!(
                     !a.results.is_empty(),
@@ -73,7 +69,10 @@ fn scores_stay_in_unit_interval_and_sorted() {
     let entries = a.results.entries();
     assert!(!entries.is_empty());
     for w in entries.windows(2) {
-        assert!(w[0].score >= w[1].score, "results must be sorted descending");
+        assert!(
+            w[0].score >= w[1].score,
+            "results must be sorted descending"
+        );
     }
     for e in entries {
         assert!((0.0..=1.0).contains(&e.score));
@@ -172,7 +171,11 @@ fn mixed_schema_thetas_rank() {
     let mut rel = Relation::new("poi", schema);
     rel.insert(vec!["cheap".into(), 3.0.into()]).unwrap();
     rel.insert(vec!["pricey".into(), 30.0.into()]).unwrap();
-    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()
+        .unwrap();
     db.insert_preference_cmp(
         "accompanying_people = alone",
         "cost",

@@ -24,7 +24,10 @@ fn hierarchy_errors_name_the_offenders() {
     b.add("hi", "t", None).unwrap();
     b.add("lo", "child", Some("ghost")).unwrap();
     let e = b.build().unwrap_err();
-    assert!(e.to_string().contains("ghost") && e.to_string().contains("child"), "{e}");
+    assert!(
+        e.to_string().contains("ghost") && e.to_string().contains("child"),
+        "{e}"
+    );
 
     let e = HierarchyBuilder::new("x", &[]).build().unwrap_err();
     assert_eq!(e, HierarchyError::NoLevels);
@@ -46,10 +49,16 @@ fn context_errors_locate_the_problem() {
     assert!(e.to_string().contains("byte"));
 
     let e = parse_descriptor(&env, "location = Sparta").unwrap_err();
-    assert!(e.to_string().contains("Sparta") && e.to_string().contains("location"), "{e}");
+    assert!(
+        e.to_string().contains("Sparta") && e.to_string().contains("location"),
+        "{e}"
+    );
 
     let e = ContextState::parse(&env, &["Plaka"]).unwrap_err();
-    assert!(e.to_string().contains("3") && e.to_string().contains("1"), "{e}");
+    assert!(
+        e.to_string().contains("3") && e.to_string().contains("1"),
+        "{e}"
+    );
 }
 
 #[test]
@@ -57,8 +66,13 @@ fn profile_conflict_reports_scores_and_chains_sources() {
     let env = reference_env();
     let schema = Schema::new(&[("name", AttrType::Str)]).unwrap();
     let rel = Relation::new("r", schema);
-    let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
-    db.insert_preference_eq("temperature = warm", "name", "Acropolis".into(), 0.8).unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env)
+        .relation(rel)
+        .build()
+        .unwrap();
+    db.insert_preference_eq("temperature = warm", "name", "Acropolis".into(), 0.8)
+        .unwrap();
     let e = db
         .insert_preference_eq("temperature = warm", "name", "Acropolis".into(), 0.3)
         .unwrap_err();
@@ -66,7 +80,11 @@ fn profile_conflict_reports_scores_and_chains_sources() {
     assert!(msg.contains("0.8") && msg.contains("0.3"), "{msg}");
     // The core error chains to the profile error.
     match &e {
-        CoreError::Profile(ProfileError::Conflict { existing_score, new_score, .. }) => {
+        CoreError::Profile(ProfileError::Conflict {
+            existing_score,
+            new_score,
+            ..
+        }) => {
             assert_eq!(*existing_score, 0.8);
             assert_eq!(*new_score, 0.3);
         }
@@ -81,14 +99,21 @@ fn relation_errors_name_attribute_and_types() {
     let mut rel = Relation::new("r", schema);
     let e = rel.insert(vec!["oops".into()]).unwrap_err();
     match &e {
-        RelationError::TypeMismatch { attr, expected, got } => {
+        RelationError::TypeMismatch {
+            attr,
+            expected,
+            got,
+        } => {
             assert_eq!(attr, "cost");
             assert_eq!(*expected, AttrType::Float);
             assert_eq!(*got, AttrType::Str);
         }
         other => panic!("expected TypeMismatch, got {other:?}"),
     }
-    assert!(e.to_string().contains("cost") && e.to_string().contains("float"), "{e}");
+    assert!(
+        e.to_string().contains("cost") && e.to_string().contains("float"),
+        "{e}"
+    );
 }
 
 #[test]
@@ -96,7 +121,11 @@ fn invalid_scores_are_rejected_with_value() {
     let env = reference_env();
     let schema = Schema::new(&[("name", AttrType::Str)]).unwrap();
     let rel = Relation::new("r", schema);
-    let mut db = ContextualDb::builder().env(env).relation(rel).build().unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env)
+        .relation(rel)
+        .build()
+        .unwrap();
     let e = db
         .insert_preference_eq("temperature = warm", "name", "X".into(), 1.7)
         .unwrap_err();

@@ -17,8 +17,10 @@ fn tree_fingerprint(tree: &ProfileTree) -> Vec<String> {
         .paths()
         .iter()
         .map(|(s, entries)| {
-            let mut es: Vec<String> =
-                entries.iter().map(|e| format!("{:?}@{}", e.clause, e.score)).collect();
+            let mut es: Vec<String> = entries
+                .iter()
+                .map(|e| format!("{:?}@{}", e.clause, e.score))
+                .collect();
             es.sort();
             format!("{}::{}", s.display(env), es.join("|"))
         })
@@ -130,8 +132,7 @@ fn update_state_entry_changes_scores_in_place() {
     };
     let env = spec.build_env();
     let profile = spec.build_profile(&env);
-    let mut tree =
-        ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
+    let mut tree = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
     let pref = &profile.preferences()[0];
     let state = &pref.descriptor().states(&env).unwrap()[0];
     assert!(tree.update_state_entry(state, pref.clause(), 0.42));
@@ -145,19 +146,27 @@ fn update_state_entry_changes_scores_in_place() {
 
 #[test]
 fn facade_update_detects_conflicts_and_preserves_shared_entries() {
-    let env = ctxpref::context::ContextEnvironment::new(vec![
-        ctxpref::hierarchy::Hierarchy::flat("weather", &["cold", "warm", "hot"]).unwrap(),
-    ])
+    let env = ctxpref::context::ContextEnvironment::new(vec![ctxpref::hierarchy::Hierarchy::flat(
+        "weather",
+        &["cold", "warm", "hot"],
+    )
+    .unwrap()])
     .unwrap();
     let schema = Schema::new(&[("name", AttrType::Str)]).unwrap();
     let mut rel = Relation::new("r", schema);
     rel.insert(vec!["a".into()]).unwrap();
-    let mut db = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()
+        .unwrap();
 
     // Two preferences sharing the (warm) state with the same clause and
     // score via different descriptors.
-    db.insert_preference_eq("weather in {warm, hot}", "name", "a".into(), 0.5).unwrap();
-    db.insert_preference_eq("weather in {cold, warm}", "name", "a".into(), 0.5).unwrap();
+    db.insert_preference_eq("weather in {warm, hot}", "name", "a".into(), 0.5)
+        .unwrap();
+    db.insert_preference_eq("weather in {cold, warm}", "name", "a".into(), 0.5)
+        .unwrap();
 
     // Updating either one would leave (warm) scored twice → conflict.
     let err = db.update_preference_score(0, 0.9).unwrap_err();
@@ -213,7 +222,11 @@ fn facade_edits_match_fresh_database() {
     }
 
     // Fresh DB from the edited logical profile.
-    let mut fresh = ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap();
+    let mut fresh = ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()
+        .unwrap();
     let edited: Profile = db.profile().clone();
     for pref in edited.iter() {
         fresh.insert_preference(pref.clone()).unwrap();
@@ -222,7 +235,12 @@ fn facade_edits_match_fresh_database() {
     for q in random_query_states(&env, 25, 0.4, 13) {
         let a = db.query_state(&q).unwrap();
         let b = fresh.query_state(&q).unwrap();
-        assert_eq!(a.results.entries(), b.results.entries(), "q = {}", q.display(&env));
+        assert_eq!(
+            a.results.entries(),
+            b.results.entries(),
+            "q = {}",
+            q.display(&env)
+        );
     }
     assert_eq!(db.tree_stats(), fresh.tree_stats());
 }

@@ -29,7 +29,11 @@ fn week_lattice() -> ctxpref::hierarchy::LatticeHierarchy {
 fn poi() -> Relation {
     let schema = Schema::new(&[("name", AttrType::Str), ("type", AttrType::Str)]).unwrap();
     let mut rel = Relation::new("poi", schema);
-    for (n, t) in [("Mikro", "brewery"), ("Benaki", "museum"), ("Agora", "market")] {
+    for (n, t) in [
+        ("Mikro", "brewery"),
+        ("Benaki", "museum"),
+        ("Agora", "market"),
+    ] {
         rel.insert(vec![n.into(), t.into()]).unwrap();
     }
     rel
@@ -41,12 +45,17 @@ fn both_branches_participate_in_resolution() {
     let chains = lattice.decompose().unwrap();
     assert_eq!(chains.len(), 2);
     let env = ctxpref::context::ContextEnvironment::new(chains).unwrap();
-    let mut db = ContextualDb::builder().env(env.clone()).relation(poi()).build().unwrap();
+    let mut db = ContextualDb::builder()
+        .env(env.clone())
+        .relation(poi())
+        .build()
+        .unwrap();
 
     // One preference per branch, at branch level.
     db.insert_preference_eq("time_partofday = evening", "type", "brewery".into(), 0.9)
         .unwrap();
-    db.insert_preference_eq("time_daytype = weekend", "type", "market".into(), 0.8).unwrap();
+    db.insert_preference_eq("time_daytype = weekend", "type", "market".into(), 0.8)
+        .unwrap();
 
     // A concrete slot appears in BOTH parameters (the same detailed
     // value names exist in both chains) — a consistent current context
@@ -57,7 +66,11 @@ fn both_branches_participate_in_resolution() {
     // Both preferences are applicable: (evening, all) and (all, weekend)
     // tie at hierarchy distance 3 → both selected.
     let scores: Vec<f64> = answer.results.entries().iter().map(|e| e.score).collect();
-    assert_eq!(scores, vec![0.9, 0.8], "both lattice branches contribute: {scores:?}");
+    assert_eq!(
+        scores,
+        vec![0.9, 0.8],
+        "both lattice branches contribute: {scores:?}"
+    );
 
     // A weekday morning matches neither.
     let state = ContextState::parse(&env, &["mon_morning", "mon_morning"]).unwrap();
@@ -68,8 +81,7 @@ fn both_branches_participate_in_resolution() {
 #[test]
 fn lattice_derived_database_round_trips_through_storage() {
     let lattice = week_lattice();
-    let env =
-        ctxpref::context::ContextEnvironment::new(lattice.decompose().unwrap()).unwrap();
+    let env = ctxpref::context::ContextEnvironment::new(lattice.decompose().unwrap()).unwrap();
     let mut db = ContextualDb::builder()
         .env(env.clone())
         .relation(poi())

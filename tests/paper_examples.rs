@@ -1,9 +1,9 @@
 //! End-to-end checks of every concrete example in the paper's text,
 //! across all crates.
 
-use ctxpref::prelude::*;
 use ctxpref::context::{parse_descriptor, DistanceKind};
 use ctxpref::hierarchy::LevelId;
+use ctxpref::prelude::*;
 use ctxpref::profile::AccessCounter;
 use ctxpref::relation::AttrType;
 use ctxpref::workload::reference::reference_env;
@@ -27,8 +27,11 @@ fn section_3_1_anc_desc() {
         .collect();
     assert_eq!(names, vec!["Plaka", "Kifisia"]);
     // desc^Country_City(Greece) = {Athens, Ioannina}.
-    let names: Vec<&str> =
-        loc.desc(greece, city).into_iter().map(|v| loc.value_name(v)).collect();
+    let names: Vec<&str> = loc
+        .desc(greece, city)
+        .into_iter()
+        .map(|v| loc.value_name(v))
+        .collect();
     assert_eq!(names, vec!["Athens", "Ioannina"]);
 }
 
@@ -49,7 +52,10 @@ fn section_3_1_descriptor_expansion() {
         .iter()
         .map(|s| s.display(&env).to_string())
         .collect();
-    assert_eq!(states, vec!["(Plaka, warm, friends)", "(Plaka, hot, friends)"]);
+    assert_eq!(
+        states,
+        vec!["(Plaka, warm, friends)", "(Plaka, hot, friends)"]
+    );
     // temperature ∈ [mild, hot] = {mild, warm, hot}.
     let cod = parse_descriptor(&env, "temperature in [mild, hot]").unwrap();
     assert_eq!(cod.state_count(&env).unwrap(), 3);
@@ -66,7 +72,11 @@ fn poi_db(env: &ContextEnvironment) -> ContextualDb {
     ] {
         rel.insert(vec![n.into(), t.into()]).unwrap();
     }
-    ContextualDb::builder().env(env.clone()).relation(rel).build().unwrap()
+    ContextualDb::builder()
+        .env(env.clone())
+        .relation(rel)
+        .build()
+        .unwrap()
 }
 
 /// Section 3.2: contextual_preference1–3 insert cleanly; the Acropolis
@@ -82,8 +92,13 @@ fn section_3_2_preferences_and_conflict() {
         0.8,
     )
     .unwrap();
-    db.insert_preference_eq("accompanying_people = friends", "type", "brewery".into(), 0.9)
-        .unwrap();
+    db.insert_preference_eq(
+        "accompanying_people = friends",
+        "type",
+        "brewery".into(),
+        0.9,
+    )
+    .unwrap();
     db.insert_preference_eq(
         "location = Plaka and temperature in {warm, hot}",
         "name",
@@ -109,11 +124,8 @@ fn section_3_2_preferences_and_conflict() {
 fn figure_4_profile_tree() {
     let env = reference_env();
     // Order as in the figure: people, temperature, location.
-    let order = ParamOrder::by_names(
-        &env,
-        &["accompanying_people", "temperature", "location"],
-    )
-    .unwrap();
+    let order =
+        ParamOrder::by_names(&env, &["accompanying_people", "temperature", "location"]).unwrap();
     let mut profile = Profile::new(env.clone());
     let ty = AttributeClause::eq(ctxpref::relation::AttrId(1), "cafeteria".into());
     for (cod, clause, score) in [
@@ -145,8 +157,11 @@ fn figure_4_profile_tree() {
             .unwrap();
     }
     let tree = ProfileTree::from_profile(&profile, order).unwrap();
-    let mut paths: Vec<String> =
-        tree.paths().iter().map(|(s, _)| s.display(&env).to_string()).collect();
+    let mut paths: Vec<String> = tree
+        .paths()
+        .iter()
+        .map(|(s, _)| s.display(&env).to_string())
+        .collect();
     paths.sort();
     assert_eq!(
         paths,
@@ -172,8 +187,11 @@ fn section_4_2_more_specific_wins() {
         0.6,
     )
     .unwrap();
-    db.insert_preference_eq("temperature = warm", "type", "museum".into(), 0.9).unwrap();
-    let a = db.query_str("location = Athens and temperature = warm").unwrap();
+    db.insert_preference_eq("temperature = warm", "type", "museum".into(), 0.9)
+        .unwrap();
+    let a = db
+        .query_str("location = Athens and temperature = warm")
+        .unwrap();
     // The Greece preference (Acropolis, 0.6) wins over the more general
     // one despite its lower score.
     assert_eq!(a.results.len(), 1);
@@ -208,7 +226,9 @@ fn section_4_2_tie_both_match() {
         0.9,
     )
     .unwrap();
-    let a = db.query_str("location = Athens and temperature = warm").unwrap();
+    let a = db
+        .query_str("location = Athens and temperature = warm")
+        .unwrap();
     // Under TieBreak::All both preferences apply.
     assert_eq!(a.resolutions[0].selected.len(), 2);
     assert_eq!(a.results.len(), 2);
@@ -225,8 +245,11 @@ fn section_4_4_exact_traversal_cost() {
             profile
                 .insert(
                     ctxpref::profile::ContextualPreference::new(
-                        parse_descriptor(&env, &format!("location = {region} and temperature = {temp}"))
-                            .unwrap(),
+                        parse_descriptor(
+                            &env,
+                            &format!("location = {region} and temperature = {temp}"),
+                        )
+                        .unwrap(),
                         AttributeClause::eq(ctxpref::relation::AttrId(0), "X".into()),
                         0.1 + (i * 2 + j) as f64 / 10.0,
                     )
@@ -242,7 +265,12 @@ fn section_4_4_exact_traversal_cost() {
     let mut sc = AccessCounter::new();
     assert!(tree.exact_lookup(&q, &mut tc).is_some());
     assert!(!serial.exact_lookup(&q, &mut sc).is_empty());
-    assert!(tc.cells() < sc.cells(), "tree {} vs serial {}", tc.cells(), sc.cells());
+    assert!(
+        tc.cells() < sc.cells(),
+        "tree {} vs serial {}",
+        tc.cells(),
+        sc.cells()
+    );
     // Tree bound: Σ |edom(Ci)|.
     let bound: u64 = env.iter().map(|(_, h)| h.edom_size() as u64).sum();
     assert!(tc.cells() <= bound);
@@ -269,6 +297,9 @@ fn jaccard_breaks_hierarchy_ties() {
         (dj1 - dj2).abs() > 1e-9,
         "jaccard breaks the tie: {dj1} vs {dj2}"
     );
-    assert!(dj1 < dj2, "Athens (2 regions) is closer than good (3 conditions)");
+    assert!(
+        dj1 < dj2,
+        "Athens (2 regions) is closer than good (3 conditions)"
+    );
     let _ = DistanceKind::Jaccard;
 }

@@ -11,12 +11,15 @@ use proptest::prelude::*;
 /// Random small workload specs (kept small so each case is fast).
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
     (
-        1usize..=3,            // hierarchy shape selector for param 1
-        1usize..=3,            // … param 2
-        1usize..=3,            // … param 3
-        10usize..=120,         // preferences
-        prop_oneof![Just(ValueDist::Uniform), (0.5f64..2.5).prop_map(ValueDist::Zipf)],
-        0u64..1000,            // seed
+        1usize..=3,    // hierarchy shape selector for param 1
+        1usize..=3,    // … param 2
+        1usize..=3,    // … param 3
+        10usize..=120, // preferences
+        prop_oneof![
+            Just(ValueDist::Uniform),
+            (0.5f64..2.5).prop_map(ValueDist::Zipf)
+        ],
+        0u64..1000, // seed
     )
         .prop_map(|(s1, s2, s3, n, dist, seed)| {
             let shape = |s: usize| match s {

@@ -28,8 +28,8 @@ fn exact_lookup_agrees() {
     for spec in specs() {
         let env = spec.build_env();
         let profile = spec.build_profile(&env);
-        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
-            .unwrap();
+        let tree =
+            ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env)).unwrap();
         let serial = SerialStore::from_profile(&profile).unwrap();
         let hits = stored_query_states(&env, &profile, 20, 10 + spec.seed);
         let misses = random_query_states(&env, 20, 0.0, 20 + spec.seed);
@@ -61,8 +61,8 @@ fn covering_candidates_agree() {
     for spec in specs() {
         let env = spec.build_env();
         let profile = spec.build_profile(&env);
-        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
-            .unwrap();
+        let tree =
+            ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env)).unwrap();
         let serial = SerialStore::from_profile(&profile).unwrap();
         let queries = random_query_states(&env, 30, 0.5, 30 + spec.seed);
         for q in &queries {
@@ -72,12 +72,22 @@ fn covering_candidates_agree() {
                 let mut t: Vec<(String, String)> = tree
                     .search_cs(q, kind, &mut c1)
                     .into_iter()
-                    .map(|c| (c.state.display(&env).to_string(), format!("{:.9}", c.distance)))
+                    .map(|c| {
+                        (
+                            c.state.display(&env).to_string(),
+                            format!("{:.9}", c.distance),
+                        )
+                    })
                     .collect();
                 let mut s: Vec<(String, String)> = serial
                     .search_covering(q, kind, &mut c2)
                     .into_iter()
-                    .map(|c| (c.state.display(&env).to_string(), format!("{:.9}", c.distance)))
+                    .map(|c| {
+                        (
+                            c.state.display(&env).to_string(),
+                            format!("{:.9}", c.distance),
+                        )
+                    })
                     .collect();
                 // Serial lists one candidate per record; dedupe states.
                 t.sort();
@@ -95,8 +105,8 @@ fn resolution_agrees_including_ties() {
     for spec in specs() {
         let env = spec.build_env();
         let profile = spec.build_profile(&env);
-        let tree = ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env))
-            .unwrap();
+        let tree =
+            ProfileTree::from_profile(&profile, ParamOrder::by_ascending_domain(&env)).unwrap();
         let serial = SerialStore::from_profile(&profile).unwrap();
         let queries = random_query_states(&env, 30, 0.3, 40 + spec.seed);
         for q in &queries {
@@ -104,10 +114,16 @@ fn resolution_agrees_including_ties() {
                 let rt = ContextResolver::new(&tree, kind, TieBreak::All).resolve_state(q);
                 let rs = ContextResolver::new(&serial, kind, TieBreak::All).resolve_state(q);
                 assert_eq!(rt.outcome, rs.outcome);
-                let mut st: Vec<String> =
-                    rt.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
-                let mut ss: Vec<String> =
-                    rs.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
+                let mut st: Vec<String> = rt
+                    .selected
+                    .iter()
+                    .map(|c| c.state.display(&env).to_string())
+                    .collect();
+                let mut ss: Vec<String> = rs
+                    .selected
+                    .iter()
+                    .map(|c| c.state.display(&env).to_string())
+                    .collect();
                 st.sort();
                 st.dedup();
                 ss.sort();
@@ -123,8 +139,7 @@ fn reordered_trees_are_equivalent() {
     for spec in specs() {
         let env = spec.build_env();
         let profile = spec.build_profile(&env);
-        let base =
-            ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
+        let base = ProfileTree::from_profile(&profile, ParamOrder::identity(&env)).unwrap();
         let queries = random_query_states(&env, 20, 0.4, 50 + spec.seed);
         for order in ParamOrder::all_orders(&env) {
             let tree = base.reorder(order).unwrap();
@@ -135,10 +150,16 @@ fn reordered_trees_are_equivalent() {
                 let rt = ContextResolver::new(&tree, DistanceKind::Hierarchy, TieBreak::All)
                     .resolve_state(q);
                 assert_eq!(rb.outcome, rt.outcome);
-                let mut sb: Vec<String> =
-                    rb.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
-                let mut st: Vec<String> =
-                    rt.selected.iter().map(|c| c.state.display(&env).to_string()).collect();
+                let mut sb: Vec<String> = rb
+                    .selected
+                    .iter()
+                    .map(|c| c.state.display(&env).to_string())
+                    .collect();
+                let mut st: Vec<String> = rt
+                    .selected
+                    .iter()
+                    .map(|c| c.state.display(&env).to_string())
+                    .collect();
                 sb.sort();
                 st.sort();
                 assert_eq!(sb, st);

@@ -107,7 +107,9 @@ pub struct Criterion {}
 impl Criterion {
     /// Start a named group.
     pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.to_string() }
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
     }
 
     /// Run one stand-alone benchmark.
@@ -154,7 +156,8 @@ mod tests {
         let mut calls = 0;
         {
             let mut g = c.benchmark_group("g");
-            g.sample_size(5).bench_function("f", |b| b.iter(|| calls += 1));
+            g.sample_size(5)
+                .bench_function("f", |b| b.iter(|| calls += 1));
             g.bench_with_input(BenchmarkId::new("w", 3), &3, |b, &x| {
                 b.iter(|| black_box(x * 2));
             });

@@ -33,7 +33,9 @@ pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
 where
     F: FnOnce(&Scope<'_, 'env>) -> R,
 {
-    catch_unwind(AssertUnwindSafe(|| thread::scope(|s| f(&Scope { inner: s }))))
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
 }
 
 #[cfg(test)]

@@ -47,7 +47,9 @@ pub mod test_runner {
     impl TestRng {
         /// A generator seeded from raw bits.
         pub fn from_seed(seed: u64) -> Self {
-            Self { state: seed ^ 0x6a09_e667_f3bc_c909 }
+            Self {
+                state: seed ^ 0x6a09_e667_f3bc_c909,
+            }
         }
 
         /// The deterministic per-test generator: seeded from the test's
@@ -310,7 +312,9 @@ mod tests {
         for _ in 0..100 {
             let v = s.generate(&mut rng);
             assert!(!v.is_empty() && v.len() < 8);
-            assert!(v.iter().all(|&x| x == 1 || (x >= 10 && x < 20 && x % 2 == 0)));
+            assert!(v
+                .iter()
+                .all(|&x| x == 1 || (x >= 10 && x < 20 && x % 2 == 0)));
         }
     }
 

@@ -37,7 +37,11 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Filter { inner: self, reason: reason.to_string(), keep }
+        Filter {
+            inner: self,
+            reason: reason.to_string(),
+            keep,
+        }
     }
 
     /// Type-erase the strategy.
@@ -101,7 +105,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter rejected 10000 consecutive draws: {}", self.reason);
+        panic!(
+            "prop_filter rejected 10000 consecutive draws: {}",
+            self.reason
+        );
     }
 }
 
@@ -228,9 +235,9 @@ impl_tuple_strategy! {
 /// of ASCII, escapes' own metacharacters, whitespace (but not `\n`,
 /// which regex `.` excludes), and multi-byte code points.
 const PATTERN_CHARS: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', '_', '-', '.', ',', ';',
-    ':', '!', '?', '/', '|', '(', ')', '[', ']', '{', '}', '=', '*', '@', '#', '\'', '"', '`',
-    '\\', ' ', ' ', '\t', '\r', '\u{85}', '\u{2028}', 'é', 'ß', 'λ', 'Ω', '中', '🦀',
+    'a', 'b', 'c', 'd', 'e', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', '_', '-', '.', ',', ';', ':',
+    '!', '?', '/', '|', '(', ')', '[', ']', '{', '}', '=', '*', '@', '#', '\'', '"', '`', '\\',
+    ' ', ' ', '\t', '\r', '\u{85}', '\u{2028}', 'é', 'ß', 'λ', 'Ω', '中', '🦀',
 ];
 
 /// String patterns used as strategies (`".{0,20}"`, `".*"`, `".+"`).
@@ -243,7 +250,9 @@ impl Strategy for &'static str {
         let (lo, hi) = parse_dot_pattern(self)
             .unwrap_or_else(|| panic!("unsupported string strategy pattern {self:?}"));
         let n = lo + rng.below(hi - lo + 1);
-        (0..n).map(|_| PATTERN_CHARS[rng.below(PATTERN_CHARS.len())]).collect()
+        (0..n)
+            .map(|_| PATTERN_CHARS[rng.below(PATTERN_CHARS.len())])
+            .collect()
     }
 }
 
@@ -275,8 +284,7 @@ mod tests {
     fn union_respects_weights_loosely() {
         let mut rng = TestRng::from_seed(9);
         let u = Union::new(vec![(9, Just(0u8).boxed()), (1, Just(1u8).boxed())]);
-        let ones: usize =
-            (0..1000).map(|_| usize::from(u.generate(&mut rng))).sum();
+        let ones: usize = (0..1000).map(|_| usize::from(u.generate(&mut rng))).sum();
         assert!(ones < 300, "ones = {ones}");
     }
 }
