@@ -1,10 +1,12 @@
 //! Serving-core benchmark driver: global-lock vs sharded core (PR 2),
-//! WAL fsync policies (PR 3), and replication ack modes (PR 4).
+//! WAL fsync policies (PR 3), replication ack modes (PR 4), and the
+//! loopback network path (PR 5).
 //!
 //! ```text
 //! cargo run -p ctxpref-bench --release --bin serving_bench               # serving run → BENCH_PR2.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --durability # fsync policies → BENCH_PR3.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --replication # ack modes + failover → BENCH_PR4.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --net      # loopback vs in-process → BENCH_PR5.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick    # CI smoke (short window, no hard gate)
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
 //! ```
@@ -18,6 +20,7 @@
 use std::time::Duration;
 
 use ctxpref_bench::durability::{self, DurabilityBenchConfig};
+use ctxpref_bench::net::{self, NetBenchConfig};
 use ctxpref_bench::replication::{self, ReplicationBenchConfig};
 use ctxpref_bench::serving::{self, ServingBenchConfig};
 use ctxpref_bench::ShapeCheck;
@@ -27,13 +30,16 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let durability_mode = args.iter().any(|a| a == "--durability");
     let replication_mode = args.iter().any(|a| a == "--replication");
+    let net_mode = args.iter().any(|a| a == "--net");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if replication_mode {
+            if net_mode {
+                "BENCH_PR5.json"
+            } else if replication_mode {
                 "BENCH_PR4.json"
             } else if durability_mode {
                 "BENCH_PR3.json"
@@ -43,7 +49,14 @@ fn main() {
             .to_string()
         });
 
-    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if replication_mode {
+    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if net_mode {
+        let mut cfg = NetBenchConfig::default();
+        if quick {
+            cfg.window = Duration::from_millis(250);
+        }
+        let report = net::run(cfg);
+        (report.render(), report.to_json(), report.checks)
+    } else if replication_mode {
         let mut cfg = ReplicationBenchConfig::default();
         if quick {
             cfg.window = Duration::from_millis(250);

@@ -26,6 +26,7 @@ pub mod durability;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod net;
 pub mod qcache_exp;
 pub mod replication;
 pub mod serving;

@@ -1,0 +1,330 @@
+//! Network serving benchmark (PR 5): the same `CtxPrefService`
+//! queried in-process and over a loopback TCP socket.
+//!
+//! Both paths hit the *same* service instance — the loopback path adds
+//! only the wire: request encode, one frame each way with FNV-1a
+//! verification, and the server's dispatch. The measured gap is
+//! therefore the cost of the network layer itself (syscalls, framing,
+//! protocol encode/decode), not a different database.
+//!
+//! A loopback round trip costs tens of microseconds where the
+//! in-process call costs a few, so the gate is a *sanity factor*, not
+//! parity: the socket path must stay within two orders of magnitude of
+//! the in-process path and answer identically, and the frame decoder
+//! must reject hostile length claims from the header alone.
+//!
+//! Run via `cargo run -p ctxpref-bench --release --bin serving_bench --
+//! --net`, which emits `BENCH_PR5.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ctxpref_context::ContextState;
+use ctxpref_core::MultiUserDb;
+use ctxpref_net::{read_frame, FrameError, NetClient, NetClientConfig, NetServer, NetServerConfig};
+use ctxpref_service::{CtxPrefService, ServiceConfig};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+
+use crate::ShapeCheck;
+
+/// Workload knobs for the network benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct NetBenchConfig {
+    /// Registered users (queries rotate over all of them).
+    pub users: usize,
+    /// Result size per query.
+    pub k: usize,
+    /// Per-request deadline handed to the service on both paths.
+    pub deadline: Duration,
+    /// Measurement window per path.
+    pub window: Duration,
+    /// Relation seed.
+    pub seed: u64,
+}
+
+impl Default for NetBenchConfig {
+    fn default() -> Self {
+        Self {
+            users: 8,
+            k: 5,
+            deadline: Duration::from_millis(250),
+            window: Duration::from_millis(1500),
+            seed: 0x5EED_2007,
+        }
+    }
+}
+
+/// Throughput and latency of one query path.
+#[derive(Debug, Clone, Copy)]
+pub struct PathThroughput {
+    /// Completed queries in the window.
+    pub queries: u64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// Full network-benchmark report.
+#[derive(Debug)]
+pub struct NetBenchReport {
+    /// The configuration that produced the numbers.
+    pub config: NetBenchConfig,
+    /// Direct calls on the shared service.
+    pub in_process: PathThroughput,
+    /// The same queries through `NetClient` → loopback → `NetServer`.
+    pub loopback: PathThroughput,
+    /// In-process/loopback throughput ratio (the cost of the wire).
+    pub wire_slowdown: f64,
+    /// Nanoseconds per rejected hostile (oversized) frame header.
+    pub oversized_reject_ns: f64,
+    /// Pass/fail claims.
+    pub checks: Vec<ShapeCheck>,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn throughput(samples_us: &mut [u64], window: Duration) -> PathThroughput {
+    samples_us.sort_unstable();
+    PathThroughput {
+        queries: samples_us.len() as u64,
+        qps: samples_us.len() as f64 / window.as_secs_f64(),
+        p50_us: percentile(samples_us, 0.50),
+        p99_us: percentile(samples_us, 0.99),
+    }
+}
+
+/// Seed the shared service: `users` profiles, one inserted preference
+/// each, so every query resolves real preference state.
+fn make_service(cfg: &NetBenchConfig) -> Arc<CtxPrefService> {
+    let env = poi_env();
+    let db = MultiUserDb::new(env.clone(), poi_relation(&env, cfg.seed, 4), 16);
+    let service = Arc::new(CtxPrefService::new(db, ServiceConfig::default()));
+    for i in 0..cfg.users {
+        let user = format!("user{i}");
+        service.add_user(&user).expect("seeding a bench user");
+        service
+            .insert_preference_eq(
+                &user,
+                "accompanying_people = friends",
+                "type",
+                "museum".into(),
+                0.8,
+            )
+            .expect("seeding a bench preference");
+    }
+    service
+}
+
+fn bench_state(service: &CtxPrefService) -> ContextState {
+    service.with_db(|db| {
+        ContextState::parse(db.env(), &["Plaka", "warm", "friends"]).expect("the reference state")
+    })
+}
+
+/// Run the full network benchmark.
+pub fn run(cfg: NetBenchConfig) -> NetBenchReport {
+    let service = make_service(&cfg);
+    let state = bench_state(&service);
+
+    // --- in-process: direct calls on the service ---------------------
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + cfg.window;
+    let mut n = 0u64;
+    while Instant::now() < deadline {
+        let user = format!("user{}", n as usize % cfg.users);
+        let started = Instant::now();
+        let answer = service
+            .query_state_deadline(&user, &state, cfg.deadline)
+            .expect("in-process bench query");
+        samples.push(started.elapsed().as_micros() as u64);
+        assert!(
+            !answer.answer.results.is_empty(),
+            "the bench query must produce rows"
+        );
+        n += 1;
+    }
+    let in_process = throughput(&mut samples, cfg.window);
+
+    // --- loopback: the same service behind NetServer -----------------
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        NetServerConfig::default(),
+    )
+    .expect("binding the bench server on loopback");
+    let mut client =
+        NetClient::connect(server.local_addr().to_string(), NetClientConfig::default());
+    let wire_state = ["Plaka", "warm", "friends"];
+
+    // Fidelity first: one remote answer must match the direct one.
+    let direct = service
+        .query_state_deadline("user0", &state, cfg.deadline)
+        .expect("direct fidelity query");
+    let direct_rows: Vec<(String, f64)> = service.with_db(|db| {
+        let attr = db
+            .relation()
+            .schema()
+            .require_attr("name")
+            .expect("the reference relation has a name attribute");
+        direct
+            .answer
+            .results
+            .top_k_with_ties(cfg.k)
+            .iter()
+            .map(|e| {
+                (
+                    db.relation().tuple(e.tuple_index).value(attr).to_string(),
+                    e.score,
+                )
+            })
+            .collect()
+    });
+    let remote = client
+        .query("user0", "name", cfg.k, cfg.deadline, &wire_state)
+        .expect("remote fidelity query");
+    let remote_rows: Vec<(String, f64)> = remote
+        .rows
+        .iter()
+        .map(|r| (r.name.clone(), r.score))
+        .collect();
+    let fidelity = direct_rows == remote_rows;
+
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + cfg.window;
+    let mut n = 0u64;
+    while Instant::now() < deadline {
+        let user = format!("user{}", n as usize % cfg.users);
+        let started = Instant::now();
+        let answer = client
+            .query(&user, "name", cfg.k, cfg.deadline, &wire_state)
+            .expect("loopback bench query");
+        samples.push(started.elapsed().as_micros() as u64);
+        assert!(
+            !answer.rows.is_empty(),
+            "the remote query must produce rows"
+        );
+        n += 1;
+    }
+    let loopback = throughput(&mut samples, cfg.window);
+    drop(client);
+    server.shutdown();
+
+    // --- hostile headers: rejection must cost a header parse ---------
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+    hostile.extend_from_slice(&0u64.to_le_bytes());
+    let rounds = 100_000u32;
+    let started = Instant::now();
+    let mut rejected = true;
+    for _ in 0..rounds {
+        let mut cur = &hostile[..];
+        rejected &= matches!(read_frame(&mut cur), Err(FrameError::Oversized { .. }));
+    }
+    let oversized_reject_ns = started.elapsed().as_nanos() as f64 / f64::from(rounds);
+
+    let wire_slowdown = if loopback.qps > 0.0 {
+        in_process.qps / loopback.qps
+    } else {
+        f64::INFINITY
+    };
+    let checks = vec![
+        ShapeCheck::new(
+            "loopback throughput within a sane factor (100×) of in-process",
+            loopback.qps > 0.0 && wire_slowdown <= 100.0,
+            format!(
+                "in-process {:.0} q/s vs loopback {:.0} q/s ({wire_slowdown:.1}× wire cost)",
+                in_process.qps, loopback.qps
+            ),
+        ),
+        ShapeCheck::new(
+            "loopback answers match in-process answers row for row",
+            fidelity,
+            format!(
+                "{} direct rows vs {} remote rows for user0",
+                direct_rows.len(),
+                remote_rows.len()
+            ),
+        ),
+        ShapeCheck::new(
+            "oversized length prefixes rejected from the header alone",
+            rejected && oversized_reject_ns < 10_000.0,
+            format!("{oversized_reject_ns:.0} ns per rejected 4 GiB claim"),
+        ),
+    ];
+    NetBenchReport {
+        config: cfg,
+        in_process,
+        loopback,
+        wire_slowdown,
+        oversized_reject_ns,
+        checks,
+    }
+}
+
+impl NetBenchReport {
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let path = |name: &str, p: &PathThroughput| {
+            format!(
+                "  {name:<12} {:>7.0} q/s  (p50 {} µs, p99 {} µs, {} queries)\n",
+                p.qps, p.p50_us, p.p99_us, p.queries
+            )
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "network serving: {} users, k={}, {:?} deadline, {:?} window per path\n",
+            self.config.users, self.config.k, self.config.deadline, self.config.window
+        ));
+        out.push_str(&path("in-process:", &self.in_process));
+        out.push_str(&path("loopback:", &self.loopback));
+        out.push_str(&format!(
+            "  wire cost: {:.1}× slower than in-process; hostile header rejected in {:.0} ns\n",
+            self.wire_slowdown, self.oversized_reject_ns
+        ));
+        out.push_str(&crate::render_checks(&self.checks));
+        out
+    }
+
+    /// Serialize as a small JSON document (hand-rolled; the workspace
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        let path = |p: &PathThroughput| {
+            format!(
+                "{{\"queries\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}",
+                p.queries, p.qps, p.p50_us, p.p99_us
+            )
+        };
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"name\": {:?}, \"pass\": {}, \"detail\": {:?}}}",
+                    c.name, c.pass, c.detail
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"net_pr5\",\n  \"config\": {{\"users\": {}, \"k\": {}, \"deadline_ms\": {}, \"window_ms\": {}, \"seed\": {}}},\n  \"in_process\": {},\n  \"loopback\": {},\n  \"wire_slowdown\": {:.2},\n  \"oversized_reject_ns\": {:.0},\n  \"checks\": [\n{}\n  ]\n}}\n",
+            self.config.users,
+            self.config.k,
+            self.config.deadline.as_millis(),
+            self.config.window.as_millis(),
+            self.config.seed,
+            path(&self.in_process),
+            path(&self.loopback),
+            self.wire_slowdown,
+            self.oversized_reject_ns,
+            checks.join(",\n")
+        )
+    }
+}

@@ -77,6 +77,35 @@ pub mod sites {
     /// traffic, exercising failure-detector false positives.
     pub const REPL_HEARTBEAT_DROP: &str = "repl.heartbeat.drop";
 
+    /// Accepting one TCP connection on a serving or replication
+    /// listener: an injected error refuses the connection (the accept
+    /// loop stays up and keeps serving).
+    pub const NET_ACCEPT: &str = "net.accept";
+    /// Reading one wire frame off a socket: an injected error surfaces
+    /// as a connection-level I/O failure on the reader.
+    pub const NET_FRAME_READ: &str = "net.frame.read";
+    /// Writing one wire frame onto a socket: an injected error surfaces
+    /// as a connection-level I/O failure on the writer.
+    pub const NET_FRAME_WRITE: &str = "net.frame.write";
+    /// A live connection stalling: an injected delay holds the next
+    /// frame exchange, modelling a congested or half-dead link.
+    pub const NET_CONN_DELAY: &str = "net.conn.delay";
+    /// A live connection dying mid-exchange: an injected error severs
+    /// it, forcing the peer onto its reconnect path.
+    pub const NET_CONN_DROP: &str = "net.conn.drop";
+
+    /// Every registered TCP serving-layer site: the socket chaos tests
+    /// drive refused accepts, torn frames, stalls, and dropped
+    /// connections through these, and the serving/replication
+    /// invariants must hold under any combination.
+    pub const NET_SITES: &[&str] = &[
+        NET_ACCEPT,
+        NET_FRAME_READ,
+        NET_FRAME_WRITE,
+        NET_CONN_DELAY,
+        NET_CONN_DROP,
+    ];
+
     /// Every registered replication *network* site: the seeded chaos
     /// matrix drives partitions, message loss, duplication, and delay
     /// through these, and the replication invariants (no acked-write

@@ -1,0 +1,320 @@
+//! A blocking client for the `ctxpref` wire protocol, with reconnect
+//! and bounded retry.
+//!
+//! The client keeps one cached connection. When a request fails at the
+//! socket or framing layer it drops the connection and — **only for
+//! idempotent requests** ([`Request::is_idempotent`]) — redials and
+//! retries with linear backoff, up to the configured attempt budget.
+//! Mutations are never retried blind: a torn connection after a
+//! mutation was sent leaves the outcome unknown, and replaying it
+//! could double-apply.
+//!
+//! Typed server refusals are **not** retried here: a
+//! [`NetError::ServerBusy`] or [`NetError::Remote`] means the server
+//! made a decision, and the caller gets it intact to apply its own
+//! policy.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{RemoteAnswer, Request, Response};
+
+/// Tuning knobs of [`NetClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetClientConfig {
+    /// Dial timeout per connection attempt.
+    pub connect_timeout: Duration,
+    /// Socket read timeout while waiting for a response frame.
+    pub read_timeout: Duration,
+    /// Socket write timeout for request frames.
+    pub write_timeout: Duration,
+    /// Total attempts per idempotent request (first try included).
+    pub attempts: u32,
+    /// Backoff between attempts, multiplied by the attempt number.
+    pub backoff: Duration,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+            attempts: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A blocking `ctxpref` client over one cached TCP connection.
+pub struct NetClient {
+    addr: String,
+    cfg: NetClientConfig,
+    conn: Option<TcpStream>,
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("addr", &self.addr)
+            .field("connected", &self.conn.is_some())
+            .finish()
+    }
+}
+
+impl NetClient {
+    /// A client for the server at `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Does not dial until the first request.
+    pub fn connect(addr: impl Into<String>, cfg: NetClientConfig) -> Self {
+        Self {
+            addr: addr.into(),
+            cfg,
+            conn: None,
+        }
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn dial(&self) -> Result<TcpStream, NetError> {
+        let mut last: Option<std::io::Error> = None;
+        for resolved in self.addr.to_socket_addrs()? {
+            match dial_one(&resolved, &self.cfg) {
+                Ok(s) => return Ok(s),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::Io(last.unwrap_or_else(|| {
+            std::io::Error::other(format!("address {} resolved to nothing", self.addr))
+        })))
+    }
+
+    /// One request/response exchange on the cached connection,
+    /// establishing it if needed. Any failure tears the connection
+    /// down so the next attempt starts from a clean dial.
+    fn exchange(&mut self, req: &Request) -> Result<Response, NetError> {
+        if self.conn.is_none() {
+            self.conn = Some(self.dial()?);
+        }
+        let stream = self.conn.as_mut().expect("connection just established");
+        let result = (|| {
+            write_frame(stream, &req.encode())?;
+            match read_frame(stream)? {
+                Some(payload) => Ok(payload),
+                None => Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "server closed the connection before responding",
+                ))),
+            }
+        })();
+        match result {
+            Ok(payload) => Ok(Response::decode(&payload)?),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Send `req`, reconnecting and retrying (idempotent requests
+    /// only) on transport failures.
+    pub fn request(&mut self, req: &Request) -> Result<Response, NetError> {
+        let budget = if req.is_idempotent() {
+            self.cfg.attempts.max(1)
+        } else {
+            1
+        };
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.exchange(req) {
+                // A decoded response is an answer, even a refusal:
+                // the transport worked, so no retry.
+                Ok(Response::Busy { limit }) => {
+                    self.conn = None;
+                    return Err(NetError::ServerBusy { limit });
+                }
+                Ok(Response::Err { kind, message }) => {
+                    return Err(NetError::Remote { kind, message })
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e @ (NetError::Io(_) | NetError::Frame(_))) => {
+                    if attempt >= budget {
+                        return if attempt == 1 {
+                            Err(e)
+                        } else {
+                            Err(NetError::RetriesExhausted {
+                                attempts: attempt,
+                                last: e.to_string(),
+                            })
+                        };
+                    }
+                    std::thread::sleep(self.cfg.backoff * attempt);
+                }
+                // Protocol confusion is not transient; surface it.
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Rank `user`'s tuples by `attr` under a context state given as
+    /// hierarchy value names, returning the top `k` (with ties).
+    pub fn query(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        deadline: Duration,
+        state: &[&str],
+    ) -> Result<RemoteAnswer, NetError> {
+        let req = Request::Query {
+            user: user.to_string(),
+            attr: attr.to_string(),
+            k,
+            deadline_ms: deadline.as_millis().min(u128::from(u64::MAX)) as u64,
+            state: state.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.request(&req)? {
+            Response::Answer(a) => Ok(a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Rank `user`'s tuples under an extended context descriptor (the
+    /// exploratory library path).
+    pub fn query_descriptor(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        descriptor: &str,
+    ) -> Result<RemoteAnswer, NetError> {
+        let req = Request::QueryDescriptor {
+            user: user.to_string(),
+            attr: attr.to_string(),
+            k,
+            descriptor: descriptor.to_string(),
+        };
+        match self.request(&req)? {
+            Response::Answer(a) => Ok(a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Create a user with an empty profile.
+    pub fn add_user(&mut self, user: &str) -> Result<(), NetError> {
+        self.expect_ok(&Request::AddUser {
+            user: user.to_string(),
+        })
+    }
+
+    /// Remove a user and their profile.
+    pub fn remove_user(&mut self, user: &str) -> Result<(), NetError> {
+        self.expect_ok(&Request::RemoveUser {
+            user: user.to_string(),
+        })
+    }
+
+    /// Insert an equality preference from its textual parts.
+    pub fn insert_preference(
+        &mut self,
+        user: &str,
+        descriptor: &str,
+        attr: &str,
+        value: &str,
+        score: f64,
+    ) -> Result<(), NetError> {
+        self.expect_ok(&Request::InsertPref {
+            user: user.to_string(),
+            descriptor: descriptor.to_string(),
+            attr: attr.to_string(),
+            value: value.to_string(),
+            score,
+        })
+    }
+
+    /// Remove `user`'s preference at `index`, returning its score.
+    pub fn remove_preference(&mut self, user: &str, index: usize) -> Result<f64, NetError> {
+        match self.request(&Request::RemovePref {
+            user: user.to_string(),
+            index,
+        })? {
+            Response::Removed { score } => Ok(score),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Re-score `user`'s preference at `index`.
+    pub fn update_score(&mut self, user: &str, index: usize, score: f64) -> Result<(), NetError> {
+        self.expect_ok(&Request::UpdateScore {
+            user: user.to_string(),
+            index,
+            score,
+        })
+    }
+
+    /// Force a checkpoint on the server; returns its report, rendered.
+    pub fn checkpoint(&mut self) -> Result<String, NetError> {
+        self.expect_text(&Request::Checkpoint)
+    }
+
+    /// Flush the server's write-ahead log; returns the report, rendered.
+    pub fn flush_wal(&mut self) -> Result<String, NetError> {
+        self.expect_text(&Request::FlushWal)
+    }
+
+    /// The server's WAL status, rendered.
+    pub fn wal_status(&mut self) -> Result<String, NetError> {
+        self.expect_text(&Request::WalStatus)
+    }
+
+    /// The server's replication status, rendered.
+    pub fn repl_status(&mut self) -> Result<String, NetError> {
+        self.expect_text(&Request::ReplStatus)
+    }
+
+    /// The server's service counters, rendered.
+    pub fn stats(&mut self) -> Result<String, NetError> {
+        self.expect_text(&Request::Stats)
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> Result<(), NetError> {
+        match self.request(req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn expect_text(&mut self, req: &Request) -> Result<String, NetError> {
+        match self.request(req)? {
+            Response::Text { body } => Ok(body),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn dial_one(addr: &SocketAddr, cfg: &NetClientConfig) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(addr, cfg.connect_timeout)?;
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+fn unexpected(resp: &Response) -> NetError {
+    NetError::UnexpectedResponse {
+        got: format!("{resp:?}"),
+    }
+}

@@ -1,0 +1,177 @@
+//! Typed errors of the TCP serving layer.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Why a wire frame could not be decoded. Every variant is a clean,
+/// typed rejection: a malformed or hostile peer can make the decoder
+/// *fail*, never panic or over-allocate.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside a frame (torn header or payload).
+    Truncated,
+    /// The declared payload length exceeds the hard cap; rejected
+    /// before any buffer was allocated.
+    Oversized {
+        /// The length the header claimed.
+        declared: u64,
+        /// The configured cap ([`crate::frame::MAX_FRAME_PAYLOAD`]).
+        max: u32,
+    },
+    /// The stored checksum does not match the payload (corruption in
+    /// flight, or a length-field flip).
+    Checksum {
+        /// The checksum the frame carried.
+        stored: u64,
+        /// The checksum computed over the received payload.
+        computed: u64,
+    },
+    /// The underlying socket failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "frame truncated mid-stream"),
+            Self::Oversized { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds cap {max}")
+            }
+            Self::Checksum { stored, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch (stored {stored:#x}, computed {computed:#x})"
+                )
+            }
+            Self::Io(e) => write!(f, "frame i/o: {e}"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A frame decoded, but its payload is not a well-formed protocol
+/// message (wrong version tag, unknown verb, bad field).
+#[derive(Debug)]
+pub struct ProtoError {
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl ProtoError {
+    pub(crate) fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed protocol message: {}", self.reason)
+    }
+}
+
+impl Error for ProtoError {}
+
+/// Errors of the client/server request path.
+#[derive(Debug)]
+pub enum NetError {
+    /// The socket layer failed (connect, read, write).
+    Io(io::Error),
+    /// A frame could not be decoded.
+    Frame(FrameError),
+    /// A frame decoded but carried a malformed message.
+    Proto(ProtoError),
+    /// The server refused the connection: its connection limit is
+    /// saturated. Typed so callers can back off instead of hanging.
+    ServerBusy {
+        /// The server's configured connection limit.
+        limit: usize,
+    },
+    /// The server processed the request and returned a typed failure.
+    Remote {
+        /// The error kind token (mirrors `ServiceError` variants:
+        /// `overloaded`, `deadline`, `core`, …).
+        kind: String,
+        /// The server-rendered message.
+        message: String,
+    },
+    /// The client exhausted its reconnect/retry budget.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The final attempt's failure, rendered.
+        last: String,
+    },
+    /// The peer answered with a different message than the request
+    /// calls for (protocol confusion — treated as fatal for the
+    /// connection).
+    UnexpectedResponse {
+        /// What arrived, rendered.
+        got: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "network i/o: {e}"),
+            Self::Frame(e) => write!(f, "{e}"),
+            Self::Proto(e) => write!(f, "{e}"),
+            Self::ServerBusy { limit } => {
+                write!(f, "server busy: connection limit {limit} saturated")
+            }
+            Self::Remote { kind, message } => write!(f, "server error [{kind}]: {message}"),
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempt(s): {last}")
+            }
+            Self::UnexpectedResponse { got } => {
+                write!(f, "unexpected response: {got}")
+            }
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Frame(e) => Some(e),
+            Self::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        Self::Frame(e)
+    }
+}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        Self::Proto(e)
+    }
+}

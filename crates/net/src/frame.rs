@@ -1,0 +1,187 @@
+//! Wire framing: length-prefixed, FNV-1a-checksummed frames.
+//!
+//! Every message on a `ctxpref` socket travels as one frame:
+//!
+//! ```text
+//! [u32 payload_len | u64 checksum | payload…]      (little endian)
+//! ```
+//!
+//! The discipline is the WAL record framing's (`ctxpref-wal`), minus
+//! the LSN: the checksum is FNV-1a 64 over `payload_len ‖ payload`, so
+//! a bit flip anywhere in the frame — including the length field —
+//! fails verification. The declared length is validated against
+//! [`MAX_FRAME_PAYLOAD`] **before any allocation**, so a hostile peer
+//! claiming a multi-gigabyte frame costs the server twelve bytes of
+//! header read and one typed error, never memory.
+
+use std::io::{Read, Write};
+
+use ctxpref_faults::hit_io;
+use ctxpref_faults::sites::{NET_FRAME_READ, NET_FRAME_WRITE};
+
+use crate::error::FrameError;
+
+/// Bytes of the per-frame header: `u32` payload length, `u64` checksum.
+pub const FRAME_HEADER: usize = 4 + 8;
+
+/// Hard cap on a single frame payload. A length field above this is
+/// treated as a hostile or damaged frame and rejected before any
+/// buffer is allocated.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
+
+fn fnv_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The frame checksum: FNV-1a 64 over length and payload.
+pub fn frame_checksum(payload: &[u8]) -> u64 {
+    let h = fnv_update(0xcbf2_9ce4_8422_2325, &(payload.len() as u32).to_le_bytes());
+    fnv_update(h, payload)
+}
+
+/// Encode `payload` as one frame.
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if payload.len() as u64 > u64::from(MAX_FRAME_PAYLOAD) {
+        return Err(FrameError::Oversized {
+            declared: payload.len() as u64,
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Write `payload` as one frame onto `w` (single `write_all`, so the
+/// OS sees whole frames). Passes the `net.frame.write` fault site.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    hit_io(NET_FRAME_WRITE)?;
+    let frame = encode_frame(payload)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload from `r`. Passes the `net.frame.read`
+/// fault site.
+///
+/// * `Ok(None)` — clean end of stream **at a frame boundary** (the
+///   peer closed between frames).
+/// * [`FrameError::Truncated`] — the stream ended inside a header or
+///   payload (a torn frame).
+/// * [`FrameError::Oversized`] — the declared length exceeds
+///   [`MAX_FRAME_PAYLOAD`]; returned before any payload buffer is
+///   allocated.
+/// * [`FrameError::Checksum`] — the payload (or length) was corrupted
+///   in flight.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    hit_io(NET_FRAME_READ)?;
+    let mut header = [0u8; FRAME_HEADER];
+    let mut filled = 0;
+    while filled < FRAME_HEADER {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    let checksum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+    if len > MAX_FRAME_PAYLOAD {
+        // Reject on the declared length alone: no buffer exists yet,
+        // so a hostile 4 GiB claim cannot OOM the server.
+        return Err(FrameError::Oversized {
+            declared: u64::from(len),
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    // Grow the buffer with bytes actually received rather than
+    // trusting the declared length: a torn or lying frame costs what
+    // arrived on the wire, not what the header claimed.
+    let mut payload = Vec::new();
+    let mut taken = r.by_ref().take(u64::from(len));
+    taken.read_to_end(&mut payload)?;
+    if payload.len() < len as usize {
+        return Err(FrameError::Truncated);
+    }
+    let computed = frame_checksum(&payload);
+    if computed != checksum {
+        return Err(FrameError::Checksum {
+            stored: checksum,
+            computed,
+        });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let frame = encode_frame(b"hello wire").unwrap();
+        let mut cur = &frame[..];
+        assert_eq!(
+            read_frame(&mut cur).unwrap().as_deref(),
+            Some(&b"hello wire"[..])
+        );
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = encode_frame(b"").unwrap();
+        let mut cur = &frame[..];
+        assert_eq!(read_frame(&mut cur).unwrap().as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_from_header_alone() {
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        hostile.extend_from_slice(&0u64.to_le_bytes());
+        let mut cur = &hostile[..];
+        match read_frame(&mut cur) {
+            Err(FrameError::Oversized { declared, max }) => {
+                assert_eq!(declared, u64::from(u32::MAX));
+                assert_eq!(max, MAX_FRAME_PAYLOAD);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_header_and_payload_are_truncated() {
+        let frame = encode_frame(b"payload").unwrap();
+        for cut in 1..frame.len() {
+            let mut cur = &frame[..cut];
+            match read_frame(&mut cur) {
+                Err(FrameError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_bytes_fail_checksum() {
+        let frame = encode_frame(b"sensitive payload").unwrap();
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            let mut cur = &bad[..];
+            match read_frame(&mut cur) {
+                Err(_) => {}
+                Ok(p) => panic!("flip at {i} decoded as {p:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The TCP serving layer: the `ctxpref` serving core over real
+//! sockets.
+//!
+//! Three pillars, one framing discipline:
+//!
+//! * [`frame`] — length-prefixed, FNV-1a-checksummed frames (the WAL
+//!   record framing minus the LSN). The declared length is capped
+//!   **before allocation**, so hostile peers cost a header read, not
+//!   memory.
+//! * [`proto`] + [`server`]/[`client`] — a versioned request/response
+//!   vocabulary over those frames; [`NetServer`] fronts a shared
+//!   [`CtxPrefService`](ctxpref_service::CtxPrefService) with
+//!   connection admission, socket deadlines, panic containment, and
+//!   graceful drain; [`NetClient`] is the blocking peer with
+//!   reconnect and idempotent-only retry.
+//! * [`repl`] — [`TcpTransport`] implements replication's
+//!   [`Transport`](ctxpref_replication::Transport) seam over loopback
+//!   TCP, so a [`Cluster`](ctxpref_replication::Cluster) spans real
+//!   sockets and the existing chaos plans drive it unchanged.
+//!
+//! Every socket operation passes a deterministic fault site
+//! (`net.accept`, `net.frame.read`, `net.frame.write`,
+//! `net.conn.delay`, `net.conn.drop`), so torn frames, dead
+//! connections, and stalled links are scripted test inputs here, not
+//! production surprises.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use ctxpref_core::MultiUserDb;
+//! use ctxpref_net::{NetClient, NetClientConfig, NetServer, NetServerConfig};
+//! use ctxpref_service::{CtxPrefService, ServiceConfig};
+//! use ctxpref_workload::reference::{poi_env, poi_relation};
+//!
+//! let env = poi_env();
+//! let db = MultiUserDb::new(env.clone(), poi_relation(&env, 7, 2), 8);
+//! let service = Arc::new(CtxPrefService::new(db, ServiceConfig::default()));
+//! let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetServerConfig::default())
+//!     .expect("bind loopback");
+//!
+//! let mut client = NetClient::connect(server.local_addr().to_string(), NetClientConfig::default());
+//! client.ping().expect("server is live");
+//! client.add_user("alice").expect("create alice");
+//! client
+//!     .insert_preference("alice", "accompanying_people = friends", "type", "museum", 0.8)
+//!     .expect("insert preference");
+//! let answer = client
+//!     .query("alice", "name", 3, Duration::from_millis(250), &["Plaka", "warm", "friends"])
+//!     .expect("remote query");
+//! assert!(!answer.rows.is_empty());
+//!
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod proto;
+pub mod repl;
+pub mod server;
+
+pub use client::{NetClient, NetClientConfig};
+pub use error::{FrameError, NetError, ProtoError};
+pub use frame::{
+    encode_frame, frame_checksum, read_frame, write_frame, FRAME_HEADER, MAX_FRAME_PAYLOAD,
+};
+pub use proto::{AnswerRow, RemoteAnswer, Request, Response, WireFallback, PROTO_VERSION};
+pub use repl::{ReplServer, TcpTransport, REPL_PROTO_VERSION};
+pub use server::{NetServer, NetServerConfig};

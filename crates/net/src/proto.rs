@@ -1,0 +1,557 @@
+//! The versioned request/response vocabulary of the serving protocol.
+//!
+//! A frame payload is UTF-8 text: one header line whose first token is
+//! the protocol version tag ([`PROTO_VERSION`]), then whitespace-
+//! separated fields with every free-form string escaped through the
+//! storage crate's token escaper (so names with spaces, newlines, or
+//! arbitrary Unicode round-trip). Multi-row responses carry one extra
+//! line per row. Text is deliberate: a captured exchange is greppable,
+//! and the encoding reuses serializers that are already round-trip
+//! fuzzed.
+//!
+//! Decoding is total: any malformed payload produces a typed
+//! [`ProtoError`], never a panic — the decode fuzz suite drives
+//! truncations and bit flips through here.
+
+use ctxpref_storage::{escape, unescape};
+
+use crate::error::ProtoError;
+
+/// The protocol version tag every message leads with. Bumped on any
+/// incompatible grammar change; a peer speaking a different version is
+/// rejected with a typed error instead of misparsed.
+pub const PROTO_VERSION: &str = "ctxpref1";
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Query `user` under a context state (one value name per
+    /// hierarchy), returning the top `k` tuples rendered by `attr`.
+    Query {
+        /// The user to query.
+        user: String,
+        /// Display attribute for result rows.
+        attr: String,
+        /// How many rows to return (ties included).
+        k: usize,
+        /// Requested deadline in milliseconds (server caps it).
+        deadline_ms: u64,
+        /// Context value names, one per hierarchy, in environment order.
+        state: Vec<String>,
+    },
+    /// Query `user` under a context descriptor (exploratory path).
+    QueryDescriptor {
+        /// The user to query.
+        user: String,
+        /// Display attribute for result rows.
+        attr: String,
+        /// How many rows to return (ties included).
+        k: usize,
+        /// The descriptor, in the CLI's textual syntax.
+        descriptor: String,
+    },
+    /// Register a user with an empty profile.
+    AddUser {
+        /// The user name.
+        user: String,
+    },
+    /// Remove a user and their profile.
+    RemoveUser {
+        /// The user name.
+        user: String,
+    },
+    /// Insert an equality preference from its textual parts.
+    InsertPref {
+        /// The user name.
+        user: String,
+        /// Context descriptor text.
+        descriptor: String,
+        /// Attribute name of the preference clause.
+        attr: String,
+        /// Attribute value (string form; typed by the schema).
+        value: String,
+        /// Interest score.
+        score: f64,
+    },
+    /// Remove a preference by profile index.
+    RemovePref {
+        /// The user name.
+        user: String,
+        /// Position in the profile's preference list.
+        index: usize,
+    },
+    /// Re-score a preference by profile index.
+    UpdateScore {
+        /// The user name.
+        user: String,
+        /// Position in the profile's preference list.
+        index: usize,
+        /// The new interest score.
+        score: f64,
+    },
+    /// Take a checkpoint now (durable services only).
+    Checkpoint,
+    /// Flush the write-ahead log (durable services only).
+    FlushWal,
+    /// Per-shard WAL positions and counters.
+    WalStatus,
+    /// Replication roles, epochs, lag, promotion history.
+    ReplStatus,
+    /// Serving-layer counters.
+    Stats,
+}
+
+impl Request {
+    /// Whether retrying this request after a connection failure is
+    /// safe. Reads and probes are; mutations are not (the server may
+    /// have applied the first attempt before the connection died), so
+    /// the client surfaces those failures instead of retrying.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(
+            self,
+            Self::AddUser { .. }
+                | Self::RemoveUser { .. }
+                | Self::InsertPref { .. }
+                | Self::RemovePref { .. }
+                | Self::UpdateScore { .. }
+        )
+    }
+
+    /// Encode as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let line = match self {
+            Self::Ping => format!("{PROTO_VERSION} ping"),
+            Self::Query {
+                user,
+                attr,
+                k,
+                deadline_ms,
+                state,
+            } => {
+                let mut line = format!(
+                    "{PROTO_VERSION} query {} {} {k} {deadline_ms}",
+                    escape(user),
+                    escape(attr)
+                );
+                for v in state {
+                    line.push(' ');
+                    line.push_str(&escape(v));
+                }
+                line
+            }
+            Self::QueryDescriptor {
+                user,
+                attr,
+                k,
+                descriptor,
+            } => format!(
+                "{PROTO_VERSION} query-desc {} {} {k} {}",
+                escape(user),
+                escape(attr),
+                escape(descriptor)
+            ),
+            Self::AddUser { user } => format!("{PROTO_VERSION} add-user {}", escape(user)),
+            Self::RemoveUser { user } => format!("{PROTO_VERSION} rm-user {}", escape(user)),
+            Self::InsertPref {
+                user,
+                descriptor,
+                attr,
+                value,
+                score,
+            } => format!(
+                "{PROTO_VERSION} pref {} {score:?} {} {} {}",
+                escape(user),
+                escape(attr),
+                escape(value),
+                escape(descriptor)
+            ),
+            Self::RemovePref { user, index } => {
+                format!("{PROTO_VERSION} del {} {index}", escape(user))
+            }
+            Self::UpdateScore { user, index, score } => {
+                format!("{PROTO_VERSION} score {} {index} {score:?}", escape(user))
+            }
+            Self::Checkpoint => format!("{PROTO_VERSION} checkpoint"),
+            Self::FlushWal => format!("{PROTO_VERSION} flush"),
+            Self::WalStatus => format!("{PROTO_VERSION} wal-status"),
+            Self::ReplStatus => format!("{PROTO_VERSION} repl-status"),
+            Self::Stats => format!("{PROTO_VERSION} stats"),
+        };
+        line.into_bytes()
+    }
+
+    /// Decode a payload produced by [`Self::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let text =
+            std::str::from_utf8(payload).map_err(|_| ProtoError::new("payload is not utf-8"))?;
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        let (version, rest) = toks
+            .split_first()
+            .ok_or_else(|| ProtoError::new("empty request"))?;
+        if *version != PROTO_VERSION {
+            return Err(ProtoError::new(format!(
+                "unsupported protocol version {version:?} (this peer speaks {PROTO_VERSION})"
+            )));
+        }
+        let (verb, args) = rest
+            .split_first()
+            .ok_or_else(|| ProtoError::new("missing request verb"))?;
+        match (*verb, args) {
+            ("ping", []) => Ok(Self::Ping),
+            ("query", [user, attr, k, deadline_ms, state @ ..]) => Ok(Self::Query {
+                user: field(user, "user")?,
+                attr: field(attr, "attr")?,
+                k: num(k, "k")?,
+                deadline_ms: num(deadline_ms, "deadline_ms")?,
+                state: state
+                    .iter()
+                    .map(|v| field(v, "state value"))
+                    .collect::<Result<_, _>>()?,
+            }),
+            ("query-desc", [user, attr, k, descriptor]) => Ok(Self::QueryDescriptor {
+                user: field(user, "user")?,
+                attr: field(attr, "attr")?,
+                k: num(k, "k")?,
+                descriptor: field(descriptor, "descriptor")?,
+            }),
+            ("add-user", [user]) => Ok(Self::AddUser {
+                user: field(user, "user")?,
+            }),
+            ("rm-user", [user]) => Ok(Self::RemoveUser {
+                user: field(user, "user")?,
+            }),
+            ("pref", [user, score, attr, value, descriptor]) => Ok(Self::InsertPref {
+                user: field(user, "user")?,
+                score: num(score, "score")?,
+                attr: field(attr, "attr")?,
+                value: field(value, "value")?,
+                descriptor: field(descriptor, "descriptor")?,
+            }),
+            ("del", [user, index]) => Ok(Self::RemovePref {
+                user: field(user, "user")?,
+                index: num(index, "index")?,
+            }),
+            ("score", [user, index, score]) => Ok(Self::UpdateScore {
+                user: field(user, "user")?,
+                index: num(index, "index")?,
+                score: num(score, "score")?,
+            }),
+            ("checkpoint", []) => Ok(Self::Checkpoint),
+            ("flush", []) => Ok(Self::FlushWal),
+            ("wal-status", []) => Ok(Self::WalStatus),
+            ("repl-status", []) => Ok(Self::ReplStatus),
+            ("stats", []) => Ok(Self::Stats),
+            _ => Err(ProtoError::new(format!("unrecognized request {text:?}"))),
+        }
+    }
+}
+
+/// One result row of a served query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerRow {
+    /// The rendered display attribute of the tuple.
+    pub name: String,
+    /// The tuple's interest score.
+    pub score: f64,
+}
+
+/// One recorded ladder fallback, as shipped to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFallback {
+    /// The rung that failed (`LadderStep` display token).
+    pub step: String,
+    /// Why it failed.
+    pub reason: String,
+}
+
+/// A served answer, with its degradation-ladder provenance — what a
+/// remote caller sees of a [`ctxpref_service::ServiceAnswer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteAnswer {
+    /// The ladder rung that answered (`LadderStep` display token).
+    pub step: String,
+    /// Microseconds spent serving inside the worker.
+    pub elapsed_us: u64,
+    /// The lifted state that answered, rendered (nearest-state rung
+    /// only).
+    pub resolved_state: Option<String>,
+    /// Rungs that failed before `step` answered.
+    pub fallbacks: Vec<WireFallback>,
+    /// The top-k rows, ties included.
+    pub rows: Vec<AnswerRow>,
+}
+
+impl RemoteAnswer {
+    /// True iff the answer came from a rung below the normal
+    /// cached/exact path (mirrors `ServiceAnswer::is_degraded`).
+    pub fn is_degraded(&self) -> bool {
+        self.step != "cached" && self.step != "exact"
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness acknowledgement.
+    Pong,
+    /// The mutation was applied (and, where configured, made durable /
+    /// quorum-acked).
+    Ok,
+    /// The preference was removed; its score is echoed back.
+    Removed {
+        /// The removed preference's score.
+        score: f64,
+    },
+    /// A served answer, with its degradation-ladder provenance.
+    Answer(RemoteAnswer),
+    /// A rendered status/report body (checkpoint, WAL status,
+    /// replication status, stats).
+    Text {
+        /// The rendered body.
+        body: String,
+    },
+    /// The server's connection limit is saturated; the connection was
+    /// refused after this single frame.
+    Busy {
+        /// The configured connection limit.
+        limit: usize,
+    },
+    /// The request failed with a typed server-side error.
+    Err {
+        /// The error kind token (mirrors `ServiceError` variants).
+        kind: String,
+        /// The rendered message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let text = match self {
+            Self::Pong => format!("{PROTO_VERSION} pong"),
+            Self::Ok => format!("{PROTO_VERSION} ok"),
+            Self::Removed { score } => format!("{PROTO_VERSION} removed {score:?}"),
+            Self::Answer(a) => {
+                let mut text = format!(
+                    "{PROTO_VERSION} answer {} {} {}",
+                    escape(&a.step),
+                    a.elapsed_us,
+                    match &a.resolved_state {
+                        Some(s) => escape(s),
+                        None => "-".to_string(),
+                    }
+                );
+                for fb in &a.fallbacks {
+                    text.push_str(&format!("\nfb {} {}", escape(&fb.step), escape(&fb.reason)));
+                }
+                for row in &a.rows {
+                    text.push_str(&format!("\nrow {} {:?}", escape(&row.name), row.score));
+                }
+                text
+            }
+            Self::Text { body } => format!("{PROTO_VERSION} text {}", escape(body)),
+            Self::Busy { limit } => format!("{PROTO_VERSION} busy {limit}"),
+            Self::Err { kind, message } => {
+                format!("{PROTO_VERSION} err {} {}", escape(kind), escape(message))
+            }
+        };
+        text.into_bytes()
+    }
+
+    /// Decode a payload produced by [`Self::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let text =
+            std::str::from_utf8(payload).map_err(|_| ProtoError::new("payload is not utf-8"))?;
+        let mut lines = text.lines();
+        let head = lines
+            .next()
+            .ok_or_else(|| ProtoError::new("empty response"))?;
+        let toks: Vec<&str> = head.split_whitespace().collect();
+        let (version, rest) = toks
+            .split_first()
+            .ok_or_else(|| ProtoError::new("empty response header"))?;
+        if *version != PROTO_VERSION {
+            return Err(ProtoError::new(format!(
+                "unsupported protocol version {version:?} (this peer speaks {PROTO_VERSION})"
+            )));
+        }
+        match rest {
+            ["pong"] => Ok(Self::Pong),
+            ["ok"] => Ok(Self::Ok),
+            ["removed", score] => Ok(Self::Removed {
+                score: num(score, "score")?,
+            }),
+            ["answer", step, elapsed_us, resolved] => {
+                let mut fallbacks = Vec::new();
+                let mut rows = Vec::new();
+                for line in lines {
+                    let toks: Vec<&str> = line.split_whitespace().collect();
+                    match toks.as_slice() {
+                        ["fb", step, reason] => fallbacks.push(WireFallback {
+                            step: field(step, "fallback step")?,
+                            reason: field(reason, "fallback reason")?,
+                        }),
+                        ["row", name, score] => rows.push(AnswerRow {
+                            name: field(name, "row name")?,
+                            score: num(score, "row score")?,
+                        }),
+                        _ => {
+                            return Err(ProtoError::new(format!(
+                                "unrecognized answer line {line:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Self::Answer(RemoteAnswer {
+                    step: field(step, "step")?,
+                    elapsed_us: num(elapsed_us, "elapsed_us")?,
+                    resolved_state: match *resolved {
+                        "-" => None,
+                        s => Some(field(s, "resolved state")?),
+                    },
+                    fallbacks,
+                    rows,
+                }))
+            }
+            ["text", body] => Ok(Self::Text {
+                body: field(body, "body")?,
+            }),
+            ["busy", limit] => Ok(Self::Busy {
+                limit: num(limit, "limit")?,
+            }),
+            ["err", kind, message] => Ok(Self::Err {
+                kind: field(kind, "kind")?,
+                message: field(message, "message")?,
+            }),
+            _ => Err(ProtoError::new(format!("unrecognized response {head:?}"))),
+        }
+    }
+}
+
+fn field(tok: &str, what: &str) -> Result<String, ProtoError> {
+    unescape(tok).ok_or_else(|| ProtoError::new(format!("bad escape in {what}: {tok:?}")))
+}
+
+fn num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, ProtoError> {
+    tok.parse()
+        .map_err(|_| ProtoError::new(format!("bad {what}: {tok:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let decoded = Request::decode(&req.encode()).expect("decode");
+        assert_eq!(decoded, req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let decoded = Response::decode(&resp.encode()).expect("decode");
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Query {
+            user: "Ano Poli visitor".into(),
+            attr: "name".into(),
+            k: 10,
+            deadline_ms: 250,
+            state: vec!["Plaka".into(), "warm".into(), "friends".into()],
+        });
+        roundtrip_req(Request::QueryDescriptor {
+            user: "me".into(),
+            attr: "name".into(),
+            k: 3,
+            descriptor: "location = Athens and temperature = good".into(),
+        });
+        roundtrip_req(Request::AddUser { user: "".into() });
+        roundtrip_req(Request::RemoveUser {
+            user: "a\nb".into(),
+        });
+        roundtrip_req(Request::InsertPref {
+            user: "me".into(),
+            descriptor: "accompanying_people = family".into(),
+            attr: "type".into(),
+            value: "zoo".into(),
+            score: 0.95,
+        });
+        roundtrip_req(Request::RemovePref {
+            user: "me".into(),
+            index: 7,
+        });
+        roundtrip_req(Request::UpdateScore {
+            user: "me".into(),
+            index: 2,
+            score: 0.125,
+        });
+        roundtrip_req(Request::Checkpoint);
+        roundtrip_req(Request::FlushWal);
+        roundtrip_req(Request::WalStatus);
+        roundtrip_req(Request::ReplStatus);
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Removed { score: 0.5 });
+        roundtrip_resp(Response::Answer(RemoteAnswer {
+            step: "nearest-state".into(),
+            elapsed_us: 1234,
+            resolved_state: Some("(Athens, warm, all)".into()),
+            fallbacks: vec![WireFallback {
+                step: "exact".into(),
+                reason: "panic: injected panic at service.query.primary".into(),
+            }],
+            rows: vec![
+                AnswerRow {
+                    name: "Acropolis Museum".into(),
+                    score: 0.9,
+                },
+                AnswerRow {
+                    name: "Plaka walk".into(),
+                    score: 0.25,
+                },
+            ],
+        }));
+        roundtrip_resp(Response::Text {
+            body: "appends 12, batches 3\nshard 0: …\n".into(),
+        });
+        roundtrip_resp(Response::Busy { limit: 4 });
+        roundtrip_resp(Response::Err {
+            kind: "core".into(),
+            message: "no such user \"ghost\"".into(),
+        });
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let err = Request::decode(b"ctxpref999 ping").unwrap_err();
+        assert!(err.reason.contains("version"));
+        let err = Response::decode(b"ctxpref999 pong").unwrap_err();
+        assert!(err.reason.contains("version"));
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for payload in [
+            &b""[..],
+            b"\xff\xfe",
+            b"ctxpref1",
+            b"ctxpref1 query onlyuser",
+            b"ctxpref1 pref a b c",
+            b"ctxpref1 answer",
+            b"ctxpref1 nonsense x y z",
+        ] {
+            assert!(Request::decode(payload).is_err());
+            assert!(Response::decode(payload).is_err());
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! The TCP front-end: [`NetServer`] accepts connections in front of a
+//! shared [`CtxPrefService`].
+//!
+//! Responsibilities, and where each is enforced:
+//!
+//! * **Connection admission** — a hard cap on concurrent connections
+//!   (the worker pool bound). A connection over the cap receives one
+//!   typed [`Response::Busy`] frame and is closed, never parked on an
+//!   unbounded queue — the socket-level mirror of the service's
+//!   admission control.
+//! * **Deadlines** — socket read/write timeouts bound how long a
+//!   half-dead peer can pin a worker, and the client-requested query
+//!   deadline is clamped to [`NetServerConfig::max_deadline`] before it
+//!   reaches [`CtxPrefService::query_state_deadline`], so a remote
+//!   caller cannot demand unbounded work.
+//! * **Panic isolation** — request dispatch runs under `catch_unwind`;
+//!   a panicking request poisons nothing and answers with a typed
+//!   error, like the service's own worker containment.
+//! * **Graceful drain** — [`NetServer::shutdown`] stops accepting,
+//!   lets in-flight requests finish (bounded by the drain timeout),
+//!   and returns. In-progress connections close after their current
+//!   request.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ctxpref_context::ContextState;
+use ctxpref_core::CoreError;
+use ctxpref_faults::hit;
+use ctxpref_faults::sites::{NET_ACCEPT, NET_CONN_DELAY, NET_CONN_DROP};
+use ctxpref_service::{CtxPrefService, ServiceError};
+
+use crate::error::FrameError;
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{AnswerRow, RemoteAnswer, Request, Response, WireFallback};
+
+/// Tuning knobs of the TCP front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct NetServerConfig {
+    /// Concurrent-connection cap (the worker pool bound). Connection
+    /// `max_connections + 1` gets a typed busy frame and is closed.
+    pub max_connections: usize,
+    /// Socket read timeout: how long a connection may sit idle (or
+    /// dribble a frame) before the server reclaims its worker.
+    pub read_timeout: Duration,
+    /// Socket write timeout for response frames.
+    pub write_timeout: Duration,
+    /// Upper bound on the per-query deadline a client may request.
+    pub max_deadline: Duration,
+    /// How long [`NetServer::shutdown`] waits for in-flight
+    /// connections to finish before giving up on them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(2),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running TCP server in front of one shared service.
+pub struct NetServer {
+    addr: SocketAddr,
+    cfg: NetServerConfig,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("active", &self.active.load(Ordering::Acquire))
+            .field("config", &self.cfg)
+            .finish()
+    }
+}
+
+/// Decrements the active-connection gauge when a connection ends,
+/// however it ends (including by panic).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// accepting connections for `service`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<CtxPrefService>,
+        cfg: NetServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let active = Arc::clone(&active);
+            std::thread::Builder::new()
+                .name(format!("ctxpref-net-accept-{}", addr.port()))
+                .spawn(move || accept_loop(listener, service, cfg, shutdown, active))?
+        };
+        Ok(Self {
+            addr,
+            cfg,
+            shutdown,
+            active,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is actually listening on (resolves an
+    /// ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, let every in-flight connection
+    /// finish its current request (bounded by the configured drain
+    /// timeout), and return. Returns the number of connections that
+    /// were still open when the drain timed out (0 on a clean drain).
+    pub fn shutdown(mut self) -> usize {
+        self.begin_shutdown();
+        let deadline = Instant::now() + self.cfg.drain_timeout;
+        loop {
+            let left = self.active.load(Ordering::Acquire);
+            if left == 0 || Instant::now() >= deadline {
+                return left;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the (blocking) accept call so the loop observes the
+        // flag; the connect itself is then refused by the flag check.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if !self.shutdown.load(Ordering::Acquire) {
+            self.begin_shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<CtxPrefService>,
+    cfg: NetServerConfig,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Injected accept failure: the connection is refused, the
+        // listener stays up.
+        if hit(NET_ACCEPT).is_err() {
+            continue;
+        }
+        // Admission: reserve a worker slot or answer busy-and-close.
+        // `fetch_add` first so two racing accepts cannot both sneak
+        // under the cap.
+        if active.fetch_add(1, Ordering::AcqRel) >= cfg.max_connections {
+            active.fetch_sub(1, Ordering::AcqRel);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+            let _ = write_frame(
+                &mut stream,
+                &Response::Busy {
+                    limit: cfg.max_connections,
+                }
+                .encode(),
+            );
+            continue;
+        }
+        let guard = ConnGuard(Arc::clone(&active));
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        let spawned = std::thread::Builder::new()
+            .name("ctxpref-net-conn".to_string())
+            .spawn(move || {
+                let _guard = guard;
+                serve_connection(stream, &service, &cfg, &shutdown);
+            });
+        if spawned.is_err() {
+            // Thread spawn failed (resource exhaustion): the guard
+            // inside the closure never ran, but the closure was
+            // dropped, running its captured guard's Drop — nothing to
+            // undo here.
+            continue;
+        }
+    }
+}
+
+/// Serve one connection: a loop of (read frame, dispatch, write
+/// frame) until the peer closes, a timeout fires, or drain begins.
+fn serve_connection(
+    stream: TcpStream,
+    service: &Arc<CtxPrefService>,
+    cfg: &NetServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Injected connection death: sever mid-conversation, forcing
+        // the peer onto its reconnect path.
+        if hit(NET_CONN_DROP).is_err() {
+            return;
+        }
+        // Injected stall: `hit` sleeps inside for Delay rules.
+        let _ = hit(NET_CONN_DELAY);
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean close between frames.
+            Ok(None) => return,
+            // Torn/hostile frames get a typed refusal where the socket
+            // still works; then the connection closes (framing is
+            // unrecoverable once the stream is misaligned).
+            Err(e) => {
+                let refusal = Response::Err {
+                    kind: "frame".to_string(),
+                    message: e.to_string(),
+                };
+                if !matches!(e, FrameError::Io(_)) {
+                    let _ = write_frame(&mut writer, &refusal.encode());
+                }
+                return;
+            }
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => dispatch(service, cfg, &request),
+            Err(e) => Response::Err {
+                kind: "proto".to_string(),
+                message: e.to_string(),
+            },
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Execute one request against the service, with panics contained.
+fn dispatch(service: &Arc<CtxPrefService>, cfg: &NetServerConfig, req: &Request) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| dispatch_inner(service, cfg, req))) {
+        Ok(resp) => resp,
+        Err(_) => Response::Err {
+            kind: "panic".to_string(),
+            message: "request dispatch panicked (contained at the connection boundary)".to_string(),
+        },
+    }
+}
+
+fn dispatch_inner(service: &CtxPrefService, cfg: &NetServerConfig, req: &Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Query {
+            user,
+            attr,
+            k,
+            deadline_ms,
+            state,
+        } => {
+            let state = {
+                let names: Vec<&str> = state.iter().map(String::as_str).collect();
+                match service.with_db(|db| ContextState::parse(db.env(), &names)) {
+                    Ok(s) => s,
+                    Err(e) => return err_of(&ServiceError::Core(CoreError::Context(e))),
+                }
+            };
+            let deadline = Duration::from_millis((*deadline_ms).max(1)).min(cfg.max_deadline);
+            let answer = match service.query_state_deadline(user, &state, deadline) {
+                Ok(a) => a,
+                Err(e) => return err_of(&e),
+            };
+            let rows = match render_rows(service, &answer.answer, attr, *k) {
+                Ok(rows) => rows,
+                Err(e) => return err_of(&ServiceError::Core(e)),
+            };
+            Response::Answer(RemoteAnswer {
+                step: answer.step.to_string(),
+                elapsed_us: answer.elapsed.as_micros() as u64,
+                resolved_state: answer
+                    .resolved_state
+                    .as_ref()
+                    .map(|s| service.with_db(|db| s.display(db.env()).to_string())),
+                fallbacks: answer
+                    .fallbacks
+                    .iter()
+                    .map(|fb| WireFallback {
+                        step: fb.step.to_string(),
+                        reason: fb.reason.clone(),
+                    })
+                    .collect(),
+                rows,
+            })
+        }
+        Request::QueryDescriptor {
+            user,
+            attr,
+            k,
+            descriptor,
+        } => {
+            // The exploratory library path: a hypothetical context, not
+            // a servable state lookup — no ladder, but still contained
+            // and timed.
+            let started = Instant::now();
+            let answer = service.with_db(|db| {
+                let ecod = ctxpref_context::parse_extended_descriptor(db.env(), descriptor)
+                    .map_err(|e| ServiceError::Core(CoreError::Context(e)))?;
+                db.query(user, &ecod).map_err(ServiceError::Core)
+            });
+            let answer = match answer {
+                Ok(a) => a,
+                Err(e) => return err_of(&e),
+            };
+            let rows = match render_rows(service, &answer, attr, *k) {
+                Ok(rows) => rows,
+                Err(e) => return err_of(&ServiceError::Core(e)),
+            };
+            Response::Answer(RemoteAnswer {
+                step: "exact".to_string(),
+                elapsed_us: started.elapsed().as_micros() as u64,
+                resolved_state: None,
+                fallbacks: Vec::new(),
+                rows,
+            })
+        }
+        Request::AddUser { user } => match service.add_user(user) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_of(&e),
+        },
+        Request::RemoveUser { user } => match service.remove_user(user) {
+            Ok(_) => Response::Ok,
+            Err(e) => err_of(&e),
+        },
+        Request::InsertPref {
+            user,
+            descriptor,
+            attr,
+            value,
+            score,
+        } => match service.insert_preference_eq(
+            user,
+            descriptor,
+            attr,
+            value.as_str().into(),
+            *score,
+        ) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_of(&e),
+        },
+        Request::RemovePref { user, index } => match service.remove_preference(user, *index) {
+            Ok(pref) => Response::Removed {
+                score: pref.score(),
+            },
+            Err(e) => err_of(&e),
+        },
+        Request::UpdateScore { user, index, score } => {
+            match service.update_preference_score(user, *index, *score) {
+                Ok(()) => Response::Ok,
+                Err(e) => err_of(&e),
+            }
+        }
+        Request::Checkpoint => match service.checkpoint() {
+            Ok(report) => Response::Text {
+                body: format!(
+                    "checkpoint generation {} written ({} user(s))",
+                    report.generation, report.users
+                ),
+            },
+            Err(e) => err_of(&e),
+        },
+        Request::FlushWal => match service.flush_wal() {
+            Ok(n) => Response::Text {
+                body: format!("flushed {n} pending record(s)"),
+            },
+            Err(e) => err_of(&e),
+        },
+        Request::WalStatus => match service.wal_status() {
+            Ok(status) => {
+                let mut body = format!(
+                    "appends {}, group-commit batches {}, rotations {}\n",
+                    status.appends, status.batches, status.rotations
+                );
+                for (i, s) in status.shards.iter().enumerate() {
+                    body.push_str(&format!(
+                        "shard {i}: segment {} ({} bytes), last lsn {}, synced lsn {}, pending {}{}\n",
+                        s.seg_no,
+                        s.seg_bytes,
+                        s.last_lsn,
+                        s.synced_lsn,
+                        s.pending,
+                        if s.poisoned { " POISONED" } else { "" }
+                    ));
+                }
+                Response::Text { body }
+            }
+            Err(e) => err_of(&e),
+        },
+        Request::ReplStatus => match service.replication_status() {
+            Ok(status) => {
+                let mut body = format!(
+                    "primary {}, epoch {}, max lag {} record(s)\n",
+                    match status.primary {
+                        Some(p) => format!("node {p}"),
+                        None => "none (failover pending)".to_string(),
+                    },
+                    status.epoch,
+                    status.max_lag
+                );
+                for n in &status.nodes {
+                    body.push_str(&format!(
+                        "node {}: {}{}, epoch {}, {} record(s) applied\n",
+                        n.id,
+                        if n.live { "live" } else { "down" },
+                        if n.is_primary { " PRIMARY" } else { "" },
+                        n.epoch,
+                        n.applied
+                    ));
+                }
+                Response::Text { body }
+            }
+            Err(e) => err_of(&e),
+        },
+        Request::Stats => {
+            let s = service.stats();
+            Response::Text {
+                body: format!(
+                    "served: {} cached, {} exact, {} nearest-state, {} default\n\
+                     contained panics {}, deadline misses {}, shed {}, errors {}",
+                    s.served_cached,
+                    s.served_exact,
+                    s.served_nearest,
+                    s.served_default,
+                    s.panics_contained,
+                    s.deadline_exceeded,
+                    s.shed,
+                    s.errors
+                ),
+            }
+        }
+    }
+}
+
+fn render_rows(
+    service: &CtxPrefService,
+    answer: &ctxpref_core::QueryAnswer,
+    attr: &str,
+    k: usize,
+) -> Result<Vec<AnswerRow>, CoreError> {
+    service.with_db(|db| {
+        let a = db.relation().schema().require_attr(attr)?;
+        Ok(answer
+            .results
+            .top_k_with_ties(k)
+            .iter()
+            .map(|e| AnswerRow {
+                name: db.relation().tuple(e.tuple_index).value(a).to_string(),
+                score: e.score,
+            })
+            .collect())
+    })
+}
+
+/// Map a [`ServiceError`] to its wire form: a stable kind token plus
+/// the rendered message.
+fn err_of(e: &ServiceError) -> Response {
+    let kind = match e {
+        ServiceError::Overloaded { .. } => "overloaded",
+        ServiceError::DeadlineExceeded { .. } => "deadline",
+        ServiceError::Cancelled => "cancelled",
+        ServiceError::QueryPanicked { .. } => "panic",
+        ServiceError::Core(_) => "core",
+        ServiceError::Storage(_) => "storage",
+        ServiceError::Wal(_) => "wal",
+        ServiceError::NotDurable => "not-durable",
+        ServiceError::NotReplicated => "not-replicated",
+        ServiceError::Replication(_) => "replication",
+        ServiceError::ShuttingDown => "shutting-down",
+    };
+    Response::Err {
+        kind: kind.to_string(),
+        message: e.to_string(),
+    }
+}

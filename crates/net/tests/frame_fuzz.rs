@@ -1,0 +1,255 @@
+//! Frame-decoder fuzz: a recorded request stream is truncated at
+//! every byte offset and corrupted one flipped byte at a time, and the
+//! decoder must answer every mutation with a clean typed error —
+//! never a panic, and never an allocation sized by attacker-supplied
+//! bytes.
+//!
+//! The allocation claim is enforced, not assumed: the test binary
+//! installs a counting global allocator, and the hostile-header cases
+//! assert that decoding allocated nothing anywhere near the declared
+//! (multi-gigabyte) length.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use ctxpref_net::frame::{encode_frame, read_frame, FRAME_HEADER, MAX_FRAME_PAYLOAD};
+use ctxpref_net::proto::{Request, Response};
+use ctxpref_net::FrameError;
+
+// ---------------------------------------------------------------------------
+// A counting allocator: thread-local arming, so parallel tests in this
+// binary don't see each other's allocations.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static LARGEST: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // Const-initialized TLS: no lazy allocation, safe to touch here.
+        let _ = ARMED.try_with(|armed| {
+            if armed.get() {
+                let _ = LARGEST.try_with(|l| l.set(l.get().max(layout.size())));
+            }
+        });
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Largest single allocation made by `f` on this thread.
+fn largest_alloc_during(f: impl FnOnce()) -> usize {
+    LARGEST.with(|l| l.set(0));
+    ARMED.with(|a| a.set(true));
+    f();
+    ARMED.with(|a| a.set(false));
+    LARGEST.with(|l| l.get())
+}
+
+// ---------------------------------------------------------------------------
+// The recorded request stream
+// ---------------------------------------------------------------------------
+
+/// One of every request shape, with awkward field contents (spaces,
+/// newlines, empty strings) so the token escaping is in the stream.
+fn recorded_requests() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Query {
+            user: "alice".into(),
+            attr: "name".into(),
+            k: 5,
+            deadline_ms: 250,
+            state: vec!["Plaka".into(), "warm".into(), "friends".into()],
+        },
+        Request::QueryDescriptor {
+            user: "bob with spaces".into(),
+            attr: "type".into(),
+            k: 3,
+            descriptor: "location = Athens and temperature = good".into(),
+        },
+        Request::AddUser {
+            user: "new\nline".into(),
+        },
+        Request::RemoveUser { user: "".into() },
+        Request::InsertPref {
+            user: "alice".into(),
+            descriptor: "accompanying_people = friends".into(),
+            attr: "type".into(),
+            value: "museum".into(),
+            score: 0.825,
+        },
+        Request::RemovePref {
+            user: "alice".into(),
+            index: 3,
+        },
+        Request::UpdateScore {
+            user: "alice".into(),
+            index: 0,
+            score: 0.5,
+        },
+        Request::Checkpoint,
+        Request::FlushWal,
+        Request::WalStatus,
+        Request::ReplStatus,
+        Request::Stats,
+    ]
+}
+
+fn recorded_stream() -> Vec<u8> {
+    let mut stream = Vec::new();
+    for req in recorded_requests() {
+        stream.extend_from_slice(&encode_frame(&req.encode()).expect("encodable request"));
+    }
+    stream
+}
+
+/// Drain `bytes` as a frame stream: decode frames (and their payloads
+/// as requests) until end-of-stream or the first typed error. Returns
+/// frames decoded. Panics only if a layer below panics — which is
+/// exactly what the fuzz asserts never happens.
+fn drain(bytes: &[u8]) -> (usize, Option<FrameError>) {
+    let mut cur = bytes;
+    let mut frames = 0;
+    loop {
+        match read_frame(&mut cur) {
+            Ok(Some(payload)) => {
+                frames += 1;
+                // Whatever survived the checksum must decode or fail
+                // typed at the protocol layer — both are fine; a panic
+                // is not.
+                let _ = Request::decode(&payload);
+                let _ = Response::decode(&payload);
+            }
+            Ok(None) => return (frames, None),
+            Err(e) => return (frames, Some(e)),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_fails_clean() {
+    let stream = recorded_stream();
+    let total = recorded_requests().len();
+    for cut in 0..stream.len() {
+        let (frames, err) = drain(&stream[..cut]);
+        assert!(
+            frames < total,
+            "cut at {cut}/{} decoded all {total} frames from a truncated stream",
+            stream.len()
+        );
+        // A cut at a frame boundary is a clean end of stream; anywhere
+        // else it must surface as Truncated — never Io, never a panic.
+        if let Some(e) = err {
+            assert!(
+                matches!(e, FrameError::Truncated),
+                "cut at {cut}: expected Truncated, got {e:?}"
+            );
+        }
+    }
+    // The untouched stream decodes fully.
+    let (frames, err) = drain(&stream);
+    assert_eq!(frames, total);
+    assert!(err.is_none());
+}
+
+#[test]
+fn flipped_bytes_fail_clean_at_every_offset() {
+    let stream = recorded_stream();
+    for i in 0..stream.len() {
+        for bit in [0x01u8, 0x40, 0x80] {
+            let mut bad = stream.clone();
+            bad[i] ^= bit;
+            // Every outcome is acceptable except a panic or an
+            // attacker-sized allocation: a flip may truncate the tail
+            // (length field), fail a checksum, claim an oversized
+            // frame, or corrupt only the *content* of a token in ways
+            // the protocol layer tolerates (it still sees valid
+            // tokens). The frame layer's integrity promise is that
+            // nothing blows up.
+            let largest = largest_alloc_during(|| {
+                let _ = drain(&bad);
+            });
+            // A flipped length byte may declare a frame far bigger
+            // than the stream; the decoder must size its buffer by
+            // bytes received, not bytes declared. 2× covers Vec
+            // growth slack.
+            assert!(
+                largest <= 2 * stream.len() + 1024,
+                "flip {bit:#04x} at {i}: allocation of {largest} bytes while decoding a \
+                 {}-byte corrupted stream",
+                stream.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_claims_are_rejected_without_allocating() {
+    // Hostile headers claiming up to u32::MAX bytes. The decoder must
+    // reject on the declared length alone, allocating nothing bigger
+    // than bookkeeping.
+    for declared in [
+        u64::from(MAX_FRAME_PAYLOAD) + 1,
+        u64::from(MAX_FRAME_PAYLOAD) * 2,
+        u64::from(u32::MAX),
+    ] {
+        let mut hostile = Vec::with_capacity(FRAME_HEADER);
+        hostile.extend_from_slice(&(declared as u32).to_le_bytes());
+        hostile.extend_from_slice(&0xdead_beef_u64.to_le_bytes());
+        let largest = largest_alloc_during(|| {
+            let mut cur = &hostile[..];
+            match read_frame(&mut cur) {
+                Err(FrameError::Oversized { declared: d, max }) => {
+                    assert_eq!(d, declared);
+                    assert_eq!(max, MAX_FRAME_PAYLOAD);
+                }
+                other => panic!("declared {declared}: expected Oversized, got {other:?}"),
+            }
+        });
+        assert!(
+            largest < 4096,
+            "declared {declared}: rejected, but allocated {largest} bytes on the way"
+        );
+    }
+}
+
+#[test]
+fn legitimate_max_frame_still_decodes() {
+    // The cap is a ceiling, not a budget cut: a frame exactly at
+    // MAX_FRAME_PAYLOAD round-trips.
+    let payload = vec![0x5a_u8; MAX_FRAME_PAYLOAD as usize];
+    let frame = encode_frame(&payload).expect("max-size payload encodes");
+    let mut cur = &frame[..];
+    let back = read_frame(&mut cur).expect("decodes").expect("one frame");
+    assert_eq!(back.len(), payload.len());
+    assert!(read_frame(&mut cur).expect("clean end").is_none());
+}
+
+#[test]
+fn garbage_prefixes_never_panic() {
+    // Raw garbage (not derived from a valid stream): every prefix of
+    // a pseudo-random byte soup must fail typed.
+    let mut soup = Vec::with_capacity(4096);
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    for _ in 0..4096 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        soup.push(x as u8);
+    }
+    for len in 0..soup.len().min(512) {
+        let _ = drain(&soup[..len]);
+    }
+    let _ = drain(&soup);
+}

@@ -37,7 +37,7 @@ use crate::digest::node_digests;
 use crate::error::ReplicationError;
 use crate::message::{Envelope, Message, NodeId, Reply};
 use crate::node::ReplNode;
-use crate::transport::{InProcessTransport, Transport};
+use crate::transport::{InProcessTransport, NodeTransport};
 
 /// When a write is acknowledged to the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,11 +149,13 @@ struct ClusterState {
     promotions: Vec<(u64, NodeId)>,
 }
 
-/// A primary/replica group over one [`InProcessTransport`].
+/// A primary/replica group over one [`NodeTransport`] — in-process by
+/// default, or any pluggable implementation (e.g. a socket transport)
+/// via [`Cluster::new_with_transport`].
 pub struct Cluster {
     config: ClusterConfig,
     dirs: Vec<PathBuf>,
-    transport: Arc<InProcessTransport>,
+    transport: Arc<dyn NodeTransport>,
     state: Mutex<ClusterState>,
     on_promotion: Mutex<Option<RoleHook>>,
     on_demotion: Mutex<Option<RoleHook>>,
@@ -169,8 +171,20 @@ impl Cluster {
         config: ClusterConfig,
         make_core: impl Fn() -> Arc<ShardedMultiUserDb>,
     ) -> Result<Self, ReplicationError> {
+        Self::new_with_transport(root, config, make_core, Arc::new(InProcessTransport::new()))
+    }
+
+    /// [`Cluster::new`] over an explicit transport, so nodes can talk
+    /// through real sockets (`ctxpref-net`'s `TcpTransport`) instead of
+    /// the in-process registry. The control plane is identical either
+    /// way: every peer interaction goes through [`NodeTransport::send`].
+    pub fn new_with_transport(
+        root: &Path,
+        config: ClusterConfig,
+        make_core: impl Fn() -> Arc<ShardedMultiUserDb>,
+        transport: Arc<dyn NodeTransport>,
+    ) -> Result<Self, ReplicationError> {
         assert!(config.nodes >= 1, "a cluster needs at least one node");
-        let transport = Arc::new(InProcessTransport::new());
         let mut nodes = Vec::with_capacity(config.nodes);
         let mut dirs = Vec::with_capacity(config.nodes);
         for id in 0..config.nodes {
@@ -203,7 +217,7 @@ impl Cluster {
     }
 
     /// The transport (for direct partition scripting in tests).
-    pub fn transport(&self) -> &Arc<InProcessTransport> {
+    pub fn transport(&self) -> &Arc<dyn NodeTransport> {
         &self.transport
     }
 

@@ -50,4 +50,4 @@ pub use epoch::{load_epoch, save_epoch, EPOCH_FILE};
 pub use error::{ReplicationError, TransportError};
 pub use message::{Envelope, Message, NodeId, Reply, ShippedRecord};
 pub use node::ReplNode;
-pub use transport::{InProcessTransport, Transport};
+pub use transport::{InProcessTransport, NodeTransport, Transport};

@@ -29,6 +29,33 @@ pub trait Transport: Send + Sync {
     fn send(&self, to: NodeId, env: Envelope) -> Result<Reply, TransportError>;
 }
 
+/// The full membership seam a [`crate::Cluster`] drives: delivery plus
+/// node lifecycle (register on boot/restart, deregister on crash) and
+/// link scripting (partition/heal, used by both the chaos suites and
+/// operational drain). [`InProcessTransport`] routes in memory; a
+/// socket transport (`ctxpref-net`'s `TcpTransport`) spawns one
+/// listener per registered node and dials peers over TCP.
+pub trait NodeTransport: Transport {
+    /// Make `node` reachable (boot or restart).
+    fn register(&self, node: Arc<ReplNode>);
+
+    /// Crash `id`: every future send to it fails
+    /// [`TransportError::Unreachable`].
+    fn deregister(&self, id: NodeId);
+
+    /// Whether `id` is currently registered (live).
+    fn is_registered(&self, id: NodeId) -> bool;
+
+    /// Sever the link between `a` and `b` (both directions).
+    fn partition(&self, a: NodeId, b: NodeId);
+
+    /// Restore the link between `a` and `b`.
+    fn heal(&self, a: NodeId, b: NodeId);
+
+    /// Restore every link.
+    fn heal_all(&self);
+}
+
 /// In-process transport: a registry of live nodes plus an explicit
 /// partition set. Deregistered nodes model crashes (Unreachable);
 /// partitions are symmetric per unordered node pair.
@@ -83,6 +110,32 @@ impl InProcessTransport {
     fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
         let link = (a.min(b), a.max(b));
         self.partitions.lock().contains(&link)
+    }
+}
+
+impl NodeTransport for InProcessTransport {
+    fn register(&self, node: Arc<ReplNode>) {
+        InProcessTransport::register(self, node);
+    }
+
+    fn deregister(&self, id: NodeId) {
+        InProcessTransport::deregister(self, id);
+    }
+
+    fn is_registered(&self, id: NodeId) -> bool {
+        InProcessTransport::is_registered(self, id)
+    }
+
+    fn partition(&self, a: NodeId, b: NodeId) {
+        InProcessTransport::partition(self, a, b);
+    }
+
+    fn heal(&self, a: NodeId, b: NodeId) {
+        InProcessTransport::heal(self, a, b);
+    }
+
+    fn heal_all(&self) {
+        InProcessTransport::heal_all(self);
     }
 }
 

@@ -19,10 +19,12 @@
 //! to load at startup (or mid-script) exits with a non-zero code.
 
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ctxpref::context::{ContextState, DistanceKind};
 use ctxpref::core::{MultiUserDb, QueryAnswer, QueryOptions, ShardedMultiUserDb};
+use ctxpref::net::{NetClient, NetClientConfig, NetServer, NetServerConfig, RemoteAnswer};
 use ctxpref::prelude::*;
 use ctxpref::service::{
     AckMode, CtxPrefService, DurabilityConfig, ReplicatedConfig, ServiceAnswer, ServiceConfig,
@@ -35,7 +37,8 @@ use ctxpref::workload::user_study::{default_profile, AgeBand, Demographics, Sex,
 const USER: &str = "me";
 
 struct Repl {
-    service: Option<CtxPrefService>,
+    service: Option<Arc<CtxPrefService>>,
+    server: Option<NetServer>,
     current: Option<ContextState>,
     options: QueryOptions,
     top_k: usize,
@@ -46,6 +49,7 @@ impl Repl {
     fn new() -> Self {
         Self {
             service: None,
+            server: None,
             current: None,
             options: QueryOptions {
                 use_cache: true,
@@ -58,8 +62,25 @@ impl Repl {
 
     fn service(&self) -> Result<&CtxPrefService, String> {
         self.service
-            .as_ref()
+            .as_deref()
             .ok_or_else(|| "no database loaded — try `load demo`".to_string())
+    }
+
+    /// Take the service back with exclusive ownership (for the
+    /// durable/replicated restarts, which consume it). Refused while a
+    /// TCP server is holding it.
+    fn take_exclusive(&mut self) -> Result<CtxPrefService, String> {
+        if self.server.is_some() {
+            return Err("the TCP server holds the database — `serve stop` first".to_string());
+        }
+        let arc = self
+            .service
+            .take()
+            .ok_or("no database loaded — try `load demo`")?;
+        Arc::try_unwrap(arc).map_err(|arc| {
+            self.service = Some(arc);
+            "the database is still shared — stop whatever is serving it first".to_string()
+        })
     }
 
     fn handle(&mut self, line: &str) -> Result<Option<String>, String> {
@@ -84,6 +105,8 @@ impl Repl {
             "replicate" => self.cmd_replicate(rest),
             "promote" => self.cmd_promote(rest),
             "repl-status" => self.cmd_repl_status(),
+            "serve" => self.cmd_serve(rest),
+            "remote" => self.cmd_remote(rest),
             "env" => self.cmd_env(),
             "context" => self.cmd_context(rest),
             "query" => self.cmd_query(rest),
@@ -117,8 +140,15 @@ impl Repl {
     fn install(&mut self, db: MultiUserDb) {
         let service = CtxPrefService::new(db, ServiceConfig::default());
         service.set_query_defaults(self.options);
-        self.service = Some(service);
+        self.stop_server();
+        self.service = Some(Arc::new(service));
         self.current = None;
+    }
+
+    fn stop_server(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
     }
 
     fn cmd_load(&mut self, what: &str) -> Result<Option<String>, String> {
@@ -177,16 +207,13 @@ impl Repl {
                 "{dir} already holds a durable database — `recover {dir}`"
             ));
         }
-        let service = self
-            .service
-            .take()
-            .ok_or("no database loaded — try `load demo`")?;
+        let service = self.take_exclusive()?;
         let db = service.shutdown();
         let service =
             CtxPrefService::new_durable(db, ServiceConfig::default(), DurabilityConfig::new(dir))
                 .map_err(|e| format!("{e} (database dropped — reload it)"))?;
         service.set_query_defaults(self.options);
-        self.service = Some(service);
+        self.service = Some(Arc::new(service));
         Ok(Some(format!(
             "durable: mutations now logged under {dir} (fsync per record, checkpoint every 60s)"
         )))
@@ -202,7 +229,8 @@ impl Repl {
             CtxPrefService::recover(ServiceConfig::default(), DurabilityConfig::new(dir))
                 .map_err(|e| e.to_string())?;
         service.set_query_defaults(self.options);
-        self.service = Some(service);
+        self.stop_server();
+        self.service = Some(Arc::new(service));
         self.current = None;
         Ok(Some(format!(
             "recovered checkpoint generation {}: {} record(s) replayed, {} rejected, \
@@ -231,10 +259,7 @@ impl Repl {
             Some("async") => AckMode::Async,
             Some(other) => return Err(format!("unknown ack mode {other:?} (async | quorum)")),
         };
-        let service = self
-            .service
-            .take()
-            .ok_or("no database loaded — try `load demo`")?;
+        let service = self.take_exclusive()?;
         let db = service.shutdown();
         let rcfg = ReplicatedConfig {
             ack_mode: ack,
@@ -243,7 +268,7 @@ impl Repl {
         let service = CtxPrefService::new_replicated(db, ServiceConfig::default(), rcfg)
             .map_err(|e| format!("{e} (database dropped — reload it)"))?;
         service.set_query_defaults(self.options);
-        self.service = Some(service);
+        self.service = Some(Arc::new(service));
         Ok(Some(format!(
             "replicated: {nodes} node(s) under {dir}, {} acks, auto-failover on",
             match ack {
@@ -292,6 +317,127 @@ impl Repl {
             .collect();
         out.push_str(&format!("promotions: {}", history.join(", ")));
         Ok(Some(out))
+    }
+
+    /// Serve the loaded database over TCP: `serve <addr>` binds a
+    /// framed-protocol listener in front of the service (the REPL
+    /// keeps working alongside it), `serve` shows what is being
+    /// served, `serve stop` drains and stops.
+    fn cmd_serve(&mut self, rest: &str) -> Result<Option<String>, String> {
+        match rest {
+            "" => Ok(Some(match &self.server {
+                Some(server) => format!(
+                    "serving on {} ({} connection(s) active)",
+                    server.local_addr(),
+                    server.active_connections()
+                ),
+                None => "not serving — `serve <addr>` (e.g. serve 127.0.0.1:7878)".to_string(),
+            })),
+            "stop" => match self.server.take() {
+                Some(server) => {
+                    let addr = server.local_addr();
+                    let undrained = server.shutdown();
+                    Ok(Some(if undrained == 0 {
+                        format!("stopped serving on {addr} (clean drain)")
+                    } else {
+                        format!("stopped serving on {addr} ({undrained} connection(s) abandoned)")
+                    }))
+                }
+                None => Err("not serving".to_string()),
+            },
+            addr => {
+                if self.server.is_some() {
+                    return Err("already serving — `serve stop` first".to_string());
+                }
+                let service = self
+                    .service
+                    .clone()
+                    .ok_or("no database loaded — try `load demo`")?;
+                let server = NetServer::bind(addr, service, NetServerConfig::default())
+                    .map_err(|e| format!("failed to bind {addr}: {e}"))?;
+                let bound = server.local_addr();
+                self.server = Some(server);
+                Ok(Some(format!(
+                    "serving on {bound} — `remote {bound} ping` from another shell"
+                )))
+            }
+        }
+    }
+
+    /// Drive a remote server: `remote <addr> <cmd…>` dials the framed
+    /// protocol, runs one command against the remote profile, and
+    /// prints the response.
+    fn cmd_remote(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let (addr, cmd) = rest
+            .split_once(char::is_whitespace)
+            .map(|(a, c)| (a, c.trim()))
+            .ok_or("usage: remote <addr> <ping|query|pref|del|score|checkpoint|flush|wal-status|repl-status|stats>")?;
+        let mut client = NetClient::connect(addr, NetClientConfig::default());
+        let run = |e: ctxpref::net::NetError| e.to_string();
+        let (verb, args) = match cmd.split_once(char::is_whitespace) {
+            Some((v, a)) => (v, a.trim()),
+            None => (cmd, ""),
+        };
+        match verb {
+            "ping" => {
+                client.ping().map_err(run)?;
+                Ok(Some(format!("{addr} is alive")))
+            }
+            "query" if !args.is_empty() => {
+                let names: Vec<&str> = args.split_whitespace().collect();
+                let answer = client
+                    .query(USER, "name", self.top_k, self.deadline, &names)
+                    .map_err(run)?;
+                Ok(Some(render_remote_answer(&answer)))
+            }
+            "query-desc" if !args.is_empty() => {
+                let answer = client
+                    .query_descriptor(USER, "name", self.top_k, args)
+                    .map_err(run)?;
+                Ok(Some(render_remote_answer(&answer)))
+            }
+            "pref" => {
+                let (cod, clause) = args
+                    .split_once("::")
+                    .ok_or("syntax: pref <descriptor> :: <attr> = <value> @ <score>")?;
+                let (assign, score) = clause
+                    .rsplit_once('@')
+                    .ok_or("syntax: pref <descriptor> :: <attr> = <value> @ <score>")?;
+                let (attr, value) = assign
+                    .split_once('=')
+                    .ok_or("expected `<attr> = <value>`")?;
+                let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
+                client
+                    .insert_preference(USER, cod.trim(), attr.trim(), value.trim(), score)
+                    .map_err(run)?;
+                Ok(Some("preference stored remotely".to_string()))
+            }
+            "del" => {
+                let index: usize = args.trim().parse().map_err(|_| "usage: del <index>")?;
+                let score = client.remove_preference(USER, index).map_err(run)?;
+                Ok(Some(format!(
+                    "removed remote preference scoring {score:.2}"
+                )))
+            }
+            "score" => {
+                let (idx, score) = args
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: score <index> <score>")?;
+                let index: usize = idx.trim().parse().map_err(|_| "bad index")?;
+                let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
+                client.update_score(USER, index, score).map_err(run)?;
+                Ok(Some("remote score updated".to_string()))
+            }
+            "checkpoint" => Ok(Some(client.checkpoint().map_err(run)?)),
+            "flush" => Ok(Some(client.flush_wal().map_err(run)?)),
+            "wal-status" => Ok(Some(client.wal_status().map_err(run)?)),
+            "repl-status" => Ok(Some(client.repl_status().map_err(run)?)),
+            "stats" => Ok(Some(client.stats().map_err(run)?)),
+            other => Err(format!(
+                "unknown remote command {other:?} — ping, query <values>, query-desc <descriptor>, \
+                 pref, del, score, checkpoint, flush, wal-status, repl-status, stats"
+            )),
+        }
     }
 
     fn cmd_checkpoint(&self) -> Result<Option<String>, String> {
@@ -588,6 +734,36 @@ fn render_answer(
     Ok(out)
 }
 
+fn render_remote_answer(answer: &RemoteAnswer) -> String {
+    let mut out = String::new();
+    for (i, row) in answer.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>3}. {:<40} {:.3}\n",
+            i + 1,
+            row.name,
+            row.score
+        ));
+    }
+    if answer.rows.is_empty() {
+        out.push_str("(no results — no stored preference covers this context)\n");
+    }
+    for f in &answer.fallbacks {
+        out.push_str(&format!("[{} failed: {}]\n", f.step, f.reason));
+    }
+    if answer.is_degraded() {
+        let via = match &answer.resolved_state {
+            Some(s) => format!(" via {s}"),
+            None => String::new(),
+        };
+        out.push_str(&format!("[degraded answer: {}{via}]\n", answer.step));
+    }
+    out.push_str(&format!(
+        "[remote {} answer in {}µs]\n",
+        answer.step, answer.elapsed_us
+    ));
+    out
+}
+
 fn render_ladder(db: &ShardedMultiUserDb, answer: &ServiceAnswer) -> String {
     let mut out = String::new();
     if answer.answer.from_cache {
@@ -650,6 +826,10 @@ commands:
   replicate <dir> [n] [async|quorum]   serve as an n-node primary/replica cluster
   promote <node>            manually promote a node to primary
   repl-status               roles, epochs, lag, and promotion history
+  serve <addr>|stop         serve the database over TCP (framed protocol)
+  remote <addr> <cmd>       drive a remote server (ping, query <values>,
+                            query-desc, pref, del, score, checkpoint, flush,
+                            wal-status, repl-status, stats)
   env                       show context parameters and hierarchies
   context [v1 v2 v3]        set / show the current context state
   query [descriptor]        query the current or a hypothetical context
@@ -675,10 +855,49 @@ fn run() -> i32 {
     let interactive = atty_stdin();
     let mut repl = Repl::new();
 
-    // A database named on the command line must load; otherwise the
-    // process is not in the state the caller asked for.
-    if let Some(path) = std::env::args().nth(1) {
-        match repl.cmd_open(&path) {
+    // Subcommand forms:
+    //   ctxpref-cli serve <addr> [saved-database]   load + serve, REPL alongside
+    //   ctxpref-cli remote <addr> <cmd…>            one-shot remote command
+    //   ctxpref-cli [saved-database]                plain REPL
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut startup: Vec<String> = Vec::new();
+    let serve_mode = args.first().map(String::as_str) == Some("serve");
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            let Some(addr) = args.get(1) else {
+                eprintln!("usage: ctxpref-cli serve <addr> [saved-database]");
+                return 2;
+            };
+            startup.push(match args.get(2) {
+                Some(path) => format!("open {path}"),
+                None => "load demo".to_string(),
+            });
+            startup.push(format!("serve {addr}"));
+        }
+        Some("remote") => {
+            if args.len() < 3 {
+                eprintln!("usage: ctxpref-cli remote <addr> <cmd…>");
+                return 2;
+            }
+            match repl.cmd_remote(&args[1..].join(" ")) {
+                Ok(Some(out)) => {
+                    println!("{}", out.trim_end());
+                    return 0;
+                }
+                Ok(None) => return 0,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
+        // A database named on the command line must load; otherwise
+        // the process is not in the state the caller asked for.
+        Some(path) => startup.push(format!("open {path}")),
+        None => {}
+    }
+    for line in startup {
+        match repl.handle(&line) {
             Ok(Some(out)) => println!("{}", out.trim_end()),
             Ok(None) => {}
             Err(e) => {
@@ -698,6 +917,11 @@ fn run() -> i32 {
         }
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
+            // In serve mode a closed stdin means "run as a daemon":
+            // keep the listener up until the process is killed.
+            Ok(0) if serve_mode && repl.server.is_some() => loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            },
             Ok(0) => break,
             Ok(_) => {}
             Err(_) => break,

@@ -30,6 +30,9 @@
 //!   isolation, admission control, and the degradation ladder.
 //! * [`wal`] — per-shard write-ahead logging, checkpoint manifests,
 //!   and crash recovery for the serving core.
+//! * [`net`] — the TCP serving layer: checksummed wire frames, a
+//!   socket server/client pair in front of the service, and the
+//!   socket-backed replication transport.
 //! * [`faults`] — deterministic, seedable fault injection for chaos
 //!   testing the above.
 //!
@@ -41,6 +44,7 @@ pub use ctxpref_context as context;
 pub use ctxpref_core as core;
 pub use ctxpref_faults as faults;
 pub use ctxpref_hierarchy as hierarchy;
+pub use ctxpref_net as net;
 pub use ctxpref_profile as profile;
 pub use ctxpref_qcache as qcache;
 pub use ctxpref_qualitative as qualitative;
