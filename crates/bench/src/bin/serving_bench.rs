@@ -1,12 +1,14 @@
 //! Serving-core benchmark driver: global-lock vs sharded core (PR 2),
-//! WAL fsync policies (PR 3), replication ack modes (PR 4), and the
-//! loopback network path (PR 5).
+//! WAL fsync policies (PR 3), replication ack modes (PR 4), the
+//! loopback network path (PR 5), and the routing tier with live
+//! migration (PR 6).
 //!
 //! ```text
 //! cargo run -p ctxpref-bench --release --bin serving_bench               # serving run → BENCH_PR2.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --durability # fsync policies → BENCH_PR3.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --replication # ack modes + failover → BENCH_PR4.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --net      # loopback vs in-process → BENCH_PR5.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --router   # routing tier + migration → BENCH_PR6.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick    # CI smoke (short window, no hard gate)
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
 //! ```
@@ -22,6 +24,7 @@ use std::time::Duration;
 use ctxpref_bench::durability::{self, DurabilityBenchConfig};
 use ctxpref_bench::net::{self, NetBenchConfig};
 use ctxpref_bench::replication::{self, ReplicationBenchConfig};
+use ctxpref_bench::router::{self, RouterBenchConfig};
 use ctxpref_bench::serving::{self, ServingBenchConfig};
 use ctxpref_bench::ShapeCheck;
 
@@ -31,13 +34,16 @@ fn main() {
     let durability_mode = args.iter().any(|a| a == "--durability");
     let replication_mode = args.iter().any(|a| a == "--replication");
     let net_mode = args.iter().any(|a| a == "--net");
+    let router_mode = args.iter().any(|a| a == "--router");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if net_mode {
+            if router_mode {
+                "BENCH_PR6.json"
+            } else if net_mode {
                 "BENCH_PR5.json"
             } else if replication_mode {
                 "BENCH_PR4.json"
@@ -49,7 +55,15 @@ fn main() {
             .to_string()
         });
 
-    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if net_mode {
+    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if router_mode {
+        let mut cfg = RouterBenchConfig::default();
+        if quick {
+            cfg.window = Duration::from_millis(250);
+            cfg.write_load = Duration::from_millis(300);
+        }
+        let report = router::run(cfg);
+        (report.render(), report.to_json(), report.checks)
+    } else if net_mode {
         let mut cfg = NetBenchConfig::default();
         if quick {
             cfg.window = Duration::from_millis(250);

@@ -29,6 +29,7 @@ pub mod fig7;
 pub mod net;
 pub mod qcache_exp;
 pub mod replication;
+pub mod router;
 pub mod serving;
 pub mod table1;
 pub mod tablefmt;

@@ -1,0 +1,519 @@
+//! Router benchmark (PR 6): the routing tier's forwarding overhead,
+//! live migration under write load, and recovery when a primary dies
+//! mid-migration.
+//!
+//! Three measurements:
+//!
+//! 1. **Routed vs direct** — the same users queried through a plain
+//!    `NetClient` pinned to each owning cluster, then through the
+//!    router (table lookup, breaker gate, retry wrapper). Both paths
+//!    cross the same loopback sockets, so the gap is the router layer
+//!    itself; the gate is a sanity factor, not parity.
+//! 2. **Migration under load** — a writer hammers one user through a
+//!    cloned router while the user live-migrates between clusters. The
+//!    report carries the acked-write count, the cut-over fence window,
+//!    and the proof that every acked write survived the move.
+//! 3. **Kill during migration** — the source is a replicated cluster
+//!    whose primary is crashed while the copy runs; the driver must
+//!    ride through the failover and land the user intact.
+//!
+//! Run via `cargo run -p ctxpref-bench --release --bin serving_bench --
+//! --router`, which emits `BENCH_PR6.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ctxpref_core::MultiUserDb;
+use ctxpref_net::{NetClient, NetClientConfig, NetServer, NetServerConfig};
+use ctxpref_router::{Router, RouterConfig, RouterError};
+use ctxpref_service::{CtxPrefService, DurabilityConfig, ReplicatedConfig, ServiceConfig};
+use ctxpref_wal::{tiny_env, tiny_relation};
+
+use crate::ShapeCheck;
+
+/// Workload knobs for the router benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterBenchConfig {
+    /// Registered users spread over the two clusters.
+    pub users: usize,
+    /// Result size per query.
+    pub k: usize,
+    /// Per-request deadline on both paths.
+    pub deadline: Duration,
+    /// Measurement window per path.
+    pub window: Duration,
+    /// Preferences seeded onto the migrating user before the move.
+    pub seed_prefs: usize,
+    /// How long the concurrent writer keeps hammering the migrating
+    /// user.
+    pub write_load: Duration,
+}
+
+impl Default for RouterBenchConfig {
+    fn default() -> Self {
+        Self {
+            users: 8,
+            k: 3,
+            deadline: Duration::from_millis(250),
+            window: Duration::from_millis(1500),
+            seed_prefs: 64,
+            write_load: Duration::from_millis(600),
+        }
+    }
+}
+
+/// Throughput and latency of one query path.
+#[derive(Debug, Clone, Copy)]
+pub struct PathThroughput {
+    /// Completed queries in the window.
+    pub queries: u64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// What one live migration under write load looked like.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationUnderLoad {
+    /// Writes the router acked while the migration ran.
+    pub acked_writes: u64,
+    /// Writes refused past the retry budget (never applied, never
+    /// counted).
+    pub refused_writes: u64,
+    /// The cut-over fence window — how long the user's writes were
+    /// fenced, microseconds.
+    pub fence_us: u64,
+    /// Catch-up pages replayed.
+    pub pages: u64,
+    /// Wall-clock of the whole migration, microseconds.
+    pub total_us: u64,
+    /// Whether every acked write (plus the seed) was on the
+    /// destination afterwards.
+    pub all_writes_survived: bool,
+}
+
+/// Recovery from a primary kill in the middle of a migration.
+#[derive(Debug, Clone, Copy)]
+pub struct KillRecovery {
+    /// Whether the migration completed despite the kill.
+    pub completed: bool,
+    /// Snapshot restarts the driver needed.
+    pub restarts: u32,
+    /// Wall-clock from kill issue to migration completion,
+    /// microseconds.
+    pub total_us: u64,
+    /// Whether the user (with every seeded preference) was intact on
+    /// the destination.
+    pub user_intact: bool,
+}
+
+/// Full router-benchmark report.
+#[derive(Debug)]
+pub struct RouterBenchReport {
+    /// The configuration that produced the numbers.
+    pub config: RouterBenchConfig,
+    /// Plain `NetClient` pinned to each owning cluster.
+    pub direct: PathThroughput,
+    /// The same queries through the router.
+    pub routed: PathThroughput,
+    /// direct/routed throughput ratio (the cost of the routing tier).
+    pub routing_overhead: f64,
+    /// The migration-under-load measurement.
+    pub migration: MigrationUnderLoad,
+    /// The kill-during-migration measurement.
+    pub kill: KillRecovery,
+    /// Pass/fail claims.
+    pub checks: Vec<ShapeCheck>,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn throughput(samples_us: &mut [u64], window: Duration) -> PathThroughput {
+    samples_us.sort_unstable();
+    PathThroughput {
+        queries: samples_us.len() as u64,
+        qps: samples_us.len() as f64 / window.as_secs_f64(),
+        p50_us: percentile(samples_us, 0.50),
+        p99_us: percentile(samples_us, 0.99),
+    }
+}
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("ctxpref-bench-router-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn durable_cluster(dir: &std::path::Path) -> (Arc<CtxPrefService>, NetServer) {
+    let db = MultiUserDb::new(tiny_env(), tiny_relation(), 4);
+    let mut dcfg = DurabilityConfig::new(dir);
+    dcfg.checkpoint_interval = None;
+    let service = Arc::new(
+        CtxPrefService::new_durable(db, ServiceConfig::default(), dcfg)
+            .expect("durable bench cluster"),
+    );
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        NetServerConfig::default(),
+    )
+    .expect("bind loopback");
+    (service, server)
+}
+
+/// Run the full router benchmark.
+pub fn run(cfg: RouterBenchConfig) -> RouterBenchReport {
+    // --- routed vs direct -------------------------------------------
+    let tmp_a = TempDir::new("ovh-a");
+    let tmp_b = TempDir::new("ovh-b");
+    let (_service_a, server_a) = durable_cluster(&tmp_a.0);
+    let (_service_b, server_b) = durable_cluster(&tmp_b.0);
+    let addrs = [
+        server_a.local_addr().to_string(),
+        server_b.local_addr().to_string(),
+    ];
+    let mut router = Router::new(
+        vec![vec![addrs[0].clone()], vec![addrs[1].clone()]],
+        RouterConfig::default(),
+    );
+    for i in 0..cfg.users {
+        let user = format!("user{i}");
+        router.add_user(&user).expect("seeding a bench user");
+        // "alpha" is a live tuple in `tiny_relation`, so the queries
+        // below rank (and return) a real row.
+        router
+            .insert_preference(&user, "*", "name", "alpha", 0.8)
+            .expect("seeding a bench preference");
+    }
+    let owners: Vec<usize> = (0..cfg.users)
+        .map(|i| router.cluster_of(&format!("user{i}")))
+        .collect();
+
+    // Direct: a plain client pinned to each cluster, user → its owner.
+    let mut direct_clients = [
+        NetClient::connect(addrs[0].clone(), NetClientConfig::default()),
+        NetClient::connect(addrs[1].clone(), NetClientConfig::default()),
+    ];
+    let state = ["low"];
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + cfg.window;
+    let mut n = 0usize;
+    while Instant::now() < deadline {
+        let i = n % cfg.users;
+        let user = format!("user{i}");
+        let started = Instant::now();
+        let answer = direct_clients[owners[i]]
+            .query(&user, "name", cfg.k, cfg.deadline, &state)
+            .expect("direct bench query");
+        samples.push(started.elapsed().as_micros() as u64);
+        assert!(!answer.rows.is_empty(), "the bench query must produce rows");
+        n += 1;
+    }
+    let direct = throughput(&mut samples, cfg.window);
+
+    // Routed: the same queries through the routing tier.
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + cfg.window;
+    let mut n = 0usize;
+    while Instant::now() < deadline {
+        let user = format!("user{}", n % cfg.users);
+        let started = Instant::now();
+        let answer = router
+            .query(&user, "name", cfg.k, cfg.deadline, &state)
+            .expect("routed bench query");
+        samples.push(started.elapsed().as_micros() as u64);
+        assert!(
+            !answer.rows.is_empty(),
+            "the routed query must produce rows"
+        );
+        n += 1;
+    }
+    let routed = throughput(&mut samples, cfg.window);
+    let routing_overhead = if routed.qps > 0.0 {
+        direct.qps / routed.qps
+    } else {
+        f64::INFINITY
+    };
+
+    // --- migration under write load ---------------------------------
+    let user = "mover";
+    router.add_user(user).expect("the migrating user");
+    for i in 0..cfg.seed_prefs {
+        router
+            .insert_preference(user, "*", "name", &format!("seed-{i}"), 0.5)
+            .expect("seeding the migrating user");
+    }
+    let dest = 1 - router.cluster_of(user);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let mut router = router.clone();
+        let stop = Arc::clone(&stop);
+        let load = cfg.write_load;
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut acked = 0u64;
+            let mut refused = 0u64;
+            let mut i = 0u64;
+            while started.elapsed() < load && !stop.load(Ordering::Relaxed) {
+                match router.insert_preference("mover", "*", "name", &format!("live-{i}"), 0.5) {
+                    Ok(()) => acked += 1,
+                    Err(RouterError::UserMigrating { .. }) => refused += 1,
+                    Err(e) => panic!("writer hit a non-migration error: {e}"),
+                }
+                i += 1;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            (acked, refused)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    let started = Instant::now();
+    let report = router
+        .migrate_user(user, dest)
+        .expect("migration under load");
+    let total_us = started.elapsed().as_micros() as u64;
+    let (acked_writes, refused_writes) = writer.join().expect("writer thread");
+    stop.store(true, Ordering::Relaxed);
+    // Writes issued after the flip landed on the destination too; count
+    // what the destination holds vs everything ever acked.
+    let services = [&_service_a, &_service_b];
+    let final_prefs = services[dest].with_db(|db| {
+        db.profile(user)
+            .map(|p| p.preferences().len() as u64)
+            .unwrap_or(0)
+    });
+    let migration = MigrationUnderLoad {
+        acked_writes,
+        refused_writes,
+        fence_us: report.fence.as_micros() as u64,
+        pages: report.pages,
+        total_us,
+        all_writes_survived: final_prefs == cfg.seed_prefs as u64 + acked_writes,
+    };
+    server_a.shutdown();
+    server_b.shutdown();
+
+    // --- kill during migration --------------------------------------
+    let tmp_src = TempDir::new("kill-src");
+    let tmp_dst = TempDir::new("kill-dst");
+    let src_db = MultiUserDb::new(tiny_env(), tiny_relation(), 4);
+    let mut rcfg = ReplicatedConfig::new(&tmp_src.0, 3);
+    rcfg.heartbeat_threshold = 2;
+    let src_service = Arc::new(
+        CtxPrefService::new_replicated(src_db, ServiceConfig::default(), rcfg)
+            .expect("replicated source"),
+    );
+    let src_server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&src_service),
+        NetServerConfig::default(),
+    )
+    .expect("bind source");
+    let (dst_service, dst_server) = durable_cluster(&tmp_dst.0);
+    // The driver must ride through the failover (auto-promotion takes a
+    // few background ticks), so give it a real retry budget.
+    let mut router = Router::new(
+        vec![
+            vec![src_server.local_addr().to_string()],
+            vec![dst_server.local_addr().to_string()],
+        ],
+        RouterConfig {
+            transient_retries: 40,
+            transient_backoff: Duration::from_millis(10),
+            ..RouterConfig::default()
+        },
+    );
+    // Pin the victim to the replicated cluster regardless of its ring
+    // home, then seed it.
+    let victim = (0..)
+        .map(|i| format!("victim{i}"))
+        .find(|u| router.cluster_of(u) == 0)
+        .expect("some user homes on cluster 0");
+    router.add_user(&victim).expect("the victim user");
+    for i in 0..cfg.seed_prefs {
+        router
+            .insert_preference(&victim, "*", "name", &format!("seed-{i}"), 0.5)
+            .expect("seeding the victim");
+    }
+    // Kill the source primary just as the copy starts.
+    let killer = {
+        let service = Arc::clone(&src_service);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            service.cluster().expect("replicated").crash_primary();
+        })
+    };
+    let started = Instant::now();
+    let outcome = router.migrate_user(&victim, 1);
+    let total_us = started.elapsed().as_micros() as u64;
+    killer.join().expect("killer thread");
+    let (completed, restarts, kill_error) = match &outcome {
+        Ok(r) => (r.moved, r.restarts, String::new()),
+        Err(e) => (false, 0, format!(" error: {e}")),
+    };
+    let user_intact = dst_service.with_db(|db| {
+        db.profile(&victim)
+            .map(|p| p.preferences().len() == cfg.seed_prefs)
+            .unwrap_or(false)
+    });
+    let kill = KillRecovery {
+        completed,
+        restarts,
+        total_us,
+        user_intact,
+    };
+    src_server.shutdown();
+    dst_server.shutdown();
+
+    let checks = vec![
+        ShapeCheck::new(
+            "routed queries within 3× of direct client queries",
+            routed.qps > 0.0 && routing_overhead <= 3.0,
+            format!(
+                "direct {:.0} q/s vs routed {:.0} q/s ({routing_overhead:.2}× routing cost)",
+                direct.qps, routed.qps
+            ),
+        ),
+        ShapeCheck::new(
+            "no acked write lost across a migration under load",
+            migration.all_writes_survived,
+            format!(
+                "{} acked + {} seed prefs on the destination ({} refused during the fence)",
+                migration.acked_writes, cfg.seed_prefs, migration.refused_writes
+            ),
+        ),
+        ShapeCheck::new(
+            "cut-over fence stays under 250 ms",
+            migration.fence_us < 250_000,
+            format!("fence window {} µs", migration.fence_us),
+        ),
+        ShapeCheck::new(
+            "migration completes despite a primary kill mid-copy",
+            kill.completed && kill.user_intact,
+            format!(
+                "completed={} intact={} after {} restarts in {} µs{kill_error}",
+                kill.completed, kill.user_intact, kill.restarts, kill.total_us
+            ),
+        ),
+    ];
+    RouterBenchReport {
+        config: cfg,
+        direct,
+        routed,
+        routing_overhead,
+        migration,
+        kill,
+        checks,
+    }
+}
+
+impl RouterBenchReport {
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let path = |name: &str, p: &PathThroughput| {
+            format!(
+                "  {name:<12} {:>7.0} q/s  (p50 {} µs, p99 {} µs, {} queries)\n",
+                p.qps, p.p50_us, p.p99_us, p.queries
+            )
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "router tier: {} users, k={}, {:?} deadline, {:?} window per path\n",
+            self.config.users, self.config.k, self.config.deadline, self.config.window
+        ));
+        out.push_str(&path("direct:", &self.direct));
+        out.push_str(&path("routed:", &self.routed));
+        out.push_str(&format!(
+            "  routing cost: {:.2}× over a pinned client\n",
+            self.routing_overhead
+        ));
+        out.push_str(&format!(
+            "  migration under load: {} acked / {} refused writes, fence {} µs, \
+             {} catch-up pages, {} µs total, survived={}\n",
+            self.migration.acked_writes,
+            self.migration.refused_writes,
+            self.migration.fence_us,
+            self.migration.pages,
+            self.migration.total_us,
+            self.migration.all_writes_survived,
+        ));
+        out.push_str(&format!(
+            "  kill during migration: completed={} intact={} ({} restarts, {} µs)\n",
+            self.kill.completed, self.kill.user_intact, self.kill.restarts, self.kill.total_us
+        ));
+        out.push_str(&crate::render_checks(&self.checks));
+        out
+    }
+
+    /// Serialize as a small JSON document (hand-rolled; the workspace
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        let path = |p: &PathThroughput| {
+            format!(
+                "{{\"queries\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}",
+                p.queries, p.qps, p.p50_us, p.p99_us
+            )
+        };
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"name\": {:?}, \"pass\": {}, \"detail\": {:?}}}",
+                    c.name, c.pass, c.detail
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"router_pr6\",\n  \"config\": {{\"users\": {}, \"k\": {}, \
+             \"deadline_ms\": {}, \"window_ms\": {}, \"seed_prefs\": {}, \"write_load_ms\": {}}},\n  \
+             \"direct\": {},\n  \"routed\": {},\n  \"routing_overhead\": {:.2},\n  \
+             \"migration_under_load\": {{\"acked_writes\": {}, \"refused_writes\": {}, \
+             \"fence_us\": {}, \"pages\": {}, \"total_us\": {}, \"all_writes_survived\": {}}},\n  \
+             \"kill_during_migration\": {{\"completed\": {}, \"restarts\": {}, \"total_us\": {}, \
+             \"user_intact\": {}}},\n  \"checks\": [\n{}\n  ]\n}}\n",
+            self.config.users,
+            self.config.k,
+            self.config.deadline.as_millis(),
+            self.config.window.as_millis(),
+            self.config.seed_prefs,
+            self.config.write_load.as_millis(),
+            path(&self.direct),
+            path(&self.routed),
+            self.routing_overhead,
+            self.migration.acked_writes,
+            self.migration.refused_writes,
+            self.migration.fence_us,
+            self.migration.pages,
+            self.migration.total_us,
+            self.migration.all_writes_survived,
+            self.kill.completed,
+            self.kill.restarts,
+            self.kill.total_us,
+            self.kill.user_intact,
+            checks.join(",\n")
+        )
+    }
+}

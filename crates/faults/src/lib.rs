@@ -94,6 +94,28 @@ pub mod sites {
     /// it, forcing the peer onto its reconnect path.
     pub const NET_CONN_DROP: &str = "net.conn.drop";
 
+    /// The migration driver's snapshot/copy step (export + import of
+    /// the user's profile): an injected error aborts the migration,
+    /// which must roll back cleanly and leave the source serving.
+    pub const ROUTER_MIGRATE_COPY: &str = "router.migrate.copy";
+    /// One catch-up round of the migration driver (pulling and
+    /// applying a page of the user's WAL suffix): an injected error
+    /// forces a retry or an abort, never a stale apply.
+    pub const ROUTER_MIGRATE_CATCHUP: &str = "router.migrate.catchup";
+    /// The cut-over step (fence → final drain → digest check → flip):
+    /// an injected error here must either complete the flip or unfence
+    /// the source — never strand the user unowned.
+    pub const ROUTER_MIGRATE_CUTOVER: &str = "router.migrate.cutover";
+
+    /// Every registered routing-tier migration site: the router chaos
+    /// matrix injects failures at each migration phase and asserts the
+    /// single-owner and acked-write invariants still hold.
+    pub const ROUTER_SITES: &[&str] = &[
+        ROUTER_MIGRATE_COPY,
+        ROUTER_MIGRATE_CATCHUP,
+        ROUTER_MIGRATE_CUTOVER,
+    ];
+
     /// Every registered TCP serving-layer site: the socket chaos tests
     /// drive refused accepts, torn frames, stalls, and dropped
     /// connections through these, and the serving/replication

@@ -9,17 +9,31 @@
 //! mutation was sent leaves the outcome unknown, and replaying it
 //! could double-apply.
 //!
-//! Typed server refusals are **not** retried here: a
-//! [`NetError::ServerBusy`] or [`NetError::Remote`] means the server
-//! made a decision, and the caller gets it intact to apply its own
-//! policy.
+//! Every backoff sleep adds a small **deterministic jitter** drawn
+//! from a seeded generator ([`NetClientConfig::jitter`],
+//! [`NetClientConfig::jitter_seed`]), so a fleet of clients retrying
+//! into the same recovering server fans out instead of stampeding in
+//! lockstep — while a given seed still replays the exact same sleep
+//! sequence in tests.
+//!
+//! [`Response::Busy`] is one step gentler than a transport failure:
+//! the server answered, it just had no capacity. For **idempotent**
+//! requests the client retries it with the same backoff under its own
+//! small cap ([`NetClientConfig::busy_attempts`]) before surfacing the
+//! typed [`NetError::ServerBusy`]; non-idempotent requests surface it
+//! immediately (capacity may free mid-mutation, and a blind replay
+//! could double-apply). Other typed refusals ([`NetError::Remote`])
+//! are never retried: the server made a decision, and the caller gets
+//! it intact to apply its own policy.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
 use crate::error::NetError;
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{RemoteAnswer, Request, Response};
+use crate::proto::{MigrateAction, RemoteAnswer, Request, Response};
 
 /// Tuning knobs of [`NetClient`].
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +48,16 @@ pub struct NetClientConfig {
     pub attempts: u32,
     /// Backoff between attempts, multiplied by the attempt number.
     pub backoff: Duration,
+    /// Upper bound on the random extra delay added to every backoff
+    /// sleep. Zero disables jitter entirely.
+    pub jitter: Duration,
+    /// Seed for the jitter generator: the sleep sequence is a pure
+    /// function of this seed, so tests replay byte-identically.
+    pub jitter_seed: u64,
+    /// Total attempts for an idempotent request answered with a typed
+    /// busy refusal (first try included); non-idempotent requests
+    /// surface busy on the first refusal.
+    pub busy_attempts: u32,
 }
 
 impl Default for NetClientConfig {
@@ -44,6 +68,9 @@ impl Default for NetClientConfig {
             write_timeout: Duration::from_secs(5),
             attempts: 3,
             backoff: Duration::from_millis(50),
+            jitter: Duration::from_millis(20),
+            jitter_seed: 0,
+            busy_attempts: 3,
         }
     }
 }
@@ -53,6 +80,7 @@ pub struct NetClient {
     addr: String,
     cfg: NetClientConfig,
     conn: Option<TcpStream>,
+    jitter_rng: StdRng,
 }
 
 impl std::fmt::Debug for NetClient {
@@ -72,6 +100,7 @@ impl NetClient {
             addr: addr.into(),
             cfg,
             conn: None,
+            jitter_rng: StdRng::seed_from_u64(cfg.jitter_seed),
         }
     }
 
@@ -120,29 +149,58 @@ impl NetClient {
         }
     }
 
+    /// One backoff sleep: linear in the attempt number, plus a
+    /// deterministic random fan-out bounded by the configured jitter.
+    fn backoff_sleep(&mut self, attempt: u32) {
+        let mut delay = self.cfg.backoff * attempt;
+        let ceiling = self.cfg.jitter.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if ceiling > 0 {
+            delay += Duration::from_nanos(self.jitter_rng.random_range(0..=ceiling));
+        }
+        std::thread::sleep(delay);
+    }
+
     /// Send `req`, reconnecting and retrying (idempotent requests
-    /// only) on transport failures.
+    /// only) on transport failures, and retrying busy refusals under
+    /// their own cap.
     pub fn request(&mut self, req: &Request) -> Result<Response, NetError> {
-        let budget = if req.is_idempotent() {
+        let idempotent = req.is_idempotent();
+        let budget = if idempotent {
             self.cfg.attempts.max(1)
         } else {
             1
         };
+        let busy_budget = if idempotent {
+            self.cfg.busy_attempts.max(1)
+        } else {
+            1
+        };
+        // Busy refusals and transport failures spend separate budgets:
+        // a server that was briefly saturated and then lost the
+        // connection still gets its full transport retry allowance.
         let mut attempt = 0;
+        let mut busy_attempt = 0;
         loop {
-            attempt += 1;
             match self.exchange(req) {
-                // A decoded response is an answer, even a refusal:
-                // the transport worked, so no retry.
+                // The server answered but had no capacity. The
+                // connection was closed after the busy frame; retrying
+                // (idempotent only, capped) means a fresh dial.
                 Ok(Response::Busy { limit }) => {
                     self.conn = None;
-                    return Err(NetError::ServerBusy { limit });
+                    busy_attempt += 1;
+                    if busy_attempt >= busy_budget {
+                        return Err(NetError::ServerBusy { limit });
+                    }
+                    self.backoff_sleep(busy_attempt);
                 }
+                // Any other decoded response is an answer, even a
+                // refusal: the server made a decision, so no retry.
                 Ok(Response::Err { kind, message }) => {
                     return Err(NetError::Remote { kind, message })
                 }
                 Ok(resp) => return Ok(resp),
                 Err(e @ (NetError::Io(_) | NetError::Frame(_))) => {
+                    attempt += 1;
                     if attempt >= budget {
                         return if attempt == 1 {
                             Err(e)
@@ -153,7 +211,7 @@ impl NetClient {
                             })
                         };
                     }
-                    std::thread::sleep(self.cfg.backoff * attempt);
+                    self.backoff_sleep(attempt);
                 }
                 // Protocol confusion is not transient; surface it.
                 Err(e) => return Err(e),
@@ -285,9 +343,47 @@ impl NetClient {
         self.expect_text(&Request::ReplStatus)
     }
 
-    /// The server's service counters, rendered.
+    /// The server's service counters, rendered. Includes one
+    /// `fault <site> <hits>` line per fault-injection site of the
+    /// currently installed plan, if any.
     pub fn stats(&mut self) -> Result<String, NetError> {
         self.expect_text(&Request::Stats)
+    }
+
+    /// One routing probe: whether a primary serves writes, the
+    /// replication epoch, and how much state lives behind `addr`.
+    pub fn route_status(&mut self) -> Result<ctxpref_service::RouteInfo, NetError> {
+        match self.request(&Request::RouteStatus)? {
+            Response::RouteInfo {
+                has_primary,
+                epoch,
+                users,
+                migrations,
+            } => Ok(ctxpref_service::RouteInfo {
+                has_primary,
+                epoch,
+                users,
+                migrations,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One migration step for `user` under routing epoch `epoch`. The
+    /// response shape depends on the action (a cut, a snapshot, a
+    /// record page, a watermark, …), so the raw [`Response`] comes
+    /// back for the migration driver to match on.
+    pub fn migrate(
+        &mut self,
+        user: &str,
+        epoch: u64,
+        action: MigrateAction,
+    ) -> Result<Response, NetError> {
+        self.request(&Request::MigrateUser {
+            user: user.to_string(),
+            epoch,
+            action,
+        })
     }
 
     fn expect_ok(&mut self, req: &Request) -> Result<(), NetError> {

@@ -66,6 +66,8 @@ pub use error::{FrameError, NetError, ProtoError};
 pub use frame::{
     encode_frame, frame_checksum, read_frame, write_frame, FRAME_HEADER, MAX_FRAME_PAYLOAD,
 };
-pub use proto::{AnswerRow, RemoteAnswer, Request, Response, WireFallback, PROTO_VERSION};
+pub use proto::{
+    AnswerRow, MigrateAction, RemoteAnswer, Request, Response, WireFallback, PROTO_VERSION,
+};
 pub use repl::{ReplServer, TcpTransport, REPL_PROTO_VERSION};
 pub use server::{NetServer, NetServerConfig};

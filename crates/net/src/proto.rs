@@ -101,6 +101,67 @@ pub enum Request {
     ReplStatus,
     /// Serving-layer counters.
     Stats,
+    /// What a router needs from one probe: primary presence, epoch,
+    /// state counts (see [`Response::RouteInfo`]).
+    RouteStatus,
+    /// One step of the live-migration protocol for `user`, owned by
+    /// the routing epoch `epoch` (see `ctxpref_service`'s migration
+    /// surface — an older epoch than the user's entry is refused, so a
+    /// deposed migration driver can never apply stale writes).
+    MigrateUser {
+        /// The migrating user.
+        user: String,
+        /// The routing epoch the driver minted for this migration.
+        epoch: u64,
+        /// The protocol step to execute.
+        action: MigrateAction,
+    },
+}
+
+/// One step of the live-migration protocol, as carried by
+/// [`Request::MigrateUser`]. Every step is idempotent: exports, pulls
+/// and probes are reads; fences, imports, applies, and aborts are
+/// epoch- and watermark-guarded on the serving side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrateAction {
+    /// Read the user's cut coordinates and profile digest.
+    Export,
+    /// Read a consistent snapshot: the cut LSN plus the WAL-op
+    /// payloads that reconstruct the profile.
+    Snapshot,
+    /// Read one page of the user's WAL suffix starting at `from_lsn`.
+    Pull {
+        /// First LSN wanted.
+        from_lsn: u64,
+        /// Page size cap.
+        max: u64,
+    },
+    /// Source side: fence client writes for the user (cut-over).
+    Fence,
+    /// Destination side: reset the user and apply snapshot ops; the
+    /// catch-up watermark starts at `src_lsn`.
+    Import {
+        /// The snapshot's cut LSN on the source.
+        src_lsn: u64,
+        /// WAL-op payloads reconstructing the profile.
+        ops: Vec<Vec<u8>>,
+    },
+    /// Destination side: apply one catch-up page; records at or below
+    /// the watermark are dropped, then the watermark advances to
+    /// `through`.
+    Apply {
+        /// Highest source LSN the page scanned through.
+        through: u64,
+        /// `(source lsn, payload)` records targeting the user.
+        records: Vec<(u64, Vec<u8>)>,
+    },
+    /// Destination side: the routing table flipped — serve the user.
+    Activate,
+    /// Source side: cut-over completed — drop the user's data and
+    /// leave a tombstone for stale clients.
+    Finish,
+    /// Abort this epoch's migration on the receiving side.
+    Abort,
 }
 
 impl Request {
@@ -108,6 +169,9 @@ impl Request {
     /// safe. Reads and probes are; mutations are not (the server may
     /// have applied the first attempt before the connection died), so
     /// the client surfaces those failures instead of retrying.
+    /// Migration steps count as idempotent even though they mutate:
+    /// the serving side makes every step retry-safe through the
+    /// routing-epoch guard and the per-import LSN watermark.
     pub fn is_idempotent(&self) -> bool {
         !matches!(
             self,
@@ -178,15 +242,73 @@ impl Request {
             Self::WalStatus => format!("{PROTO_VERSION} wal-status"),
             Self::ReplStatus => format!("{PROTO_VERSION} repl-status"),
             Self::Stats => format!("{PROTO_VERSION} stats"),
+            Self::RouteStatus => format!("{PROTO_VERSION} route-status"),
+            Self::MigrateUser {
+                user,
+                epoch,
+                action,
+            } => {
+                let u = escape(user);
+                match action {
+                    MigrateAction::Export => {
+                        format!("{PROTO_VERSION} migrate {epoch} export {u}")
+                    }
+                    MigrateAction::Snapshot => {
+                        format!("{PROTO_VERSION} migrate {epoch} snapshot {u}")
+                    }
+                    MigrateAction::Pull { from_lsn, max } => {
+                        format!("{PROTO_VERSION} migrate {epoch} pull {u} {from_lsn} {max}")
+                    }
+                    MigrateAction::Fence => {
+                        format!("{PROTO_VERSION} migrate {epoch} fence {u}")
+                    }
+                    MigrateAction::Import { src_lsn, ops } => {
+                        let mut text = format!(
+                            "{PROTO_VERSION} migrate {epoch} import {u} {src_lsn} {}",
+                            ops.len()
+                        );
+                        for op in ops {
+                            text.push_str("\nop ");
+                            text.push_str(&hex(op));
+                        }
+                        text
+                    }
+                    MigrateAction::Apply { through, records } => {
+                        let mut text = format!(
+                            "{PROTO_VERSION} migrate {epoch} apply {u} {through} {}",
+                            records.len()
+                        );
+                        for (lsn, payload) in records {
+                            text.push_str(&format!("\nrec {lsn} {}", hex(payload)));
+                        }
+                        text
+                    }
+                    MigrateAction::Activate => {
+                        format!("{PROTO_VERSION} migrate {epoch} activate {u}")
+                    }
+                    MigrateAction::Finish => {
+                        format!("{PROTO_VERSION} migrate {epoch} finish {u}")
+                    }
+                    MigrateAction::Abort => {
+                        format!("{PROTO_VERSION} migrate {epoch} abort {u}")
+                    }
+                }
+            }
         };
         line.into_bytes()
     }
 
-    /// Decode a payload produced by [`Self::encode`].
+    /// Decode a payload produced by [`Self::encode`]. The header is
+    /// the first line; `migrate import`/`migrate apply` carry one body
+    /// line per shipped record (everything else is single-line).
     pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
         let text =
             std::str::from_utf8(payload).map_err(|_| ProtoError::new("payload is not utf-8"))?;
-        let toks: Vec<&str> = text.split_whitespace().collect();
+        let mut lines = text.lines();
+        let head = lines
+            .next()
+            .ok_or_else(|| ProtoError::new("empty request"))?;
+        let toks: Vec<&str> = head.split_whitespace().collect();
         let (version, rest) = toks
             .split_first()
             .ok_or_else(|| ProtoError::new("empty request"))?;
@@ -243,9 +365,117 @@ impl Request {
             ("wal-status", []) => Ok(Self::WalStatus),
             ("repl-status", []) => Ok(Self::ReplStatus),
             ("stats", []) => Ok(Self::Stats),
-            _ => Err(ProtoError::new(format!("unrecognized request {text:?}"))),
+            ("route-status", []) => Ok(Self::RouteStatus),
+            ("migrate", [epoch, step, args @ ..]) => {
+                let epoch: u64 = num(epoch, "migration epoch")?;
+                let (action, user) = match (*step, args) {
+                    ("export", [u]) => (MigrateAction::Export, u),
+                    ("snapshot", [u]) => (MigrateAction::Snapshot, u),
+                    ("pull", [u, from_lsn, max]) => (
+                        MigrateAction::Pull {
+                            from_lsn: num(from_lsn, "from_lsn")?,
+                            max: num(max, "max")?,
+                        },
+                        u,
+                    ),
+                    ("fence", [u]) => (MigrateAction::Fence, u),
+                    ("import", [u, src_lsn, n]) => (
+                        MigrateAction::Import {
+                            src_lsn: num(src_lsn, "src_lsn")?,
+                            ops: decode_op_lines(lines, num(n, "op count")?)?,
+                        },
+                        u,
+                    ),
+                    ("apply", [u, through, n]) => (
+                        MigrateAction::Apply {
+                            through: num(through, "through")?,
+                            records: decode_rec_lines(lines, num(n, "record count")?)?,
+                        },
+                        u,
+                    ),
+                    ("activate", [u]) => (MigrateAction::Activate, u),
+                    ("finish", [u]) => (MigrateAction::Finish, u),
+                    ("abort", [u]) => (MigrateAction::Abort, u),
+                    _ => {
+                        return Err(ProtoError::new(format!(
+                            "unrecognized migrate step {head:?}"
+                        )))
+                    }
+                };
+                Ok(Self::MigrateUser {
+                    user: field(user, "user")?,
+                    epoch,
+                    action,
+                })
+            }
+            _ => Err(ProtoError::new(format!("unrecognized request {head:?}"))),
         }
     }
+}
+
+/// Decode `op <hex>` body lines (snapshot ops of a migrate import).
+fn decode_op_lines(lines: std::str::Lines<'_>, n: usize) -> Result<Vec<Vec<u8>>, ProtoError> {
+    let mut ops = Vec::new();
+    for line in lines {
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["op", h] => ops.push(unhex(h).ok_or_else(|| ProtoError::new("bad op hex"))?),
+            _ => return Err(ProtoError::new(format!("unrecognized op line {line:?}"))),
+        }
+    }
+    if ops.len() != n {
+        return Err(ProtoError::new(format!(
+            "op count mismatch: header says {n}, body has {}",
+            ops.len()
+        )));
+    }
+    Ok(ops)
+}
+
+/// Decode `rec <lsn> <hex>` body lines (catch-up records of a migrate
+/// apply, and the body of `snapshot`/`records` responses).
+fn decode_rec_lines(
+    lines: std::str::Lines<'_>,
+    n: usize,
+) -> Result<Vec<(u64, Vec<u8>)>, ProtoError> {
+    let mut records = Vec::new();
+    for line in lines {
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["rec", lsn, h] => records.push((
+                num(lsn, "record lsn")?,
+                unhex(h).ok_or_else(|| ProtoError::new("bad record hex"))?,
+            )),
+            _ => {
+                return Err(ProtoError::new(format!(
+                    "unrecognized record line {line:?}"
+                )))
+            }
+        }
+    }
+    if records.len() != n {
+        return Err(ProtoError::new(format!(
+            "record count mismatch: header says {n}, body has {}",
+            records.len()
+        )));
+    }
+    Ok(records)
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
 }
 
 /// One result row of a served query.
@@ -325,6 +555,61 @@ pub enum Response {
         /// The rendered message.
         message: String,
     },
+    /// The cluster behind this endpoint has no primary (or fenced the
+    /// write): the router should re-probe for the new primary instead
+    /// of surfacing an error.
+    NotPrimary,
+    /// The user is mid-migration: the write was refused, typed and
+    /// immediate — retry after a routing refresh, never a hang.
+    Migrating {
+        /// The user whose write was refused.
+        user: String,
+    },
+    /// A per-user export: cut coordinates plus profile digest.
+    UserCut {
+        /// Whether the user exists on this side.
+        present: bool,
+        /// The user's WAL shard.
+        shard: u64,
+        /// The shard's last applied LSN at the cut.
+        last_lsn: u64,
+        /// FNV digest of the profile at the cut (0 when absent).
+        digest: u64,
+    },
+    /// A consistent user snapshot: the cut LSN plus reconstruction
+    /// ops.
+    Snapshot {
+        /// The cut LSN on this (source) side.
+        src_lsn: u64,
+        /// WAL-op payloads reconstructing the profile.
+        ops: Vec<Vec<u8>>,
+    },
+    /// One page of the user's WAL suffix.
+    Records {
+        /// Highest LSN scanned (the next pull starts at `through+1`).
+        through: u64,
+        /// `(lsn, payload)` records targeting the user.
+        records: Vec<(u64, Vec<u8>)>,
+    },
+    /// The requested WAL suffix was garbage-collected into a
+    /// checkpoint: restart catch-up from a fresh snapshot.
+    Gone,
+    /// A catch-up page was applied; the import watermark is now this.
+    Applied {
+        /// The destination's import watermark after the page.
+        watermark: u64,
+    },
+    /// What a router needs from one probe.
+    RouteInfo {
+        /// Whether a primary currently serves writes.
+        has_primary: bool,
+        /// The replication epoch (0 for an unreplicated service).
+        epoch: u64,
+        /// Users held by the serving core.
+        users: u64,
+        /// Live migration entries (fences, imports, tombstones).
+        migrations: u64,
+    },
 }
 
 impl Response {
@@ -357,6 +642,45 @@ impl Response {
             Self::Err { kind, message } => {
                 format!("{PROTO_VERSION} err {} {}", escape(kind), escape(message))
             }
+            Self::NotPrimary => format!("{PROTO_VERSION} not-primary"),
+            Self::Migrating { user } => {
+                format!("{PROTO_VERSION} migrating {}", escape(user))
+            }
+            Self::UserCut {
+                present,
+                shard,
+                last_lsn,
+                digest,
+            } => format!(
+                "{PROTO_VERSION} user-cut {} {shard} {last_lsn} {digest}",
+                u8::from(*present)
+            ),
+            Self::Snapshot { src_lsn, ops } => {
+                let mut text = format!("{PROTO_VERSION} snapshot {src_lsn} {}", ops.len());
+                for op in ops {
+                    text.push_str("\nop ");
+                    text.push_str(&hex(op));
+                }
+                text
+            }
+            Self::Records { through, records } => {
+                let mut text = format!("{PROTO_VERSION} records {through} {}", records.len());
+                for (lsn, payload) in records {
+                    text.push_str(&format!("\nrec {lsn} {}", hex(payload)));
+                }
+                text
+            }
+            Self::Gone => format!("{PROTO_VERSION} gone"),
+            Self::Applied { watermark } => format!("{PROTO_VERSION} applied {watermark}"),
+            Self::RouteInfo {
+                has_primary,
+                epoch,
+                users,
+                migrations,
+            } => format!(
+                "{PROTO_VERSION} route-info {} {epoch} {users} {migrations}",
+                u8::from(*has_primary)
+            ),
         };
         text.into_bytes()
     }
@@ -425,6 +749,34 @@ impl Response {
             ["err", kind, message] => Ok(Self::Err {
                 kind: field(kind, "kind")?,
                 message: field(message, "message")?,
+            }),
+            ["not-primary"] => Ok(Self::NotPrimary),
+            ["migrating", user] => Ok(Self::Migrating {
+                user: field(user, "user")?,
+            }),
+            ["user-cut", present, shard, last_lsn, digest] => Ok(Self::UserCut {
+                present: *present == "1",
+                shard: num(shard, "shard")?,
+                last_lsn: num(last_lsn, "last_lsn")?,
+                digest: num(digest, "digest")?,
+            }),
+            ["snapshot", src_lsn, n] => Ok(Self::Snapshot {
+                src_lsn: num(src_lsn, "src_lsn")?,
+                ops: decode_op_lines(lines, num(n, "op count")?)?,
+            }),
+            ["records", through, n] => Ok(Self::Records {
+                through: num(through, "through")?,
+                records: decode_rec_lines(lines, num(n, "record count")?)?,
+            }),
+            ["gone"] => Ok(Self::Gone),
+            ["applied", watermark] => Ok(Self::Applied {
+                watermark: num(watermark, "watermark")?,
+            }),
+            ["route-info", has_primary, epoch, users, migrations] => Ok(Self::RouteInfo {
+                has_primary: *has_primary == "1",
+                epoch: num(epoch, "epoch")?,
+                users: num(users, "users")?,
+                migrations: num(migrations, "migrations")?,
             }),
             _ => Err(ProtoError::new(format!("unrecognized response {head:?}"))),
         }
@@ -495,6 +847,56 @@ mod tests {
         roundtrip_req(Request::WalStatus);
         roundtrip_req(Request::ReplStatus);
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::RouteStatus);
+    }
+
+    #[test]
+    fn migrate_requests_roundtrip() {
+        let user = "Ano Poli visitor".to_string();
+        for action in [
+            MigrateAction::Export,
+            MigrateAction::Snapshot,
+            MigrateAction::Pull {
+                from_lsn: 42,
+                max: 64,
+            },
+            MigrateAction::Fence,
+            MigrateAction::Import {
+                src_lsn: 17,
+                ops: vec![b"add user\x01x".to_vec(), b"ins user pref".to_vec()],
+            },
+            MigrateAction::Apply {
+                through: 99,
+                records: vec![(18, b"score user 0 0.5".to_vec()), (21, vec![0, 255, 7])],
+            },
+            MigrateAction::Activate,
+            MigrateAction::Finish,
+            MigrateAction::Abort,
+        ] {
+            roundtrip_req(Request::MigrateUser {
+                user: user.clone(),
+                epoch: 7,
+                action,
+            });
+        }
+    }
+
+    #[test]
+    fn migrate_requests_are_idempotent() {
+        // The routing tier retries migration steps across transport
+        // failures; the serving side's epoch/watermark guards make
+        // that safe, so the client must classify them retry-able.
+        assert!(Request::RouteStatus.is_idempotent());
+        assert!(Request::MigrateUser {
+            user: "u".into(),
+            epoch: 1,
+            action: MigrateAction::Apply {
+                through: 3,
+                records: vec![(3, b"add u".to_vec())],
+            },
+        }
+        .is_idempotent());
+        assert!(!Request::AddUser { user: "u".into() }.is_idempotent());
     }
 
     #[test]
@@ -529,6 +931,42 @@ mod tests {
             kind: "core".into(),
             message: "no such user \"ghost\"".into(),
         });
+        roundtrip_resp(Response::NotPrimary);
+        roundtrip_resp(Response::Migrating {
+            user: "Ano Poli visitor".into(),
+        });
+        roundtrip_resp(Response::UserCut {
+            present: true,
+            shard: 3,
+            last_lsn: 117,
+            digest: 0xDEAD_BEEF,
+        });
+        roundtrip_resp(Response::UserCut {
+            present: false,
+            shard: 0,
+            last_lsn: 0,
+            digest: 0,
+        });
+        roundtrip_resp(Response::Snapshot {
+            src_lsn: 12,
+            ops: vec![b"add me".to_vec(), vec![1, 2, 3]],
+        });
+        roundtrip_resp(Response::Records {
+            through: 40,
+            records: vec![(39, b"ins me pref".to_vec()), (40, vec![255])],
+        });
+        roundtrip_resp(Response::Records {
+            through: 0,
+            records: vec![],
+        });
+        roundtrip_resp(Response::Gone);
+        roundtrip_resp(Response::Applied { watermark: 88 });
+        roundtrip_resp(Response::RouteInfo {
+            has_primary: true,
+            epoch: 4,
+            users: 1000,
+            migrations: 2,
+        });
     }
 
     #[test]
@@ -549,6 +987,12 @@ mod tests {
             b"ctxpref1 pref a b c",
             b"ctxpref1 answer",
             b"ctxpref1 nonsense x y z",
+            b"ctxpref1 migrate nine export u",
+            b"ctxpref1 migrate 1 import u 1 2\nop zz",
+            b"ctxpref1 migrate 1 apply u 1 1\nrec 1",
+            b"ctxpref1 migrate 1 apply u 1 2\nrec 1 00",
+            b"ctxpref1 snapshot 1 1\nbogus line",
+            b"ctxpref1 records 5 1\nrec x 00",
         ] {
             assert!(Request::decode(payload).is_err());
             assert!(Response::decode(payload).is_err());

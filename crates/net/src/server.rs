@@ -33,11 +33,11 @@ use ctxpref_context::ContextState;
 use ctxpref_core::CoreError;
 use ctxpref_faults::hit;
 use ctxpref_faults::sites::{NET_ACCEPT, NET_CONN_DELAY, NET_CONN_DROP};
-use ctxpref_service::{CtxPrefService, ServiceError};
+use ctxpref_service::{CtxPrefService, ReplicationError, ServiceError};
 
 use crate::error::FrameError;
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{AnswerRow, RemoteAnswer, Request, Response, WireFallback};
+use crate::proto::{AnswerRow, MigrateAction, RemoteAnswer, Request, Response, WireFallback};
 
 /// Tuning knobs of the TCP front-end.
 #[derive(Debug, Clone, Copy)]
@@ -475,21 +475,101 @@ fn dispatch_inner(service: &CtxPrefService, cfg: &NetServerConfig, req: &Request
         },
         Request::Stats => {
             let s = service.stats();
-            Response::Text {
-                body: format!(
-                    "served: {} cached, {} exact, {} nearest-state, {} default\n\
-                     contained panics {}, deadline misses {}, shed {}, errors {}",
-                    s.served_cached,
-                    s.served_exact,
-                    s.served_nearest,
-                    s.served_default,
-                    s.panics_contained,
-                    s.deadline_exceeded,
-                    s.shed,
-                    s.errors
-                ),
+            let mut body = format!(
+                "served: {} cached, {} exact, {} nearest-state, {} default\n\
+                 contained panics {}, deadline misses {}, shed {}, errors {}",
+                s.served_cached,
+                s.served_exact,
+                s.served_nearest,
+                s.served_default,
+                s.panics_contained,
+                s.deadline_exceeded,
+                s.shed,
+                s.errors
+            );
+            for (site, hits) in &s.fault_hits {
+                body.push_str(&format!("\nfault {site} {hits}"));
+            }
+            Response::Text { body }
+        }
+        Request::RouteStatus => {
+            let info = service.route_info();
+            Response::RouteInfo {
+                has_primary: info.has_primary,
+                epoch: info.epoch,
+                users: info.users,
+                migrations: info.migrations,
             }
         }
+        Request::MigrateUser {
+            user,
+            epoch,
+            action,
+        } => dispatch_migrate(service, user, *epoch, action),
+    }
+}
+
+/// Execute one migration step. Every step is idempotent (guarded by
+/// the migration epoch and, for catch-up pages, the import watermark),
+/// so a driver may blindly retry any of them over a fresh connection.
+fn dispatch_migrate(
+    service: &CtxPrefService,
+    user: &str,
+    epoch: u64,
+    action: &MigrateAction,
+) -> Response {
+    match action {
+        MigrateAction::Export => match service.migrate_export(user) {
+            Ok(cut) => Response::UserCut {
+                present: cut.present,
+                shard: cut.shard,
+                last_lsn: cut.last_lsn,
+                digest: cut.digest,
+            },
+            Err(e) => err_of(&e),
+        },
+        MigrateAction::Snapshot => match service.migrate_snapshot(user) {
+            Ok((src_lsn, ops)) => Response::Snapshot { src_lsn, ops },
+            Err(e) => err_of(&e),
+        },
+        MigrateAction::Pull { from_lsn, max } => {
+            match service.migrate_pull(user, *from_lsn, *max as usize) {
+                Ok(Some(page)) => Response::Records {
+                    through: page.through,
+                    records: page.records,
+                },
+                Ok(None) => Response::Gone,
+                Err(e) => err_of(&e),
+            }
+        }
+        MigrateAction::Fence => match service.migrate_fence(user, epoch) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_of(&e),
+        },
+        MigrateAction::Import { src_lsn, ops } => {
+            match service.migrate_import(user, epoch, *src_lsn, ops) {
+                Ok(()) => Response::Ok,
+                Err(e) => err_of(&e),
+            }
+        }
+        MigrateAction::Apply { through, records } => {
+            match service.migrate_apply(user, epoch, *through, records) {
+                Ok(watermark) => Response::Applied { watermark },
+                Err(e) => err_of(&e),
+            }
+        }
+        MigrateAction::Activate => match service.migrate_activate(user, epoch) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_of(&e),
+        },
+        MigrateAction::Finish => match service.migrate_finish(user, epoch) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_of(&e),
+        },
+        MigrateAction::Abort => match service.migrate_abort(user, epoch) {
+            Ok(()) => Response::Ok,
+            Err(e) => err_of(&e),
+        },
     }
 }
 
@@ -513,8 +593,10 @@ fn render_rows(
     })
 }
 
-/// Map a [`ServiceError`] to its wire form: a stable kind token plus
-/// the rendered message.
+/// Map a [`ServiceError`] to its wire form. Routing-relevant failures
+/// get dedicated response variants (`not-primary`, `migrating`) so a
+/// router can react without parsing messages; everything else is a
+/// stable kind token plus the rendered message.
 fn err_of(e: &ServiceError) -> Response {
     let kind = match e {
         ServiceError::Overloaded { .. } => "overloaded",
@@ -526,8 +608,15 @@ fn err_of(e: &ServiceError) -> Response {
         ServiceError::Wal(_) => "wal",
         ServiceError::NotDurable => "not-durable",
         ServiceError::NotReplicated => "not-replicated",
+        ServiceError::Replication(
+            ReplicationError::NoPrimary
+            | ReplicationError::NotPrimary { .. }
+            | ReplicationError::Fenced { .. },
+        ) => return Response::NotPrimary,
         ServiceError::Replication(_) => "replication",
         ServiceError::ShuttingDown => "shutting-down",
+        ServiceError::Migrating { user } => return Response::Migrating { user: user.clone() },
+        ServiceError::StaleMigration { .. } => "stale-migration",
     };
     Response::Err {
         kind: kind.to_string(),

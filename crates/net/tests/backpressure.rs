@@ -62,8 +62,10 @@ fn saturated_server_rejects_with_typed_busy_then_admits_after_drain() {
         started.elapsed()
     );
 
-    // Busy is not retried blindly: the client surfaces it on the
-    // first attempt even for idempotent requests.
+    // Busy is retried only under its own small cap (the server stayed
+    // saturated, so the budget drained) and then surfaced typed — the
+    // caller still gets the decision, just after a short, bounded
+    // grace period.
 
     // Drain one holder; its server thread notices the close and frees
     // a slot. The waiter then gets in (allow a short window for the

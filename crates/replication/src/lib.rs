@@ -21,6 +21,8 @@
 //!   services shipping, catch-up pulls, and anti-entropy alike, with
 //!   the epoch fence applied before anything else.
 //! * [`digest`] — canonical per-shard FNV digests for anti-entropy.
+//! * [`migrate`] — the per-user snapshot + catch-up primitives that
+//!   the routing tier composes into live migration between clusters.
 //! * [`transport`] — the [`Transport`] seam and its in-process
 //!   implementation, threaded through the `repl.*` fault sites so a
 //!   seeded [`FaultPlan`](ctxpref_faults::FaultPlan) can partition,
@@ -39,6 +41,7 @@ pub mod digest;
 pub mod epoch;
 pub mod error;
 pub mod message;
+pub mod migrate;
 pub mod node;
 pub mod transport;
 
@@ -49,5 +52,6 @@ pub use digest::{node_digests, stripe_digest};
 pub use epoch::{load_epoch, save_epoch, EPOCH_FILE};
 pub use error::{ReplicationError, TransportError};
 pub use message::{Envelope, Message, NodeId, Reply, ShippedRecord};
+pub use migrate::{snapshot_ops, user_cut, user_digest, user_suffix, UserSuffix};
 pub use node::ReplNode;
 pub use transport::{InProcessTransport, NodeTransport, Transport};

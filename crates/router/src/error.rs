@@ -1,0 +1,92 @@
+//! The router's typed failure vocabulary.
+
+use std::fmt;
+
+use ctxpref_net::NetError;
+
+/// Everything that can go wrong routing a request or driving a
+/// migration.
+#[derive(Debug)]
+pub enum RouterError {
+    /// The cluster's circuit breaker is open: it failed too many
+    /// consecutive transport attempts and the cooldown has not elapsed.
+    CircuitOpen {
+        /// The cluster whose circuit is open.
+        cluster: usize,
+    },
+    /// Every endpoint of the cluster failed at the transport layer.
+    ClusterUnavailable {
+        /// The cluster that could not be reached.
+        cluster: usize,
+        /// The last endpoint's failure, rendered.
+        last: String,
+    },
+    /// The cluster answered, but had no primary for longer than the
+    /// router's retry budget (failover still in flight).
+    NoPrimary {
+        /// The cluster without a primary.
+        cluster: usize,
+    },
+    /// The user stayed fenced (mid-migration) past the router's retry
+    /// budget.
+    UserMigrating {
+        /// The fenced user.
+        user: String,
+        /// Retries spent waiting for the cut-over to complete.
+        retries: u32,
+    },
+    /// The serving side returned a typed error (the request reached a
+    /// healthy server and was refused — not a routing failure).
+    Remote {
+        /// The error kind token.
+        kind: String,
+        /// The server-rendered message.
+        message: String,
+    },
+    /// A transport-level error that is not retried (protocol
+    /// confusion, unexpected response shape).
+    Net(NetError),
+    /// A migration step failed; the driver aborted and rolled back.
+    Migration {
+        /// Which protocol step failed.
+        step: &'static str,
+        /// Why, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CircuitOpen { cluster } => {
+                write!(f, "cluster {cluster}: circuit open (failing fast)")
+            }
+            Self::ClusterUnavailable { cluster, last } => {
+                write!(f, "cluster {cluster}: every endpoint failed (last: {last})")
+            }
+            Self::NoPrimary { cluster } => {
+                write!(f, "cluster {cluster}: no primary (failover in flight)")
+            }
+            Self::UserMigrating { user, retries } => write!(
+                f,
+                "user {user:?} still fenced after {retries} retries (migration in flight)"
+            ),
+            Self::Remote { kind, message } => write!(f, "remote error [{kind}]: {message}"),
+            Self::Net(e) => write!(f, "network: {e}"),
+            Self::Migration { step, reason } => {
+                write!(f, "migration step {step:?} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<NetError> for RouterError {
+    fn from(e: NetError) -> Self {
+        match e {
+            NetError::Remote { kind, message } => Self::Remote { kind, message },
+            other => Self::Net(other),
+        }
+    }
+}

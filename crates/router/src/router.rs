@@ -1,0 +1,407 @@
+//! The router proper: failure-aware forwarding of client operations
+//! to the cluster that owns each user.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ctxpref_net::{NetClient, NetClientConfig, NetError, RemoteAnswer, Request, Response};
+use parking_lot::Mutex;
+
+use crate::error::RouterError;
+use crate::health::{Breaker, BreakerConfig, BreakerState};
+use crate::table::RoutingTable;
+
+/// Router tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Per-endpoint client tuning (timeouts, transport retry, jitter).
+    pub client: NetClientConfig,
+    /// Per-cluster circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Virtual ring points per cluster.
+    pub vnodes: usize,
+    /// How many times a request refused with `migrating` or
+    /// `not-primary` is retried (the condition is transient by
+    /// construction: a cut-over completes or a failover promotes).
+    pub transient_retries: u32,
+    /// Backoff between those retries, multiplied by the attempt
+    /// number (capped at 8×).
+    pub transient_backoff: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            client: NetClientConfig::default(),
+            breaker: BreakerConfig::default(),
+            vnodes: 16,
+            transient_retries: 40,
+            transient_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Mutable per-cluster routing state: the breaker plus the endpoint
+/// index that last answered (tried first on the next request).
+struct ClusterState {
+    breaker: Breaker,
+    preferred: usize,
+}
+
+/// State shared by every clone of a router: the endpoints, the
+/// routing table, and per-cluster health.
+struct Shared {
+    /// `endpoints[cluster]` = the addresses fronting that cluster.
+    endpoints: Vec<Vec<String>>,
+    cfg: RouterConfig,
+    table: Mutex<RoutingTable>,
+    health: Vec<Mutex<ClusterState>>,
+}
+
+/// A user-partitioned router over several serving clusters.
+///
+/// Each user is owned by exactly one cluster (consistent hashing plus
+/// migration overrides — see [`RoutingTable`]); requests forward to
+/// the owner over [`NetClient`]s. Failure handling, per layer:
+///
+/// * **Endpoint down** — the next endpoint of the same cluster is
+///   tried; the one that answers becomes preferred.
+/// * **Whole cluster unreachable** — a per-cluster circuit breaker
+///   opens after consecutive all-endpoint transport failures, fails
+///   fast while open, and half-opens a probe after a cooldown.
+/// * **`not-primary`** — the cluster is mid-failover; the router
+///   backs off and retries (bounded), because promotion is seconds
+///   away, not an error.
+/// * **`migrating`** — the user is mid-cut-over; the refusal is typed
+///   and pre-apply, so the router backs off, re-reads its routing
+///   table (the flip may have landed), and retries — **safe even for
+///   mutations**, because a fenced write was never applied.
+///
+/// Clones share the routing table and health state but keep their own
+/// connection cache, so one clone per thread is the intended pattern.
+pub struct Router {
+    shared: Arc<Shared>,
+    clients: HashMap<String, NetClient>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("clusters", &self.shared.endpoints.len())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl Clone for Router {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            clients: HashMap::new(),
+        }
+    }
+}
+
+impl Router {
+    /// A router over `endpoints[cluster]` address lists.
+    pub fn new(endpoints: Vec<Vec<String>>, cfg: RouterConfig) -> Self {
+        assert!(
+            !endpoints.is_empty() && endpoints.iter().all(|e| !e.is_empty()),
+            "every cluster needs at least one endpoint"
+        );
+        let clusters = endpoints.len();
+        let health = (0..clusters)
+            .map(|_| {
+                Mutex::new(ClusterState {
+                    breaker: Breaker::new(cfg.breaker),
+                    preferred: 0,
+                })
+            })
+            .collect();
+        Self {
+            shared: Arc::new(Shared {
+                endpoints,
+                table: Mutex::new(RoutingTable::new(clusters, cfg.vnodes)),
+                health,
+                cfg,
+            }),
+            clients: HashMap::new(),
+        }
+    }
+
+    /// Number of clusters behind this router.
+    pub fn clusters(&self) -> usize {
+        self.shared.endpoints.len()
+    }
+
+    /// The current routing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.table.lock().epoch()
+    }
+
+    /// The cluster that currently owns `user`.
+    pub fn cluster_of(&self, user: &str) -> usize {
+        self.shared.table.lock().cluster_of(user)
+    }
+
+    /// Every migration override, sorted by user.
+    pub fn overrides(&self) -> Vec<(String, usize, u64)> {
+        self.shared.table.lock().overrides()
+    }
+
+    /// The shared routing table (the migration driver commits flips
+    /// through this).
+    pub(crate) fn table(&self) -> &Mutex<RoutingTable> {
+        &self.shared.table
+    }
+
+    /// The breaker state of `cluster` right now.
+    pub fn breaker_state(&self, cluster: usize) -> BreakerState {
+        self.shared.health[cluster].lock().breaker.state()
+    }
+
+    fn client(&mut self, addr: &str) -> &mut NetClient {
+        let cfg = self.shared.cfg.client;
+        self.clients
+            .entry(addr.to_string())
+            .or_insert_with(|| NetClient::connect(addr.to_string(), cfg))
+    }
+
+    /// One request against `cluster`: walk its endpoints starting at
+    /// the preferred one, feed the breaker, and hand back whatever the
+    /// cluster answered. `not-primary` from an endpoint rotates to the
+    /// next (another access point may sit closer to the new primary);
+    /// if every live endpoint says `not-primary` that is the answer —
+    /// the cluster is alive but leaderless, which the caller retries.
+    pub(crate) fn call_cluster(
+        &mut self,
+        cluster: usize,
+        req: &Request,
+    ) -> Result<Response, RouterError> {
+        if !self.shared.health[cluster].lock().breaker.allow() {
+            return Err(RouterError::CircuitOpen { cluster });
+        }
+        let n = self.shared.endpoints[cluster].len();
+        let start = self.shared.health[cluster].lock().preferred;
+        let mut last_transport: Option<String> = None;
+        let mut saw_not_primary = false;
+        for i in 0..n {
+            let idx = (start + i) % n;
+            let addr = self.shared.endpoints[cluster][idx].clone();
+            match self.client(&addr).request(req) {
+                Ok(Response::NotPrimary) => {
+                    saw_not_primary = true;
+                    continue;
+                }
+                Ok(resp) => {
+                    let mut h = self.shared.health[cluster].lock();
+                    h.breaker.on_success();
+                    h.preferred = idx;
+                    return Ok(resp);
+                }
+                // A typed refusal is an answer: the transport works,
+                // the server decided. Health credit, no failover.
+                Err(NetError::Remote { kind, message }) => {
+                    let mut h = self.shared.health[cluster].lock();
+                    h.breaker.on_success();
+                    h.preferred = idx;
+                    return Err(RouterError::Remote { kind, message });
+                }
+                // Saturated endpoint: another access point of the same
+                // cluster may have capacity.
+                Err(NetError::ServerBusy { limit }) => {
+                    last_transport = Some(format!("busy (limit {limit})"));
+                }
+                Err(
+                    e @ (NetError::Io(_) | NetError::Frame(_) | NetError::RetriesExhausted { .. }),
+                ) => {
+                    last_transport = Some(e.to_string());
+                }
+                // Protocol confusion is not transient; surface it.
+                Err(e) => return Err(RouterError::Net(e)),
+            }
+        }
+        if saw_not_primary {
+            // The cluster answered — leaderless is a state, not a
+            // transport failure.
+            self.shared.health[cluster].lock().breaker.on_success();
+            return Ok(Response::NotPrimary);
+        }
+        self.shared.health[cluster].lock().breaker.on_failure();
+        Err(RouterError::ClusterUnavailable {
+            cluster,
+            last: last_transport.unwrap_or_else(|| "no endpoints".to_string()),
+        })
+    }
+
+    /// Forward one per-user request to its owner, absorbing the two
+    /// transient refusals (`migrating`, `not-primary`) with bounded
+    /// backoff. The owner is re-resolved on every attempt, so a
+    /// routing flip that lands mid-retry redirects the request.
+    fn forward(&mut self, user: &str, req: &Request) -> Result<Response, RouterError> {
+        let retries = self.shared.cfg.transient_retries;
+        let backoff = self.shared.cfg.transient_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let cluster = self.cluster_of(user);
+            match self.call_cluster(cluster, req)? {
+                Response::Migrating { .. } => {
+                    attempt += 1;
+                    if attempt > retries {
+                        return Err(RouterError::UserMigrating {
+                            user: user.to_string(),
+                            retries: attempt - 1,
+                        });
+                    }
+                }
+                Response::NotPrimary => {
+                    attempt += 1;
+                    if attempt > retries {
+                        return Err(RouterError::NoPrimary { cluster });
+                    }
+                }
+                resp => return Ok(resp),
+            }
+            std::thread::sleep(backoff * attempt.min(8));
+        }
+    }
+
+    fn expect_ok(&mut self, user: &str, req: &Request) -> Result<(), RouterError> {
+        match self.forward(user, req)? {
+            Response::Ok => Ok(()),
+            other => Err(RouterError::Net(NetError::UnexpectedResponse {
+                got: format!("{other:?}"),
+            })),
+        }
+    }
+
+    /// Create `user` on their owning cluster.
+    pub fn add_user(&mut self, user: &str) -> Result<(), RouterError> {
+        self.expect_ok(
+            user,
+            &Request::AddUser {
+                user: user.to_string(),
+            },
+        )
+    }
+
+    /// Remove `user` from their owning cluster.
+    pub fn remove_user(&mut self, user: &str) -> Result<(), RouterError> {
+        self.expect_ok(
+            user,
+            &Request::RemoveUser {
+                user: user.to_string(),
+            },
+        )
+    }
+
+    /// Insert an equality preference on `user`'s owning cluster.
+    pub fn insert_preference(
+        &mut self,
+        user: &str,
+        descriptor: &str,
+        attr: &str,
+        value: &str,
+        score: f64,
+    ) -> Result<(), RouterError> {
+        self.expect_ok(
+            user,
+            &Request::InsertPref {
+                user: user.to_string(),
+                descriptor: descriptor.to_string(),
+                attr: attr.to_string(),
+                value: value.to_string(),
+                score,
+            },
+        )
+    }
+
+    /// Remove `user`'s preference at `index`, returning its score.
+    pub fn remove_preference(&mut self, user: &str, index: usize) -> Result<f64, RouterError> {
+        match self.forward(
+            user,
+            &Request::RemovePref {
+                user: user.to_string(),
+                index,
+            },
+        )? {
+            Response::Removed { score } => Ok(score),
+            other => Err(RouterError::Net(NetError::UnexpectedResponse {
+                got: format!("{other:?}"),
+            })),
+        }
+    }
+
+    /// Re-score `user`'s preference at `index`.
+    pub fn update_score(
+        &mut self,
+        user: &str,
+        index: usize,
+        score: f64,
+    ) -> Result<(), RouterError> {
+        self.expect_ok(
+            user,
+            &Request::UpdateScore {
+                user: user.to_string(),
+                index,
+                score,
+            },
+        )
+    }
+
+    /// Rank `user`'s tuples by `attr` under a context state, on their
+    /// owning cluster.
+    pub fn query(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        deadline: Duration,
+        state: &[&str],
+    ) -> Result<RemoteAnswer, RouterError> {
+        let req = Request::Query {
+            user: user.to_string(),
+            attr: attr.to_string(),
+            k,
+            deadline_ms: deadline.as_millis().min(u128::from(u64::MAX)) as u64,
+            state: state.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.forward(user, &req)? {
+            Response::Answer(a) => Ok(a),
+            other => Err(RouterError::Net(NetError::UnexpectedResponse {
+                got: format!("{other:?}"),
+            })),
+        }
+    }
+
+    /// Probe `cluster`: primary presence, replication epoch, state
+    /// counts. Feeds the same health machinery as regular requests.
+    pub fn route_status(
+        &mut self,
+        cluster: usize,
+    ) -> Result<ctxpref_service::RouteInfo, RouterError> {
+        match self.call_cluster(cluster, &Request::RouteStatus)? {
+            Response::RouteInfo {
+                has_primary,
+                epoch,
+                users,
+                migrations,
+            } => Ok(ctxpref_service::RouteInfo {
+                has_primary,
+                epoch,
+                users,
+                migrations,
+            }),
+            Response::NotPrimary => Ok(ctxpref_service::RouteInfo {
+                has_primary: false,
+                epoch: 0,
+                users: 0,
+                migrations: 0,
+            }),
+            other => Err(RouterError::Net(NetError::UnexpectedResponse {
+                got: format!("{other:?}"),
+            })),
+        }
+    }
+}

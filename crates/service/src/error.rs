@@ -51,6 +51,21 @@ pub enum ServiceError {
     Replication(ReplicationError),
     /// The service is shutting down and no longer accepts requests.
     ShuttingDown,
+    /// The user is mid-migration (fenced at cut-over, importing on the
+    /// destination, or already moved away): the write was refused and
+    /// can be retried after the routing table refreshes. Typed and
+    /// immediate — a migration never blocks a connection.
+    Migrating {
+        /// The user whose write was refused.
+        user: String,
+    },
+    /// A migration action carried a routing epoch older than the one
+    /// that owns the user's entry: the calling driver was deposed by a
+    /// newer migration and must not touch this user again.
+    StaleMigration {
+        /// The routing epoch that owns the entry (0 = no entry).
+        current: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -83,6 +98,15 @@ impl fmt::Display for ServiceError {
             }
             Self::Replication(e) => write!(f, "{e}"),
             Self::ShuttingDown => write!(f, "service is shutting down"),
+            Self::Migrating { user } => {
+                write!(f, "user {user:?} is migrating; retry after a route refresh")
+            }
+            Self::StaleMigration { current } => {
+                write!(
+                    f,
+                    "migration epoch is stale (entry owned by epoch {current})"
+                )
+            }
         }
     }
 }

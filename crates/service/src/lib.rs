@@ -57,11 +57,13 @@
 
 mod error;
 mod ladder;
+mod migrate;
 mod service;
 mod stats;
 
 pub use error::ServiceError;
 pub use ladder::{Fallback, LadderStep, ServiceAnswer};
+pub use migrate::{MigrationEntry, MigrationPhase, RouteInfo, UserExport};
 pub use service::{CtxPrefService, DurabilityConfig, ReplicatedConfig, RetryPolicy, ServiceConfig};
 pub use stats::ServiceStats;
 

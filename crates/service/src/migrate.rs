@@ -1,0 +1,263 @@
+//! Per-user migration state held by a service.
+//!
+//! A live migration moves one user between two *clusters*. Each side's
+//! service keeps a tiny per-user entry while the move is in flight:
+//!
+//! * the **source** is `Fenced` from cut-over until the flip completes
+//!   (client writes to that one user get the typed, retry-able
+//!   [`ServiceError::Migrating`](crate::ServiceError::Migrating) —
+//!   never a hang), then keeps a `Moved` tombstone so stale clients
+//!   that still route here are told to refresh instead of forking the
+//!   user's state;
+//! * the **destination** is `Importing` while the copy and catch-up
+//!   replay build the user, which blocks client writes for the user
+//!   until the driver activates it — the destination does not own the
+//!   user until the routing table says so.
+//!
+//! Every entry carries the **routing epoch** the driver minted for the
+//! migration (distinct from the replication epoch). An action with an
+//! older epoch than the entry is refused with
+//! [`ServiceError::StaleMigration`](crate::ServiceError::StaleMigration),
+//! so a deposed migration driver can never fence, import, or apply
+//! stale writes over a newer migration's work. Entries are in-memory
+//! by design: a crash aborts the migration, and every step is
+//! restartable from scratch.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::ServiceError;
+
+/// Which side of a migration a user's entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Source at cut-over: reads serve, client writes are refused with
+    /// the retry-able `Migrating` error.
+    Fenced,
+    /// Destination during copy/catch-up: the user is being built here
+    /// and client writes are refused until activation. The watermark
+    /// is the highest **source** LSN already applied — replayed pages
+    /// at or below it are dropped, which makes `migrate_apply`
+    /// idempotent even though the ops themselves are not.
+    Importing {
+        /// Highest source LSN whose effects are already applied.
+        watermark: u64,
+    },
+    /// Source after a completed cut-over: the user now lives
+    /// elsewhere; stale clients are told to refresh their routing.
+    Moved,
+}
+
+/// One user's migration entry: the routing epoch that owns it plus the
+/// phase this side is in.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationEntry {
+    /// The routing epoch the migration driver minted for this move.
+    pub epoch: u64,
+    /// This side's phase.
+    pub phase: MigrationPhase,
+}
+
+/// The per-service migration table.
+#[derive(Debug, Default)]
+pub(crate) struct MigrationTable {
+    entries: Mutex<HashMap<String, MigrationEntry>>,
+}
+
+impl MigrationTable {
+    /// Refuse a client write for `user` while an entry blocks it.
+    pub fn ensure_writable(&self, user: &str) -> Result<(), ServiceError> {
+        match self.entries.lock().get(user) {
+            None => Ok(()),
+            Some(_) => Err(ServiceError::Migrating {
+                user: user.to_string(),
+            }),
+        }
+    }
+
+    /// Fence `user` at `epoch` (source side, cut-over). Idempotent for
+    /// the same epoch; a newer epoch supersedes any older entry; an
+    /// older epoch — or re-fencing a completed move — is refused.
+    pub fn fence(&self, user: &str, epoch: u64) -> Result<(), ServiceError> {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.get(user) {
+            if epoch < e.epoch || (epoch == e.epoch && e.phase == MigrationPhase::Moved) {
+                return Err(ServiceError::StaleMigration { current: e.epoch });
+            }
+        }
+        entries.insert(
+            user.to_string(),
+            MigrationEntry {
+                epoch,
+                phase: MigrationPhase::Fenced,
+            },
+        );
+        Ok(())
+    }
+
+    /// Begin (or idempotently restart) an import of `user` at `epoch`
+    /// with the snapshot's cut LSN as the starting watermark.
+    pub fn begin_import(&self, user: &str, epoch: u64, src_lsn: u64) -> Result<(), ServiceError> {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.get(user) {
+            if epoch < e.epoch {
+                return Err(ServiceError::StaleMigration { current: e.epoch });
+            }
+        }
+        entries.insert(
+            user.to_string(),
+            MigrationEntry {
+                epoch,
+                phase: MigrationPhase::Importing { watermark: src_lsn },
+            },
+        );
+        Ok(())
+    }
+
+    /// The current import watermark for `user`, verifying the entry is
+    /// an import owned by `epoch`.
+    pub fn import_watermark(&self, user: &str, epoch: u64) -> Result<u64, ServiceError> {
+        match self.entries.lock().get(user) {
+            Some(e) if e.epoch == epoch => match e.phase {
+                MigrationPhase::Importing { watermark } => Ok(watermark),
+                _ => Err(ServiceError::StaleMigration { current: e.epoch }),
+            },
+            Some(e) => Err(ServiceError::StaleMigration { current: e.epoch }),
+            None => Err(ServiceError::StaleMigration { current: 0 }),
+        }
+    }
+
+    /// Advance the import watermark (monotone).
+    pub fn advance_watermark(&self, user: &str, epoch: u64, through: u64) {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.get_mut(user) {
+            if e.epoch == epoch {
+                if let MigrationPhase::Importing { watermark } = &mut e.phase {
+                    *watermark = (*watermark).max(through);
+                }
+            }
+        }
+    }
+
+    /// The phase of `user`'s entry, verifying `epoch` owns it.
+    pub fn phase_of(&self, user: &str, epoch: u64) -> Result<MigrationPhase, ServiceError> {
+        match self.entries.lock().get(user) {
+            Some(e) if e.epoch == epoch => Ok(e.phase),
+            Some(e) => Err(ServiceError::StaleMigration { current: e.epoch }),
+            None => Err(ServiceError::StaleMigration { current: 0 }),
+        }
+    }
+
+    /// Whether `epoch` owns an import entry for `user` (abort uses
+    /// this to drop the partial copy *before* releasing the entry, so
+    /// no client write can slip in and then be deleted).
+    pub fn is_import(&self, user: &str, epoch: u64) -> bool {
+        matches!(
+            self.entries.lock().get(user),
+            Some(e) if e.epoch == epoch && matches!(e.phase, MigrationPhase::Importing { .. })
+        )
+    }
+
+    /// Activate `user` on the destination: drop the import entry so
+    /// client writes flow. Idempotent — a missing entry means a retry
+    /// of an activation that already landed.
+    pub fn activate(&self, user: &str, epoch: u64) -> Result<(), ServiceError> {
+        let mut entries = self.entries.lock();
+        match entries.get(user) {
+            None => Ok(()),
+            Some(e) if e.epoch == epoch => {
+                entries.remove(user);
+                Ok(())
+            }
+            Some(e) => Err(ServiceError::StaleMigration { current: e.epoch }),
+        }
+    }
+
+    /// Mark the source side done: the entry (which must be this
+    /// epoch's fence) becomes a `Moved` tombstone. The caller removes
+    /// the user's data *before* flipping the phase, while the fence
+    /// still blocks client writes. Idempotent on retry.
+    pub fn finish(&self, user: &str, epoch: u64) -> Result<bool, ServiceError> {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(user) {
+            Some(e) if e.epoch == epoch && e.phase == MigrationPhase::Fenced => {
+                e.phase = MigrationPhase::Moved;
+                Ok(true)
+            }
+            Some(e) if e.epoch == epoch && e.phase == MigrationPhase::Moved => Ok(false),
+            Some(e) => Err(ServiceError::StaleMigration { current: e.epoch }),
+            None => Err(ServiceError::StaleMigration { current: 0 }),
+        }
+    }
+
+    /// Abort this epoch's migration on either side. Returns whether an
+    /// import entry was dropped (the caller then removes the partial
+    /// user). A newer entry, a completed move, or no entry at all make
+    /// this a no-op — abort is best-effort cleanup and never touches
+    /// state it does not own.
+    pub fn abort(&self, user: &str, epoch: u64) -> bool {
+        let mut entries = self.entries.lock();
+        match entries.get(user) {
+            Some(e) if e.epoch == epoch => match e.phase {
+                MigrationPhase::Fenced => {
+                    entries.remove(user);
+                    false
+                }
+                MigrationPhase::Importing { .. } => {
+                    entries.remove(user);
+                    true
+                }
+                MigrationPhase::Moved => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Number of live entries (fences, imports, and tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Snapshot of the table for status rendering.
+    pub fn snapshot(&self) -> Vec<(String, MigrationEntry)> {
+        let mut v: Vec<_> = self
+            .entries
+            .lock()
+            .iter()
+            .map(|(k, e)| (k.clone(), *e))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+/// What a router needs to know about one serving endpoint: whether the
+/// cluster behind it currently has a primary, its replication epoch,
+/// and how much per-user state it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Whether a primary is currently serving writes (always `true`
+    /// for an unreplicated service).
+    pub has_primary: bool,
+    /// The replication epoch (0 for an unreplicated service).
+    pub epoch: u64,
+    /// Users held by this side's serving core.
+    pub users: u64,
+    /// Live migration entries (fences, imports, tombstones).
+    pub migrations: u64,
+}
+
+/// A consistent per-user export used by the migration driver: the
+/// cut's coordinates plus an FNV digest of the profile at the cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserExport {
+    /// Whether the user exists on this side.
+    pub present: bool,
+    /// The user's WAL shard (== core stripe).
+    pub shard: u64,
+    /// The shard's last applied LSN at the cut.
+    pub last_lsn: u64,
+    /// FNV digest of the profile at the cut (0 when absent).
+    pub digest: u64,
+}

@@ -17,10 +17,11 @@ use ctxpref_storage::StorageError;
 use ctxpref_wal::{
     CheckpointReport, DurableDb, RecoveryReport, SyncPolicy, WalOp, WalOptions, WalStatus,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::ServiceError;
 use crate::ladder::{run_ladder, LadderStep, ServiceAnswer};
+use crate::migrate::{MigrationEntry, MigrationTable, RouteInfo, UserExport};
 use crate::stats::{Counters, ServiceStats};
 
 /// Bounded retry with exponential backoff for storage I/O.
@@ -250,7 +251,13 @@ impl Drop for InFlightGuard {
 ///   checkpointer bounds replay time, and recovery replays the log on
 ///   top of the latest checkpoint (see `ctxpref-wal`).
 pub struct CtxPrefService {
-    db: Arc<ShardedMultiUserDb>,
+    /// The serving core reads go to. A slot rather than a plain handle:
+    /// for a replicated service this is the local node's database, and
+    /// a crash + restart of that node builds a *new* recovered instance
+    /// inside the cluster — the control-plane tick re-resolves the slot
+    /// so reads follow the recovered node instead of serving a frozen
+    /// orphan forever.
+    db: Arc<RwLock<Arc<ShardedMultiUserDb>>>,
     cfg: ServiceConfig,
     counters: Arc<Counters>,
     in_flight: Arc<AtomicUsize>,
@@ -261,6 +268,7 @@ pub struct CtxPrefService {
     cluster: Option<Arc<Cluster>>,
     maintenance: Vec<(mpsc::Sender<()>, JoinHandle<()>)>,
     recovered_lsn: u64,
+    migrations: MigrationTable,
 }
 
 impl std::fmt::Debug for CtxPrefService {
@@ -321,6 +329,7 @@ impl CtxPrefService {
     }
 
     fn new_arc(db: Arc<ShardedMultiUserDb>, cfg: ServiceConfig) -> Self {
+        let db = Arc::new(RwLock::new(db));
         let counters = Arc::new(Counters::default());
         let in_flight = Arc::new(AtomicUsize::new(0));
         let shutting_down = Arc::new(AtomicBool::new(false));
@@ -350,6 +359,7 @@ impl CtxPrefService {
             cluster: None,
             maintenance: Vec::new(),
             recovered_lsn: 0,
+            migrations: MigrationTable::default(),
         }
     }
 
@@ -414,6 +424,7 @@ impl CtxPrefService {
     fn attach_replication(&mut self, cluster: Arc<Cluster>, rcfg: &ReplicatedConfig) {
         if let Some(interval) = rcfg.tick_interval {
             let cluster = Arc::clone(&cluster);
+            let slot = Arc::clone(&self.db);
             let (stop, stopped) = mpsc::channel::<()>();
             let handle = std::thread::Builder::new()
                 .name("ctxpref-repl-tick".to_string())
@@ -421,6 +432,12 @@ impl CtxPrefService {
                     while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(interval)
                     {
                         let _ = cluster.tick();
+                        // Follow the local node across crash/restart:
+                        // recovery builds a new core instance and the
+                        // serving slot must not keep the orphan.
+                        if let Some(local) = cluster.db_of(0) {
+                            refresh_serving_slot(&slot, local.db());
+                        }
                     }
                 })
                 .expect("spawning the replication tick thread");
@@ -525,6 +542,11 @@ impl CtxPrefService {
             stats.replication_max_lag = status.max_lag;
             stats.failovers = (status.promotions.len() as u64).saturating_sub(1);
         }
+        if let Some(plan) = ctxpref_faults::current() {
+            let mut hits: Vec<(String, u64)> = plan.hit_counts().into_iter().collect();
+            hits.sort();
+            stats.fault_hits = hits;
+        }
         stats
     }
 
@@ -549,10 +571,42 @@ impl CtxPrefService {
         }
     }
 
+    /// Like [`Self::durable_db`], but distinguishes the two absent
+    /// cases: a purely in-memory service is [`ServiceError::NotDurable`]
+    /// (permanent), while a replicated cluster with no elected primary
+    /// is [`ReplicationError::NoPrimary`] — a transient, retryable
+    /// condition that maps to `not-primary` on the wire.
+    fn durable_db_required(&self) -> Result<Arc<DurableDb>, ServiceError> {
+        match (&self.durable, &self.cluster) {
+            (Some(d), _) => Ok(Arc::clone(d)),
+            (None, Some(c)) => c
+                .primary_db()
+                .ok_or(ServiceError::Replication(ReplicationError::NoPrimary)),
+            (None, None) => Err(ServiceError::NotDurable),
+        }
+    }
+
     /// The replication cluster handle (partition scripting, manual
     /// crash/restart, direct status) — `None` without replication.
     pub fn cluster(&self) -> Option<&Arc<Cluster>> {
         self.cluster.as_ref()
+    }
+
+    /// The serving core, resolved through the swappable slot.
+    fn core(&self) -> Arc<ShardedMultiUserDb> {
+        Arc::clone(&self.db.read())
+    }
+
+    /// Re-point the serving slot at the cluster's current local node.
+    /// A crash + restart of node 0 recovers into a *new* core instance;
+    /// without this, reads would keep serving the orphaned pre-crash
+    /// one forever. Called from every control-plane beat (manual and
+    /// background).
+    fn refresh_serving_view(&self) {
+        let Some(cluster) = &self.cluster else { return };
+        if let Some(local) = cluster.db_of(0) {
+            refresh_serving_slot(&self.db, local.db());
+        }
     }
 
     /// A point-in-time view of the cluster: roles, epochs, lag,
@@ -574,20 +628,26 @@ impl CtxPrefService {
     /// primary from every replica, fail over if it is declared dead.
     pub fn tick_replication(&self) -> Result<TickReport, ServiceError> {
         let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
-        Ok(c.tick())
+        let report = c.tick();
+        self.refresh_serving_view();
+        Ok(report)
     }
 
     /// Ship every live replica as far as the primary's logs reach.
     pub fn pump_replication(&self) -> Result<bool, ServiceError> {
         let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
-        Ok(c.pump()?)
+        let shipped = c.pump()?;
+        self.refresh_serving_view();
+        Ok(shipped)
     }
 
     /// Compare per-shard digests across the cluster and resync each
     /// divergent shard from the primary. Returns the resync count.
     pub fn anti_entropy(&self) -> Result<usize, ServiceError> {
         let c = self.cluster.as_ref().ok_or(ServiceError::NotReplicated)?;
-        Ok(c.anti_entropy()?)
+        let resynced = c.anti_entropy()?;
+        self.refresh_serving_view();
+        Ok(resynced)
     }
 
     /// Install a hook fired when a node is promoted to primary.
@@ -726,6 +786,7 @@ impl CtxPrefService {
     /// mutation below); on a replicated one it routes through the
     /// cluster's current primary, honouring the configured ack mode.
     pub fn add_user(&self, name: &str) -> Result<(), ServiceError> {
+        self.migrations.ensure_writable(name)?;
         if let Some(c) = &self.cluster {
             c.write(&WalOp::AddUser {
                 user: name.to_string(),
@@ -738,12 +799,13 @@ impl CtxPrefService {
                 d.add_user(name)?;
                 Ok(())
             }
-            None => Ok(self.db.add_user(name)?),
+            None => Ok(self.core().add_user(name)?),
         }
     }
 
     /// Register a user with an initial profile.
     pub fn add_user_with_profile(&self, name: &str, profile: Profile) -> Result<(), ServiceError> {
+        self.migrations.ensure_writable(name)?;
         if let Some(c) = &self.cluster {
             c.write(&WalOp::AddUser {
                 user: name.to_string(),
@@ -763,12 +825,13 @@ impl CtxPrefService {
                 d.add_user_with_profile(name, profile)?;
                 Ok(())
             }
-            None => Ok(self.db.add_user_with_profile(name, profile)?),
+            None => Ok(self.core().add_user_with_profile(name, profile)?),
         }
     }
 
     /// Remove a user, returning their profile.
     pub fn remove_user(&self, name: &str) -> Result<Profile, ServiceError> {
+        self.migrations.ensure_writable(name)?;
         if let Some(c) = &self.cluster {
             // Read the profile off the primary (the authoritative copy)
             // before logging the removal.
@@ -785,7 +848,7 @@ impl CtxPrefService {
                 let (_ack, profile) = d.remove_user(name)?;
                 Ok(profile)
             }
-            None => Ok(self.db.remove_user(name)?),
+            None => Ok(self.core().remove_user(name)?),
         }
     }
 
@@ -795,6 +858,7 @@ impl CtxPrefService {
         user: &str,
         pref: ContextualPreference,
     ) -> Result<(), ServiceError> {
+        self.migrations.ensure_writable(user)?;
         if let Some(c) = &self.cluster {
             c.write(&WalOp::InsertPreference {
                 user: user.to_string(),
@@ -808,7 +872,7 @@ impl CtxPrefService {
                 d.insert_preference(user, pref)?;
                 Ok(())
             }
-            None => Ok(self.db.insert_preference(user, pref)?),
+            None => Ok(self.core().insert_preference(user, pref)?),
         }
     }
 
@@ -822,12 +886,13 @@ impl CtxPrefService {
         value: ctxpref_relation::Value,
         score: f64,
     ) -> Result<(), ServiceError> {
+        self.migrations.ensure_writable(user)?;
         if self.cluster.is_some() || self.durable.is_some() {
             let pref = self.build_eq_preference(descriptor, attr, value, score)?;
             return self.insert_preference(user, pref);
         }
         Ok(self
-            .db
+            .core()
             .insert_preference_eq(user, descriptor, attr, value, score)?)
     }
 
@@ -837,6 +902,7 @@ impl CtxPrefService {
         user: &str,
         index: usize,
     ) -> Result<ContextualPreference, ServiceError> {
+        self.migrations.ensure_writable(user)?;
         if let Some(c) = &self.cluster {
             let primary = c.primary_db().ok_or(ReplicationError::NoPrimary)?;
             let pref = primary
@@ -859,7 +925,7 @@ impl CtxPrefService {
                 let (_ack, pref) = d.remove_preference(user, index)?;
                 Ok(pref)
             }
-            None => Ok(self.db.remove_preference(user, index)?),
+            None => Ok(self.core().remove_preference(user, index)?),
         }
     }
 
@@ -870,6 +936,7 @@ impl CtxPrefService {
         index: usize,
         score: f64,
     ) -> Result<(), ServiceError> {
+        self.migrations.ensure_writable(user)?;
         if let Some(c) = &self.cluster {
             c.write(&WalOp::UpdateScore {
                 user: user.to_string(),
@@ -884,7 +951,227 @@ impl CtxPrefService {
                 d.update_preference_score(user, index, score)?;
                 Ok(())
             }
-            None => Ok(self.db.update_preference_score(user, index, score)?),
+            None => Ok(self.core().update_preference_score(user, index, score)?),
+        }
+    }
+
+    /// Route one operation through whichever write path this service
+    /// runs (replicated → durable → plain), with **no** migration
+    /// fence check: this is the internal path migration itself uses to
+    /// build and tear down per-user state while the fence holds.
+    fn write_op(&self, op: &WalOp) -> Result<(), ServiceError> {
+        if let Some(c) = &self.cluster {
+            c.write(op).map_err(ServiceError::from)?;
+            return Ok(());
+        }
+        match &self.durable {
+            Some(d) => {
+                d.apply(op)?;
+                Ok(())
+            }
+            None => Ok(op.apply_sharded(&self.core())?),
+        }
+    }
+
+    /// A consistent per-user export for the migration driver: whether
+    /// the user exists, their WAL shard, the shard's last applied LSN
+    /// at the cut, and an FNV digest of the profile at the cut. Taken
+    /// under the user's shard mutex, so the digest and the LSN agree
+    /// exactly. Requires durability (migration replays the WAL).
+    pub fn migrate_export(&self, user: &str) -> Result<UserExport, ServiceError> {
+        let d = self.durable_db_required()?;
+        let cut = d.user_cut(user);
+        let core = d.db();
+        let digest = cut
+            .profile
+            .as_ref()
+            .map(|p| ctxpref_replication::user_digest(core.env(), core.relation(), user, p))
+            .unwrap_or(0);
+        Ok(UserExport {
+            present: cut.profile.is_some(),
+            shard: cut.shard as u64,
+            last_lsn: cut.last_lsn,
+            digest,
+        })
+    }
+
+    /// Snapshot one user for migration: a consistent cut's LSN plus
+    /// the WAL-op payloads (`add` + one `ins` per preference) that
+    /// reconstruct the profile on the destination. The WAL suffix of
+    /// the user's shard strictly after the returned LSN is exactly
+    /// what the snapshot misses.
+    pub fn migrate_snapshot(&self, user: &str) -> Result<(u64, Vec<Vec<u8>>), ServiceError> {
+        let d = self.durable_db_required()?;
+        let cut = d.user_cut(user);
+        let profile = cut
+            .profile
+            .ok_or_else(|| ServiceError::Core(CoreError::NoSuchUser(user.to_string())))?;
+        let core = d.db();
+        let ops = ctxpref_replication::snapshot_ops(core.env(), core.relation(), user, &profile);
+        Ok((cut.last_lsn, ops))
+    }
+
+    /// One page of the user's WAL suffix for migration catch-up:
+    /// records of the user's shard with LSN ≥ `from_lsn`, filtered to
+    /// the migrating user, plus the highest LSN scanned. `Ok(None)`
+    /// means the suffix was garbage-collected into a checkpoint — the
+    /// driver must restart from a fresh snapshot. Because replicas
+    /// mirror the primary's per-shard LSN sequence, the cursor stays
+    /// valid across a failover of this cluster.
+    pub fn migrate_pull(
+        &self,
+        user: &str,
+        from_lsn: u64,
+        max: usize,
+    ) -> Result<Option<ctxpref_replication::UserSuffix>, ServiceError> {
+        let d = self.durable_db_required()?;
+        let shard = d.db().shard_of(user);
+        ctxpref_replication::user_suffix(&d, user, shard, from_lsn, max).map_err(ServiceError::from)
+    }
+
+    /// Fence `user` for cut-over at routing epoch `epoch`: client
+    /// writes for that one user are refused with the typed, retry-able
+    /// [`ServiceError::Migrating`] until the migration finishes or
+    /// aborts. Reads keep serving. Idempotent per epoch; an older
+    /// epoch is refused with [`ServiceError::StaleMigration`].
+    pub fn migrate_fence(&self, user: &str, epoch: u64) -> Result<(), ServiceError> {
+        self.migrations.fence(user, epoch)
+    }
+
+    /// Destination side: begin importing `user` at `epoch`. Drops any
+    /// existing copy of the user (a previous attempt's partial state),
+    /// applies the snapshot ops through the normal write path, and
+    /// sets the catch-up watermark to the snapshot's cut LSN. Client
+    /// writes for the user are refused until [`Self::migrate_activate`].
+    pub fn migrate_import(
+        &self,
+        user: &str,
+        epoch: u64,
+        src_lsn: u64,
+        ops: &[Vec<u8>],
+    ) -> Result<(), ServiceError> {
+        self.migrations.begin_import(user, epoch, src_lsn)?;
+        // Reset: a partial previous attempt may have left the user
+        // behind. The import entry already blocks client writes, so
+        // nothing acked can be deleted here.
+        match self.write_op(&WalOp::RemoveUser {
+            user: user.to_string(),
+        }) {
+            Ok(()) | Err(ServiceError::Core(_)) => {}
+            Err(other) => return Err(other),
+        }
+        let core = self.core();
+        for payload in ops {
+            let op = WalOp::decode(payload, core.env(), core.relation())?;
+            self.write_op(&op)?;
+        }
+        Ok(())
+    }
+
+    /// Destination side: apply one page of catch-up records. Records
+    /// at or below the import watermark are dropped (a retried page —
+    /// the ops themselves are not idempotent, the watermark makes the
+    /// page so); the watermark then advances to `through`. Returns the
+    /// new watermark.
+    pub fn migrate_apply(
+        &self,
+        user: &str,
+        epoch: u64,
+        through: u64,
+        records: &[(u64, Vec<u8>)],
+    ) -> Result<u64, ServiceError> {
+        let mut watermark = self.migrations.import_watermark(user, epoch)?;
+        let core = self.core();
+        for (lsn, payload) in records {
+            if *lsn <= watermark {
+                continue;
+            }
+            let op = WalOp::decode(payload, core.env(), core.relation())?;
+            if op.user() != user {
+                // The source filters by user; anything else is damage.
+                return Err(ServiceError::Wal(ctxpref_wal::WalError::Payload {
+                    reason: format!("catch-up record for {:?} during {user:?}", op.user()),
+                }));
+            }
+            self.write_op(&op)?;
+            watermark = *lsn;
+            self.migrations.advance_watermark(user, epoch, watermark);
+        }
+        if through > watermark {
+            watermark = through;
+            self.migrations.advance_watermark(user, epoch, watermark);
+        }
+        Ok(watermark)
+    }
+
+    /// Destination side: the routing table flipped — drop the import
+    /// entry so client writes for `user` flow here. Idempotent.
+    pub fn migrate_activate(&self, user: &str, epoch: u64) -> Result<(), ServiceError> {
+        self.migrations.activate(user, epoch)
+    }
+
+    /// Source side: the cut-over completed — remove the user's data
+    /// (still under the fence, so no write can fork it) and leave a
+    /// `Moved` tombstone telling stale clients to refresh their
+    /// routing. Idempotent per epoch.
+    pub fn migrate_finish(&self, user: &str, epoch: u64) -> Result<(), ServiceError> {
+        match self.migrations.phase_of(user, epoch)? {
+            crate::migrate::MigrationPhase::Moved => return Ok(()),
+            crate::migrate::MigrationPhase::Fenced => {}
+            crate::migrate::MigrationPhase::Importing { .. } => {
+                return Err(ServiceError::StaleMigration { current: epoch })
+            }
+        }
+        match self.write_op(&WalOp::RemoveUser {
+            user: user.to_string(),
+        }) {
+            Ok(()) | Err(ServiceError::Core(_)) => {}
+            Err(other) => return Err(other),
+        }
+        self.migrations.finish(user, epoch).map(|_| ())
+    }
+
+    /// Abort `epoch`'s migration of `user` on this side: a source
+    /// fence lifts (writes flow again), a destination import drops the
+    /// partial copy. A newer migration's entry, a completed move, or
+    /// no entry at all make this a no-op — abort never touches state
+    /// it does not own.
+    pub fn migrate_abort(&self, user: &str, epoch: u64) -> Result<(), ServiceError> {
+        if self.migrations.is_import(user, epoch) {
+            // Drop the partial copy while the entry still blocks
+            // client writes, so nothing acked can slip in and then be
+            // deleted with it.
+            match self.write_op(&WalOp::RemoveUser {
+                user: user.to_string(),
+            }) {
+                Ok(()) | Err(ServiceError::Core(_)) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        self.migrations.abort(user, epoch);
+        Ok(())
+    }
+
+    /// The migration table: every live fence, import, and tombstone.
+    pub fn migration_entries(&self) -> Vec<(String, MigrationEntry)> {
+        self.migrations.snapshot()
+    }
+
+    /// What a router needs from one probe: whether a primary serves
+    /// writes, the replication epoch, and how much state lives here.
+    pub fn route_info(&self) -> RouteInfo {
+        let (has_primary, epoch) = match &self.cluster {
+            Some(c) => {
+                let s = c.status();
+                (s.primary.is_some(), s.epoch)
+            }
+            None => (true, 0),
+        };
+        RouteInfo {
+            has_primary,
+            epoch,
+            users: self.core().user_count() as u64,
+            migrations: self.migrations.len() as u64,
         }
     }
 
@@ -899,9 +1186,10 @@ impl CtxPrefService {
         value: ctxpref_relation::Value,
         score: f64,
     ) -> Result<ContextualPreference, CoreError> {
-        let cod = parse_descriptor(self.db.env(), descriptor)?;
+        let core = self.core();
+        let cod = parse_descriptor(core.env(), descriptor)?;
         let clause = AttributeClause::new(
-            self.db.relation().schema().require_attr(attr)?,
+            core.relation().schema().require_attr(attr)?,
             CompareOp::Eq,
             value,
         );
@@ -913,7 +1201,7 @@ impl CtxPrefService {
     /// garbage-collect old generations. Fails with
     /// [`ServiceError::NotDurable`] on a non-durable service.
     pub fn checkpoint(&self) -> Result<CheckpointReport, ServiceError> {
-        let durable = self.durable_db().ok_or(ServiceError::NotDurable)?;
+        let durable = self.durable_db_required()?;
         let report = durable.checkpoint()?;
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(report)
@@ -922,25 +1210,25 @@ impl CtxPrefService {
     /// Fsync all pending group-commit WAL records, returning how many
     /// became durable.
     pub fn flush_wal(&self) -> Result<u64, ServiceError> {
-        let durable = self.durable_db().ok_or(ServiceError::NotDurable)?;
+        let durable = self.durable_db_required()?;
         Ok(durable.flush()?)
     }
 
     /// Per-shard WAL positions plus append/batch/rotation totals (the
     /// primary's, on a replicated service).
     pub fn wal_status(&self) -> Result<WalStatus, ServiceError> {
-        let durable = self.durable_db().ok_or(ServiceError::NotDurable)?;
+        let durable = self.durable_db_required()?;
         Ok(durable.wal_status())
     }
 
     /// One user's query-cache statistics.
     pub fn cache_stats(&self, user: &str) -> Result<Option<CacheStats>, ServiceError> {
-        Ok(self.db.cache_stats(user)?)
+        Ok(self.core().cache_stats(user)?)
     }
 
     /// Replace the query options used by every query on the database.
     pub fn set_query_defaults(&self, options: ctxpref_core::QueryOptions) {
-        self.db.set_query_defaults(options);
+        self.core().set_query_defaults(options);
     }
 
     /// Read access to the underlying sharded database (for inspection;
@@ -948,7 +1236,7 @@ impl CtxPrefService {
     /// tolerance). The closure takes no lock itself — accessor methods
     /// on the core lock individual shards as needed.
     pub fn with_db<R>(&self, f: impl FnOnce(&ShardedMultiUserDb) -> R) -> R {
-        f(&self.db)
+        f(&self.core())
     }
 
     /// Snapshot the database to `path`: an atomic, checksummed write,
@@ -957,7 +1245,7 @@ impl CtxPrefService {
     /// before any I/O starts, so the save never holds a shard lock
     /// across disk writes and queries proceed during the save.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServiceError> {
-        let snapshot = self.db.snapshot();
+        let snapshot = self.core().snapshot();
         retry_storage(
             &self.cfg.retry,
             self.cfg.storage_deadline,
@@ -970,13 +1258,18 @@ impl CtxPrefService {
     /// database.
     pub fn shutdown(mut self) -> MultiUserDb {
         self.stop();
-        let db = Arc::clone(&self.db);
+        let slot = Arc::clone(&self.db);
         drop(self);
-        match Arc::try_unwrap(db) {
-            Ok(sharded) => sharded.into_db(),
-            // A caller still holds a clone-derived reference (cannot
-            // happen through the public API).
-            Err(_arc) => unreachable!("shutdown consumes the only service handle"),
+        // The workers and maintenance threads are joined, so the slot
+        // and the core inside it both have exactly one owner left.
+        match Arc::try_unwrap(slot).map(RwLock::into_inner) {
+            Ok(db) => match Arc::try_unwrap(db) {
+                Ok(sharded) => sharded.into_db(),
+                // A caller still holds a clone-derived reference
+                // (cannot happen through the public API).
+                Err(_arc) => unreachable!("shutdown consumes the only core handle"),
+            },
+            Err(_slot) => unreachable!("shutdown consumes the only service handle"),
         }
     }
 
@@ -1012,8 +1305,17 @@ impl Drop for CtxPrefService {
     }
 }
 
+/// Point `slot` at `fresh` when it holds a different core instance
+/// (pointer identity — content equality is irrelevant, the slot must
+/// track the cluster's live object).
+fn refresh_serving_slot(slot: &RwLock<Arc<ShardedMultiUserDb>>, fresh: &Arc<ShardedMultiUserDb>) {
+    if !Arc::ptr_eq(&slot.read(), fresh) {
+        *slot.write() = Arc::clone(fresh);
+    }
+}
+
 fn worker_loop(
-    db: &ShardedMultiUserDb,
+    slot: &RwLock<Arc<ShardedMultiUserDb>>,
     counters: &Counters,
     in_flight: &Arc<AtomicUsize>,
     receiver: &Mutex<mpsc::Receiver<Job>>,
@@ -1022,6 +1324,9 @@ fn worker_loop(
         // Hold the receiver lock only while picking up a job.
         let job = { receiver.lock().recv() };
         let Ok(job) = job else { return };
+        // Resolve the serving core per job: the slot is re-pointed when
+        // a replicated service's local node recovers from a crash.
+        let db = Arc::clone(&slot.read());
         let _slot = InFlightGuard(Arc::clone(in_flight));
         if job.cancelled.load(Ordering::Acquire) {
             counters.cancelled.fetch_add(1, Ordering::Relaxed);

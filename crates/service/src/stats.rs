@@ -43,12 +43,13 @@ impl Counters {
             replication_epoch: 0,
             replication_max_lag: 0,
             failovers: 0,
+            fault_hits: Vec::new(),
         }
     }
 }
 
 /// A point-in-time snapshot of service counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Answers served from a user's query cache.
     pub served_cached: u64,
@@ -96,6 +97,12 @@ pub struct ServiceStats {
     /// Promotions after the initial one — how many times the primary
     /// role has moved since the cluster was bootstrapped.
     pub failovers: u64,
+    /// Per-site fault-injection hit counters of the currently
+    /// installed [`FaultPlan`](ctxpref_faults::FaultPlan), sorted by
+    /// site name; empty when no plan is installed. Chaos tests assert
+    /// a fault actually fired from these instead of inferring it from
+    /// timing.
+    pub fault_hits: Vec<(String, u64)>,
 }
 
 impl ServiceStats {

@@ -168,6 +168,12 @@ fn storm_of_mixed_faults_upholds_the_service_guarantees() {
                             ) => {
                                 panic!("replication error on the query path: {e}");
                             }
+                            Err(
+                                e @ (ServiceError::Migrating { .. }
+                                | ServiceError::StaleMigration { .. }),
+                            ) => {
+                                panic!("migration error without any migration: {e}");
+                            }
                         }
                     }
                 });

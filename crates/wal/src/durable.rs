@@ -125,6 +125,20 @@ pub struct DurableDb {
     _dir_lock: File,
 }
 
+/// A consistent per-user cut: the user's profile and the last LSN of
+/// their WAL shard, both read under the shard's WAL mutex (see
+/// [`DurableDb::user_cut`]). The shard's records with LSN >
+/// `last_lsn` are exactly the mutations the profile clone misses.
+#[derive(Debug, Clone)]
+pub struct UserCut {
+    /// The WAL shard (== core stripe) the user folds to.
+    pub shard: usize,
+    /// The shard's last applied LSN at the instant of the cut.
+    pub last_lsn: u64,
+    /// The user's profile, `None` if the user is unknown.
+    pub profile: Option<Profile>,
+}
+
 /// What [`DurableDb::apply_replicated`] did with a shipped record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplApply {
@@ -408,6 +422,26 @@ impl DurableDb {
             stripes.push(self.db.stripe_users(ix));
         }
         (stripes, lsns)
+    }
+
+    /// A consistent per-user cut for live migration: the user's profile
+    /// (`None` if unknown) plus the last LSN their WAL shard had
+    /// applied at the instant the profile was cloned. Taken under the
+    /// shard's WAL mutex — the durable layer logs and applies under
+    /// that same mutex — so no mutation to the user can fall between
+    /// the profile clone and the LSN read: the shard's WAL suffix
+    /// strictly after `last_lsn` is exactly what the snapshot misses.
+    pub fn user_cut(&self, user: &str) -> UserCut {
+        let shard = self.db.shard_of(user);
+        let guard = self.wal.shard(shard);
+        let last_lsn = guard.next_lsn() - 1;
+        let profile = self.db.profile(user).ok();
+        drop(guard);
+        UserCut {
+            shard,
+            last_lsn,
+            profile,
+        }
     }
 
     /// Read up to `max` records of `shard` with LSN ≥ `from_lsn` from

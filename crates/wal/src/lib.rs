@@ -42,7 +42,9 @@ pub mod record;
 pub mod segment;
 pub mod wal;
 
-pub use durable::{Ack, CheckpointReport, DurableDb, RecoveryReport, ReplApply, LOCK_FILE};
+pub use durable::{
+    Ack, CheckpointReport, DurableDb, RecoveryReport, ReplApply, UserCut, LOCK_FILE,
+};
 pub use error::{DurableError, WalError};
 pub use harness::{run_seed, tiny_env, tiny_relation, FuzzConfig, FuzzReport, Workload};
 pub use manifest::{Manifest, ShardManifest};

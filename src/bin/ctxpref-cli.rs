@@ -26,6 +26,7 @@ use ctxpref::context::{ContextState, DistanceKind};
 use ctxpref::core::{MultiUserDb, QueryAnswer, QueryOptions, ShardedMultiUserDb};
 use ctxpref::net::{NetClient, NetClientConfig, NetServer, NetServerConfig, RemoteAnswer};
 use ctxpref::prelude::*;
+use ctxpref::router::{Router, RouterConfig};
 use ctxpref::service::{
     AckMode, CtxPrefService, DurabilityConfig, ReplicatedConfig, ServiceAnswer, ServiceConfig,
 };
@@ -39,6 +40,7 @@ const USER: &str = "me";
 struct Repl {
     service: Option<Arc<CtxPrefService>>,
     server: Option<NetServer>,
+    router: Option<Router>,
     current: Option<ContextState>,
     options: QueryOptions,
     top_k: usize,
@@ -50,6 +52,7 @@ impl Repl {
         Self {
             service: None,
             server: None,
+            router: None,
             current: None,
             options: QueryOptions {
                 use_cache: true,
@@ -107,6 +110,9 @@ impl Repl {
             "repl-status" => self.cmd_repl_status(),
             "serve" => self.cmd_serve(rest),
             "remote" => self.cmd_remote(rest),
+            "route" => self.cmd_route(rest),
+            "route-status" => self.cmd_route_status(rest),
+            "migrate" => self.cmd_migrate(rest),
             "env" => self.cmd_env(),
             "context" => self.cmd_context(rest),
             "query" => self.cmd_query(rest),
@@ -438,6 +444,132 @@ impl Repl {
                  pref, del, score, checkpoint, flush, wal-status, repl-status, stats"
             )),
         }
+    }
+
+    /// Connect (or inspect) the routing tier: `route <cluster…>` builds
+    /// a consistent-hashing router over the given clusters, one
+    /// argument per cluster with comma-separated endpoints; `route`
+    /// alone shows the table; `route off` disconnects.
+    fn cmd_route(&mut self, rest: &str) -> Result<Option<String>, String> {
+        match rest {
+            "" => {
+                let Some(router) = &self.router else {
+                    return Ok(Some(
+                        "no routing tier — `route <addr[,addr…]> <addr[,addr…]> …`".to_string(),
+                    ));
+                };
+                let mut out = format!(
+                    "routing over {} cluster(s), epoch {}\n",
+                    router.clusters(),
+                    router.epoch()
+                );
+                let overrides = router.overrides();
+                if overrides.is_empty() {
+                    out.push_str("no per-user overrides (everyone on their hash home)");
+                } else {
+                    for (user, cluster, epoch) in overrides {
+                        out.push_str(&format!(
+                            "{user} → cluster {cluster} (moved at epoch {epoch})\n"
+                        ));
+                    }
+                }
+                Ok(Some(out))
+            }
+            "off" => match self.router.take() {
+                Some(_) => Ok(Some("routing tier disconnected".to_string())),
+                None => Err("no routing tier connected".to_string()),
+            },
+            clusters => {
+                let endpoints: Vec<Vec<String>> = clusters
+                    .split_whitespace()
+                    .map(|c| c.split(',').map(str::to_string).collect())
+                    .collect();
+                let n = endpoints.len();
+                self.router = Some(Router::new(endpoints, RouterConfig::default()));
+                Ok(Some(format!(
+                    "routing over {n} cluster(s) — `route-status`, `migrate <user> <cluster>`"
+                )))
+            }
+        }
+    }
+
+    fn router(&mut self) -> Result<&mut Router, String> {
+        self.router
+            .as_mut()
+            .ok_or_else(|| "no routing tier — `route <addr…>` first".to_string())
+    }
+
+    /// Probe the routed clusters: primary presence, replication epoch,
+    /// user and migration-entry counts, breaker state.
+    fn cmd_route_status(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let router = self.router()?;
+        let clusters: Vec<usize> = if rest.is_empty() {
+            (0..router.clusters()).collect()
+        } else {
+            vec![rest
+                .trim()
+                .parse()
+                .map_err(|_| "usage: route-status [cluster]")?]
+        };
+        let mut out = String::new();
+        for c in clusters {
+            match router.route_status(c) {
+                Ok(info) => out.push_str(&format!(
+                    "cluster {c}: {}, epoch {}, {} user(s), {} migration entr{}, breaker {:?}\n",
+                    if info.has_primary {
+                        "primary up"
+                    } else {
+                        "NO PRIMARY"
+                    },
+                    info.epoch,
+                    info.users,
+                    info.migrations,
+                    if info.migrations == 1 { "y" } else { "ies" },
+                    router.breaker_state(c),
+                )),
+                Err(e) => out.push_str(&format!(
+                    "cluster {c}: unreachable ({e}), breaker {:?}\n",
+                    router.breaker_state(c)
+                )),
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Live-migrate a user to another cluster through the router:
+    /// snapshot copy, WAL catch-up, brief write fence, epoch flip.
+    fn cmd_migrate(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let (user, dest) = rest
+            .split_once(char::is_whitespace)
+            .ok_or("usage: migrate <user> <cluster>")?;
+        let dest: usize = dest.trim().parse().map_err(|_| "bad cluster number")?;
+        let router = self.router()?;
+        if dest >= router.clusters() {
+            return Err(format!(
+                "cluster {dest} does not exist (have {})",
+                router.clusters()
+            ));
+        }
+        let report = router
+            .migrate_user(user.trim(), dest)
+            .map_err(|e| e.to_string())?;
+        if !report.moved {
+            return Ok(Some(format!(
+                "{} already lives on cluster {} — nothing to move",
+                report.user, report.to
+            )));
+        }
+        Ok(Some(format!(
+            "{} moved: cluster {} → {} at epoch {} ({} catch-up page(s), \
+             writes fenced {:?}, {} snapshot restart(s))",
+            report.user,
+            report.from,
+            report.to,
+            report.epoch,
+            report.pages,
+            report.fence,
+            report.restarts
+        )))
     }
 
     fn cmd_checkpoint(&self) -> Result<Option<String>, String> {
@@ -830,6 +962,10 @@ commands:
   remote <addr> <cmd>       drive a remote server (ping, query <values>,
                             query-desc, pref, del, score, checkpoint, flush,
                             wal-status, repl-status, stats)
+  route [<addrs…>|off]      connect a routing tier (one arg per cluster,
+                            comma-separated endpoints) or show the table
+  route-status [cluster]    probe routed clusters: primary, users, breaker
+  migrate <user> <cluster>  live-migrate a user (copy, catch-up, fence, flip)
   env                       show context parameters and hierarchies
   context [v1 v2 v3]        set / show the current context state
   query [descriptor]        query the current or a hypothetical context

@@ -33,6 +33,10 @@
 //! * [`net`] — the TCP serving layer: checksummed wire frames, a
 //!   socket server/client pair in front of the service, and the
 //!   socket-backed replication transport.
+//! * [`router`] — the user-partitioned routing tier: consistent
+//!   hashing across clusters, failure-aware forwarding with circuit
+//!   breakers, and live user migration that never drops an acked
+//!   write.
 //! * [`faults`] — deterministic, seedable fault injection for chaos
 //!   testing the above.
 //!
@@ -51,6 +55,7 @@ pub use ctxpref_qualitative as qualitative;
 pub use ctxpref_relation as relation;
 pub use ctxpref_replication as replication;
 pub use ctxpref_resolve as resolve;
+pub use ctxpref_router as router;
 pub use ctxpref_service as service;
 pub use ctxpref_storage as storage;
 pub use ctxpref_wal as wal;
