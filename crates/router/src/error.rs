@@ -21,6 +21,17 @@ pub enum RouterError {
         /// The last endpoint's failure, rendered.
         last: String,
     },
+    /// A non-idempotent mutation hit a transport failure of unknown
+    /// outcome: the endpoint may have applied it before the connection
+    /// died, so the router neither retried it nor walked to another
+    /// endpoint (a replay could double-apply). The caller must re-read
+    /// before re-issuing.
+    AmbiguousWrite {
+        /// The cluster whose endpoint failed mid-exchange.
+        cluster: usize,
+        /// The transport failure, rendered.
+        last: String,
+    },
     /// The cluster answered, but had no primary for longer than the
     /// router's retry budget (failover still in flight).
     NoPrimary {
@@ -63,6 +74,13 @@ impl fmt::Display for RouterError {
             }
             Self::ClusterUnavailable { cluster, last } => {
                 write!(f, "cluster {cluster}: every endpoint failed (last: {last})")
+            }
+            Self::AmbiguousWrite { cluster, last } => {
+                write!(
+                    f,
+                    "cluster {cluster}: mutation outcome unknown ({last}); \
+                     not replayed — re-read before re-issuing"
+                )
             }
             Self::NoPrimary { cluster } => {
                 write!(f, "cluster {cluster}: no primary (failover in flight)")

@@ -19,9 +19,12 @@
 //!    hang, and crucially *pre-apply*, so a refused write was never
 //!    acked). The driver drains the remaining suffix up to the fenced
 //!    LSN, verifies the FNV **digest** of both sides' profiles match,
-//!    activates the destination, flips the routing table, and only
+//!    flips the routing table, activates the destination, and only
 //!    then tells the source to drop its copy (leaving a `moved`
-//!    tombstone for stale clients).
+//!    tombstone for stale clients). The flip commits *before* the
+//!    activation so a deposed driver (flip refused) has never made
+//!    its destination writable — its partial copy dies under the
+//!    import entry that still blocks client writes.
 //!
 //! Why no acked write can be lost: a write acked before the fence is
 //! either in the snapshot (≤ cut LSN) or in the WAL suffix the drain
@@ -289,17 +292,17 @@ impl Router {
                 ));
             }
 
-            // Activate the destination, then flip the routing table.
-            // Between these two instants the user is briefly owned by
-            // nobody a *write* can reach (source fenced, table not yet
-            // flipped) — but every such write gets the typed retry-able
-            // refusal, and the router's forward loop re-resolves the
-            // owner on each retry, so the fence window is bounded by
-            // this function's remaining straight-line work.
-            match self.migrate_step(dest, user, epoch, &MigrateAction::Activate, "activate")? {
-                Response::Ok => {}
-                other => return Err(fail("activate", format!("unexpected reply {other:?}"))),
-            }
+            // Flip the routing table first, then activate the
+            // destination. Commit-before-activate means a deposed
+            // driver (its commit refused because a newer migration
+            // owns the user) has never unblocked its destination: the
+            // import entry is still in place, so the caller's abort
+            // removes the partial copy and no writable stale replica
+            // of the user can survive deposal. Between the flip and
+            // the activation the user's writes land on the destination
+            // and get the typed retry-able `migrating` refusal; the
+            // router's forward loop re-resolves and retries, so the
+            // window stays bounded by one activation round-trip.
             if !self.table().lock().commit(user, dest, epoch) {
                 // A newer migration owns the user: this driver is
                 // deposed. Its destination copy is aborted by the
@@ -309,12 +312,19 @@ impl Router {
                     "routing table refused the flip (newer migration owns the user)".to_string(),
                 ));
             }
+
+            // Ownership has moved: from here on nothing may abort (an
+            // abort would delete the destination's — now authoritative
+            // — copy). Activation and the source's cleanup are
+            // idempotent and epoch-guarded; a failure leaves an entry
+            // that keeps refusing that one user's writes with the
+            // retry-able `migrating` reply (safe, just not clean)
+            // until a later migration supersedes it.
+            let _ = self.migrate_step(dest, user, epoch, &MigrateAction::Activate, "activate");
             report.fence = fence_start.elapsed();
 
-            // Post-flip cleanup: the source drops its copy under the
-            // fence and leaves a tombstone. Ownership has already
-            // moved; a failure here leaves the source fenced (writes
-            // refused, no fork) — safe to retry on a later migration.
+            // The source drops its copy under the fence and leaves a
+            // tombstone telling stale clients to refresh.
             let _ = self.migrate_step(from, user, epoch, &MigrateAction::Finish, "finish");
             return Ok(());
         }

@@ -65,8 +65,11 @@ struct Shared {
 /// migration overrides — see [`RoutingTable`]); requests forward to
 /// the owner over [`NetClient`]s. Failure handling, per layer:
 ///
-/// * **Endpoint down** — the next endpoint of the same cluster is
-///   tried; the one that answers becomes preferred.
+/// * **Endpoint down** — for idempotent requests the next endpoint of
+///   the same cluster is tried and the one that answers becomes
+///   preferred; a mutation whose transport failed mid-exchange is
+///   **not** replayed (unknown outcome — see
+///   [`RouterError::AmbiguousWrite`]).
 /// * **Whole cluster unreachable** — a per-cluster circuit breaker
 ///   opens after consecutive all-endpoint transport failures, fails
 ///   fast while open, and half-opens a probe after a cooldown.
@@ -174,6 +177,13 @@ impl Router {
     /// next (another access point may sit closer to the new primary);
     /// if every live endpoint says `not-primary` that is the answer —
     /// the cluster is alive but leaderless, which the caller retries.
+    ///
+    /// The walk only continues past a transport failure of *unknown*
+    /// outcome for idempotent requests; a mutation stops there with
+    /// [`RouterError::AmbiguousWrite`], because the dead connection
+    /// may have carried an applied-but-unacked write and replaying it
+    /// elsewhere would double-apply. Typed refusals (`not-primary`,
+    /// `busy`) are pre-apply, so they rotate for every request kind.
     pub(crate) fn call_cluster(
         &mut self,
         cluster: usize,
@@ -184,6 +194,7 @@ impl Router {
         }
         let n = self.shared.endpoints[cluster].len();
         let start = self.shared.health[cluster].lock().preferred;
+        let idempotent = req.is_idempotent();
         let mut last_transport: Option<String> = None;
         let mut saw_not_primary = false;
         for i in 0..n {
@@ -208,14 +219,31 @@ impl Router {
                     h.preferred = idx;
                     return Err(RouterError::Remote { kind, message });
                 }
-                // Saturated endpoint: another access point of the same
-                // cluster may have capacity.
+                // Saturated endpoint: the busy frame is a pre-apply
+                // refusal (the server shed the request before touching
+                // it), so another access point of the same cluster may
+                // have capacity — safe to walk on even for mutations.
                 Err(NetError::ServerBusy { limit }) => {
                     last_transport = Some(format!("busy (limit {limit})"));
                 }
                 Err(
                     e @ (NetError::Io(_) | NetError::Frame(_) | NetError::RetriesExhausted { .. }),
                 ) => {
+                    // Unknown outcome: the endpoint may have applied
+                    // the request before the transport died. Replaying
+                    // a non-idempotent mutation against the next
+                    // endpoint could apply it twice (a replayed
+                    // `remove-pref` removes a second, unrelated
+                    // preference), so only idempotent requests keep
+                    // walking; mutations surface the ambiguity to the
+                    // caller, who must re-read before re-issuing.
+                    if !idempotent {
+                        self.shared.health[cluster].lock().breaker.on_failure();
+                        return Err(RouterError::AmbiguousWrite {
+                            cluster,
+                            last: e.to_string(),
+                        });
+                    }
                     last_transport = Some(e.to_string());
                 }
                 // Protocol confusion is not transient; surface it.

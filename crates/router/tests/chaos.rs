@@ -153,7 +153,10 @@ impl AckedOp {
 /// clusters healed, but the chaos can leave transport debris behind —
 /// pooled connections the storm half-closed, a breaker still in its
 /// cooldown — so transport-level failures get a bounded retry before
-/// they count as a liveness violation. Typed refusals (`Remote`,
+/// they count as a liveness violation. That includes `AmbiguousWrite`
+/// (a mutation on a dead pooled connection): the probes use globally
+/// unique values checked by presence, so re-issuing one here is safe
+/// even if the first attempt landed. Typed refusals (`Remote`,
 /// `UserMigrating`) surface immediately: those are answers.
 fn eventually<T>(mut call: impl FnMut() -> Result<T, RouterError>) -> Result<T, RouterError> {
     let mut last = call();
@@ -161,7 +164,8 @@ fn eventually<T>(mut call: impl FnMut() -> Result<T, RouterError>) -> Result<T, 
         match &last {
             Err(RouterError::ClusterUnavailable { .. })
             | Err(RouterError::CircuitOpen { .. })
-            | Err(RouterError::NoPrimary { .. }) => {
+            | Err(RouterError::NoPrimary { .. })
+            | Err(RouterError::AmbiguousWrite { .. }) => {
                 std::thread::sleep(Duration::from_millis(50));
                 last = call();
             }

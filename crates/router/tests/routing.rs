@@ -307,3 +307,43 @@ fn writes_during_migration_are_never_dropped() {
     server_a.shutdown();
     server_b.shutdown();
 }
+
+#[test]
+fn ambiguous_mutation_is_not_replayed_on_the_next_endpoint() {
+    // An endpoint that accepts connections and immediately closes them
+    // produces transport failures of unknown outcome: the request may
+    // have been read and applied before the connection died. A
+    // mutation must stop there with `AmbiguousWrite` — replaying it on
+    // the next endpoint could double-apply — while an idempotent probe
+    // keeps walking and reaches the live endpoint.
+    let tmp = TempDir::new("ambig");
+    let (service, server) = durable_cluster(&tmp.0);
+    let live = server.local_addr().to_string();
+    let closer = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let closer_addr = closer.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in closer.incoming() {
+            drop(conn);
+        }
+    });
+
+    // One cluster, two endpoints: the connection-closer is preferred.
+    let mut router = quick_router(vec![vec![closer_addr, live]]);
+
+    match router.add_user("ann") {
+        Err(RouterError::AmbiguousWrite { cluster: 0, .. }) => {}
+        other => panic!("mutation through a dying connection got {other:?}"),
+    }
+    assert!(
+        !service.with_db(|db| db.profile("ann").is_ok()),
+        "the mutation reached the live endpoint despite the ambiguous failure"
+    );
+
+    // The idempotent probe walks past the dead endpoint and marks the
+    // live one preferred; mutations flow again.
+    router.route_status(0).expect("probe walks to the live endpoint");
+    router.add_user("ann").expect("mutation against the preferred live endpoint");
+    assert!(service.with_db(|db| db.profile("ann").is_ok()));
+
+    server.shutdown();
+}

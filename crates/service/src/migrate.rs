@@ -24,10 +24,18 @@
 //! restartable from scratch.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::error::ServiceError;
+
+/// How long a fence (or import) waits for writers that passed the
+/// write gate before the entry landed. In-flight writes complete in
+/// WAL-append time, so this is a safety net against a wedged writer —
+/// on expiry the entry stays installed (writes remain refused, which
+/// is safe) and the caller gets a typed error so the driver aborts.
+const DRAIN_WAIT: Duration = Duration::from_secs(10);
 
 /// Which side of a migration a user's entry describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,66 +67,143 @@ pub struct MigrationEntry {
     pub phase: MigrationPhase,
 }
 
+/// Entries plus the per-user count of client writes currently inside
+/// the write path — one mutex so gate checks, entry installs, and
+/// drain waits are a single atomic story.
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<String, MigrationEntry>,
+    /// Client writes that passed the gate and have not finished their
+    /// append + ack yet.
+    in_flight: HashMap<String, usize>,
+}
+
 /// The per-service migration table.
 #[derive(Debug, Default)]
 pub(crate) struct MigrationTable {
-    entries: Mutex<HashMap<String, MigrationEntry>>,
+    inner: Mutex<Inner>,
+    /// Signalled when a user's in-flight count drops to zero.
+    drained: Condvar,
+}
+
+/// Holds one client write's in-flight registration for the duration of
+/// the write path (gate check through append + ack). Dropping it
+/// releases the slot and wakes any fence waiting for stragglers.
+#[must_use = "the guard must live across the append, or the fence race returns"]
+pub(crate) struct WriteGuard<'a> {
+    table: &'a MigrationTable,
+    user: String,
+}
+
+impl Drop for WriteGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.table.inner.lock();
+        if let Some(n) = inner.in_flight.get_mut(&self.user) {
+            *n -= 1;
+            if *n == 0 {
+                inner.in_flight.remove(&self.user);
+                self.table.drained.notify_all();
+            }
+        }
+    }
 }
 
 impl MigrationTable {
-    /// Refuse a client write for `user` while an entry blocks it.
-    pub fn ensure_writable(&self, user: &str) -> Result<(), ServiceError> {
-        match self.entries.lock().get(user) {
-            None => Ok(()),
-            Some(_) => Err(ServiceError::Migrating {
+    /// Admit a client write for `user`: refuse while an entry blocks
+    /// the user, otherwise register the write as in-flight until the
+    /// returned guard drops. The check and the registration are one
+    /// atomic step, so a fence installed after this returns must wait
+    /// for the write to finish before it can treat the WAL as frozen —
+    /// no write that passed the gate can append after the fence's
+    /// drain cut is taken.
+    pub fn write_guard(&self, user: &str) -> Result<WriteGuard<'_>, ServiceError> {
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(user) {
+            return Err(ServiceError::Migrating {
                 user: user.to_string(),
-            }),
+            });
         }
+        *inner.in_flight.entry(user.to_string()).or_insert(0) += 1;
+        Ok(WriteGuard {
+            table: self,
+            user: user.to_string(),
+        })
+    }
+
+    /// Wait (bounded) for every in-flight write of `user` to finish.
+    /// Called with the entry already installed, so no new write can
+    /// join; the wait only covers stragglers that passed the gate
+    /// before the entry landed.
+    fn drain(&self, mut inner: MutexGuard<'_, Inner>, user: &str) -> Result<(), ServiceError> {
+        let deadline = Instant::now() + DRAIN_WAIT;
+        while inner.in_flight.contains_key(user) {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            if timeout.is_zero() {
+                return Err(ServiceError::DeadlineExceeded {
+                    deadline: DRAIN_WAIT,
+                });
+            }
+            let (reacquired, result) = self.drained.wait_timeout(inner, timeout);
+            inner = reacquired;
+            if result.timed_out() && inner.in_flight.contains_key(user) {
+                return Err(ServiceError::DeadlineExceeded {
+                    deadline: DRAIN_WAIT,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Fence `user` at `epoch` (source side, cut-over). Idempotent for
     /// the same epoch; a newer epoch supersedes any older entry; an
     /// older epoch — or re-fencing a completed move — is refused.
+    ///
+    /// Returns only after every write that passed the gate before the
+    /// fence landed has finished its append, so the drain export taken
+    /// next reads a `last_lsn` that covers all acked writes.
     pub fn fence(&self, user: &str, epoch: u64) -> Result<(), ServiceError> {
-        let mut entries = self.entries.lock();
-        if let Some(e) = entries.get(user) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.get(user) {
             if epoch < e.epoch || (epoch == e.epoch && e.phase == MigrationPhase::Moved) {
                 return Err(ServiceError::StaleMigration { current: e.epoch });
             }
         }
-        entries.insert(
+        inner.entries.insert(
             user.to_string(),
             MigrationEntry {
                 epoch,
                 phase: MigrationPhase::Fenced,
             },
         );
-        Ok(())
+        self.drain(inner, user)
     }
 
     /// Begin (or idempotently restart) an import of `user` at `epoch`
-    /// with the snapshot's cut LSN as the starting watermark.
+    /// with the snapshot's cut LSN as the starting watermark. Like
+    /// [`Self::fence`], waits for straggler writes that passed the
+    /// gate before the entry landed, so the import's reset cannot
+    /// delete a write acked after it.
     pub fn begin_import(&self, user: &str, epoch: u64, src_lsn: u64) -> Result<(), ServiceError> {
-        let mut entries = self.entries.lock();
-        if let Some(e) = entries.get(user) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.get(user) {
             if epoch < e.epoch {
                 return Err(ServiceError::StaleMigration { current: e.epoch });
             }
         }
-        entries.insert(
+        inner.entries.insert(
             user.to_string(),
             MigrationEntry {
                 epoch,
                 phase: MigrationPhase::Importing { watermark: src_lsn },
             },
         );
-        Ok(())
+        self.drain(inner, user)
     }
 
     /// The current import watermark for `user`, verifying the entry is
     /// an import owned by `epoch`.
     pub fn import_watermark(&self, user: &str, epoch: u64) -> Result<u64, ServiceError> {
-        match self.entries.lock().get(user) {
+        match self.inner.lock().entries.get(user) {
             Some(e) if e.epoch == epoch => match e.phase {
                 MigrationPhase::Importing { watermark } => Ok(watermark),
                 _ => Err(ServiceError::StaleMigration { current: e.epoch }),
@@ -130,8 +215,8 @@ impl MigrationTable {
 
     /// Advance the import watermark (monotone).
     pub fn advance_watermark(&self, user: &str, epoch: u64, through: u64) {
-        let mut entries = self.entries.lock();
-        if let Some(e) = entries.get_mut(user) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.get_mut(user) {
             if e.epoch == epoch {
                 if let MigrationPhase::Importing { watermark } = &mut e.phase {
                     *watermark = (*watermark).max(through);
@@ -142,7 +227,7 @@ impl MigrationTable {
 
     /// The phase of `user`'s entry, verifying `epoch` owns it.
     pub fn phase_of(&self, user: &str, epoch: u64) -> Result<MigrationPhase, ServiceError> {
-        match self.entries.lock().get(user) {
+        match self.inner.lock().entries.get(user) {
             Some(e) if e.epoch == epoch => Ok(e.phase),
             Some(e) => Err(ServiceError::StaleMigration { current: e.epoch }),
             None => Err(ServiceError::StaleMigration { current: 0 }),
@@ -154,7 +239,7 @@ impl MigrationTable {
     /// no client write can slip in and then be deleted).
     pub fn is_import(&self, user: &str, epoch: u64) -> bool {
         matches!(
-            self.entries.lock().get(user),
+            self.inner.lock().entries.get(user),
             Some(e) if e.epoch == epoch && matches!(e.phase, MigrationPhase::Importing { .. })
         )
     }
@@ -163,11 +248,11 @@ impl MigrationTable {
     /// client writes flow. Idempotent — a missing entry means a retry
     /// of an activation that already landed.
     pub fn activate(&self, user: &str, epoch: u64) -> Result<(), ServiceError> {
-        let mut entries = self.entries.lock();
-        match entries.get(user) {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(user) {
             None => Ok(()),
             Some(e) if e.epoch == epoch => {
-                entries.remove(user);
+                inner.entries.remove(user);
                 Ok(())
             }
             Some(e) => Err(ServiceError::StaleMigration { current: e.epoch }),
@@ -179,8 +264,8 @@ impl MigrationTable {
     /// the user's data *before* flipping the phase, while the fence
     /// still blocks client writes. Idempotent on retry.
     pub fn finish(&self, user: &str, epoch: u64) -> Result<bool, ServiceError> {
-        let mut entries = self.entries.lock();
-        match entries.get_mut(user) {
+        let mut inner = self.inner.lock();
+        match inner.entries.get_mut(user) {
             Some(e) if e.epoch == epoch && e.phase == MigrationPhase::Fenced => {
                 e.phase = MigrationPhase::Moved;
                 Ok(true)
@@ -197,15 +282,15 @@ impl MigrationTable {
     /// this a no-op — abort is best-effort cleanup and never touches
     /// state it does not own.
     pub fn abort(&self, user: &str, epoch: u64) -> bool {
-        let mut entries = self.entries.lock();
-        match entries.get(user) {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(user) {
             Some(e) if e.epoch == epoch => match e.phase {
                 MigrationPhase::Fenced => {
-                    entries.remove(user);
+                    inner.entries.remove(user);
                     false
                 }
                 MigrationPhase::Importing { .. } => {
-                    entries.remove(user);
+                    inner.entries.remove(user);
                     true
                 }
                 MigrationPhase::Moved => false,
@@ -216,14 +301,15 @@ impl MigrationTable {
 
     /// Number of live entries (fences, imports, and tombstones).
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.inner.lock().entries.len()
     }
 
     /// Snapshot of the table for status rendering.
     pub fn snapshot(&self) -> Vec<(String, MigrationEntry)> {
         let mut v: Vec<_> = self
-            .entries
+            .inner
             .lock()
+            .entries
             .iter()
             .map(|(k, e)| (k.clone(), *e))
             .collect();
@@ -260,4 +346,101 @@ pub struct UserExport {
     pub last_lsn: u64,
     /// FNV digest of the profile at the cut (0 when absent).
     pub digest: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn fence_waits_for_in_flight_writes_to_drain() {
+        // A write that passed the gate before the fence landed must
+        // finish its append before the fence returns — otherwise the
+        // drain export could read a last_lsn that misses an acked
+        // straggler.
+        let table = Arc::new(MigrationTable::default());
+        let guard = table.write_guard("ann").unwrap();
+        let fencer = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                table.fence("ann", 1).unwrap();
+                Instant::now()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        let released = Instant::now();
+        drop(guard);
+        let fenced = fencer.join().unwrap();
+        assert!(
+            fenced >= released,
+            "fence returned while a write was still in flight"
+        );
+        // The fence now refuses new writes with the typed error.
+        assert!(matches!(
+            table.write_guard("ann"),
+            Err(ServiceError::Migrating { .. })
+        ));
+        // Other users are untouched.
+        drop(table.write_guard("bob").unwrap());
+    }
+
+    #[test]
+    fn fence_with_no_writers_returns_immediately() {
+        let table = MigrationTable::default();
+        drop(table.write_guard("ann").unwrap());
+        let start = Instant::now();
+        table.fence("ann", 1).unwrap();
+        assert!(start.elapsed() < DRAIN_WAIT / 2, "fence waited for nobody");
+    }
+
+    #[test]
+    fn begin_import_waits_for_stragglers_too() {
+        // The import's reset deletes the user's copy; a straggler write
+        // acked after the reset would be silently destroyed, so the
+        // import entry drains in-flight writes exactly like a fence.
+        let table = Arc::new(MigrationTable::default());
+        let guard = table.write_guard("ann").unwrap();
+        let importer = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                table.begin_import("ann", 1, 7).unwrap();
+                Instant::now()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        let released = Instant::now();
+        drop(guard);
+        let imported = importer.join().unwrap();
+        assert!(
+            imported >= released,
+            "import began while a write was still in flight"
+        );
+        assert_eq!(table.import_watermark("ann", 1).unwrap(), 7);
+    }
+
+    #[test]
+    fn concurrent_guards_for_one_user_all_drain() {
+        let table = Arc::new(MigrationTable::default());
+        let g1 = table.write_guard("ann").unwrap();
+        let g2 = table.write_guard("ann").unwrap();
+        let fencer = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                table.fence("ann", 1).unwrap();
+                Instant::now()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(g1);
+        std::thread::sleep(Duration::from_millis(30));
+        let released = Instant::now();
+        drop(g2);
+        let fenced = fencer.join().unwrap();
+        assert!(
+            fenced >= released,
+            "fence returned with a second write still in flight"
+        );
+    }
 }

@@ -786,7 +786,7 @@ impl CtxPrefService {
     /// mutation below); on a replicated one it routes through the
     /// cluster's current primary, honouring the configured ack mode.
     pub fn add_user(&self, name: &str) -> Result<(), ServiceError> {
-        self.migrations.ensure_writable(name)?;
+        let _guard = self.migrations.write_guard(name)?;
         if let Some(c) = &self.cluster {
             c.write(&WalOp::AddUser {
                 user: name.to_string(),
@@ -805,7 +805,7 @@ impl CtxPrefService {
 
     /// Register a user with an initial profile.
     pub fn add_user_with_profile(&self, name: &str, profile: Profile) -> Result<(), ServiceError> {
-        self.migrations.ensure_writable(name)?;
+        let _guard = self.migrations.write_guard(name)?;
         if let Some(c) = &self.cluster {
             c.write(&WalOp::AddUser {
                 user: name.to_string(),
@@ -831,7 +831,7 @@ impl CtxPrefService {
 
     /// Remove a user, returning their profile.
     pub fn remove_user(&self, name: &str) -> Result<Profile, ServiceError> {
-        self.migrations.ensure_writable(name)?;
+        let _guard = self.migrations.write_guard(name)?;
         if let Some(c) = &self.cluster {
             // Read the profile off the primary (the authoritative copy)
             // before logging the removal.
@@ -858,7 +858,7 @@ impl CtxPrefService {
         user: &str,
         pref: ContextualPreference,
     ) -> Result<(), ServiceError> {
-        self.migrations.ensure_writable(user)?;
+        let _guard = self.migrations.write_guard(user)?;
         if let Some(c) = &self.cluster {
             c.write(&WalOp::InsertPreference {
                 user: user.to_string(),
@@ -886,7 +886,7 @@ impl CtxPrefService {
         value: ctxpref_relation::Value,
         score: f64,
     ) -> Result<(), ServiceError> {
-        self.migrations.ensure_writable(user)?;
+        let _guard = self.migrations.write_guard(user)?;
         if self.cluster.is_some() || self.durable.is_some() {
             let pref = self.build_eq_preference(descriptor, attr, value, score)?;
             return self.insert_preference(user, pref);
@@ -902,7 +902,7 @@ impl CtxPrefService {
         user: &str,
         index: usize,
     ) -> Result<ContextualPreference, ServiceError> {
-        self.migrations.ensure_writable(user)?;
+        let _guard = self.migrations.write_guard(user)?;
         if let Some(c) = &self.cluster {
             let primary = c.primary_db().ok_or(ReplicationError::NoPrimary)?;
             let pref = primary
@@ -936,7 +936,7 @@ impl CtxPrefService {
         index: usize,
         score: f64,
     ) -> Result<(), ServiceError> {
-        self.migrations.ensure_writable(user)?;
+        let _guard = self.migrations.write_guard(user)?;
         if let Some(c) = &self.cluster {
             c.write(&WalOp::UpdateScore {
                 user: user.to_string(),

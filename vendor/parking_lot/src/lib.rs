@@ -125,6 +125,53 @@ impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
     }
 }
 
+/// Result of a [`Condvar::wait_timeout`], re-exported from `std`.
+pub use std::sync::WaitTimeoutResult;
+
+/// A condition variable paired with [`Mutex`]. Because the shim's
+/// [`MutexGuard`] *is* the `std` guard, the wait API follows `std`'s
+/// move-the-guard convention (not `parking_lot`'s `&mut` one): the
+/// guard goes in, the reacquired guard comes back out. Poisoning is
+/// swallowed like everywhere else in this shim.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Wake every thread blocked in [`Self::wait_timeout`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Wake one thread blocked in [`Self::wait_timeout`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Release `guard`, block until notified or `timeout` elapses,
+    /// then reacquire and return the guard plus whether the wait timed
+    /// out. Spurious wakeups are possible — recheck the condition.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.0
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
