@@ -7,7 +7,7 @@
 //! cargo run -p ctxpref-bench --release --bin serving_bench               # serving run → BENCH_PR2.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --durability # fsync policies → BENCH_PR3.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --replication # ack modes + failover → BENCH_PR4.json
-//! cargo run -p ctxpref-bench --release --bin serving_bench -- --net      # loopback vs in-process → BENCH_PR5.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --net      # pipelined loopback vs in-process → BENCH_PR7.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --router   # routing tier + migration → BENCH_PR6.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick    # CI smoke (short window, no hard gate)
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
@@ -44,7 +44,7 @@ fn main() {
             if router_mode {
                 "BENCH_PR6.json"
             } else if net_mode {
-                "BENCH_PR5.json"
+                "BENCH_PR7.json"
             } else if replication_mode {
                 "BENCH_PR4.json"
             } else if durability_mode {

@@ -1,27 +1,33 @@
-//! Network serving benchmark (PR 5): the same `CtxPrefService`
-//! queried in-process and over a loopback TCP socket.
+//! Network serving benchmark (PR 5, extended in PR 7): the same
+//! `CtxPrefService` queried in-process and over a loopback TCP socket,
+//! serially and pipelined.
 //!
-//! Both paths hit the *same* service instance — the loopback path adds
-//! only the wire: request encode, one frame each way with FNV-1a
-//! verification, and the server's dispatch. The measured gap is
+//! All paths hit the *same* service instance — the loopback paths add
+//! only the wire: binary `ctxpref2` encode, one frame each way with
+//! FNV-1a verification, and the server's dispatch. The measured gap is
 //! therefore the cost of the network layer itself (syscalls, framing,
 //! protocol encode/decode), not a different database.
 //!
-//! A loopback round trip costs tens of microseconds where the
-//! in-process call costs a few, so the gate is a *sanity factor*, not
-//! parity: the socket path must stay within two orders of magnitude of
-//! the in-process path and answer identically, and the frame decoder
-//! must reject hostile length claims from the header alone.
+//! The serial path pays one loopback round trip per query and is gated
+//! only by a sanity factor (100×). The **pipelined** path keeps
+//! `pipeline_depth` requests in flight on one connection, amortizing
+//! the round trip across the burst — that is the deployment shape, and
+//! it is gated hard: within **2×** of in-process throughput (the
+//! serial path measured 3.6× in `BENCH_PR5.json`). Batched mutations
+//! get the same treatment: N inserts in one `batch` frame versus N
+//! serial insert round trips.
 //!
 //! Run via `cargo run -p ctxpref-bench --release --bin serving_bench --
-//! --net`, which emits `BENCH_PR5.json`.
+//! --net`, which emits `BENCH_PR7.json`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ctxpref_context::ContextState;
 use ctxpref_core::MultiUserDb;
-use ctxpref_net::{read_frame, FrameError, NetClient, NetClientConfig, NetServer, NetServerConfig};
+use ctxpref_net::{
+    read_frame, FrameError, NetClient, NetClientConfig, NetServer, NetServerConfig, Request,
+};
 use ctxpref_service::{CtxPrefService, ServiceConfig};
 use ctxpref_workload::reference::{poi_env, poi_relation};
 
@@ -40,6 +46,10 @@ pub struct NetBenchConfig {
     pub window: Duration,
     /// Relation seed.
     pub seed: u64,
+    /// Requests in flight per pipelined burst.
+    pub pipeline_depth: usize,
+    /// Inserts per batched-mutation frame.
+    pub batch_size: usize,
 }
 
 impl Default for NetBenchConfig {
@@ -50,6 +60,8 @@ impl Default for NetBenchConfig {
             deadline: Duration::from_millis(250),
             window: Duration::from_millis(1500),
             seed: 0x5EED_2007,
+            pipeline_depth: 64,
+            batch_size: 64,
         }
     }
 }
@@ -74,10 +86,24 @@ pub struct NetBenchReport {
     pub config: NetBenchConfig,
     /// Direct calls on the shared service.
     pub in_process: PathThroughput,
-    /// The same queries through `NetClient` → loopback → `NetServer`.
+    /// The same queries through `NetClient` → loopback → `NetServer`,
+    /// one request in flight at a time.
     pub loopback: PathThroughput,
-    /// In-process/loopback throughput ratio (the cost of the wire).
+    /// The same queries pipelined `pipeline_depth` deep on one
+    /// connection (per-request latency is the burst latency divided by
+    /// the depth — the amortized cost a saturating client sees).
+    pub pipelined: PathThroughput,
+    /// Serial inserts over the wire, one round trip per item
+    /// (items per second).
+    pub serial_insert: PathThroughput,
+    /// The same inserts shipped `batch_size` per frame
+    /// (items per second).
+    pub batched_insert: PathThroughput,
+    /// In-process/loopback throughput ratio (the cost of the wire,
+    /// unamortized).
     pub wire_slowdown: f64,
+    /// In-process/pipelined throughput ratio — the gated number.
+    pub wire_slowdown_pipelined: f64,
     /// Nanoseconds per rejected hostile (oversized) frame header.
     pub oversized_reject_ns: f64,
     /// Pass/fail claims.
@@ -215,6 +241,71 @@ pub fn run(cfg: NetBenchConfig) -> NetBenchReport {
         n += 1;
     }
     let loopback = throughput(&mut samples, cfg.window);
+
+    // --- pipelined loopback: depth × requests in flight --------------
+    let depth = cfg.pipeline_depth.max(1);
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + cfg.window;
+    let mut n = 0u64;
+    while Instant::now() < deadline {
+        let reqs: Vec<Request> = (0..depth)
+            .map(|i| Request::Query {
+                user: format!("user{}", (n as usize + i) % cfg.users),
+                attr: "name".to_string(),
+                k: cfg.k,
+                deadline_ms: cfg.deadline.as_millis() as u64,
+                state: wire_state.iter().map(|s| s.to_string()).collect(),
+            })
+            .collect();
+        let started = Instant::now();
+        let resps = client.pipeline(&reqs).expect("pipelined bench burst");
+        // Amortized per-request latency: what each request cost the
+        // burst, not how long each waited.
+        let per_req = (started.elapsed().as_micros() as u64 / depth as u64).max(1);
+        assert_eq!(resps.len(), depth, "every pipelined request answered");
+        samples.extend(std::iter::repeat_n(per_req, depth));
+        n += depth as u64;
+    }
+    let pipelined = throughput(&mut samples, cfg.window);
+
+    // --- mutations: serial round trips vs one batch frame ------------
+    client
+        .add_user("bulkbench")
+        .expect("seeding the mutation bench user");
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + cfg.window;
+    while Instant::now() < deadline {
+        let started = Instant::now();
+        client
+            .insert_preference(
+                "bulkbench",
+                "accompanying_people = friends",
+                "type",
+                "museum",
+                0.5,
+            )
+            .expect("serial bench insert");
+        samples.push(started.elapsed().as_micros() as u64);
+    }
+    let serial_insert = throughput(&mut samples, cfg.window);
+
+    let batch = cfg.batch_size.max(1);
+    let items: Vec<(&str, &str, &str, f64)> = (0..batch)
+        .map(|_| ("accompanying_people = friends", "type", "museum", 0.5))
+        .collect();
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + cfg.window;
+    while Instant::now() < deadline {
+        let started = Instant::now();
+        let applied = client
+            .insert_preferences("bulkbench", &items)
+            .expect("batched bench insert");
+        assert_eq!(applied, batch, "the whole batch must apply");
+        let per_item = (started.elapsed().as_micros() as u64 / batch as u64).max(1);
+        samples.extend(std::iter::repeat_n(per_item, batch));
+    }
+    let batched_insert = throughput(&mut samples, cfg.window);
+
     drop(client);
     server.shutdown();
 
@@ -236,6 +327,11 @@ pub fn run(cfg: NetBenchConfig) -> NetBenchReport {
     } else {
         f64::INFINITY
     };
+    let wire_slowdown_pipelined = if pipelined.qps > 0.0 {
+        in_process.qps / pipelined.qps
+    } else {
+        f64::INFINITY
+    };
     let checks = vec![
         ShapeCheck::new(
             "loopback throughput within a sane factor (100×) of in-process",
@@ -243,6 +339,23 @@ pub fn run(cfg: NetBenchConfig) -> NetBenchReport {
             format!(
                 "in-process {:.0} q/s vs loopback {:.0} q/s ({wire_slowdown:.1}× wire cost)",
                 in_process.qps, loopback.qps
+            ),
+        ),
+        ShapeCheck::new(
+            "pipelined loopback throughput within 2× of in-process",
+            pipelined.qps > 0.0 && wire_slowdown_pipelined < 2.0,
+            format!(
+                "in-process {:.0} q/s vs pipelined {:.0} q/s \
+                 ({wire_slowdown_pipelined:.2}× amortized wire cost at depth {depth})",
+                in_process.qps, pipelined.qps
+            ),
+        ),
+        ShapeCheck::new(
+            "batched mutations beat serial round trips",
+            batched_insert.qps > serial_insert.qps,
+            format!(
+                "serial {:.0} items/s vs batched {:.0} items/s ({batch} per frame)",
+                serial_insert.qps, batched_insert.qps
             ),
         ),
         ShapeCheck::new(
@@ -264,7 +377,11 @@ pub fn run(cfg: NetBenchConfig) -> NetBenchReport {
         config: cfg,
         in_process,
         loopback,
+        pipelined,
+        serial_insert,
+        batched_insert,
         wire_slowdown,
+        wire_slowdown_pipelined,
         oversized_reject_ns,
         checks,
     }
@@ -286,9 +403,18 @@ impl NetBenchReport {
         ));
         out.push_str(&path("in-process:", &self.in_process));
         out.push_str(&path("loopback:", &self.loopback));
+        out.push_str(&path(
+            &format!("pipelined×{}:", self.config.pipeline_depth),
+            &self.pipelined,
+        ));
+        out.push_str(&path("ins serial:", &self.serial_insert));
+        out.push_str(&path(
+            &format!("ins batch×{}:", self.config.batch_size),
+            &self.batched_insert,
+        ));
         out.push_str(&format!(
-            "  wire cost: {:.1}× slower than in-process; hostile header rejected in {:.0} ns\n",
-            self.wire_slowdown, self.oversized_reject_ns
+            "  wire cost: {:.1}× serial, {:.2}× pipelined; hostile header rejected in {:.0} ns\n",
+            self.wire_slowdown, self.wire_slowdown_pipelined, self.oversized_reject_ns
         ));
         out.push_str(&crate::render_checks(&self.checks));
         out
@@ -314,15 +440,21 @@ impl NetBenchReport {
             })
             .collect();
         format!(
-            "{{\n  \"benchmark\": \"net_pr5\",\n  \"config\": {{\"users\": {}, \"k\": {}, \"deadline_ms\": {}, \"window_ms\": {}, \"seed\": {}}},\n  \"in_process\": {},\n  \"loopback\": {},\n  \"wire_slowdown\": {:.2},\n  \"oversized_reject_ns\": {:.0},\n  \"checks\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"net_pr7\",\n  \"config\": {{\"users\": {}, \"k\": {}, \"deadline_ms\": {}, \"window_ms\": {}, \"seed\": {}, \"pipeline_depth\": {}, \"batch_size\": {}}},\n  \"in_process\": {},\n  \"loopback\": {},\n  \"pipelined\": {},\n  \"serial_insert\": {},\n  \"batched_insert\": {},\n  \"wire_slowdown\": {:.2},\n  \"wire_slowdown_pipelined\": {:.2},\n  \"oversized_reject_ns\": {:.0},\n  \"checks\": [\n{}\n  ]\n}}\n",
             self.config.users,
             self.config.k,
             self.config.deadline.as_millis(),
             self.config.window.as_millis(),
             self.config.seed,
+            self.config.pipeline_depth,
+            self.config.batch_size,
             path(&self.in_process),
             path(&self.loopback),
+            path(&self.pipelined),
+            path(&self.serial_insert),
+            path(&self.batched_insert),
             self.wire_slowdown,
+            self.wire_slowdown_pipelined,
             self.oversized_reject_ns,
             checks.join(",\n")
         )

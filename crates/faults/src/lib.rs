@@ -355,6 +355,17 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Sleep `delay` at `site` exactly at the given 1-based hit
+    /// indices (the deterministic sibling of [`Self::delay`], for
+    /// tests that must slow one specific operation — e.g. the first
+    /// request of a pipelined burst — and no other).
+    #[must_use]
+    pub fn delay_at(mut self, site: &str, hits: &[u64], delay: Duration) -> Self {
+        self = self.rule(site, Trigger::AtHits(hits.to_vec()), FaultKind::Delay);
+        self.rules.last_mut().expect("rule just pushed").delay = delay;
+        self
+    }
+
     /// Truncate writes at `site` with per-hit probability `p`, keeping
     /// `keep_fraction` of the payload.
     #[must_use]

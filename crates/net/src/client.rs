@@ -1,5 +1,15 @@
-//! A blocking client for the `ctxpref` wire protocol, with reconnect
-//! and bounded retry.
+//! A blocking client for the `ctxpref` wire protocol, with reconnect,
+//! bounded retry, and request pipelining.
+//!
+//! Requests travel in the compact `ctxpref2` binary codec
+//! ([`crate::codec`]), each carrying a **request id** the server
+//! echoes on the response. Serial calls ([`NetClient::request`]) use
+//! the id as a sanity check; [`NetClient::pipeline`] ships many
+//! requests before reading anything and then matches the possibly
+//! **out-of-order** responses back to their requests by id — one
+//! round-trip's latency amortized over the whole burst.
+//! [`NetClient::batch`] goes further and packs N requests into a
+//! single frame ([`Request::Batch`]).
 //!
 //! The client keeps one cached connection. When a request fails at the
 //! socket or framing layer it drops the connection and — **only for
@@ -25,14 +35,19 @@
 //! could double-apply). Other typed refusals ([`NetError::Remote`])
 //! are never retried: the server made a decision, and the caller gets
 //! it intact to apply its own policy.
+//!
+//! The busy refusal itself arrives as a `ctxpref1` **text** frame —
+//! the server refuses at admission, before it knows which dialect the
+//! peer speaks — so the client accepts both dialects on the read path.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-use crate::error::NetError;
-use crate::frame::{read_frame, write_frame};
+use crate::codec;
+use crate::error::{NetError, ProtoError};
+use crate::frame::{read_frame, read_frame_buffered, write_frame, write_frames, FrameDecoder};
 use crate::proto::{MigrateAction, RemoteAnswer, Request, Response};
 
 /// Tuning knobs of [`NetClient`].
@@ -80,6 +95,7 @@ pub struct NetClient {
     addr: String,
     cfg: NetClientConfig,
     conn: Option<TcpStream>,
+    next_id: u64,
     jitter_rng: StdRng,
 }
 
@@ -100,6 +116,7 @@ impl NetClient {
             addr: addr.into(),
             cfg,
             conn: None,
+            next_id: 1,
             jitter_rng: StdRng::seed_from_u64(cfg.jitter_seed),
         }
     }
@@ -107,6 +124,11 @@ impl NetClient {
     /// The address this client dials.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Drop the cached connection; the next request redials.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
     }
 
     fn dial(&self) -> Result<TcpStream, NetError> {
@@ -122,16 +144,31 @@ impl NetClient {
         })))
     }
 
+    fn ensure_conn(&mut self) -> Result<(), NetError> {
+        if self.conn.is_none() {
+            self.conn = Some(self.dial()?);
+        }
+        Ok(())
+    }
+
+    /// The cached connection, or a typed [`NetError::NotConnected`].
+    /// The previous implementation panicked on this path via
+    /// `expect("connection just established")` when a connect raced a
+    /// concurrent teardown; the caller can redial on the typed error.
+    fn require_conn(&mut self) -> Result<&mut TcpStream, NetError> {
+        self.conn.as_mut().ok_or(NetError::NotConnected)
+    }
+
     /// One request/response exchange on the cached connection,
     /// establishing it if needed. Any failure tears the connection
     /// down so the next attempt starts from a clean dial.
     fn exchange(&mut self, req: &Request) -> Result<Response, NetError> {
-        if self.conn.is_none() {
-            self.conn = Some(self.dial()?);
-        }
-        let stream = self.conn.as_mut().expect("connection just established");
+        self.ensure_conn()?;
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let stream = self.require_conn()?;
         let result = (|| {
-            write_frame(stream, &req.encode())?;
+            write_frame(stream, &codec::encode_request(id, req))?;
             match read_frame(stream)? {
                 Some(payload) => Ok(payload),
                 None => Err(NetError::Io(std::io::Error::new(
@@ -140,9 +177,19 @@ impl NetClient {
                 ))),
             }
         })();
-        match result {
-            Ok(payload) => Ok(Response::decode(&payload)?),
+        let payload = match result {
+            Ok(payload) => payload,
             Err(e) => {
+                self.conn = None;
+                return Err(e);
+            }
+        };
+        match decode_reply(&payload, id) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                // A frame that decoded to the wrong id (or not at all)
+                // means the stream is desynchronized; only a fresh
+                // connection is trustworthy.
                 self.conn = None;
                 Err(e)
             }
@@ -217,6 +264,194 @@ impl NetClient {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Ship every request down the socket before reading a single
+    /// response, then collect the (possibly out-of-order) responses
+    /// and return them **in request order**. This is the pipelined
+    /// path: one connection, many requests in flight, the round-trip
+    /// latency paid once for the burst instead of once per request.
+    ///
+    /// Retry policy matches [`Self::request`], applied to the burst as
+    /// a whole: transport failures and busy refusals are retried only
+    /// if **every** request in the burst is idempotent.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, NetError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let idempotent = reqs.iter().all(Request::is_idempotent);
+        let budget = if idempotent {
+            self.cfg.attempts.max(1)
+        } else {
+            1
+        };
+        let busy_budget = if idempotent {
+            self.cfg.busy_attempts.max(1)
+        } else {
+            1
+        };
+        let mut attempt = 0;
+        let mut busy_attempt = 0;
+        loop {
+            match self.pipeline_once(reqs) {
+                Ok(resps) => return Ok(resps),
+                Err(NetError::ServerBusy { limit }) => {
+                    busy_attempt += 1;
+                    if busy_attempt >= busy_budget {
+                        return Err(NetError::ServerBusy { limit });
+                    }
+                    self.backoff_sleep(busy_attempt);
+                }
+                Err(e @ (NetError::Io(_) | NetError::Frame(_))) => {
+                    attempt += 1;
+                    if attempt >= budget {
+                        return if attempt == 1 {
+                            Err(e)
+                        } else {
+                            Err(NetError::RetriesExhausted {
+                                attempts: attempt,
+                                last: e.to_string(),
+                            })
+                        };
+                    }
+                    self.backoff_sleep(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn pipeline_once(&mut self, reqs: &[Request]) -> Result<Vec<Response>, NetError> {
+        self.ensure_conn()?;
+        let base = self.next_id;
+        self.next_id = self.next_id.wrapping_add(reqs.len() as u64).max(1);
+        let stream = self.require_conn()?;
+        let result = (|| {
+            // One coalesced write for the whole burst, and bulk reads
+            // through a frame decoder on the way back: the syscall
+            // count is per burst, not per request.
+            let payloads: Vec<Vec<u8>> = reqs
+                .iter()
+                .enumerate()
+                .map(|(i, req)| codec::encode_request(base + i as u64, req))
+                .collect();
+            write_frames(stream, &payloads)?;
+            let mut dec = FrameDecoder::new();
+            let mut slots: Vec<Option<Response>> = Vec::new();
+            slots.resize_with(reqs.len(), || None);
+            let mut remaining = reqs.len();
+            while remaining > 0 {
+                let payload = read_frame_buffered(stream, &mut dec)?.ok_or_else(|| {
+                    NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "server closed the connection mid-pipeline",
+                    ))
+                })?;
+                if codec::is_binary(&payload) {
+                    let wire = codec::decode_response(&payload)
+                        .map_err(|e| NetError::Proto(ProtoError::from(e)))?;
+                    let slot = wire
+                        .id
+                        .checked_sub(base)
+                        .and_then(|i| usize::try_from(i).ok())
+                        .and_then(|i| slots.get_mut(i));
+                    match slot {
+                        Some(slot @ None) => {
+                            *slot = Some(wire.resp);
+                            remaining -= 1;
+                        }
+                        // An unknown or duplicated id: the stream is
+                        // not answering what was asked.
+                        _ => {
+                            return Err(NetError::UnexpectedResponse {
+                                got: format!("response for unknown request id {}", wire.id),
+                            })
+                        }
+                    }
+                } else {
+                    // A text frame mid-pipeline is connection-level: a
+                    // busy refusal at admission (typed for retry) or a
+                    // framing refusal.
+                    match Response::decode(&payload)? {
+                        Response::Busy { limit } => return Err(NetError::ServerBusy { limit }),
+                        Response::Err { kind, message } => {
+                            return Err(NetError::Remote { kind, message })
+                        }
+                        other => {
+                            return Err(NetError::UnexpectedResponse {
+                                got: format!("{other:?}"),
+                            })
+                        }
+                    }
+                }
+            }
+            // Trailing bytes after the last response would desync the
+            // next exchange's unbuffered reads: protocol confusion.
+            if dec.buffered() != 0 {
+                return Err(NetError::UnexpectedResponse {
+                    got: format!("{} unsolicited bytes after the burst", dec.buffered()),
+                });
+            }
+            Ok(slots.into_iter().flatten().collect())
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Ship several requests in one [`Request::Batch`] frame and
+    /// return the per-item responses, in order. The server stops at
+    /// the first failing item: the returned vector is then shorter
+    /// than `requests`, ending with that item's typed failure.
+    pub fn batch(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, NetError> {
+        match self.request(&Request::Batch { requests })? {
+            Response::Batch { responses } => Ok(responses),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Bulk-insert equality preferences for one user in a single
+    /// frame: `(descriptor, attr, value, score)` per item. Returns how
+    /// many applied; a failing item aborts the rest of the batch and
+    /// surfaces typed (the applied prefix stays applied).
+    pub fn insert_preferences(
+        &mut self,
+        user: &str,
+        items: &[(&str, &str, &str, f64)],
+    ) -> Result<usize, NetError> {
+        let requests = items
+            .iter()
+            .map(|(descriptor, attr, value, score)| Request::InsertPref {
+                user: user.to_string(),
+                descriptor: descriptor.to_string(),
+                attr: attr.to_string(),
+                value: value.to_string(),
+                score: *score,
+            })
+            .collect();
+        let responses = self.batch(requests)?;
+        let mut applied = 0;
+        for resp in responses {
+            match resp {
+                Response::Ok => applied += 1,
+                Response::Err { kind, message } => return Err(NetError::Remote { kind, message }),
+                Response::NotPrimary => {
+                    return Err(NetError::Remote {
+                        kind: "not-primary".to_string(),
+                        message: "write refused: no primary behind this endpoint".to_string(),
+                    })
+                }
+                Response::Migrating { user } => {
+                    return Err(NetError::Remote {
+                        kind: "migrating".to_string(),
+                        message: format!("write refused: user {user:?} is mid-migration"),
+                    })
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+        Ok(applied)
     }
 
     /// Liveness probe.
@@ -401,6 +636,23 @@ impl NetClient {
     }
 }
 
+/// Decode one reply frame for serial request `id`. Binary replies
+/// must echo the id; text replies are connection-level (the busy
+/// refusal is sent before the server knows the peer's dialect).
+fn decode_reply(payload: &[u8], id: u64) -> Result<Response, NetError> {
+    if codec::is_binary(payload) {
+        let wire =
+            codec::decode_response(payload).map_err(|e| NetError::Proto(ProtoError::from(e)))?;
+        if wire.id != id {
+            return Err(NetError::UnexpectedResponse {
+                got: format!("response for request id {} while awaiting {id}", wire.id),
+            });
+        }
+        return Ok(wire.resp);
+    }
+    Ok(Response::decode(payload)?)
+}
+
 fn dial_one(addr: &SocketAddr, cfg: &NetClientConfig) -> std::io::Result<TcpStream> {
     let stream = TcpStream::connect_timeout(addr, cfg.connect_timeout)?;
     stream.set_read_timeout(Some(cfg.read_timeout))?;
@@ -412,5 +664,28 @@ fn dial_one(addr: &SocketAddr, cfg: &NetClientConfig) -> std::io::Result<TcpStre
 fn unexpected(resp: &Response) -> NetError {
     NetError::UnexpectedResponse {
         got: format!("{resp:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the `expect("connection just established")`
+    /// panic: a client whose connection vanished between establishment
+    /// and use must surface the typed [`NetError::NotConnected`], not
+    /// abort the process.
+    #[test]
+    fn missing_connection_is_a_typed_error_not_a_panic() {
+        let mut client = NetClient::connect("127.0.0.1:9", NetClientConfig::default());
+        assert!(client.conn.is_none());
+        match client.require_conn() {
+            Err(NetError::NotConnected) => {}
+            other => panic!("expected NotConnected, got {other:?}"),
+        }
+        // And the rendered form names the race for operators.
+        assert!(NetError::NotConnected
+            .to_string()
+            .contains("no live connection"));
     }
 }

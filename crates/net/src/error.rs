@@ -64,6 +64,84 @@ impl From<io::Error> for FrameError {
     }
 }
 
+/// Why a byte sequence could not be decoded, with the **byte offset**
+/// at which decoding failed. This is the one decode-failure currency
+/// of the wire layer: the binary `ctxpref2` codec, the hex decoders of
+/// the text protocols, and the frame header parser all report through
+/// it, so every malformed input — odd-length hex, a bad hex digit, a
+/// truncated varint, a hostile length claim — fails with the same
+/// shape and never loses the offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset into the payload at which decoding failed.
+    pub offset: usize,
+    /// What was wrong at that offset.
+    pub kind: DecodeKind,
+}
+
+/// The failure classes of [`DecodeError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeKind {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// A tag byte (message kind, action, response kind) is not in the
+    /// vocabulary.
+    BadTag {
+        /// What kind of tag was being read.
+        what: &'static str,
+        /// The tag value found.
+        tag: u64,
+    },
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A hex payload has an odd number of digits (offset points at the
+    /// dangling digit).
+    OddHexLength,
+    /// A byte of a hex payload is not a hex digit.
+    BadHexDigit,
+    /// A declared length or count exceeds what the input (or a hard
+    /// cap) can honour; rejected before any allocation of that size.
+    LengthOverflow {
+        /// The length the input claimed.
+        declared: u64,
+        /// The most that could be honoured.
+        max: u64,
+    },
+    /// A varint ran over its maximum width.
+    VarintOverflow,
+    /// Input remained after the message was complete.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let Self { offset, kind } = self;
+        match kind {
+            DecodeKind::Truncated => write!(f, "input truncated at byte {offset}"),
+            DecodeKind::BadTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag} at byte {offset}")
+            }
+            DecodeKind::BadUtf8 => write!(f, "invalid utf-8 at byte {offset}"),
+            DecodeKind::OddHexLength => write!(f, "odd-length hex at byte {offset}"),
+            DecodeKind::BadHexDigit => write!(f, "bad hex digit at byte {offset}"),
+            DecodeKind::LengthOverflow { declared, max } => write!(
+                f,
+                "declared length {declared} exceeds limit {max} at byte {offset}"
+            ),
+            DecodeKind::VarintOverflow => write!(f, "varint overflow at byte {offset}"),
+            DecodeKind::TrailingBytes => write!(f, "trailing bytes at byte {offset}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl From<DecodeError> for ProtoError {
+    fn from(e: DecodeError) -> Self {
+        ProtoError::new(e.to_string())
+    }
+}
+
 /// A frame decoded, but its payload is not a well-formed protocol
 /// message (wrong version tag, unknown verb, bad field).
 #[derive(Debug)]
@@ -125,6 +203,10 @@ pub enum NetError {
         /// What arrived, rendered.
         got: String,
     },
+    /// The client has no live connection where one was required — for
+    /// example, a connect raced a concurrent teardown. Typed so the
+    /// caller can redial; the old code path panicked here.
+    NotConnected,
 }
 
 impl fmt::Display for NetError {
@@ -142,6 +224,9 @@ impl fmt::Display for NetError {
             }
             Self::UnexpectedResponse { got } => {
                 write!(f, "unexpected response: {got}")
+            }
+            Self::NotConnected => {
+                write!(f, "no live connection (connect raced a concurrent close)")
             }
         }
     }

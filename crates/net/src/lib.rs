@@ -55,16 +55,23 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod proto;
+pub mod reactor;
 pub mod repl;
 pub mod server;
 
 pub use client::{NetClient, NetClientConfig};
-pub use error::{FrameError, NetError, ProtoError};
+pub use codec::{
+    decode_request, decode_response, encode_request, encode_response, is_binary, WireRequest,
+    WireResponse, BINARY_MAGIC, BINARY_VERSION,
+};
+pub use error::{DecodeError, DecodeKind, FrameError, NetError, ProtoError};
 pub use frame::{
-    encode_frame, frame_checksum, read_frame, write_frame, FRAME_HEADER, MAX_FRAME_PAYLOAD,
+    encode_frame, frame_checksum, read_frame, write_frame, FrameDecoder, FRAME_HEADER,
+    MAX_FRAME_PAYLOAD,
 };
 pub use proto::{
     AnswerRow, MigrateAction, RemoteAnswer, Request, Response, WireFallback, PROTO_VERSION,

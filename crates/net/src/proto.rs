@@ -15,6 +15,7 @@
 
 use ctxpref_storage::{escape, unescape};
 
+use crate::codec::{hex_decode, hex_encode};
 use crate::error::ProtoError;
 
 /// The protocol version tag every message leads with. Bumped on any
@@ -116,6 +117,14 @@ pub enum Request {
         /// The protocol step to execute.
         action: MigrateAction,
     },
+    /// Several requests shipped in one frame, answered by one
+    /// [`Response::Batch`] with a response per item in order. Batches
+    /// never nest. The bulk-insert loop uses this to amortize a frame
+    /// and a service-routing round-trip over N mutations.
+    Batch {
+        /// The batched requests, executed in order.
+        requests: Vec<Request>,
+    },
 }
 
 /// One step of the live-migration protocol, as carried by
@@ -173,14 +182,16 @@ impl Request {
     /// the serving side makes every step retry-safe through the
     /// routing-epoch guard and the per-import LSN watermark.
     pub fn is_idempotent(&self) -> bool {
-        !matches!(
-            self,
+        match self {
             Self::AddUser { .. }
-                | Self::RemoveUser { .. }
-                | Self::InsertPref { .. }
-                | Self::RemovePref { .. }
-                | Self::UpdateScore { .. }
-        )
+            | Self::RemoveUser { .. }
+            | Self::InsertPref { .. }
+            | Self::RemovePref { .. }
+            | Self::UpdateScore { .. } => false,
+            // A batch is only retry-safe if every item is.
+            Self::Batch { requests } => requests.iter().all(Self::is_idempotent),
+            _ => true,
+        }
     }
 
     /// Encode as a frame payload.
@@ -293,6 +304,18 @@ impl Request {
                         format!("{PROTO_VERSION} migrate {epoch} abort {u}")
                     }
                 }
+            }
+            Self::Batch { requests } => {
+                // Text batches embed each item's full encoding as hex:
+                // deliberately simple (this path exists only for the
+                // one-version ctxpref1 compatibility window; the binary
+                // codec is the compact encoding).
+                let mut text = format!("{PROTO_VERSION} batch {}", requests.len());
+                for req in requests {
+                    text.push_str("\nitem ");
+                    text.push_str(&hex_encode(&req.encode()));
+                }
+                text
             }
         };
         line.into_bytes()
@@ -408,6 +431,16 @@ impl Request {
                     action,
                 })
             }
+            ("batch", [n]) => {
+                let requests = decode_item_lines(lines, num(n, "batch count")?)?
+                    .iter()
+                    .map(|raw| Self::decode(raw))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if requests.iter().any(|r| matches!(r, Self::Batch { .. })) {
+                    return Err(ProtoError::new("batches do not nest"));
+                }
+                Ok(Self::Batch { requests })
+            }
             _ => Err(ProtoError::new(format!("unrecognized request {head:?}"))),
         }
     }
@@ -418,7 +451,7 @@ fn decode_op_lines(lines: std::str::Lines<'_>, n: usize) -> Result<Vec<Vec<u8>>,
     let mut ops = Vec::new();
     for line in lines {
         match line.split_whitespace().collect::<Vec<_>>().as_slice() {
-            ["op", h] => ops.push(unhex(h).ok_or_else(|| ProtoError::new("bad op hex"))?),
+            ["op", h] => ops.push(hex_decode(h)?),
             _ => return Err(ProtoError::new(format!("unrecognized op line {line:?}"))),
         }
     }
@@ -440,10 +473,7 @@ fn decode_rec_lines(
     let mut records = Vec::new();
     for line in lines {
         match line.split_whitespace().collect::<Vec<_>>().as_slice() {
-            ["rec", lsn, h] => records.push((
-                num(lsn, "record lsn")?,
-                unhex(h).ok_or_else(|| ProtoError::new("bad record hex"))?,
-            )),
+            ["rec", lsn, h] => records.push((num(lsn, "record lsn")?, hex_decode(h)?)),
             _ => {
                 return Err(ProtoError::new(format!(
                     "unrecognized record line {line:?}"
@@ -460,22 +490,27 @@ fn decode_rec_lines(
     Ok(records)
 }
 
-fn hex(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
+/// Decode `item <hex>` body lines (the embedded encodings of a text
+/// batch).
+fn decode_item_lines(lines: std::str::Lines<'_>, n: usize) -> Result<Vec<Vec<u8>>, ProtoError> {
+    let mut items = Vec::new();
+    for line in lines {
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["item", h] => items.push(hex_decode(h)?),
+            _ => return Err(ProtoError::new(format!("unrecognized item line {line:?}"))),
+        }
     }
-    s
+    if items.len() != n {
+        return Err(ProtoError::new(format!(
+            "item count mismatch: header says {n}, body has {}",
+            items.len()
+        )));
+    }
+    Ok(items)
 }
 
-fn unhex(s: &str) -> Option<Vec<u8>> {
-    if !s.len().is_multiple_of(2) {
-        return None;
-    }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
-        .collect()
+fn hex(bytes: &[u8]) -> String {
+    hex_encode(bytes)
 }
 
 /// One result row of a served query.
@@ -610,6 +645,14 @@ pub enum Response {
         /// Live migration entries (fences, imports, tombstones).
         migrations: u64,
     },
+    /// The answers of a [`Request::Batch`], one per item in request
+    /// order. Execution stops at the first failure: the last element
+    /// is then the item's error, and shorter-than-requested length
+    /// tells the caller how far the batch got.
+    Batch {
+        /// Per-item responses, in request order.
+        responses: Vec<Response>,
+    },
 }
 
 impl Response {
@@ -681,6 +724,14 @@ impl Response {
                 "{PROTO_VERSION} route-info {} {epoch} {users} {migrations}",
                 u8::from(*has_primary)
             ),
+            Self::Batch { responses } => {
+                let mut text = format!("{PROTO_VERSION} batch {}", responses.len());
+                for resp in responses {
+                    text.push_str("\nitem ");
+                    text.push_str(&hex_encode(&resp.encode()));
+                }
+                text
+            }
         };
         text.into_bytes()
     }
@@ -778,6 +829,16 @@ impl Response {
                 users: num(users, "users")?,
                 migrations: num(migrations, "migrations")?,
             }),
+            ["batch", n] => {
+                let responses = decode_item_lines(lines, num(n, "batch count")?)?
+                    .iter()
+                    .map(|raw| Self::decode(raw))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if responses.iter().any(|r| matches!(r, Self::Batch { .. })) {
+                    return Err(ProtoError::new("batches do not nest"));
+                }
+                Ok(Self::Batch { responses })
+            }
             _ => Err(ProtoError::new(format!("unrecognized response {head:?}"))),
         }
     }
@@ -967,6 +1028,51 @@ mod tests {
             users: 1000,
             migrations: 2,
         });
+    }
+
+    #[test]
+    fn batches_roundtrip_and_do_not_nest() {
+        roundtrip_req(Request::Batch {
+            requests: vec![
+                Request::AddUser {
+                    user: "Ano Poli visitor".into(),
+                },
+                Request::InsertPref {
+                    user: "Ano Poli visitor".into(),
+                    descriptor: "location = Athens".into(),
+                    attr: "type".into(),
+                    value: "museum".into(),
+                    score: 0.9,
+                },
+                Request::Ping,
+            ],
+        });
+        roundtrip_req(Request::Batch { requests: vec![] });
+        roundtrip_resp(Response::Batch {
+            responses: vec![
+                Response::Ok,
+                Response::Err {
+                    kind: "core".into(),
+                    message: "no such user".into(),
+                },
+            ],
+        });
+        // Idempotence: a batch inherits the weakest member.
+        assert!(Request::Batch {
+            requests: vec![Request::Ping, Request::Stats],
+        }
+        .is_idempotent());
+        assert!(!Request::Batch {
+            requests: vec![Request::Ping, Request::AddUser { user: "u".into() }],
+        }
+        .is_idempotent());
+        // Nested batches are refused on decode.
+        let nested = Request::Batch {
+            requests: vec![Request::Batch {
+                requests: vec![Request::Ping],
+            }],
+        };
+        assert!(Request::decode(&nested.encode()).is_err());
     }
 
     #[test]

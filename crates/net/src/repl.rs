@@ -20,8 +20,14 @@
 //!
 //! ## Envelope wire form
 //!
-//! An envelope is one frame whose payload is text lines in the
-//! storage dialect (whitespace-escaped tokens; profiles reuse
+//! The hot path — `records` shipments, one per acked write under
+//! pipelining — travels binary: a frame payload of
+//! `[0xC3 | version | from | epoch | shard | n | (lsn, payload)×n]`
+//! with LEB128 varints and raw length-delimited record bytes (no hex
+//! doubling). `0xC3` cannot begin UTF-8 text, so receivers sniff the
+//! first byte. Every other message — and everything a `repl1`-era
+//! peer sends — is one frame of text lines in the storage dialect
+//! (whitespace-escaped tokens; profiles reuse
 //! [`write_profile`]/[`read_profile`] verbatim — the same sections the
 //! checkpoint files store):
 //!
@@ -32,6 +38,9 @@
 //! repl1 <from> <epoch> digest-request
 //! repl1 <from> <epoch> resync <shard> <lsn> <n> user/profile…
 //! ```
+//!
+//! Text `records` stays accepted for one version so a rolling upgrade
+//! never strands a sender.
 
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -54,36 +63,24 @@ use ctxpref_replication::{
 use ctxpref_storage::{escape, read_profile, unescape, write_profile};
 use parking_lot::{Mutex, RwLock};
 
-use crate::error::ProtoError;
+use crate::codec::{hex_decode, put_bytes, put_uv, Dec};
+use crate::error::{DecodeError, DecodeKind, ProtoError};
 use crate::frame::{read_frame, write_frame};
 
 /// Version tag of the replication wire dialect.
 pub const REPL_PROTO_VERSION: &str = "repl1";
 
+/// First payload byte of a binary replication envelope. Like the
+/// request codec's `0xC2`, `0xC3` can never begin well-formed UTF-8,
+/// so one byte disambiguates the dialects.
+pub const REPL_BINARY_MAGIC: u8 = 0xC3;
+
+/// Version byte following [`REPL_BINARY_MAGIC`].
+pub const REPL_BINARY_VERSION: u8 = 0x02;
+
 // ---------------------------------------------------------------------------
 // Envelope / Reply codec
 // ---------------------------------------------------------------------------
-
-fn hex_encode(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
-    }
-    s
-}
-
-fn hex_decode(s: &str) -> Result<Vec<u8>, ProtoError> {
-    if !s.len().is_multiple_of(2) {
-        return Err(ProtoError::new("odd-length hex payload"));
-    }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| {
-            u8::from_str_radix(&s[i..i + 2], 16)
-                .map_err(|_| ProtoError::new(format!("bad hex byte at offset {i}")))
-        })
-        .collect()
-}
 
 fn next_line(cur: &mut &[u8]) -> Result<String, ProtoError> {
     let mut s = String::new();
@@ -137,15 +134,23 @@ fn read_users(
     Ok(users)
 }
 
-/// Encode `env` as one frame payload.
+/// Encode `env` as one frame payload. The `records` hot path goes
+/// binary (raw record bytes, varint framing); everything else stays
+/// `repl1` text.
 pub fn encode_envelope(env: &Envelope, rel: &Relation) -> Result<Vec<u8>, ProtoError> {
     let head = format!("{REPL_PROTO_VERSION} {} {}", env.from, env.epoch);
     let mut out = Vec::new();
     match &env.msg {
         Message::Records { shard, records } => {
-            out.extend_from_slice(format!("{head} records {shard} {}\n", records.len()).as_bytes());
+            out.push(REPL_BINARY_MAGIC);
+            out.push(REPL_BINARY_VERSION);
+            put_uv(&mut out, env.from as u64);
+            put_uv(&mut out, env.epoch);
+            put_uv(&mut out, *shard as u64);
+            put_uv(&mut out, records.len() as u64);
             for (lsn, payload) in records {
-                out.extend_from_slice(format!("rec {lsn} {}\n", hex_encode(payload)).as_bytes());
+                put_uv(&mut out, *lsn);
+                put_bytes(&mut out, payload);
             }
         }
         Message::Snapshot { stripes, lsns } => {
@@ -177,12 +182,17 @@ pub fn encode_envelope(env: &Envelope, rel: &Relation) -> Result<Vec<u8>, ProtoE
     Ok(out)
 }
 
-/// Decode one frame payload back into an [`Envelope`].
+/// Decode one frame payload back into an [`Envelope`]. Accepts both
+/// the binary `records` form and all `repl1` text forms (including
+/// text `records` from a pre-upgrade peer).
 pub fn decode_envelope(
     payload: &[u8],
     env: &ContextEnvironment,
     rel: &Relation,
 ) -> Result<Envelope, ProtoError> {
+    if payload.first() == Some(&REPL_BINARY_MAGIC) {
+        return decode_binary_records(payload).map_err(ProtoError::from);
+    }
     let mut cur = payload;
     let header = next_line(&mut cur)?;
     let toks: Vec<&str> = header.split_whitespace().collect();
@@ -215,9 +225,10 @@ pub fn decode_envelope(
             for _ in 0..n {
                 let line = next_line(&mut cur)?;
                 match line.split_whitespace().collect::<Vec<_>>()[..] {
-                    ["rec", lsn, payload] => {
-                        records.push((num::<u64>(lsn, "lsn")?, hex_decode(payload)?))
-                    }
+                    ["rec", lsn, payload] => records.push((
+                        num::<u64>(lsn, "lsn")?,
+                        hex_decode(payload).map_err(ProtoError::from)?,
+                    )),
                     ["rec", lsn] => records.push((num::<u64>(lsn, "lsn")?, Vec::new())),
                     _ => return Err(ProtoError::new(format!("bad record line: {line:?}"))),
                 }
@@ -266,6 +277,49 @@ pub fn decode_envelope(
         }
     };
     Ok(Envelope { from, epoch, msg })
+}
+
+/// Decode the binary `records` envelope form. Lengths and counts are
+/// validated against the remaining bytes before any allocation, so a
+/// hostile claim fails typed instead of reserving gigabytes.
+fn decode_binary_records(payload: &[u8]) -> Result<Envelope, DecodeError> {
+    let mut d = Dec::new(payload);
+    let magic = d.u8()?;
+    if magic != REPL_BINARY_MAGIC {
+        return Err(DecodeError {
+            offset: 0,
+            kind: DecodeKind::BadTag {
+                what: "replication magic",
+                tag: u64::from(magic),
+            },
+        });
+    }
+    let version = d.u8()?;
+    if version != REPL_BINARY_VERSION {
+        return Err(DecodeError {
+            offset: 1,
+            kind: DecodeKind::BadTag {
+                what: "replication codec version",
+                tag: u64::from(version),
+            },
+        });
+    }
+    let from = d.uv()? as NodeId;
+    let epoch = d.uv()?;
+    let shard = d.uv()? as usize;
+    // Each record is at least 2 bytes (one-byte lsn + one-byte length).
+    let n = d.checked_count(2)?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lsn = d.uv()?;
+        records.push((lsn, d.bytes()?));
+    }
+    d.expect_end()?;
+    Ok(Envelope {
+        from,
+        epoch,
+        msg: Message::Records { shard, records },
+    })
 }
 
 /// Encode a [`Reply`] as one frame payload.
@@ -442,9 +496,16 @@ fn repl_accept_loop(listener: TcpListener, node: Arc<ReplNode>, shutdown: Arc<At
 }
 
 fn serve_repl_connection(stream: TcpStream, node: &ReplNode, shutdown: &AtomicBool) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_nodelay(true);
+    // A socket whose timeouts could not be set would hang this thread
+    // forever on a stalled peer; refuse to serve it (the peer redials).
+    if stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(10))))
+        .and_then(|()| stream.set_nodelay(true))
+        .is_err()
+    {
+        return;
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -535,9 +596,13 @@ impl TcpTransport {
                 TransportError::Dropped
             }
         })?;
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let _ = stream.set_nodelay(true);
+        // An unconfigurable socket is as useless as an unreachable
+        // peer: without timeouts a send could block forever.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(10))))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|_| TransportError::Dropped)?;
         Ok(stream)
     }
 

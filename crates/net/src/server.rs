@@ -1,60 +1,90 @@
-//! The TCP front-end: [`NetServer`] accepts connections in front of a
-//! shared [`CtxPrefService`].
+//! The TCP front-end: an event-driven, pipelined [`NetServer`] in
+//! front of a shared [`CtxPrefService`].
+//!
+//! One **reactor thread** owns every socket: a hand-rolled epoll loop
+//! ([`crate::reactor`]) with nonblocking reads/writes and a
+//! per-connection state machine (incremental frame decoder, pending
+//! output queue, idle clock). Decoded request frames are handed to a
+//! small **worker pool** that runs dispatch against the service;
+//! completions flow back over a queue and a waker, and the reactor
+//! writes the response frames out. No thread ever blocks on a peer.
 //!
 //! Responsibilities, and where each is enforced:
 //!
-//! * **Connection admission** — a hard cap on concurrent connections
-//!   (the worker pool bound). A connection over the cap receives one
-//!   typed [`Response::Busy`] frame and is closed, never parked on an
-//!   unbounded queue — the socket-level mirror of the service's
-//!   admission control.
-//! * **Deadlines** — socket read/write timeouts bound how long a
-//!   half-dead peer can pin a worker, and the client-requested query
-//!   deadline is clamped to [`NetServerConfig::max_deadline`] before it
-//!   reaches [`CtxPrefService::query_state_deadline`], so a remote
-//!   caller cannot demand unbounded work.
-//! * **Panic isolation** — request dispatch runs under `catch_unwind`;
-//!   a panicking request poisons nothing and answers with a typed
-//!   error, like the service's own worker containment.
+//! * **Connection admission** — a hard cap on concurrent connections.
+//!   A connection over the cap receives one typed [`Response::Busy`]
+//!   frame and is closed, never parked on an unbounded queue.
+//! * **Pipelining** — a `ctxpref2` (binary) connection may have up to
+//!   [`NetServerConfig::max_pipeline`] requests in flight; responses
+//!   carry the request's id and may return **out of order**. Past the
+//!   cap the reactor simply stops reading the socket — backpressure
+//!   by TCP, not by queue growth. A `ctxpref1` (text) connection is
+//!   served serially in order, exactly like the previous blocking
+//!   server, for the one-version compatibility window.
+//! * **Deadlines** — an idle connection (no bytes either way for
+//!   [`NetServerConfig::read_timeout`], or output unwritable for
+//!   [`NetServerConfig::write_timeout`]) is closed by the reactor's
+//!   sweep; the client-requested query deadline is clamped to
+//!   [`NetServerConfig::max_deadline`] before it reaches
+//!   [`CtxPrefService::query_state_deadline`].
+//! * **Panic isolation** — dispatch runs under `catch_unwind` in the
+//!   workers; a panicking request answers with a typed error.
 //! * **Graceful drain** — [`NetServer::shutdown`] stops accepting,
 //!   lets in-flight requests finish (bounded by the drain timeout),
-//!   and returns. In-progress connections close after their current
-//!   request.
+//!   and returns how many connections had to be cut.
+//!
+//! Socket-option failures on accept (`set_nonblocking`, `set_nodelay`)
+//! close that connection and are counted in [`NetServer::net_stats`] —
+//! the old server dropped these errors on the floor, and a connection
+//! whose options silently failed to apply could hang a worker.
 
-use std::io::BufReader;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ctxpref_context::ContextState;
 use ctxpref_core::CoreError;
-use ctxpref_faults::hit;
-use ctxpref_faults::sites::{NET_ACCEPT, NET_CONN_DELAY, NET_CONN_DROP};
+use ctxpref_faults::sites::{
+    NET_ACCEPT, NET_CONN_DELAY, NET_CONN_DROP, NET_FRAME_READ, NET_FRAME_WRITE,
+};
+use ctxpref_faults::{hit, hit_io};
 use ctxpref_service::{CtxPrefService, ReplicationError, ServiceError};
 
-use crate::error::FrameError;
-use crate::frame::{read_frame, write_frame};
+use crate::codec;
+use crate::frame::{encode_frame, FrameDecoder};
 use crate::proto::{AnswerRow, MigrateAction, RemoteAnswer, Request, Response, WireFallback};
+use crate::reactor::{Epoll, Interest, Slab, Token, Waker};
 
 /// Tuning knobs of the TCP front-end.
 #[derive(Debug, Clone, Copy)]
 pub struct NetServerConfig {
-    /// Concurrent-connection cap (the worker pool bound). Connection
-    /// `max_connections + 1` gets a typed busy frame and is closed.
+    /// Concurrent-connection cap. Connection `max_connections + 1`
+    /// gets a typed busy frame and is closed.
     pub max_connections: usize,
-    /// Socket read timeout: how long a connection may sit idle (or
-    /// dribble a frame) before the server reclaims its worker.
+    /// Idle timeout: how long a connection may sit with no traffic in
+    /// either direction before the reactor reclaims it.
     pub read_timeout: Duration,
-    /// Socket write timeout for response frames.
+    /// Write-stall timeout: how long queued output may sit unwritable
+    /// (peer not reading) before the connection is cut.
     pub write_timeout: Duration,
     /// Upper bound on the per-query deadline a client may request.
     pub max_deadline: Duration,
     /// How long [`NetServer::shutdown`] waits for in-flight
-    /// connections to finish before giving up on them.
+    /// connections to finish before cutting them.
     pub drain_timeout: Duration,
+    /// Per-connection cap on pipelined in-flight requests (binary
+    /// protocol). Past it the reactor stops reading the socket until
+    /// completions drain — backpressure by TCP.
+    pub max_pipeline: usize,
+    /// Dispatch worker threads.
+    pub workers: usize,
 }
 
 impl Default for NetServerConfig {
@@ -65,6 +95,47 @@ impl Default for NetServerConfig {
             write_timeout: Duration::from_secs(10),
             max_deadline: Duration::from_secs(2),
             drain_timeout: Duration::from_secs(5),
+            max_pipeline: 128,
+            workers: 4,
+        }
+    }
+}
+
+/// Counters of the serving front-end, exposed via
+/// [`NetServer::net_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted and admitted.
+    pub accepted: usize,
+    /// Connections refused with a typed busy frame.
+    pub refused_busy: usize,
+    /// Connections closed because a socket option failed to apply on
+    /// accept (`set_nonblocking`/`set_nodelay`). The old server
+    /// swallowed these errors with `let _ =`.
+    pub sockopt_failures: usize,
+    /// Request frames decoded off sockets.
+    pub frames_in: usize,
+    /// Response frames written.
+    pub frames_out: usize,
+}
+
+#[derive(Debug, Default)]
+struct StatsCells {
+    accepted: AtomicUsize,
+    refused_busy: AtomicUsize,
+    sockopt_failures: AtomicUsize,
+    frames_in: AtomicUsize,
+    frames_out: AtomicUsize,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Acquire),
+            refused_busy: self.refused_busy.load(Ordering::Acquire),
+            sockopt_failures: self.sockopt_failures.load(Ordering::Acquire),
+            frames_in: self.frames_in.load(Ordering::Acquire),
+            frames_out: self.frames_out.load(Ordering::Acquire),
         }
     }
 }
@@ -75,7 +146,11 @@ pub struct NetServer {
     cfg: NetServerConfig,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
-    accept_thread: Option<JoinHandle<()>>,
+    undrained: Arc<AtomicUsize>,
+    stats: Arc<StatsCells>,
+    waker: Arc<Waker>,
+    reactor_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for NetServer {
@@ -88,19 +163,23 @@ impl std::fmt::Debug for NetServer {
     }
 }
 
-/// Decrements the active-connection gauge when a connection ends,
-/// however it ends (including by panic).
-struct ConnGuard(Arc<AtomicUsize>);
+/// One request frame handed to the worker pool.
+struct Job {
+    token: Token,
+    payload: Vec<u8>,
+    binary: bool,
+}
 
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
-    }
+/// One finished response on its way back to the reactor.
+struct Completion {
+    token: Token,
+    /// The response as a raw frame payload (already protocol-encoded).
+    payload: Vec<u8>,
 }
 
 impl NetServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start
-    /// accepting connections for `service`.
+    /// serving `service`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<CtxPrefService>,
@@ -108,21 +187,70 @@ impl NetServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let waker = Arc::new(Waker::new()?);
+
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
-        let accept_thread = {
+        let undrained = Arc::new(AtomicUsize::new(0));
+        let stats = Arc::new(StatsCells::default());
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let mut worker_threads = Vec::new();
+        for i in 0..cfg.workers.max(1) {
+            let service = Arc::clone(&service);
+            let job_rx = Arc::clone(&job_rx);
+            let completions = Arc::clone(&completions);
+            let waker = Arc::clone(&waker);
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ctxpref-net-worker-{i}"))
+                    .spawn(move || worker_loop(&service, &cfg, &job_rx, &completions, &waker))?,
+            );
+        }
+
+        let reactor_thread = {
             let shutdown = Arc::clone(&shutdown);
             let active = Arc::clone(&active);
+            let undrained = Arc::clone(&undrained);
+            let stats = Arc::clone(&stats);
+            let waker = Arc::clone(&waker);
+            let completions = Arc::clone(&completions);
             std::thread::Builder::new()
-                .name(format!("ctxpref-net-accept-{}", addr.port()))
-                .spawn(move || accept_loop(listener, service, cfg, shutdown, active))?
+                .name(format!("ctxpref-net-reactor-{}", addr.port()))
+                .spawn(move || {
+                    Reactor {
+                        listener: Some(listener),
+                        epoll,
+                        waker,
+                        cfg,
+                        conns: Slab::new(),
+                        shutdown,
+                        active,
+                        undrained,
+                        stats,
+                        job_tx,
+                        completions,
+                        drain_deadline: None,
+                    }
+                    .run()
+                })?
         };
+
         Ok(Self {
             addr,
             cfg,
             shutdown,
             active,
-            accept_thread: Some(accept_thread),
+            undrained,
+            stats,
+            waker,
+            reactor_thread: Some(reactor_thread),
+            worker_threads,
         })
     }
 
@@ -137,28 +265,29 @@ impl NetServer {
         self.active.load(Ordering::Acquire)
     }
 
-    /// Graceful drain: stop accepting, let every in-flight connection
-    /// finish its current request (bounded by the configured drain
-    /// timeout), and return. Returns the number of connections that
-    /// were still open when the drain timed out (0 on a clean drain).
+    /// Front-end counters (accepts, busy refusals, socket-option
+    /// failures, frames in/out).
+    pub fn net_stats(&self) -> NetStats {
+        self.stats.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, let in-flight requests finish
+    /// (bounded by the configured drain timeout), and return how many
+    /// connections had to be cut un-drained (0 on a clean drain).
     pub fn shutdown(mut self) -> usize {
         self.begin_shutdown();
-        let deadline = Instant::now() + self.cfg.drain_timeout;
-        loop {
-            let left = self.active.load(Ordering::Acquire);
-            if left == 0 || Instant::now() >= deadline {
-                return left;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        self.undrained.load(Ordering::Acquire)
     }
 
     fn begin_shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Release);
-        // Wake the (blocking) accept call so the loop observes the
-        // flag; the connect itself is then refused by the flag check.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-        if let Some(t) = self.accept_thread.take() {
+        self.waker.wake();
+        if let Some(t) = self.reactor_thread.take() {
+            let _ = t.join();
+        }
+        // The reactor exiting dropped the job sender; workers see the
+        // channel close and stop.
+        for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -172,123 +301,597 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    service: Arc<CtxPrefService>,
-    cfg: NetServerConfig,
-    shutdown: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+fn worker_loop(
+    service: &Arc<CtxPrefService>,
+    cfg: &NetServerConfig,
+    jobs: &Mutex<Receiver<Job>>,
+    completions: &Mutex<Vec<Completion>>,
+    waker: &Waker,
 ) {
     loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
-            }
+        // Hold the receiver lock only for the dequeue, not the work.
+        let job = match jobs.lock() {
+            Ok(rx) => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            },
+            Err(_) => return,
         };
-        if shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        // Injected accept failure: the connection is refused, the
-        // listener stays up.
-        if hit(NET_ACCEPT).is_err() {
-            continue;
-        }
-        // Admission: reserve a worker slot or answer busy-and-close.
-        // `fetch_add` first so two racing accepts cannot both sneak
-        // under the cap.
-        if active.fetch_add(1, Ordering::AcqRel) >= cfg.max_connections {
-            active.fetch_sub(1, Ordering::AcqRel);
-            let mut stream = stream;
-            let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-            let _ = write_frame(
-                &mut stream,
-                &Response::Busy {
-                    limit: cfg.max_connections,
+        // Injected stall: `hit` sleeps inside for Delay rules. Runs
+        // here — in a worker — so a scripted delay never stalls the
+        // reactor thread itself.
+        let _ = hit(NET_CONN_DELAY);
+        let payload = if job.binary {
+            match codec::decode_request(&job.payload) {
+                Ok(wire) => codec::encode_response(wire.id, &dispatch(service, cfg, &wire.req)),
+                Err(e) => {
+                    // The body was malformed but the header may still
+                    // name the request — answer typed under its id so
+                    // the pipelined client can match the refusal.
+                    let id = codec::request_id_of(&job.payload).unwrap_or(0);
+                    codec::encode_response(
+                        id,
+                        &Response::Err {
+                            kind: "proto".to_string(),
+                            message: e.to_string(),
+                        },
+                    )
+                }
+            }
+        } else {
+            match Request::decode(&job.payload) {
+                Ok(request) => dispatch(service, cfg, &request).encode(),
+                Err(e) => Response::Err {
+                    kind: "proto".to_string(),
+                    message: e.to_string(),
                 }
                 .encode(),
-            );
-            continue;
-        }
-        let guard = ConnGuard(Arc::clone(&active));
-        let service = Arc::clone(&service);
-        let shutdown = Arc::clone(&shutdown);
-        let spawned = std::thread::Builder::new()
-            .name("ctxpref-net-conn".to_string())
-            .spawn(move || {
-                let _guard = guard;
-                serve_connection(stream, &service, &cfg, &shutdown);
-            });
-        if spawned.is_err() {
-            // Thread spawn failed (resource exhaustion): the guard
-            // inside the closure never ran, but the closure was
-            // dropped, running its captured guard's Drop — nothing to
-            // undo here.
-            continue;
+            }
+        };
+        // Wake the reactor only on the empty→nonempty transition: the
+        // reactor drains the whole queue per wake, so a completion
+        // pushed behind an undrained one already has a wake pending.
+        // The push and the emptiness check share the mutex, so any
+        // drain that could consume the pending wake must also collect
+        // this completion.
+        let needs_wake = match completions.lock() {
+            Ok(mut queue) => {
+                let was_empty = queue.is_empty();
+                queue.push(Completion {
+                    token: job.token,
+                    payload,
+                });
+                was_empty
+            }
+            Err(_) => true,
+        };
+        if needs_wake {
+            waker.wake();
         }
     }
 }
 
-/// Serve one connection: a loop of (read frame, dispatch, write
-/// frame) until the peer closes, a timeout fires, or drain begins.
-fn serve_connection(
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+const LISTENER_TOKEN: u64 = u64::MAX;
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// First frame not seen yet: dialect unknown.
+    Sniff,
+    /// `ctxpref2`: pipelined, out-of-order completions allowed.
+    Binary,
+    /// `ctxpref1`: serial, in-order (compatibility window).
+    Text,
+}
+
+struct Conn {
     stream: TcpStream,
-    service: &Arc<CtxPrefService>,
-    cfg: &NetServerConfig,
-    shutdown: &AtomicBool,
-) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        if shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        // Injected connection death: sever mid-conversation, forcing
-        // the peer onto its reconnect path.
-        if hit(NET_CONN_DROP).is_err() {
-            return;
-        }
-        // Injected stall: `hit` sleeps inside for Delay rules.
-        let _ = hit(NET_CONN_DELAY);
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            // Clean close between frames.
-            Ok(None) => return,
-            // Torn/hostile frames get a typed refusal where the socket
-            // still works; then the connection closes (framing is
-            // unrecoverable once the stream is misaligned).
-            Err(e) => {
-                let refusal = Response::Err {
-                    kind: "frame".to_string(),
-                    message: e.to_string(),
-                };
-                if !matches!(e, FrameError::Io(_)) {
-                    let _ = write_frame(&mut writer, &refusal.encode());
-                }
-                return;
-            }
-        };
-        let response = match Request::decode(&payload) {
-            Ok(request) => dispatch(service, cfg, &request),
-            Err(e) => Response::Err {
-                kind: "proto".to_string(),
-                message: e.to_string(),
-            },
-        };
-        if write_frame(&mut writer, &response.encode()).is_err() {
-            return;
+    decoder: FrameDecoder,
+    /// Encoded frames (header included) awaiting the socket, plus the
+    /// write offset into the front one.
+    out: VecDeque<Vec<u8>>,
+    out_pos: usize,
+    mode: Mode,
+    /// Dispatched-but-unanswered requests.
+    in_flight: usize,
+    /// Parsed text frames queued behind the serial dispatch.
+    text_backlog: VecDeque<Vec<u8>>,
+    last_activity: Instant,
+    /// Output has been unwritable since this instant (write stall).
+    write_stalled_since: Option<Instant>,
+    /// Close once the output queue drains.
+    closing: bool,
+    registered: Interest,
+}
+
+impl Conn {
+    fn desired_interest(&self, cfg: &NetServerConfig) -> Interest {
+        let wants_read = !self.closing && self.in_flight < cfg.max_pipeline;
+        let wants_write = !self.out.is_empty();
+        match (wants_read, wants_write) {
+            (true, true) => Interest::BOTH,
+            (true, false) => Interest::READABLE,
+            (false, true) => Interest::WRITABLE,
+            // epoll needs *some* registration; an interest-less wait
+            // still surfaces errors/hangups for reclamation.
+            (false, false) => Interest::WRITABLE,
         }
     }
 }
+
+struct Reactor {
+    listener: Option<TcpListener>,
+    epoll: Epoll,
+    waker: Arc<Waker>,
+    cfg: NetServerConfig,
+    conns: Slab<Conn>,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    undrained: Arc<AtomicUsize>,
+    stats: Arc<StatsCells>,
+    job_tx: Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            if self
+                .epoll
+                .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)
+                .is_err()
+            {
+                return;
+            }
+        }
+        if self
+            .epoll
+            .register(self.waker.reader_fd(), WAKER_TOKEN, Interest::READABLE)
+            .is_err()
+        {
+            return;
+        }
+
+        let mut events = Vec::with_capacity(1024);
+        let mut last_sweep = Instant::now();
+        loop {
+            events.clear();
+            // A bounded tick so idle sweeps and the shutdown flag are
+            // observed even on a silent socket set.
+            let _ = self
+                .epoll
+                .wait(&mut events, Some(Duration::from_millis(100)));
+
+            for ev in events.iter().copied() {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    raw => {
+                        let token = Token(raw);
+                        if ev.hangup && !ev.readable {
+                            self.close(token, false);
+                            continue;
+                        }
+                        if ev.readable {
+                            self.read_ready(token);
+                        }
+                        if ev.writable {
+                            self.write_ready(token);
+                        }
+                        self.refresh_interest(token);
+                    }
+                }
+            }
+
+            self.drain_completions();
+
+            let now = Instant::now();
+            if now.duration_since(last_sweep) >= Duration::from_millis(500) {
+                last_sweep = now;
+                self.sweep_idle(now);
+            }
+
+            if self.shutdown.load(Ordering::Acquire) && self.step_shutdown(now) {
+                return;
+            }
+        }
+    }
+
+    /// Progress the graceful drain; true when the reactor should exit.
+    fn step_shutdown(&mut self, now: Instant) -> bool {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.deregister(listener.as_raw_fd());
+            drop(listener);
+            self.drain_deadline = Some(now + self.cfg.drain_timeout);
+        }
+        // Close everything with no work in flight and nothing queued.
+        for token in self.conns.tokens() {
+            let idle = self
+                .conns
+                .get_mut(token)
+                .map(|c| c.in_flight == 0 && c.out.is_empty() && c.text_backlog.is_empty())
+                .unwrap_or(true);
+            if idle {
+                self.close(token, false);
+            }
+        }
+        if self.conns.is_empty() {
+            return true;
+        }
+        if self.drain_deadline.is_some_and(|d| now >= d) {
+            // Drain window over: cut the stragglers and report them.
+            let leftover = self.conns.len();
+            self.undrained.store(leftover, Ordering::Release);
+            for token in self.conns.tokens() {
+                self.close(token, false);
+            }
+            return true;
+        }
+        false
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            let (stream, _) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            };
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Injected accept failure: the connection is refused, the
+            // listener stays up.
+            if hit(NET_ACCEPT).is_err() {
+                continue;
+            }
+            if self.conns.len() >= self.cfg.max_connections {
+                self.stats.refused_busy.fetch_add(1, Ordering::AcqRel);
+                // Best-effort typed refusal (text: oldest clients must
+                // understand it), then close. The socket is fresh, so
+                // the small frame fits the send buffer.
+                if let Ok(frame) = encode_frame(
+                    &Response::Busy {
+                        limit: self.cfg.max_connections,
+                    }
+                    .encode(),
+                ) {
+                    let mut stream = stream;
+                    let _ = stream.write_all(&frame);
+                }
+                continue;
+            }
+            // Socket options are load-bearing (a blocking fd would
+            // wedge the whole reactor): a failure closes the
+            // connection and is counted, not ignored.
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                self.stats.sockopt_failures.fetch_add(1, Ordering::AcqRel);
+                continue;
+            }
+            let fd = stream.as_raw_fd();
+            let token = self.conns.insert(Conn {
+                stream,
+                decoder: FrameDecoder::new(),
+                out: VecDeque::new(),
+                out_pos: 0,
+                mode: Mode::Sniff,
+                in_flight: 0,
+                text_backlog: VecDeque::new(),
+                last_activity: Instant::now(),
+                write_stalled_since: None,
+                closing: false,
+                registered: Interest::READABLE,
+            });
+            if self
+                .epoll
+                .register(fd, token.0, Interest::READABLE)
+                .is_err()
+            {
+                self.conns.remove(token);
+                continue;
+            }
+            self.stats.accepted.fetch_add(1, Ordering::AcqRel);
+            self.active.store(self.conns.len(), Ordering::Release);
+        }
+    }
+
+    fn read_ready(&mut self, token: Token) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.closing || conn.in_flight >= self.cfg.max_pipeline {
+                break;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    // Peer closed. Anything still in flight finishes
+                    // into a dead socket; reclaim now.
+                    self.close(token, false);
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.decoder.extend(&buf[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token, false);
+                    return;
+                }
+            }
+        }
+        self.pump_frames(token);
+    }
+
+    /// Drain complete frames from the connection's decoder into
+    /// dispatch, respecting the pipeline cap and text seriality.
+    fn pump_frames(&mut self, token: Token) {
+        loop {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.closing || conn.in_flight >= self.cfg.max_pipeline {
+                return;
+            }
+            let payload = match conn.decoder.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => return,
+                Err(e) => {
+                    // Torn/hostile framing: answer typed where the
+                    // socket still works, then close (the stream is
+                    // misaligned beyond recovery).
+                    let refusal = Response::Err {
+                        kind: "frame".to_string(),
+                        message: e.to_string(),
+                    };
+                    self.enqueue_frame(token, &refusal.encode());
+                    self.write_ready(token);
+                    self.shutdown_after_flush(token);
+                    return;
+                }
+            };
+            // The per-frame fault gauntlet the blocking server ran
+            // inside `read_frame`: an injected read fault or
+            // connection drop severs the conversation here too.
+            if hit_io(NET_FRAME_READ).is_err() || hit(NET_CONN_DROP).is_err() {
+                self.close(token, false);
+                return;
+            }
+            self.stats.frames_in.fetch_add(1, Ordering::AcqRel);
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.mode == Mode::Sniff {
+                conn.mode = if codec::is_binary(&payload) {
+                    Mode::Binary
+                } else {
+                    Mode::Text
+                };
+            }
+            match conn.mode {
+                Mode::Binary => {
+                    conn.in_flight += 1;
+                    let _ = self.job_tx.send(Job {
+                        token,
+                        payload,
+                        binary: true,
+                    });
+                }
+                Mode::Text | Mode::Sniff => {
+                    // Text is served one request at a time so replies
+                    // stay in request order, as ctxpref1 promises.
+                    if conn.in_flight == 0 {
+                        conn.in_flight = 1;
+                        let _ = self.job_tx.send(Job {
+                            token,
+                            payload,
+                            binary: false,
+                        });
+                    } else {
+                        conn.text_backlog.push_back(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = match self.completions.lock() {
+            Ok(mut queue) => queue.drain(..).collect(),
+            Err(_) => return,
+        };
+        let mut touched: Vec<Token> = Vec::new();
+        for comp in done {
+            let Some(conn) = self.conns.get_mut(comp.token) else {
+                continue;
+            };
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            // Serial text service: release the next queued request.
+            if conn.mode == Mode::Text && conn.in_flight == 0 {
+                if let Some(next) = conn.text_backlog.pop_front() {
+                    conn.in_flight = 1;
+                    let _ = self.job_tx.send(Job {
+                        token: comp.token,
+                        payload: next,
+                        binary: false,
+                    });
+                }
+            }
+            self.enqueue_frame(comp.token, &comp.payload);
+            // Freed pipeline budget: frames may be waiting, parsed,
+            // in the decoder.
+            self.pump_frames(comp.token);
+            if !touched.contains(&comp.token) {
+                touched.push(comp.token);
+            }
+        }
+        // Flush once per connection rather than once per completion:
+        // responses that completed together leave together.
+        for token in touched {
+            self.write_ready(token);
+            self.refresh_interest(token);
+        }
+    }
+
+    /// Queue one response frame. The caller flushes (`write_ready`)
+    /// once it has enqueued everything it has for the connection.
+    fn enqueue_frame(&mut self, token: Token, payload: &[u8]) {
+        // The per-frame write fault site the blocking server ran
+        // inside `write_frame`.
+        if hit_io(NET_FRAME_WRITE).is_err() {
+            self.close(token, false);
+            return;
+        }
+        let frame = match encode_frame(payload) {
+            Ok(f) => f,
+            Err(_) => {
+                self.close(token, false);
+                return;
+            }
+        };
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        conn.out.push_back(frame);
+        self.stats.frames_out.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn write_ready(&mut self, token: Token) {
+        loop {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.out.is_empty() {
+                conn.write_stalled_since = None;
+                break;
+            }
+            // Coalesce every queued frame into one vectored write: a
+            // pipelined burst's responses leave as one syscall, not
+            // one each.
+            let res = {
+                let mut slices: Vec<std::io::IoSlice<'_>> =
+                    Vec::with_capacity(conn.out.len().min(64));
+                let mut frames = conn.out.iter();
+                if let Some(front) = frames.next() {
+                    slices.push(std::io::IoSlice::new(&front[conn.out_pos..]));
+                    slices.extend(frames.take(63).map(|f| std::io::IoSlice::new(f)));
+                }
+                conn.stream.write_vectored(&slices)
+            };
+            match res {
+                Ok(0) => {
+                    self.close(token, false);
+                    return;
+                }
+                Ok(mut n) => {
+                    conn.last_activity = Instant::now();
+                    conn.write_stalled_since = None;
+                    while n > 0 {
+                        let Some(front) = conn.out.front() else { break };
+                        let rem = front.len() - conn.out_pos;
+                        if n >= rem {
+                            n -= rem;
+                            conn.out.pop_front();
+                            conn.out_pos = 0;
+                        } else {
+                            conn.out_pos += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if conn.write_stalled_since.is_none() {
+                        conn.write_stalled_since = Some(Instant::now());
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token, false);
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        if conn.closing && conn.out.is_empty() && conn.in_flight == 0 {
+            self.close(token, false);
+        }
+    }
+
+    /// Mark a connection to close once queued output flushes.
+    fn shutdown_after_flush(&mut self, token: Token) {
+        if let Some(conn) = self.conns.get_mut(token) {
+            conn.closing = true;
+            if conn.out.is_empty() && conn.in_flight == 0 {
+                self.close(token, false);
+            }
+        }
+    }
+
+    fn refresh_interest(&mut self, token: Token) {
+        let cfg = self.cfg;
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        let desired = conn.desired_interest(&cfg);
+        if desired != conn.registered {
+            let fd = conn.stream.as_raw_fd();
+            if self.epoll.reregister(fd, token.0, desired).is_ok() {
+                if let Some(conn) = self.conns.get_mut(token) {
+                    conn.registered = desired;
+                }
+            }
+        }
+    }
+
+    fn sweep_idle(&mut self, now: Instant) {
+        for token in self.conns.tokens() {
+            let Some(conn) = self.conns.get_mut(token) else {
+                continue;
+            };
+            let idle_too_long = conn.in_flight == 0
+                && conn.out.is_empty()
+                && now.duration_since(conn.last_activity) >= self.cfg.read_timeout;
+            let write_wedged = conn
+                .write_stalled_since
+                .is_some_and(|since| now.duration_since(since) >= self.cfg.write_timeout);
+            if idle_too_long || write_wedged {
+                self.close(token, false);
+            }
+        }
+    }
+
+    fn close(&mut self, token: Token, _flush: bool) {
+        if let Some(conn) = self.conns.remove(token) {
+            let _ = self.epoll.deregister(conn.stream.as_raw_fd());
+            // Dropping the stream closes the fd; in-flight worker
+            // completions for this token die against the slab's
+            // generation check instead of reaching a reused slot.
+        }
+        self.active.store(self.conns.len(), Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (runs in the worker pool)
+// ---------------------------------------------------------------------------
 
 /// Execute one request against the service, with panics contained.
 fn dispatch(service: &Arc<CtxPrefService>, cfg: &NetServerConfig, req: &Request) -> Response {
@@ -506,7 +1109,84 @@ fn dispatch_inner(service: &CtxPrefService, cfg: &NetServerConfig, req: &Request
             epoch,
             action,
         } => dispatch_migrate(service, user, *epoch, action),
+        Request::Batch { requests } => dispatch_batch(service, cfg, requests),
     }
+}
+
+/// Execute a batch: items run in order, and execution stops at the
+/// first failure (its typed response is the last element, and the
+/// returned length tells the caller how far the batch got).
+fn dispatch_batch(
+    service: &CtxPrefService,
+    cfg: &NetServerConfig,
+    requests: &[Request],
+) -> Response {
+    let mut responses = Vec::with_capacity(requests.len());
+    // Homogeneous insert batches take the service's bulk verb: one
+    // routing/guard acquisition for the whole batch instead of one
+    // per preference.
+    if let Some(bulk) = as_bulk_insert(requests) {
+        let (user, items) = bulk;
+        match service.insert_preferences_eq_bulk(user, &items) {
+            Ok(applied) => {
+                responses.resize(applied, Response::Ok);
+            }
+            Err(bulk_err) => {
+                responses.resize(bulk_err.applied, Response::Ok);
+                responses.push(err_of(&bulk_err.error));
+            }
+        }
+        return Response::Batch { responses };
+    }
+    for sub in requests {
+        if matches!(sub, Request::Batch { .. }) {
+            responses.push(Response::Err {
+                kind: "proto".to_string(),
+                message: "batches do not nest".to_string(),
+            });
+            break;
+        }
+        let resp = dispatch_inner(service, cfg, sub);
+        let failed = matches!(
+            resp,
+            Response::Err { .. } | Response::NotPrimary | Response::Migrating { .. }
+        );
+        responses.push(resp);
+        if failed {
+            break;
+        }
+    }
+    Response::Batch { responses }
+}
+
+/// If every item inserts a preference for one user, extract the bulk
+/// shape the service's batched verb takes.
+#[allow(clippy::type_complexity)]
+fn as_bulk_insert(requests: &[Request]) -> Option<(&str, Vec<(&str, &str, &str, f64)>)> {
+    if requests.is_empty() {
+        return None;
+    }
+    let mut items = Vec::with_capacity(requests.len());
+    let mut batch_user: Option<&str> = None;
+    for sub in requests {
+        let Request::InsertPref {
+            user,
+            descriptor,
+            attr,
+            value,
+            score,
+        } = sub
+        else {
+            return None;
+        };
+        match batch_user {
+            None => batch_user = Some(user),
+            Some(u) if u == user => {}
+            Some(_) => return None,
+        }
+        items.push((descriptor.as_str(), attr.as_str(), value.as_str(), *score));
+    }
+    batch_user.map(|u| (u, items))
 }
 
 /// Execute one migration step. Every step is idempotent (guarded by

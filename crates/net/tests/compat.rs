@@ -1,0 +1,158 @@
+//! Wire compatibility: a `ctxpref1`-era client — text payloads, one
+//! request at a time, responses expected **in order** — must keep
+//! working against the event-driven server unchanged. The server
+//! sniffs the dialect from the first payload byte and pins the
+//! connection to the text protocol's serial, in-order promise.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ctxpref_core::MultiUserDb;
+use ctxpref_net::frame::{read_frame, write_frame};
+use ctxpref_net::proto::{Request, Response};
+use ctxpref_net::{NetServer, NetServerConfig};
+use ctxpref_service::{CtxPrefService, ServiceConfig};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+
+fn spawn_server() -> NetServer {
+    let env = poi_env();
+    let db = MultiUserDb::new(env.clone(), poi_relation(&env, 3, 1), 4);
+    let service = Arc::new(CtxPrefService::new(db, ServiceConfig::default()));
+    NetServer::bind("127.0.0.1:0", service, NetServerConfig::default()).expect("bind loopback")
+}
+
+/// A minimal `ctxpref1` client: text-encoded requests over raw frames,
+/// one in flight, responses read in order. This is byte-for-byte what
+/// the pre-pipelining client put on the wire.
+fn text_call(stream: &mut TcpStream, req: &Request) -> Response {
+    write_frame(stream, &req.encode()).expect("write text frame");
+    let payload = read_frame(stream)
+        .expect("read frame")
+        .expect("a response frame");
+    Response::decode(&payload).expect("text response")
+}
+
+#[test]
+fn a_ctxpref1_text_client_still_talks_to_the_new_server() {
+    let server = spawn_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("dial");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+
+    assert_eq!(text_call(&mut stream, &Request::Ping), Response::Pong);
+    assert_eq!(
+        text_call(
+            &mut stream,
+            &Request::AddUser {
+                user: "legacy".to_string()
+            }
+        ),
+        Response::Ok
+    );
+    assert_eq!(
+        text_call(
+            &mut stream,
+            &Request::InsertPref {
+                user: "legacy".to_string(),
+                descriptor: "accompanying_people = friends".to_string(),
+                attr: "type".to_string(),
+                value: "museum".to_string(),
+                score: 0.8,
+            }
+        ),
+        Response::Ok
+    );
+    match text_call(
+        &mut stream,
+        &Request::Query {
+            user: "legacy".to_string(),
+            attr: "name".to_string(),
+            k: 3,
+            deadline_ms: 1000,
+            state: vec![
+                "Plaka".to_string(),
+                "warm".to_string(),
+                "friends".to_string(),
+            ],
+        },
+    ) {
+        Response::Answer(_) => {}
+        other => panic!("legacy query must answer, got {other:?}"),
+    }
+    // Typed errors survive the dialect too.
+    match text_call(
+        &mut stream,
+        &Request::RemoveUser {
+            user: "ghost".to_string(),
+        },
+    ) {
+        Response::Err { .. } => {}
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn text_requests_written_back_to_back_answer_in_order() {
+    // The text dialect has no request ids: its one ordering guarantee
+    // is in-order responses. A client that writes several frames
+    // before reading (a buffering proxy would) must still see answers
+    // in request order, even though the server behind is pipelined.
+    let server = spawn_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("dial");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+
+    let reqs = [
+        Request::AddUser {
+            user: "serial".to_string(),
+        },
+        Request::Ping,
+        Request::Stats,
+        Request::Ping,
+    ];
+    for req in &reqs {
+        write_frame(&mut stream, &req.encode()).expect("write text frame");
+    }
+    let mut resps = Vec::new();
+    for _ in 0..reqs.len() {
+        let payload = read_frame(&mut stream)
+            .expect("read frame")
+            .expect("a response frame");
+        resps.push(Response::decode(&payload).expect("text response"));
+    }
+    assert_eq!(resps[0], Response::Ok, "add-user answers first");
+    assert_eq!(resps[1], Response::Pong);
+    assert!(
+        matches!(resps[2], Response::Text { .. }),
+        "stats answers third, got {:?}",
+        resps[2]
+    );
+    assert_eq!(resps[3], Response::Pong);
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn a_malformed_text_payload_gets_a_typed_refusal_not_a_hang() {
+    let server = spawn_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("dial");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+
+    write_frame(&mut stream, b"ctxpref1 frobnicate the database").expect("write garbage");
+    let payload = read_frame(&mut stream)
+        .expect("read frame")
+        .expect("a response frame");
+    match Response::decode(&payload).expect("text response") {
+        Response::Err { kind, .. } => assert_eq!(kind, "proto"),
+        other => panic!("expected a typed proto error, got {other:?}"),
+    }
+    drop(stream);
+    server.shutdown();
+}

@@ -13,8 +13,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use ctxpref_net::frame::{encode_frame, read_frame, FRAME_HEADER, MAX_FRAME_PAYLOAD};
-use ctxpref_net::proto::{Request, Response};
-use ctxpref_net::FrameError;
+use ctxpref_net::proto::{AnswerRow, MigrateAction, RemoteAnswer, Request, Response, WireFallback};
+use ctxpref_net::{decode_request, decode_response, encode_request, encode_response, FrameError};
 
 // ---------------------------------------------------------------------------
 // A counting allocator: thread-local arming, so parallel tests in this
@@ -234,6 +234,187 @@ fn legitimate_max_frame_still_decodes() {
     let back = read_frame(&mut cur).expect("decodes").expect("one frame");
     assert_eq!(back.len(), payload.len());
     assert!(read_frame(&mut cur).expect("clean end").is_none());
+}
+
+// ---------------------------------------------------------------------------
+// ctxpref2 binary-codec fuzz: the same discipline — truncation at
+// every offset, flipped bytes, hostile length claims — applied to the
+// varint codec, with the counting allocator proving the "no
+// attacker-sized allocation" claim rather than assuming it.
+// ---------------------------------------------------------------------------
+
+/// Representative binary request payloads: every structural shape the
+/// codec has (strings, varints, f64s, byte vectors, nested pairs, a
+/// batch of sub-requests).
+fn binary_request_corpus() -> Vec<Vec<u8>> {
+    let requests = vec![
+        Request::Ping,
+        Request::Query {
+            user: "alice".into(),
+            attr: "name".into(),
+            k: 5,
+            deadline_ms: 250,
+            state: vec!["Plaka".into(), "warm".into(), "friends".into()],
+        },
+        Request::InsertPref {
+            user: "bob with spaces".into(),
+            descriptor: "accompanying_people = friends".into(),
+            attr: "type".into(),
+            value: "museum".into(),
+            score: 0.825,
+        },
+        Request::MigrateUser {
+            user: "u".into(),
+            epoch: 9,
+            action: MigrateAction::Apply {
+                through: 99,
+                records: vec![(18, b"score user 0 0.5".to_vec()), (21, vec![0, 255, 7])],
+            },
+        },
+        Request::Batch {
+            requests: vec![
+                Request::AddUser { user: "a".into() },
+                Request::UpdateScore {
+                    user: "a".into(),
+                    index: 2,
+                    score: 0.125,
+                },
+                Request::Ping,
+            ],
+        },
+    ];
+    requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| encode_request(i as u64 + 1, &r))
+        .collect()
+}
+
+/// Representative binary response payloads.
+fn binary_response_corpus() -> Vec<Vec<u8>> {
+    let responses = vec![
+        Response::Answer(RemoteAnswer {
+            step: "nearest-state".into(),
+            elapsed_us: 1234,
+            resolved_state: Some("(Athens, warm, all)".into()),
+            fallbacks: vec![WireFallback {
+                step: "exact".into(),
+                reason: "panic: injected".into(),
+            }],
+            rows: vec![AnswerRow {
+                name: "Acropolis Museum".into(),
+                score: 0.9,
+            }],
+        }),
+        Response::Records {
+            through: 40,
+            records: vec![(39, b"ins me pref".to_vec()), (40, vec![255])],
+        },
+        Response::Batch {
+            responses: vec![
+                Response::Ok,
+                Response::Err {
+                    kind: "core".into(),
+                    message: "nope".into(),
+                },
+            ],
+        },
+        Response::Text {
+            body: "appends 12\nshard 0: done\n".into(),
+        },
+    ];
+    responses
+        .into_iter()
+        .map(|r| encode_response(7, &r))
+        .collect()
+}
+
+#[test]
+fn binary_truncation_at_every_offset_fails_typed() {
+    for payload in binary_request_corpus() {
+        // The untouched payload decodes.
+        decode_request(&payload).expect("intact payload decodes");
+        for cut in 0..payload.len() {
+            let largest = largest_alloc_during(|| {
+                decode_request(&payload[..cut])
+                    .expect_err("every proper prefix must fail to decode");
+            });
+            assert!(
+                largest <= 2 * payload.len() + 1024,
+                "cut at {cut}: allocated {largest} bytes decoding a truncated payload"
+            );
+        }
+    }
+    for payload in binary_response_corpus() {
+        decode_response(&payload).expect("intact payload decodes");
+        for cut in 0..payload.len() {
+            let largest = largest_alloc_during(|| {
+                decode_response(&payload[..cut])
+                    .expect_err("every proper prefix must fail to decode");
+            });
+            assert!(
+                largest <= 2 * payload.len() + 1024,
+                "cut at {cut}: allocated {largest} bytes decoding a truncated payload"
+            );
+        }
+    }
+}
+
+#[test]
+fn binary_flipped_bytes_never_panic_or_overallocate() {
+    for payload in binary_request_corpus()
+        .into_iter()
+        .chain(binary_response_corpus())
+    {
+        for i in 0..payload.len() {
+            for bit in [0x01u8, 0x40, 0x80] {
+                let mut bad = payload.clone();
+                bad[i] ^= bit;
+                // A flip may produce a different valid message, a typed
+                // error, or (first byte) demote the payload out of the
+                // binary dialect entirely. It must never panic and
+                // never allocate by a corrupted length claim.
+                let largest = largest_alloc_during(|| {
+                    let _ = decode_request(&bad);
+                    let _ = decode_response(&bad);
+                });
+                assert!(
+                    largest <= 2 * payload.len() + 1024,
+                    "flip {bit:#04x} at {i}: allocated {largest} bytes \
+                     decoding a {}-byte corrupted payload",
+                    payload.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn binary_hostile_length_claim_rejected_before_allocation() {
+    // A hand-built AddUser whose user-string length claims 2^40 bytes.
+    // Tag 4 = add-user in the frozen ctxpref2 vocabulary; the varint
+    // [0x80 ×5, 0x20] encodes 1 << 40.
+    let mut hostile = vec![0xC2, 0x02, 4, 1];
+    hostile.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x20]);
+    let largest = largest_alloc_during(|| {
+        decode_request(&hostile).expect_err("terabyte string claim must fail typed");
+    });
+    assert!(
+        largest < 4096,
+        "hostile length claim rejected, but allocated {largest} bytes on the way"
+    );
+
+    // Same discipline for a hostile element *count*: a batch claiming
+    // 2^40 sub-requests (tag 16) in a 10-byte payload.
+    let mut hostile = vec![0xC2, 0x02, 16, 1];
+    hostile.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x20]);
+    let largest = largest_alloc_during(|| {
+        decode_request(&hostile).expect_err("terabyte batch claim must fail typed");
+    });
+    assert!(
+        largest < 4096,
+        "hostile count claim rejected, but allocated {largest} bytes on the way"
+    );
 }
 
 #[test]

@@ -341,8 +341,12 @@ fn ambiguous_mutation_is_not_replayed_on_the_next_endpoint() {
 
     // The idempotent probe walks past the dead endpoint and marks the
     // live one preferred; mutations flow again.
-    router.route_status(0).expect("probe walks to the live endpoint");
-    router.add_user("ann").expect("mutation against the preferred live endpoint");
+    router
+        .route_status(0)
+        .expect("probe walks to the live endpoint");
+    router
+        .add_user("ann")
+        .expect("mutation against the preferred live endpoint");
     assert!(service.with_db(|db| db.profile("ann").is_ok()));
 
     server.shutdown();

@@ -64,7 +64,9 @@ mod stats;
 pub use error::ServiceError;
 pub use ladder::{Fallback, LadderStep, ServiceAnswer};
 pub use migrate::{MigrationEntry, MigrationPhase, RouteInfo, UserExport};
-pub use service::{CtxPrefService, DurabilityConfig, ReplicatedConfig, RetryPolicy, ServiceConfig};
+pub use service::{
+    BulkError, CtxPrefService, DurabilityConfig, ReplicatedConfig, RetryPolicy, ServiceConfig,
+};
 pub use stats::ServiceStats;
 
 // Durability and replication vocabulary re-exported so service

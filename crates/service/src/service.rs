@@ -207,6 +207,34 @@ struct Job {
     reply: mpsc::SyncSender<Result<ServiceAnswer, ServiceError>>,
 }
 
+/// The failure of a bulk mutation: how many items of the batch were
+/// applied before the failure, plus the failure itself. The prefix is
+/// durably applied — a caller resumes after `applied`, it does not
+/// replay the whole batch.
+#[derive(Debug)]
+pub struct BulkError {
+    /// Items applied before the failure.
+    pub applied: usize,
+    /// The first item failure.
+    pub error: ServiceError,
+}
+
+impl std::fmt::Display for BulkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bulk write failed after {} item(s): {}",
+            self.applied, self.error
+        )
+    }
+}
+
+impl std::error::Error for BulkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// Decrements the in-flight counter when a request leaves the system,
 /// whatever the path out.
 struct InFlightGuard(Arc<AtomicUsize>);
@@ -894,6 +922,61 @@ impl CtxPrefService {
         Ok(self
             .core()
             .insert_preference_eq(user, descriptor, attr, value, score)?)
+    }
+
+    /// Insert several equality preferences for one user under a single
+    /// migration write guard — the batched-mutation verb behind the
+    /// wire protocol's batch frames. Items apply in order and the
+    /// batch stops at the first failure: the error reports how many
+    /// items landed, so a caller can resume after the prefix instead
+    /// of replaying (and double-applying) it.
+    ///
+    /// Each item is `(descriptor, attr, value, score)` in the same
+    /// textual form [`Self::insert_preference_eq`] takes.
+    pub fn insert_preferences_eq_bulk(
+        &self,
+        user: &str,
+        items: &[(&str, &str, &str, f64)],
+    ) -> Result<usize, BulkError> {
+        let _guard = self
+            .migrations
+            .write_guard(user)
+            .map_err(|error| BulkError { applied: 0, error })?;
+        let mut applied = 0;
+        for (descriptor, attr, value, score) in items {
+            let one: Result<(), ServiceError> = (|| {
+                if let Some(c) = &self.cluster {
+                    let pref =
+                        self.build_eq_preference(descriptor, attr, (*value).into(), *score)?;
+                    c.write(&WalOp::InsertPreference {
+                        user: user.to_string(),
+                        pref,
+                    })
+                    .map_err(ServiceError::from)?;
+                    return Ok(());
+                }
+                match &self.durable {
+                    Some(d) => {
+                        let pref =
+                            self.build_eq_preference(descriptor, attr, (*value).into(), *score)?;
+                        d.insert_preference(user, pref)?;
+                        Ok(())
+                    }
+                    None => Ok(self.core().insert_preference_eq(
+                        user,
+                        descriptor,
+                        attr,
+                        (*value).into(),
+                        *score,
+                    )?),
+                }
+            })();
+            match one {
+                Ok(()) => applied += 1,
+                Err(error) => return Err(BulkError { applied, error }),
+            }
+        }
+        Ok(applied)
     }
 
     /// Remove one user's preference by index.

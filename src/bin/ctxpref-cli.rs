@@ -377,7 +377,7 @@ impl Repl {
         let (addr, cmd) = rest
             .split_once(char::is_whitespace)
             .map(|(a, c)| (a, c.trim()))
-            .ok_or("usage: remote <addr> <ping|query|pref|del|score|checkpoint|flush|wal-status|repl-status|stats>")?;
+            .ok_or("usage: remote <addr> <ping|query|pref|bulk-pref|del|score|checkpoint|flush|wal-status|repl-status|stats>")?;
         let mut client = NetClient::connect(addr, NetClientConfig::default());
         let run = |e: ctxpref::net::NetError| e.to_string();
         let (verb, args) = match cmd.split_once(char::is_whitespace) {
@@ -434,6 +434,44 @@ impl Repl {
                 client.update_score(USER, index, score).map_err(run)?;
                 Ok(Some("remote score updated".to_string()))
             }
+            "bulk-pref" => {
+                // Several prefs in one wire frame, `;`-separated:
+                // bulk-pref <desc> :: <attr> = <value> @ <score> ; …
+                let mut items: Vec<(String, String, String, f64)> = Vec::new();
+                for part in args.split(';') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let (cod, clause) = part.split_once("::").ok_or(
+                        "syntax: bulk-pref <descriptor> :: <attr> = <value> @ <score> [; …]",
+                    )?;
+                    let (assign, score) = clause
+                        .rsplit_once('@')
+                        .ok_or("each item needs `… @ <score>`")?;
+                    let (attr, value) = assign
+                        .split_once('=')
+                        .ok_or("expected `<attr> = <value>`")?;
+                    let score: f64 = score.trim().parse().map_err(|_| "bad score")?;
+                    items.push((
+                        cod.trim().to_string(),
+                        attr.trim().to_string(),
+                        value.trim().to_string(),
+                        score,
+                    ));
+                }
+                if items.is_empty() {
+                    return Err("bulk-pref needs at least one item".to_string());
+                }
+                let borrowed: Vec<(&str, &str, &str, f64)> = items
+                    .iter()
+                    .map(|(c, a, v, s)| (c.as_str(), a.as_str(), v.as_str(), *s))
+                    .collect();
+                let applied = client.insert_preferences(USER, &borrowed).map_err(run)?;
+                Ok(Some(format!(
+                    "{applied} preference(s) stored remotely in one batch"
+                )))
+            }
             "checkpoint" => Ok(Some(client.checkpoint().map_err(run)?)),
             "flush" => Ok(Some(client.flush_wal().map_err(run)?)),
             "wal-status" => Ok(Some(client.wal_status().map_err(run)?)),
@@ -441,7 +479,7 @@ impl Repl {
             "stats" => Ok(Some(client.stats().map_err(run)?)),
             other => Err(format!(
                 "unknown remote command {other:?} — ping, query <values>, query-desc <descriptor>, \
-                 pref, del, score, checkpoint, flush, wal-status, repl-status, stats"
+                 pref, bulk-pref, del, score, checkpoint, flush, wal-status, repl-status, stats"
             )),
         }
     }
@@ -960,8 +998,8 @@ commands:
   repl-status               roles, epochs, lag, and promotion history
   serve <addr>|stop         serve the database over TCP (framed protocol)
   remote <addr> <cmd>       drive a remote server (ping, query <values>,
-                            query-desc, pref, del, score, checkpoint, flush,
-                            wal-status, repl-status, stats)
+                            query-desc, pref, bulk-pref, del, score,
+                            checkpoint, flush, wal-status, repl-status, stats)
   route [<addrs…>|off]      connect a routing tier (one arg per cluster,
                             comma-separated endpoints) or show the table
   route-status [cluster]    probe routed clusters: primary, users, breaker
