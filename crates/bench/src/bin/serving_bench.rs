@@ -9,6 +9,7 @@
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --replication # ack modes + failover → BENCH_PR4.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --net      # pipelined loopback vs in-process → BENCH_PR7.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --router   # routing tier + migration → BENCH_PR6.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --scrub    # scrub overhead on the append path → BENCH_PR8.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick    # CI smoke (short window, no hard gate)
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
 //! ```
@@ -25,6 +26,7 @@ use ctxpref_bench::durability::{self, DurabilityBenchConfig};
 use ctxpref_bench::net::{self, NetBenchConfig};
 use ctxpref_bench::replication::{self, ReplicationBenchConfig};
 use ctxpref_bench::router::{self, RouterBenchConfig};
+use ctxpref_bench::scrub::{self, ScrubBenchConfig};
 use ctxpref_bench::serving::{self, ServingBenchConfig};
 use ctxpref_bench::ShapeCheck;
 
@@ -35,13 +37,16 @@ fn main() {
     let replication_mode = args.iter().any(|a| a == "--replication");
     let net_mode = args.iter().any(|a| a == "--net");
     let router_mode = args.iter().any(|a| a == "--router");
+    let scrub_mode = args.iter().any(|a| a == "--scrub");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if router_mode {
+            if scrub_mode {
+                "BENCH_PR8.json"
+            } else if router_mode {
                 "BENCH_PR6.json"
             } else if net_mode {
                 "BENCH_PR7.json"
@@ -55,7 +60,14 @@ fn main() {
             .to_string()
         });
 
-    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if router_mode {
+    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if scrub_mode {
+        let mut cfg = ScrubBenchConfig::default();
+        if quick {
+            cfg.window = Duration::from_millis(250);
+        }
+        let report = scrub::run(cfg);
+        (report.render(), report.to_json(), report.checks)
+    } else if router_mode {
         let mut cfg = RouterBenchConfig::default();
         if quick {
             cfg.window = Duration::from_millis(250);

@@ -30,6 +30,7 @@ pub mod net;
 pub mod qcache_exp;
 pub mod replication;
 pub mod router;
+pub mod scrub;
 pub mod serving;
 pub mod table1;
 pub mod tablefmt;

@@ -116,6 +116,30 @@ pub mod sites {
         ROUTER_MIGRATE_CUTOVER,
     ];
 
+    /// Reading framed records back out of a WAL segment (recovery
+    /// replay and catch-up reads): an injected error models a read
+    /// I/O failure — the sector is there but the disk won't serve it.
+    pub const WAL_READ: &str = "wal.read";
+    /// One file visited by the background scrubber: an injected error
+    /// models a transient read failure during verification (the
+    /// scrubber must skip the file, count it, and keep walking — a
+    /// flaky read is not corruption and must not quarantine).
+    pub const WAL_SCRUB: &str = "wal.scrub";
+    /// Loading a checkpoint snapshot for scrub verification or
+    /// recovery: an injected error models an unreadable snapshot.
+    pub const CHECKPOINT_READ: &str = "checkpoint.read";
+    /// The volume running out of space: while the fault fires, WAL
+    /// appends shed with a typed retryable `DiskFull` error; reads
+    /// keep serving and writes resume when the window closes.
+    pub const DISK_FULL: &str = "disk.full";
+
+    /// Every registered disk-fault site: the disk-chaos matrix drives
+    /// ENOSPC windows, read I/O errors, and at-rest corruption through
+    /// these, and the self-healing invariants (no acked-write loss
+    /// while a healthy replica exists, no panic, digest convergence
+    /// after repair) must hold under any combination.
+    pub const DISK_SITES: &[&str] = &[WAL_READ, WAL_SCRUB, CHECKPOINT_READ, DISK_FULL];
+
     /// Every registered TCP serving-layer site: the socket chaos tests
     /// drive refused accepts, torn frames, stalls, and dropped
     /// connections through these, and the serving/replication
@@ -206,6 +230,10 @@ enum Trigger {
     AtHits(Vec<u64>),
     /// Every `n`-th hit (n ≥ 1).
     EveryNth(u64),
+    /// Every hit in the inclusive 1-based window `[first, last]` — a
+    /// sustained condition (a full disk, a long brown-out) rather than
+    /// a point fault.
+    HitWindow(u64, u64),
 }
 
 #[derive(Debug, Clone)]
@@ -240,6 +268,7 @@ impl Rule {
             }
             Trigger::AtHits(hits) => hits.contains(&hit),
             Trigger::EveryNth(n) => hit.is_multiple_of((*n).max(1)),
+            Trigger::HitWindow(first, last) => (*first..=*last).contains(&hit),
         }
     }
 }
@@ -333,6 +362,16 @@ impl FaultPlanBuilder {
     #[must_use]
     pub fn fail_every(self, site: &str, n: u64) -> Self {
         self.rule(site, Trigger::EveryNth(n), FaultKind::Error)
+    }
+
+    /// Fail every hit of `site` inside the inclusive 1-based window
+    /// `[first, last]` — a sustained outage (ENOSPC until space is
+    /// freed) rather than a point fault. Hits before and after the
+    /// window succeed, so recovery-after-the-condition-clears is
+    /// exercised in the same run.
+    #[must_use]
+    pub fn fail_between(self, site: &str, first: u64, last: u64) -> Self {
+        self.rule(site, Trigger::HitWindow(first, last), FaultKind::Error)
     }
 
     /// Panic at `site` with per-hit probability `p`.
@@ -565,6 +604,85 @@ pub fn hit_io(site: &str) -> std::io::Result<()> {
     hit(site).map_err(std::io::Error::other)
 }
 
+/// At-rest corruption: deterministic bit flips and truncations of
+/// named files *between* operations, modelling media decay rather than
+/// in-flight I/O faults. The disk-chaos matrix damages sealed WAL
+/// segments and checkpoint snapshots through these and asserts the
+/// scrubber quarantines (and replication repairs) every injury.
+pub mod at_rest {
+    use std::fs::OpenOptions;
+    use std::io::{Read, Seek, SeekFrom, Write};
+    use std::path::Path;
+
+    use super::{fnv, mix};
+
+    /// Where a file was damaged, for test logs and assertions.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Damage {
+        /// One bit at this byte offset was inverted.
+        BitFlip {
+            /// Byte offset of the flipped bit.
+            offset: u64,
+        },
+        /// The file was cut down to this length.
+        Truncated {
+            /// The file's new length.
+            len: u64,
+        },
+    }
+
+    /// Seed material that is stable across runs: the file *name* (not
+    /// the tempdir-prefixed path) and length.
+    fn file_salt(path: &Path, len: u64) -> u64 {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        mix(fnv(&name), len)
+    }
+
+    /// Deterministically invert one bit of `path`, skipping the first
+    /// `min_offset` bytes (so a test can spare a header and target
+    /// payload bytes). Returns `None` without touching the file when
+    /// it has no bytes past `min_offset`. The damaged offset depends
+    /// only on `(seed, file name, file length)`.
+    pub fn flip_bit(path: &Path, seed: u64, min_offset: u64) -> std::io::Result<Option<Damage>> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len <= min_offset {
+            return Ok(None);
+        }
+        let h = mix(seed ^ file_salt(path, len), 0x1);
+        let offset = min_offset + h % (len - min_offset);
+        let bit = (h >> 32) % 8;
+        let mut byte = [0u8];
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut byte)?;
+        byte[0] ^= 1 << bit;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(&byte)?;
+        file.sync_all()?;
+        Ok(Some(Damage::BitFlip { offset }))
+    }
+
+    /// Deterministically truncate `path` to a length in
+    /// `[min_offset, len)`. Returns `None` without touching the file
+    /// when it has no bytes past `min_offset`. The cut point depends
+    /// only on `(seed, file name, file length)`.
+    pub fn truncate(path: &Path, seed: u64, min_offset: u64) -> std::io::Result<Option<Damage>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len <= min_offset {
+            return Ok(None);
+        }
+        let h = mix(seed ^ file_salt(path, len), 0x2);
+        let new_len = min_offset + h % (len - min_offset);
+        file.set_len(new_len)?;
+        file.sync_all()?;
+        Ok(Some(Damage::Truncated { len: new_len }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,6 +773,65 @@ mod tests {
         assert_eq!(plan.hit_counts().len(), 2);
         // The registry lists the write-path matrix.
         assert!(sites::DURABILITY_SITES.contains(&sites::WAL_APPEND_SYNC));
+    }
+
+    #[test]
+    fn hit_window_covers_a_contiguous_range() {
+        let plan = FaultPlan::builder(9)
+            .fail_between("disk.full", 3, 5)
+            .build();
+        let outcomes = plan.run(|| {
+            (0..8)
+                .map(|_| hit("disk.full").is_err())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(
+            outcomes,
+            [false, false, true, true, true, false, false, false],
+            "window [3,5] must fail exactly hits 3..=5 and recover after"
+        );
+        assert!(sites::DISK_SITES.contains(&sites::DISK_FULL));
+        assert!(sites::DISK_SITES.contains(&sites::WAL_SCRUB));
+    }
+
+    #[test]
+    fn at_rest_damage_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!(
+            "ctxpref-faults-at-rest-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-000001.wal");
+        let payload: Vec<u8> = (0..200u8).collect();
+
+        std::fs::write(&path, &payload).unwrap();
+        let a = at_rest::flip_bit(&path, 42, 24).unwrap().unwrap();
+        let damaged_a = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &payload).unwrap();
+        let b = at_rest::flip_bit(&path, 42, 24).unwrap().unwrap();
+        let damaged_b = std::fs::read(&path).unwrap();
+        assert_eq!(a, b, "same seed must damage the same bit");
+        assert_eq!(damaged_a, damaged_b);
+        assert_ne!(damaged_a, payload, "a bit must actually have flipped");
+        let at_rest::Damage::BitFlip { offset } = a else {
+            panic!("flip_bit must report a bit flip");
+        };
+        assert!(offset >= 24, "the protected header must be spared");
+
+        std::fs::write(&path, &payload).unwrap();
+        let cut = at_rest::truncate(&path, 42, 24).unwrap().unwrap();
+        let at_rest::Damage::Truncated { len } = cut else {
+            panic!("truncate must report a cut");
+        };
+        assert!((24..200).contains(&len));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len);
+
+        // Nothing past the protected prefix: both helpers decline.
+        std::fs::write(&path, &payload[..10]).unwrap();
+        assert_eq!(at_rest::flip_bit(&path, 42, 24).unwrap(), None);
+        assert_eq!(at_rest::truncate(&path, 42, 24).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -604,6 +604,23 @@ impl NetClient {
         }
     }
 
+    /// Run one scrub pass on the server now; returns the pass's
+    /// verification/quarantine/heal figures.
+    pub fn scrub(&mut self) -> Result<Response, NetError> {
+        match self.request(&Request::Scrub)? {
+            r @ Response::ScrubReport { .. } => Ok(r),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The server's self-healing counters, without running a pass.
+    pub fn scrub_status(&mut self) -> Result<Response, NetError> {
+        match self.request(&Request::ScrubStatus)? {
+            r @ Response::ScrubInfo { .. } => Ok(r),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// One migration step for `user` under routing epoch `epoch`. The
     /// response shape depends on the action (a cut, a snapshot, a
     /// record page, a watermark, …), so the raw [`Response`] comes

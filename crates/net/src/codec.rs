@@ -289,6 +289,8 @@ const RQ_STATS: u8 = 13;
 const RQ_ROUTE_STATUS: u8 = 14;
 const RQ_MIGRATE: u8 = 15;
 const RQ_BATCH: u8 = 16;
+const RQ_SCRUB: u8 = 17;
+const RQ_SCRUB_STATUS: u8 = 18;
 
 // Migrate action tags.
 const MA_EXPORT: u8 = 1;
@@ -318,6 +320,8 @@ const RS_GONE: u8 = 13;
 const RS_APPLIED: u8 = 14;
 const RS_ROUTE_INFO: u8 = 15;
 const RS_BATCH: u8 = 16;
+const RS_SCRUB_REPORT: u8 = 17;
+const RS_SCRUB_INFO: u8 = 18;
 
 fn req_tag(req: &Request) -> u8 {
     match req {
@@ -337,6 +341,8 @@ fn req_tag(req: &Request) -> u8 {
         Request::RouteStatus => RQ_ROUTE_STATUS,
         Request::MigrateUser { .. } => RQ_MIGRATE,
         Request::Batch { .. } => RQ_BATCH,
+        Request::Scrub => RQ_SCRUB,
+        Request::ScrubStatus => RQ_SCRUB_STATUS,
     }
 }
 
@@ -348,7 +354,9 @@ fn put_request_body(out: &mut Vec<u8>, req: &Request) {
         | Request::WalStatus
         | Request::ReplStatus
         | Request::Stats
-        | Request::RouteStatus => {}
+        | Request::RouteStatus
+        | Request::Scrub
+        | Request::ScrubStatus => {}
         Request::Query {
             user,
             attr,
@@ -507,6 +515,8 @@ fn decode_request_body(
         RQ_REPL_STATUS => Request::ReplStatus,
         RQ_STATS => Request::Stats,
         RQ_ROUTE_STATUS => Request::RouteStatus,
+        RQ_SCRUB => Request::Scrub,
+        RQ_SCRUB_STATUS => Request::ScrubStatus,
         RQ_QUERY => {
             let user = dec.str_()?;
             let attr = dec.str_()?;
@@ -649,6 +659,8 @@ fn resp_tag(resp: &Response) -> u8 {
         Response::Applied { .. } => RS_APPLIED,
         Response::RouteInfo { .. } => RS_ROUTE_INFO,
         Response::Batch { .. } => RS_BATCH,
+        Response::ScrubReport { .. } => RS_SCRUB_REPORT,
+        Response::ScrubInfo { .. } => RS_SCRUB_INFO,
     }
 }
 
@@ -728,6 +740,36 @@ fn put_response_body(out: &mut Vec<u8>, resp: &Response) {
                 out.push(resp_tag(sub));
                 put_response_body(out, sub);
             }
+        }
+        Response::ScrubReport {
+            segments_verified,
+            checkpoints_verified,
+            read_errors,
+            quarantined,
+            healed,
+        } => {
+            put_uv(out, *segments_verified);
+            put_uv(out, *checkpoints_verified);
+            put_uv(out, *read_errors);
+            put_uv(out, *quarantined);
+            out.push(u8::from(*healed));
+        }
+        Response::ScrubInfo {
+            passes,
+            quarantined,
+            read_errors,
+            heals,
+            rescued_shards,
+            disk_full_sheds,
+            rotate_failures,
+        } => {
+            put_uv(out, *passes);
+            put_uv(out, *quarantined);
+            put_uv(out, *read_errors);
+            put_uv(out, *heals);
+            put_uv(out, *rescued_shards);
+            put_uv(out, *disk_full_sheds);
+            put_uv(out, *rotate_failures);
         }
     }
 }
@@ -846,6 +888,22 @@ fn decode_response_body(
         RS_APPLIED => Response::Applied {
             watermark: dec.uv()?,
         },
+        RS_SCRUB_REPORT => Response::ScrubReport {
+            segments_verified: dec.uv()?,
+            checkpoints_verified: dec.uv()?,
+            read_errors: dec.uv()?,
+            quarantined: dec.uv()?,
+            healed: dec.u8()? != 0,
+        },
+        RS_SCRUB_INFO => Response::ScrubInfo {
+            passes: dec.uv()?,
+            quarantined: dec.uv()?,
+            read_errors: dec.uv()?,
+            heals: dec.uv()?,
+            rescued_shards: dec.uv()?,
+            disk_full_sheds: dec.uv()?,
+            rotate_failures: dec.uv()?,
+        },
         RS_ROUTE_INFO => Response::RouteInfo {
             has_primary: dec.u8()? != 0,
             epoch: dec.uv()?,
@@ -959,6 +1017,8 @@ mod tests {
         roundtrip_req(Request::ReplStatus);
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::RouteStatus);
+        roundtrip_req(Request::Scrub);
+        roundtrip_req(Request::ScrubStatus);
         for action in [
             MigrateAction::Export,
             MigrateAction::Snapshot,
@@ -1064,6 +1124,22 @@ mod tests {
                     message: "nope".into(),
                 },
             ],
+        });
+        roundtrip_resp(Response::ScrubReport {
+            segments_verified: 12,
+            checkpoints_verified: 1,
+            read_errors: 2,
+            quarantined: 1,
+            healed: true,
+        });
+        roundtrip_resp(Response::ScrubInfo {
+            passes: 9,
+            quarantined: 1,
+            read_errors: 3,
+            heals: 1,
+            rescued_shards: 2,
+            disk_full_sheds: 4,
+            rotate_failures: 0,
         });
     }
 

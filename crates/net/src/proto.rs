@@ -100,6 +100,14 @@ pub enum Request {
     WalStatus,
     /// Replication roles, epochs, lag, promotion history.
     ReplStatus,
+    /// Run one scrub pass now: verify sealed WAL segments and the
+    /// checkpoint at rest, quarantine and heal what fails (durable
+    /// services only). Retry-safe: a re-run re-verifies and finds the
+    /// damage already quarantined.
+    Scrub,
+    /// Self-healing counters — scrub passes, quarantined files, heals,
+    /// rescues — without running a pass.
+    ScrubStatus,
     /// Serving-layer counters.
     Stats,
     /// What a router needs from one probe: primary presence, epoch,
@@ -252,6 +260,8 @@ impl Request {
             Self::FlushWal => format!("{PROTO_VERSION} flush"),
             Self::WalStatus => format!("{PROTO_VERSION} wal-status"),
             Self::ReplStatus => format!("{PROTO_VERSION} repl-status"),
+            Self::Scrub => format!("{PROTO_VERSION} scrub"),
+            Self::ScrubStatus => format!("{PROTO_VERSION} scrub-status"),
             Self::Stats => format!("{PROTO_VERSION} stats"),
             Self::RouteStatus => format!("{PROTO_VERSION} route-status"),
             Self::MigrateUser {
@@ -387,6 +397,8 @@ impl Request {
             ("flush", []) => Ok(Self::FlushWal),
             ("wal-status", []) => Ok(Self::WalStatus),
             ("repl-status", []) => Ok(Self::ReplStatus),
+            ("scrub", []) => Ok(Self::Scrub),
+            ("scrub-status", []) => Ok(Self::ScrubStatus),
             ("stats", []) => Ok(Self::Stats),
             ("route-status", []) => Ok(Self::RouteStatus),
             ("migrate", [epoch, step, args @ ..]) => {
@@ -634,6 +646,36 @@ pub enum Response {
         /// The destination's import watermark after the page.
         watermark: u64,
     },
+    /// The outcome of one [`Request::Scrub`] pass.
+    ScrubReport {
+        /// Sealed WAL segments whose checksums and LSN chain verified.
+        segments_verified: u64,
+        /// Checkpoint snapshots that loaded cleanly.
+        checkpoints_verified: u64,
+        /// Files skipped on a transient read error (retried next pass).
+        read_errors: u64,
+        /// Files quarantined as corrupt by this pass.
+        quarantined: u64,
+        /// Whether a fresh checkpoint healed over the quarantined loss.
+        healed: bool,
+    },
+    /// The self-healing counters ([`Request::ScrubStatus`]).
+    ScrubInfo {
+        /// Scrub passes completed since the service started.
+        passes: u64,
+        /// Files quarantined across all passes.
+        quarantined: u64,
+        /// Transient read errors across all passes.
+        read_errors: u64,
+        /// Passes that healed damage with a fresh checkpoint.
+        heals: u64,
+        /// WAL shards recovery rescued via quarantine.
+        rescued_shards: u64,
+        /// Appends shed with a typed retryable disk-full error.
+        disk_full_sheds: u64,
+        /// Size-triggered segment rotations that failed.
+        rotate_failures: u64,
+    },
     /// What a router needs from one probe.
     RouteInfo {
         /// Whether a primary currently serves writes.
@@ -715,6 +757,29 @@ impl Response {
             }
             Self::Gone => format!("{PROTO_VERSION} gone"),
             Self::Applied { watermark } => format!("{PROTO_VERSION} applied {watermark}"),
+            Self::ScrubReport {
+                segments_verified,
+                checkpoints_verified,
+                read_errors,
+                quarantined,
+                healed,
+            } => format!(
+                "{PROTO_VERSION} scrub-report {segments_verified} {checkpoints_verified} \
+                 {read_errors} {quarantined} {}",
+                u8::from(*healed)
+            ),
+            Self::ScrubInfo {
+                passes,
+                quarantined,
+                read_errors,
+                heals,
+                rescued_shards,
+                disk_full_sheds,
+                rotate_failures,
+            } => format!(
+                "{PROTO_VERSION} scrub-info {passes} {quarantined} {read_errors} {heals} \
+                 {rescued_shards} {disk_full_sheds} {rotate_failures}"
+            ),
             Self::RouteInfo {
                 has_primary,
                 epoch,
@@ -823,6 +888,26 @@ impl Response {
             ["applied", watermark] => Ok(Self::Applied {
                 watermark: num(watermark, "watermark")?,
             }),
+            ["scrub-report", segments, checkpoints, read_errors, quarantined, healed] => {
+                Ok(Self::ScrubReport {
+                    segments_verified: num(segments, "segments_verified")?,
+                    checkpoints_verified: num(checkpoints, "checkpoints_verified")?,
+                    read_errors: num(read_errors, "read_errors")?,
+                    quarantined: num(quarantined, "quarantined")?,
+                    healed: *healed == "1",
+                })
+            }
+            ["scrub-info", passes, quarantined, read_errors, heals, rescued, sheds, rot] => {
+                Ok(Self::ScrubInfo {
+                    passes: num(passes, "passes")?,
+                    quarantined: num(quarantined, "quarantined")?,
+                    read_errors: num(read_errors, "read_errors")?,
+                    heals: num(heals, "heals")?,
+                    rescued_shards: num(rescued, "rescued_shards")?,
+                    disk_full_sheds: num(sheds, "disk_full_sheds")?,
+                    rotate_failures: num(rot, "rotate_failures")?,
+                })
+            }
             ["route-info", has_primary, epoch, users, migrations] => Ok(Self::RouteInfo {
                 has_primary: *has_primary == "1",
                 epoch: num(epoch, "epoch")?,
@@ -907,8 +992,13 @@ mod tests {
         roundtrip_req(Request::FlushWal);
         roundtrip_req(Request::WalStatus);
         roundtrip_req(Request::ReplStatus);
+        roundtrip_req(Request::Scrub);
+        roundtrip_req(Request::ScrubStatus);
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::RouteStatus);
+        // Scrub verbs are maintenance reads/repairs: retry-safe.
+        assert!(Request::Scrub.is_idempotent());
+        assert!(Request::ScrubStatus.is_idempotent());
     }
 
     #[test]
@@ -1022,6 +1112,22 @@ mod tests {
         });
         roundtrip_resp(Response::Gone);
         roundtrip_resp(Response::Applied { watermark: 88 });
+        roundtrip_resp(Response::ScrubReport {
+            segments_verified: 12,
+            checkpoints_verified: 1,
+            read_errors: 2,
+            quarantined: 1,
+            healed: true,
+        });
+        roundtrip_resp(Response::ScrubInfo {
+            passes: 9,
+            quarantined: 1,
+            read_errors: 3,
+            heals: 1,
+            rescued_shards: 2,
+            disk_full_sheds: 4,
+            rotate_failures: 0,
+        });
         roundtrip_resp(Response::RouteInfo {
             has_primary: true,
             epoch: 4,
@@ -1099,6 +1205,8 @@ mod tests {
             b"ctxpref1 migrate 1 apply u 1 2\nrec 1 00",
             b"ctxpref1 snapshot 1 1\nbogus line",
             b"ctxpref1 records 5 1\nrec x 00",
+            b"ctxpref1 scrub-report 1 2 3",
+            b"ctxpref1 scrub-info 1 2 3 4 5 6 x",
         ] {
             assert!(Request::decode(payload).is_err());
             assert!(Response::decode(payload).is_err());

@@ -1095,6 +1095,28 @@ fn dispatch_inner(service: &CtxPrefService, cfg: &NetServerConfig, req: &Request
             }
             Response::Text { body }
         }
+        Request::Scrub => match service.scrub() {
+            Ok(report) => Response::ScrubReport {
+                segments_verified: report.segments_verified,
+                checkpoints_verified: report.checkpoints_verified,
+                read_errors: report.read_errors,
+                quarantined: report.quarantined.len() as u64,
+                healed: report.healed,
+            },
+            Err(e) => err_of(&e),
+        },
+        Request::ScrubStatus => match service.scrub_status() {
+            Ok(s) => Response::ScrubInfo {
+                passes: s.passes,
+                quarantined: s.quarantined,
+                read_errors: s.read_errors,
+                heals: s.heals,
+                rescued_shards: s.rescued_shards,
+                disk_full_sheds: s.disk_full_sheds,
+                rotate_failures: s.rotate_failures,
+            },
+            Err(e) => err_of(&e),
+        },
         Request::RouteStatus => {
             let info = service.route_info();
             Response::RouteInfo {

@@ -102,6 +102,8 @@ fn recorded_requests() -> Vec<Request> {
         Request::FlushWal,
         Request::WalStatus,
         Request::ReplStatus,
+        Request::Scrub,
+        Request::ScrubStatus,
         Request::Stats,
     ]
 }

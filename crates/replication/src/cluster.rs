@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ctxpref_core::ShardedMultiUserDb;
-use ctxpref_wal::{Ack, DurableDb, WalError, WalOp, WalOptions};
+use ctxpref_wal::{Ack, DurableDb, ScrubReport, WalError, WalOp, WalOptions};
 use parking_lot::Mutex;
 
 use crate::digest::node_digests;
@@ -100,6 +100,9 @@ pub struct NodeStatus {
     pub epoch: u64,
     /// Total applied LSNs across shards (its replication position).
     pub applied: u64,
+    /// Shards the node's last recovery rescued via quarantine (it came
+    /// back clean-but-behind and repairs through shipping).
+    pub rescued_shards: u64,
 }
 
 /// A point-in-time view of the cluster.
@@ -117,6 +120,10 @@ pub struct ClusterStatus {
     /// How far the laggiest live replica trails the primary, in
     /// applied records (0 with no primary or no live replica).
     pub max_lag: u64,
+    /// Scrub passes completed through [`Cluster::scrub_node`].
+    pub scrub_passes: u64,
+    /// Files those passes quarantined, cluster-wide.
+    pub scrub_quarantined: u64,
 }
 
 /// What one [`Cluster::tick`] did.
@@ -147,6 +154,10 @@ struct ClusterState {
     /// Consecutive ticks each replica failed to reach the primary.
     missed: Vec<u32>,
     promotions: Vec<(u64, NodeId)>,
+    /// Scrub passes completed through [`Cluster::scrub_node`].
+    scrub_passes: u64,
+    /// Files those passes quarantined, cluster-wide.
+    scrub_quarantined: u64,
 }
 
 /// A primary/replica group over one [`NodeTransport`] — in-process by
@@ -205,6 +216,8 @@ impl Cluster {
                 cursors: HashMap::new(),
                 missed: vec![0; config.nodes],
                 promotions: vec![(1, 0)],
+                scrub_passes: 0,
+                scrub_quarantined: 0,
             }),
             on_promotion: Mutex::new(None),
             on_demotion: Mutex::new(None),
@@ -314,6 +327,28 @@ impl Cluster {
         st.nodes[id] = Some(node);
         st.missed[id] = 0;
         Ok(())
+    }
+
+    /// Run one scrub pass on node `id`'s durable directory. The
+    /// cluster lock is **not** held during the scan — scrubbing a
+    /// replica never stalls writes or shipping; only the counter
+    /// update re-takes it. A quarantined-and-healed node keeps
+    /// serving; a quarantine whose heal failed is repaired on the next
+    /// restart (recovery consults quarantine, then shipping and
+    /// anti-entropy re-fetch the lost suffix from a healthy peer).
+    pub fn scrub_node(&self, id: NodeId) -> Result<ScrubReport, ReplicationError> {
+        let node = {
+            let st = self.state.lock();
+            st.nodes
+                .get(id)
+                .and_then(|n| n.clone())
+                .ok_or(ReplicationError::NodeDown { node: id })?
+        };
+        let report = node.scrub()?;
+        let mut st = self.state.lock();
+        st.scrub_passes += 1;
+        st.scrub_quarantined += report.quarantined.len() as u64;
+        Ok(report)
     }
 
     /// Apply one logged operation through the current primary,
@@ -854,6 +889,7 @@ impl Cluster {
                     is_primary: node.is_primary(),
                     epoch: node.epoch(),
                     applied: node.applied_lsns().iter().sum(),
+                    rescued_shards: node.rescued_shards(),
                 },
                 None => NodeStatus {
                     id,
@@ -861,6 +897,7 @@ impl Cluster {
                     is_primary: false,
                     epoch: 0,
                     applied: 0,
+                    rescued_shards: 0,
                 },
             })
             .collect();
@@ -888,6 +925,8 @@ impl Cluster {
             promotions: st.promotions.clone(),
             nodes,
             max_lag,
+            scrub_passes: st.scrub_passes,
+            scrub_quarantined: st.scrub_quarantined,
         }
     }
 }

@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ctxpref_wal::{DurableDb, ReplApply, WalError, WalOptions};
+use ctxpref_wal::{DurableDb, ReplApply, ScrubReport, WalError, WalOptions};
 
 use crate::digest::node_digests;
 use crate::epoch::{load_epoch, save_epoch};
@@ -28,6 +28,11 @@ pub struct ReplNode {
     epoch: AtomicU64,
     /// Whether this node currently believes it is the primary.
     primary: AtomicBool,
+    /// WAL shards this node's recovery rescued via quarantine (a scrub
+    /// — or a crash mid-heal — had pulled segments out of service, so
+    /// the node restarted clean-but-behind instead of refusing; the
+    /// missing suffix re-ships from a healthy peer).
+    rescued_shards: u64,
 }
 
 impl ReplNode {
@@ -40,6 +45,7 @@ impl ReplNode {
             db,
             epoch: AtomicU64::new(epoch),
             primary: AtomicBool::new(primary),
+            rescued_shards: 0,
         }
     }
 
@@ -48,7 +54,7 @@ impl ReplNode {
     /// knowing it was deposed. Restarts always come back as replicas —
     /// a node must be re-promoted (with a fresh epoch) to serve writes.
     pub fn recover(id: NodeId, dir: &Path, opts: WalOptions) -> Result<Self, WalError> {
-        let (db, _report) = DurableDb::recover(dir, opts)?;
+        let (db, report) = DurableDb::recover(dir, opts)?;
         let epoch = load_epoch(dir);
         Ok(Self {
             id,
@@ -56,6 +62,7 @@ impl ReplNode {
             db: Arc::new(db),
             epoch: AtomicU64::new(epoch),
             primary: AtomicBool::new(false),
+            rescued_shards: report.rescued_shards,
         })
     }
 
@@ -82,6 +89,21 @@ impl ReplNode {
     /// Whether the node currently believes it is primary.
     pub fn is_primary(&self) -> bool {
         self.primary.load(Ordering::Acquire)
+    }
+
+    /// WAL shards this node's recovery rescued via quarantine (0 on a
+    /// clean restart). A non-zero count means the node came back
+    /// missing a log suffix and relies on shipping/anti-entropy to
+    /// re-fetch it from a healthy peer.
+    pub fn rescued_shards(&self) -> u64 {
+        self.rescued_shards
+    }
+
+    /// One scrub pass over this node's durable directory: verify
+    /// sealed segments + checkpoint, quarantine what fails, heal with
+    /// a fresh checkpoint. See [`DurableDb::scrub`].
+    pub fn scrub(&self) -> Result<ScrubReport, WalError> {
+        self.db.scrub()
     }
 
     /// Promote: adopt `epoch` (persisted before the role flips) and

@@ -65,7 +65,8 @@ pub use error::ServiceError;
 pub use ladder::{Fallback, LadderStep, ServiceAnswer};
 pub use migrate::{MigrationEntry, MigrationPhase, RouteInfo, UserExport};
 pub use service::{
-    BulkError, CtxPrefService, DurabilityConfig, ReplicatedConfig, RetryPolicy, ServiceConfig,
+    BulkError, CtxPrefService, DurabilityConfig, ReplicatedConfig, RetryPolicy, ScrubStatus,
+    ServiceConfig,
 };
 pub use stats::ServiceStats;
 
@@ -74,4 +75,6 @@ pub use stats::ServiceStats;
 pub use ctxpref_replication::{
     AckMode, Cluster, ClusterStatus, NodeId, NodeStatus, ReplicationError, RoleHook, TickReport,
 };
-pub use ctxpref_wal::{CheckpointReport, RecoveryReport, SyncPolicy, WalStatus};
+pub use ctxpref_wal::{
+    CheckpointReport, QuarantinedFile, RecoveryReport, ScrubReport, SyncPolicy, WalStatus,
+};

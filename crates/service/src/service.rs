@@ -15,7 +15,8 @@ use ctxpref_replication::{
 };
 use ctxpref_storage::StorageError;
 use ctxpref_wal::{
-    CheckpointReport, DurableDb, RecoveryReport, SyncPolicy, WalOp, WalOptions, WalStatus,
+    CheckpointReport, DurableDb, RecoveryReport, ScrubReport, SyncPolicy, WalOp, WalOptions,
+    WalStatus,
 };
 use parking_lot::{Mutex, RwLock};
 
@@ -92,23 +93,36 @@ pub struct DurabilityConfig {
     /// Take a background checkpoint this often (`None` = only when
     /// [`CtxPrefService::checkpoint`] is called).
     pub checkpoint_interval: Option<Duration>,
+    /// Run a background scrub pass this often — verify sealed WAL
+    /// segments and the checkpoint snapshot at rest, quarantine and
+    /// heal what fails (`None` = only when [`CtxPrefService::scrub`]
+    /// is called).
+    pub scrub_interval: Option<Duration>,
 }
 
 impl DurabilityConfig {
     /// Durability under `dir` with the conservative defaults: fsync
-    /// per record, 1 MiB segments, a background checkpoint every 60 s.
+    /// per record, 1 MiB segments, a background checkpoint every 60 s,
+    /// a background scrub every 5 min.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             sync: SyncPolicy::PerRecord,
             segment_max_bytes: 1 << 20,
             checkpoint_interval: Some(Duration::from_secs(60)),
+            scrub_interval: Some(Duration::from_secs(300)),
         }
     }
 
     /// Switch to group commit with the given flush interval.
     pub fn group_commit(mut self, flush_interval: Duration) -> Self {
         self.sync = SyncPolicy::GroupCommit { flush_interval };
+        self
+    }
+
+    /// Set (or disable, with `None`) the background scrub interval.
+    pub fn scrub_every(mut self, interval: Option<Duration>) -> Self {
+        self.scrub_interval = interval;
         self
     }
 
@@ -151,6 +165,9 @@ pub struct ReplicatedConfig {
     /// records, probe the primary, fail over). `None` = no background
     /// thread; drive [`CtxPrefService::tick_replication`] manually.
     pub tick_interval: Option<Duration>,
+    /// Run a background scrub pass over every live node this often
+    /// (`None` = only when [`CtxPrefService::scrub`] is called).
+    pub scrub_interval: Option<Duration>,
 }
 
 impl ReplicatedConfig {
@@ -167,12 +184,19 @@ impl ReplicatedConfig {
             auto_failover: true,
             heartbeat_threshold: 3,
             tick_interval: Some(Duration::from_millis(25)),
+            scrub_interval: Some(Duration::from_secs(300)),
         }
     }
 
     /// Switch to async acks (primary-only durability before the ack).
     pub fn async_acks(mut self) -> Self {
         self.ack_mode = AckMode::Async;
+        self
+    }
+
+    /// Set (or disable, with `None`) the background scrub interval.
+    pub fn scrub_every(mut self, interval: Option<Duration>) -> Self {
+        self.scrub_interval = interval;
         self
     }
 
@@ -296,6 +320,7 @@ pub struct CtxPrefService {
     cluster: Option<Arc<Cluster>>,
     maintenance: Vec<(mpsc::Sender<()>, JoinHandle<()>)>,
     recovered_lsn: u64,
+    recovered_rescued_shards: u64,
     migrations: MigrationTable,
 }
 
@@ -306,6 +331,42 @@ impl std::fmt::Debug for CtxPrefService {
             .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
+}
+
+/// Fold one scrub pass's outcome into the service counters.
+fn record_scrub(counters: &Counters, report: &ScrubReport) {
+    counters.scrub_passes.fetch_add(1, Ordering::Relaxed);
+    counters
+        .scrub_quarantined
+        .fetch_add(report.quarantined.len() as u64, Ordering::Relaxed);
+    counters
+        .scrub_read_errors
+        .fetch_add(report.read_errors, Ordering::Relaxed);
+    if report.healed {
+        counters.scrub_heals.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The self-healing storage counters, as reported by
+/// [`CtxPrefService::scrub_status`] (and the `scrub-status` wire verb):
+/// what scrubbing has found and done since the service started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStatus {
+    /// Scrub passes completed (manual and background).
+    pub passes: u64,
+    /// Files quarantined (corrupt sealed segments or checkpoints).
+    pub quarantined: u64,
+    /// Files skipped on a transient read error (retried next pass).
+    pub read_errors: u64,
+    /// Passes that healed damage with a fresh checkpoint.
+    pub heals: u64,
+    /// WAL shards recovery rescued via quarantine (the node restarted
+    /// clean-but-behind; replication re-fetches the lost suffix).
+    pub rescued_shards: u64,
+    /// Appends shed with a typed retryable disk-full error.
+    pub disk_full_sheds: u64,
+    /// Size-triggered segment rotations that failed (retried later).
+    pub rotate_failures: u64,
 }
 
 impl CtxPrefService {
@@ -352,6 +413,7 @@ impl CtxPrefService {
         let durable = Arc::new(durable);
         let mut service = Self::new_arc(Arc::clone(durable.db()), cfg);
         service.recovered_lsn = report.recovered_lsn();
+        service.recovered_rescued_shards = report.rescued_shards;
         service.attach_durability(durable, &dcfg);
         Ok((service, report))
     }
@@ -387,6 +449,7 @@ impl CtxPrefService {
             cluster: None,
             maintenance: Vec::new(),
             recovered_lsn: 0,
+            recovered_rescued_shards: 0,
             migrations: MigrationTable::default(),
         }
     }
@@ -488,6 +551,28 @@ impl CtxPrefService {
                 .expect("spawning the replication flusher thread");
             self.maintenance.push((stop, handle));
         }
+        if let Some(interval) = rcfg.scrub_interval {
+            let cluster = Arc::clone(&cluster);
+            let counters = Arc::clone(&self.counters);
+            let (stop, stopped) = mpsc::channel::<()>();
+            let handle = std::thread::Builder::new()
+                .name("ctxpref-scrubber".to_string())
+                .spawn(move || {
+                    while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(interval)
+                    {
+                        for id in 0..cluster.config().nodes {
+                            let cluster = Arc::clone(&cluster);
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(move || cluster.scrub_node(id)));
+                            if let Ok(Ok(report)) = outcome {
+                                record_scrub(&counters, &report);
+                            }
+                        }
+                    }
+                })
+                .expect("spawning the scrubber thread");
+            self.maintenance.push((stop, handle));
+        }
         self.cluster = Some(cluster);
     }
 
@@ -531,6 +616,25 @@ impl CtxPrefService {
                 .expect("spawning the WAL flusher thread");
             self.maintenance.push((stop, handle));
         }
+        if let Some(interval) = dcfg.scrub_interval {
+            let db = Arc::clone(&durable);
+            let counters = Arc::clone(&self.counters);
+            let (stop, stopped) = mpsc::channel::<()>();
+            let handle = std::thread::Builder::new()
+                .name("ctxpref-scrubber".to_string())
+                .spawn(move || {
+                    while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(interval)
+                    {
+                        let db = Arc::clone(&db);
+                        let outcome = catch_unwind(AssertUnwindSafe(move || db.scrub()));
+                        if let Ok(Ok(report)) = outcome {
+                            record_scrub(&counters, &report);
+                        }
+                    }
+                })
+                .expect("spawning the scrubber thread");
+            self.maintenance.push((stop, handle));
+        }
         self.durable = Some(durable);
     }
 
@@ -562,13 +666,19 @@ impl CtxPrefService {
         if let Some(d) = self.durable_db() {
             stats.wal_appends = d.wal_appends();
             stats.group_commit_batches = d.group_commit_batches();
+            let health = d.wal_health();
+            stats.wal_rotate_failures = health.rotate_failures;
+            stats.wal_disk_full_sheds = health.disk_full_sheds;
+            stats.repl_apply_rejects = d.repl_apply_rejects();
         }
         stats.recovered_lsn = self.recovered_lsn;
+        stats.rescued_shards = self.recovered_rescued_shards;
         if let Some(c) = &self.cluster {
             let status = c.status();
             stats.replication_epoch = status.epoch;
             stats.replication_max_lag = status.max_lag;
             stats.failovers = (status.promotions.len() as u64).saturating_sub(1);
+            stats.rescued_shards = status.nodes.iter().map(|n| n.rescued_shards).sum();
         }
         if let Some(plan) = ctxpref_faults::current() {
             let mut hits: Vec<(String, u64)> = plan.hit_counts().into_iter().collect();
@@ -1288,6 +1398,58 @@ impl CtxPrefService {
         let report = durable.checkpoint()?;
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// Run one scrub pass now: verify every sealed WAL segment and the
+    /// checkpoint snapshot at rest, quarantine what fails its checksum,
+    /// and heal the directory with a fresh checkpoint. On a replicated
+    /// service every **live** node is scrubbed (crashed nodes are
+    /// skipped — quarantine-aware recovery covers them at restart) and
+    /// the per-node reports are merged. Never blocks the append path.
+    pub fn scrub(&self) -> Result<ScrubReport, ServiceError> {
+        if let Some(c) = &self.cluster {
+            let c = Arc::clone(c);
+            let mut merged = ScrubReport::default();
+            for id in 0..c.config().nodes {
+                match c.scrub_node(id) {
+                    Ok(report) => {
+                        record_scrub(&self.counters, &report);
+                        merged.segments_verified += report.segments_verified;
+                        merged.checkpoints_verified += report.checkpoints_verified;
+                        merged.read_errors += report.read_errors;
+                        merged.quarantined.extend(report.quarantined);
+                        merged.healed |= report.healed;
+                    }
+                    Err(ReplicationError::NodeDown { .. }) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            return Ok(merged);
+        }
+        let durable = self.durable_db_required()?;
+        let report = durable.scrub()?;
+        record_scrub(&self.counters, &report);
+        Ok(report)
+    }
+
+    /// The self-healing storage counters — scrub passes, quarantined
+    /// files, heals, rescues, disk-full sheds — without running a pass.
+    /// Fails with [`ServiceError::NotDurable`] on a non-durable
+    /// service (there is nothing at rest to scrub).
+    pub fn scrub_status(&self) -> Result<ScrubStatus, ServiceError> {
+        if !self.is_durable() {
+            return Err(ServiceError::NotDurable);
+        }
+        let stats = self.stats();
+        Ok(ScrubStatus {
+            passes: stats.scrub_passes,
+            quarantined: stats.scrub_quarantined,
+            read_errors: stats.scrub_read_errors,
+            heals: stats.scrub_heals,
+            rescued_shards: stats.rescued_shards,
+            disk_full_sheds: stats.wal_disk_full_sheds,
+            rotate_failures: stats.wal_rotate_failures,
+        })
     }
 
     /// Fsync all pending group-commit WAL records, returning how many

@@ -16,6 +16,10 @@ pub(crate) struct Counters {
     pub lock_wait_micros: AtomicU64,
     pub deadline_after_lock: AtomicU64,
     pub checkpoints: AtomicU64,
+    pub scrub_passes: AtomicU64,
+    pub scrub_quarantined: AtomicU64,
+    pub scrub_read_errors: AtomicU64,
+    pub scrub_heals: AtomicU64,
 }
 
 impl Counters {
@@ -34,11 +38,19 @@ impl Counters {
             lock_wait_micros: self.lock_wait_micros.load(Ordering::Relaxed),
             deadline_after_lock: self.deadline_after_lock.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
+            scrub_quarantined: self.scrub_quarantined.load(Ordering::Relaxed),
+            scrub_read_errors: self.scrub_read_errors.load(Ordering::Relaxed),
+            scrub_heals: self.scrub_heals.load(Ordering::Relaxed),
             // Durability and replication figures live on the WAL and
             // the cluster, not in these atomics; `CtxPrefService::stats`
             // overlays them after this snapshot.
             wal_appends: 0,
             group_commit_batches: 0,
+            wal_rotate_failures: 0,
+            wal_disk_full_sheds: 0,
+            repl_apply_rejects: 0,
+            rescued_shards: 0,
             recovered_lsn: 0,
             replication_epoch: 0,
             replication_max_lag: 0,
@@ -80,11 +92,33 @@ pub struct ServiceStats {
     pub deadline_after_lock: u64,
     /// Checkpoints taken (manual and background) since start.
     pub checkpoints: u64,
+    /// Scrub passes completed (manual and background) since start.
+    pub scrub_passes: u64,
+    /// Files those passes quarantined (corrupt sealed segments or
+    /// checkpoint snapshots pulled out of service).
+    pub scrub_quarantined: u64,
+    /// Files a scrub pass skipped on a transient read error (retried
+    /// next pass — not corruption, not quarantined).
+    pub scrub_read_errors: u64,
+    /// Scrub passes that healed damage with a fresh checkpoint.
+    pub scrub_heals: u64,
     /// Records appended to the write-ahead log since start (0 when the
     /// service runs without durability).
     pub wal_appends: u64,
     /// Group-commit fsync batches that synced at least one record.
     pub group_commit_batches: u64,
+    /// Size-triggered WAL segment rotations that failed (the full
+    /// segment stayed the append target; a later rotation retries).
+    pub wal_rotate_failures: u64,
+    /// Appends shed with a typed retryable disk-full error.
+    pub wal_disk_full_sheds: u64,
+    /// Replicated applies the local database rejected (logged but
+    /// refused identically on every replica — deterministic).
+    pub repl_apply_rejects: u64,
+    /// WAL shards recovery rescued via quarantine, summed across the
+    /// cluster's live nodes (0 without replication; a rescued node
+    /// restarted clean-but-behind and repairs through shipping).
+    pub rescued_shards: u64,
     /// Sum of per-shard LSNs recovered at startup (0 for a fresh or
     /// non-durable service) — how much log survived the last crash.
     pub recovered_lsn: u64,

@@ -236,3 +236,117 @@ fn sync_policy_is_observable_in_acks() {
         "per-record leaves nothing pending"
     );
 }
+
+/// A shard directory holding at least two segments, and the path of
+/// its lowest-numbered (sealed) segment.
+fn a_sealed_segment(dir: &std::path::Path) -> PathBuf {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let shard_dir = entry.unwrap().path();
+        if !shard_dir.is_dir()
+            || !shard_dir
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("shard-"))
+        {
+            continue;
+        }
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(&shard_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+            .collect();
+        if segs.len() >= 2 {
+            // Zero-padded names: lexicographic min == oldest == sealed.
+            segs.sort();
+            return segs.remove(0);
+        }
+    }
+    panic!("no shard sealed a segment; grow the workload");
+}
+
+#[test]
+fn manual_scrub_quarantines_and_heals_through_the_service() {
+    let tmp = TempDir::new("scrub");
+    let dcfg = DurabilityConfig {
+        segment_max_bytes: 256, // Seal segments quickly.
+        scrub_interval: None,
+        ..manual_dcfg(&tmp.0)
+    };
+    let service = CtxPrefService::new_durable(study_db(), small_cfg(), dcfg).unwrap();
+    for i in 0..40 {
+        let user = format!("user-{i:03}");
+        service.add_user(&user).unwrap();
+        service
+            .insert_preference_eq(
+                &user,
+                "accompanying_people = friends",
+                "type",
+                "museum".into(),
+                0.8,
+            )
+            .unwrap();
+    }
+
+    let clean = service.scrub().unwrap();
+    assert!(!clean.found_damage(), "fresh log must scrub clean");
+    assert!(clean.segments_verified > 0, "workload sealed no segments");
+    let status = service.scrub_status().unwrap();
+    assert_eq!((status.passes, status.quarantined, status.heals), (1, 0, 0));
+
+    // Rot one sealed segment at rest, past its 24-byte header.
+    let victim = a_sealed_segment(&tmp.0);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[30] ^= 0x40;
+    std::fs::write(&victim, bytes).unwrap();
+
+    let report = service.scrub().unwrap();
+    assert_eq!(
+        report.quarantined.len(),
+        1,
+        "one rotten segment: {report:?}"
+    );
+    assert!(report.healed, "scrub must checkpoint over the loss");
+    assert!(!victim.exists(), "quarantine moves the file aside");
+    let status = service.scrub_status().unwrap();
+    assert_eq!((status.passes, status.quarantined, status.heals), (2, 1, 1));
+    let stats = service.stats();
+    assert_eq!((stats.scrub_passes, stats.scrub_quarantined), (2, 1));
+
+    // The healed service still serves, and so does its next recovery.
+    assert!(service.with_db(|db| db.users_sorted().len()) == 40);
+    drop(service);
+    let (recovered, report) =
+        CtxPrefService::recover(small_cfg(), manual_dcfg(&tmp.0)).expect("healed dir recovers");
+    assert_eq!(report.rescued_shards, 0, "heal made quarantine moot");
+    assert_eq!(recovered.with_db(|db| db.users_sorted().len()), 40);
+}
+
+#[test]
+fn background_scrubber_runs_and_stays_quiet_on_a_clean_db() {
+    let tmp = TempDir::new("bg-scrub");
+    let dcfg = DurabilityConfig {
+        checkpoint_interval: None,
+        scrub_interval: Some(Duration::from_millis(10)),
+        ..DurabilityConfig::new(&tmp.0)
+    };
+    let service = CtxPrefService::new_durable(study_db(), small_cfg(), dcfg).unwrap();
+    service.add_user("alice").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.stats().scrub_passes < 2 {
+        assert!(Instant::now() < deadline, "background scrubber never ran");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.scrub_quarantined, 0, "clean db: nothing quarantined");
+    assert_eq!(stats.scrub_heals, 0, "clean db: nothing to heal");
+    drop(service); // Joins the scrubber; must not hang or panic.
+}
+
+#[test]
+fn plain_service_rejects_scrub_operations() {
+    let service = CtxPrefService::new(study_db(), small_cfg());
+    assert!(matches!(service.scrub(), Err(ServiceError::NotDurable)));
+    assert!(matches!(
+        service.scrub_status(),
+        Err(ServiceError::NotDurable)
+    ));
+}

@@ -231,3 +231,34 @@ fn background_tick_drains_lag_under_async_group_commit() {
     let db = service.shutdown();
     assert!(db.users_sorted().contains(&"user19"));
 }
+
+#[test]
+fn replicated_scrub_covers_every_live_node() {
+    let tmp = TempDir::new("scrub");
+    let service =
+        CtxPrefService::new_replicated(study_db(), small_cfg(), manual_rcfg(&tmp.0, 3)).unwrap();
+    service
+        .insert_preference_eq(
+            "alice",
+            "accompanying_people = friends",
+            "type",
+            "museum".into(),
+            0.8,
+        )
+        .unwrap();
+
+    // One service-level pass scrubs all three nodes and merges the
+    // reports: three checkpoints verified, nothing quarantined.
+    let report = service.scrub().unwrap();
+    assert!(!report.found_damage(), "fresh cluster must scrub clean");
+    assert_eq!(report.checkpoints_verified, 3);
+    let status = service.scrub_status().unwrap();
+    assert_eq!((status.passes, status.quarantined), (3, 0));
+
+    // A crashed node is skipped, not an error: quarantine-aware
+    // recovery covers it when it restarts.
+    service.cluster().unwrap().crash_node(2);
+    let report = service.scrub().unwrap();
+    assert_eq!(report.checkpoints_verified, 2, "dead node skipped");
+    assert_eq!(service.scrub_status().unwrap().passes, 5);
+}

@@ -22,9 +22,11 @@
 
 use std::fs::File;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ctxpref_core::{MultiUserDb, ShardedMultiUserDb};
+use ctxpref_faults::sites;
 use ctxpref_profile::Profile;
 use ctxpref_storage::{load_multi_user, save_multi_user};
 use parking_lot::Mutex;
@@ -32,10 +34,14 @@ use parking_lot::Mutex;
 use crate::error::{DurableError, WalError};
 use crate::manifest::{checkpoint_file_name, Manifest, ShardManifest};
 use crate::record::WalOp;
-use crate::segment::{
-    list_segments, scan_segment, segment_header, segment_path, ScannedRecord, SEGMENT_HEADER,
+use crate::scrub::{
+    quarantine_has_shard, quarantine_root, quarantine_segment, QuarantinedFile, ScrubReport,
 };
-use crate::wal::{ShardPosition, Wal, WalOptions, WalStatus};
+use crate::segment::{
+    list_segments, scan_segment, segment_header, segment_path, shard_dir, ScannedRecord,
+    SEGMENT_HEADER,
+};
+use crate::wal::{ShardPosition, Wal, WalHealth, WalOptions, WalStatus};
 
 /// The exclusive-ownership lock file inside a durable directory.
 ///
@@ -91,6 +97,15 @@ pub struct RecoveryReport {
     pub rejected: u64,
     /// Torn segment tails truncated during the scan.
     pub truncated_tails: u64,
+    /// Segments recovery itself moved to quarantine: the shard's live
+    /// log broke (missing segment, LSN gap, mid-log corruption) at a
+    /// point quarantine already explained — a scrub quarantined files
+    /// and crashed before its healing checkpoint landed.
+    pub quarantined: u64,
+    /// Shards re-seated on a fresh empty segment after such a break.
+    /// The node restarts clean but behind; replication repair (or the
+    /// checkpoint `recover` cuts right after) reconciles it.
+    pub rescued_shards: u64,
 }
 
 impl RecoveryReport {
@@ -121,6 +136,11 @@ pub struct DurableDb {
     /// Serializes checkpoints (the shard loop must not interleave with
     /// another checkpoint's rotations).
     checkpoint_lock: Mutex<()>,
+    /// Replicated records whose apply the database rejected. The
+    /// primary rejected them identically (rejection is deterministic
+    /// in the log prefix), so a nonzero count with a *diverging*
+    /// digest is the observable signature of replay divergence.
+    repl_apply_rejects: AtomicU64,
     /// Held for the db's lifetime; dropping it releases the directory.
     _dir_lock: File,
 }
@@ -185,6 +205,7 @@ impl DurableDb {
             wal,
             manifest: Mutex::new(manifest),
             checkpoint_lock: Mutex::new(()),
+            repl_apply_rejects: AtomicU64::new(0),
             _dir_lock: dir_lock,
         })
     }
@@ -207,6 +228,8 @@ impl DurableDb {
             replayed: 0,
             rejected: 0,
             truncated_tails: 0,
+            quarantined: 0,
+            rescued_shards: 0,
         };
         let mut positions = Vec::with_capacity(num_shards);
         for (shard, bounds) in manifest.shards.iter().enumerate() {
@@ -217,17 +240,24 @@ impl DurableDb {
 
         let wal = Wal::open(dir, opts, &positions)?;
         let db = Arc::new(ShardedMultiUserDb::from_db(db, num_shards));
-        Ok((
-            Self {
-                dir: dir.to_path_buf(),
-                db,
-                wal,
-                manifest: Mutex::new(manifest),
-                checkpoint_lock: Mutex::new(()),
-                _dir_lock: dir_lock,
-            },
-            report,
-        ))
+        let me = Self {
+            dir: dir.to_path_buf(),
+            db,
+            wal,
+            manifest: Mutex::new(manifest),
+            checkpoint_lock: Mutex::new(()),
+            repl_apply_rejects: AtomicU64::new(0),
+            _dir_lock: dir_lock,
+        };
+        if report.rescued_shards > 0 {
+            // A rescue replayed records whose only disk copy is now in
+            // quarantine; cut a checkpoint so the recovered state is
+            // durable without them. Best-effort — if it fails (disk
+            // full, say) the node still serves, just repeats the
+            // rescue after another crash.
+            let _ = me.checkpoint();
+        }
+        Ok((me, report))
     }
 
     /// The live serving core (shared with whoever serves queries).
@@ -402,10 +432,27 @@ impl DurableDb {
         }
         let ack = guard.append(payload).map_err(DurableError::Wal)?;
         debug_assert_eq!(ack.lsn, lsn);
-        let _ = op.apply_sharded(&self.db);
+        if op.apply_sharded(&self.db).is_err() {
+            // The primary rejected this op identically when it logged
+            // it (rejection is deterministic in the log prefix), so a
+            // reject here is expected — but it must be *countable*: a
+            // climbing count alongside a diverging anti-entropy digest
+            // is how replay divergence becomes observable.
+            self.repl_apply_rejects.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(ReplApply::Applied {
             durable: ack.durable,
         })
+    }
+
+    /// Replicated records whose apply the database rejected since open.
+    pub fn repl_apply_rejects(&self) -> u64 {
+        self.repl_apply_rejects.load(Ordering::Relaxed)
+    }
+
+    /// The WAL's health counters (rotate failures, disk-full sheds).
+    pub fn wal_health(&self) -> WalHealth {
+        self.wal.health()
     }
 
     /// A consistent per-shard cut for replica bootstrap: each stripe's
@@ -583,6 +630,175 @@ impl DurableDb {
         Ok(CheckpointReport { generation, users })
     }
 
+    /// One scrub pass: verify every **sealed** live segment's frame
+    /// checksums and the current checkpoint snapshot, quarantining
+    /// whatever fails and healing the directory with a fresh
+    /// checkpoint afterwards. Never panics and never blocks the append
+    /// path — the scan takes the checkpoint lock (stalling GC, which
+    /// would otherwise delete files mid-scan) but no shard mutex, and
+    /// every per-file failure is contained in the report: a transient
+    /// read error skips the file, corruption quarantines it.
+    ///
+    /// Healing works because the live in-memory state is intact — the
+    /// damage is at rest, below state that was applied long ago — so a
+    /// fresh checkpoint generation makes the quarantined files
+    /// unnecessary for recovery. A corrupt *checkpoint* is copied (not
+    /// moved) into quarantine first: until the new generation's
+    /// manifest swap lands, the old manifest must keep naming a file
+    /// that exists.
+    pub fn scrub(&self) -> Result<ScrubReport, WalError> {
+        let mut report = ScrubReport::default();
+        {
+            let _no_gc = self.checkpoint_lock.lock();
+            let manifest = self.manifest.lock().clone();
+            let status = self.wal.status();
+            for (shard, st) in status.shards.iter().enumerate() {
+                let first_live = manifest.shards[shard].first_live_segment;
+                let segs: Vec<u64> = match list_segments(&self.dir, shard) {
+                    Ok(s) => s
+                        .into_iter()
+                        // Sealed only: the append target (st.seg_no) is
+                        // legitimately mid-write and is recovery's job.
+                        .filter(|&s| s >= first_live && s < st.seg_no)
+                        .collect(),
+                    Err(_) => {
+                        report.read_errors += 1;
+                        continue;
+                    }
+                };
+                // LSNs are consecutive across a shard's segments, so a
+                // sealed segment truncated *exactly* at a frame
+                // boundary — invisible to the per-file checksum scan —
+                // shows up as a gap at the next segment's first record.
+                // `prev` = (seg_no, last lsn) of the last segment whose
+                // scan verified; `None` whenever continuity is unknown
+                // (a skipped or quarantined file).
+                let mut prev: Option<(u64, u64)> = None;
+                for seg_no in segs {
+                    if ctxpref_faults::hit(sites::WAL_SCRUB).is_err() {
+                        report.read_errors += 1;
+                        prev = None;
+                        continue;
+                    }
+                    let path = segment_path(&self.dir, shard, seg_no);
+                    match scan_segment(&path, shard, seg_no, false) {
+                        Ok(scan) => {
+                            let (Some(first), Some(last)) = (
+                                scan.records.first().map(|r| r.lsn),
+                                scan.records.last().map(|r| r.lsn),
+                            ) else {
+                                // A sealed segment always carries at
+                                // least one record (rotation happens
+                                // after an append): an empty one was
+                                // truncated down to its header.
+                                report.quarantine_segment_into(
+                                    &self.dir,
+                                    shard,
+                                    seg_no,
+                                    "sealed segment holds no records (truncated?)".to_string(),
+                                );
+                                prev = None;
+                                continue;
+                            };
+                            if let Some((prev_seg, prev_last)) = prev {
+                                if first != prev_last + 1 {
+                                    // The previous segment checksummed
+                                    // clean but lost its tail.
+                                    report.segments_verified -= 1;
+                                    report.quarantine_segment_into(
+                                        &self.dir,
+                                        shard,
+                                        prev_seg,
+                                        format!(
+                                            "lsn gap after segment: expected {}, next segment starts at {first}",
+                                            prev_last + 1
+                                        ),
+                                    );
+                                }
+                            }
+                            report.segments_verified += 1;
+                            prev = Some((seg_no, last));
+                        }
+                        Err(WalError::Corrupt { reason, .. }) => {
+                            match quarantine_segment(&self.dir, shard, seg_no, reason) {
+                                Ok(q) => report.quarantined.push(q),
+                                Err(_) => report.read_errors += 1,
+                            }
+                            prev = None;
+                        }
+                        // An I/O failure is not corruption: skip, count,
+                        // let the next pass retry.
+                        Err(_) => {
+                            report.read_errors += 1;
+                            prev = None;
+                        }
+                    }
+                }
+                // Best-effort tail check: the append target's first
+                // record, when one is readable (the tolerant scan
+                // shrugs off a frame being written this instant),
+                // pins down the last sealed segment's expected end.
+                if let Some((prev_seg, prev_last)) = prev {
+                    let cur = segment_path(&self.dir, shard, st.seg_no);
+                    if let Ok(scan) = scan_segment(&cur, shard, st.seg_no, true) {
+                        if let Some(first) = scan.records.first().map(|r| r.lsn) {
+                            if first != prev_last + 1 {
+                                report.segments_verified -= 1;
+                                report.quarantine_segment_into(
+                                    &self.dir,
+                                    shard,
+                                    prev_seg,
+                                    format!(
+                                        "lsn gap after segment: expected {}, append segment starts at {first}",
+                                        prev_last + 1
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            if ctxpref_faults::hit(sites::CHECKPOINT_READ).is_err() {
+                report.read_errors += 1;
+            } else {
+                let path = manifest.checkpoint_path(&self.dir);
+                match load_multi_user(&path) {
+                    Ok(_) => report.checkpoints_verified += 1,
+                    Err(e) => {
+                        // Copy the evidence out; the original stays put
+                        // until the healing checkpoint's GC removes it.
+                        let dest = quarantine_root(&self.dir).join(
+                            path.file_name()
+                                .map(|n| n.to_string_lossy().into_owned())
+                                .unwrap_or_else(|| "checkpoint".to_string()),
+                        );
+                        let copied = std::fs::create_dir_all(quarantine_root(&self.dir))
+                            .and_then(|()| std::fs::copy(&path, &dest));
+                        if copied.is_ok() {
+                            report.quarantined.push(QuarantinedFile {
+                                shard: None,
+                                original: path,
+                                quarantined: dest,
+                                reason: e.to_string(),
+                            });
+                        } else {
+                            report.read_errors += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if report.found_damage() {
+            // The in-memory state is whole; a fresh generation makes
+            // every quarantined file unnecessary for recovery. If this
+            // fails (disk full, say) the quarantine stays authoritative
+            // and recovery's rescue path covers a crash in the window.
+            report.healed = self.checkpoint().is_ok();
+        }
+        Ok(report)
+    }
+
     /// Delete checkpoints of older generations and segments below each
     /// shard's `first_live_segment`. Best-effort: a file that refuses
     /// to die is retried by the next checkpoint's GC.
@@ -625,6 +841,17 @@ impl DurableDb {
 /// Replay one shard's live segments into `db`, repairing a torn tail
 /// (or a headerless final segment) in place, and return where the WAL
 /// should continue appending.
+///
+/// Recovery **consults quarantine**: when the shard's live log breaks
+/// — a missing segment, an LSN gap, mid-log corruption — and the
+/// quarantine directory holds segments for this shard, the break is
+/// the known signature of a scrub that crashed before its healing
+/// checkpoint landed. The broken suffix is moved to quarantine too,
+/// the shard is re-seated on a fresh empty segment at the last good
+/// LSN, and the rescue is reported instead of refusing to start; the
+/// node comes up clean but behind, and replication repair re-fetches
+/// the suffix from a healthy peer. Without quarantined files the same
+/// break is unexplained corruption and still hard-errors.
 fn replay_shard(
     dir: &Path,
     shard: usize,
@@ -632,11 +859,16 @@ fn replay_shard(
     db: &mut MultiUserDb,
     report: &mut RecoveryReport,
 ) -> Result<ShardPosition, WalError> {
+    let rescue_allowed = quarantine_has_shard(dir, shard);
     let segs: Vec<u64> = list_segments(dir, shard)?
         .into_iter()
         .filter(|&s| s >= bounds.first_live_segment)
         .collect();
     if segs.is_empty() {
+        if rescue_allowed {
+            report.rescued_shards += 1;
+            return reseat_shard(dir, shard, bounds.first_live_segment, bounds.last_lsn + 1);
+        }
         return Err(WalError::Manifest {
             reason: format!(
                 "shard {shard}: live segment {} named by the manifest is missing",
@@ -654,12 +886,28 @@ fn replay_shard(
     for (i, &seg_no) in segs.iter().enumerate() {
         let is_last = i == segs.len() - 1;
         let path = segment_path(dir, shard, seg_no);
-        let scan = scan_segment(&path, shard, seg_no, is_last)?;
+        let scan = match scan_segment(&path, shard, seg_no, is_last) {
+            Ok(scan) => scan,
+            Err(e @ WalError::Corrupt { .. }) if rescue_allowed => {
+                return rescue_shard(dir, shard, &segs[i..], next_lsn, report, &e.to_string());
+            }
+            Err(e) => return Err(e),
+        };
         for rec in &scan.records {
             if rec.lsn <= bounds.last_lsn {
                 continue; // Covered by the checkpoint snapshot.
             }
             if rec.lsn != next_lsn {
+                if rescue_allowed {
+                    return rescue_shard(
+                        dir,
+                        shard,
+                        &segs[i..],
+                        next_lsn,
+                        report,
+                        &format!("lsn gap: expected {next_lsn}, found {}", rec.lsn),
+                    );
+                }
                 return Err(WalError::LsnGap {
                     shard,
                     expected: next_lsn,
@@ -707,4 +955,54 @@ fn replay_shard(
     }
     tail.next_lsn = next_lsn;
     Ok(tail)
+}
+
+/// Quarantine-rescue one shard mid-replay: move the broken suffix
+/// (`remaining` segments, the offender first) into quarantine next to
+/// the files the scrub already put there, then re-seat the shard on a
+/// fresh segment at the last good LSN. Records replayed from the
+/// offender before the break are applied in memory; `recover` cuts a
+/// checkpoint right after so they stay durable.
+fn rescue_shard(
+    dir: &Path,
+    shard: usize,
+    remaining: &[u64],
+    next_lsn: u64,
+    report: &mut RecoveryReport,
+    reason: &str,
+) -> Result<ShardPosition, WalError> {
+    for &seg_no in remaining {
+        if quarantine_segment(dir, shard, seg_no, reason.to_string()).is_ok() {
+            report.quarantined += 1;
+        }
+    }
+    report.rescued_shards += 1;
+    let seg_no = remaining.iter().copied().max().unwrap_or(0) + 1;
+    reseat_shard(dir, shard, seg_no, next_lsn)
+}
+
+/// Create a fresh empty segment for `shard` so `Wal::open` has an
+/// append target, and hand back the position it should open at.
+fn reseat_shard(
+    dir: &Path,
+    shard: usize,
+    seg_no: u64,
+    next_lsn: u64,
+) -> Result<ShardPosition, WalError> {
+    std::fs::create_dir_all(shard_dir(dir, shard))?;
+    let path = segment_path(dir, shard, seg_no);
+    let mut f = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)?;
+    std::io::Write::write_all(&mut f, &segment_header(shard, seg_no))?;
+    f.sync_all()?;
+    let d = File::open(shard_dir(dir, shard))?;
+    d.sync_all()?;
+    Ok(ShardPosition {
+        seg_no,
+        pos: SEGMENT_HEADER as u64,
+        next_lsn,
+    })
 }

@@ -59,6 +59,14 @@ pub enum WalError {
         /// The poisoned WAL shard.
         shard: usize,
     },
+    /// The volume is out of space. The append was shed before any
+    /// byte was written, so the log is unchanged and the write is
+    /// safe to retry — reads keep serving, and appends resume on
+    /// their own once space returns.
+    DiskFull {
+        /// The WAL shard that shed the write.
+        shard: usize,
+    },
     /// Another live `DurableDb` already owns the directory's exclusive
     /// lock. Checkpoint GC deletes files a concurrent recovery would
     /// still be reading, so a durable directory admits one owner at a
@@ -103,6 +111,12 @@ impl fmt::Display for WalError {
             Self::Poisoned { shard } => {
                 write!(f, "wal shard {shard} is poisoned after a failed rollback")
             }
+            Self::DiskFull { shard } => {
+                write!(
+                    f,
+                    "disk full: wal shard {shard} shed the write (retryable; nothing was logged)"
+                )
+            }
             Self::Locked { dir } => {
                 write!(
                     f,
@@ -111,6 +125,15 @@ impl fmt::Display for WalError {
                 )
             }
         }
+    }
+}
+
+impl WalError {
+    /// Whether this error is a transient disk-full shed: nothing was
+    /// logged or applied, and the same write is safe to retry once
+    /// space returns.
+    pub fn is_disk_full(&self) -> bool {
+        matches!(self, Self::DiskFull { .. })
     }
 }
 

@@ -39,6 +39,7 @@ pub mod error;
 pub mod harness;
 pub mod manifest;
 pub mod record;
+pub mod scrub;
 pub mod segment;
 pub mod wal;
 
@@ -49,5 +50,6 @@ pub use error::{DurableError, WalError};
 pub use harness::{run_seed, tiny_env, tiny_relation, FuzzConfig, FuzzReport, Workload};
 pub use manifest::{Manifest, ShardManifest};
 pub use record::WalOp;
+pub use scrub::{QuarantinedFile, ScrubReport, QUARANTINE_DIR};
 pub use segment::ScannedRecord;
-pub use wal::{AppendAck, ShardWalStatus, SyncPolicy, Wal, WalOptions, WalStatus};
+pub use wal::{AppendAck, ShardWalStatus, SyncPolicy, Wal, WalHealth, WalOptions, WalStatus};

@@ -1,0 +1,151 @@
+//! Background scrub: proactive verification of at-rest durability
+//! files, with quarantine instead of guessing.
+//!
+//! Recovery only discovers bitrot the moment replay trips over it —
+//! possibly months after the damage landed, when the healthy replicas
+//! that could have repaired it are gone. The scrubber walks **sealed**
+//! WAL segments (never the append target, so it never contends with
+//! the append path) and the current checkpoint snapshot, re-verifying
+//! the same FNV-1a frame checksums recovery would check. A file that
+//! fails verification is moved — not deleted — into `quarantine/`,
+//! preserving the evidence, and the damage is reported as a typed
+//! [`ScrubReport`]. A transient read error is *not* corruption: the
+//! file is skipped, counted, and retried on the next pass.
+//!
+//! Layout mirrors the live directory so a quarantined file's origin is
+//! obvious:
+//!
+//! ```text
+//! quarantine/shard-<i>/seg-NNNNNN.wal   — a corrupt sealed segment
+//! quarantine/checkpoint-<gen>.db        — a corrupt snapshot
+//! ```
+//!
+//! Recovery consults this directory: a missing or gapped live segment
+//! whose shard has quarantined files is the signature of a scrub (or a
+//! crash mid-heal), and the node restarts clean-but-behind instead of
+//! refusing to start — replication then re-fetches the lost suffix
+//! from a healthy peer.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::WalError;
+use crate::segment::shard_dir;
+
+/// Directory (inside the durable dir) holding files the scrubber
+/// pulled out of service.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// The quarantine root of a durable directory.
+pub fn quarantine_root(dir: &Path) -> PathBuf {
+    dir.join(QUARANTINE_DIR)
+}
+
+/// The quarantine directory for one shard's segments.
+pub fn quarantine_shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    quarantine_root(dir).join(format!("shard-{shard}"))
+}
+
+/// One file the scrubber (or quarantine-aware recovery) pulled out of
+/// service.
+#[derive(Debug, Clone)]
+pub struct QuarantinedFile {
+    /// The WAL shard the file belonged to; `None` for a checkpoint
+    /// snapshot.
+    pub shard: Option<usize>,
+    /// Where the file lived.
+    pub original: PathBuf,
+    /// Where it was moved to.
+    pub quarantined: PathBuf,
+    /// Why it failed verification.
+    pub reason: String,
+}
+
+/// What one scrub pass found and did. Typed, never a panic: every
+/// per-file failure is contained in a counter or a quarantine entry.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Sealed segments whose every frame checksum verified.
+    pub segments_verified: u64,
+    /// Checkpoint snapshots that verified (0 or 1 per pass).
+    pub checkpoints_verified: u64,
+    /// Files skipped on a transient read error — not corruption, not
+    /// quarantined; the next pass retries them.
+    pub read_errors: u64,
+    /// Files that failed verification and were moved to quarantine.
+    pub quarantined: Vec<QuarantinedFile>,
+    /// Whether a fresh checkpoint was cut to heal the directory after
+    /// quarantining (the live in-memory state is intact, so a new
+    /// generation makes the quarantined files unnecessary for
+    /// recovery).
+    pub healed: bool,
+}
+
+impl ScrubReport {
+    /// Whether the pass found any damage.
+    pub fn found_damage(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Quarantine segment `seg_no` of `shard` and record the outcome:
+    /// a successful move becomes a quarantine entry, a failed one a
+    /// read error (the next pass retries).
+    pub(crate) fn quarantine_segment_into(
+        &mut self,
+        dir: &Path,
+        shard: usize,
+        seg_no: u64,
+        reason: String,
+    ) {
+        match quarantine_segment(dir, shard, seg_no, reason) {
+            Ok(q) => self.quarantined.push(q),
+            Err(_) => self.read_errors += 1,
+        }
+    }
+}
+
+/// Move `src` into `dest_dir`, creating it as needed and never
+/// overwriting an earlier quarantined file of the same name (a `.N`
+/// suffix disambiguates repeat offenders).
+pub(crate) fn quarantine_file(src: &Path, dest_dir: &Path) -> Result<PathBuf, WalError> {
+    std::fs::create_dir_all(dest_dir)?;
+    let name = src
+        .file_name()
+        .ok_or_else(|| WalError::Io(std::io::Error::other("quarantine source has no file name")))?
+        .to_string_lossy()
+        .into_owned();
+    let mut dest = dest_dir.join(&name);
+    let mut n = 1;
+    while dest.exists() {
+        dest = dest_dir.join(format!("{name}.{n}"));
+        n += 1;
+    }
+    std::fs::rename(src, &dest)?;
+    Ok(dest)
+}
+
+/// Whether `shard` has quarantined segments — the signal recovery uses
+/// to tell "scrubbed damage" apart from unexplained corruption.
+pub(crate) fn quarantine_has_shard(dir: &Path, shard: usize) -> bool {
+    std::fs::read_dir(quarantine_shard_dir(dir, shard))
+        .map(|mut entries| entries.next().is_some())
+        .unwrap_or(false)
+}
+
+/// Quarantine segment `seg_no` of `shard`, returning the entry for the
+/// report.
+pub(crate) fn quarantine_segment(
+    dir: &Path,
+    shard: usize,
+    seg_no: u64,
+    reason: String,
+) -> Result<QuarantinedFile, WalError> {
+    let original = crate::segment::segment_path(dir, shard, seg_no);
+    let quarantined = quarantine_file(&original, &quarantine_shard_dir(dir, shard))?;
+    let _ = std::fs::File::open(shard_dir(dir, shard)).and_then(|d| d.sync_all());
+    Ok(QuarantinedFile {
+        shard: Some(shard),
+        original,
+        quarantined,
+        reason,
+    })
+}

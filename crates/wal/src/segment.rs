@@ -115,6 +115,10 @@ pub fn scan_segment(
     seg_no: u64,
     is_last: bool,
 ) -> Result<SegmentScan, WalError> {
+    // Fault site `wal.read`: an injected error models a read I/O
+    // failure (the sectors exist but the disk won't serve them) and
+    // surfaces through the ordinary Io path, exactly like a real one.
+    ctxpref_faults::hit_io(ctxpref_faults::sites::WAL_READ)?;
     let mut bytes = Vec::new();
     fs::File::open(path)?.read_to_end(&mut bytes)?;
 

@@ -138,6 +138,18 @@ pub struct ShardWalStatus {
     pub poisoned: bool,
 }
 
+/// Aggregate counters shared by [`WalStatus`] and the service stats
+/// overlay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalHealth {
+    /// Size-triggered rotations that failed and left a full segment as
+    /// the append target (the append itself succeeded).
+    pub rotate_failures: u64,
+    /// Appends shed with [`WalError::DiskFull`] while the volume was
+    /// out of space.
+    pub disk_full_sheds: u64,
+}
+
 /// Point-in-time status of the whole log.
 #[derive(Debug, Clone)]
 pub struct WalStatus {
@@ -149,6 +161,11 @@ pub struct WalStatus {
     pub batches: u64,
     /// Total segment rotations since open.
     pub rotations: u64,
+    /// Size-triggered rotations that failed (the full segment stayed
+    /// the append target; a later rotation retries).
+    pub rotate_failures: u64,
+    /// Appends shed with a typed retryable [`WalError::DiskFull`].
+    pub disk_full_sheds: u64,
 }
 
 /// A per-shard segmented write-ahead log.
@@ -160,6 +177,8 @@ pub struct Wal {
     appends: AtomicU64,
     batches: AtomicU64,
     rotations: AtomicU64,
+    rotate_failures: AtomicU64,
+    disk_full_sheds: AtomicU64,
 }
 
 impl Wal {
@@ -189,6 +208,8 @@ impl Wal {
             appends: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
+            rotate_failures: AtomicU64::new(0),
+            disk_full_sheds: AtomicU64::new(0),
         })
     }
 
@@ -222,6 +243,8 @@ impl Wal {
             appends: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
+            rotate_failures: AtomicU64::new(0),
+            disk_full_sheds: AtomicU64::new(0),
         })
     }
 
@@ -274,6 +297,17 @@ impl Wal {
             appends: self.appends.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             rotations: self.rotations.load(Ordering::Relaxed),
+            rotate_failures: self.rotate_failures.load(Ordering::Relaxed),
+            disk_full_sheds: self.disk_full_sheds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The log's health counters (rotate failures, disk-full sheds),
+    /// cheap enough for a stats overlay to poll.
+    pub fn health(&self) -> WalHealth {
+        WalHealth {
+            rotate_failures: self.rotate_failures.load(Ordering::Relaxed),
+            disk_full_sheds: self.disk_full_sheds.load(Ordering::Relaxed),
         }
     }
 
@@ -313,6 +347,13 @@ impl ShardGuard<'_> {
     /// crash-recovery scan recognizes as torn.
     pub fn append(&mut self, payload: &[u8]) -> Result<AppendAck, WalError> {
         let shard = self.shard;
+        if ctxpref_faults::hit(sites::DISK_FULL).is_err() {
+            // The volume is (injected-)full. Shed before touching the
+            // file: nothing to roll back, the caller retries later, and
+            // reads keep serving off the existing log and checkpoints.
+            self.wal.disk_full_sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(WalError::DiskFull { shard });
+        }
         let s = &mut *self.state;
         if s.poisoned {
             return Err(WalError::Poisoned { shard });
@@ -346,6 +387,12 @@ impl ShardGuard<'_> {
         if let Err(e) = write {
             // A real write error may have persisted a prefix.
             s.tail_dirty = s.file.set_len(s.pos).is_err();
+            if is_enospc(&e) && !s.tail_dirty {
+                // A real ENOSPC whose prefix rolled back cleanly is the
+                // same retryable shed as the injected window above.
+                self.wal.disk_full_sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(WalError::DiskFull { shard });
+            }
             return Err(WalError::Io(e));
         }
 
@@ -382,8 +429,12 @@ impl ShardGuard<'_> {
         if self.state.pos >= self.wal.opts.segment_max_bytes {
             // Rotation failure never fails the append — the record is
             // already in the log; a full segment just stays the append
-            // target until a later rotation succeeds.
-            let _ = self.rotate();
+            // target until a later rotation succeeds. But it is not
+            // silent: an ever-growing segment means GC cannot reclaim
+            // it, so the failure is counted and surfaced in status.
+            if self.rotate().is_err() {
+                self.wal.rotate_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
         Ok(AppendAck { lsn, durable })
     }
@@ -473,10 +524,21 @@ fn new_segment(dir: &Path, shard: usize, seg_no: u64) -> Result<File, WalError> 
         .open(&path)?;
     file.write_all(&segment_header(shard, seg_no))?;
     file.sync_all()?;
-    if let Ok(d) = File::open(shard_dir(dir, shard)) {
-        let _ = d.sync_all();
-    }
+    // The directory entry must be durable too: without this fsync a
+    // crash can orphan the just-rotated segment (file contents synced,
+    // name lost), which replay would see as an LSN gap. A failure here
+    // is a real durability hole, so it propagates instead of being
+    // dropped.
+    let d = File::open(shard_dir(dir, shard))?;
+    d.sync_all()?;
     Ok(file)
+}
+
+/// Whether an I/O error is the volume running out of space.
+fn is_enospc(e: &std::io::Error) -> bool {
+    // ENOSPC (28 on Linux) — matched by raw OS code so the mapping
+    // works on toolchains without `ErrorKind::StorageFull` coverage.
+    e.raw_os_error() == Some(28)
 }
 
 #[cfg(test)]

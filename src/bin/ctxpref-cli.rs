@@ -105,6 +105,8 @@ impl Repl {
             "recover" => self.cmd_recover(rest),
             "checkpoint" => self.cmd_checkpoint(),
             "wal-status" => self.cmd_wal_status(),
+            "scrub" => self.cmd_scrub(),
+            "scrub-status" => self.cmd_scrub_status(),
             "replicate" => self.cmd_replicate(rest),
             "promote" => self.cmd_promote(rest),
             "repl-status" => self.cmd_repl_status(),
@@ -474,12 +476,50 @@ impl Repl {
             }
             "checkpoint" => Ok(Some(client.checkpoint().map_err(run)?)),
             "flush" => Ok(Some(client.flush_wal().map_err(run)?)),
+            "scrub" => match client.scrub().map_err(run)? {
+                ctxpref::net::Response::ScrubReport {
+                    segments_verified,
+                    checkpoints_verified,
+                    read_errors,
+                    quarantined,
+                    healed,
+                } => Ok(Some(format!(
+                    "scrub: {segments_verified} sealed segment(s) + {checkpoints_verified} \
+                     checkpoint(s) verified, {read_errors} transient read error(s), \
+                     {quarantined} file(s) quarantined{}",
+                    if quarantined == 0 {
+                        ""
+                    } else if healed {
+                        " (healed)"
+                    } else {
+                        " (HEAL FAILED — will retry)"
+                    }
+                ))),
+                other => Err(format!("unexpected scrub response {other:?}")),
+            },
+            "scrub-status" => match client.scrub_status().map_err(run)? {
+                ctxpref::net::Response::ScrubInfo {
+                    passes,
+                    quarantined,
+                    read_errors,
+                    heals,
+                    rescued_shards,
+                    disk_full_sheds,
+                    rotate_failures,
+                } => Ok(Some(format!(
+                    "scrub passes {passes}, quarantined {quarantined}, transient read errors \
+                     {read_errors}, heals {heals}\nrescued shards {rescued_shards}, disk-full \
+                     sheds {disk_full_sheds}, rotate failures {rotate_failures}"
+                ))),
+                other => Err(format!("unexpected scrub-status response {other:?}")),
+            },
             "wal-status" => Ok(Some(client.wal_status().map_err(run)?)),
             "repl-status" => Ok(Some(client.repl_status().map_err(run)?)),
             "stats" => Ok(Some(client.stats().map_err(run)?)),
             other => Err(format!(
                 "unknown remote command {other:?} — ping, query <values>, query-desc <descriptor>, \
-                 pref, bulk-pref, del, score, checkpoint, flush, wal-status, repl-status, stats"
+                 pref, bulk-pref, del, score, checkpoint, flush, scrub, scrub-status, wal-status, \
+                 repl-status, stats"
             )),
         }
     }
@@ -636,6 +676,49 @@ impl Repl {
             ));
         }
         Ok(Some(out))
+    }
+
+    fn cmd_scrub(&self) -> Result<Option<String>, String> {
+        let report = self.service()?.scrub().map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "scrub: {} sealed segment(s) + {} checkpoint(s) verified, \
+             {} transient read error(s), {} file(s) quarantined{}",
+            report.segments_verified,
+            report.checkpoints_verified,
+            report.read_errors,
+            report.quarantined.len(),
+            if report.quarantined.is_empty() {
+                ""
+            } else if report.healed {
+                " (healed with a fresh checkpoint)"
+            } else {
+                " (HEAL FAILED — will retry; recovery honours quarantine)"
+            }
+        );
+        for q in &report.quarantined {
+            out.push_str(&format!(
+                "\nquarantined {} → {}: {}",
+                q.original.display(),
+                q.quarantined.display(),
+                q.reason
+            ));
+        }
+        Ok(Some(out))
+    }
+
+    fn cmd_scrub_status(&self) -> Result<Option<String>, String> {
+        let s = self.service()?.scrub_status().map_err(|e| e.to_string())?;
+        Ok(Some(format!(
+            "scrub passes {}, quarantined {}, transient read errors {}, heals {}\n\
+             rescued shards {}, disk-full sheds {}, rotate failures {}",
+            s.passes,
+            s.quarantined,
+            s.read_errors,
+            s.heals,
+            s.rescued_shards,
+            s.disk_full_sheds,
+            s.rotate_failures
+        )))
     }
 
     fn cmd_env(&self) -> Result<Option<String>, String> {
@@ -993,6 +1076,8 @@ commands:
   recover <dir>             recover a durable database (checkpoint + WAL replay)
   checkpoint                snapshot now and shrink the log's replay window
   wal-status                per-shard log positions and durability counters
+  scrub                     verify segments + checkpoint at rest, quarantine + heal damage
+  scrub-status              self-healing counters (passes, quarantines, heals, rescues)
   replicate <dir> [n] [async|quorum]   serve as an n-node primary/replica cluster
   promote <node>            manually promote a node to primary
   repl-status               roles, epochs, lag, and promotion history
