@@ -10,6 +10,7 @@
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --net      # pipelined loopback vs in-process → BENCH_PR7.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --router   # routing tier + migration → BENCH_PR6.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --scrub    # scrub overhead on the append path → BENCH_PR8.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --storm    # open-loop overload storm with fault timeline → BENCH_PR9.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick    # CI smoke (short window, no hard gate)
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
 //! ```
@@ -28,6 +29,7 @@ use ctxpref_bench::replication::{self, ReplicationBenchConfig};
 use ctxpref_bench::router::{self, RouterBenchConfig};
 use ctxpref_bench::scrub::{self, ScrubBenchConfig};
 use ctxpref_bench::serving::{self, ServingBenchConfig};
+use ctxpref_bench::storm::{self, StormBenchConfig};
 use ctxpref_bench::ShapeCheck;
 
 fn main() {
@@ -38,13 +40,16 @@ fn main() {
     let net_mode = args.iter().any(|a| a == "--net");
     let router_mode = args.iter().any(|a| a == "--router");
     let scrub_mode = args.iter().any(|a| a == "--scrub");
+    let storm_mode = args.iter().any(|a| a == "--storm");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if scrub_mode {
+            if storm_mode {
+                "BENCH_PR9.json"
+            } else if scrub_mode {
                 "BENCH_PR8.json"
             } else if router_mode {
                 "BENCH_PR6.json"
@@ -60,7 +65,14 @@ fn main() {
             .to_string()
         });
 
-    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if scrub_mode {
+    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if storm_mode {
+        let mut cfg = StormBenchConfig::default();
+        if quick {
+            cfg = cfg.quick();
+        }
+        let report = storm::run(cfg);
+        (report.render(), report.to_json(), report.checks)
+    } else if scrub_mode {
         let mut cfg = ScrubBenchConfig::default();
         if quick {
             cfg.window = Duration::from_millis(250);

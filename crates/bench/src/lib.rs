@@ -32,6 +32,7 @@ pub mod replication;
 pub mod router;
 pub mod scrub;
 pub mod serving;
+pub mod storm;
 pub mod table1;
 pub mod tablefmt;
 pub mod ties_exp;

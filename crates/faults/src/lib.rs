@@ -94,6 +94,12 @@ pub mod sites {
     /// it, forcing the peer onto its reconnect path.
     pub const NET_CONN_DROP: &str = "net.conn.drop";
 
+    /// A service worker picking a job off the queue: an injected delay
+    /// stalls the whole pool, letting overload tests grow queue
+    /// sojourn deterministically (expired-in-queue jobs must be
+    /// counted and dropped, never executed).
+    pub const SVC_WORKER_DEQUEUE: &str = "svc.worker.dequeue";
+
     /// The migration driver's snapshot/copy step (export + import of
     /// the user's profile): an injected error aborts the migration,
     /// which must roll back cleanly and leave the source serving.

@@ -28,21 +28,36 @@
 //!
 //! [`Response::Busy`] is one step gentler than a transport failure:
 //! the server answered, it just had no capacity. For **idempotent**
-//! requests the client retries it with the same backoff under its own
-//! small cap ([`NetClientConfig::busy_attempts`]) before surfacing the
-//! typed [`NetError::ServerBusy`]; non-idempotent requests surface it
+//! requests the client retries it under its own small cap
+//! ([`NetClientConfig::busy_attempts`]) before surfacing the typed
+//! [`NetError::ServerBusy`]; non-idempotent requests surface it
 //! immediately (capacity may free mid-mutation, and a blind replay
-//! could double-apply). Other typed refusals ([`NetError::Remote`])
-//! are never retried: the server made a decision, and the caller gets
-//! it intact to apply its own policy.
+//! could double-apply). When the busy frame carries a `retry_after`
+//! hint the client sleeps **that** long instead of its own linear
+//! backoff — the server knows its queue depth better than the client's
+//! schedule does. Other typed refusals ([`NetError::Remote`]) are
+//! never retried: the server made a decision, and the caller gets it
+//! intact to apply its own policy.
 //!
-//! The busy refusal itself arrives as a `ctxpref1` **text** frame —
-//! the server refuses at admission, before it knows which dialect the
-//! peer speaks — so the client accepts both dialects on the read path.
+//! A busy refusal arrives in either dialect, and the dialect carries
+//! meaning: a `ctxpref1` **text** busy is connection admission — the
+//! server refused before it knew which dialect the peer speaks, and
+//! closed the socket — so the client drops its cached connection. A
+//! binary busy is a **request-level** shed on a healthy connection
+//! (admission control refused the request's tier), so the connection
+//! is kept and reused.
+//!
+//! [`NetClient::request_enveloped`] threads an **end-to-end budget**
+//! and a [`Priority`] tier through the `ctxpref2` envelope. The budget
+//! is decremented across every attempt and backoff sleep, each retry
+//! re-encodes the request with only what remains, and when it runs out
+//! client-side the typed [`NetError::BudgetExhausted`] comes back
+//! without another byte on the wire.
 
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use ctxpref_service::Priority;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::codec;
@@ -161,14 +176,26 @@ impl NetClient {
 
     /// One request/response exchange on the cached connection,
     /// establishing it if needed. Any failure tears the connection
-    /// down so the next attempt starts from a clean dial.
-    fn exchange(&mut self, req: &Request) -> Result<Response, NetError> {
+    /// down so the next attempt starts from a clean dial. Returns the
+    /// response plus whether it arrived in the binary dialect — the
+    /// caller needs that to tell a request-level busy (connection
+    /// stays healthy) from a connection-admission busy (the server
+    /// closed after the frame).
+    fn exchange(
+        &mut self,
+        req: &Request,
+        budget_ms: u64,
+        tier: Priority,
+    ) -> Result<(Response, bool), NetError> {
         self.ensure_conn()?;
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1).max(1);
         let stream = self.require_conn()?;
         let result = (|| {
-            write_frame(stream, &codec::encode_request(id, req))?;
+            write_frame(
+                stream,
+                &codec::encode_request_enveloped(id, req, budget_ms, tier),
+            )?;
             match read_frame(stream)? {
                 Some(payload) => Ok(payload),
                 None => Err(NetError::Io(std::io::Error::new(
@@ -185,7 +212,7 @@ impl NetClient {
             }
         };
         match decode_reply(&payload, id) {
-            Ok(resp) => Ok(resp),
+            Ok(reply) => Ok(reply),
             Err(e) => {
                 // A frame that decoded to the wrong id (or not at all)
                 // means the stream is desynchronized; only a fresh
@@ -199,20 +226,62 @@ impl NetClient {
     /// One backoff sleep: linear in the attempt number, plus a
     /// deterministic random fan-out bounded by the configured jitter.
     fn backoff_sleep(&mut self, attempt: u32) {
+        std::thread::sleep(self.backoff_delay(attempt));
+    }
+
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
         let mut delay = self.cfg.backoff * attempt;
         let ceiling = self.cfg.jitter.as_nanos().min(u128::from(u64::MAX)) as u64;
         if ceiling > 0 {
             delay += Duration::from_nanos(self.jitter_rng.random_range(0..=ceiling));
+        }
+        delay
+    }
+
+    /// Sleep before retrying a busy refusal: the server's hint when it
+    /// gave one, the linear backoff otherwise — clamped so the sleep
+    /// never outlives the caller's remaining budget.
+    fn busy_sleep(&mut self, attempt: u32, hint: Duration, deadline: Option<Instant>) {
+        let mut delay = if hint.is_zero() {
+            self.backoff_delay(attempt)
+        } else {
+            hint
+        };
+        if let Some(d) = deadline {
+            delay = delay.min(d.saturating_duration_since(Instant::now()));
         }
         std::thread::sleep(delay);
     }
 
     /// Send `req`, reconnecting and retrying (idempotent requests
     /// only) on transport failures, and retrying busy refusals under
-    /// their own cap.
+    /// their own cap. No end-to-end budget: the server enforces only
+    /// its own per-request deadline, and the request travels at
+    /// interactive priority.
     pub fn request(&mut self, req: &Request) -> Result<Response, NetError> {
+        self.request_enveloped(req, None, Priority::Interactive)
+    }
+
+    /// Send `req` with an end-to-end `budget` and a priority `tier`
+    /// threaded through the wire envelope.
+    ///
+    /// The budget starts ticking **here**, on the caller's side of the
+    /// wire: every attempt re-encodes the request with only the budget
+    /// that remains, so the server never works past the point where the
+    /// caller has stopped waiting — even after retries and backoff
+    /// sleeps ate most of the allowance. When it runs out client-side
+    /// the typed [`NetError::BudgetExhausted`] is returned without
+    /// another attempt. `None` means unconstrained (the envelope
+    /// carries budget 0, which the server reads as "no caller bound").
+    pub fn request_enveloped(
+        &mut self,
+        req: &Request,
+        budget: Option<Duration>,
+        tier: Priority,
+    ) -> Result<Response, NetError> {
+        let deadline = budget.map(|b| Instant::now() + b);
         let idempotent = req.is_idempotent();
-        let budget = if idempotent {
+        let attempt_budget = if idempotent {
             self.cfg.attempts.max(1)
         } else {
             1
@@ -228,27 +297,50 @@ impl NetClient {
         let mut attempt = 0;
         let mut busy_attempt = 0;
         loop {
-            match self.exchange(req) {
-                // The server answered but had no capacity. The
-                // connection was closed after the busy frame; retrying
-                // (idempotent only, capped) means a fresh dial.
-                Ok(Response::Busy { limit }) => {
-                    self.conn = None;
+            let budget_ms = match deadline {
+                None => 0,
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(NetError::BudgetExhausted {
+                            budget: budget.unwrap_or_default(),
+                        });
+                    }
+                    (remaining.as_millis() as u64).max(1)
+                }
+            };
+            match self.exchange(req, budget_ms, tier) {
+                // The server answered but had no capacity. A text busy
+                // is connection admission — the server closed the
+                // socket after the frame, so drop the cached
+                // connection. A binary busy is a request-level shed on
+                // a connection that stays healthy.
+                Ok((
+                    Response::Busy {
+                        limit,
+                        retry_after_ms,
+                    },
+                    binary,
+                )) => {
+                    if !binary {
+                        self.conn = None;
+                    }
+                    let retry_after = Duration::from_millis(retry_after_ms);
                     busy_attempt += 1;
                     if busy_attempt >= busy_budget {
-                        return Err(NetError::ServerBusy { limit });
+                        return Err(NetError::ServerBusy { limit, retry_after });
                     }
-                    self.backoff_sleep(busy_attempt);
+                    self.busy_sleep(busy_attempt, retry_after, deadline);
                 }
                 // Any other decoded response is an answer, even a
                 // refusal: the server made a decision, so no retry.
-                Ok(Response::Err { kind, message }) => {
+                Ok((Response::Err { kind, message }, _)) => {
                     return Err(NetError::Remote { kind, message })
                 }
-                Ok(resp) => return Ok(resp),
+                Ok((resp, _)) => return Ok(resp),
                 Err(e @ (NetError::Io(_) | NetError::Frame(_))) => {
                     attempt += 1;
-                    if attempt >= budget {
+                    if attempt >= attempt_budget {
                         return if attempt == 1 {
                             Err(e)
                         } else {
@@ -258,7 +350,7 @@ impl NetClient {
                             })
                         };
                     }
-                    self.backoff_sleep(attempt);
+                    self.busy_sleep(attempt, Duration::ZERO, deadline);
                 }
                 // Protocol confusion is not transient; surface it.
                 Err(e) => return Err(e),
@@ -295,12 +387,12 @@ impl NetClient {
         loop {
             match self.pipeline_once(reqs) {
                 Ok(resps) => return Ok(resps),
-                Err(NetError::ServerBusy { limit }) => {
+                Err(NetError::ServerBusy { limit, retry_after }) => {
                     busy_attempt += 1;
                     if busy_attempt >= busy_budget {
-                        return Err(NetError::ServerBusy { limit });
+                        return Err(NetError::ServerBusy { limit, retry_after });
                     }
-                    self.backoff_sleep(busy_attempt);
+                    self.busy_sleep(busy_attempt, retry_after, None);
                 }
                 Err(e @ (NetError::Io(_) | NetError::Frame(_))) => {
                     attempt += 1;
@@ -373,7 +465,15 @@ impl NetClient {
                     // busy refusal at admission (typed for retry) or a
                     // framing refusal.
                     match Response::decode(&payload)? {
-                        Response::Busy { limit } => return Err(NetError::ServerBusy { limit }),
+                        Response::Busy {
+                            limit,
+                            retry_after_ms,
+                        } => {
+                            return Err(NetError::ServerBusy {
+                                limit,
+                                retry_after: Duration::from_millis(retry_after_ms),
+                            })
+                        }
                         Response::Err { kind, message } => {
                             return Err(NetError::Remote { kind, message })
                         }
@@ -464,6 +564,10 @@ impl NetClient {
 
     /// Rank `user`'s tuples by `attr` under a context state given as
     /// hierarchy value names, returning the top `k` (with ties).
+    ///
+    /// `deadline` doubles as the end-to-end budget: it is carried in
+    /// the wire envelope, decremented across retries, and the server
+    /// clamps its own execution deadline to what remains.
     pub fn query(
         &mut self,
         user: &str,
@@ -472,6 +576,22 @@ impl NetClient {
         deadline: Duration,
         state: &[&str],
     ) -> Result<RemoteAnswer, NetError> {
+        self.query_tiered(user, attr, k, deadline, state, Priority::Interactive)
+    }
+
+    /// [`Self::query`] at an explicit priority tier. Under overload
+    /// the server sheds [`Priority::Maintenance`] first, then
+    /// [`Priority::Bulk`]; [`Priority::Interactive`] is shed only by
+    /// the hard in-flight backstop.
+    pub fn query_tiered(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        deadline: Duration,
+        state: &[&str],
+        tier: Priority,
+    ) -> Result<RemoteAnswer, NetError> {
         let req = Request::Query {
             user: user.to_string(),
             attr: attr.to_string(),
@@ -479,7 +599,7 @@ impl NetClient {
             deadline_ms: deadline.as_millis().min(u128::from(u64::MAX)) as u64,
             state: state.iter().map(|s| s.to_string()).collect(),
         };
-        match self.request(&req)? {
+        match self.request_enveloped(&req, Some(deadline), tier)? {
             Response::Answer(a) => Ok(a),
             other => Err(unexpected(&other)),
         }
@@ -653,10 +773,11 @@ impl NetClient {
     }
 }
 
-/// Decode one reply frame for serial request `id`. Binary replies
-/// must echo the id; text replies are connection-level (the busy
-/// refusal is sent before the server knows the peer's dialect).
-fn decode_reply(payload: &[u8], id: u64) -> Result<Response, NetError> {
+/// Decode one reply frame for serial request `id`, reporting whether
+/// it was binary. Binary replies must echo the id; text replies are
+/// connection-level (the busy refusal at admission is sent before the
+/// server knows the peer's dialect).
+fn decode_reply(payload: &[u8], id: u64) -> Result<(Response, bool), NetError> {
     if codec::is_binary(payload) {
         let wire =
             codec::decode_response(payload).map_err(|e| NetError::Proto(ProtoError::from(e)))?;
@@ -665,9 +786,9 @@ fn decode_reply(payload: &[u8], id: u64) -> Result<Response, NetError> {
                 got: format!("response for request id {} while awaiting {id}", wire.id),
             });
         }
-        return Ok(wire.resp);
+        return Ok((wire.resp, true));
     }
-    Ok(Response::decode(payload)?)
+    Ok((Response::decode(payload)?, false))
 }
 
 fn dial_one(addr: &SocketAddr, cfg: &NetClientConfig) -> std::io::Result<TcpStream> {

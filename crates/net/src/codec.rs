@@ -5,8 +5,17 @@
 //! A `ctxpref2` frame payload is:
 //!
 //! ```text
-//! [0xC2 | 0x02 | tag u8 | request-id varint | body…]
+//! request:  [0xC2 | 0x03 | tag u8 | request-id varint | budget-ms varint | tier u8 | body…]
+//! response: [0xC2 | 0x03 | tag u8 | request-id varint | body…]
 //! ```
+//!
+//! Every request envelope carries the caller's **remaining deadline
+//! budget** in milliseconds (0 = unconstrained) and a **priority
+//! tier** (interactive / bulk / maintenance). Clients and routers
+//! decrement the budget across hops and retries; the server clamps
+//! its per-request deadline to it and sheds low tiers first under
+//! overload — end-to-end deadline propagation lives in these two
+//! envelope fields.
 //!
 //! The leading byte `0xC2` can never begin a `ctxpref1` payload (text
 //! messages start with the ASCII `c` of the version token and `0xC2`
@@ -24,13 +33,16 @@
 //! flips, and hostile length claims through every variant under a
 //! counting allocator.
 
+use ctxpref_service::Priority;
+
 use crate::error::{DecodeError, DecodeKind};
 use crate::proto::{AnswerRow, MigrateAction, RemoteAnswer, Request, Response, WireFallback};
 
 /// First byte of every `ctxpref2` payload.
 pub const BINARY_MAGIC: u8 = 0xC2;
-/// Second byte: the binary codec version.
-pub const BINARY_VERSION: u8 = 0x02;
+/// Second byte: the binary codec version. Bumped to 0x03 when the
+/// request envelope gained the deadline budget and priority tier.
+pub const BINARY_VERSION: u8 = 0x03;
 
 /// Whether a frame payload is a `ctxpref2` binary message (as opposed
 /// to `ctxpref1` text).
@@ -259,6 +271,12 @@ pub fn hex_decode(s: &str) -> Result<Vec<u8>, DecodeError> {
 pub struct WireRequest {
     /// Client-chosen correlation id, echoed on the response.
     pub id: u64,
+    /// Remaining deadline budget in milliseconds, decremented across
+    /// hops and retries; 0 = unconstrained. The server clamps its
+    /// per-request deadline to this.
+    pub budget_ms: u64,
+    /// The priority tier admission sheds by under overload.
+    pub tier: Priority,
     /// The request itself.
     pub req: Request,
 }
@@ -455,13 +473,23 @@ fn put_request_body(out: &mut Vec<u8>, req: &Request) {
     }
 }
 
-/// Encode one request as a `ctxpref2` frame payload.
+/// Encode one request as a `ctxpref2` frame payload with an
+/// unconstrained budget at the Interactive tier.
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    encode_request_enveloped(id, req, 0, Priority::Interactive)
+}
+
+/// Encode one request as a `ctxpref2` frame payload carrying the
+/// remaining deadline budget (milliseconds, 0 = unconstrained) and the
+/// priority tier in the envelope.
+pub fn encode_request_enveloped(id: u64, req: &Request, budget_ms: u64, tier: Priority) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
     out.push(BINARY_MAGIC);
     out.push(BINARY_VERSION);
     out.push(req_tag(req));
     put_uv(&mut out, id);
+    put_uv(&mut out, budget_ms);
+    out.push(tier.wire_tag());
     put_request_body(&mut out, req);
     out
 }
@@ -625,12 +653,28 @@ fn decode_request_body(
     })
 }
 
-/// Decode a `ctxpref2` request frame payload.
+/// Decode a `ctxpref2` request frame payload (header, envelope budget
+/// and tier, then the body).
 pub fn decode_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
     let (mut dec, tag, id) = header(payload, "request")?;
+    let budget_ms = dec.uv()?;
+    let tier_at = dec.offset();
+    let tier_tag = dec.u8()?;
+    let tier = Priority::from_wire_tag(tier_tag).ok_or(DecodeError {
+        offset: tier_at,
+        kind: DecodeKind::BadTag {
+            what: "priority tier",
+            tag: u64::from(tier_tag),
+        },
+    })?;
     let req = decode_request_body(&mut dec, tag, true)?;
     dec.expect_end()?;
-    Ok(WireRequest { id, req })
+    Ok(WireRequest {
+        id,
+        budget_ms,
+        tier,
+        req,
+    })
 }
 
 /// Extract just the correlation id of a `ctxpref2` request whose body
@@ -690,7 +734,13 @@ fn put_response_body(out: &mut Vec<u8>, resp: &Response) {
             }
         }
         Response::Text { body } => put_str(out, body),
-        Response::Busy { limit } => put_uv(out, *limit as u64),
+        Response::Busy {
+            limit,
+            retry_after_ms,
+        } => {
+            put_uv(out, *limit as u64);
+            put_uv(out, *retry_after_ms);
+        }
         Response::Err { kind, message } => {
             put_str(out, kind);
             put_str(out, message);
@@ -846,6 +896,7 @@ fn decode_response_body(
         RS_TEXT => Response::Text { body: dec.str_()? },
         RS_BUSY => Response::Busy {
             limit: dec.uv_len()?,
+            retry_after_ms: dec.uv()?,
         },
         RS_ERR => Response::Err {
             kind: dec.str_()?,
@@ -944,6 +995,14 @@ mod tests {
         assert!(is_binary(&payload));
         let back = decode_request(&payload).expect("decode");
         assert_eq!(back.id, 0x1234_5678_9abc);
+        assert_eq!(back.budget_ms, 0);
+        assert_eq!(back.tier, Priority::Interactive);
+        assert_eq!(back.req, req);
+        // The enveloped form carries the budget and tier through.
+        let payload = encode_request_enveloped(7, &req, 1500, Priority::Bulk);
+        let back = decode_request(&payload).expect("decode enveloped");
+        assert_eq!(back.budget_ms, 1500);
+        assert_eq!(back.tier, Priority::Bulk);
         assert_eq!(back.req, req);
     }
 
@@ -1087,7 +1146,10 @@ mod tests {
         roundtrip_resp(Response::Text {
             body: "appends 12\nshard 0: …\n".into(),
         });
-        roundtrip_resp(Response::Busy { limit: 4 });
+        roundtrip_resp(Response::Busy {
+            limit: 4,
+            retry_after_ms: 120,
+        });
         roundtrip_resp(Response::Err {
             kind: "core".into(),
             message: "no such user \"ghost\"".into(),
@@ -1157,14 +1219,36 @@ mod tests {
 
     #[test]
     fn hostile_length_claims_fail_typed_before_allocation() {
-        // A string claiming u64::MAX bytes in a tiny payload.
-        let mut payload = vec![BINARY_MAGIC, BINARY_VERSION, RQ_ADD_USER, 0];
+        // A string claiming u64::MAX bytes in a tiny payload (the two
+        // zero bytes after the id are the envelope's budget and tier).
+        let mut payload = vec![BINARY_MAGIC, BINARY_VERSION, RQ_ADD_USER, 0, 0, 0];
         put_uv(&mut payload, u64::MAX);
         let err = decode_request(&payload).unwrap_err();
         assert!(
             matches!(err.kind, DecodeKind::LengthOverflow { declared, .. } if declared == u64::MAX)
         );
-        assert_eq!(err.offset, 4);
+        assert_eq!(err.offset, 6);
+    }
+
+    #[test]
+    fn unknown_tier_tag_fails_typed() {
+        let mut payload = vec![BINARY_MAGIC, BINARY_VERSION, RQ_PING, 0, 0, 3];
+        let err = decode_request(&payload).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                DecodeKind::BadTag {
+                    what: "priority tier",
+                    tag: 3
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(err.offset, 5);
+        // A valid tier decodes.
+        payload[5] = 2;
+        let back = decode_request(&payload).expect("maintenance ping");
+        assert_eq!(back.tier, Priority::Maintenance);
     }
 
     #[test]

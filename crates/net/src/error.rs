@@ -175,11 +175,16 @@ pub enum NetError {
     Frame(FrameError),
     /// A frame decoded but carried a malformed message.
     Proto(ProtoError),
-    /// The server refused the connection: its connection limit is
-    /// saturated. Typed so callers can back off instead of hanging.
+    /// The server shed the request: its connection limit is saturated
+    /// or admission control refused the request's tier. Typed so
+    /// callers can back off instead of hanging, with the server's own
+    /// hint for how long.
     ServerBusy {
-        /// The server's configured connection limit.
+        /// The saturated limit (connections or in-flight requests).
         limit: usize,
+        /// The server's cooperative backoff hint (zero when the peer
+        /// gave none).
+        retry_after: std::time::Duration,
     },
     /// The server processed the request and returned a typed failure.
     Remote {
@@ -203,6 +208,14 @@ pub enum NetError {
         /// What arrived, rendered.
         got: String,
     },
+    /// The caller's end-to-end budget ran out on the client side —
+    /// spent on earlier attempts and backoff sleeps — before another
+    /// attempt could be sent. Nothing was put on the wire for the
+    /// attempt that would have followed.
+    BudgetExhausted {
+        /// The budget the caller supplied for the whole request.
+        budget: std::time::Duration,
+    },
     /// The client has no live connection where one was required — for
     /// example, a connect raced a concurrent teardown. Typed so the
     /// caller can redial; the old code path panicked here.
@@ -215,8 +228,11 @@ impl fmt::Display for NetError {
             Self::Io(e) => write!(f, "network i/o: {e}"),
             Self::Frame(e) => write!(f, "{e}"),
             Self::Proto(e) => write!(f, "{e}"),
-            Self::ServerBusy { limit } => {
-                write!(f, "server busy: connection limit {limit} saturated")
+            Self::ServerBusy { limit, retry_after } => {
+                write!(
+                    f,
+                    "server busy: limit {limit} saturated (retry after {retry_after:?})"
+                )
             }
             Self::Remote { kind, message } => write!(f, "server error [{kind}]: {message}"),
             Self::RetriesExhausted { attempts, last } => {
@@ -224,6 +240,12 @@ impl fmt::Display for NetError {
             }
             Self::UnexpectedResponse { got } => {
                 write!(f, "unexpected response: {got}")
+            }
+            Self::BudgetExhausted { budget } => {
+                write!(
+                    f,
+                    "request budget {budget:?} exhausted before the next attempt"
+                )
             }
             Self::NotConnected => {
                 write!(f, "no live connection (connect raced a concurrent close)")

@@ -65,9 +65,12 @@ pub mod server;
 
 pub use client::{NetClient, NetClientConfig};
 pub use codec::{
-    decode_request, decode_response, encode_request, encode_response, is_binary, WireRequest,
-    WireResponse, BINARY_MAGIC, BINARY_VERSION,
+    decode_request, decode_response, encode_request, encode_request_enveloped, encode_response,
+    is_binary, WireRequest, WireResponse, BINARY_MAGIC, BINARY_VERSION,
 };
+// The tier vocabulary travels in the wire envelope; re-exported so
+// network callers need not depend on the service crate for it.
+pub use ctxpref_service::Priority;
 pub use error::{DecodeError, DecodeKind, FrameError, NetError, ProtoError};
 pub use frame::{
     encode_frame, frame_checksum, read_frame, write_frame, FrameDecoder, FRAME_HEADER,

@@ -589,11 +589,16 @@ pub enum Response {
         /// The rendered body.
         body: String,
     },
-    /// The server's connection limit is saturated; the connection was
-    /// refused after this single frame.
+    /// The server shed the request: the connection limit is saturated
+    /// (the connection was refused after this single frame) or
+    /// admission control shed the request's tier. Retryable — wait
+    /// `retry_after_ms` first.
     Busy {
-        /// The configured connection limit.
+        /// The saturated limit (connections or in-flight requests).
         limit: usize,
+        /// Cooperative backoff hint in milliseconds; 0 = none given
+        /// (a legacy peer or an unhinted refusal).
+        retry_after_ms: u64,
     },
     /// The request failed with a typed server-side error.
     Err {
@@ -723,7 +728,10 @@ impl Response {
                 text
             }
             Self::Text { body } => format!("{PROTO_VERSION} text {}", escape(body)),
-            Self::Busy { limit } => format!("{PROTO_VERSION} busy {limit}"),
+            Self::Busy {
+                limit,
+                retry_after_ms,
+            } => format!("{PROTO_VERSION} busy {limit} {retry_after_ms}"),
             Self::Err { kind, message } => {
                 format!("{PROTO_VERSION} err {} {}", escape(kind), escape(message))
             }
@@ -859,8 +867,15 @@ impl Response {
             ["text", body] => Ok(Self::Text {
                 body: field(body, "body")?,
             }),
+            // Both arities decode: a legacy peer sends `busy <limit>`,
+            // a current one appends the retry-after hint.
             ["busy", limit] => Ok(Self::Busy {
                 limit: num(limit, "limit")?,
+                retry_after_ms: 0,
+            }),
+            ["busy", limit, retry_after_ms] => Ok(Self::Busy {
+                limit: num(limit, "limit")?,
+                retry_after_ms: num(retry_after_ms, "retry_after_ms")?,
             }),
             ["err", kind, message] => Ok(Self::Err {
                 kind: field(kind, "kind")?,
@@ -1077,7 +1092,10 @@ mod tests {
         roundtrip_resp(Response::Text {
             body: "appends 12, batches 3\nshard 0: …\n".into(),
         });
-        roundtrip_resp(Response::Busy { limit: 4 });
+        roundtrip_resp(Response::Busy {
+            limit: 4,
+            retry_after_ms: 250,
+        });
         roundtrip_resp(Response::Err {
             kind: "core".into(),
             message: "no such user \"ghost\"".into(),

@@ -55,7 +55,7 @@ use ctxpref_faults::sites::{
     NET_ACCEPT, NET_CONN_DELAY, NET_CONN_DROP, NET_FRAME_READ, NET_FRAME_WRITE,
 };
 use ctxpref_faults::{hit, hit_io};
-use ctxpref_service::{CtxPrefService, ReplicationError, ServiceError};
+use ctxpref_service::{CtxPrefService, Priority, ReplicationError, ServiceError};
 
 use crate::codec;
 use crate::frame::{encode_frame, FrameDecoder};
@@ -85,6 +85,10 @@ pub struct NetServerConfig {
     pub max_pipeline: usize,
     /// Dispatch worker threads.
     pub workers: usize,
+    /// The retry hint attached to a connection-admission busy frame
+    /// (request-level sheds carry the service's live sojourn-derived
+    /// hint instead).
+    pub busy_retry_after: Duration,
 }
 
 impl Default for NetServerConfig {
@@ -97,6 +101,7 @@ impl Default for NetServerConfig {
             drain_timeout: Duration::from_secs(5),
             max_pipeline: 128,
             workers: 4,
+            busy_retry_after: Duration::from_millis(100),
         }
     }
 }
@@ -327,7 +332,10 @@ fn worker_loop(
         let _ = hit(NET_CONN_DELAY);
         let payload = if job.binary {
             match codec::decode_request(&job.payload) {
-                Ok(wire) => codec::encode_response(wire.id, &dispatch(service, cfg, &wire.req)),
+                Ok(wire) => codec::encode_response(
+                    wire.id,
+                    &dispatch(service, cfg, &wire.req, wire.budget_ms, wire.tier),
+                ),
                 Err(e) => {
                     // The body was malformed but the header may still
                     // name the request — answer typed under its id so
@@ -343,8 +351,10 @@ fn worker_loop(
                 }
             }
         } else {
+            // The text dialect predates the envelope: no budget, and
+            // the default Interactive tier.
             match Request::decode(&job.payload) {
-                Ok(request) => dispatch(service, cfg, &request).encode(),
+                Ok(request) => dispatch(service, cfg, &request, 0, Priority::Interactive).encode(),
                 Err(e) => Response::Err {
                     kind: "proto".to_string(),
                     message: e.to_string(),
@@ -565,6 +575,7 @@ impl Reactor {
                 if let Ok(frame) = encode_frame(
                     &Response::Busy {
                         limit: self.cfg.max_connections,
+                        retry_after_ms: self.cfg.busy_retry_after.as_millis() as u64,
                     }
                     .encode(),
                 ) {
@@ -894,8 +905,20 @@ impl Reactor {
 // ---------------------------------------------------------------------------
 
 /// Execute one request against the service, with panics contained.
-fn dispatch(service: &Arc<CtxPrefService>, cfg: &NetServerConfig, req: &Request) -> Response {
-    match catch_unwind(AssertUnwindSafe(|| dispatch_inner(service, cfg, req))) {
+/// `budget_ms` and `tier` come off the `ctxpref2` envelope: the
+/// remaining end-to-end deadline budget (0 = unconstrained) that
+/// clamps every query deadline, and the priority tier admission sheds
+/// by.
+fn dispatch(
+    service: &Arc<CtxPrefService>,
+    cfg: &NetServerConfig,
+    req: &Request,
+    budget_ms: u64,
+    tier: Priority,
+) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| {
+        dispatch_inner(service, cfg, req, budget_ms, tier)
+    })) {
         Ok(resp) => resp,
         Err(_) => Response::Err {
             kind: "panic".to_string(),
@@ -904,7 +927,13 @@ fn dispatch(service: &Arc<CtxPrefService>, cfg: &NetServerConfig, req: &Request)
     }
 }
 
-fn dispatch_inner(service: &CtxPrefService, cfg: &NetServerConfig, req: &Request) -> Response {
+fn dispatch_inner(
+    service: &CtxPrefService,
+    cfg: &NetServerConfig,
+    req: &Request,
+    budget_ms: u64,
+    tier: Priority,
+) -> Response {
     match req {
         Request::Ping => Response::Pong,
         Request::Query {
@@ -921,8 +950,16 @@ fn dispatch_inner(service: &CtxPrefService, cfg: &NetServerConfig, req: &Request
                     Err(e) => return err_of(&ServiceError::Core(CoreError::Context(e))),
                 }
             };
-            let deadline = Duration::from_millis((*deadline_ms).max(1)).min(cfg.max_deadline);
-            let answer = match service.query_state_deadline(user, &state, deadline) {
+            // The enforced deadline is the *tightest* of the request's
+            // own ask, the propagated remaining budget, and the
+            // server's cap — a hop-decremented budget wins over a
+            // generous per-request deadline.
+            let mut deadline_ms = (*deadline_ms).max(1);
+            if budget_ms > 0 {
+                deadline_ms = deadline_ms.min(budget_ms);
+            }
+            let deadline = Duration::from_millis(deadline_ms).min(cfg.max_deadline);
+            let answer = match service.query_tiered(user, &state, deadline, tier) {
                 Ok(a) => a,
                 Err(e) => return err_of(&e),
             };
@@ -1090,6 +1127,16 @@ fn dispatch_inner(service: &CtxPrefService, cfg: &NetServerConfig, req: &Request
                 s.shed,
                 s.errors
             );
+            body.push_str(&format!(
+                "\nshed by reason: {} admission, {} sojourn, {} expired-at-dequeue\n\
+                 shed by tier: {} interactive, {} bulk, {} maintenance",
+                s.shed_admission,
+                s.shed_sojourn,
+                s.shed_expired,
+                s.shed_interactive,
+                s.shed_bulk,
+                s.shed_maintenance
+            ));
             for (site, hits) in &s.fault_hits {
                 body.push_str(&format!("\nfault {site} {hits}"));
             }
@@ -1131,17 +1178,20 @@ fn dispatch_inner(service: &CtxPrefService, cfg: &NetServerConfig, req: &Request
             epoch,
             action,
         } => dispatch_migrate(service, user, *epoch, action),
-        Request::Batch { requests } => dispatch_batch(service, cfg, requests),
+        Request::Batch { requests } => dispatch_batch(service, cfg, requests, budget_ms, tier),
     }
 }
 
 /// Execute a batch: items run in order, and execution stops at the
 /// first failure (its typed response is the last element, and the
-/// returned length tells the caller how far the batch got).
+/// returned length tells the caller how far the batch got). Items
+/// inherit the batch envelope's budget and tier.
 fn dispatch_batch(
     service: &CtxPrefService,
     cfg: &NetServerConfig,
     requests: &[Request],
+    budget_ms: u64,
+    tier: Priority,
 ) -> Response {
     let mut responses = Vec::with_capacity(requests.len());
     // Homogeneous insert batches take the service's bulk verb: one
@@ -1168,7 +1218,7 @@ fn dispatch_batch(
             });
             break;
         }
-        let resp = dispatch_inner(service, cfg, sub);
+        let resp = dispatch_inner(service, cfg, sub, budget_ms, tier);
         let failed = matches!(
             resp,
             Response::Err { .. } | Response::NotPrimary | Response::Migrating { .. }
@@ -1301,7 +1351,15 @@ fn render_rows(
 /// stable kind token plus the rendered message.
 fn err_of(e: &ServiceError) -> Response {
     let kind = match e {
-        ServiceError::Overloaded { .. } => "overloaded",
+        // A shed is a typed busy frame carrying the service's live
+        // retry hint, so clients back off cooperatively instead of
+        // hammering (and retry at all — `Err` is never retried).
+        ServiceError::Overloaded { limit, retry_after } => {
+            return Response::Busy {
+                limit: *limit,
+                retry_after_ms: (retry_after.as_millis() as u64).max(1),
+            }
+        }
         ServiceError::DeadlineExceeded { .. } => "deadline",
         ServiceError::Cancelled => "cancelled",
         ServiceError::QueryPanicked { .. } => "panic",

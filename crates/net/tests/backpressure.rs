@@ -53,7 +53,15 @@ fn saturated_server_rejects_with_typed_busy_then_admits_after_drain() {
     let mut waiter = client_for(&server);
     let started = Instant::now();
     match waiter.ping() {
-        Err(NetError::ServerBusy { limit }) => assert_eq!(limit, 2),
+        Err(NetError::ServerBusy { limit, retry_after }) => {
+            assert_eq!(limit, 2);
+            // The refusal carries the server's cooperative hint, so a
+            // shed caller knows when trying again is worthwhile.
+            assert!(
+                retry_after > Duration::ZERO,
+                "connection-admission busy should carry a retry hint"
+            );
+        }
         other => panic!("expected ServerBusy, got {other:?}"),
     }
     assert!(
@@ -101,7 +109,7 @@ fn busy_response_does_not_poison_the_client() {
     let mut waiter = client_for(&server);
     assert!(matches!(
         waiter.ping(),
-        Err(NetError::ServerBusy { limit: 1 })
+        Err(NetError::ServerBusy { limit: 1, .. })
     ));
 
     drop(holder);

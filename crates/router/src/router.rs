@@ -3,9 +3,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ctxpref_net::{NetClient, NetClientConfig, NetError, RemoteAnswer, Request, Response};
+use ctxpref_net::{
+    NetClient, NetClientConfig, NetError, Priority, RemoteAnswer, Request, Response,
+};
 use parking_lot::Mutex;
 
 use crate::error::RouterError;
@@ -189,6 +191,23 @@ impl Router {
         cluster: usize,
         req: &Request,
     ) -> Result<Response, RouterError> {
+        self.call_cluster_enveloped(cluster, req, None, Priority::Interactive)
+    }
+
+    /// [`Self::call_cluster`] with an end-to-end deadline and a
+    /// priority tier. Each endpoint attempt is handed only the budget
+    /// that remains at that instant — the walk itself (and the retries
+    /// inside each [`NetClient`]) spends it — so a hop never asks a
+    /// server for more work than the original caller is still waiting
+    /// for. When the budget is gone the client surfaces the typed
+    /// [`NetError::BudgetExhausted`] instead of dialing.
+    pub(crate) fn call_cluster_enveloped(
+        &mut self,
+        cluster: usize,
+        req: &Request,
+        deadline: Option<Instant>,
+        tier: Priority,
+    ) -> Result<Response, RouterError> {
         if !self.shared.health[cluster].lock().breaker.allow() {
             return Err(RouterError::CircuitOpen { cluster });
         }
@@ -197,10 +216,12 @@ impl Router {
         let idempotent = req.is_idempotent();
         let mut last_transport: Option<String> = None;
         let mut saw_not_primary = false;
+        let mut saw_busy: Option<(usize, Duration)> = None;
         for i in 0..n {
             let idx = (start + i) % n;
             let addr = self.shared.endpoints[cluster][idx].clone();
-            match self.client(&addr).request(req) {
+            let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+            match self.client(&addr).request_enveloped(req, remaining, tier) {
                 Ok(Response::NotPrimary) => {
                     saw_not_primary = true;
                     continue;
@@ -223,8 +244,8 @@ impl Router {
                 // refusal (the server shed the request before touching
                 // it), so another access point of the same cluster may
                 // have capacity — safe to walk on even for mutations.
-                Err(NetError::ServerBusy { limit }) => {
-                    last_transport = Some(format!("busy (limit {limit})"));
+                Err(NetError::ServerBusy { limit, retry_after }) => {
+                    saw_busy = Some((limit, retry_after));
                 }
                 Err(
                     e @ (NetError::Io(_) | NetError::Frame(_) | NetError::RetriesExhausted { .. }),
@@ -256,6 +277,18 @@ impl Router {
             self.shared.health[cluster].lock().breaker.on_success();
             return Ok(Response::NotPrimary);
         }
+        if let Some((limit, retry_after)) = saw_busy {
+            // Every endpoint shed the request: the cluster is alive
+            // and deciding, just saturated. This must NOT feed the
+            // breaker's failure path — tripping the circuit on load
+            // shedding would turn a brownout into a full outage for
+            // the tiers the server was still willing to serve.
+            self.shared.health[cluster].lock().breaker.on_success();
+            return Err(RouterError::Net(NetError::ServerBusy {
+                limit,
+                retry_after,
+            }));
+        }
         self.shared.health[cluster].lock().breaker.on_failure();
         Err(RouterError::ClusterUnavailable {
             cluster,
@@ -268,12 +301,29 @@ impl Router {
     /// backoff. The owner is re-resolved on every attempt, so a
     /// routing flip that lands mid-retry redirects the request.
     fn forward(&mut self, user: &str, req: &Request) -> Result<Response, RouterError> {
+        self.forward_enveloped(user, req, None, Priority::Interactive)
+    }
+
+    /// [`Self::forward`] with an end-to-end budget and a priority
+    /// tier. The budget starts ticking on entry and is spent by every
+    /// hop, endpoint walk, and transient-refusal backoff below; sleeps
+    /// are clamped so a retry never outlives what the caller still
+    /// waits for, and exhaustion surfaces as the typed
+    /// [`NetError::BudgetExhausted`].
+    fn forward_enveloped(
+        &mut self,
+        user: &str,
+        req: &Request,
+        budget: Option<Duration>,
+        tier: Priority,
+    ) -> Result<Response, RouterError> {
+        let deadline = budget.map(|b| Instant::now() + b);
         let retries = self.shared.cfg.transient_retries;
         let backoff = self.shared.cfg.transient_backoff;
         let mut attempt = 0u32;
         loop {
             let cluster = self.cluster_of(user);
-            match self.call_cluster(cluster, req)? {
+            match self.call_cluster_enveloped(cluster, req, deadline, tier)? {
                 Response::Migrating { .. } => {
                     attempt += 1;
                     if attempt > retries {
@@ -291,7 +341,17 @@ impl Router {
                 }
                 resp => return Ok(resp),
             }
-            std::thread::sleep(backoff * attempt.min(8));
+            let mut sleep = backoff * attempt.min(8);
+            if let Some(d) = deadline {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RouterError::Net(NetError::BudgetExhausted {
+                        budget: budget.unwrap_or_default(),
+                    }));
+                }
+                sleep = sleep.min(remaining);
+            }
+            std::thread::sleep(sleep);
         }
     }
 
@@ -472,6 +532,11 @@ impl Router {
 
     /// Rank `user`'s tuples by `attr` under a context state, on their
     /// owning cluster.
+    ///
+    /// `deadline` doubles as the end-to-end budget: it ticks from this
+    /// call onward, every hop and retry below spends it, and the
+    /// serving cluster clamps its execution deadline to what survives
+    /// the trip.
     pub fn query(
         &mut self,
         user: &str,
@@ -480,6 +545,21 @@ impl Router {
         deadline: Duration,
         state: &[&str],
     ) -> Result<RemoteAnswer, RouterError> {
+        self.query_tiered(user, attr, k, deadline, state, Priority::Interactive)
+    }
+
+    /// [`Self::query`] at an explicit priority tier. Under overload
+    /// the cluster sheds maintenance first, then bulk; interactive
+    /// queries are shed only by the hard in-flight backstop.
+    pub fn query_tiered(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        deadline: Duration,
+        state: &[&str],
+        tier: Priority,
+    ) -> Result<RemoteAnswer, RouterError> {
         let req = Request::Query {
             user: user.to_string(),
             attr: attr.to_string(),
@@ -487,7 +567,7 @@ impl Router {
             deadline_ms: deadline.as_millis().min(u128::from(u64::MAX)) as u64,
             state: state.iter().map(|s| s.to_string()).collect(),
         };
-        match self.forward(user, &req)? {
+        match self.forward_enveloped(user, &req, Some(deadline), tier)? {
             Response::Answer(a) => Ok(a),
             other => Err(RouterError::Net(NetError::UnexpectedResponse {
                 got: format!("{other:?}"),

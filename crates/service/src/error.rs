@@ -13,11 +13,16 @@ use ctxpref_wal::{DurableError, WalError};
 /// [`ServiceError::QueryPanicked`], never propagated to the caller.
 #[derive(Debug)]
 pub enum ServiceError {
-    /// Admission control shed the request: the in-flight limit was
-    /// reached.
+    /// Admission control shed the request: either the hard in-flight
+    /// limit was reached, or the sojourn-time controller is shedding
+    /// this request's tier. Retryable — wait `retry_after` first.
     Overloaded {
         /// The configured in-flight limit.
         limit: usize,
+        /// How long the caller should wait before retrying; derived
+        /// from the observed queue sojourn time, so it tracks how
+        /// overloaded the service actually is.
+        retry_after: Duration,
     },
     /// The request did not complete within its deadline.
     DeadlineExceeded {
@@ -71,8 +76,11 @@ pub enum ServiceError {
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Overloaded { limit } => {
-                write!(f, "overloaded: {limit} requests already in flight")
+            Self::Overloaded { limit, retry_after } => {
+                write!(
+                    f,
+                    "overloaded: {limit} requests already in flight (retry after {retry_after:?})"
+                )
             }
             Self::DeadlineExceeded { deadline } => {
                 write!(f, "deadline of {deadline:?} exceeded")

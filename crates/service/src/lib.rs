@@ -60,6 +60,7 @@ mod ladder;
 mod migrate;
 mod service;
 mod stats;
+mod tier;
 
 pub use error::ServiceError;
 pub use ladder::{Fallback, LadderStep, ServiceAnswer};
@@ -69,6 +70,7 @@ pub use service::{
     ServiceConfig,
 };
 pub use stats::ServiceStats;
+pub use tier::Priority;
 
 // Durability and replication vocabulary re-exported so service
 // consumers need not depend on the lower crates directly.

@@ -1,6 +1,6 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -24,6 +24,7 @@ use crate::error::ServiceError;
 use crate::ladder::{run_ladder, LadderStep, ServiceAnswer};
 use crate::migrate::{MigrationEntry, MigrationTable, RouteInfo, UserExport};
 use crate::stats::{Counters, ServiceStats};
+use crate::tier::Priority;
 
 /// Bounded retry with exponential backoff for storage I/O.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +64,12 @@ pub struct ServiceConfig {
     /// loop gives up with [`ServiceError::DeadlineExceeded`] instead of
     /// sleeping past it.
     pub storage_deadline: Duration,
+    /// Target queue sojourn time of the CoDel-style admission
+    /// controller: dwell above this is treated as standing queue.
+    pub codel_target: Duration,
+    /// How long sojourn must stay above the target before the
+    /// controller starts shedding (lowest tier first).
+    pub codel_interval: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +81,8 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             shards: ctxpref_core::DEFAULT_SHARDS,
             storage_deadline: Duration::from_secs(2),
+            codel_target: Duration::from_millis(25),
+            codel_interval: Duration::from_millis(100),
         }
     }
 }
@@ -227,8 +236,115 @@ struct Job {
     state: ContextState,
     deadline: Instant,
     requested: Duration,
+    tier: Priority,
+    enqueued: Instant,
     cancelled: Arc<AtomicBool>,
     reply: mpsc::SyncSender<Result<ServiceAnswer, ServiceError>>,
+}
+
+/// CoDel-style admission controller: workers feed it the queue
+/// sojourn time of every job they dequeue; when sojourn stays above
+/// the target for a sustained interval, admission sheds the lowest
+/// tiers first. Maintenance yields at any standing queue, Bulk when
+/// the queue is badly over target, and Interactive is never shed by
+/// sojourn — only by the hard in-flight backstop.
+///
+/// All state is atomics (instants encoded as micros since `base`), so
+/// the hot paths — one `observe` per dequeue, one `pressure` load per
+/// admission — never take a lock.
+pub(crate) struct Admission {
+    target: Duration,
+    interval: Duration,
+    base: Instant,
+    /// Micros-since-base when sojourn first went above target
+    /// (0 = currently at or below target).
+    above_since: AtomicU64,
+    /// Micros-since-base of the most recent observation; pressure
+    /// decays back to calm when observations stop (an idle queue
+    /// cannot be overloaded).
+    last_observe: AtomicU64,
+    /// The most recently observed sojourn, in micros — the basis of
+    /// the `retry_after` hint handed to shed callers.
+    last_sojourn: AtomicU64,
+    /// 0 = calm, 1 = shed Maintenance, 2 = shed Bulk too.
+    pressure: AtomicU8,
+}
+
+impl Admission {
+    fn new(target: Duration, interval: Duration) -> Self {
+        Self {
+            target: target.max(Duration::from_micros(1)),
+            interval: interval.max(Duration::from_micros(1)),
+            base: Instant::now(),
+            above_since: AtomicU64::new(0),
+            last_observe: AtomicU64::new(0),
+            last_sojourn: AtomicU64::new(0),
+            pressure: AtomicU8::new(0),
+        }
+    }
+
+    fn micros_now(&self) -> u64 {
+        // Saturate at 1 so 0 stays the "not above target" sentinel.
+        (self.base.elapsed().as_micros() as u64).max(1)
+    }
+
+    /// Feed one dequeued job's queue dwell into the controller.
+    pub(crate) fn observe(&self, sojourn: Duration) {
+        let now = self.micros_now();
+        self.last_observe.store(now, Ordering::Relaxed);
+        self.last_sojourn
+            .store(sojourn.as_micros() as u64, Ordering::Relaxed);
+        if sojourn <= self.target {
+            self.above_since.store(0, Ordering::Relaxed);
+            self.pressure.store(0, Ordering::Relaxed);
+            return;
+        }
+        let since = self.above_since.load(Ordering::Relaxed);
+        let since = if since == 0 {
+            self.above_since.store(now, Ordering::Relaxed);
+            now
+        } else {
+            since
+        };
+        if now.saturating_sub(since) >= self.interval.as_micros() as u64 {
+            let level = if sojourn >= self.target * 4 { 2 } else { 1 };
+            self.pressure.store(level, Ordering::Relaxed);
+        }
+    }
+
+    /// The current pressure level: 0 = admit everything, 1 = shed
+    /// Maintenance, 2 = shed Bulk too. Stale pressure decays to calm
+    /// when no job has been observed for two intervals.
+    pub(crate) fn pressure(&self) -> u8 {
+        let last = self.last_observe.load(Ordering::Relaxed);
+        if last == 0 {
+            return 0;
+        }
+        let now = self.micros_now();
+        if now.saturating_sub(last) > 2 * self.interval.as_micros() as u64 {
+            self.above_since.store(0, Ordering::Relaxed);
+            self.pressure.store(0, Ordering::Relaxed);
+            return 0;
+        }
+        self.pressure.load(Ordering::Relaxed)
+    }
+
+    /// Whether the sojourn controller sheds `tier` right now.
+    fn sheds(&self, tier: Priority) -> bool {
+        match tier {
+            Priority::Interactive => false,
+            Priority::Bulk => self.pressure() >= 2,
+            Priority::Maintenance => self.pressure() >= 1,
+        }
+    }
+
+    /// The backoff hint handed to shed callers: the last observed
+    /// sojourn (how long the queue actually is), clamped between the
+    /// target and one second.
+    fn retry_after(&self) -> Duration {
+        Duration::from_micros(self.last_sojourn.load(Ordering::Relaxed))
+            .clamp(self.target, Duration::from_secs(1))
+    }
 }
 
 /// The failure of a bulk mutation: how many items of the batch were
@@ -312,6 +428,7 @@ pub struct CtxPrefService {
     db: Arc<RwLock<Arc<ShardedMultiUserDb>>>,
     cfg: ServiceConfig,
     counters: Arc<Counters>,
+    admission: Arc<Admission>,
     in_flight: Arc<AtomicUsize>,
     shutting_down: Arc<AtomicBool>,
     sender: Option<mpsc::Sender<Job>>,
@@ -331,6 +448,20 @@ impl std::fmt::Debug for CtxPrefService {
             .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
+}
+
+/// Count one shed request: the combined counter, the reason breakdown
+/// (`reason` is one of the `shed_*` reason atomics), and the tier
+/// breakdown — operators telling overload shapes apart need all three.
+fn record_shed(counters: &Counters, reason: &AtomicU64, tier: Priority) {
+    counters.shed.fetch_add(1, Ordering::Relaxed);
+    reason.fetch_add(1, Ordering::Relaxed);
+    let by_tier = match tier {
+        Priority::Interactive => &counters.shed_interactive,
+        Priority::Bulk => &counters.shed_bulk,
+        Priority::Maintenance => &counters.shed_maintenance,
+    };
+    by_tier.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Fold one scrub pass's outcome into the service counters.
@@ -421,6 +552,7 @@ impl CtxPrefService {
     fn new_arc(db: Arc<ShardedMultiUserDb>, cfg: ServiceConfig) -> Self {
         let db = Arc::new(RwLock::new(db));
         let counters = Arc::new(Counters::default());
+        let admission = Arc::new(Admission::new(cfg.codel_target, cfg.codel_interval));
         let in_flight = Arc::new(AtomicUsize::new(0));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let (sender, receiver) = mpsc::channel::<Job>();
@@ -429,11 +561,12 @@ impl CtxPrefService {
             .map(|i| {
                 let db = Arc::clone(&db);
                 let counters = Arc::clone(&counters);
+                let admission = Arc::clone(&admission);
                 let in_flight = Arc::clone(&in_flight);
                 let receiver = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("ctxpref-worker-{i}"))
-                    .spawn(move || worker_loop(&db, &counters, &in_flight, &receiver))
+                    .spawn(move || worker_loop(&db, &counters, &admission, &in_flight, &receiver))
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -441,6 +574,7 @@ impl CtxPrefService {
             db,
             cfg,
             counters,
+            admission,
             in_flight,
             shutting_down,
             sender: Some(sender),
@@ -554,12 +688,18 @@ impl CtxPrefService {
         if let Some(interval) = rcfg.scrub_interval {
             let cluster = Arc::clone(&cluster);
             let counters = Arc::clone(&self.counters);
+            let admission = Arc::clone(&self.admission);
             let (stop, stopped) = mpsc::channel::<()>();
             let handle = std::thread::Builder::new()
                 .name("ctxpref-scrubber".to_string())
                 .spawn(move || {
                     while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(interval)
                     {
+                        // Maintenance yields under pressure: a scrub
+                        // pass can wait out an overload spike.
+                        if admission.pressure() >= 1 {
+                            continue;
+                        }
                         for id in 0..cluster.config().nodes {
                             let cluster = Arc::clone(&cluster);
                             let outcome =
@@ -583,6 +723,7 @@ impl CtxPrefService {
         if let Some(interval) = dcfg.checkpoint_interval {
             let db = Arc::clone(&durable);
             let counters = Arc::clone(&self.counters);
+            let admission = Arc::clone(&self.admission);
             let (stop, stopped) = mpsc::channel::<()>();
             let handle = std::thread::Builder::new()
                 .name("ctxpref-checkpointer".to_string())
@@ -591,6 +732,12 @@ impl CtxPrefService {
                     // its stop sender — that is the shutdown signal.
                     while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(interval)
                     {
+                        // Maintenance yields under pressure: defer the
+                        // checkpoint; replay time grows a little, the
+                        // overloaded serving path keeps its cycles.
+                        if admission.pressure() >= 1 {
+                            continue;
+                        }
                         let db = Arc::clone(&db);
                         let ok = catch_unwind(AssertUnwindSafe(move || db.checkpoint().is_ok()));
                         if matches!(ok, Ok(true)) {
@@ -619,12 +766,18 @@ impl CtxPrefService {
         if let Some(interval) = dcfg.scrub_interval {
             let db = Arc::clone(&durable);
             let counters = Arc::clone(&self.counters);
+            let admission = Arc::clone(&self.admission);
             let (stop, stopped) = mpsc::channel::<()>();
             let handle = std::thread::Builder::new()
                 .name("ctxpref-scrubber".to_string())
                 .spawn(move || {
                     while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(interval)
                     {
+                        // Maintenance yields under pressure (see the
+                        // replicated scrubber above).
+                        if admission.pressure() >= 1 {
+                            continue;
+                        }
                         let db = Arc::clone(&db);
                         let outcome = catch_unwind(AssertUnwindSafe(move || db.scrub()));
                         if let Ok(Ok(report)) = outcome {
@@ -807,6 +960,13 @@ impl CtxPrefService {
         self.in_flight.load(Ordering::Acquire)
     }
 
+    /// The admission controller's current pressure level: 0 admits
+    /// everything, 1 sheds Maintenance, 2 sheds Bulk too. Interactive
+    /// traffic is only ever refused by the hard in-flight backstop.
+    pub fn admission_pressure(&self) -> u8 {
+        self.admission.pressure()
+    }
+
     /// Query `user` under `state` with the default deadline.
     pub fn query_state(
         &self,
@@ -818,34 +978,69 @@ impl CtxPrefService {
 
     /// Query `user` under `state`, failing with
     /// [`ServiceError::DeadlineExceeded`] if no answer is produced
-    /// within `deadline`.
+    /// within `deadline`. Runs at [`Priority::Interactive`] — use
+    /// [`Self::query_tiered`] to run at a sheddable tier.
     pub fn query_state_deadline(
         &self,
         user: &str,
         state: &ContextState,
         deadline: Duration,
     ) -> Result<ServiceAnswer, ServiceError> {
+        self.query_tiered(user, state, deadline, Priority::Interactive)
+    }
+
+    /// Query `user` under `state` at `tier`, failing with
+    /// [`ServiceError::DeadlineExceeded`] if no answer is produced
+    /// within `deadline` and with the retryable
+    /// [`ServiceError::Overloaded`] when admission sheds the tier.
+    ///
+    /// Two admission gates run in order. The CoDel-style sojourn
+    /// controller sheds Maintenance (then Bulk) when queue dwell has
+    /// exceeded the target for a sustained interval; Interactive
+    /// passes it unconditionally. The hard `max_in_flight` backstop
+    /// then bounds memory for every tier.
+    pub fn query_tiered(
+        &self,
+        user: &str,
+        state: &ContextState,
+        deadline: Duration,
+        tier: Priority,
+    ) -> Result<ServiceAnswer, ServiceError> {
         if self.shutting_down.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
         }
-        // Admission control: reserve a slot or shed.
-        if self.in_flight.fetch_add(1, Ordering::AcqRel) >= self.cfg.max_in_flight {
-            self.in_flight.fetch_sub(1, Ordering::AcqRel);
-            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+        // Sojourn-controller gate: shed low tiers while the queue has
+        // been standing above target.
+        if self.admission.sheds(tier) {
+            record_shed(&self.counters, &self.counters.shed_sojourn, tier);
             return Err(ServiceError::Overloaded {
                 limit: self.cfg.max_in_flight,
+                retry_after: self.admission.retry_after(),
+            });
+        }
+        // Hard backstop: reserve a slot or shed.
+        if self.in_flight.fetch_add(1, Ordering::AcqRel) >= self.cfg.max_in_flight {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            record_shed(&self.counters, &self.counters.shed_admission, tier);
+            return Err(ServiceError::Overloaded {
+                limit: self.cfg.max_in_flight,
+                retry_after: self.admission.retry_after(),
             });
         }
         let cancelled = Arc::new(AtomicBool::new(false));
         let (reply, response) = mpsc::sync_channel(1);
+        let now = Instant::now();
         let job = Job {
             user: user.to_string(),
             state: state.clone(),
-            deadline: Instant::now() + deadline,
+            deadline: now + deadline,
             requested: deadline,
+            tier,
+            enqueued: now,
             cancelled: Arc::clone(&cancelled),
             reply,
         };
+        let job_deadline = job.deadline;
         if let Some(sender) = &self.sender {
             if sender.send(job).is_err() {
                 self.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -855,7 +1050,11 @@ impl CtxPrefService {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             return Err(ServiceError::ShuttingDown);
         }
-        match response.recv_timeout(deadline) {
+        // Wait only the budget that remains: admission and enqueue
+        // already consumed part of the requested deadline, and waiting
+        // the full duration here would let the caller overstay the
+        // instant the workers enforce.
+        match response.recv_timeout(job_deadline.saturating_duration_since(Instant::now())) {
             Ok(result) => {
                 self.record(&result);
                 result
@@ -1562,6 +1761,7 @@ fn refresh_serving_slot(slot: &RwLock<Arc<ShardedMultiUserDb>>, fresh: &Arc<Shar
 fn worker_loop(
     slot: &RwLock<Arc<ShardedMultiUserDb>>,
     counters: &Counters,
+    admission: &Admission,
     in_flight: &Arc<AtomicUsize>,
     receiver: &Mutex<mpsc::Receiver<Job>>,
 ) {
@@ -1573,17 +1773,29 @@ fn worker_loop(
         // a replicated service's local node recovers from a crash.
         let db = Arc::clone(&slot.read());
         let _slot = InFlightGuard(Arc::clone(in_flight));
+        // Feed the admission controller the job's queue dwell — the
+        // signal the sojourn shedder runs on.
+        admission.observe(job.enqueued.elapsed());
         if job.cancelled.load(Ordering::Acquire) {
             counters.cancelled.fetch_add(1, Ordering::Relaxed);
             continue;
         }
         if Instant::now() >= job.deadline {
+            // Expired while queued: counted and dropped, never
+            // executed — dead work would only deepen the overload.
             counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            record_shed(counters, &counters.shed_expired, job.tier);
             let _ = job.reply.try_send(Err(ServiceError::DeadlineExceeded {
                 deadline: job.requested,
             }));
             continue;
         }
+        // Fault site: an injected delay stalls the pool here, growing
+        // queue sojourn deterministically for the overload tests and
+        // standing in for per-job service time in the storm bench.
+        // Deliberately AFTER the cancel/expiry drops: dropping dead
+        // work is free; only work that will execute pays.
+        let _ = ctxpref_faults::hit(ctxpref_faults::sites::SVC_WORKER_DEQUEUE);
         // Outer containment: nothing may unwind out of a request, even
         // a bug outside the per-rung guards.
         let result = catch_unwind(AssertUnwindSafe(|| {

@@ -10,6 +10,12 @@ pub(crate) struct Counters {
     pub panics_contained: AtomicU64,
     pub deadline_exceeded: AtomicU64,
     pub shed: AtomicU64,
+    pub shed_admission: AtomicU64,
+    pub shed_sojourn: AtomicU64,
+    pub shed_expired: AtomicU64,
+    pub shed_interactive: AtomicU64,
+    pub shed_bulk: AtomicU64,
+    pub shed_maintenance: AtomicU64,
     pub cancelled: AtomicU64,
     pub storage_retries: AtomicU64,
     pub errors: AtomicU64,
@@ -32,6 +38,12 @@ impl Counters {
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            shed_admission: self.shed_admission.load(Ordering::Relaxed),
+            shed_sojourn: self.shed_sojourn.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            shed_interactive: self.shed_interactive.load(Ordering::Relaxed),
+            shed_bulk: self.shed_bulk.load(Ordering::Relaxed),
+            shed_maintenance: self.shed_maintenance.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             storage_retries: self.storage_retries.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -75,8 +87,27 @@ pub struct ServiceStats {
     pub panics_contained: u64,
     /// Requests that missed their deadline.
     pub deadline_exceeded: u64,
-    /// Requests shed by admission control.
+    /// Requests shed by admission control, all reasons combined
+    /// (`shed_admission + shed_sojourn + shed_expired`).
     pub shed: u64,
+    /// Requests refused by the hard in-flight backstop (the queue was
+    /// already at `max_in_flight`, regardless of tier).
+    pub shed_admission: u64,
+    /// Requests the sojourn-time controller refused at admission:
+    /// queue dwell exceeded the target for a sustained interval, so
+    /// the request's tier was shed (lowest tier first; Interactive is
+    /// never sojourn-shed).
+    pub shed_sojourn: u64,
+    /// Jobs dropped at dequeue because their deadline had already
+    /// passed while they waited in the queue — counted, never
+    /// executed, so the queue does no dead work.
+    pub shed_expired: u64,
+    /// Shed requests that carried the Interactive tier.
+    pub shed_interactive: u64,
+    /// Shed requests that carried the Bulk tier.
+    pub shed_bulk: u64,
+    /// Shed requests that carried the Maintenance tier.
+    pub shed_maintenance: u64,
     /// Requests dropped because the caller had already given up.
     pub cancelled: u64,
     /// Storage operations retried after a transient I/O failure.

@@ -1,0 +1,77 @@
+//! Request priority tiers for overload shedding.
+//!
+//! Every request through the service (and, via the `ctxpref2` wire
+//! envelope, every request through the network stack) carries a
+//! [`Priority`]. Under overload the admission controller sheds
+//! lowest-tier-first: Maintenance yields before Bulk, Bulk before
+//! Interactive, and Interactive is only ever refused by the hard
+//! in-flight backstop — never by the sojourn-time controller.
+
+/// The priority tier a request runs at. Ordering is by value: a
+/// *numerically higher* tier is shed *earlier* under pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// User-facing query traffic: shed last, only by the hard
+    /// in-flight backstop.
+    #[default]
+    Interactive = 0,
+    /// Batch loads and migrations: shed when pressure is sustained.
+    Bulk = 1,
+    /// Background upkeep (checkpoints, scrubs, anti-entropy): the
+    /// first tier to yield under any pressure.
+    Maintenance = 2,
+}
+
+impl Priority {
+    /// The wire tag (`u8`) of this tier in the `ctxpref2` envelope.
+    pub fn wire_tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a wire tag; `None` for an unknown tag (the decoder turns
+    /// that into a typed `BadTag` error).
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Self::Interactive),
+            1 => Some(Self::Bulk),
+            2 => Some(Self::Maintenance),
+            _ => None,
+        }
+    }
+
+    /// The tier's lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Interactive => "interactive",
+            Self::Bulk => "bulk",
+            Self::Maintenance => "maintenance",
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_tags_roundtrip() {
+        for tier in [Priority::Interactive, Priority::Bulk, Priority::Maintenance] {
+            assert_eq!(Priority::from_wire_tag(tier.wire_tag()), Some(tier));
+        }
+        assert_eq!(Priority::from_wire_tag(3), None);
+        assert_eq!(Priority::from_wire_tag(255), None);
+    }
+
+    #[test]
+    fn shedding_order_is_by_value() {
+        assert!(Priority::Interactive < Priority::Bulk);
+        assert!(Priority::Bulk < Priority::Maintenance);
+        assert_eq!(Priority::default(), Priority::Interactive);
+    }
+}

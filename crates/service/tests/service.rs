@@ -171,7 +171,7 @@ fn admission_control_sheds_excess_load() {
             // Let the slow request occupy the only slot.
             std::thread::sleep(Duration::from_millis(20));
             match service.query_state("user0", &s) {
-                Err(ServiceError::Overloaded { limit }) => assert_eq!(limit, 1),
+                Err(ServiceError::Overloaded { limit, .. }) => assert_eq!(limit, 1),
                 other => panic!("expected Overloaded, got {other:?}"),
             }
             assert!(slow.join().unwrap().is_ok());
