@@ -11,6 +11,7 @@
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --router   # routing tier + migration → BENCH_PR6.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --scrub    # scrub overhead on the append path → BENCH_PR8.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --storm    # open-loop overload storm with fault timeline → BENCH_PR9.json
+//! cargo run -p ctxpref-bench --release --bin serving_bench -- --views    # materialized top-k views vs qcache → BENCH_PR10.json
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --quick    # CI smoke (short window, no hard gate)
 //! cargo run -p ctxpref-bench --release --bin serving_bench -- --out path.json
 //! ```
@@ -30,6 +31,7 @@ use ctxpref_bench::router::{self, RouterBenchConfig};
 use ctxpref_bench::scrub::{self, ScrubBenchConfig};
 use ctxpref_bench::serving::{self, ServingBenchConfig};
 use ctxpref_bench::storm::{self, StormBenchConfig};
+use ctxpref_bench::views::{self, ViewsBenchConfig};
 use ctxpref_bench::ShapeCheck;
 
 fn main() {
@@ -41,13 +43,16 @@ fn main() {
     let router_mode = args.iter().any(|a| a == "--router");
     let scrub_mode = args.iter().any(|a| a == "--scrub");
     let storm_mode = args.iter().any(|a| a == "--storm");
+    let views_mode = args.iter().any(|a| a == "--views");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if storm_mode {
+            if views_mode {
+                "BENCH_PR10.json"
+            } else if storm_mode {
                 "BENCH_PR9.json"
             } else if scrub_mode {
                 "BENCH_PR8.json"
@@ -65,7 +70,14 @@ fn main() {
             .to_string()
         });
 
-    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if storm_mode {
+    let (rendered, json, checks): (String, String, Vec<ShapeCheck>) = if views_mode {
+        let mut cfg = ViewsBenchConfig::default();
+        if quick {
+            cfg.window = Duration::from_millis(250);
+        }
+        let report = views::run(cfg);
+        (report.render(), report.to_json(), report.checks)
+    } else if storm_mode {
         let mut cfg = StormBenchConfig::default();
         if quick {
             cfg = cfg.quick();

@@ -36,6 +36,7 @@ pub mod storm;
 pub mod table1;
 pub mod tablefmt;
 pub mod ties_exp;
+pub mod views;
 
 /// A named boolean shape check ("who wins, by roughly what factor").
 #[derive(Debug, Clone)]

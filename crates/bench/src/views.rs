@@ -1,0 +1,397 @@
+//! Materialized-view benchmark (PR 10): hot-state top-k serving under
+//! concurrent writers, views vs the qcache path.
+//!
+//! The fig-6-style workload: a working set of *hot* (user, state)
+//! pairs is queried in a tight loop while writer threads keep
+//! re-scoring preferences. Every mutation invalidates the whole
+//! qcache, so between writes the baseline must re-resolve the entire
+//! hot set from scratch; the hot set is sized so that re-warming
+//! costs more than the gap between invalidations, which is exactly
+//! the regime where invalidate-everything collapses. The view path
+//! absorbs the same mutations incrementally (a patch, one targeted
+//! rebuild, or — for non-intersecting descriptors — nothing) and
+//! keeps serving from the materialized rankings. The gate is ≥3×
+//! single-shard q/s — with *row-identical* answers, checked against
+//! fresh resolution after the storm quiesces.
+//!
+//! Run via `cargo run -p ctxpref-bench --release --bin serving_bench --
+//! --views`, which emits `BENCH_PR10.json`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use ctxpref_context::ContextState;
+use ctxpref_core::{MultiUserDb, ShardedMultiUserDb};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+use ctxpref_workload::user_study::{all_demographics, default_profile};
+
+use crate::ShapeCheck;
+
+/// Workload knobs for the materialized-view benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewsBenchConfig {
+    /// Registered users; readers and writers rotate over all of them.
+    pub users: usize,
+    /// Threads querying hot states back-to-back.
+    pub reader_threads: usize,
+    /// Threads re-scoring preferences back-to-back.
+    pub writer_threads: usize,
+    /// Hot context states per user (the fig-6 hot set).
+    pub hot_states: usize,
+    /// Rows requested per query.
+    pub k: usize,
+    /// POI-generator density knob (~`2 × per_region` tuples per
+    /// region): sizes the relation scans a cold resolution pays.
+    pub per_region: usize,
+    /// Measurement window per run.
+    pub window: Duration,
+}
+
+impl Default for ViewsBenchConfig {
+    fn default() -> Self {
+        Self {
+            users: 4,
+            reader_threads: 4,
+            writer_threads: 2,
+            hot_states: 48,
+            k: 10,
+            per_region: 120,
+            window: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// One measured run of the hot-state storm.
+#[derive(Debug, Clone, Copy)]
+pub struct HotStateThroughput {
+    /// Queries answered in the window.
+    pub queries: u64,
+    /// Queries per second.
+    pub queries_per_sec: f64,
+    /// Mutations applied by the writers in the window.
+    pub writes: u64,
+    /// View hits (0 on the qcache run).
+    pub view_hits: u64,
+    /// Incremental patches absorbed (0 on the qcache run).
+    pub view_patches: u64,
+    /// Targeted view rebuilds (0 on the qcache run).
+    pub view_rebuilds: u64,
+}
+
+/// Full materialized-view report.
+#[derive(Debug)]
+pub struct ViewsBenchReport {
+    /// The configuration that produced the numbers.
+    pub config: ViewsBenchConfig,
+    /// The storm over the qcache path (`query_state`).
+    pub baseline: HotStateThroughput,
+    /// The same storm over the view path (`query_state_topk`).
+    pub with_views: HotStateThroughput,
+    /// `with_views / baseline` q/s ratio (the headline).
+    pub speedup: f64,
+    /// Whether every hot (user, state) answered row-identically to
+    /// fresh resolution once the storm quiesced.
+    pub row_identical: bool,
+    /// Pass/fail claims.
+    pub checks: Vec<ShapeCheck>,
+}
+
+/// The study database: demographic default profiles over the POI
+/// reference workload, **single-shard** so the gate measures the
+/// resolution path, not shard parallelism.
+fn study_db(cfg: &ViewsBenchConfig) -> Arc<ShardedMultiUserDb> {
+    let env = poi_env();
+    let rel = poi_relation(&env, 2007, cfg.per_region);
+    // Qcache capacity matches the view catalog's (64): the hot set
+    // fits both, so the comparison is invalidation policy, not
+    // capacity.
+    let mut db = MultiUserDb::new(env.clone(), rel, 64);
+    let demos = all_demographics();
+    for i in 0..cfg.users {
+        let profile = default_profile(&env, db.relation(), demos[i % demos.len()]);
+        db.add_user_with_profile(&format!("user{i}"), profile)
+            .unwrap();
+    }
+    Arc::new(ShardedMultiUserDb::from_db(db, 1))
+}
+
+/// The hot set: `n` distinct detailed states walked out of the
+/// region × temperature × company cross product (distinct for any
+/// `n ≤ 240`, the full product).
+fn hot_states(db: &ShardedMultiUserDb, n: usize) -> Vec<ContextState> {
+    let regions = [
+        "Plaka",
+        "Kifisia",
+        "Monastiraki",
+        "Kolonaki",
+        "Exarchia",
+        "Glyfada",
+        "Piraeus",
+        "Marousi",
+        "Ladadika",
+        "Kalamaria",
+        "Ano_Poli",
+        "Toumba",
+        "Pylaia",
+        "Panorama",
+        "Perama",
+        "Kastro",
+    ];
+    let temps = ["freezing", "cold", "mild", "warm", "hot"];
+    let company = ["friends", "family", "alone"];
+    (0..n)
+        .map(|i| {
+            let names = [
+                regions[i % regions.len()],
+                temps[i % temps.len()],
+                company[i % company.len()],
+            ];
+            ContextState::parse(db.env(), &names).expect("hot state parses")
+        })
+        .collect()
+}
+
+/// Drive the hot-state storm over one of the two read paths.
+fn run_storm(
+    cfg: &ViewsBenchConfig,
+    db: &Arc<ShardedMultiUserDb>,
+    views: bool,
+) -> HotStateThroughput {
+    let states = hot_states(db, cfg.hot_states);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(cfg.reader_threads + cfg.writer_threads + 1);
+    let queries = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    // Baseline scores per (user, preference): writers nudge around
+    // each preference's own score instead of jumping to a fixed
+    // value, so rescores of preferences that overlap others keep
+    // the profile's dominance order (a fixed jump would conflict
+    // and be skipped — and those overlapping descriptors are
+    // exactly the ones that intersect materialized views).
+    let base_scores: Vec<Vec<f64>> = (0..cfg.users)
+        .map(|i| {
+            db.profile(&format!("user{i}"))
+                .expect("benchmark user exists")
+                .preferences()
+                .iter()
+                .map(|p| p.score())
+                .collect()
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for t in 0..cfg.reader_threads {
+            let (stop, barrier, db, states, queries) = (&stop, &barrier, db, &states, &queries);
+            scope.spawn(move || {
+                barrier.wait();
+                let mut n = t as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let user = format!("user{}", n as usize % cfg.users);
+                    let state = &states[(n as usize / cfg.users) % states.len()];
+                    if views {
+                        db.query_state_topk(&user, state, cfg.k)
+                            .expect("benchmark top-k query");
+                    } else {
+                        db.query_state(&user, state).expect("benchmark query");
+                    }
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    n += 1;
+                }
+            });
+        }
+        const WRITE_SET: usize = 24;
+        for t in 0..cfg.writer_threads {
+            let (stop, barrier, db, writes, base_scores) =
+                (&stop, &barrier, db, &writes, &base_scores);
+            scope.spawn(move || {
+                barrier.wait();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Unthrottled rescores over rotating preferences:
+                    // this is exactly the regime where the qcache's
+                    // invalidate-everything policy hurts — every write
+                    // colds the whole cache, while a view absorbs it
+                    // as a patch, a targeted rebuild, or (for a
+                    // non-intersecting descriptor) nothing at all.
+                    let victim = (t * 3 + n as usize) % cfg.users;
+                    let index = (n as usize / cfg.users) % WRITE_SET.min(base_scores[victim].len());
+                    // The (victim, index) pattern repeats every
+                    // `users * WRITE_SET` iterations; alternating
+                    // between a dip and the baseline once per full
+                    // cycle makes every revisit a real re-score (the
+                    // core no-ops same-score updates).
+                    let cycle = (cfg.users * WRITE_SET) as u64;
+                    let base = base_scores[victim][index];
+                    let score = if (n / cycle).is_multiple_of(2) {
+                        base * 0.9
+                    } else {
+                        base
+                    };
+                    let user = format!("user{victim}");
+                    if db.update_preference_score(&user, index, score).is_ok() {
+                        writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    n += 1;
+                }
+            });
+        }
+        barrier.wait();
+        std::thread::sleep(cfg.window);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let totals = db.views_totals();
+    let secs = cfg.window.as_secs_f64();
+    let queries = queries.into_inner();
+    HotStateThroughput {
+        queries,
+        queries_per_sec: queries as f64 / secs,
+        writes: writes.into_inner(),
+        view_hits: if views { totals.view_hits } else { 0 },
+        view_patches: if views { totals.view_patches } else { 0 },
+        view_rebuilds: if views { totals.view_rebuilds } else { 0 },
+    }
+}
+
+/// After the storm quiesces: every hot (user, state, k) must answer
+/// row-identically between the view path and fresh resolution.
+fn verify_row_identical(cfg: &ViewsBenchConfig, db: &ShardedMultiUserDb) -> bool {
+    let states = hot_states(db, cfg.hot_states);
+    for i in 0..cfg.users {
+        let user = format!("user{i}");
+        for state in &states {
+            let (topk, _) = db
+                .query_state_topk(&user, state, cfg.k)
+                .expect("verification top-k query");
+            let full = db.query_state(&user, state).expect("verification query");
+            if topk.results.entries() != full.results.top_k_with_ties(cfg.k) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Run the full materialized-view benchmark.
+pub fn run(cfg: ViewsBenchConfig) -> ViewsBenchReport {
+    // Fresh database per run so one path's caches never warm the other.
+    let base_db = study_db(&cfg);
+    let baseline = run_storm(&cfg, &base_db, false);
+    drop(base_db);
+
+    let view_db = study_db(&cfg);
+    let with_views = run_storm(&cfg, &view_db, true);
+    let row_identical = verify_row_identical(&cfg, &view_db);
+
+    let speedup = if baseline.queries_per_sec > 0.0 {
+        with_views.queries_per_sec / baseline.queries_per_sec
+    } else {
+        f64::INFINITY
+    };
+    let checks = vec![
+        ShapeCheck::new(
+            "materialized views serve hot states ≥3× faster than the qcache path under writers",
+            speedup >= 3.0,
+            format!(
+                "qcache {:.0} q/s vs views {:.0} q/s ({:.1}×), {} + {} writes",
+                baseline.queries_per_sec,
+                with_views.queries_per_sec,
+                speedup,
+                baseline.writes,
+                with_views.writes
+            ),
+        ),
+        ShapeCheck::new(
+            "view answers are row-identical to fresh resolution",
+            row_identical,
+            format!(
+                "{} hot (user, state) pairs checked at k = {}",
+                cfg.users * cfg.hot_states,
+                cfg.k
+            ),
+        ),
+        ShapeCheck::new(
+            "the storm was actually absorbed incrementally, not by rebuild-per-write",
+            with_views.view_hits > 0 && with_views.view_patches + with_views.view_rebuilds > 0,
+            format!(
+                "{} view hits, {} patches, {} targeted rebuilds",
+                with_views.view_hits, with_views.view_patches, with_views.view_rebuilds
+            ),
+        ),
+    ];
+    ViewsBenchReport {
+        config: cfg,
+        baseline,
+        with_views,
+        speedup,
+        row_identical,
+        checks,
+    }
+}
+
+impl ViewsBenchReport {
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "materialized views, hot-state storm: {} users × {} hot states, {} readers, {} writers, k = {}, {:?} window\n",
+            self.config.users,
+            self.config.hot_states,
+            self.config.reader_threads,
+            self.config.writer_threads,
+            self.config.k,
+            self.config.window
+        ));
+        out.push_str(&format!(
+            "  qcache path:  {:>8.0} q/s  ({} writes alongside)\n",
+            self.baseline.queries_per_sec, self.baseline.writes
+        ));
+        out.push_str(&format!(
+            "  view path:    {:>8.0} q/s  ({} writes, {} hits, {} patches, {} rebuilds)\n",
+            self.with_views.queries_per_sec,
+            self.with_views.writes,
+            self.with_views.view_hits,
+            self.with_views.view_patches,
+            self.with_views.view_rebuilds
+        ));
+        out.push_str(&format!("  speedup: {:.1}×\n", self.speedup));
+        out.push_str(&crate::render_checks(&self.checks));
+        out
+    }
+
+    /// Serialize as a small JSON document (hand-rolled; the workspace
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        let storm = |s: &HotStateThroughput| {
+            format!(
+                "{{\"queries\": {}, \"queries_per_sec\": {:.1}, \"writes\": {}, \"view_hits\": {}, \"view_patches\": {}, \"view_rebuilds\": {}}}",
+                s.queries, s.queries_per_sec, s.writes, s.view_hits, s.view_patches, s.view_rebuilds
+            )
+        };
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"name\": {:?}, \"pass\": {}, \"detail\": {:?}}}",
+                    c.name, c.pass, c.detail
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"views_pr10\",\n  \"config\": {{\"users\": {}, \"reader_threads\": {}, \"writer_threads\": {}, \"hot_states\": {}, \"k\": {}, \"per_region\": {}, \"window_ms\": {}}},\n  \"qcache_path\": {},\n  \"view_path\": {},\n  \"speedup\": {:.3},\n  \"row_identical\": {},\n  \"checks\": [\n{}\n  ]\n}}\n",
+            self.config.users,
+            self.config.reader_threads,
+            self.config.writer_threads,
+            self.config.hot_states,
+            self.config.k,
+            self.config.per_region,
+            self.config.window.as_millis(),
+            storm(&self.baseline),
+            storm(&self.with_views),
+            self.speedup,
+            self.row_identical,
+            checks.join(",\n")
+        )
+    }
+}

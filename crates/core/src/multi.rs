@@ -15,7 +15,8 @@ use ctxpref_profile::{
 };
 use ctxpref_qcache::ContextQueryTree;
 use ctxpref_relation::{CompareOp, Relation, Value};
-use ctxpref_resolve::{rank_cs, rank_cs_parallel};
+use ctxpref_resolve::{rank_cs, rank_cs_parallel, rank_cs_topk};
+use ctxpref_views::{Change, ViewCatalog, ViewOpts, ViewStats};
 
 use crate::db::{QueryAnswer, QueryOptions};
 use crate::error::CoreError;
@@ -32,15 +33,30 @@ pub(crate) fn rank_threads() -> usize {
         .min(8)
 }
 
-/// Per-user state: the logical profile, its tree index, and an optional
-/// query cache. Shared between [`MultiUserDb`] (single-threaded core)
-/// and [`crate::ShardedMultiUserDb`] (the concurrent serving core), so
+/// Unpinned materialized views a user may hold before LRU eviction.
+pub(crate) const VIEW_CAPACITY: usize = 64;
+
+/// The view-maintenance options implied by the database's query
+/// defaults.
+pub(crate) fn view_opts(defaults: QueryOptions) -> ViewOpts {
+    ViewOpts {
+        distance: defaults.distance,
+        tie: defaults.tie,
+        combiner: defaults.combiner,
+    }
+}
+
+/// Per-user state: the logical profile, its tree index, an optional
+/// query cache, and the materialized top-k view catalog. Shared
+/// between [`MultiUserDb`] (single-threaded core) and
+/// [`crate::ShardedMultiUserDb`] (the concurrent serving core), so
 /// mutation and query semantics cannot drift between the two.
 #[derive(Debug)]
 pub(crate) struct UserSlot {
     pub(crate) profile: Profile,
     pub(crate) tree: ProfileTree,
     pub(crate) cache: Option<ContextQueryTree>,
+    pub(crate) views: ViewCatalog,
 }
 
 impl UserSlot {
@@ -57,11 +73,14 @@ impl UserSlot {
             profile,
             tree,
             cache,
+            views: ViewCatalog::new(VIEW_CAPACITY),
         })
     }
 
     /// A deep copy with a fresh (empty) cache — used by snapshots; cached
-    /// rankings are derived data and need not survive a snapshot.
+    /// rankings are derived data and need not survive a snapshot. View
+    /// *pins* are carried (the registration is durable state), their
+    /// rankings are not: a restored view is rebuilt lazily.
     pub(crate) fn clone_for_snapshot(
         &self,
         env: &ContextEnvironment,
@@ -69,22 +88,36 @@ impl UserSlot {
     ) -> Self {
         let cache =
             (cache_capacity > 0).then(|| ContextQueryTree::new(env.clone(), cache_capacity));
+        let views = ViewCatalog::new(VIEW_CAPACITY);
+        for state in self.views.pinned_states() {
+            views.pin(state);
+        }
         Self {
             profile: self.profile.clone(),
             tree: self.tree.clone(),
             cache,
+            views,
         }
     }
 
     pub(crate) fn insert_preference(
         &mut self,
         pref: ContextualPreference,
+        relation: &Relation,
+        defaults: QueryOptions,
     ) -> Result<(), CoreError> {
         self.tree.insert(&pref)?;
         self.profile.insert_unchecked(pref);
         if let Some(c) = &self.cache {
             c.invalidate_all();
         }
+        let pref = self.profile.preferences().last().expect("just inserted");
+        self.views.on_mutation(
+            &self.tree,
+            relation,
+            &view_opts(defaults),
+            Change::Insert(pref),
+        );
         Ok(())
     }
 
@@ -92,6 +125,8 @@ impl UserSlot {
         &mut self,
         index: usize,
         order: &ParamOrder,
+        relation: &Relation,
+        defaults: QueryOptions,
     ) -> Result<ContextualPreference, CoreError> {
         if index >= self.profile.len() {
             return Err(CoreError::NoSuchPreference(index));
@@ -101,6 +136,12 @@ impl UserSlot {
         if let Some(c) = &self.cache {
             c.invalidate_all();
         }
+        self.views.on_mutation(
+            &self.tree,
+            relation,
+            &view_opts(defaults),
+            Change::Remove(&removed),
+        );
         Ok(removed)
     }
 
@@ -110,12 +151,15 @@ impl UserSlot {
         score: f64,
         env: &ContextEnvironment,
         order: &ParamOrder,
+        relation: &Relation,
+        defaults: QueryOptions,
     ) -> Result<(), CoreError> {
         if index >= self.profile.len() {
             return Err(CoreError::NoSuchPreference(index));
         }
         let old = &self.profile.preferences()[index];
-        if old.score() == score {
+        let old_score = old.score();
+        if old_score == score {
             return Ok(());
         }
         let updated = old.with_score(score)?;
@@ -134,6 +178,13 @@ impl UserSlot {
         if let Some(c) = &self.cache {
             c.invalidate_all();
         }
+        let pref = &self.profile.preferences()[index];
+        self.views.on_mutation(
+            &self.tree,
+            relation,
+            &view_opts(defaults),
+            Change::Rescore { pref, old_score },
+        );
         Ok(())
     }
 
@@ -172,6 +223,50 @@ impl UserSlot {
             cache.insert(state, Arc::clone(&answer.results));
         }
         Ok(answer)
+    }
+
+    /// Single-state top-k query: served from a materialized view when
+    /// one is current (the boolean is true then), falling back to
+    /// early-terminating `rank_cs_topk` resolution. Rows are always
+    /// `top_k_with_ties(k)` of the full ranking, bit-identical between
+    /// the two paths.
+    pub(crate) fn query_state_topk(
+        &self,
+        env: &ContextEnvironment,
+        relation: &Relation,
+        defaults: QueryOptions,
+        state: &ContextState,
+        k: usize,
+    ) -> Result<(QueryAnswer, bool), CoreError> {
+        let opts = view_opts(defaults);
+        if let Some(results) = self.views.serve(&self.tree, relation, &opts, state, k) {
+            return Ok((
+                QueryAnswer {
+                    results: Arc::new(results),
+                    resolutions: Vec::new(),
+                    from_cache: false,
+                },
+                true,
+            ));
+        }
+        let ecod: ExtendedContextDescriptor = crate::db::descriptor_of_state(env, state).into();
+        let q = rank_cs_topk(
+            &self.tree,
+            relation,
+            &ecod,
+            defaults.distance,
+            defaults.tie,
+            defaults.combiner,
+            k,
+        )?;
+        Ok((
+            QueryAnswer {
+                results: Arc::new(q.results),
+                resolutions: q.resolutions,
+                from_cache: false,
+            },
+            false,
+        ))
     }
 
     /// Explicit-descriptor query: multi-state (exploratory) descriptors
@@ -329,12 +424,6 @@ impl MultiUserDb {
             .ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
     }
 
-    fn slot_mut(&mut self, name: &str) -> Result<&mut UserSlot, CoreError> {
-        self.users
-            .get_mut(name)
-            .ok_or_else(|| CoreError::NoSuchUser(name.to_string()))
-    }
-
     /// A user's profile.
     pub fn profile(&self, user: &str) -> Result<&Profile, CoreError> {
         Ok(&self.slot(user)?.profile)
@@ -358,7 +447,12 @@ impl MultiUserDb {
         user: &str,
         pref: ContextualPreference,
     ) -> Result<(), CoreError> {
-        self.slot_mut(user)?.insert_preference(pref)
+        let defaults = self.defaults;
+        let slot = self
+            .users
+            .get_mut(user)
+            .ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
+        slot.insert_preference(pref, &self.relation, defaults)
     }
 
     /// Insert an equality preference for one user from its textual
@@ -389,7 +483,12 @@ impl MultiUserDb {
         index: usize,
     ) -> Result<ContextualPreference, CoreError> {
         let order = self.order.clone();
-        self.slot_mut(user)?.remove_preference(index, &order)
+        let defaults = self.defaults;
+        let slot = self
+            .users
+            .get_mut(user)
+            .ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
+        slot.remove_preference(index, &order, &self.relation, defaults)
     }
 
     /// Update the score of one user's preference at `index`, checking
@@ -402,8 +501,12 @@ impl MultiUserDb {
     ) -> Result<(), CoreError> {
         let env = self.env.clone();
         let order = self.order.clone();
-        self.slot_mut(user)?
-            .update_preference_score(index, score, &env, &order)
+        let defaults = self.defaults;
+        let slot = self
+            .users
+            .get_mut(user)
+            .ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
+        slot.update_preference_score(index, score, &env, &order, &self.relation, defaults)
     }
 
     /// The query options used for every query on this database.
@@ -420,6 +523,7 @@ impl MultiUserDb {
             if let Some(c) = &slot.cache {
                 c.invalidate_all();
             }
+            slot.views.invalidate_contents();
         }
     }
 
@@ -434,6 +538,40 @@ impl MultiUserDb {
     pub fn query_state(&self, user: &str, state: &ContextState) -> Result<QueryAnswer, CoreError> {
         self.slot(user)?
             .query_state(&self.env, &self.relation, self.defaults, state)
+    }
+
+    /// Top-k query under a single context state: materialized view
+    /// when current, `rank_cs_topk` otherwise. The boolean reports
+    /// whether a view answered.
+    pub fn query_state_topk(
+        &self,
+        user: &str,
+        state: &ContextState,
+        k: usize,
+    ) -> Result<(QueryAnswer, bool), CoreError> {
+        self.slot(user)?
+            .query_state_topk(&self.env, &self.relation, self.defaults, state, k)
+    }
+
+    /// Register and pin a materialized top-k view of `(user, state)`.
+    pub fn pin_view(&mut self, user: &str, state: &ContextState) -> Result<(), CoreError> {
+        self.slot(user)?.views.pin(state.clone());
+        Ok(())
+    }
+
+    /// Unpin a previously pinned view; returns whether it was pinned.
+    pub fn unpin_view(&mut self, user: &str, state: &ContextState) -> Result<bool, CoreError> {
+        Ok(self.slot(user)?.views.unpin(state))
+    }
+
+    /// One user's pinned view states (sorted).
+    pub fn pinned_views(&self, user: &str) -> Result<Vec<ContextState>, CoreError> {
+        Ok(self.slot(user)?.views.pinned_states())
+    }
+
+    /// One user's view-serving counters.
+    pub fn view_stats(&self, user: &str) -> Result<ViewStats, CoreError> {
+        Ok(self.slot(user)?.views.stats())
     }
 
     /// Render the top-`k` answer (ties included) as `name (score)` lines

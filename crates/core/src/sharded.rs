@@ -37,6 +37,7 @@ use ctxpref_profile::{
     AttributeClause, ContextualPreference, ParamOrder, Profile, ProfileTree, TreeStats,
 };
 use ctxpref_relation::{CompareOp, Relation, Value};
+use ctxpref_views::ViewStats;
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::db::{QueryAnswer, QueryOptions};
@@ -219,8 +220,9 @@ impl ShardedMultiUserDb {
         *self.defaults.read()
     }
 
-    /// Replace the query options; every user's cache is invalidated
-    /// (cached answers were computed under the old options).
+    /// Replace the query options; every user's cache and materialized
+    /// view contents are invalidated (both were computed under the old
+    /// options).
     pub fn set_query_defaults(&self, options: QueryOptions) {
         *self.defaults.write() = options;
         for shard in self.shards.iter() {
@@ -229,6 +231,7 @@ impl ShardedMultiUserDb {
                 if let Some(c) = &slot.cache {
                     c.invalidate_all();
                 }
+                slot.views.invalidate_contents();
             }
         }
     }
@@ -308,6 +311,65 @@ impl ShardedMultiUserDb {
         self.with_slot(user, |s| Ok(s.cache.as_ref().map(|c| c.stats())))
     }
 
+    /// Query-cache statistics summed over every user on every shard —
+    /// the serving layer's `stats` verb surfaces these so operators can
+    /// see invalidation and eviction pressure without enumerating
+    /// users. Consistent per-slot; cross-slot skew is possible under
+    /// concurrent traffic (like every aggregate counter here).
+    pub fn cache_totals(&self) -> ctxpref_qcache::CacheStats {
+        let mut total = ctxpref_qcache::CacheStats::default();
+        for shard in self.shards.iter() {
+            let guard = shard.read();
+            for slot in guard.values() {
+                if let Some(s) = slot.cache.as_ref().map(|c| c.stats()) {
+                    total.hits += s.hits;
+                    total.misses += s.misses;
+                    total.insertions += s.insertions;
+                    total.evictions += s.evictions;
+                    total.invalidations += s.invalidations;
+                    total.cells_accessed += s.cells_accessed;
+                }
+            }
+        }
+        total
+    }
+
+    /// View-serving statistics summed over every user on every shard.
+    pub fn views_totals(&self) -> ViewStats {
+        let mut total = ViewStats::default();
+        for shard in self.shards.iter() {
+            let guard = shard.read();
+            for slot in guard.values() {
+                total.absorb(&slot.views.stats());
+            }
+        }
+        total
+    }
+
+    /// One user's view-serving counters.
+    pub fn view_stats(&self, user: &str) -> Result<ViewStats, CoreError> {
+        self.with_slot(user, |s| Ok(s.views.stats()))
+    }
+
+    /// Register and pin a materialized top-k view of `(user, state)`:
+    /// it is materialized on first use and never evicted.
+    pub fn pin_view(&self, user: &str, state: &ContextState) -> Result<(), CoreError> {
+        self.with_slot(user, |s| {
+            s.views.pin(state.clone());
+            Ok(())
+        })
+    }
+
+    /// Unpin a previously pinned view; returns whether it was pinned.
+    pub fn unpin_view(&self, user: &str, state: &ContextState) -> Result<bool, CoreError> {
+        self.with_slot(user, |s| Ok(s.views.unpin(state)))
+    }
+
+    /// One user's pinned view states (sorted).
+    pub fn pinned_views(&self, user: &str) -> Result<Vec<ContextState>, CoreError> {
+        self.with_slot(user, |s| Ok(s.views.pinned_states()))
+    }
+
     /// Insert a preference for one user; only their shard is
     /// write-locked.
     pub fn insert_preference(
@@ -315,7 +377,10 @@ impl ShardedMultiUserDb {
         user: &str,
         pref: ContextualPreference,
     ) -> Result<(), CoreError> {
-        self.with_slot_mut(user, |s| s.insert_preference(pref))
+        let defaults = *self.defaults.read();
+        self.with_slot_mut(user, |s| {
+            s.insert_preference(pref, &self.relation, defaults)
+        })
     }
 
     /// Insert an equality preference for one user from its textual
@@ -343,7 +408,10 @@ impl ShardedMultiUserDb {
         user: &str,
         index: usize,
     ) -> Result<ContextualPreference, CoreError> {
-        self.with_slot_mut(user, |s| s.remove_preference(index, &self.order))
+        let defaults = *self.defaults.read();
+        self.with_slot_mut(user, |s| {
+            s.remove_preference(index, &self.order, &self.relation, defaults)
+        })
     }
 
     /// Update the score of one user's preference at `index`.
@@ -353,8 +421,16 @@ impl ShardedMultiUserDb {
         index: usize,
         score: f64,
     ) -> Result<(), CoreError> {
+        let defaults = *self.defaults.read();
         self.with_slot_mut(user, |s| {
-            s.update_preference_score(index, score, &self.env, &self.order)
+            s.update_preference_score(
+                index,
+                score,
+                &self.env,
+                &self.order,
+                &self.relation,
+                defaults,
+            )
         })
     }
 
@@ -364,6 +440,22 @@ impl ShardedMultiUserDb {
         let defaults = *self.defaults.read();
         self.with_slot(user, |s| {
             s.query_state(&self.env, &self.relation, defaults, state)
+        })
+    }
+
+    /// Top-k query under a single context state: served from the
+    /// user's materialized view when one is current, early-terminating
+    /// `rank_cs_topk` otherwise. The boolean reports whether a view
+    /// answered. Takes the user's shard read lock.
+    pub fn query_state_topk(
+        &self,
+        user: &str,
+        state: &ContextState,
+        k: usize,
+    ) -> Result<(QueryAnswer, bool), CoreError> {
+        let defaults = *self.defaults.read();
+        self.with_slot(user, |s| {
+            s.query_state_topk(&self.env, &self.relation, defaults, state, k)
         })
     }
 
@@ -505,6 +597,24 @@ impl UserShardRead<'_> {
             .get(user)
             .ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
         slot.query_state(&self.db.env, &self.db.relation, self.defaults, state)
+    }
+
+    /// Top-k query for `user` under a single context state, re-using
+    /// the already-held shard read lock: materialized view when one is
+    /// current (the view catalog's hit path is itself read-lock-only),
+    /// early-terminating `rank_cs_topk` otherwise. The boolean reports
+    /// whether a view answered.
+    pub fn query_state_topk(
+        &self,
+        user: &str,
+        state: &ContextState,
+        k: usize,
+    ) -> Result<(QueryAnswer, bool), CoreError> {
+        let slot = self
+            .guard
+            .get(user)
+            .ok_or_else(|| CoreError::NoSuchUser(user.to_string()))?;
+        slot.query_state_topk(&self.db.env, &self.db.relation, self.defaults, state, k)
     }
 }
 

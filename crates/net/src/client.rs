@@ -605,6 +605,50 @@ impl NetClient {
         }
     }
 
+    /// Top-k query: the server evaluates only the best `k` rows —
+    /// from a materialized view when one is current (the answer's
+    /// `step` reads `view`), early-terminating ranking otherwise —
+    /// and the wire carries only those rows. Same deadline/budget
+    /// envelope as [`Self::query`].
+    pub fn query_topk(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        deadline: Duration,
+        state: &[&str],
+    ) -> Result<RemoteAnswer, NetError> {
+        self.query_topk_tiered(user, attr, k, deadline, state, Priority::Interactive)
+    }
+
+    /// [`Self::query_topk`] at an explicit priority tier.
+    pub fn query_topk_tiered(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        deadline: Duration,
+        state: &[&str],
+        tier: Priority,
+    ) -> Result<RemoteAnswer, NetError> {
+        let req = Request::TopK {
+            user: user.to_string(),
+            attr: attr.to_string(),
+            k,
+            deadline_ms: deadline.as_millis().min(u128::from(u64::MAX)) as u64,
+            state: state.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.request_enveloped(&req, Some(deadline), tier)? {
+            Response::Answer(a) => Ok(a),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The server's view-catalog status report, rendered.
+    pub fn views_status(&mut self) -> Result<String, NetError> {
+        self.expect_text(&Request::ViewsStatus)
+    }
+
     /// Rank `user`'s tuples under an extended context descriptor (the
     /// exploratory library path).
     pub fn query_descriptor(

@@ -309,6 +309,8 @@ const RQ_MIGRATE: u8 = 15;
 const RQ_BATCH: u8 = 16;
 const RQ_SCRUB: u8 = 17;
 const RQ_SCRUB_STATUS: u8 = 18;
+const RQ_TOPK: u8 = 19;
+const RQ_VIEWS_STATUS: u8 = 20;
 
 // Migrate action tags.
 const MA_EXPORT: u8 = 1;
@@ -361,6 +363,8 @@ fn req_tag(req: &Request) -> u8 {
         Request::Batch { .. } => RQ_BATCH,
         Request::Scrub => RQ_SCRUB,
         Request::ScrubStatus => RQ_SCRUB_STATUS,
+        Request::TopK { .. } => RQ_TOPK,
+        Request::ViewsStatus => RQ_VIEWS_STATUS,
     }
 }
 
@@ -374,8 +378,25 @@ fn put_request_body(out: &mut Vec<u8>, req: &Request) {
         | Request::Stats
         | Request::RouteStatus
         | Request::Scrub
-        | Request::ScrubStatus => {}
+        | Request::ScrubStatus
+        | Request::ViewsStatus => {}
         Request::Query {
+            user,
+            attr,
+            k,
+            deadline_ms,
+            state,
+        } => {
+            put_str(out, user);
+            put_str(out, attr);
+            put_uv(out, *k as u64);
+            put_uv(out, *deadline_ms);
+            put_uv(out, state.len() as u64);
+            for v in state {
+                put_str(out, v);
+            }
+        }
+        Request::TopK {
             user,
             attr,
             k,
@@ -545,6 +566,25 @@ fn decode_request_body(
         RQ_ROUTE_STATUS => Request::RouteStatus,
         RQ_SCRUB => Request::Scrub,
         RQ_SCRUB_STATUS => Request::ScrubStatus,
+        RQ_VIEWS_STATUS => Request::ViewsStatus,
+        RQ_TOPK => {
+            let user = dec.str_()?;
+            let attr = dec.str_()?;
+            let k = dec.uv_len()?;
+            let deadline_ms = dec.uv()?;
+            let n = dec.checked_count(1)?;
+            let mut state = Vec::with_capacity(n);
+            for _ in 0..n {
+                state.push(dec.str_()?);
+            }
+            Request::TopK {
+                user,
+                attr,
+                k,
+                deadline_ms,
+                state,
+            }
+        }
         RQ_QUERY => {
             let user = dec.str_()?;
             let attr = dec.str_()?;
@@ -1044,6 +1084,14 @@ mod tests {
             deadline_ms: 250,
             state: vec!["Plaka".into(), "warm".into(), "friends".into()],
         });
+        roundtrip_req(Request::TopK {
+            user: "Ano Poli visitor".into(),
+            attr: "name".into(),
+            k: 3,
+            deadline_ms: 100,
+            state: vec!["Plaka".into(), "warm".into(), "friends".into()],
+        });
+        roundtrip_req(Request::ViewsStatus);
         roundtrip_req(Request::QueryDescriptor {
             user: "me".into(),
             attr: "name".into(),

@@ -42,6 +42,25 @@ pub enum Request {
         /// Context value names, one per hierarchy, in environment order.
         state: Vec<String>,
     },
+    /// Top-k query for `user` under a context state: the server
+    /// evaluates only the best `k` rows (materialized view or
+    /// early-terminating ranking) and the wire carries only those
+    /// rows. Same envelope as [`Request::Query`].
+    TopK {
+        /// The user to query.
+        user: String,
+        /// Display attribute for result rows.
+        attr: String,
+        /// How many rows to return (ties included).
+        k: usize,
+        /// Requested deadline in milliseconds (server caps it).
+        deadline_ms: u64,
+        /// Context value names, one per hierarchy, in environment order.
+        state: Vec<String>,
+    },
+    /// The view catalog's status report: aggregate counters plus one
+    /// line per user with materialized views.
+    ViewsStatus,
     /// Query `user` under a context descriptor (exploratory path).
     QueryDescriptor {
         /// The user to query.
@@ -224,6 +243,25 @@ impl Request {
                 }
                 line
             }
+            Self::TopK {
+                user,
+                attr,
+                k,
+                deadline_ms,
+                state,
+            } => {
+                let mut line = format!(
+                    "{PROTO_VERSION} topk {} {} {k} {deadline_ms}",
+                    escape(user),
+                    escape(attr)
+                );
+                for v in state {
+                    line.push(' ');
+                    line.push_str(&escape(v));
+                }
+                line
+            }
+            Self::ViewsStatus => format!("{PROTO_VERSION} views-status"),
             Self::QueryDescriptor {
                 user,
                 attr,
@@ -365,6 +403,17 @@ impl Request {
                     .map(|v| field(v, "state value"))
                     .collect::<Result<_, _>>()?,
             }),
+            ("topk", [user, attr, k, deadline_ms, state @ ..]) => Ok(Self::TopK {
+                user: field(user, "user")?,
+                attr: field(attr, "attr")?,
+                k: num(k, "k")?,
+                deadline_ms: num(deadline_ms, "deadline_ms")?,
+                state: state
+                    .iter()
+                    .map(|v| field(v, "state value"))
+                    .collect::<Result<_, _>>()?,
+            }),
+            ("views-status", []) => Ok(Self::ViewsStatus),
             ("query-desc", [user, attr, k, descriptor]) => Ok(Self::QueryDescriptor {
                 user: field(user, "user")?,
                 attr: field(attr, "attr")?,
@@ -564,7 +613,7 @@ impl RemoteAnswer {
     /// True iff the answer came from a rung below the normal
     /// cached/exact path (mirrors `ServiceAnswer::is_degraded`).
     pub fn is_degraded(&self) -> bool {
-        self.step != "cached" && self.step != "exact"
+        self.step != "view" && self.step != "cached" && self.step != "exact"
     }
 }
 
@@ -977,6 +1026,14 @@ mod tests {
             deadline_ms: 250,
             state: vec!["Plaka".into(), "warm".into(), "friends".into()],
         });
+        roundtrip_req(Request::TopK {
+            user: "Ano Poli visitor".into(),
+            attr: "name".into(),
+            k: 3,
+            deadline_ms: 100,
+            state: vec!["Plaka".into(), "warm".into(), "friends".into()],
+        });
+        roundtrip_req(Request::ViewsStatus);
         roundtrip_req(Request::QueryDescriptor {
             user: "me".into(),
             attr: "name".into(),

@@ -985,6 +985,56 @@ fn dispatch_inner(
                 rows,
             })
         }
+        Request::TopK {
+            user,
+            attr,
+            k,
+            deadline_ms,
+            state,
+        } => {
+            let state = {
+                let names: Vec<&str> = state.iter().map(String::as_str).collect();
+                match service.with_db(|db| ContextState::parse(db.env(), &names)) {
+                    Ok(s) => s,
+                    Err(e) => return err_of(&ServiceError::Core(CoreError::Context(e))),
+                }
+            };
+            // Same deadline arithmetic as Query: tightest of the
+            // request's ask, the propagated budget, and the cap.
+            let mut deadline_ms = (*deadline_ms).max(1);
+            if budget_ms > 0 {
+                deadline_ms = deadline_ms.min(budget_ms);
+            }
+            let deadline = Duration::from_millis(deadline_ms).min(cfg.max_deadline);
+            let answer = match service.query_topk_tiered(user, &state, *k, deadline, tier) {
+                Ok(a) => a,
+                Err(e) => return err_of(&e),
+            };
+            let rows = match render_rows(service, &answer.answer, attr, *k) {
+                Ok(rows) => rows,
+                Err(e) => return err_of(&ServiceError::Core(e)),
+            };
+            Response::Answer(RemoteAnswer {
+                step: answer.step.to_string(),
+                elapsed_us: answer.elapsed.as_micros() as u64,
+                resolved_state: answer
+                    .resolved_state
+                    .as_ref()
+                    .map(|s| service.with_db(|db| s.display(db.env()).to_string())),
+                fallbacks: answer
+                    .fallbacks
+                    .iter()
+                    .map(|fb| WireFallback {
+                        step: fb.step.to_string(),
+                        reason: fb.reason.clone(),
+                    })
+                    .collect(),
+                rows,
+            })
+        }
+        Request::ViewsStatus => Response::Text {
+            body: service.views_status(),
+        },
         Request::QueryDescriptor {
             user,
             attr,
@@ -1116,8 +1166,9 @@ fn dispatch_inner(
         Request::Stats => {
             let s = service.stats();
             let mut body = format!(
-                "served: {} cached, {} exact, {} nearest-state, {} default\n\
+                "served: {} view, {} cached, {} exact, {} nearest-state, {} default\n\
                  contained panics {}, deadline misses {}, shed {}, errors {}",
+                s.served_view,
                 s.served_cached,
                 s.served_exact,
                 s.served_nearest,
@@ -1127,6 +1178,23 @@ fn dispatch_inner(
                 s.shed,
                 s.errors
             );
+            body.push_str(&format!(
+                "\ncache: {} hits, {} misses, {} insertions, {} evictions, {} invalidations",
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_insertions,
+                s.cache_evictions,
+                s.cache_invalidations
+            ));
+            body.push_str(&format!(
+                "\nviews: {} materialized, {} pinned, {} hits, {} misses, {} patches, {} rebuilds",
+                s.materialized_views,
+                s.pinned_views,
+                s.view_hits,
+                s.view_misses,
+                s.view_patches,
+                s.view_rebuilds
+            ));
             body.push_str(&format!(
                 "\nshed by reason: {} admission, {} sojourn, {} expired-at-dequeue\n\
                  shed by tier: {} interactive, {} bulk, {} maintenance",

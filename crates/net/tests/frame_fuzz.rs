@@ -72,6 +72,14 @@ fn recorded_requests() -> Vec<Request> {
             deadline_ms: 250,
             state: vec!["Plaka".into(), "warm".into(), "friends".into()],
         },
+        Request::TopK {
+            user: "alice".into(),
+            attr: "name".into(),
+            k: 3,
+            deadline_ms: 100,
+            state: vec!["Plaka".into(), "warm".into(), "friends".into()],
+        },
+        Request::ViewsStatus,
         Request::QueryDescriptor {
             user: "bob with spaces".into(),
             attr: "type".into(),
@@ -258,6 +266,14 @@ fn binary_request_corpus() -> Vec<Vec<u8>> {
             deadline_ms: 250,
             state: vec!["Plaka".into(), "warm".into(), "friends".into()],
         },
+        Request::TopK {
+            user: "alice".into(),
+            attr: "name".into(),
+            k: 3,
+            deadline_ms: 100,
+            state: vec!["Plaka".into(), "warm".into(), "friends".into()],
+        },
+        Request::ViewsStatus,
         Request::InsertPref {
             user: "bob with spaces".into(),
             descriptor: "accompanying_people = friends".into(),
@@ -416,6 +432,19 @@ fn binary_hostile_length_claim_rejected_before_allocation() {
     assert!(
         largest < 4096,
         "hostile count claim rejected, but allocated {largest} bytes on the way"
+    );
+
+    // And for the top-k verb (tag 19): user "a", attr "n", k 1,
+    // deadline 1, then a state-value count claiming 2^40 strings.
+    let mut hostile = vec![0xC2, 0x02, 19, 1];
+    hostile.extend_from_slice(&[1, b'a', 1, b'n', 1, 1]);
+    hostile.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x20]);
+    let largest = largest_alloc_during(|| {
+        decode_request(&hostile).expect_err("terabyte state-count claim must fail typed");
+    });
+    assert!(
+        largest < 4096,
+        "hostile top-k state count rejected, but allocated {largest} bytes on the way"
     );
 }
 

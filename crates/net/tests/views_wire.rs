@@ -1,0 +1,140 @@
+//! End-to-end top-k pushdown and observability over the wire: the
+//! `topk` verb must answer row-identically to `query`, materialized
+//! views must actually serve repeat requests, and the `stats` /
+//! `views-status` verbs must surface the qcache and view catalog
+//! counters (the regression test for cache observability — an
+//! invalidation caused by a remote mutation must be visible in the
+//! stats body).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ctxpref_core::MultiUserDb;
+use ctxpref_net::{NetClient, NetClientConfig, NetServer, NetServerConfig};
+use ctxpref_service::{CtxPrefService, ServiceConfig};
+use ctxpref_workload::reference::{poi_env, poi_relation};
+
+const DEADLINE: Duration = Duration::from_secs(5);
+const STATE: [&str; 3] = ["Plaka", "warm", "friends"];
+
+fn spawn_server() -> NetServer {
+    let env = poi_env();
+    let db = MultiUserDb::new(env.clone(), poi_relation(&env, 2007, 5), 8);
+    let service = Arc::new(CtxPrefService::new(db, ServiceConfig::default()));
+    NetServer::bind("127.0.0.1:0", service, NetServerConfig::default()).expect("bind loopback")
+}
+
+fn client(server: &NetServer) -> NetClient {
+    NetClient::connect(server.local_addr().to_string(), NetClientConfig::default())
+}
+
+/// Pull the integer following `label` out of a stats line like
+/// `views: 3 materialized, 1 pinned, …` (number *before* the label).
+fn counter(body: &str, line_prefix: &str, label: &str) -> u64 {
+    let line = body
+        .lines()
+        .find(|l| l.trim_start().starts_with(line_prefix))
+        .unwrap_or_else(|| panic!("no {line_prefix:?} line in stats body:\n{body}"));
+    let head = line
+        .split(label)
+        .next()
+        .unwrap_or_else(|| panic!("no {label:?} in {line:?}"));
+    head.trim_end()
+        .rsplit(|c: char| !c.is_ascii_digit())
+        .next()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no number before {label:?} in {line:?}"))
+}
+
+#[test]
+fn topk_answers_row_identically_and_counters_surface_in_stats() {
+    let server = spawn_server();
+    let mut c = client(&server);
+
+    c.add_user("viewer").expect("add user");
+    for (desc, value, score) in [
+        ("accompanying_people = friends", "museum", 0.9),
+        ("accompanying_people = friends", "club", 0.7),
+        ("location = Plaka", "cafeteria", 0.8),
+        ("temperature = warm", "zoo", 0.6),
+    ] {
+        c.insert_preference("viewer", desc, "type", value, score)
+            .expect("insert pref");
+    }
+
+    // Reference rows from the full query path.
+    let full = c
+        .query("viewer", "name", 5, DEADLINE, &STATE)
+        .expect("query");
+    assert!(!full.rows.is_empty(), "the demo profile must match rows");
+
+    // Drive the same (user, state) through the top-k verb until the
+    // view materializes and serves; every answer must be
+    // row-identical to the full path.
+    let mut view_served = false;
+    for _ in 0..6 {
+        let topk = c
+            .query_topk("viewer", "name", 5, DEADLINE, &STATE)
+            .expect("topk");
+        assert_eq!(
+            topk.rows, full.rows,
+            "top-k pushdown must answer row-identically to query"
+        );
+        assert!(
+            !topk.is_degraded(),
+            "a view answer is not a degraded answer (step {})",
+            topk.step
+        );
+        view_served |= topk.step == "view";
+    }
+    assert!(view_served, "repeat top-k requests must hit the view path");
+
+    // A mutation invalidates the qcache and patches/rebuilds views;
+    // both must be visible through the stats verb.
+    c.insert_preference(
+        "viewer",
+        "accompanying_people = friends",
+        "type",
+        "theater",
+        0.95,
+    )
+    .expect("mutating insert");
+
+    let body = c.stats().expect("stats");
+    assert!(
+        counter(&body, "cache:", "invalidations") >= 1,
+        "the mutation's cache invalidation must surface in stats:\n{body}"
+    );
+    assert!(
+        counter(&body, "views:", "materialized") >= 1,
+        "the materialized view must surface in stats:\n{body}"
+    );
+    assert!(
+        counter(&body, "views:", "hits") >= 1,
+        "view hits must surface in stats:\n{body}"
+    );
+    assert!(
+        counter(&body, "served:", "view") >= 1,
+        "the ladder's view rung must surface in stats:\n{body}"
+    );
+
+    // The view answer after the mutation reflects the new preference
+    // and still matches the full path bit-for-bit.
+    let full = c
+        .query("viewer", "name", 5, DEADLINE, &STATE)
+        .expect("query after mutation");
+    let topk = c
+        .query_topk("viewer", "name", 5, DEADLINE, &STATE)
+        .expect("topk after mutation");
+    assert_eq!(topk.rows, full.rows, "stale view served after mutation");
+
+    // views-status renders the catalog.
+    let status = c.views_status().expect("views-status");
+    assert!(
+        status.contains("views materialized="),
+        "unexpected views-status body:\n{status}"
+    );
+
+    drop(c);
+    server.shutdown();
+}

@@ -105,6 +105,18 @@ impl RankedResults {
         Self { entries }
     }
 
+    /// Adopt entries that are already duplicate-free and sorted in
+    /// this type's order (descending score, ties by ascending tuple
+    /// index). Materialized views maintain their rankings in exactly
+    /// that order and use this to serve without re-sorting.
+    pub fn from_sorted(entries: Vec<ScoredTuple>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| {
+            w[0].score > w[1].score
+                || (w[0].score == w[1].score && w[0].tuple_index < w[1].tuple_index)
+        }));
+        Self { entries }
+    }
+
     /// All entries, best first.
     pub fn entries(&self) -> &[ScoredTuple] {
         &self.entries

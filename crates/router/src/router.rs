@@ -575,6 +575,57 @@ impl Router {
         }
     }
 
+    /// Top-k pushdown variant of [`Self::query`]: the serving shard
+    /// answers from a materialized view when one is fresh, and the
+    /// wire carries only `k` rows either way.
+    pub fn query_topk(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        deadline: Duration,
+        state: &[&str],
+    ) -> Result<RemoteAnswer, RouterError> {
+        self.query_topk_tiered(user, attr, k, deadline, state, Priority::Interactive)
+    }
+
+    /// [`Self::query_topk`] at an explicit priority tier, with the
+    /// same budget envelope as [`Self::query_tiered`].
+    pub fn query_topk_tiered(
+        &mut self,
+        user: &str,
+        attr: &str,
+        k: usize,
+        deadline: Duration,
+        state: &[&str],
+        tier: Priority,
+    ) -> Result<RemoteAnswer, RouterError> {
+        let req = Request::TopK {
+            user: user.to_string(),
+            attr: attr.to_string(),
+            k,
+            deadline_ms: deadline.as_millis().min(u128::from(u64::MAX)) as u64,
+            state: state.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.forward_enveloped(user, &req, Some(deadline), tier)? {
+            Response::Answer(a) => Ok(a),
+            other => Err(RouterError::Net(NetError::UnexpectedResponse {
+                got: format!("{other:?}"),
+            })),
+        }
+    }
+
+    /// Materialized-view status report from `cluster`: aggregate
+    /// view-serving counters plus per-user pinned states.
+    pub fn views_status(&mut self, cluster: usize) -> Result<String, RouterError> {
+        match self.call_cluster(cluster, &Request::ViewsStatus)? {
+            Response::Text { body } => Ok(body),
+            other => Err(RouterError::Net(NetError::UnexpectedResponse {
+                got: format!("{other:?}"),
+            })),
+        }
+    }
+
     /// Probe `cluster`: primary presence, replication epoch, state
     /// counts. Feeds the same health machinery as regular requests.
     pub fn route_status(

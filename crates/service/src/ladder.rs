@@ -32,6 +32,10 @@ use crate::error::ServiceError;
 /// Which rung of the degradation ladder produced an answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LadderStep {
+    /// Served from a current materialized top-k view (top-k requests
+    /// only; sits above `Cached` because the view is maintained
+    /// incrementally rather than invalidated on writes).
+    View,
     /// Served from the user's context query tree.
     Cached,
     /// Full (uncached) resolution through the profile tree.
@@ -46,6 +50,7 @@ pub enum LadderStep {
 impl std::fmt::Display for LadderStep {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Self::View => write!(f, "view"),
             Self::Cached => write!(f, "cached"),
             Self::Exact => write!(f, "exact"),
             Self::NearestState => write!(f, "nearest-state"),
@@ -222,6 +227,93 @@ pub(crate) fn run_ladder(
     }
 
     // Rung 4: the pure, non-contextual default. Cannot fail.
+    Ok(ServiceAnswer {
+        answer: default_answer(shard.relation()),
+        step: LadderStep::DefaultAnswer,
+        fallbacks,
+        resolved_state: None,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// The top-k variant of [`run_ladder`]: the primary rung serves from
+/// the user's materialized view when one is current (reported as
+/// [`LadderStep::View`]) and falls back to early-terminating
+/// `rank_cs_topk` otherwise; lifted states and the non-contextual
+/// default degrade exactly like the full ladder.
+pub(crate) fn run_ladder_topk(
+    shard: &UserShardRead<'_>,
+    user: &str,
+    state: &ContextState,
+    k: usize,
+    deadline: Instant,
+    requested_deadline: Duration,
+) -> Result<ServiceAnswer, ServiceError> {
+    let started = Instant::now();
+    if !shard.has_user(user) {
+        return Err(ServiceError::Core(CoreError::NoSuchUser(user.to_string())));
+    }
+
+    let mut fallbacks = Vec::new();
+
+    // Rung 1: view or early-terminating exact evaluation (same fault
+    // site as the full ladder's primary rung — faults degrade both).
+    let mut from_view = false;
+    match try_rung("service.query.primary", || {
+        let (answer, view) = shard.query_state_topk(user, state, k)?;
+        from_view = view;
+        Ok(answer)
+    }) {
+        Ok(answer) => {
+            let step = if from_view {
+                LadderStep::View
+            } else {
+                LadderStep::Exact
+            };
+            return Ok(ServiceAnswer {
+                answer,
+                step,
+                fallbacks,
+                resolved_state: None,
+                elapsed: started.elapsed(),
+            });
+        }
+        Err(reason) => fallbacks.push(Fallback {
+            step: LadderStep::Exact,
+            reason,
+        }),
+    }
+
+    // Rung 3: nearest ancestor state that still resolves.
+    for lifted in lifted_states(shard, state) {
+        if Instant::now() >= deadline {
+            return Err(ServiceError::DeadlineExceeded {
+                deadline: requested_deadline,
+            });
+        }
+        match try_rung("service.query.nearest", || {
+            shard.query_state_topk(user, &lifted, k).map(|(a, _)| a)
+        }) {
+            Ok(answer) => {
+                return Ok(ServiceAnswer {
+                    answer,
+                    step: LadderStep::NearestState,
+                    fallbacks,
+                    resolved_state: Some(lifted),
+                    elapsed: started.elapsed(),
+                });
+            }
+            Err(reason) => {
+                fallbacks.push(Fallback {
+                    step: LadderStep::NearestState,
+                    reason,
+                });
+            }
+        }
+    }
+
+    // Rung 4: the pure, non-contextual default (every tuple ties at
+    // score 0, so trimming to k would keep everything anyway).
     Ok(ServiceAnswer {
         answer: default_answer(shard.relation()),
         step: LadderStep::DefaultAnswer,

@@ -21,7 +21,7 @@ use ctxpref_wal::{
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::ServiceError;
-use crate::ladder::{run_ladder, LadderStep, ServiceAnswer};
+use crate::ladder::{run_ladder, run_ladder_topk, LadderStep, ServiceAnswer};
 use crate::migrate::{MigrationEntry, MigrationTable, RouteInfo, UserExport};
 use crate::stats::{Counters, ServiceStats};
 use crate::tier::Priority;
@@ -234,6 +234,10 @@ impl ReplicatedConfig {
 struct Job {
     user: String,
     state: ContextState,
+    /// `Some(k)` routes the job down the top-k ladder (materialized
+    /// view first, early-terminating evaluation otherwise); `None` is
+    /// a full-ranking query.
+    topk: Option<usize>,
     deadline: Instant,
     requested: Duration,
     tier: Priority,
@@ -833,6 +837,20 @@ impl CtxPrefService {
             stats.failovers = (status.promotions.len() as u64).saturating_sub(1);
             stats.rescued_shards = status.nodes.iter().map(|n| n.rescued_shards).sum();
         }
+        let core = self.core();
+        let cache = core.cache_totals();
+        stats.cache_hits = cache.hits;
+        stats.cache_misses = cache.misses;
+        stats.cache_insertions = cache.insertions;
+        stats.cache_evictions = cache.evictions;
+        stats.cache_invalidations = cache.invalidations;
+        let views = core.views_totals();
+        stats.view_hits = views.view_hits;
+        stats.view_misses = views.view_misses;
+        stats.view_patches = views.view_patches;
+        stats.view_rebuilds = views.view_rebuilds;
+        stats.materialized_views = views.materialized_views;
+        stats.pinned_views = views.pinned_views;
         if let Some(plan) = ctxpref_faults::current() {
             let mut hits: Vec<(String, u64)> = plan.hit_counts().into_iter().collect();
             hits.sort();
@@ -1006,6 +1024,50 @@ impl CtxPrefService {
         deadline: Duration,
         tier: Priority,
     ) -> Result<ServiceAnswer, ServiceError> {
+        self.submit(user, state, None, deadline, tier)
+    }
+
+    /// Top-k query for `user` under `state` with the default deadline
+    /// at [`Priority::Interactive`]: served from a materialized view
+    /// when one is current ([`LadderStep::View`]), early-terminating
+    /// evaluation otherwise, with the same degradation ladder below.
+    pub fn query_topk(
+        &self,
+        user: &str,
+        state: &ContextState,
+        k: usize,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        self.query_topk_tiered(
+            user,
+            state,
+            k,
+            self.cfg.default_deadline,
+            Priority::Interactive,
+        )
+    }
+
+    /// Top-k query at an explicit deadline and tier — the same
+    /// admission gates, deadline enforcement, and cancellation as
+    /// [`Self::query_tiered`].
+    pub fn query_topk_tiered(
+        &self,
+        user: &str,
+        state: &ContextState,
+        k: usize,
+        deadline: Duration,
+        tier: Priority,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        self.submit(user, state, Some(k), deadline, tier)
+    }
+
+    fn submit(
+        &self,
+        user: &str,
+        state: &ContextState,
+        topk: Option<usize>,
+        deadline: Duration,
+        tier: Priority,
+    ) -> Result<ServiceAnswer, ServiceError> {
         if self.shutting_down.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
         }
@@ -1033,6 +1095,7 @@ impl CtxPrefService {
         let job = Job {
             user: user.to_string(),
             state: state.clone(),
+            topk,
             deadline: now + deadline,
             requested: deadline,
             tier,
@@ -1084,6 +1147,7 @@ impl CtxPrefService {
         match result {
             Ok(answer) => {
                 let counter = match answer.step {
+                    LadderStep::View => &self.counters.served_view,
                     LadderStep::Cached => &self.counters.served_cached,
                     LadderStep::Exact => &self.counters.served_exact,
                     LadderStep::NearestState => &self.counters.served_nearest,
@@ -1670,6 +1734,66 @@ impl CtxPrefService {
         Ok(self.core().cache_stats(user)?)
     }
 
+    /// One user's view-serving counters.
+    pub fn view_stats(&self, user: &str) -> Result<ctxpref_views::ViewStats, ServiceError> {
+        Ok(self.core().view_stats(user)?)
+    }
+
+    /// Register and pin a materialized top-k view of `(user, state)`:
+    /// materialized on first use, never evicted, rebuilt lazily after
+    /// recovery (view contents are derived data and are never trusted
+    /// across a WAL replay).
+    pub fn pin_view(&self, user: &str, state: &ContextState) -> Result<(), ServiceError> {
+        Ok(self.core().pin_view(user, state)?)
+    }
+
+    /// Unpin a previously pinned view; returns whether it was pinned.
+    pub fn unpin_view(&self, user: &str, state: &ContextState) -> Result<bool, ServiceError> {
+        Ok(self.core().unpin_view(user, state)?)
+    }
+
+    /// A human-readable view-catalog report: aggregate counters first,
+    /// then one line per user with materialized views (their pinned
+    /// states listed). Served by the `views-status` wire verb.
+    pub fn views_status(&self) -> String {
+        let core = self.core();
+        let totals = core.views_totals();
+        let mut body = format!(
+            "views materialized={} pinned={} hits={} misses={} patches={} rebuilds={}\n",
+            totals.materialized_views,
+            totals.pinned_views,
+            totals.view_hits,
+            totals.view_misses,
+            totals.view_patches,
+            totals.view_rebuilds,
+        );
+        for user in core.users_sorted() {
+            let Ok(s) = core.view_stats(&user) else {
+                continue;
+            };
+            if s.materialized_views == 0 && s.pinned_views == 0 {
+                continue;
+            }
+            let pinned: Vec<String> = core
+                .pinned_views(&user)
+                .unwrap_or_default()
+                .iter()
+                .map(|st| st.display(core.env()).to_string())
+                .collect();
+            body.push_str(&format!(
+                "user {user} materialized={} pinned={} hits={} patches={} rebuilds={}{}{}\n",
+                s.materialized_views,
+                s.pinned_views,
+                s.view_hits,
+                s.view_patches,
+                s.view_rebuilds,
+                if pinned.is_empty() { "" } else { " states=" },
+                pinned.join(";"),
+            ));
+        }
+        body
+    }
+
     /// Replace the query options used by every query on the database.
     pub fn set_query_defaults(&self, options: ctxpref_core::QueryOptions) {
         self.core().set_query_defaults(options);
@@ -1818,7 +1942,17 @@ fn worker_loop(
                     deadline: job.requested,
                 });
             }
-            run_ladder(&shard, &job.user, &job.state, job.deadline, job.requested)
+            match job.topk {
+                Some(k) => run_ladder_topk(
+                    &shard,
+                    &job.user,
+                    &job.state,
+                    k,
+                    job.deadline,
+                    job.requested,
+                ),
+                None => run_ladder(&shard, &job.user, &job.state, job.deadline, job.requested),
+            }
         }))
         .unwrap_or_else(|payload| {
             let message = if let Some(s) = payload.downcast_ref::<&str>() {

@@ -3,6 +3,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Internal atomic counters of the service.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
+    pub served_view: AtomicU64,
     pub served_cached: AtomicU64,
     pub served_exact: AtomicU64,
     pub served_nearest: AtomicU64,
@@ -31,6 +32,7 @@ pub(crate) struct Counters {
 impl Counters {
     pub fn snapshot(&self) -> ServiceStats {
         ServiceStats {
+            served_view: self.served_view.load(Ordering::Relaxed),
             served_cached: self.served_cached.load(Ordering::Relaxed),
             served_exact: self.served_exact.load(Ordering::Relaxed),
             served_nearest: self.served_nearest.load(Ordering::Relaxed),
@@ -67,6 +69,20 @@ impl Counters {
             replication_epoch: 0,
             replication_max_lag: 0,
             failovers: 0,
+            // Cache and view figures live in the serving core's
+            // per-user structures; `CtxPrefService::stats` overlays
+            // aggregated totals after this snapshot.
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_insertions: 0,
+            cache_evictions: 0,
+            cache_invalidations: 0,
+            view_hits: 0,
+            view_misses: 0,
+            view_patches: 0,
+            view_rebuilds: 0,
+            materialized_views: 0,
+            pinned_views: 0,
             fault_hits: Vec::new(),
         }
     }
@@ -75,6 +91,8 @@ impl Counters {
 /// A point-in-time snapshot of service counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
+    /// Top-k answers served from a current materialized view.
+    pub served_view: u64,
     /// Answers served from a user's query cache.
     pub served_cached: u64,
     /// Answers served by exact (uncached) resolution.
@@ -162,6 +180,31 @@ pub struct ServiceStats {
     /// Promotions after the initial one — how many times the primary
     /// role has moved since the cluster was bootstrapped.
     pub failovers: u64,
+    /// Query-cache hits summed over every user (overlay from the
+    /// serving core; 0 when caching is disabled).
+    pub cache_hits: u64,
+    /// Query-cache misses summed over every user.
+    pub cache_misses: u64,
+    /// Answers inserted into per-user caches.
+    pub cache_insertions: u64,
+    /// Cache cells evicted by per-user capacity pressure.
+    pub cache_evictions: u64,
+    /// Cache cells dropped by mutation or options-change invalidation.
+    pub cache_invalidations: u64,
+    /// Materialized-view hits (view was current and answered) summed
+    /// over every user.
+    pub view_hits: u64,
+    /// Top-k requests that could not be served from a view.
+    pub view_misses: u64,
+    /// Mutations absorbed by an in-place view patch (no recompute).
+    pub view_patches: u64,
+    /// Targeted per-view rebuilds (signature change, heap underflow,
+    /// or growth bound).
+    pub view_rebuilds: u64,
+    /// Views currently materialized, over every user.
+    pub materialized_views: u64,
+    /// Views currently pinned (never evicted), over every user.
+    pub pinned_views: u64,
     /// Per-site fault-injection hit counters of the currently
     /// installed [`FaultPlan`](ctxpref_faults::FaultPlan), sorted by
     /// site name; empty when no plan is installed. Chaos tests assert
@@ -173,7 +216,11 @@ pub struct ServiceStats {
 impl ServiceStats {
     /// Total answered requests, across all ladder rungs.
     pub fn served(&self) -> u64 {
-        self.served_cached + self.served_exact + self.served_nearest + self.served_default
+        self.served_view
+            + self.served_cached
+            + self.served_exact
+            + self.served_nearest
+            + self.served_default
     }
 
     /// Answers that came from a degraded rung.

@@ -1,0 +1,710 @@
+//! Materialized per-(user, context-state) top-k views.
+//!
+//! The qcache answers repeat queries but *invalidates everything* on
+//! any preference mutation, so a hot (user, state) pair pays full tree
+//! resolution on every write. A [`ViewCatalog`] instead keeps the
+//! ranked answer materialized and maintains it **incrementally**:
+//!
+//! * Every view stores a *selection signature* — the interned set of
+//!   stored context states its resolution selected. After a mutation
+//!   the signature is recomputed with a cheap resolver walk (no
+//!   relation scan); only if the selected set changed does the view
+//!   pay a targeted rebuild.
+//! * With an unchanged signature, an insert or score-raise is a
+//!   *patch*: the mutation's σ-selection is merged into the view's
+//!   bounded ranking (top-`k_max` heap region plus an overflow
+//!   ledger) under the `Max` combiner — exact, because a retained
+//!   tuple's recorded score is its true maximum and an absent tuple's
+//!   true score is provably below the retained floor.
+//! * A removal or score-drop that touches a retained tuple leaves the
+//!   second-best contributor unknown — the heap cannot be refilled
+//!   from local knowledge (the underflow path) — so that one view is
+//!   rebuilt; every other view stays untouched.
+//!
+//! Views are *epoch-stamped*: the catalog bumps a mutation epoch on
+//! every write and each view's content records the epoch it is valid
+//! at. Serving refuses content from another epoch (it is rebuilt
+//! lazily instead), so a view answer is always bit-identical to fresh
+//! resolution — the property test in `tests/` drives randomized
+//! mutation sequences against a full-recompute oracle.
+//!
+//! Hot states are *auto-materialized* once their top-k request count
+//! crosses a threshold, LRU-evicted beyond a per-user capacity, and
+//! *auto-pinned* (never evicted) once clearly hot. Pinned states
+//! survive checkpoint restore: only the (user, state) registration is
+//! persisted, never the ranking, so a recovered view is rebuilt
+//! lazily and can never be trusted stale across WAL replay.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use ctxpref_context::{ContextState, DistanceKind};
+use ctxpref_profile::ContextualPreference;
+use ctxpref_relation::{RankedResults, Relation, ScoreCombiner, ScoredTuple};
+use ctxpref_resolve::{ContextResolver, PreferenceStore, TieBreak};
+
+use crate::intern::{StateId, StateTable};
+
+/// Requests a state must receive before it is materialized.
+pub const MATERIALIZE_AFTER: u64 = 2;
+/// Hits a materialized view must serve before it is auto-pinned.
+pub const AUTOPIN_AFTER: u64 = 64;
+/// Growth bound: a patched ranking may hold at most this many times
+/// its build capacity before the view is rebuilt compactly.
+const GROWTH_FACTOR: usize = 2;
+
+/// The resolution options a view is materialized under. Views answer
+/// only for the exact options they were built with (and only the
+/// `Max` combiner admits the incremental patch rules); the catalog
+/// drops all content when the options change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewOpts {
+    /// State-distance metric used by resolution.
+    pub distance: DistanceKind,
+    /// Tie-break among equidistant candidates.
+    pub tie: TieBreak,
+    /// Score combiner (views require [`ScoreCombiner::Max`]).
+    pub combiner: ScoreCombiner,
+}
+
+impl ViewOpts {
+    /// Whether the incremental maintenance rules are sound under
+    /// these options.
+    pub fn supports_views(&self) -> bool {
+        matches!(self.combiner, ScoreCombiner::Max)
+    }
+}
+
+/// One preference mutation, as reported to [`ViewCatalog::on_mutation`].
+#[derive(Debug, Clone, Copy)]
+pub enum Change<'a> {
+    /// `pref` was inserted.
+    Insert(&'a ContextualPreference),
+    /// `pref` was removed.
+    Remove(&'a ContextualPreference),
+    /// `pref` (carrying the new score) replaced the same preference at
+    /// `old_score`.
+    Rescore {
+        /// The preference, already carrying its new score.
+        pref: &'a ContextualPreference,
+        /// The score it had before the mutation.
+        old_score: f64,
+    },
+}
+
+/// Monotonic view-serving counters plus current gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewStats {
+    /// Top-k requests answered straight from a materialized view.
+    pub view_hits: u64,
+    /// Top-k requests that fell through to resolution.
+    pub view_misses: u64,
+    /// Mutations absorbed by an incremental patch.
+    pub view_patches: u64,
+    /// Targeted single-view rebuilds (signature change, underflow,
+    /// growth bound, or lazy revalidation).
+    pub view_rebuilds: u64,
+    /// Views currently holding a materialized ranking.
+    pub materialized_views: u64,
+    /// Views currently pinned (never evicted).
+    pub pinned_views: u64,
+}
+
+impl ViewStats {
+    /// Fold another catalog's stats into this one (per-user catalogs
+    /// aggregate to a service-wide view surface).
+    pub fn absorb(&mut self, other: &ViewStats) {
+        self.view_hits += other.view_hits;
+        self.view_misses += other.view_misses;
+        self.view_patches += other.view_patches;
+        self.view_rebuilds += other.view_rebuilds;
+        self.materialized_views += other.materialized_views;
+        self.pinned_views += other.pinned_views;
+    }
+}
+
+/// The materialized ranking of one view, valid at one epoch.
+#[derive(Debug)]
+struct Content {
+    /// Interned selected states, sorted — the selection signature.
+    signature: Vec<StateId>,
+    /// The retained prefix of the full ranking: every tuple whose
+    /// score is ≥ the floor, in exactly the order a fresh
+    /// `RankedResults` would put them (score desc, tuple index asc).
+    /// The first `k_max` entries are the heap region; the rest is the
+    /// overflow ledger feeding it.
+    ranked: Vec<ScoredTuple>,
+    /// Whether `ranked` holds the *entire* ranking (then any `k` can
+    /// be served and absent tuples are known unmatched).
+    complete: bool,
+    /// Largest `k` this content can serve when not `complete`.
+    k_max: usize,
+    /// Build capacity (`k_max` + ledger) used for the growth bound.
+    cap: usize,
+    /// The catalog epoch this content is valid at.
+    epoch: u64,
+}
+
+impl Content {
+    /// Lowest retained score. Every absent tuple's true score is
+    /// strictly below this (build retains all ties at the floor).
+    fn floor(&self) -> f64 {
+        self.ranked.last().map_or(f64::NEG_INFINITY, |t| t.score)
+    }
+}
+
+/// One registered view: a context state, its pin status, and (when
+/// materialized) its ranking. Hit accounting is atomic so the serve
+/// path never takes the catalog's write lock.
+#[derive(Debug)]
+struct View {
+    state: ContextState,
+    pinned: AtomicBool,
+    content: Option<Content>,
+    hits: AtomicU64,
+    last_used: AtomicU64,
+}
+
+impl View {
+    fn new(state: ContextState, pinned: bool, tick: u64) -> Self {
+        Self {
+            state,
+            pinned: AtomicBool::new(pinned),
+            content: None,
+            hits: AtomicU64::new(0),
+            last_used: AtomicU64::new(tick),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    table: StateTable,
+    views: HashMap<StateId, View>,
+    /// Top-k request counts for states not yet materialized.
+    freq: HashMap<StateId, u64>,
+    /// The options current content was built under.
+    opts: Option<ViewOpts>,
+    epoch: u64,
+}
+
+/// A per-user catalog of materialized top-k views. Internally
+/// synchronized: serving takes a read lock (the shard-level read lock
+/// is already held), maintenance and materialization take the write
+/// lock.
+#[derive(Debug)]
+pub struct ViewCatalog {
+    inner: RwLock<Inner>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    patches: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+impl ViewCatalog {
+    /// An empty catalog evicting unpinned views beyond `capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: RwLock::new(Inner::default()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Register and pin `state`: materialized lazily on first serve,
+    /// never evicted, and carried across snapshots.
+    pub fn pin(&self, state: ContextState) {
+        let tick = self.now();
+        let mut inner = self.inner.write();
+        let id = inner.table.intern(&state);
+        match inner.views.get_mut(&id) {
+            Some(v) => v.pinned.store(true, Ordering::Relaxed),
+            None => {
+                inner.views.insert(id, View::new(state, true, tick));
+            }
+        }
+    }
+
+    /// Unpin `state` (it becomes LRU-evictable). Returns whether it
+    /// was pinned.
+    pub fn unpin(&self, state: &ContextState) -> bool {
+        let mut inner = self.inner.write();
+        let Some(id) = inner.table.lookup(state) else {
+            return false;
+        };
+        match inner.views.get_mut(&id) {
+            Some(v) => v.pinned.swap(false, Ordering::Relaxed),
+            None => false,
+        }
+    }
+
+    /// The currently pinned states (what snapshot/checkpoint carry —
+    /// registrations only, never contents).
+    pub fn pinned_states(&self) -> Vec<ContextState> {
+        let inner = self.inner.read();
+        let mut out: Vec<ContextState> = inner
+            .views
+            .values()
+            .filter(|v| v.pinned.load(Ordering::Relaxed))
+            .map(|v| v.state.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Serve `top_k_with_ties(k)` for `state` from a materialized
+    /// view, or record the miss (materializing the state once it is
+    /// hot). `None` means the caller must resolve normally.
+    pub fn serve<P: PreferenceStore>(
+        &self,
+        store: &P,
+        relation: &Relation,
+        opts: &ViewOpts,
+        state: &ContextState,
+        k: usize,
+    ) -> Option<RankedResults> {
+        if !opts.supports_views() || k == 0 {
+            return None;
+        }
+        {
+            let inner = self.inner.read();
+            if inner.opts.as_ref() == Some(opts) {
+                if let Some(view) = inner
+                    .table
+                    .lookup(state)
+                    .and_then(|id| inner.views.get(&id))
+                {
+                    if let Some(content) = &view.content {
+                        if content.epoch == inner.epoch && (content.complete || k <= content.k_max)
+                        {
+                            let rows = top_k_with_ties(&content.ranked, k);
+                            let result = RankedResults::from_sorted(rows.to_vec());
+                            view.last_used.store(self.now(), Ordering::Relaxed);
+                            let hits = view.hits.fetch_add(1, Ordering::Relaxed) + 1;
+                            if hits >= AUTOPIN_AFTER {
+                                view.pinned.store(true, Ordering::Relaxed);
+                            }
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Some(result);
+                        }
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.note_miss(store, relation, opts, state, k)
+    }
+
+    /// Miss path: count the request and materialize (or re-materialize
+    /// with a larger `k`) once the state is hot. Returns the freshly
+    /// built answer when a build happened, so the triggering request
+    /// is served from it.
+    fn note_miss<P: PreferenceStore>(
+        &self,
+        store: &P,
+        relation: &Relation,
+        opts: &ViewOpts,
+        state: &ContextState,
+        k: usize,
+    ) -> Option<RankedResults> {
+        let tick = self.now();
+        let mut inner = self.inner.write();
+        if inner.opts.as_ref() != Some(opts) {
+            // Options changed (or first use): every ranking built
+            // under the old options is meaningless now.
+            for v in inner.views.values_mut() {
+                v.content = None;
+            }
+            inner.freq.clear();
+            inner.opts = Some(*opts);
+        }
+        let id = inner.table.intern(state);
+        if !inner.views.contains_key(&id) {
+            let n = inner.freq.entry(id).or_insert(0);
+            *n += 1;
+            if *n < MATERIALIZE_AFTER {
+                return None;
+            }
+            inner.freq.remove(&id);
+            inner
+                .views
+                .insert(id, View::new(state.clone(), false, tick));
+            self.evict_over_capacity(&mut inner, id);
+        }
+        let epoch = inner.epoch;
+        let k_max = inner.views[&id]
+            .content
+            .as_ref()
+            .map_or(k, |c| c.k_max.max(k));
+        let content = build_content(store, relation, opts, state, k_max, epoch, &mut inner.table);
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        let rows = top_k_with_ties(&content.ranked, k).to_vec();
+        let view = inner.views.get_mut(&id).expect("just ensured");
+        view.content = Some(content);
+        view.last_used.store(tick, Ordering::Relaxed);
+        Some(RankedResults::from_sorted(rows))
+    }
+
+    /// Evict least-recently-used unpinned views beyond capacity,
+    /// never the one just registered.
+    fn evict_over_capacity(&self, inner: &mut Inner, keep: StateId) {
+        loop {
+            let unpinned = inner
+                .views
+                .iter()
+                .filter(|(_, v)| !v.pinned.load(Ordering::Relaxed))
+                .count();
+            if unpinned <= self.capacity {
+                return;
+            }
+            let victim = inner
+                .views
+                .iter()
+                .filter(|(id, v)| **id != keep && !v.pinned.load(Ordering::Relaxed))
+                .min_by_key(|(_, v)| v.last_used.load(Ordering::Relaxed))
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    inner.views.remove(&id);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Maintain every materialized view across one preference
+    /// mutation. Called with the store/relation *after* the mutation
+    /// applied.
+    pub fn on_mutation<P: PreferenceStore>(
+        &self,
+        store: &P,
+        relation: &Relation,
+        opts: &ViewOpts,
+        change: Change<'_>,
+    ) {
+        let mut inner = self.inner.write();
+        inner.epoch += 1;
+        if inner.views.is_empty() {
+            return;
+        }
+        if inner.opts.as_ref() != Some(opts) || !opts.supports_views() {
+            for v in inner.views.values_mut() {
+                v.content = None;
+            }
+            return;
+        }
+        let epoch = inner.epoch;
+        let pref = match change {
+            Change::Insert(p) | Change::Remove(p) | Change::Rescore { pref: p, .. } => p,
+        };
+        // The stored states the mutated preference touches. A view
+        // whose (unchanged) selection avoids them all is untouched; a
+        // *new* closer state can steal any selection, which is what
+        // the per-view signature walk below detects.
+        let touched: Option<Vec<ContextState>> = pref.descriptor().states(store.env()).ok();
+        let ids: Vec<StateId> = inner
+            .views
+            .iter()
+            .filter(|(_, v)| v.content.is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        // σ of the mutated clause, computed once and shared by views.
+        let mut sigma_cache: Option<Vec<usize>> = None;
+        for id in ids {
+            let view_state = inner.views[&id].state.clone();
+            let signature = selection_signature(store, opts, &view_state, &mut inner.table);
+            let touched_ids: Option<Vec<Option<StateId>>> = touched
+                .as_ref()
+                .map(|states| states.iter().map(|s| inner.table.lookup(s)).collect());
+            let Some(content) = inner.views.get_mut(&id).and_then(|v| v.content.as_mut()) else {
+                continue;
+            };
+            if content.signature != signature {
+                let k_max = content.k_max;
+                let fresh = build_content(
+                    store,
+                    relation,
+                    opts,
+                    &view_state,
+                    k_max,
+                    epoch,
+                    &mut inner.table,
+                );
+                self.rebuilds.fetch_add(1, Ordering::Relaxed);
+                inner.views.get_mut(&id).expect("present").content = Some(fresh);
+                continue;
+            }
+            // Signature unchanged: does the mutation's descriptor even
+            // intersect the selected states?
+            let intersects = match &touched_ids {
+                Some(ids) => ids
+                    .iter()
+                    .any(|s| s.is_some_and(|sid| signature.contains(&sid))),
+                None => true, // unparseable descriptor: treat as affected
+            };
+            if !intersects {
+                content.epoch = epoch;
+                continue;
+            }
+            let sigma = sigma_cache
+                .get_or_insert_with(|| relation.select(&pref.clause().predicate()).collect());
+            let outcome = match change {
+                Change::Insert(p) => patch_raise(content, sigma, p.score()),
+                Change::Rescore { pref: p, old_score } if p.score() > old_score => {
+                    patch_raise(content, sigma, p.score())
+                }
+                Change::Rescore { old_score, .. } => {
+                    if dominates(content, sigma, old_score) {
+                        Patch::Underflow
+                    } else {
+                        Patch::Untouched
+                    }
+                }
+                Change::Remove(p) => {
+                    if dominates(content, sigma, p.score()) {
+                        Patch::Underflow
+                    } else {
+                        Patch::Untouched
+                    }
+                }
+            };
+            match outcome {
+                Patch::Patched => {
+                    self.patches.fetch_add(1, Ordering::Relaxed);
+                    content.epoch = epoch;
+                    if content.ranked.len() > content.cap * GROWTH_FACTOR {
+                        let k_max = content.k_max;
+                        let fresh = build_content(
+                            store,
+                            relation,
+                            opts,
+                            &view_state,
+                            k_max,
+                            epoch,
+                            &mut inner.table,
+                        );
+                        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+                        inner.views.get_mut(&id).expect("present").content = Some(fresh);
+                    }
+                }
+                Patch::Untouched => {
+                    content.epoch = epoch;
+                }
+                Patch::Underflow => {
+                    // A retained tuple may have lost its dominating
+                    // contributor: the heap cannot be refilled from
+                    // local knowledge — targeted rebuild of this one
+                    // view.
+                    let k_max = content.k_max;
+                    let fresh = build_content(
+                        store,
+                        relation,
+                        opts,
+                        &view_state,
+                        k_max,
+                        epoch,
+                        &mut inner.table,
+                    );
+                    self.rebuilds.fetch_add(1, Ordering::Relaxed);
+                    inner.views.get_mut(&id).expect("present").content = Some(fresh);
+                }
+            }
+        }
+    }
+
+    /// Drop every materialized ranking (registrations and pins stay).
+    /// Used when query defaults change and after snapshot restore.
+    pub fn invalidate_contents(&self) {
+        let mut inner = self.inner.write();
+        inner.epoch += 1;
+        for v in inner.views.values_mut() {
+            v.content = None;
+        }
+        inner.freq.clear();
+    }
+
+    /// Current counters and gauges.
+    pub fn stats(&self) -> ViewStats {
+        let inner = self.inner.read();
+        ViewStats {
+            view_hits: self.hits.load(Ordering::Relaxed),
+            view_misses: self.misses.load(Ordering::Relaxed),
+            view_patches: self.patches.load(Ordering::Relaxed),
+            view_rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            materialized_views: inner.views.values().filter(|v| v.content.is_some()).count() as u64,
+            pinned_views: inner
+                .views
+                .values()
+                .filter(|v| v.pinned.load(Ordering::Relaxed))
+                .count() as u64,
+        }
+    }
+
+    /// Number of registered views (materialized or lazy).
+    pub fn len(&self) -> usize {
+        self.inner.read().views.len()
+    }
+
+    /// Whether no view is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().views.is_empty()
+    }
+}
+
+/// What one mutation did to one view.
+enum Patch {
+    Patched,
+    Untouched,
+    Underflow,
+}
+
+/// Whether any retained tuple matched by `sigma` has `score` as its
+/// recorded maximum — removing that contribution may drop the tuple's
+/// true score, which the view cannot compute locally.
+fn dominates(content: &Content, sigma: &[usize], score: f64) -> bool {
+    // `sigma` is ascending (σ scans tuples in index order).
+    content
+        .ranked
+        .iter()
+        .any(|t| t.score == score && sigma.binary_search(&t.tuple_index).is_ok())
+}
+
+/// Merge a σ-selection at `score` into the view under the `Max`
+/// combiner. Exact: a retained tuple's recorded score is its true
+/// maximum, and an absent tuple's true score is strictly below the
+/// floor, so `score >= floor` is the precise admission test.
+fn patch_raise(content: &mut Content, sigma: &[usize], score: f64) -> Patch {
+    let floor = content.floor();
+    let mut changed = false;
+    for &ix in sigma {
+        match content.ranked.iter_mut().find(|t| t.tuple_index == ix) {
+            Some(t) => {
+                if score > t.score {
+                    t.score = score;
+                    changed = true;
+                }
+            }
+            None => {
+                if content.complete || score >= floor {
+                    content.ranked.push(ScoredTuple {
+                        tuple_index: ix,
+                        score,
+                    });
+                    changed = true;
+                }
+            }
+        }
+    }
+    if changed {
+        sort_ranking(&mut content.ranked);
+        Patch::Patched
+    } else {
+        Patch::Untouched
+    }
+}
+
+/// The exact ordering `RankedResults::from_scores` produces: score
+/// descending, tuple index ascending.
+fn sort_ranking(ranked: &mut [ScoredTuple]) {
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.tuple_index.cmp(&b.tuple_index))
+    });
+}
+
+/// `top_k_with_ties` over an already-sorted retained ranking.
+fn top_k_with_ties(ranked: &[ScoredTuple], k: usize) -> &[ScoredTuple] {
+    if k == 0 || ranked.is_empty() {
+        return &[];
+    }
+    if ranked.len() <= k {
+        return ranked;
+    }
+    let threshold = ranked[k - 1].score;
+    let mut end = k;
+    while end < ranked.len() && ranked[end].score == threshold {
+        end += 1;
+    }
+    &ranked[..end]
+}
+
+/// The interned, sorted set of stored states `state`'s resolution
+/// selects — a resolver walk only, no relation scan.
+fn selection_signature<P: PreferenceStore>(
+    store: &P,
+    opts: &ViewOpts,
+    state: &ContextState,
+    table: &mut StateTable,
+) -> Vec<StateId> {
+    let resolver = ContextResolver::new(store, opts.distance, opts.tie);
+    let res = resolver.resolve_state(state);
+    let mut sig: Vec<StateId> = res
+        .selected
+        .iter()
+        .map(|c| table.intern(&c.state))
+        .collect();
+    sig.sort_unstable();
+    sig.dedup();
+    sig
+}
+
+/// Materialize one view: resolve, score the selected leaves' clauses
+/// (exactly as `Rank_CS` does for one state), and retain the top
+/// `k_max + ledger` prefix with all ties at the cut.
+fn build_content<P: PreferenceStore>(
+    store: &P,
+    relation: &Relation,
+    opts: &ViewOpts,
+    state: &ContextState,
+    k_max: usize,
+    epoch: u64,
+    table: &mut StateTable,
+) -> Content {
+    let resolver = ContextResolver::new(store, opts.distance, opts.tie);
+    let res = resolver.resolve_state(state);
+    let mut sig: Vec<StateId> = res
+        .selected
+        .iter()
+        .map(|c| table.intern(&c.state))
+        .collect();
+    sig.sort_unstable();
+    sig.dedup();
+    let mut raw = Vec::new();
+    for cand in &res.selected {
+        for entry in store.entries(cand.leaf) {
+            let pred = entry.clause.predicate();
+            for ix in relation.select(&pred) {
+                raw.push(ScoredTuple {
+                    tuple_index: ix,
+                    score: entry.score,
+                });
+            }
+        }
+    }
+    let full = RankedResults::from_scores(raw, opts.combiner);
+    let cap = k_max + k_max.max(8);
+    let retained = full.top_k_with_ties(cap);
+    let complete = retained.len() == full.len();
+    Content {
+        signature: sig,
+        ranked: retained.to_vec(),
+        complete,
+        k_max,
+        cap,
+        epoch,
+    }
+}

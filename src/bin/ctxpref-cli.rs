@@ -28,7 +28,8 @@ use ctxpref::net::{NetClient, NetClientConfig, NetServer, NetServerConfig, Remot
 use ctxpref::prelude::*;
 use ctxpref::router::{Router, RouterConfig};
 use ctxpref::service::{
-    AckMode, CtxPrefService, DurabilityConfig, ReplicatedConfig, ServiceAnswer, ServiceConfig,
+    AckMode, CtxPrefService, DurabilityConfig, LadderStep, Priority, ReplicatedConfig,
+    ServiceAnswer, ServiceConfig,
 };
 use ctxpref::workload::reference::{poi_env, poi_relation};
 use ctxpref::workload::user_study::{default_profile, AgeBand, Demographics, Sex, Taste};
@@ -118,6 +119,8 @@ impl Repl {
             "env" => self.cmd_env(),
             "context" => self.cmd_context(rest),
             "query" => self.cmd_query(rest),
+            "topk" => self.cmd_topk(rest),
+            "views-status" => self.cmd_views_status(),
             "explain" => self.cmd_explain(rest),
             "pref" => self.cmd_pref(rest),
             "prefs" => self.cmd_prefs(),
@@ -379,7 +382,7 @@ impl Repl {
         let (addr, cmd) = rest
             .split_once(char::is_whitespace)
             .map(|(a, c)| (a, c.trim()))
-            .ok_or("usage: remote <addr> <ping|query|pref|bulk-pref|del|score|checkpoint|flush|wal-status|repl-status|stats>")?;
+            .ok_or("usage: remote <addr> <ping|query|topk|views-status|pref|bulk-pref|del|score|checkpoint|flush|wal-status|repl-status|stats>")?;
         let mut client = NetClient::connect(addr, NetClientConfig::default());
         let run = |e: ctxpref::net::NetError| e.to_string();
         let (verb, args) = match cmd.split_once(char::is_whitespace) {
@@ -398,6 +401,26 @@ impl Repl {
                     .map_err(run)?;
                 Ok(Some(render_remote_answer(&answer)))
             }
+            "topk" => {
+                let mut parts = args.split_whitespace();
+                let user = parts
+                    .next()
+                    .ok_or("usage: remote <addr> topk <user> <k> <state…>")?;
+                let k: usize = parts
+                    .next()
+                    .ok_or("usage: remote <addr> topk <user> <k> <state…>")?
+                    .parse()
+                    .map_err(|_| "bad k")?;
+                let names: Vec<&str> = parts.collect();
+                if names.is_empty() {
+                    return Err("usage: remote <addr> topk <user> <k> <state…>".to_string());
+                }
+                let answer = client
+                    .query_topk(user, "name", k, self.deadline, &names)
+                    .map_err(run)?;
+                Ok(Some(render_remote_answer(&answer)))
+            }
+            "views-status" => Ok(Some(client.views_status().map_err(run)?)),
             "query-desc" if !args.is_empty() => {
                 let answer = client
                     .query_descriptor(USER, "name", self.top_k, args)
@@ -517,9 +540,9 @@ impl Repl {
             "repl-status" => Ok(Some(client.repl_status().map_err(run)?)),
             "stats" => Ok(Some(client.stats().map_err(run)?)),
             other => Err(format!(
-                "unknown remote command {other:?} — ping, query <values>, query-desc <descriptor>, \
-                 pref, bulk-pref, del, score, checkpoint, flush, scrub, scrub-status, wal-status, \
-                 repl-status, stats"
+                "unknown remote command {other:?} — ping, query <values>, topk <user> <k> \
+                 <values>, views-status, query-desc <descriptor>, pref, bulk-pref, del, score, \
+                 checkpoint, flush, scrub, scrub-status, wal-status, repl-status, stats"
             )),
         }
     }
@@ -796,6 +819,47 @@ impl Repl {
         })
     }
 
+    /// Top-k pushdown query: `topk <user> <k> [state…]` asks the
+    /// service for exactly `k` rows, served from a materialized view
+    /// when one is fresh for that (user, state). With no state names
+    /// the current context is used.
+    fn cmd_topk(&mut self, rest: &str) -> Result<Option<String>, String> {
+        let mut parts = rest.split_whitespace();
+        let user = parts.next().ok_or("usage: topk <user> <k> [state…]")?;
+        let k: usize = parts
+            .next()
+            .ok_or("usage: topk <user> <k> [state…]")?
+            .parse()
+            .map_err(|_| "bad k")?;
+        let names: Vec<&str> = parts.collect();
+        let deadline = self.deadline;
+        let current = self.current.clone();
+        let service = self.service()?;
+        let state = if names.is_empty() {
+            current.ok_or("no context — use `context <values>` or name one")?
+        } else {
+            service
+                .with_db(|db| ContextState::parse(db.env(), &names).map_err(|e| e.to_string()))?
+        };
+        let answer = service
+            .query_topk_tiered(user, &state, k, deadline, Priority::Interactive)
+            .map_err(|e| e.to_string())?;
+        service.with_db(|db| {
+            let mut out = render_answer(db, &answer.answer, k)?;
+            if answer.step == LadderStep::View {
+                out.push_str("[served from a materialized view]\n");
+            }
+            out.push_str(&render_ladder(db, &answer));
+            Ok(Some(out))
+        })
+    }
+
+    /// Materialized-view catalog status: aggregate serving counters
+    /// plus the pinned states per user.
+    fn cmd_views_status(&self) -> Result<Option<String>, String> {
+        Ok(Some(self.service()?.views_status()))
+    }
+
     fn cmd_explain(&mut self, rest: &str) -> Result<Option<String>, String> {
         let current = self.current.clone();
         let service = self.service()?;
@@ -946,8 +1010,11 @@ impl Repl {
         let service = self.service()?;
         let s = service.stats();
         let mut out = format!(
-            "served: {} cached, {} exact, {} nearest-state, {} default\n\
-             contained panics {}, deadline misses {}, shed {}, errors {}",
+            "served: {} view, {} cached, {} exact, {} nearest-state, {} default\n\
+             contained panics {}, deadline misses {}, shed {}, errors {}\n\
+             cache: {} hits, {} misses, {} evictions, {} invalidations\n\
+             views: {} materialized, {} pinned, {} hits, {} patches, {} rebuilds",
+            s.served_view,
             s.served_cached,
             s.served_exact,
             s.served_nearest,
@@ -955,7 +1022,16 @@ impl Repl {
             s.panics_contained,
             s.deadline_exceeded,
             s.shed,
-            s.errors
+            s.errors,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+            s.cache_invalidations,
+            s.materialized_views,
+            s.pinned_views,
+            s.view_hits,
+            s.view_patches,
+            s.view_rebuilds
         );
         if service.is_durable() {
             out.push_str(&format!(
@@ -1092,6 +1168,8 @@ commands:
   env                       show context parameters and hierarchies
   context [v1 v2 v3]        set / show the current context state
   query [descriptor]        query the current or a hypothetical context
+  topk <user> <k> [state…]  top-k pushdown (materialized view when fresh)
+  views-status              materialized-view counters and pinned states
   explain [descriptor]      trace which stored preferences answered the query
   pref <cod> :: <attr> = <value> @ <score>   add a contextual preference
   prefs                     list the profile

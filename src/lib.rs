@@ -18,6 +18,9 @@
 //!   cell-access accounting.
 //! * [`qcache`] — the context query tree: caching contextual query
 //!   results keyed by context state.
+//! * [`views`] — materialized per-(user, context-state) top-k
+//!   rankings with incremental maintenance, interned state tokens,
+//!   and pinning for hot states.
 //! * [`qualitative`] — the qualitative extension of Section 6:
 //!   contextual binary priorities with winnow / iterated-winnow
 //!   operators.
@@ -58,6 +61,7 @@ pub use ctxpref_resolve as resolve;
 pub use ctxpref_router as router;
 pub use ctxpref_service as service;
 pub use ctxpref_storage as storage;
+pub use ctxpref_views as views;
 pub use ctxpref_wal as wal;
 pub use ctxpref_workload as workload;
 
